@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the benchmark binaries: flag parsing and the standard
+// experiment configurations (kept in one place so Table 2 / Figure 4 /
+// Figure 5 agree on model setups).
+
+#include <cstring>
+#include <string>
+
+namespace hoga::bench {
+
+/// True if `flag` (e.g. "--full") appears in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Integer option "--name=value"; returns fallback when absent.
+inline long long int_option(int argc, char** argv, const char* name,
+                            long long fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace hoga::bench

@@ -1,0 +1,112 @@
+// Complexity microbenchmarks (paper §III-C): HOGA's total complexity is
+// O(Kmd + nKd^2 + nK^2 d) — linear in nodes and edges. These benchmarks
+// measure hop-feature generation and the gated-attention forward pass
+// across graph sizes; near-linear scaling of time with n/m confirms the
+// analysis. Synthesis-pass and labeling throughput are included since they
+// bound dataset generation.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "circuits/multipliers.hpp"
+#include "aig/cuts.hpp"
+#include "core/hoga_model.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "reasoning/features.hpp"
+#include "synth/recipe.hpp"
+#include "synth/rewrite.hpp"
+#include "synth/techmap.hpp"
+
+using namespace hoga;
+
+namespace {
+
+// Build once per bitwidth and reuse across iterations.
+const data::ReasoningGraph& graph_for(int bits) {
+  static std::map<int, data::ReasoningGraph> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    it = cache.emplace(bits, data::make_reasoning_graph("csa", bits, false))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_HopFeatureGeneration(benchmark::State& state) {
+  const auto& g = graph_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto hops = core::HopFeatures::compute(*g.adj_hop, g.features, 8);
+    benchmark::DoNotOptimize(hops.stacked().data());
+  }
+  state.SetComplexityN(g.num_edges);
+}
+
+void BM_GatedAttentionForward(benchmark::State& state) {
+  const auto& g = graph_for(static_cast<int>(state.range(0)));
+  auto hops = core::HopFeatures::compute(*g.adj_hop, g.features, 8);
+  Rng rng(1);
+  core::Hoga model(
+      core::HogaConfig{.in_dim = reasoning::kNodeFeatureDim,
+                       .hidden = 32,
+                       .num_hops = 8,
+                       .num_layers = 1,
+                       .out_dim = 4},
+      rng);
+  for (auto _ : state) {
+    Tensor out = model.predict(hops, 4096);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(g.num_nodes);
+}
+
+void BM_CutEnumeration(benchmark::State& state) {
+  const auto lc =
+      circuits::make_csa_multiplier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto cuts = aig::enumerate_cuts(lc.aig, {.k = 4, .max_cuts = 8});
+    benchmark::DoNotOptimize(cuts.size());
+  }
+  state.SetComplexityN(lc.aig.num_nodes());
+}
+
+void BM_RewritePass(benchmark::State& state) {
+  const auto lc =
+      circuits::make_csa_multiplier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    aig::Aig out = synth::rewrite(lc.aig);
+    benchmark::DoNotOptimize(out.num_ands());
+  }
+  state.SetComplexityN(lc.aig.num_nodes());
+}
+
+void BM_TechMap(benchmark::State& state) {
+  const auto lc =
+      circuits::make_csa_multiplier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    aig::Aig out = synth::tech_map(lc.aig);
+    benchmark::DoNotOptimize(out.num_ands());
+  }
+  state.SetComplexityN(lc.aig.num_nodes());
+}
+
+void BM_FunctionalLabeling(benchmark::State& state) {
+  const auto lc =
+      circuits::make_csa_multiplier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto labels = reasoning::functional_labels(lc.aig);
+    benchmark::DoNotOptimize(labels.size());
+  }
+  state.SetComplexityN(lc.aig.num_nodes());
+}
+
+}  // namespace
+
+BENCHMARK(BM_HopFeatureGeneration)->Arg(8)->Arg(16)->Arg(32)->Iterations(3)->Complexity();
+BENCHMARK(BM_GatedAttentionForward)->Arg(8)->Arg(16)->Arg(32)->Iterations(2)->Complexity();
+BENCHMARK(BM_CutEnumeration)->Arg(8)->Arg(16)->Arg(24)->Iterations(3)->Complexity();
+BENCHMARK(BM_RewritePass)->Arg(8)->Arg(16)->Iterations(2)->Complexity();
+BENCHMARK(BM_TechMap)->Arg(8)->Arg(16)->Iterations(2)->Complexity();
+BENCHMARK(BM_FunctionalLabeling)->Arg(8)->Arg(16)->Arg(24)->Iterations(3)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// Figure 7 reproduction: hop-wise attention scores per node class.
+//
+// Trains HOGA (K=8) on the mapped 8-bit Booth multiplier, then samples 100
+// nodes per class from a large Booth multiplier and prints each class's
+// readout-attention heatmap (rows = sampled nodes, columns = hops 1..K) as
+// ASCII shading plus the per-class mean score per hop. The paper's
+// observation: MAJ/XOR/shared classes concentrate attention on even hops
+// {2, 4, 6} (second-order structures), the plain class is diffuse. We
+// quantify this with the even-hop attention mass per class.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "reasoning/features.hpp"
+#include "train/metrics.hpp"
+#include "train/node_trainer.hpp"
+#include "util/table.hpp"
+
+using namespace hoga;
+
+namespace {
+
+constexpr int kHops = 8;
+
+char shade(float v) {
+  // 5-level ASCII shading for heatmap cells.
+  if (v < 0.05f) return '.';
+  if (v < 0.15f) return ':';
+  if (v < 0.30f) return '+';
+  if (v < 0.50f) return '#';
+  return '@';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const int bits =
+      static_cast<int>(bench::int_option(argc, argv, "--bits",
+                                         full ? 128 : 48));
+  const int samples_per_class = 100;  // as in the paper
+
+  std::puts("=== Figure 7: hop-wise attention scores per node class ===");
+  std::printf("train: mapped 8-bit Booth; visualize: mapped %d-bit Booth\n\n",
+              bits);
+
+  // Paper-exact Eq. 3 hop features (symmetric, no self loops) so the
+  // attention-vs-hop analysis matches the paper's setting.
+  const std::int64_t d0 = reasoning::kNodeFeatureDim;
+  const auto g8 = data::make_reasoning_graph("booth", 8, true);
+  const auto hops8 =
+      core::HopFeatures::compute(*g8.adj_hop, g8.features, kHops);
+  Rng rng(3);
+  core::Hoga model(core::HogaConfig{.in_dim = d0,
+                                    .hidden = 48,
+                                    .num_hops = kHops,
+                                    .num_layers = 1,
+                                    .out_dim = reasoning::kNumClasses,
+                                    .input_norm = false},
+                   rng);
+  train::NodeTrainConfig cfg;
+  cfg.epochs = static_cast<int>(bench::int_option(argc, argv, "--epochs", 200));
+  cfg.batch_size = 512;
+  cfg.lr = 3e-3f;
+  cfg.class_weights =
+      train::inverse_frequency_weights(g8.labels, reasoning::kNumClasses);
+  train::train_hoga_node(model, hops8, g8.labels, cfg);
+
+  const auto big = data::make_reasoning_graph("booth", bits, true);
+  const auto hops_big =
+      core::HopFeatures::compute(*big.adj_hop, big.features, kHops);
+  core::HogaAttention attention;
+  const Tensor logits = model.predict(hops_big, 4096, &attention);
+  std::printf("reasoning accuracy on %d-bit Booth: %.1f%%\n\n", bits,
+              train::accuracy(logits, big.labels) * 100);
+
+  // Sample nodes per class deterministically.
+  Rng sample_rng(9);
+  Table summary({"Class", "Samples", "c1", "c2", "c3", "c4", "c5", "c6", "c7",
+                 "c8", "even-hop mass", "entropy"});
+  for (int cls = 0; cls < reasoning::kNumClasses; ++cls) {
+    std::vector<std::int64_t> members;
+    for (std::size_t i = 0; i < big.labels.size(); ++i) {
+      if (big.labels[i] == cls) {
+        members.push_back(static_cast<std::int64_t>(i));
+      }
+    }
+    if (members.empty()) continue;
+    sample_rng.shuffle(members);
+    const std::size_t take = std::min<std::size_t>(
+        members.size(), static_cast<std::size_t>(samples_per_class));
+    members.resize(take);
+
+    // Heatmap: one row per sampled node (print a subset of 20 rows to keep
+    // the log readable; the mean row summarizes all samples).
+    std::printf("-- class %s: attention heatmap (rows=nodes, cols=hop 1..%d) "
+                "--\n",
+                reasoning::node_class_name(
+                    static_cast<reasoning::NodeClass>(cls)),
+                kHops);
+    std::vector<double> mean(kHops, 0.0);
+    for (std::size_t s = 0; s < take; ++s) {
+      for (int k = 0; k < kHops; ++k) {
+        mean[static_cast<std::size_t>(k)] +=
+            attention.readout_scores.at({members[s], k});
+      }
+      if (s < 20) {
+        std::fputs("   ", stdout);
+        for (int k = 0; k < kHops; ++k) {
+          std::fputc(shade(attention.readout_scores.at({members[s], k})),
+                     stdout);
+        }
+        std::fputc('\n', stdout);
+      }
+    }
+    for (auto& m : mean) m /= static_cast<double>(take);
+    double even_mass = 0, entropy = 0;
+    for (int k = 1; k <= kHops; ++k) {
+      const double m = mean[static_cast<std::size_t>(k - 1)];
+      if (k % 2 == 0) even_mass += m;
+      if (m > 1e-12) entropy -= m * std::log2(m);
+    }
+    summary.row()
+        .cell(reasoning::node_class_name(
+            static_cast<reasoning::NodeClass>(cls)))
+        .cell(static_cast<long long>(take));
+    for (int k = 0; k < kHops; ++k) summary.cell(mean[k], 3);
+    summary.pct(even_mass * 100, 1);
+    summary.cell(entropy, 2);
+    std::puts("");
+  }
+  std::puts("-- per-class mean attention per hop --");
+  summary.print();
+  std::puts("\npaper shape check: attention is class-dependent — "
+            "MAJ/XOR/shared concentrate on few informative hops (low "
+            "entropy) while the plain class stays diffuse (high entropy). "
+            "The paper additionally observes even-hop concentration; see "
+            "EXPERIMENTS.md for where our substitute differs.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example: inspecting HOGA's hop-wise attention (the paper's Figure 7
+// analysis, as a library walkthrough).
+//
+// After training on a mapped Booth multiplier, we extract for individual
+// nodes (a) the readout scores c_k over hops and (b) the gated
+// self-attention matrix S, and show how MAJ/XOR nodes concentrate on
+// even-distance hops while plain nodes stay diffuse.
+
+#include <cstdio>
+
+#include "data/reasoning_dataset.hpp"
+#include "reasoning/features.hpp"
+#include "train/metrics.hpp"
+#include "train/node_trainer.hpp"
+
+int main() {
+  using namespace hoga;
+  const int K = 8;
+  const std::int64_t d0 = reasoning::kNodeFeatureDim;
+
+  const auto g = data::make_reasoning_graph("booth", 8, true);
+  auto hops = core::HopFeatures::compute_concat(
+      {g.adj_hop.get(), g.adj_fanin.get()}, g.features, K);
+  Rng rng(3);
+  core::Hoga model(core::HogaConfig{.in_dim = 2 * d0,
+                                    .hidden = 48,
+                                    .num_hops = K,
+                                    .num_layers = 1,
+                                    .out_dim = reasoning::kNumClasses,
+                                    .input_norm = false},
+                   rng);
+  train::NodeTrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.batch_size = 512;
+  cfg.class_weights =
+      train::inverse_frequency_weights(g.labels, reasoning::kNumClasses);
+  std::puts("training HOGA on mapped 8-bit Booth multiplier...");
+  train::train_hoga_node(model, hops, g.labels, cfg);
+
+  core::HogaAttention attention;
+  const Tensor logits = model.predict(hops, 4096, &attention);
+  std::printf("accuracy: %.1f%%\n\n", train::accuracy(logits, g.labels) * 100);
+
+  // One representative node per class: readout scores + attention row.
+  for (int cls = 0; cls < reasoning::kNumClasses; ++cls) {
+    std::int64_t node = -1;
+    for (std::size_t i = 0; i < g.labels.size(); ++i) {
+      if (g.labels[i] == cls) {
+        node = static_cast<std::int64_t>(i);
+        break;
+      }
+    }
+    if (node < 0) continue;
+    std::printf("node %lld, class %s\n", static_cast<long long>(node),
+                reasoning::node_class_name(
+                    static_cast<reasoning::NodeClass>(cls)));
+    std::printf("  readout scores c_k (hop 1..%d): ", K);
+    double even = 0;
+    for (int k = 0; k < K; ++k) {
+      const float c = attention.readout_scores.at({node, k});
+      std::printf("%.2f ", c);
+      if ((k + 1) % 2 == 0) even += c;
+    }
+    std::printf(" | even-hop mass %.2f\n", even);
+    std::printf("  self-attention row of hop 0 over hops 0..%d: ", K);
+    for (int j = 0; j <= K; ++j) {
+      std::printf("%.2f ", attention.self_attention.at({node, 0, j}));
+    }
+    std::puts("\n");
+  }
+  std::puts("expected pattern (paper Fig. 7): MAJ/XOR/shared nodes "
+            "concentrate readout attention on even hops; plain nodes are "
+            "diffuse.");
+  return 0;
+}

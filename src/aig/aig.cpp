@@ -1,0 +1,234 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hoga::aig {
+namespace {
+
+std::uint64_t strash_key(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+Aig::Aig() {
+  nodes_.push_back(Node{NodeType::kConst0, 0, 0});
+}
+
+Lit Aig::add_pi() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{NodeType::kPi, 0, 0});
+  pis_.push_back(id);
+  return make_lit(id, false);
+}
+
+Lit Aig::add_and(Lit a, Lit b) {
+  HOGA_CHECK(lit_node(a) < nodes_.size() && lit_node(b) < nodes_.size(),
+             "add_and: literal refers to unknown node");
+  // Constant / identity simplification (ABC's trivial cases).
+  if (a == kLitFalse || b == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (b == kLitTrue) return a;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  const std::uint64_t key = strash_key(a, b);
+  auto it = strash_.find(key);
+  if (it != strash_.end()) return make_lit(it->second, false);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  Lit f0 = a, f1 = b;
+  if (f0 > f1) std::swap(f0, f1);
+  nodes_.push_back(Node{NodeType::kAnd, f0, f1});
+  strash_.emplace(key, id);
+  ++num_ands_;
+  return make_lit(id, false);
+}
+
+Lit Aig::find_and(Lit a, Lit b) const {
+  if (a == kLitFalse || b == kLitFalse) return kLitFalse;
+  if (a == kLitTrue) return b;
+  if (b == kLitTrue) return a;
+  if (a == b) return a;
+  if (a == lit_not(b)) return kLitFalse;
+  auto it = strash_.find(strash_key(a, b));
+  if (it != strash_.end()) return make_lit(it->second, false);
+  return kNoLit;
+}
+
+Lit Aig::add_or(Lit a, Lit b) {
+  return lit_not(add_and(lit_not(a), lit_not(b)));
+}
+
+Lit Aig::add_xor(Lit a, Lit b) {
+  // a ^ b = (a + b) (!a + !b) = !(!a !b) !(a b)
+  const Lit nand_ab = lit_not(add_and(a, b));
+  const Lit or_ab = add_or(a, b);
+  return add_and(or_ab, nand_ab);
+}
+
+Lit Aig::add_xnor(Lit a, Lit b) { return lit_not(add_xor(a, b)); }
+
+Lit Aig::add_mux(Lit sel, Lit t, Lit e) {
+  // sel·t + !sel·e
+  const Lit st = add_and(sel, t);
+  const Lit se = add_and(lit_not(sel), e);
+  return add_or(st, se);
+}
+
+Lit Aig::add_maj(Lit a, Lit b, Lit c) {
+  // ab + ac + bc = ab + c(a + b)
+  const Lit ab = add_and(a, b);
+  const Lit a_or_b = add_or(a, b);
+  const Lit c_ab = add_and(c, a_or_b);
+  return add_or(ab, c_ab);
+}
+
+Lit Aig::add_and_multi(const std::vector<Lit>& lits) {
+  if (lits.empty()) return kLitTrue;
+  std::vector<Lit> level(lits);
+  while (level.size() > 1) {
+    std::vector<Lit> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(add_and(level[i], level[i + 1]));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Lit Aig::add_or_multi(const std::vector<Lit>& lits) {
+  if (lits.empty()) return kLitFalse;
+  std::vector<Lit> inv;
+  inv.reserve(lits.size());
+  for (Lit l : lits) inv.push_back(lit_not(l));
+  return lit_not(add_and_multi(inv));
+}
+
+Lit Aig::add_xor_multi(const std::vector<Lit>& lits) {
+  if (lits.empty()) return kLitFalse;
+  Lit acc = lits[0];
+  for (std::size_t i = 1; i < lits.size(); ++i) acc = add_xor(acc, lits[i]);
+  return acc;
+}
+
+void Aig::add_po(Lit l) {
+  HOGA_CHECK(lit_node(l) < nodes_.size(), "add_po: unknown node");
+  pos_.push_back(l);
+}
+
+std::vector<int> Aig::levels() const {
+  std::vector<int> lvl(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.type == NodeType::kAnd) {
+      lvl[id] = 1 + std::max(lvl[lit_node(n.fanin0)], lvl[lit_node(n.fanin1)]);
+    }
+  }
+  return lvl;
+}
+
+int Aig::depth() const {
+  const auto lvl = levels();
+  int d = 0;
+  for (Lit po : pos_) d = std::max(d, lvl[lit_node(po)]);
+  return d;
+}
+
+std::vector<int> Aig::fanout_counts() const {
+  std::vector<int> fo(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.type == NodeType::kAnd) {
+      fo[lit_node(n.fanin0)]++;
+      fo[lit_node(n.fanin1)]++;
+    }
+  }
+  for (Lit po : pos_) fo[lit_node(po)]++;
+  return fo;
+}
+
+std::vector<Aig::EdgeRef> Aig::structural_edges() const {
+  std::vector<EdgeRef> edges;
+  edges.reserve(static_cast<std::size_t>(num_ands_) * 2);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.type == NodeType::kAnd) {
+      edges.push_back({lit_node(n.fanin0), id, lit_is_compl(n.fanin0)});
+      edges.push_back({lit_node(n.fanin1), id, lit_is_compl(n.fanin1)});
+    }
+  }
+  return edges;
+}
+
+std::vector<NodeId> Aig::cone(NodeId root) const {
+  HOGA_CHECK(root < nodes_.size(), "cone: bad root");
+  std::vector<NodeId> out;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack{root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    const Node& n = nodes_[id];
+    if (n.type == NodeType::kAnd) {
+      for (Lit f : {n.fanin0, n.fanin1}) {
+        const NodeId fid = lit_node(f);
+        if (!seen[fid]) {
+          seen[fid] = true;
+          stack.push_back(fid);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<bool> Aig::reachable_from_pos() const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  for (Lit po : pos_) {
+    const NodeId id = lit_node(po);
+    if (!seen[id]) {
+      seen[id] = true;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[id];
+    if (n.type == NodeType::kAnd) {
+      for (Lit f : {n.fanin0, n.fanin1}) {
+        const NodeId fid = lit_node(f);
+        if (!seen[fid]) {
+          seen[fid] = true;
+          stack.push_back(fid);
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+std::int64_t Aig::num_live_ands() const {
+  const auto live = reachable_from_pos();
+  std::int64_t count = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].type == NodeType::kAnd && live[id]) ++count;
+  }
+  return count;
+}
+
+std::string Aig::stats_string(const std::string& name) const {
+  std::ostringstream os;
+  if (!name.empty()) os << name << ": ";
+  os << "pi=" << num_pis() << " po=" << num_pos() << " and=" << num_ands()
+     << " lev=" << depth();
+  return os.str();
+}
+
+}  // namespace hoga::aig

@@ -1,0 +1,139 @@
+#pragma once
+// And-Inverter Graph: the single circuit IR of this reproduction, mirroring
+// ABC's role in the paper's pipeline (OpenABC-D netlists and Gamora inputs
+// are both AIGs).
+//
+// Representation: node 0 is constant-0; PIs and 2-input AND nodes follow in
+// topological order (fanins always precede the node). Edges are literals:
+// (node_id << 1) | complemented. Structural hashing plus constant/identity
+// simplification happen in add_and, as in ABC's strashed networks.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hoga::aig {
+
+using Lit = std::uint32_t;
+using NodeId = std::uint32_t;
+
+constexpr Lit kLitFalse = 0;  // node 0, plain
+constexpr Lit kLitTrue = 1;   // node 0, complemented
+
+constexpr Lit make_lit(NodeId node, bool complemented) {
+  return (node << 1) | static_cast<Lit>(complemented);
+}
+constexpr NodeId lit_node(Lit l) { return l >> 1; }
+constexpr bool lit_is_compl(Lit l) { return l & 1u; }
+constexpr Lit lit_not(Lit l) { return l ^ 1u; }
+constexpr Lit lit_not_if(Lit l, bool c) { return l ^ static_cast<Lit>(c); }
+constexpr Lit lit_regular(Lit l) { return l & ~1u; }
+
+enum class NodeType : std::uint8_t { kConst0 = 0, kPi = 1, kAnd = 2 };
+
+class Aig {
+ public:
+  struct Node {
+    NodeType type = NodeType::kConst0;
+    Lit fanin0 = 0;  // valid for kAnd only
+    Lit fanin1 = 0;
+  };
+
+  /// Constructs with the constant-0 node only.
+  Aig();
+
+  /// Appends a primary input; returns its (plain) literal.
+  Lit add_pi();
+
+  /// AND of two existing literals, with constant propagation, identity
+  /// rules (a·a = a, a·!a = 0) and structural hashing.
+  Lit add_and(Lit a, Lit b);
+
+  /// Strash lookup without insertion: the literal an add_and(a, b) would
+  /// return if it requires no new node, or 0xffffffff if a node would be
+  /// created. Lets synthesis passes cost candidate structures without
+  /// committing them.
+  static constexpr Lit kNoLit = 0xffffffffu;
+  Lit find_and(Lit a, Lit b) const;
+
+  // Derived gates (each expands to ANDs/inverters).
+  Lit add_or(Lit a, Lit b);
+  Lit add_xor(Lit a, Lit b);
+  Lit add_xnor(Lit a, Lit b);
+  /// sel ? t : e.
+  Lit add_mux(Lit sel, Lit t, Lit e);
+  /// Majority of three.
+  Lit add_maj(Lit a, Lit b, Lit c);
+  /// AND over a span of literals, built as a balanced tree.
+  Lit add_and_multi(const std::vector<Lit>& lits);
+  Lit add_or_multi(const std::vector<Lit>& lits);
+  Lit add_xor_multi(const std::vector<Lit>& lits);
+
+  /// Registers a primary output.
+  void add_po(Lit l);
+
+  // -- Introspection ---------------------------------------------------------
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  std::int64_t num_pis() const {
+    return static_cast<std::int64_t>(pis_.size());
+  }
+  std::int64_t num_pos() const {
+    return static_cast<std::int64_t>(pos_.size());
+  }
+  /// Number of AND nodes — the paper's QoR metric ("optimized gate count").
+  std::int64_t num_ands() const { return num_ands_; }
+
+  const Node& node(NodeId id) const {
+    HOGA_CHECK(id < nodes_.size(), "node id " << id << " out of range");
+    return nodes_[id];
+  }
+  bool is_and(NodeId id) const { return node(id).type == NodeType::kAnd; }
+  bool is_pi(NodeId id) const { return node(id).type == NodeType::kPi; }
+  bool is_const0(NodeId id) const {
+    return node(id).type == NodeType::kConst0;
+  }
+
+  const std::vector<NodeId>& pis() const { return pis_; }
+  const std::vector<Lit>& pos() const { return pos_; }
+
+  /// Logic level per node (PIs/const = 0; AND = 1 + max fanin level).
+  std::vector<int> levels() const;
+  int depth() const;
+
+  /// Fanout count per node (PO references included).
+  std::vector<int> fanout_counts() const;
+
+  /// Directed structural edges fanin-node -> node for graph learning export.
+  struct EdgeRef {
+    NodeId src;
+    NodeId dst;
+    bool complemented;
+  };
+  std::vector<EdgeRef> structural_edges() const;
+
+  /// Ids of nodes in the transitive fanin cone of `root` (root included).
+  std::vector<NodeId> cone(NodeId root) const;
+
+  /// True for nodes reachable from any PO (used by DCE accounting).
+  std::vector<bool> reachable_from_pos() const;
+
+  /// AND nodes reachable from POs — QoR after implicit dead-node removal.
+  std::int64_t num_live_ands() const;
+
+  std::string stats_string(const std::string& name = "") const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<NodeId> pis_;
+  std::vector<Lit> pos_;
+  std::int64_t num_ands_ = 0;
+  // Strash table: key packs the ordered fanin pair.
+  std::unordered_map<std::uint64_t, NodeId> strash_;
+};
+
+}  // namespace hoga::aig

@@ -1,0 +1,122 @@
+#include "aig/aiger.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace hoga::aig {
+
+std::string write_aiger(const Aig& aig) {
+  // AIGER variable numbering: 0 = constant false, 1..I = inputs, then ANDs.
+  // Our node ids already satisfy "inputs and ANDs in topological order" but
+  // may interleave PIs and ANDs, so renumber.
+  const std::int64_t n = aig.num_nodes();
+  std::vector<std::uint32_t> var(static_cast<std::size_t>(n), 0);
+  std::uint32_t next = 1;
+  for (NodeId pi : aig.pis()) var[pi] = next++;
+  std::vector<NodeId> and_nodes;
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    if (aig.is_and(id)) {
+      var[id] = next++;
+      and_nodes.push_back(id);
+    }
+  }
+  auto lit_of = [&](Lit l) -> std::uint32_t {
+    return (var[lit_node(l)] << 1) | static_cast<std::uint32_t>(
+                                         lit_is_compl(l));
+  };
+
+  std::ostringstream os;
+  const std::uint32_t m = next - 1;
+  os << "aag " << m << ' ' << aig.num_pis() << " 0 " << aig.num_pos() << ' '
+     << and_nodes.size() << '\n';
+  for (NodeId pi : aig.pis()) {
+    os << (var[pi] << 1) << '\n';
+  }
+  for (Lit po : aig.pos()) {
+    os << lit_of(po) << '\n';
+  }
+  for (NodeId id : and_nodes) {
+    const auto& node = aig.node(id);
+    std::uint32_t a = lit_of(node.fanin0);
+    std::uint32_t b = lit_of(node.fanin1);
+    if (a < b) std::swap(a, b);  // AIGER requires rhs0 >= rhs1
+    os << (var[id] << 1) << ' ' << a << ' ' << b << '\n';
+  }
+  return os.str();
+}
+
+void write_aiger_file(const Aig& aig, const std::string& path) {
+  std::ofstream out(path);
+  HOGA_CHECK(out.good(), "write_aiger_file: cannot open " << path);
+  out << write_aiger(aig);
+}
+
+Aig read_aiger(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  std::uint32_t m = 0, num_in = 0, num_latch = 0, num_out = 0, num_and = 0;
+  is >> magic >> m >> num_in >> num_latch >> num_out >> num_and;
+  HOGA_CHECK(is.good() && magic == "aag",
+             "read_aiger: expected ASCII AIGER ('aag') header");
+  HOGA_CHECK(num_latch == 0, "read_aiger: latches are not supported");
+  HOGA_CHECK(m >= num_in + num_and, "read_aiger: inconsistent header");
+
+  // AIGER literal -> our literal, indexed by variable.
+  std::vector<Lit> map(static_cast<std::size_t>(m) + 1, Aig::kNoLit);
+  map[0] = kLitFalse;
+  Aig aig;
+
+  std::vector<std::uint32_t> input_lits(num_in);
+  for (auto& l : input_lits) {
+    is >> l;
+    HOGA_CHECK(is.good() && l >= 2 && (l & 1) == 0 && (l >> 1) <= m,
+               "read_aiger: bad input literal");
+    map[l >> 1] = aig.add_pi();
+  }
+  std::vector<std::uint32_t> output_lits(num_out);
+  for (auto& l : output_lits) {
+    is >> l;
+    HOGA_CHECK(is.good() && (l >> 1) <= m, "read_aiger: bad output literal");
+  }
+  struct AndDef {
+    std::uint32_t lhs, rhs0, rhs1;
+  };
+  std::vector<AndDef> defs(num_and);
+  for (auto& d : defs) {
+    is >> d.lhs >> d.rhs0 >> d.rhs1;
+    HOGA_CHECK(is.good() && (d.lhs & 1) == 0 && d.lhs >= 2 &&
+                   (d.lhs >> 1) <= m && (d.rhs0 >> 1) <= m &&
+                   (d.rhs1 >> 1) <= m,
+               "read_aiger: bad AND definition");
+  }
+  // AIGER guarantees lhs > rhs0 >= rhs1, so a pass in lhs order is
+  // topological.
+  std::sort(defs.begin(), defs.end(),
+            [](const AndDef& a, const AndDef& b) { return a.lhs < b.lhs; });
+  auto resolve = [&](std::uint32_t aiger_lit) -> Lit {
+    const Lit base = map[aiger_lit >> 1];
+    HOGA_CHECK(base != Aig::kNoLit,
+               "read_aiger: literal " << aiger_lit << " used before defined");
+    return lit_not_if(base, aiger_lit & 1);
+  };
+  for (const auto& d : defs) {
+    HOGA_CHECK(map[d.lhs >> 1] == Aig::kNoLit,
+               "read_aiger: variable " << (d.lhs >> 1) << " defined twice");
+    map[d.lhs >> 1] = aig.add_and(resolve(d.rhs0), resolve(d.rhs1));
+  }
+  for (std::uint32_t l : output_lits) {
+    aig.add_po(resolve(l));
+  }
+  return aig;
+}
+
+Aig read_aiger_file(const std::string& path) {
+  std::ifstream in(path);
+  HOGA_CHECK(in.good(), "read_aiger_file: cannot open " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return read_aiger(os.str());
+}
+
+}  // namespace hoga::aig

@@ -1,0 +1,25 @@
+#pragma once
+// ASCII AIGER ("aag") reading and writing, the interchange format used by
+// ABC, the HWMCC benchmarks, and OpenABC-D itself. Lets this library
+// exchange combinational netlists with standard EDA tools (latches are not
+// supported — the paper's pipelines are purely combinational).
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace hoga::aig {
+
+/// Serializes to ASCII AIGER. Node ids are renumbered to AIGER's
+/// convention (variables 1..M, inputs first).
+std::string write_aiger(const Aig& aig);
+void write_aiger_file(const Aig& aig, const std::string& path);
+
+/// Parses ASCII AIGER ("aag" header). Throws std::runtime_error on
+/// malformed input or if latches are present. AND definitions may appear
+/// in any topological-consistent order (AIGER guarantees LHS > RHS).
+Aig read_aiger(const std::string& text);
+Aig read_aiger_file(const std::string& path);
+
+}  // namespace hoga::aig

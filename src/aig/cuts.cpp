@@ -1,0 +1,112 @@
+#include "aig/cuts.hpp"
+
+#include <algorithm>
+
+namespace hoga::aig {
+namespace {
+
+// Merged sorted leaf union, or empty if it would exceed k.
+bool merge_leaves(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
+                  int k, std::vector<NodeId>& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    NodeId next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) ++j;
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    out.push_back(next);
+    if (static_cast<int>(out.size()) > k) return false;
+  }
+  return true;
+}
+
+bool is_subset(const std::vector<NodeId>& small,
+               const std::vector<NodeId>& big) {
+  std::size_t i = 0;
+  for (NodeId v : big) {
+    if (i < small.size() && small[i] == v) ++i;
+  }
+  return i == small.size();
+}
+
+}  // namespace
+
+std::vector<std::vector<Cut>> enumerate_cuts(const Aig& aig,
+                                             const CutParams& params) {
+  HOGA_CHECK(params.k >= 2 && params.k <= kMaxTtVars,
+             "enumerate_cuts: k must be in [2, 6]");
+  const std::int64_t n = aig.num_nodes();
+  std::vector<std::vector<Cut>> cuts(static_cast<std::size_t>(n));
+
+  std::vector<NodeId> merged;
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    if (aig.is_const0(id)) {
+      cuts[id].push_back(Cut{{}, 0});  // constant function, no leaves
+      continue;
+    }
+    if (aig.is_pi(id)) {
+      cuts[id].push_back(Cut{{id}, tt_var(0)});
+      continue;
+    }
+    const auto& node = aig.node(id);
+    const NodeId f0 = lit_node(node.fanin0);
+    const NodeId f1 = lit_node(node.fanin1);
+    const bool c0 = lit_is_compl(node.fanin0);
+    const bool c1 = lit_is_compl(node.fanin1);
+    std::vector<Cut>& my = cuts[id];
+    for (const Cut& cut0 : cuts[f0]) {
+      for (const Cut& cut1 : cuts[f1]) {
+        if (!merge_leaves(cut0.leaves, cut1.leaves, params.k, merged)) {
+          continue;
+        }
+        const int nv = static_cast<int>(merged.size());
+        Tt t0 = tt_expand(cut0.tt, cut0.leaves, merged);
+        Tt t1 = tt_expand(cut1.tt, cut1.leaves, merged);
+        if (c0) t0 = tt_not(t0, nv);
+        if (c1) t1 = tt_not(t1, nv);
+        Cut cut{merged, t0 & t1 & tt_mask(nv)};
+        // Skip duplicates and dominated cuts; drop existing cuts dominated
+        // by the new one.
+        bool skip = false;
+        for (const Cut& ex : my) {
+          if (is_subset(ex.leaves, cut.leaves)) {
+            skip = true;
+            break;
+          }
+        }
+        if (skip) continue;
+        my.erase(std::remove_if(my.begin(), my.end(),
+                                [&](const Cut& ex) {
+                                  return is_subset(cut.leaves, ex.leaves);
+                                }),
+                 my.end());
+        my.push_back(std::move(cut));
+        if (static_cast<int>(my.size()) > params.max_cuts * 2) {
+          // Over-full: keep the smallest cuts.
+          std::sort(my.begin(), my.end(), [](const Cut& a, const Cut& b) {
+            return a.size() < b.size();
+          });
+          my.resize(static_cast<std::size_t>(params.max_cuts));
+        }
+      }
+    }
+    std::sort(my.begin(), my.end(), [](const Cut& a, const Cut& b) {
+      return a.size() < b.size();
+    });
+    if (static_cast<int>(my.size()) > params.max_cuts) {
+      my.resize(static_cast<std::size_t>(params.max_cuts));
+    }
+    // Trivial cut last (never pruned) so callers can always identify the node
+    // with itself.
+    my.push_back(Cut{{id}, tt_var(0)});
+  }
+  return cuts;
+}
+
+}  // namespace hoga::aig

@@ -1,0 +1,33 @@
+#pragma once
+// k-feasible cut enumeration with truth tables, the workhorse behind the
+// functional XOR/MAJ labeler, the rewrite pass, and the LUT mapper.
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/truth.hpp"
+
+namespace hoga::aig {
+
+struct Cut {
+  /// Sorted node ids of the cut leaves (size <= k).
+  std::vector<NodeId> leaves;
+  /// Function of the (non-complemented) root node over the leaves.
+  Tt tt = 0;
+
+  int size() const { return static_cast<int>(leaves.size()); }
+};
+
+struct CutParams {
+  int k = 4;          // max leaves per cut
+  int max_cuts = 8;   // cuts retained per node (smallest first)
+};
+
+/// Cuts per node, indexed by node id. PIs and const-0 get their trivial cut.
+/// Every AND node additionally keeps its trivial cut {node} last so callers
+/// can always find the identity. Dominated (superset) cuts are pruned.
+std::vector<std::vector<Cut>> enumerate_cuts(const Aig& aig,
+                                             const CutParams& params = {});
+
+}  // namespace hoga::aig

@@ -1,0 +1,61 @@
+#include "aig/dot.hpp"
+
+#include <sstream>
+
+namespace hoga::aig {
+
+std::string to_dot(const Aig& aig, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph aig {\n  rankdir=BT;\n";
+  const std::int64_t limit =
+      options.max_nodes > 0 ? std::min(options.max_nodes, aig.num_nodes())
+                            : aig.num_nodes();
+  for (NodeId id = 0; id < static_cast<NodeId>(limit); ++id) {
+    std::string label;
+    std::string shape = "ellipse";
+    if (aig.is_const0(id)) {
+      label = "0";
+      shape = "box";
+    } else if (aig.is_pi(id)) {
+      label = "i" + std::to_string(id);
+      shape = "triangle";
+    } else {
+      label = "n" + std::to_string(id);
+    }
+    if (options.node_label) {
+      const std::string extra = options.node_label(id);
+      if (!extra.empty()) label += "\\n" + extra;
+    }
+    os << "  n" << id << " [label=\"" << label << "\", shape=" << shape;
+    if (options.node_color) {
+      const std::string color = options.node_color(id);
+      if (!color.empty()) {
+        os << ", style=filled, fillcolor=" << color;
+      }
+    }
+    os << "];\n";
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(limit); ++id) {
+    if (!aig.is_and(id)) continue;
+    const auto& n = aig.node(id);
+    for (Lit f : {n.fanin0, n.fanin1}) {
+      if (static_cast<std::int64_t>(lit_node(f)) >= limit) continue;
+      os << "  n" << lit_node(f) << " -> n" << id;
+      if (lit_is_compl(f)) os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+  // PO markers.
+  for (std::size_t i = 0; i < aig.pos().size(); ++i) {
+    const Lit po = aig.pos()[i];
+    if (static_cast<std::int64_t>(lit_node(po)) >= limit) continue;
+    os << "  o" << i << " [label=\"o" << i << "\", shape=invtriangle];\n";
+    os << "  n" << lit_node(po) << " -> o" << i;
+    if (lit_is_compl(po)) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hoga::aig

@@ -1,0 +1,24 @@
+#pragma once
+// Graphviz DOT export for AIGs — debugging and documentation aid. Inverted
+// edges are drawn dashed (the usual AIG convention); optional per-node
+// labels let callers color by functional class or attention weight.
+
+#include <functional>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace hoga::aig {
+
+struct DotOptions {
+  /// Extra label per node (appended to the id); empty = none.
+  std::function<std::string(NodeId)> node_label;
+  /// Fill color per node (X11 color name); empty = default.
+  std::function<std::string(NodeId)> node_color;
+  /// Cap on nodes to emit (0 = unlimited); large graphs are unreadable.
+  std::int64_t max_nodes = 2000;
+};
+
+std::string to_dot(const Aig& aig, const DotOptions& options = {});
+
+}  // namespace hoga::aig

@@ -1,0 +1,98 @@
+#include "aig/simulate.hpp"
+
+namespace hoga::aig {
+
+std::vector<std::uint64_t> simulate_words(
+    const Aig& aig, const std::vector<std::uint64_t>& pi_words) {
+  HOGA_CHECK(static_cast<std::int64_t>(pi_words.size()) == aig.num_pis(),
+             "simulate_words: need one word per PI");
+  std::vector<std::uint64_t> sim(static_cast<std::size_t>(aig.num_nodes()), 0);
+  const auto& pis = aig.pis();
+  for (std::size_t i = 0; i < pis.size(); ++i) sim[pis[i]] = pi_words[i];
+  for (NodeId id = 0; id < static_cast<NodeId>(aig.num_nodes()); ++id) {
+    const auto& n = aig.node(id);
+    if (n.type != NodeType::kAnd) continue;
+    std::uint64_t a = sim[lit_node(n.fanin0)];
+    std::uint64_t b = sim[lit_node(n.fanin1)];
+    if (lit_is_compl(n.fanin0)) a = ~a;
+    if (lit_is_compl(n.fanin1)) b = ~b;
+    sim[id] = a & b;
+  }
+  return sim;
+}
+
+std::vector<std::uint64_t> simulate_outputs(
+    const Aig& aig, const std::vector<std::uint64_t>& pi_words) {
+  const auto sim = simulate_words(aig, pi_words);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(aig.num_pos()));
+  for (Lit po : aig.pos()) {
+    std::uint64_t v = sim[lit_node(po)];
+    if (lit_is_compl(po)) v = ~v;
+    out.push_back(v);
+  }
+  return out;
+}
+
+bool random_equivalent(const Aig& a, const Aig& b, Rng& rng, int rounds) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(a.num_pis()));
+  for (int r = 0; r < rounds; ++r) {
+    for (auto& w : words) w = rng.next_u64();
+    if (simulate_outputs(a, words) != simulate_outputs(b, words)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool exhaustive_equivalent(const Aig& a, const Aig& b) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) return false;
+  const int n = static_cast<int>(a.num_pis());
+  HOGA_CHECK(n <= 16, "exhaustive_equivalent: too many PIs (" << n << ")");
+  const std::uint64_t patterns = std::uint64_t{1} << n;
+  const std::uint64_t words = (patterns + 63) / 64;
+  std::vector<std::uint64_t> pi_words(static_cast<std::size_t>(n));
+  for (std::uint64_t w = 0; w < words; ++w) {
+    // Pattern index = w * 64 + bit; PI i takes bit i of the pattern index.
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t word = 0;
+      for (int bit = 0; bit < 64; ++bit) {
+        const std::uint64_t pattern = w * 64 + static_cast<std::uint64_t>(bit);
+        if (pattern < patterns && ((pattern >> i) & 1)) {
+          word |= std::uint64_t{1} << bit;
+        }
+      }
+      pi_words[static_cast<std::size_t>(i)] = word;
+    }
+    auto oa = simulate_outputs(a, pi_words);
+    auto ob = simulate_outputs(b, pi_words);
+    if (patterns >= 64 && patterns - w * 64 >= 64) {
+      if (oa != ob) return false;
+    } else {
+      const std::uint64_t valid = patterns - w * 64;
+      const std::uint64_t mask =
+          valid >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << valid) - 1);
+      for (std::size_t p = 0; p < oa.size(); ++p) {
+        if ((oa[p] & mask) != (ob[p] & mask)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t evaluate(const Aig& aig, std::uint64_t pi_values) {
+  HOGA_CHECK(aig.num_pos() <= 64, "evaluate: more than 64 POs");
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(aig.num_pis()));
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = ((pi_values >> i) & 1) ? ~std::uint64_t{0} : 0;
+  }
+  const auto out = simulate_outputs(aig, words);
+  std::uint64_t result = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] & 1) result |= std::uint64_t{1} << i;
+  }
+  return result;
+}
+
+}  // namespace hoga::aig

@@ -1,0 +1,35 @@
+#pragma once
+// Bit-parallel AIG simulation and equivalence checking. Every synthesis and
+// mapping pass in this repo is verified against these checks in the test
+// suite (random and, for small circuits, exhaustive).
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::aig {
+
+/// Simulates one 64-pattern word per node. pi_words[i] drives pis()[i].
+/// Returns a word per node id (const-0 node is all zeros).
+std::vector<std::uint64_t> simulate_words(
+    const Aig& aig, const std::vector<std::uint64_t>& pi_words);
+
+/// Output words (one per PO) for the given PI words.
+std::vector<std::uint64_t> simulate_outputs(
+    const Aig& aig, const std::vector<std::uint64_t>& pi_words);
+
+/// Random simulation equivalence: same #PIs/#POs and identical outputs on
+/// `rounds` random 64-pattern words. Sound only probabilistically.
+bool random_equivalent(const Aig& a, const Aig& b, Rng& rng, int rounds = 16);
+
+/// Exhaustive equivalence for up to 16 PIs (2^n patterns).
+bool exhaustive_equivalent(const Aig& a, const Aig& b);
+
+/// Evaluates the circuit on a single integer input assignment:
+/// bit i of `pi_values` drives pis()[i]. Returns PO bits packed into a
+/// uint64 (num_pos() <= 64).
+std::uint64_t evaluate(const Aig& aig, std::uint64_t pi_values);
+
+}  // namespace hoga::aig

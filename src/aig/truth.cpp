@@ -1,0 +1,119 @@
+#include "aig/truth.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace hoga::aig {
+namespace {
+
+// Classic bit-parallel variable projections for 6-var tables.
+constexpr Tt kVarMasks[6] = {
+    0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+    0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+};
+
+}  // namespace
+
+Tt tt_var(int var) {
+  HOGA_CHECK(var >= 0 && var < kMaxTtVars, "tt_var: var out of range");
+  return kVarMasks[var];
+}
+
+bool tt_equal(Tt a, Tt b, int nvars) {
+  const Tt m = tt_mask(nvars);
+  return (a & m) == (b & m);
+}
+
+Tt tt_not(Tt a, int nvars) { return ~a & tt_mask(nvars); }
+
+Tt tt_flip_input(Tt t, int var) {
+  HOGA_CHECK(var >= 0 && var < kMaxTtVars, "tt_flip_input: var out of range");
+  const Tt m = kVarMasks[var];
+  const int shift = 1 << var;
+  return ((t & m) >> shift) | ((t & ~m) << shift);
+}
+
+int tt_count_ones(Tt t, int nvars) {
+  return std::popcount(t & tt_mask(nvars));
+}
+
+bool tt_has_var(Tt t, int var, int nvars) {
+  const Tt m = tt_mask(nvars);
+  return ((t ^ tt_flip_input(t, var)) & m) != 0;
+}
+
+Tt tt_cofactor0(Tt t, int var) {
+  const Tt m = kVarMasks[var];
+  const int shift = 1 << var;
+  const Tt lo = t & ~m;
+  return lo | (lo << shift);
+}
+
+Tt tt_cofactor1(Tt t, int var) {
+  const Tt m = kVarMasks[var];
+  const int shift = 1 << var;
+  const Tt hi = t & m;
+  return hi | (hi >> shift);
+}
+
+Tt tt_expand(Tt t, const std::vector<std::uint32_t>& old_support,
+             const std::vector<std::uint32_t>& new_support) {
+  HOGA_CHECK(old_support.size() <= 6 && new_support.size() <= 6,
+             "tt_expand: support too large");
+  // Map each old variable position to its position in new_support, then
+  // rebuild the table minterm by minterm. Tables are tiny (<= 64 bits), so
+  // the simple loop is plenty fast.
+  std::vector<int> pos(old_support.size());
+  for (std::size_t i = 0; i < old_support.size(); ++i) {
+    int p = -1;
+    for (std::size_t j = 0; j < new_support.size(); ++j) {
+      if (new_support[j] == old_support[i]) {
+        p = static_cast<int>(j);
+        break;
+      }
+    }
+    HOGA_CHECK(p >= 0, "tt_expand: old support var missing from new support");
+    pos[i] = p;
+  }
+  const int new_n = static_cast<int>(new_support.size());
+  Tt out = 0;
+  for (int m = 0; m < (1 << new_n); ++m) {
+    int old_m = 0;
+    for (std::size_t i = 0; i < old_support.size(); ++i) {
+      if (m & (1 << pos[i])) old_m |= 1 << static_cast<int>(i);
+    }
+    if (t & (Tt{1} << old_m)) out |= Tt{1} << m;
+  }
+  return out;
+}
+
+Tt tt_xor3() {
+  return tt_var(0) ^ tt_var(1) ^ tt_var(2);
+}
+
+Tt tt_maj3() {
+  const Tt a = tt_var(0), b = tt_var(1), c = tt_var(2);
+  return (a & b) | (a & c) | (b & c);
+}
+
+bool tt_matches_up_to_phase3(Tt t, Tt target) {
+  for (int phases = 0; phases < 8; ++phases) {
+    Tt v = target;
+    for (int var = 0; var < 3; ++var) {
+      if (phases & (1 << var)) v = tt_flip_input(v, var);
+    }
+    if (tt_equal(t, v, 3) || tt_equal(t, tt_not(v, 3), 3)) return true;
+  }
+  return false;
+}
+
+int tt_support_size(Tt t, int nvars) {
+  int count = 0;
+  for (int v = 0; v < nvars; ++v) {
+    if (tt_has_var(t, v, nvars)) ++count;
+  }
+  return count;
+}
+
+}  // namespace hoga::aig

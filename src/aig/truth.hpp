@@ -1,0 +1,62 @@
+#pragma once
+// Truth-table manipulation for small functions (up to 6 inputs in a 64-bit
+// word). Used by cut enumeration, the functional XOR/MAJ labeler (Gamora's
+// ground truth), rewrite/refactor gain evaluation, and LUT re-decomposition
+// in the technology-mapping substitute.
+
+#include <cstdint>
+#include <vector>
+
+namespace hoga::aig {
+
+using Tt = std::uint64_t;
+
+constexpr int kMaxTtVars = 6;
+
+/// Low 2^nvars bits set.
+constexpr Tt tt_mask(int nvars) {
+  return nvars >= kMaxTtVars ? ~Tt{0} : ((Tt{1} << (1u << nvars)) - 1);
+}
+
+/// Truth table of projection x_var among nvars variables.
+Tt tt_var(int var);
+
+/// Equality under the nvars mask.
+bool tt_equal(Tt a, Tt b, int nvars);
+
+Tt tt_not(Tt a, int nvars);
+
+/// Cofactor swap: f with input `var` complemented.
+Tt tt_flip_input(Tt t, int var);
+
+/// Number of minterms (ones) within the nvars mask.
+int tt_count_ones(Tt t, int nvars);
+
+/// True if t does not depend on variable var.
+bool tt_has_var(Tt t, int var, int nvars);
+
+/// Positive/negative cofactor with respect to var (result still expressed
+/// over the same variable set; var becomes a don't-care).
+Tt tt_cofactor0(Tt t, int var);
+Tt tt_cofactor1(Tt t, int var);
+
+/// Re-expresses a truth table defined over `old_support` (sorted ids) on a
+/// superset `new_support` (sorted ids). Each element of old_support must
+/// appear in new_support; both sizes <= 6.
+Tt tt_expand(Tt t, const std::vector<std::uint32_t>& old_support,
+             const std::vector<std::uint32_t>& new_support);
+
+/// XOR3 reference: x0 ^ x1 ^ x2 over 3 vars.
+Tt tt_xor3();
+/// MAJ3 reference: majority(x0, x1, x2).
+Tt tt_maj3();
+
+/// True if t (over 3 vars) equals `target` under any combination of input
+/// complementations and output complementation. Both XOR3 and MAJ3 are
+/// fully symmetric, so input permutations need not be enumerated.
+bool tt_matches_up_to_phase3(Tt t, Tt target);
+
+/// Actual support size of t over nvars candidates.
+int tt_support_size(Tt t, int nvars);
+
+}  // namespace hoga::aig

@@ -1,0 +1,76 @@
+#include "autograd/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "autograd/ops.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace hoga::ag {
+
+GradCheckResult grad_check(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    const std::vector<Variable>& inputs, float eps, float atol, float rtol) {
+  GradCheckResult result;
+
+  // Deterministic weighting tensor turns a non-scalar output into a scalar:
+  // s = sum_i w_i * out_i with w_i = sin(i + 1) so every output element
+  // influences the loss distinctly.
+  auto weighted_sum = [](const Variable& out) {
+    Tensor w(out.shape());
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      w.data()[i] = std::sin(static_cast<float>(i) + 1.f);
+    }
+    return sum_all(mul_const(out, w));
+  };
+
+  // Analytic gradients.
+  for (const auto& in : inputs) {
+    HOGA_CHECK(in.requires_grad(), "grad_check: all inputs need grad");
+    in.node()->grad = Tensor();
+  }
+  Variable loss = weighted_sum(f(inputs));
+  loss.backward();
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (const auto& in : inputs) analytic.push_back(in.grad().clone());
+
+  // Numeric gradients via central differences.
+  auto eval = [&]() -> double {
+    Variable out = weighted_sum(f(inputs));
+    return out.value().data()[0];
+  };
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    Tensor& x = inputs[t].node()->value;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      const float orig = x.data()[i];
+      x.data()[i] = orig + eps;
+      const double up = eval();
+      x.data()[i] = orig - eps;
+      const double down = eval();
+      x.data()[i] = orig;
+      const float numeric = static_cast<float>((up - down) / (2.0 * eps));
+      const float exact = analytic[t].data()[i];
+      const float abs_err = std::fabs(numeric - exact);
+      const float rel_err =
+          abs_err / std::max(1e-4f, std::max(std::fabs(numeric),
+                                             std::fabs(exact)));
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (abs_err > atol && rel_err > rtol) {
+        result.ok = false;
+        if (result.detail.empty()) {
+          std::ostringstream os;
+          os << "input " << t << " element " << i << ": analytic " << exact
+             << " vs numeric " << numeric;
+          result.detail = os.str();
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hoga::ag

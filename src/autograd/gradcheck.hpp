@@ -1,0 +1,27 @@
+#pragma once
+// Finite-difference gradient checking for autograd ops; used heavily in the
+// test suite to verify every backward rule.
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace hoga::ag {
+
+struct GradCheckResult {
+  bool ok = true;
+  float max_abs_error = 0.f;
+  float max_rel_error = 0.f;
+  std::string detail;  // populated on failure
+};
+
+/// Checks d(sum-weighted scalar of f(inputs)) / d(inputs) against central
+/// differences. `f` must return a Variable built only from the given inputs
+/// and constants; all inputs must have requires_grad = true.
+GradCheckResult grad_check(
+    const std::function<Variable(const std::vector<Variable>&)>& f,
+    const std::vector<Variable>& inputs, float eps = 1e-3f,
+    float atol = 2e-2f, float rtol = 5e-2f);
+
+}  // namespace hoga::ag

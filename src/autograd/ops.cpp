@@ -1,0 +1,492 @@
+#include "autograd/ops.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace hoga::ag {
+namespace to = ::hoga::tensor_ops;
+
+namespace {
+
+// Reduces a gradient of lhs-shape down to the (suffix-broadcast) rhs shape by
+// summing over the leading period.
+Tensor reduce_to_shape(const Tensor& g, const Shape& target) {
+  if (g.shape() == target) return g;
+  const std::int64_t period = shape_numel(target);
+  HOGA_CHECK(period > 0 && g.numel() % period == 0,
+             "reduce_to_shape: incompatible shapes");
+  Tensor out(target);
+  const float* pg = g.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < g.numel(); ++i) po[i % period] += pg[i];
+  return out;
+}
+
+}  // namespace
+
+Variable constant(Tensor t) { return Variable(std::move(t), false); }
+
+Variable add(const Variable& a, const Variable& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::make_result(
+      to::add(a.value(), b.value()), {an, bn}, [an, bn](Node& n) {
+        if (an->requires_grad) an->accumulate_grad(n.grad);
+        if (bn->requires_grad) {
+          bn->accumulate_grad(reduce_to_shape(n.grad, bn->value.shape()));
+        }
+      });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::make_result(
+      to::sub(a.value(), b.value()), {an, bn}, [an, bn](Node& n) {
+        if (an->requires_grad) an->accumulate_grad(n.grad);
+        if (bn->requires_grad) {
+          bn->accumulate_grad(
+              to::neg(reduce_to_shape(n.grad, bn->value.shape())));
+        }
+      });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::make_result(
+      to::mul(a.value(), b.value()), {an, bn}, [an, bn](Node& n) {
+        if (an->requires_grad) {
+          an->accumulate_grad(to::mul(n.grad, bn->value));
+        }
+        if (bn->requires_grad) {
+          bn->accumulate_grad(reduce_to_shape(to::mul(n.grad, an->value),
+                                              bn->value.shape()));
+        }
+      });
+}
+
+Variable add_scalar(const Variable& a, float s) {
+  auto an = a.node();
+  return Variable::make_result(to::add_scalar(a.value(), s), {an},
+                               [an](Node& n) { an->accumulate_grad(n.grad); });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  auto an = a.node();
+  return Variable::make_result(
+      to::mul_scalar(a.value(), s), {an},
+      [an, s](Node& n) { an->accumulate_grad(to::mul_scalar(n.grad, s)); });
+}
+
+Variable neg(const Variable& a) { return mul_scalar(a, -1.f); }
+
+Variable relu(const Variable& a) {
+  auto an = a.node();
+  Tensor mask = to::relu_mask(a.value());
+  return Variable::make_result(to::relu(a.value()), {an},
+                               [an, mask](Node& n) {
+                                 an->accumulate_grad(to::mul(n.grad, mask));
+                               });
+}
+
+Variable sigmoid(const Variable& a) {
+  auto an = a.node();
+  Tensor y = to::sigmoid(a.value());
+  return Variable::make_result(y, {an}, [an, y](Node& n) {
+    // dy/dx = y (1 - y)
+    Tensor d = to::mul(y, to::add_scalar(to::neg(y), 1.f));
+    an->accumulate_grad(to::mul(n.grad, d));
+  });
+}
+
+Variable tanh(const Variable& a) {
+  auto an = a.node();
+  Tensor y = to::tanh(a.value());
+  return Variable::make_result(y, {an}, [an, y](Node& n) {
+    Tensor d = to::add_scalar(to::neg(to::mul(y, y)), 1.f);
+    an->accumulate_grad(to::mul(n.grad, d));
+  });
+}
+
+Variable exp(const Variable& a) {
+  auto an = a.node();
+  Tensor y = to::exp(a.value());
+  return Variable::make_result(y, {an}, [an, y](Node& n) {
+    an->accumulate_grad(to::mul(n.grad, y));
+  });
+}
+
+Variable log(const Variable& a) {
+  auto an = a.node();
+  Tensor x = a.value();
+  return Variable::make_result(to::log(x), {an}, [an, x](Node& n) {
+    an->accumulate_grad(to::div(n.grad, x));
+  });
+}
+
+Variable mul_const(const Variable& a, const Tensor& mask) {
+  auto an = a.node();
+  Tensor m = mask;
+  return Variable::make_result(to::mul(a.value(), m), {an}, [an, m](Node& n) {
+    an->accumulate_grad(to::mul(n.grad, m));
+  });
+}
+
+Variable dropout(const Variable& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.f) return a;
+  HOGA_CHECK(p < 1.f, "dropout: p must be < 1");
+  Tensor mask(a.shape());
+  const float scale = 1.f / (1.f - p);
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    mask.data()[i] = rng.bernoulli(p) ? 0.f : scale;
+  }
+  return mul_const(a, mask);
+}
+
+Variable matmul(const Variable& a, const Variable& b, bool trans_a,
+                bool trans_b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::make_result(
+      to::matmul(a.value(), b.value(), trans_a, trans_b), {an, bn},
+      [an, bn, trans_a, trans_b](Node& n) {
+        const Tensor& g = n.grad;
+        if (an->requires_grad) {
+          Tensor da = trans_a ? to::matmul(bn->value, g, trans_b, true)
+                              : to::matmul(g, bn->value, false, !trans_b);
+          an->accumulate_grad(da);
+        }
+        if (bn->requires_grad) {
+          Tensor db = trans_b ? to::matmul(g, an->value, true, trans_a)
+                              : to::matmul(an->value, g, !trans_a, false);
+          bn->accumulate_grad(db);
+        }
+      });
+}
+
+Variable bmm(const Variable& a, const Variable& b, bool trans_a,
+             bool trans_b) {
+  auto an = a.node();
+  auto bn = b.node();
+  return Variable::make_result(
+      to::bmm(a.value(), b.value(), trans_a, trans_b), {an, bn},
+      [an, bn, trans_a, trans_b](Node& n) {
+        const Tensor& g = n.grad;
+        if (an->requires_grad) {
+          Tensor da = trans_a ? to::bmm(bn->value, g, trans_b, true)
+                              : to::bmm(g, bn->value, false, !trans_b);
+          an->accumulate_grad(da);
+        }
+        if (bn->requires_grad) {
+          Tensor db = trans_b ? to::bmm(g, an->value, true, trans_a)
+                              : to::bmm(an->value, g, !trans_a, false);
+          bn->accumulate_grad(db);
+        }
+      });
+}
+
+Variable reshape(const Variable& a, Shape new_shape) {
+  auto an = a.node();
+  Shape orig = a.shape();
+  return Variable::make_result(a.value().reshape(std::move(new_shape)), {an},
+                               [an, orig](Node& n) {
+                                 an->accumulate_grad(n.grad.reshape(orig));
+                               });
+}
+
+Variable concat_cols(const std::vector<Variable>& parts) {
+  HOGA_CHECK(!parts.empty(), "concat_cols: empty input");
+  std::vector<Tensor> vals;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::vector<std::int64_t> widths;
+  for (const auto& p : parts) {
+    vals.push_back(p.value());
+    parents.push_back(p.node());
+    widths.push_back(p.value().size(1));
+  }
+  return Variable::make_result(
+      to::concat_cols(vals), parents, [widths](Node& n) {
+        std::int64_t lo = 0;
+        for (std::size_t i = 0; i < n.parents.size(); ++i) {
+          const std::int64_t hi = lo + widths[i];
+          if (n.parents[i]->requires_grad) {
+            n.parents[i]->accumulate_grad(to::slice_cols(n.grad, lo, hi));
+          }
+          lo = hi;
+        }
+      });
+}
+
+Variable slice_cols(const Variable& a, std::int64_t lo, std::int64_t hi) {
+  auto an = a.node();
+  return Variable::make_result(
+      to::slice_cols(a.value(), lo, hi), {an}, [an, lo, hi](Node& n) {
+        Tensor g = Tensor::zeros(an->value.shape());
+        const std::int64_t d = an->value.size(1);
+        const std::int64_t w = hi - lo;
+        for (std::int64_t i = 0; i < an->value.size(0); ++i) {
+          for (std::int64_t j = 0; j < w; ++j) {
+            g.data()[i * d + lo + j] = n.grad.data()[i * w + j];
+          }
+        }
+        an->accumulate_grad(g);
+      });
+}
+
+Variable concat_rows(const std::vector<Variable>& parts) {
+  HOGA_CHECK(!parts.empty(), "concat_rows: empty input");
+  std::vector<Tensor> vals;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::vector<std::int64_t> rows;
+  for (const auto& p : parts) {
+    vals.push_back(p.value());
+    parents.push_back(p.node());
+    rows.push_back(p.value().size(0));
+  }
+  return Variable::make_result(
+      to::concat_rows(vals), parents, [rows](Node& n) {
+        std::int64_t lo = 0;
+        for (std::size_t i = 0; i < n.parents.size(); ++i) {
+          const std::int64_t hi = lo + rows[i];
+          if (n.parents[i]->requires_grad) {
+            n.parents[i]->accumulate_grad(
+                to::slice_rows(n.grad, lo, hi).reshape(
+                    n.parents[i]->value.shape()));
+          }
+          lo = hi;
+        }
+      });
+}
+
+Variable slice_rows(const Variable& a, std::int64_t lo, std::int64_t hi) {
+  auto an = a.node();
+  return Variable::make_result(
+      to::slice_rows(a.value(), lo, hi), {an}, [an, lo, hi](Node& n) {
+        Tensor g = Tensor::zeros(an->value.shape());
+        const std::int64_t stride =
+            an->value.numel() / std::max<std::int64_t>(1, an->value.size(0));
+        std::copy(n.grad.data(), n.grad.data() + n.grad.numel(),
+                  g.data() + lo * stride);
+        (void)hi;
+        an->accumulate_grad(g);
+      });
+}
+
+Variable gather_rows(const Variable& a, std::vector<std::int64_t> idx) {
+  auto an = a.node();
+  auto idx_ptr = std::make_shared<std::vector<std::int64_t>>(std::move(idx));
+  return Variable::make_result(
+      to::gather_rows(a.value(), *idx_ptr), {an}, [an, idx_ptr](Node& n) {
+        Tensor g = Tensor::zeros(an->value.shape());
+        to::scatter_add_rows(g, *idx_ptr, n.grad);
+        an->accumulate_grad(g);
+      });
+}
+
+Variable softmax_lastdim(const Variable& a) {
+  auto an = a.node();
+  Tensor y = to::softmax_lastdim(a.value());
+  return Variable::make_result(y, {an}, [an, y](Node& n) {
+    // dx = y * (g - sum(g * y, lastdim))
+    const std::int64_t d = y.size(-1);
+    const std::int64_t outer = y.numel() / d;
+    Tensor dx(y.shape());
+    for (std::int64_t i = 0; i < outer; ++i) {
+      const float* py = y.data() + i * d;
+      const float* pg = n.grad.data() + i * d;
+      float* pd = dx.data() + i * d;
+      double dot = 0;
+      for (std::int64_t j = 0; j < d; ++j) dot += pg[j] * py[j];
+      for (std::int64_t j = 0; j < d; ++j) {
+        pd[j] = py[j] * (pg[j] - static_cast<float>(dot));
+      }
+    }
+    an->accumulate_grad(dx);
+  });
+}
+
+Variable layer_norm_lastdim(const Variable& a, float eps) {
+  auto an = a.node();
+  auto r = to::layer_norm_lastdim(a.value(), eps);
+  Tensor y = r.y;
+  Tensor rstd = r.rstd;
+  return Variable::make_result(y, {an}, [an, y, rstd](Node& n) {
+    // dx = rstd * (g - mean(g) - y * mean(g * y)) per row.
+    const std::int64_t d = y.size(-1);
+    const std::int64_t outer = y.numel() / d;
+    Tensor dx(y.shape());
+    for (std::int64_t i = 0; i < outer; ++i) {
+      const float* py = y.data() + i * d;
+      const float* pg = n.grad.data() + i * d;
+      float* pd = dx.data() + i * d;
+      double gsum = 0, gysum = 0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        gsum += pg[j];
+        gysum += pg[j] * py[j];
+      }
+      const float gmean = static_cast<float>(gsum / d);
+      const float gymean = static_cast<float>(gysum / d);
+      const float rs = rstd.data()[i];
+      for (std::int64_t j = 0; j < d; ++j) {
+        pd[j] = rs * (pg[j] - gmean - py[j] * gymean);
+      }
+    }
+    an->accumulate_grad(dx);
+  });
+}
+
+Variable sum_all(const Variable& a) {
+  auto an = a.node();
+  Tensor out({1});
+  out.data()[0] = to::sum_all(a.value());
+  return Variable::make_result(out, {an}, [an](Node& n) {
+    an->accumulate_grad(
+        Tensor::full(an->value.shape(), n.grad.data()[0]));
+  });
+}
+
+Variable mean_all(const Variable& a) {
+  const float inv = 1.f / static_cast<float>(a.numel());
+  return mul_scalar(sum_all(a), inv);
+}
+
+Variable mean_axis0(const Variable& a) {
+  auto an = a.node();
+  HOGA_CHECK(a.value().dim() == 2, "mean_axis0: need 2-D");
+  const std::int64_t n_rows = a.size(0);
+  Tensor out = to::mul_scalar(to::sum_axis0(a.value()),
+                              1.f / static_cast<float>(n_rows));
+  return Variable::make_result(out, {an}, [an, n_rows](Node& n) {
+    const std::int64_t d = an->value.size(1);
+    Tensor g(an->value.shape());
+    const float inv = 1.f / static_cast<float>(n_rows);
+    for (std::int64_t i = 0; i < n_rows; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        g.data()[i * d + j] = n.grad.data()[j] * inv;
+      }
+    }
+    an->accumulate_grad(g);
+  });
+}
+
+Variable max_axis0(const Variable& a) {
+  auto an = a.node();
+  HOGA_CHECK(a.value().dim() == 2 && a.size(0) > 0, "max_axis0: need 2-D");
+  const std::int64_t n_rows = a.size(0), d = a.size(1);
+  Tensor out({d});
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(d, 0);
+  for (std::int64_t j = 0; j < d; ++j) {
+    float best = a.value().data()[j];
+    for (std::int64_t i = 1; i < n_rows; ++i) {
+      const float v = a.value().data()[i * d + j];
+      if (v > best) {
+        best = v;
+        (*argmax)[j] = i;
+      }
+    }
+    out.data()[j] = best;
+  }
+  return Variable::make_result(out, {an}, [an, argmax](Node& n) {
+    const std::int64_t d = an->value.size(1);
+    Tensor g = Tensor::zeros(an->value.shape());
+    for (std::int64_t j = 0; j < d; ++j) {
+      g.data()[(*argmax)[j] * d + j] = n.grad.data()[j];
+    }
+    an->accumulate_grad(g);
+  });
+}
+
+Variable mse_loss(const Variable& pred, const Tensor& target) {
+  auto an = pred.node();
+  HOGA_CHECK(pred.value().shape() == target.shape(),
+             "mse_loss: shape mismatch");
+  Tensor diff = to::sub(pred.value(), target);
+  Tensor out({1});
+  double s = 0;
+  for (std::int64_t i = 0; i < diff.numel(); ++i) {
+    s += static_cast<double>(diff.data()[i]) * diff.data()[i];
+  }
+  out.data()[0] = static_cast<float>(s / diff.numel());
+  return Variable::make_result(out, {an}, [an, diff](Node& n) {
+    const float scale = 2.f * n.grad.data()[0] / diff.numel();
+    an->accumulate_grad(to::mul_scalar(diff, scale));
+  });
+}
+
+Variable mae_loss(const Variable& pred, const Tensor& target) {
+  auto an = pred.node();
+  HOGA_CHECK(pred.value().shape() == target.shape(),
+             "mae_loss: shape mismatch");
+  Tensor diff = to::sub(pred.value(), target);
+  Tensor out({1});
+  double s = 0;
+  for (std::int64_t i = 0; i < diff.numel(); ++i) {
+    s += std::fabs(diff.data()[i]);
+  }
+  out.data()[0] = static_cast<float>(s / diff.numel());
+  return Variable::make_result(out, {an}, [an, diff](Node& n) {
+    const float scale = n.grad.data()[0] / diff.numel();
+    Tensor g(diff.shape());
+    for (std::int64_t i = 0; i < diff.numel(); ++i) {
+      g.data()[i] = (diff.data()[i] > 0.f ? scale
+                     : diff.data()[i] < 0.f ? -scale
+                                            : 0.f);
+    }
+    an->accumulate_grad(g);
+  });
+}
+
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<int>& labels,
+                               const std::vector<float>& class_weights) {
+  auto an = logits.node();
+  HOGA_CHECK(logits.value().dim() == 2, "cross_entropy: logits must be 2-D");
+  const std::int64_t n_rows = logits.size(0);
+  const std::int64_t c = logits.size(1);
+  HOGA_CHECK(static_cast<std::int64_t>(labels.size()) == n_rows,
+             "cross_entropy: labels size mismatch");
+  if (!class_weights.empty()) {
+    HOGA_CHECK(static_cast<std::int64_t>(class_weights.size()) == c,
+               "cross_entropy: class_weights size mismatch");
+  }
+  Tensor probs = to::softmax_lastdim(logits.value());
+  double total_w = 0, loss = 0;
+  std::vector<float> sample_w(static_cast<std::size_t>(n_rows), 1.f);
+  for (std::int64_t i = 0; i < n_rows; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    HOGA_CHECK(y >= 0 && y < c, "cross_entropy: label " << y << " out of range");
+    const float w = class_weights.empty()
+                        ? 1.f
+                        : class_weights[static_cast<std::size_t>(y)];
+    sample_w[static_cast<std::size_t>(i)] = w;
+    total_w += w;
+    loss -= w * std::log(std::max(1e-12f, probs.data()[i * c + y]));
+  }
+  HOGA_CHECK(total_w > 0, "cross_entropy: total weight is zero");
+  Tensor out({1});
+  out.data()[0] = static_cast<float>(loss / total_w);
+  auto labels_ptr = std::make_shared<std::vector<int>>(labels);
+  auto w_ptr = std::make_shared<std::vector<float>>(std::move(sample_w));
+  const float inv_total = static_cast<float>(1.0 / total_w);
+  return Variable::make_result(
+      out, {an}, [an, probs, labels_ptr, w_ptr, inv_total, c](Node& n) {
+        const float seed = n.grad.data()[0];
+        Tensor g = probs.clone();
+        const std::int64_t n_rows = g.size(0);
+        for (std::int64_t i = 0; i < n_rows; ++i) {
+          const int y = (*labels_ptr)[static_cast<std::size_t>(i)];
+          const float w = (*w_ptr)[static_cast<std::size_t>(i)];
+          float* row = g.data() + i * c;
+          row[y] -= 1.f;
+          for (std::int64_t j = 0; j < c; ++j) {
+            row[j] *= seed * w * inv_total;
+          }
+        }
+        an->accumulate_grad(g);
+      });
+}
+
+}  // namespace hoga::ag

@@ -1,0 +1,80 @@
+#pragma once
+// Differentiable operations over Variables.
+//
+// Each op computes its value with the raw kernels in tensor/ops.hpp and
+// registers a backward closure. Gradients are accumulated (+=) so diamond
+// patterns and parameter reuse are handled naturally.
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace hoga::ag {
+
+/// Wraps a tensor as a non-differentiable constant.
+Variable constant(Tensor t);
+
+// -- Elementwise binary (suffix broadcast, see tensor/ops.hpp) ---------------
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+
+// -- Scalar -------------------------------------------------------------
+Variable add_scalar(const Variable& a, float s);
+Variable mul_scalar(const Variable& a, float s);
+Variable neg(const Variable& a);
+
+// -- Elementwise unary --------------------------------------------------------
+Variable relu(const Variable& a);
+Variable sigmoid(const Variable& a);
+Variable tanh(const Variable& a);
+Variable exp(const Variable& a);
+Variable log(const Variable& a);
+
+/// Multiply by a constant mask (dropout and similar); mask is not a parent.
+Variable mul_const(const Variable& a, const Tensor& mask);
+
+/// Inverted dropout: scales surviving activations by 1/(1-p). Identity when
+/// !training or p == 0.
+Variable dropout(const Variable& a, float p, Rng& rng, bool training);
+
+// -- Linear algebra -----------------------------------------------------------
+Variable matmul(const Variable& a, const Variable& b, bool trans_a = false,
+                bool trans_b = false);
+Variable bmm(const Variable& a, const Variable& b, bool trans_a = false,
+             bool trans_b = false);
+
+// -- Shape ---------------------------------------------------------------
+Variable reshape(const Variable& a, Shape new_shape);
+Variable concat_cols(const std::vector<Variable>& parts);
+Variable slice_cols(const Variable& a, std::int64_t lo, std::int64_t hi);
+Variable concat_rows(const std::vector<Variable>& parts);
+Variable slice_rows(const Variable& a, std::int64_t lo, std::int64_t hi);
+Variable gather_rows(const Variable& a, std::vector<std::int64_t> idx);
+
+// -- Normalization -----------------------------------------------------------
+Variable softmax_lastdim(const Variable& a);
+/// LayerNorm over the last axis without affine parameters (nn::LayerNorm
+/// composes the affine part from mul/add).
+Variable layer_norm_lastdim(const Variable& a, float eps = 1e-5f);
+
+// -- Reductions ----------------------------------------------------------
+Variable sum_all(const Variable& a);
+Variable mean_all(const Variable& a);
+/// Mean over axis 0 of a 2-D input -> [d]. Used for graph-level pooling.
+Variable mean_axis0(const Variable& a);
+/// Max over axis 0 of a 2-D input -> [d] (subgradient to argmax rows).
+Variable max_axis0(const Variable& a);
+
+// -- Losses ---------------------------------------------------------------
+/// Mean squared error against a constant target (same shape).
+Variable mse_loss(const Variable& pred, const Tensor& target);
+/// Mean absolute error against a constant target (same shape).
+Variable mae_loss(const Variable& pred, const Tensor& target);
+/// Softmax cross entropy. logits [n, c]; labels in [0, c). Optional per-class
+/// weights (size c) reweight samples; loss is normalized by total weight.
+Variable softmax_cross_entropy(const Variable& logits,
+                               const std::vector<int>& labels,
+                               const std::vector<float>& class_weights = {});
+
+}  // namespace hoga::ag

@@ -1,0 +1,114 @@
+#include "autograd/variable.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace hoga::ag {
+
+void Node::accumulate_grad(const Tensor& g) {
+  if (grad.numel() == 0) {
+    grad = Tensor::zeros(value.shape());
+  }
+  HOGA_CHECK(g.numel() == grad.numel(),
+             "accumulate_grad: gradient numel mismatch");
+  tensor_ops::axpy_inplace(grad, 1.f, g);
+}
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : node_(std::make_shared<Node>()) {
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+  node_->is_leaf = true;
+}
+
+const Tensor& Variable::grad() const {
+  HOGA_CHECK(node_, "grad() on undefined variable");
+  if (node_->grad.numel() == 0) {
+    node_->grad = Tensor::zeros(node_->value.shape());
+  }
+  return node_->grad;
+}
+
+Tensor& Variable::mutable_grad() {
+  HOGA_CHECK(node_, "mutable_grad() on undefined variable");
+  if (node_->grad.numel() == 0) {
+    node_->grad = Tensor::zeros(node_->value.shape());
+  }
+  return node_->grad;
+}
+
+void Variable::zero_grad() {
+  if (node_) node_->grad = Tensor();
+}
+
+void Variable::backward() {
+  HOGA_CHECK(node_, "backward() on undefined variable");
+  HOGA_CHECK(node_->value.numel() == 1,
+             "backward() without seed requires a scalar; shape is "
+                 << shape_to_string(node_->value.shape()));
+  backward(Tensor::ones(node_->value.shape()));
+}
+
+void Variable::backward(const Tensor& seed) {
+  HOGA_CHECK(node_, "backward() on undefined variable");
+  HOGA_CHECK(seed.numel() == node_->value.numel(),
+             "backward: seed numel mismatch");
+
+  // Iterative post-order DFS to get a topological order over the subgraph of
+  // nodes that require grad.
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (node_->requires_grad) {
+    stack.push_back({node_.get(), 0});
+    visited.insert(node_.get());
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->accumulate_grad(seed);
+  // topo is post-order (parents before children); reverse iterate = children
+  // (outputs) first.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad.numel() != 0) {
+      n->backward_fn(*n);
+    }
+  }
+}
+
+Variable Variable::make_result(Tensor value,
+                               std::vector<std::shared_ptr<Node>> parents,
+                               std::function<void(Node&)> backward_fn) {
+  Variable v;
+  v.node_ = std::make_shared<Node>();
+  v.node_->value = std::move(value);
+  bool rg = false;
+  for (const auto& p : parents) rg = rg || (p && p->requires_grad);
+  v.node_->requires_grad = rg;
+  if (rg) {
+    v.node_->parents = std::move(parents);
+    v.node_->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+}  // namespace hoga::ag

@@ -1,0 +1,73 @@
+#pragma once
+// Reverse-mode automatic differentiation.
+//
+// Define-by-run tape: every differentiable op allocates a Node holding the
+// result value, links to its parents, and registers a closure that pushes
+// the node's output gradient into the parents' gradients. Variable is a
+// cheap shared handle to a Node.
+//
+// This is the training engine that stands in for PyTorch in the HOGA
+// reproduction; tests gradient-check each op against central differences.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hoga::ag {
+
+struct Node {
+  Tensor value;
+  Tensor grad;                 // allocated lazily on first accumulation
+  bool requires_grad = false;  // true if this node or any ancestor is a leaf
+                               // parameter
+  bool is_leaf = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Reads this->grad and accumulates into parents' grads. Null for leaves
+  // and non-differentiable constants.
+  std::function<void(Node&)> backward_fn;
+
+  /// Accumulates g into grad (allocating zeros first if needed).
+  void accumulate_grad(const Tensor& g);
+};
+
+class Variable {
+ public:
+  /// Undefined variable (no node). defined() is false.
+  Variable() = default;
+
+  /// Wraps a tensor. requires_grad marks it a trainable leaf.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return static_cast<bool>(node_); }
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  const Shape& shape() const { return node_->value.shape(); }
+  std::int64_t size(std::int64_t axis) const { return node_->value.size(axis); }
+  std::int64_t numel() const { return node_->value.numel(); }
+
+  bool requires_grad() const { return node_ && node_->requires_grad; }
+
+  /// Gradient tensor; zeros if backward has not reached this node.
+  const Tensor& grad() const;
+  Tensor& mutable_grad();
+  void zero_grad();
+
+  /// Runs reverse-mode accumulation from this (scalar) variable with seed 1.
+  void backward();
+  /// Runs reverse-mode accumulation with an explicit seed gradient.
+  void backward(const Tensor& seed);
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  /// Internal: creates a result variable from an op.
+  static Variable make_result(Tensor value,
+                              std::vector<std::shared_ptr<Node>> parents,
+                              std::function<void(Node&)> backward_fn);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace hoga::ag

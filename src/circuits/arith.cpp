@@ -1,0 +1,105 @@
+#include "circuits/arith.hpp"
+
+namespace hoga::circuits {
+
+void GenRoots::append(const GenRoots& other) {
+  xor_roots.insert(xor_roots.end(), other.xor_roots.begin(),
+                   other.xor_roots.end());
+  maj_roots.insert(maj_roots.end(), other.maj_roots.begin(),
+                   other.maj_roots.end());
+}
+
+AdderBits half_adder(Aig& aig, Lit a, Lit b, GenRoots* roots) {
+  AdderBits out;
+  out.sum = aig.add_xor(a, b);
+  out.carry = aig.add_and(a, b);
+  if (roots && aig::lit_node(a) != 0 && aig::lit_node(b) != 0 &&
+      aig.is_and(aig::lit_node(out.sum))) {
+    roots->note_xor(out.sum);
+  }
+  return out;
+}
+
+AdderBits full_adder(Aig& aig, Lit a, Lit b, Lit cin, GenRoots* roots) {
+  // Standard shared form: x = a^b is reused by both the sum and the carry
+  // (carry = x ? cin : a == MAJ3), which is what creates the paper's
+  // "shared by MAJ and XOR" node class.
+  AdderBits out;
+  const Lit x = aig.add_xor(a, b);
+  out.sum = aig.add_xor(x, cin);
+  out.carry = aig.add_mux(x, cin, a);
+  if (roots) {
+    // Record only non-degenerate adders (no constant inputs, result is a
+    // real AND node) so generator roots are a subset of functional roots.
+    const bool degenerate = aig::lit_node(a) == 0 || aig::lit_node(b) == 0 ||
+                            aig::lit_node(cin) == 0;
+    if (!degenerate && aig.is_and(aig::lit_node(out.sum))) {
+      roots->note_xor(out.sum);
+    }
+    if (!degenerate && aig.is_and(aig::lit_node(out.carry))) {
+      roots->note_maj(out.carry);
+    }
+  }
+  return out;
+}
+
+std::vector<Lit> ripple_carry_add(Aig& aig, const std::vector<Lit>& a,
+                                  const std::vector<Lit>& b, Lit cin,
+                                  GenRoots* roots) {
+  HOGA_CHECK(a.size() == b.size(), "ripple_carry_add: width mismatch");
+  std::vector<Lit> out;
+  out.reserve(a.size() + 1);
+  Lit carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const AdderBits fa = full_adder(aig, a[i], b[i], carry, roots);
+    out.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+Aig make_ripple_adder(int bits, GenRoots* roots) {
+  HOGA_CHECK(bits >= 1, "make_ripple_adder: bits must be >= 1");
+  Aig aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(aig.add_pi());
+  for (int i = 0; i < bits; ++i) b.push_back(aig.add_pi());
+  const auto sum = ripple_carry_add(aig, a, b, aig::kLitFalse, roots);
+  for (Lit s : sum) aig.add_po(s);
+  return aig;
+}
+
+Aig make_carry_lookahead_adder(int bits) {
+  HOGA_CHECK(bits >= 1, "make_carry_lookahead_adder: bits must be >= 1");
+  Aig aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(aig.add_pi());
+  for (int i = 0; i < bits; ++i) b.push_back(aig.add_pi());
+  // Generate/propagate per bit, carries unrolled:
+  // c[i+1] = g[i] + p[i] c[i], flattened as OR of AND chains.
+  std::vector<Lit> g(bits), p(bits);
+  for (int i = 0; i < bits; ++i) {
+    g[i] = aig.add_and(a[i], b[i]);
+    p[i] = aig.add_xor(a[i], b[i]);
+  }
+  std::vector<Lit> c(bits + 1);
+  c[0] = aig::kLitFalse;
+  for (int i = 0; i < bits; ++i) {
+    // c[i+1] = OR over j<=i of (g[j] & p[j+1..i]); flattened lookahead.
+    std::vector<Lit> terms;
+    for (int j = i; j >= 0; --j) {
+      std::vector<Lit> chain{g[j]};
+      for (int t = j + 1; t <= i; ++t) chain.push_back(p[t]);
+      terms.push_back(aig.add_and_multi(chain));
+    }
+    c[i + 1] = aig.add_or_multi(terms);
+  }
+  for (int i = 0; i < bits; ++i) {
+    aig.add_po(aig.add_xor(p[i], c[i]));
+  }
+  aig.add_po(c[bits]);
+  return aig;
+}
+
+}  // namespace hoga::circuits

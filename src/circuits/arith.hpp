@@ -1,0 +1,58 @@
+#pragma once
+// Arithmetic building blocks (half/full adders, ripple-carry adders) with
+// generator-recorded functional roots: every full-adder sum is an XOR3 root
+// and every full-adder carry a MAJ3 root — the ground truth the functional
+// reasoning task (Gamora, paper §IV-C) asks models to recover.
+
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace hoga::circuits {
+
+using aig::Aig;
+using aig::Lit;
+using aig::NodeId;
+
+/// Roots recorded while generating arithmetic structure. Node ids refer to
+/// AND nodes that realize XOR/MAJ functions at their outputs.
+struct GenRoots {
+  std::vector<NodeId> xor_roots;
+  std::vector<NodeId> maj_roots;
+
+  void note_xor(Lit l) {
+    if (aig::lit_node(l) != 0) xor_roots.push_back(aig::lit_node(l));
+  }
+  void note_maj(Lit l) {
+    if (aig::lit_node(l) != 0) maj_roots.push_back(aig::lit_node(l));
+  }
+  void append(const GenRoots& other);
+};
+
+struct AdderBits {
+  Lit sum;
+  Lit carry;
+};
+
+/// Half adder: sum = a ^ b (XOR2 root), carry = a & b.
+AdderBits half_adder(Aig& aig, Lit a, Lit b, GenRoots* roots = nullptr);
+
+/// Full adder: sum = a ^ b ^ cin (XOR3 root), carry = MAJ3(a, b, cin).
+AdderBits full_adder(Aig& aig, Lit a, Lit b, Lit cin,
+                     GenRoots* roots = nullptr);
+
+/// Ripple-carry addition of two equal-width vectors (LSB first); returns
+/// width+1 bits including the final carry.
+std::vector<Lit> ripple_carry_add(Aig& aig, const std::vector<Lit>& a,
+                                  const std::vector<Lit>& b, Lit cin,
+                                  GenRoots* roots = nullptr);
+
+/// Standalone n-bit ripple-carry adder circuit: PIs a[0..n), b[0..n);
+/// POs sum[0..n].
+Aig make_ripple_adder(int bits, GenRoots* roots = nullptr);
+
+/// Carry-lookahead-style adder (two-level generate/propagate groups); same
+/// function as ripple, different structure — used by IP generators and tests.
+Aig make_carry_lookahead_adder(int bits);
+
+}  // namespace hoga::circuits

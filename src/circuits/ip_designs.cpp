@@ -1,0 +1,434 @@
+#include "circuits/ip_designs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuits/arith.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::circuits {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Lit random_lit(const std::vector<Lit>& pool, Rng& rng) {
+  Lit l = pool[rng.uniform_int(pool.size())];
+  return aig::lit_not_if(l, rng.bernoulli(0.5));
+}
+
+// -- Primitive blocks ---------------------------------------------------------
+
+// Balanced mux tree selecting among `data` with ceil(log2) select lines.
+Lit mux_tree(Aig& g, const std::vector<Lit>& sel, std::vector<Lit> data,
+             Rng& rng) {
+  std::size_t s = 0;
+  while (data.size() > 1) {
+    const Lit sl = s < sel.size() ? sel[s] : random_lit(sel, rng);
+    ++s;
+    std::vector<Lit> next;
+    next.reserve((data.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+      next.push_back(g.add_mux(sl, data[i], data[i + 1]));
+    }
+    if (data.size() % 2) next.push_back(data.back());
+    data = std::move(next);
+  }
+  return data[0];
+}
+
+// Equality comparator against a random constant pattern.
+Lit comparator_eq(Aig& g, const std::vector<Lit>& x, Rng& rng) {
+  std::vector<Lit> terms;
+  terms.reserve(x.size());
+  for (Lit b : x) terms.push_back(aig::lit_not_if(b, rng.bernoulli(0.5)));
+  return g.add_and_multi(terms);
+}
+
+// Priority encoder: out[i] = in[i] & !in[i-1] & ... & !in[0].
+std::vector<Lit> priority_encode(Aig& g, const std::vector<Lit>& in) {
+  std::vector<Lit> out;
+  out.reserve(in.size());
+  Lit none_before = aig::kLitTrue;
+  for (Lit b : in) {
+    out.push_back(g.add_and(b, none_before));
+    none_before = g.add_and(none_before, aig::lit_not(b));
+  }
+  return out;
+}
+
+// CRC-like stage: next[i] = x[(i+1) % n] ^ (feedback & tap_i).
+std::vector<Lit> crc_stage(Aig& g, const std::vector<Lit>& x, Rng& rng) {
+  const std::size_t n = x.size();
+  const Lit fb = x[n - 1];
+  std::vector<Lit> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Lit shifted = i == 0 ? aig::kLitFalse : x[i - 1];
+    next[i] = rng.bernoulli(0.45) ? g.add_xor(shifted, fb) : shifted;
+  }
+  return next;
+}
+
+// Random 4-input S-box output via Shannon expansion over random constants.
+Lit sbox_bit(Aig& g, const std::vector<Lit>& in, Rng& rng) {
+  HOGA_CHECK(in.size() >= 4, "sbox_bit: need >= 4 inputs");
+  // 16 random constants muxed by 4 select lines.
+  std::vector<Lit> leaves(16);
+  for (auto& l : leaves) {
+    l = rng.bernoulli(0.5) ? aig::kLitTrue : aig::kLitFalse;
+  }
+  std::vector<Lit> sel(in.begin(), in.begin() + 4);
+  std::vector<Lit> level = std::move(leaves);
+  for (int s = 0; s < 4; ++s) {
+    std::vector<Lit> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(g.add_mux(sel[static_cast<std::size_t>(s)], level[i + 1],
+                               level[i]));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+// Redundancy injection: re-derives an existing signal through a detour and
+// ORs it in, creating optimization opportunities for rewrite/refactor so
+// different synthesis recipes produce measurably different QoR.
+Lit add_redundant(Aig& g, Lit base, const std::vector<Lit>& pool, Rng& rng) {
+  const Lit x = random_lit(pool, rng);
+  // base | (base & x) == base; (base & x) is removable logic.
+  const Lit detour = g.add_and(base, x);
+  return g.add_or(base, detour);
+}
+
+// ALU slice: op-selected combination of two operand bits.
+std::vector<Lit> alu_slice(Aig& g, const std::vector<Lit>& a,
+                           const std::vector<Lit>& b,
+                           const std::vector<Lit>& op, Rng& rng) {
+  std::vector<Lit> outs;
+  GenRoots ignore;
+  const auto sum = ripple_carry_add(g, a, b, aig::kLitFalse, &ignore);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Lit and_bit = g.add_and(a[i], b[i]);
+    const Lit or_bit = g.add_or(a[i], b[i]);
+    const Lit xor_bit = g.add_xor(a[i], b[i]);
+    std::vector<Lit> choices{sum[i], and_bit, or_bit, xor_bit};
+    outs.push_back(mux_tree(g, op, choices, rng));
+  }
+  return outs;
+}
+
+// -- Category builders ------------------------------------------------------
+// Each builder keeps appending its family's blocks until the AND budget is
+// reached. `pool` holds recent signals to wire blocks together.
+
+struct BuildCtx {
+  Aig g;
+  std::vector<Lit> pis;
+  std::vector<Lit> pool;
+  std::vector<Lit> outs;
+  Rng rng;
+
+  explicit BuildCtx(std::uint64_t seed, int num_pis) : rng(seed) {
+    for (int i = 0; i < num_pis; ++i) pis.push_back(g.add_pi());
+    pool = pis;
+  }
+
+  std::vector<Lit> grab(std::size_t n) {
+    std::vector<Lit> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(random_lit(pool, rng));
+    return v;
+  }
+
+  /// Draws each literal from the PIs with probability pi_prob, else from the
+  /// pool. Derived pool signals are correlated, so products built purely
+  /// from them collapse under rewriting at a rate that grows with design
+  /// size; mixing in fresh PIs keeps the optimizable fraction comparable
+  /// across sizes (matching how real control logic behaves).
+  std::vector<Lit> grab_mixed(std::size_t n, double pi_prob) {
+    std::vector<Lit> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v.push_back(rng.bernoulli(pi_prob) ? random_lit(pis, rng)
+                                         : random_lit(pool, rng));
+    }
+    return v;
+  }
+
+  void push(Lit l) {
+    // Constants would poison the pool (downstream blocks simplify away and
+    // generation stalls), so drop them.
+    if (aig::lit_node(l) == 0) return;
+    pool.push_back(l);
+    if (pool.size() > 96) {
+      pool.erase(pool.begin(), pool.begin() + 32);
+    }
+  }
+
+  /// Guarantees forward progress: if a block simplified to nothing, inject a
+  /// fresh gate derived from the PIs so generation cannot stall.
+  void ensure_progress(std::int64_t ands_before) {
+    if (g.num_ands() > ands_before) return;
+    const Lit x = random_lit(pis, rng);
+    const Lit y = random_lit(pool, rng);
+    push(g.add_xor(x, y));
+  }
+};
+
+void build_communication(BuildCtx& c, std::int64_t target) {
+  auto state = c.grab(12);
+  while (c.g.num_ands() < target) {
+    const std::int64_t ands_before = c.g.num_ands();
+    switch (c.rng.uniform_int(4)) {
+      case 0: {  // mux-tree routing path
+        auto sel = c.grab(3);
+        auto data = c.grab(8);
+        Lit y = mux_tree(c.g, sel, data, c.rng);
+        y = add_redundant(c.g, y, c.pool, c.rng);
+        c.push(y);
+        c.outs.push_back(y);
+        break;
+      }
+      case 1: {  // address comparator + enable
+        auto addr = c.grab(6 + c.rng.uniform_int(5));
+        Lit hit = comparator_eq(c.g, addr, c.rng);
+        Lit en = c.g.add_and(hit, random_lit(c.pool, c.rng));
+        c.push(en);
+        c.outs.push_back(en);
+        break;
+      }
+      case 2: {  // CRC/scrambler stage
+        state = crc_stage(c.g, state, c.rng);
+        c.push(state[c.rng.uniform_int(state.size())]);
+        break;
+      }
+      default: {  // handshake: req & ~busy | hold
+        Lit req = random_lit(c.pool, c.rng);
+        Lit busy = random_lit(c.pool, c.rng);
+        Lit hold = random_lit(c.pool, c.rng);
+        Lit y = c.g.add_or(c.g.add_and(req, aig::lit_not(busy)), hold);
+        c.push(y);
+        c.outs.push_back(y);
+        break;
+      }
+    }
+      c.ensure_progress(ands_before);
+  }
+  for (Lit s : state) c.outs.push_back(s);
+}
+
+void build_control(BuildCtx& c, std::int64_t target) {
+  while (c.g.num_ands() < target) {
+    const std::int64_t ands_before = c.g.num_ands();
+    switch (c.rng.uniform_int(3)) {
+      case 0: {  // one-hot decoder slice
+        auto sel = c.grab_mixed(3 + c.rng.uniform_int(2), 0.7);
+        for (int i = 0; i < 4; ++i) {
+          std::vector<Lit> terms;
+          for (Lit s : sel) {
+            terms.push_back(aig::lit_not_if(s, c.rng.bernoulli(0.5)));
+          }
+          Lit y = c.g.add_and_multi(terms);
+          c.push(y);
+          if (i == 0) c.outs.push_back(y);
+        }
+        break;
+      }
+      case 1: {  // priority arbitration
+        auto reqs = c.grab_mixed(5 + c.rng.uniform_int(4), 0.6);
+        auto grants = priority_encode(c.g, reqs);
+        for (Lit gnt : grants) c.push(gnt);
+        c.outs.push_back(grants.back());
+        break;
+      }
+      default: {  // FSM next-state cone: OR of condition products
+        std::vector<Lit> products;
+        const int np = 3 + static_cast<int>(c.rng.uniform_int(4));
+        for (int p = 0; p < np; ++p) {
+          products.push_back(c.g.add_and_multi(c.grab_mixed(3, 0.6)));
+        }
+        Lit y = c.g.add_or_multi(products);
+        y = add_redundant(c.g, y, c.pool, c.rng);
+        c.push(y);
+        c.outs.push_back(y);
+        break;
+      }
+    }
+      c.ensure_progress(ands_before);
+  }
+}
+
+void build_crypto(BuildCtx& c, std::int64_t target) {
+  auto state = c.grab(16);
+  while (c.g.num_ands() < target) {
+    const std::int64_t ands_before = c.g.num_ands();
+    if (c.rng.bernoulli(0.55)) {
+      // S-box substitution on a nibble.
+      std::vector<Lit> nib(state.begin(), state.begin() + 4);
+      std::rotate(state.begin(), state.begin() + 4, state.end());
+      for (int bit = 0; bit < 4; ++bit) {
+        state[12 + static_cast<std::size_t>(bit)] = sbox_bit(c.g, nib, c.rng);
+      }
+      c.outs.push_back(state[12]);
+    } else {
+      // XOR diffusion with key material.
+      auto key = c.grab(state.size());
+      for (std::size_t i = 0; i < state.size(); ++i) {
+        state[i] = c.g.add_xor(state[i], key[i]);
+        if (i + 1 < state.size() && c.rng.bernoulli(0.3)) {
+          state[i] = c.g.add_xor(state[i], state[i + 1]);
+        }
+      }
+    }
+    for (Lit s : state) c.push(s);
+      c.ensure_progress(ands_before);
+  }
+  for (Lit s : state) c.outs.push_back(s);
+}
+
+void build_dsp(BuildCtx& c, std::int64_t target) {
+  while (c.g.num_ands() < target) {
+    const std::int64_t ands_before = c.g.num_ands();
+    switch (c.rng.uniform_int(3)) {
+      case 0: {  // adder-tree accumulation (FIR tap sum)
+        GenRoots ignore;
+        auto x = c.grab(6);
+        auto y = c.grab(6);
+        auto s = ripple_carry_add(c.g, x, y, aig::kLitFalse, &ignore);
+        for (Lit b : s) c.push(b);
+        c.outs.push_back(s.back());
+        break;
+      }
+      case 1: {  // shift-add constant multiply: x + (x << k) pattern
+        GenRoots ignore;
+        auto x = c.grab(8);
+        std::vector<Lit> shifted(x.size(), aig::kLitFalse);
+        const std::size_t k = 1 + c.rng.uniform_int(3);
+        for (std::size_t i = k; i < x.size(); ++i) shifted[i] = x[i - k];
+        auto s = ripple_carry_add(c.g, x, shifted, aig::kLitFalse, &ignore);
+        for (Lit b : s) c.push(b);
+        c.outs.push_back(s[s.size() / 2]);
+        break;
+      }
+      default: {  // butterfly: (a + b, a - b) via add with complement
+        GenRoots ignore;
+        auto a2 = c.grab(5);
+        auto b2 = c.grab(5);
+        auto add = ripple_carry_add(c.g, a2, b2, aig::kLitFalse, &ignore);
+        std::vector<Lit> nb;
+        for (Lit l : b2) nb.push_back(aig::lit_not(l));
+        auto sub = ripple_carry_add(c.g, a2, nb, aig::kLitTrue, &ignore);
+        c.push(add.back());
+        c.push(sub.back());
+        c.outs.push_back(add[2]);
+        c.outs.push_back(sub[2]);
+        break;
+      }
+    }
+      c.ensure_progress(ands_before);
+  }
+}
+
+void build_processor(BuildCtx& c, std::int64_t target) {
+  auto op = c.grab(2);
+  while (c.g.num_ands() < target) {
+    const std::int64_t ands_before = c.g.num_ands();
+    if (c.rng.bernoulli(0.5)) {
+      auto a = c.grab(4 + c.rng.uniform_int(3));
+      auto b = c.grab(a.size());
+      auto outs = alu_slice(c.g, a, b, op, c.rng);
+      for (Lit o : outs) c.push(o);
+      c.outs.push_back(outs.back());
+    } else if (c.rng.bernoulli(0.5)) {
+      // Opcode decode
+      auto bits = c.grab(4);
+      Lit y = comparator_eq(c.g, bits, c.rng);
+      c.push(y);
+      c.outs.push_back(y);
+    } else {
+      // Operand forwarding mux
+      auto sel = c.grab(2);
+      auto data = c.grab(4);
+      Lit y = mux_tree(c.g, sel, data, c.rng);
+      c.push(y);
+      c.outs.push_back(y);
+    }
+      c.ensure_progress(ands_before);
+  }
+}
+
+}  // namespace
+
+const std::vector<IpDesignSpec>& openabcd_specs() {
+  static const std::vector<IpDesignSpec> specs = {
+      // -- training designs (upper 20 of Table 1) --
+      {"spi", "Communication", 4219, 8676, true},
+      {"i2c", "Communication", 1169, 2466, true},
+      {"ss_pcm", "Communication", 462, 896, true},
+      {"usb_phy", "Communication", 487, 1064, true},
+      {"sasc", "Communication", 613, 1351, true},
+      {"wb_dma", "Communication", 4587, 9876, true},
+      {"simple_spi", "Communication", 930, 1992, true},
+      {"pci", "Communication", 19547, 42251, true},
+      {"dynamic_node", "Control", 18094, 38763, true},
+      {"ac97_ctrl", "Control", 11464, 25065, true},
+      {"mem_ctrl", "Control", 16307, 37146, true},
+      {"des3_area", "Crypto", 4971, 10006, true},
+      {"aes", "Crypto", 28925, 58379, true},
+      {"sha256", "Crypto", 15816, 32674, true},
+      {"fir", "DSP", 4558, 9467, true},
+      {"iir", "DSP", 6978, 14397, true},
+      {"idft", "DSP", 241552, 520523, true},
+      {"dft", "DSP", 245046, 527509, true},
+      {"tv80", "Processor", 11328, 23017, true},
+      {"fpu", "Processor", 29623, 59655, true},
+      // -- evaluation designs (lower 9) --
+      {"wb_conmax", "Communication", 47840, 97755, false},
+      {"ethernet", "Communication", 67164, 144750, false},
+      {"bp_be", "Control", 82514, 173441, false},
+      {"vga_lcd", "Control", 105334, 227731, false},
+      {"aes_xcrypt", "Crypto", 45840, 93485, false},
+      {"aes_secworks", "Crypto", 40778, 84160, false},
+      {"jpeg", "DSP", 114771, 234331, false},
+      {"tiny_rocket", "Processor", 52315, 108811, false},
+      {"picosoc", "Processor", 82945, 176687, false},
+  };
+  return specs;
+}
+
+aig::Aig build_ip_design(const IpDesignSpec& spec, double size_scale) {
+  const std::int64_t target = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::llround(static_cast<double>(spec.paper_nodes) / size_scale)),
+      60, 4000);
+  const int num_pis =
+      std::clamp<int>(static_cast<int>(16 + target / 40), 16, 96);
+  BuildCtx c(name_seed(spec.name), num_pis);
+  if (spec.category == "Communication") {
+    build_communication(c, target);
+  } else if (spec.category == "Control") {
+    build_control(c, target);
+  } else if (spec.category == "Crypto") {
+    build_crypto(c, target);
+  } else if (spec.category == "DSP") {
+    build_dsp(c, target);
+  } else if (spec.category == "Processor") {
+    build_processor(c, target);
+  } else {
+    HOGA_CHECK(false, "unknown category " << spec.category);
+  }
+  for (Lit l : c.outs) c.g.add_po(l);
+  if (c.g.num_pos() == 0) c.g.add_po(c.pool.back());
+  return std::move(c.g);
+}
+
+}  // namespace hoga::circuits

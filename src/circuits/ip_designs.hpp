@@ -1,0 +1,38 @@
+#pragma once
+// OpenABC-D substitute: 29 parametric "IP designs" mirroring Table 1 of the
+// paper (names, categories, 20-train/9-test split, and relative sizes).
+// Each category uses a distinct structural family so that generalizing from
+// the training designs to the held-out ones is a real distribution shift:
+//   Communication -> mux trees, comparators, CRC/parity chains
+//   Control       -> decoders, priority encoders, FSM next-state cones
+//   Crypto        -> random S-boxes + XOR diffusion layers
+//   DSP           -> adder trees and shift-add datapaths (+ small multipliers)
+//   Processor     -> ALU slices, operand muxing, opcode decoders
+//
+// Sizes are the paper's node counts scaled down (see DESIGN.md §1) so the
+// full dataset generation + synthesis labeling runs in seconds.
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace hoga::circuits {
+
+struct IpDesignSpec {
+  std::string name;
+  std::string category;      // Communication | Control | Crypto | DSP | Processor
+  std::int64_t paper_nodes;  // from Table 1
+  std::int64_t paper_edges;
+  bool train_split;          // upper 20 designs -> true
+};
+
+/// The 29 designs of Table 1, in paper order (first 20 train, last 9 test).
+const std::vector<IpDesignSpec>& openabcd_specs();
+
+/// Deterministically builds the (scaled) AIG for a spec. `size_scale`
+/// divides the paper node count to obtain the target AND count
+/// (default 40x smaller, clamped to [60, 4000]).
+aig::Aig build_ip_design(const IpDesignSpec& spec, double size_scale = 40.0);
+
+}  // namespace hoga::circuits

@@ -1,0 +1,126 @@
+#include "circuits/multipliers.hpp"
+
+#include <deque>
+
+namespace hoga::circuits {
+namespace {
+
+// Carry-save reduction over weight columns: repeatedly compress 3 bits of a
+// column with a full adder (2 bits with a half adder once columns are being
+// finalized), then resolve the final two rows with ripple carries. Bits are
+// consumed FIFO, which makes the structure the sequential "array" flavor of
+// carry-save reduction.
+std::vector<Lit> reduce_columns(Aig& aig,
+                                std::vector<std::deque<Lit>>& cols,
+                                GenRoots* roots) {
+  const std::size_t width = cols.size();
+  for (std::size_t w = 0; w < width; ++w) {
+    auto& col = cols[w];
+    while (col.size() > 2) {
+      const Lit a = col.front();
+      col.pop_front();
+      const Lit b = col.front();
+      col.pop_front();
+      const Lit c = col.front();
+      col.pop_front();
+      const AdderBits fa = full_adder(aig, a, b, c, roots);
+      col.push_back(fa.sum);
+      if (w + 1 < width) cols[w + 1].push_back(fa.carry);
+    }
+  }
+  // Final carry-propagate pass over the remaining <=2 bits per column.
+  std::vector<Lit> out(width, aig::kLitFalse);
+  Lit carry = aig::kLitFalse;
+  for (std::size_t w = 0; w < width; ++w) {
+    auto& col = cols[w];
+    Lit a = col.empty() ? aig::kLitFalse : col[0];
+    Lit b = col.size() > 1 ? col[1] : aig::kLitFalse;
+    const AdderBits fa = full_adder(aig, a, b, carry, roots);
+    out[w] = fa.sum;
+    carry = fa.carry;
+  }
+  return out;
+}
+
+}  // namespace
+
+LabeledCircuit make_csa_multiplier(int bits) {
+  HOGA_CHECK(bits >= 1, "make_csa_multiplier: bits must be >= 1");
+  LabeledCircuit lc;
+  lc.bitwidth = bits;
+  lc.family = "csa";
+  Aig& aig = lc.aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(aig.add_pi());
+  for (int i = 0; i < bits; ++i) b.push_back(aig.add_pi());
+  const std::size_t width = static_cast<std::size_t>(2 * bits);
+  std::vector<std::deque<Lit>> cols(width);
+  for (int i = 0; i < bits; ++i) {
+    for (int j = 0; j < bits; ++j) {
+      cols[static_cast<std::size_t>(i + j)].push_back(
+          aig.add_and(a[static_cast<std::size_t>(j)],
+                      b[static_cast<std::size_t>(i)]));
+    }
+  }
+  const auto product = reduce_columns(aig, cols, &lc.roots);
+  for (Lit p : product) aig.add_po(p);
+  return lc;
+}
+
+LabeledCircuit make_booth_multiplier(int bits) {
+  HOGA_CHECK(bits >= 1, "make_booth_multiplier: bits must be >= 1");
+  LabeledCircuit lc;
+  lc.bitwidth = bits;
+  lc.family = "booth";
+  Aig& aig = lc.aig;
+  std::vector<Lit> a, b;
+  for (int i = 0; i < bits; ++i) a.push_back(aig.add_pi());
+  for (int i = 0; i < bits; ++i) b.push_back(aig.add_pi());
+
+  const int pwidth = 2 * bits;  // product computed mod 2^(2*bits)
+  auto abit = [&](int i) -> Lit {
+    return (i >= 0 && i < bits) ? a[static_cast<std::size_t>(i)]
+                                : aig::kLitFalse;
+  };
+  auto bbit = [&](int i) -> Lit {
+    return (i >= 0 && i < bits) ? b[static_cast<std::size_t>(i)]
+                                : aig::kLitFalse;
+  };
+
+  std::vector<std::deque<Lit>> cols(static_cast<std::size_t>(pwidth));
+  const int digits = bits / 2 + 1;  // covers b padded with two zero bits
+  for (int k = 0; k < digits; ++k) {
+    const Lit b_hi = bbit(2 * k + 1);
+    const Lit b_mid = bbit(2 * k);
+    const Lit b_lo = bbit(2 * k - 1);
+    // Radix-4 Booth digit d = -2*b_hi + b_mid + b_lo in {-2,-1,0,1,2}.
+    const Lit one = aig.add_xor(b_mid, b_lo);  // |d| == 1
+    const Lit two =                            // |d| == 2
+        aig.add_or(
+            aig.add_and_multi({b_hi, aig::lit_not(b_mid), aig::lit_not(b_lo)}),
+            aig.add_and_multi({aig::lit_not(b_hi), b_mid, b_lo}));
+    const Lit neg =  // d < 0
+        aig.add_and(b_hi, aig::lit_not(aig.add_and(b_mid, b_lo)));
+
+    // Partial-product row: |d| * A (selection muxes), conditionally
+    // complemented, sign-extended to the full product width; the two's
+    // complement "+1" goes into the LSB column of this row.
+    const int base = 2 * k;
+    if (base >= pwidth) break;
+    for (int i = 0; base + i < pwidth; ++i) {
+      const Lit sel1 = aig.add_and(one, abit(i));
+      const Lit sel2 = aig.add_and(two, abit(i - 1));
+      const Lit mag = aig.add_or(sel1, sel2);  // 0 for i >= bits+1 -> row bit
+                                               // becomes `neg` (sign ext.)
+      const Lit row_bit = aig.add_xor(mag, neg);
+      cols[static_cast<std::size_t>(base + i)].push_back(row_bit);
+    }
+    cols[static_cast<std::size_t>(base)].push_back(neg);
+  }
+
+  const auto product = reduce_columns(aig, cols, &lc.roots);
+  for (Lit p : product) aig.add_po(p);
+  return lc;
+}
+
+}  // namespace hoga::circuits

@@ -1,0 +1,29 @@
+#pragma once
+// Multiplier generators for the functional-reasoning task (paper §IV-C):
+// carry-save array (CSA) multipliers and radix-4 Booth multipliers at
+// arbitrary bitwidth, matching the two circuit families of Figure 6.
+//
+// Both generators record every full/half-adder sum and carry root in
+// GenRoots; tests cross-check these against the cut-based functional labeler
+// and verify the product function against integer multiplication.
+
+#include "circuits/arith.hpp"
+
+namespace hoga::circuits {
+
+struct LabeledCircuit {
+  Aig aig;
+  GenRoots roots;
+  int bitwidth = 0;
+  std::string family;
+};
+
+/// Unsigned bits x bits array multiplier built from AND partial products and
+/// a carry-save adder array; product is 2*bits POs (LSB first).
+LabeledCircuit make_csa_multiplier(int bits);
+
+/// Unsigned bits x bits radix-4 (modified) Booth multiplier: Booth digit
+/// encoders, partial-product selection muxes, carry-save accumulation.
+LabeledCircuit make_booth_multiplier(int bits);
+
+}  // namespace hoga::circuits

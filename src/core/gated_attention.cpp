@@ -1,0 +1,35 @@
+#include "core/gated_attention.hpp"
+
+namespace hoga::core {
+
+GatedAttentionLayer::GatedAttentionLayer(std::int64_t dim, Rng& rng) {
+  // Pure weight matrices as in Eq. 5/7 (no bias terms).
+  wq_ = std::make_shared<nn::Linear>(dim, dim, rng, /*bias=*/false);
+  wk_ = std::make_shared<nn::Linear>(dim, dim, rng, /*bias=*/false);
+  wu_ = std::make_shared<nn::Linear>(dim, dim, rng, /*bias=*/false);
+  wv_ = std::make_shared<nn::Linear>(dim, dim, rng, /*bias=*/false);
+  norm_ = std::make_shared<nn::LayerNorm>(dim);
+  register_module("wq", wq_);
+  register_module("wk", wk_);
+  register_module("wu", wu_);
+  register_module("wv", wv_);
+  register_module("norm", norm_);
+}
+
+ag::Variable GatedAttentionLayer::forward(const ag::Variable& h,
+                                          Tensor* attention_out) const {
+  HOGA_CHECK(h.value().dim() == 3, "GatedAttentionLayer: input must be 3-D");
+  const ag::Variable q = wq_->forward(h);
+  const ag::Variable k = wk_->forward(h);
+  const ag::Variable u = wu_->forward(h);
+  const ag::Variable v = wv_->forward(h);
+  // S = softmax(Q K^T) over the hop axis.
+  const ag::Variable s =
+      ag::softmax_lastdim(ag::bmm(q, k, /*trans_a=*/false, /*trans_b=*/true));
+  if (attention_out) *attention_out = s.value();
+  const ag::Variable mixed = ag::bmm(s, v);
+  const ag::Variable gated = ag::mul(u, mixed);
+  return ag::relu(norm_->forward(gated));
+}
+
+}  // namespace hoga::core

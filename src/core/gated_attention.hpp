@@ -1,0 +1,31 @@
+#pragma once
+// HOGA phase 2 building block (paper §III-B): the gated self-attention layer
+//
+//   U = H W_U,  V = H W_V,  Q = H W_Q,  K = H W_K          (Eq. 5)
+//   S = softmax(Q K^T)                                     (Eq. 7)
+//   H' = ReLU(LayerNorm(U ⊙ (S V)))                        (Eq. 8-9)
+//
+// applied per node to its (K+1) x d hop-feature matrix. Batched over nodes:
+// input/output are [B, K+1, d].
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace hoga::core {
+
+class GatedAttentionLayer : public nn::Module {
+ public:
+  GatedAttentionLayer(std::int64_t dim, Rng& rng);
+
+  /// h: [B, K+1, dim] -> [B, K+1, dim]. If `attention_out` is non-null it
+  /// receives the softmax scores S [B, K+1, K+1] (inference inspection).
+  ag::Variable forward(const ag::Variable& h,
+                       Tensor* attention_out = nullptr) const;
+
+ private:
+  std::shared_ptr<nn::Linear> wq_, wk_, wu_, wv_;
+  std::shared_ptr<nn::LayerNorm> norm_;
+};
+
+}  // namespace hoga::core

@@ -1,0 +1,119 @@
+#include "core/hoga_model.hpp"
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace hoga::core {
+
+Hoga::Hoga(const HogaConfig& config, Rng& rng) : config_(config) {
+  HOGA_CHECK(config.in_dim > 0 && config.hidden > 0 && config.num_hops >= 1 &&
+                 config.num_layers >= 1,
+             "Hoga: bad config");
+  input_proj_ =
+      std::make_shared<nn::Linear>(config.in_dim, config.hidden, rng);
+  register_module("input_proj", input_proj_);
+  if (config.input_norm) {
+    input_norm_ = std::make_shared<nn::LayerNorm>(config.hidden);
+    register_module("input_norm", input_norm_);
+  }
+  for (int l = 0; l < config.num_layers; ++l) {
+    auto layer = std::make_shared<GatedAttentionLayer>(config.hidden, rng);
+    register_module("attention" + std::to_string(l), layer);
+    layers_.push_back(std::move(layer));
+  }
+  alpha_ = register_parameter(
+      "alpha", nn::normal_init({2 * config.hidden, 1}, rng, 0.05f));
+  head_ = std::make_shared<nn::Linear>(config.hidden, config.out_dim, rng);
+  register_module("head", head_);
+}
+
+ag::Variable Hoga::forward_repr(const ag::Variable& hop_feats, Rng& rng,
+                                HogaAttention* attention) const {
+  HOGA_CHECK(hop_feats.value().dim() == 3,
+             "Hoga: hop features must be [B, K+1, d0]");
+  const std::int64_t batch = hop_feats.size(0);
+  const std::int64_t k1 = hop_feats.size(1);
+  const std::int64_t num_hops = k1 - 1;
+  HOGA_CHECK(num_hops == config_.num_hops,
+             "Hoga: expected K=" << config_.num_hops << ", got " << num_hops);
+  const std::int64_t d = config_.hidden;
+
+  ag::Variable h = input_proj_->forward(hop_feats);
+  if (input_norm_) h = input_norm_->forward(h);
+  if (config_.dropout > 0.f) {
+    h = ag::dropout(h, config_.dropout, rng, training());
+  }
+  Tensor self_attn;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const bool last = l + 1 == layers_.size();
+    h = layers_[l]->forward(h, last && attention ? &self_attn : nullptr);
+  }
+
+  // Attentive readout (Eq. 10).
+  ag::Variable flat = ag::reshape(h, {batch * k1, d});
+  std::vector<std::int64_t> idx0;
+  std::vector<std::int64_t> idx_rest;
+  idx0.reserve(static_cast<std::size_t>(batch));
+  idx_rest.reserve(static_cast<std::size_t>(batch * num_hops));
+  for (std::int64_t b = 0; b < batch; ++b) {
+    idx0.push_back(b * k1);
+    for (std::int64_t k = 1; k < k1; ++k) idx_rest.push_back(b * k1 + k);
+  }
+  ag::Variable h0 = ag::gather_rows(flat, idx0);           // [B, d]
+  ag::Variable h_rest = ag::gather_rows(flat, idx_rest);   // [B*K, d]
+  ag::Variable a1 = ag::slice_rows(alpha_, 0, d);          // [d, 1]
+  ag::Variable a2 = ag::slice_rows(alpha_, d, 2 * d);      // [d, 1]
+  ag::Variable s1 = ag::matmul(h0, a1);                    // [B, 1]
+  ag::Variable s2 =
+      ag::reshape(ag::matmul(h_rest, a2), {batch, num_hops});  // [B, K]
+  // Broadcast s1 over the K columns.
+  ag::Variable s1_tiled =
+      ag::matmul(s1, ag::constant(Tensor::ones({1, num_hops})));
+  ag::Variable scores = ag::add(s2, s1_tiled);
+  ag::Variable c = ag::softmax_lastdim(scores);  // [B, K]
+  if (attention) {
+    attention->readout_scores = c.value();
+    attention->self_attention = self_attn;
+  }
+  ag::Variable mix = ag::bmm(ag::reshape(c, {batch, 1, num_hops}),
+                             ag::reshape(h_rest, {batch, num_hops, d}));
+  return ag::add(h0, ag::reshape(mix, {batch, d}));
+}
+
+ag::Variable Hoga::forward(const ag::Variable& hop_feats, Rng& rng,
+                           HogaAttention* attention) const {
+  return head_->forward(forward_repr(hop_feats, rng, attention));
+}
+
+Tensor Hoga::predict(const HopFeatures& hop_features, std::int64_t batch_size,
+                     HogaAttention* attention) {
+  Rng rng(0);  // unused: dropout is inactive outside training mode
+  const bool was_training = training();
+  set_training(false);
+  const std::int64_t n = hop_features.num_nodes();
+  Tensor out({n, config_.out_dim});
+  std::vector<Tensor> readout_parts, attn_parts;
+  for (std::int64_t lo = 0; lo < n; lo += batch_size) {
+    const std::int64_t hi = std::min(n, lo + batch_size);
+    std::vector<std::int64_t> ids;
+    ids.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t i = lo; i < hi; ++i) ids.push_back(i);
+    HogaAttention local;
+    ag::Variable pred = forward(ag::constant(hop_features.gather(ids)), rng,
+                                attention ? &local : nullptr);
+    std::copy(pred.value().data(), pred.value().data() + pred.numel(),
+              out.data() + lo * config_.out_dim);
+    if (attention) {
+      readout_parts.push_back(local.readout_scores);
+      attn_parts.push_back(local.self_attention);
+    }
+  }
+  if (attention) {
+    attention->readout_scores = tensor_ops::concat_rows(readout_parts);
+    attention->self_attention = tensor_ops::concat_rows(attn_parts);
+  }
+  set_training(was_training);
+  return out;
+}
+
+}  // namespace hoga::core

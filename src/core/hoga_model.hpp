@@ -1,0 +1,73 @@
+#pragma once
+// HOGA (paper §III): hop-wise graph attention model.
+//
+// Pipeline per node batch (all ops batched over nodes, no graph access):
+//   1. project raw hop features [B, K+1, d0] -> [B, K+1, d]
+//   2. L gated self-attention layers (Eq. 5-9)
+//   3. attentive readout (Eq. 10):
+//        c_k = softmax_k(alpha^T [H'_0 || H'_k]),  k = 1..K
+//        y   = H'_0 + sum_k c_k H'_k
+//   4. task head (classification logits or regression representation)
+
+#include <memory>
+#include <vector>
+
+#include "core/gated_attention.hpp"
+#include "core/hop_features.hpp"
+#include "nn/layers.hpp"
+
+namespace hoga::core {
+
+struct HogaConfig {
+  std::int64_t in_dim = 0;      // raw feature width d0
+  std::int64_t hidden = 64;     // d (paper: 256)
+  int num_hops = 5;             // K
+  int num_layers = 1;           // gated self-attention layers (paper: 1)
+  std::int64_t out_dim = 1;     // head output (classes or 1)
+  float dropout = 0.f;
+  /// LayerNorm on the projected hop features before attention; makes the
+  /// model robust to degree-scale shifts between small training circuits and
+  /// large evaluation circuits (implementation detail in the spirit of
+  /// Eq. 9's stability additions).
+  bool input_norm = true;
+};
+
+/// Per-sample attention diagnostics for Figure 7.
+struct HogaAttention {
+  /// Readout scores c_k: [B, K] (hop k = 1..K).
+  Tensor readout_scores;
+  /// Self-attention matrices of the last layer: [B, K+1, K+1].
+  Tensor self_attention;
+};
+
+class Hoga : public nn::Module {
+ public:
+  Hoga(const HogaConfig& config, Rng& rng);
+
+  /// Node representations y [B, hidden] from hop features [B, K+1, d0].
+  ag::Variable forward_repr(const ag::Variable& hop_feats, Rng& rng,
+                            HogaAttention* attention = nullptr) const;
+
+  /// Head output [B, out_dim].
+  ag::Variable forward(const ag::Variable& hop_feats, Rng& rng,
+                       HogaAttention* attention = nullptr) const;
+
+  /// Inference over all nodes of a HopFeatures set, in node batches;
+  /// returns head outputs [n, out_dim] (no autograd graph kept). Non-const
+  /// because it temporarily switches the module to eval mode.
+  Tensor predict(const HopFeatures& hop_features,
+                 std::int64_t batch_size = 4096,
+                 HogaAttention* attention = nullptr);
+
+  const HogaConfig& config() const { return config_; }
+
+ private:
+  HogaConfig config_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  std::shared_ptr<nn::LayerNorm> input_norm_;
+  std::vector<std::shared_ptr<GatedAttentionLayer>> layers_;
+  ag::Variable alpha_;  // [2*hidden, 1] readout attention vector
+  std::shared_ptr<nn::Linear> head_;
+};
+
+}  // namespace hoga::core

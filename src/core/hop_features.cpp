@@ -1,0 +1,70 @@
+#include "core/hop_features.hpp"
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace hoga::core {
+
+HopFeatures HopFeatures::compute(const graph::Csr& adj_norm, const Tensor& x,
+                                 int num_hops) {
+  HOGA_CHECK(num_hops >= 1, "HopFeatures: need at least 1 hop");
+  HOGA_CHECK(x.dim() == 2 && x.size(0) == adj_norm.num_nodes(),
+             "HopFeatures: feature/adjacency mismatch");
+  HopFeatures hf;
+  hf.n_ = x.size(0);
+  hf.d_ = x.size(1);
+  hf.k_ = num_hops;
+  const std::int64_t k1 = num_hops + 1;
+  hf.stacked_ = Tensor({hf.n_, k1, hf.d_});
+
+  Tensor current = x;
+  for (int k = 0; k <= num_hops; ++k) {
+    if (k > 0) current = adj_norm.spmm(current);
+    // Interleave into [n, K+1, d] rows.
+    for (std::int64_t i = 0; i < hf.n_; ++i) {
+      std::copy(current.data() + i * hf.d_, current.data() + (i + 1) * hf.d_,
+                hf.stacked_.data() + (i * k1 + k) * hf.d_);
+    }
+  }
+  return hf;
+}
+
+HopFeatures HopFeatures::compute_concat(
+    const std::vector<const graph::Csr*>& adjs, const Tensor& x,
+    int num_hops) {
+  HOGA_CHECK(!adjs.empty(), "compute_concat: no adjacencies");
+  std::vector<HopFeatures> parts;
+  parts.reserve(adjs.size());
+  for (const graph::Csr* a : adjs) {
+    parts.push_back(compute(*a, x, num_hops));
+  }
+  HopFeatures hf;
+  hf.n_ = parts[0].n_;
+  hf.k_ = num_hops;
+  hf.d_ = parts[0].d_ * static_cast<std::int64_t>(parts.size());
+  const std::int64_t k1 = num_hops + 1;
+  const std::int64_t d0 = parts[0].d_;
+  hf.stacked_ = Tensor({hf.n_, k1, hf.d_});
+  for (std::int64_t i = 0; i < hf.n_; ++i) {
+    for (std::int64_t k = 0; k < k1; ++k) {
+      for (std::size_t p = 0; p < parts.size(); ++p) {
+        const float* src =
+            parts[p].stacked_.data() + (i * k1 + k) * d0;
+        std::copy(src, src + d0,
+                  hf.stacked_.data() + (i * k1 + k) * hf.d_ +
+                      static_cast<std::int64_t>(p) * d0);
+      }
+    }
+  }
+  return hf;
+}
+
+Tensor HopFeatures::gather(const std::vector<std::int64_t>& node_ids) const {
+  return tensor_ops::gather_rows(stacked_, node_ids);
+}
+
+Tensor HopFeatures::flat() const {
+  return stacked_.reshape({n_, (static_cast<std::int64_t>(k_) + 1) * d_});
+}
+
+}  // namespace hoga::core

@@ -1,0 +1,54 @@
+#pragma once
+// HOGA phase 1 (paper §III-A): hop-wise feature generation.
+//
+// X^(k) = Â X^(k-1) for k = 1..K with Â = D^-1/2 (A+I) D^-1/2, stacked into
+// a third-order tensor X ∈ R^{n x (K+1) x d} (Eq. 3-4). This runs once,
+// offline; afterwards HOGA training touches only this tensor — the API makes
+// the paper's key property structural: no graph object ever reaches the
+// model (per-node independence => embarrassing parallelism).
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::core {
+
+class HopFeatures {
+ public:
+  /// Runs the K SpMM iterations and stacks the results.
+  static HopFeatures compute(const graph::Csr& adj_norm, const Tensor& x,
+                             int num_hops);
+
+  /// Hop features propagated through several adjacency variants (e.g. the
+  /// symmetric graph and the directed fanin cone), concatenated along the
+  /// feature axis: result dim = |matrices| * x.size(1).
+  static HopFeatures compute_concat(
+      const std::vector<const graph::Csr*>& adjs, const Tensor& x,
+      int num_hops);
+
+  std::int64_t num_nodes() const { return n_; }
+  std::int64_t feature_dim() const { return d_; }
+  int num_hops() const { return k_; }
+
+  /// The full stacked tensor [n, K+1, d].
+  const Tensor& stacked() const { return stacked_; }
+
+  /// Hop-feature batch [B, K+1, d] for the given nodes — the only input a
+  /// HOGA forward pass needs.
+  Tensor gather(const std::vector<std::int64_t>& node_ids) const;
+
+  /// Convenience: all-node batch (graph-level tasks).
+  Tensor gather_all() const { return stacked_; }
+
+  /// SIGN-style flat view [n, (K+1)*d] (concatenated hops).
+  Tensor flat() const;
+
+ private:
+  std::int64_t n_ = 0, d_ = 0;
+  int k_ = 0;
+  Tensor stacked_;
+};
+
+}  // namespace hoga::core

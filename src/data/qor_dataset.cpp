@@ -1,0 +1,58 @@
+#include "data/qor_dataset.hpp"
+
+#include "reasoning/features.hpp"
+#include "synth/rebuild.hpp"
+#include "util/logging.hpp"
+
+namespace hoga::data {
+
+QorDataset QorDataset::generate(const QorDatasetParams& params) {
+  QorDataset ds;
+  Rng rng(params.seed);
+  const auto& specs = circuits::openabcd_specs();
+  ds.designs.reserve(specs.size());
+  for (const auto& spec : specs) {
+    // strash first so the "initial" network matches what synthesis sees.
+    const aig::Aig g =
+        synth::strash(circuits::build_ip_design(spec, params.size_scale));
+    DesignGraph dg;
+    dg.name = spec.name;
+    dg.category = spec.category;
+    dg.train_split = spec.train_split;
+    dg.initial_ands = g.num_ands();
+    dg.features = reasoning::node_features(g);
+    auto adj = reasoning::to_graph(g);
+    dg.num_nodes = adj.num_nodes();
+    dg.num_edges = adj.num_edges();
+    dg.adj_norm = std::make_shared<const graph::Csr>(
+        adj.normalized_symmetric(1.f));
+    dg.adj_hop = std::make_shared<const graph::Csr>(
+        adj.normalized_symmetric(0.f));
+    const int design_index = static_cast<int>(ds.designs.size());
+    ds.designs.push_back(std::move(dg));
+
+    for (int r = 0; r < params.recipes_per_design; ++r) {
+      const int len = params.min_recipe_len +
+                      static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(
+                          params.max_recipe_len - params.min_recipe_len + 1)));
+      QorSample sample;
+      sample.design_index = design_index;
+      sample.recipe = synth::Recipe::random(rng, len);
+      const auto result = synth::run_recipe(g, sample.recipe);
+      sample.final_ands = result.optimized.num_ands();
+      sample.target_ratio =
+          static_cast<float>(sample.final_ands) /
+          static_cast<float>(std::max<std::int64_t>(1, g.num_ands()));
+      if (spec.train_split) {
+        ds.train.push_back(std::move(sample));
+      } else {
+        ds.test.push_back(std::move(sample));
+      }
+    }
+    HOGA_LOG_DEBUG << "qor dataset: " << spec.name << " done ("
+                   << ds.designs.back().initial_ands << " ANDs)";
+  }
+  return ds;
+}
+
+}  // namespace hoga::data

@@ -1,0 +1,60 @@
+#pragma once
+// OpenABC-D-substitute dataset for QoR prediction (paper §IV-B):
+// (design AIG, synthesis recipe) -> optimized gate count, with ground truth
+// produced by actually running the synthesis engine. Train on the 20 upper
+// designs of Table 1, evaluate on the 9 held-out designs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuits/ip_designs.hpp"
+#include "graph/csr.hpp"
+#include "synth/recipe.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::data {
+
+struct DesignGraph {
+  std::string name;
+  std::string category;
+  bool train_split = false;
+  std::int64_t initial_ands = 0;
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+  /// Symmetric GCN normalization (with self loops).
+  std::shared_ptr<const graph::Csr> adj_norm;
+  /// Eq. 3 hop-feature normalization (no self loops).
+  std::shared_ptr<const graph::Csr> adj_hop;
+  /// Raw node features [n, d0].
+  Tensor features;
+};
+
+struct QorSample {
+  int design_index = 0;  // into QorDataset::designs
+  synth::Recipe recipe;
+  std::int64_t final_ands = 0;
+  /// Regression target: final_ands / initial_ands (what the model predicts;
+  /// MAPE is computed on gate counts).
+  float target_ratio = 0.f;
+};
+
+struct QorDatasetParams {
+  int recipes_per_design = 16;
+  int min_recipe_len = 3;
+  int max_recipe_len = 12;
+  double size_scale = 40.0;  // paper node count / this = target AND count
+  std::uint64_t seed = 2024;
+};
+
+struct QorDataset {
+  std::vector<DesignGraph> designs;
+  std::vector<QorSample> train;
+  std::vector<QorSample> test;
+
+  /// Builds the 29 designs and labels recipes_per_design random recipes per
+  /// design by running the synthesis engine. Deterministic given params.
+  static QorDataset generate(const QorDatasetParams& params = {});
+};
+
+}  // namespace hoga::data

@@ -1,0 +1,53 @@
+#include "data/reasoning_dataset.hpp"
+
+#include "circuits/multipliers.hpp"
+#include "reasoning/features.hpp"
+#include "synth/techmap.hpp"
+#include "util/check.hpp"
+
+namespace hoga::data {
+
+std::array<std::int64_t, reasoning::kNumClasses> ReasoningGraph::class_counts()
+    const {
+  std::array<std::int64_t, reasoning::kNumClasses> h{};
+  for (int label : labels) h[static_cast<std::size_t>(label)]++;
+  return h;
+}
+
+ReasoningGraph make_reasoning_graph(const std::string& family, int bitwidth,
+                                    bool mapped) {
+  circuits::LabeledCircuit lc;
+  if (family == "csa") {
+    lc = circuits::make_csa_multiplier(bitwidth);
+  } else if (family == "booth") {
+    lc = circuits::make_booth_multiplier(bitwidth);
+  } else {
+    HOGA_CHECK(false, "make_reasoning_graph: unknown family " << family);
+  }
+  aig::Aig g = std::move(lc.aig);
+  if (mapped) {
+    g = synth::tech_map(g);
+  }
+  ReasoningGraph rg;
+  rg.family = family;
+  rg.bitwidth = bitwidth;
+  rg.mapped = mapped;
+  rg.features = reasoning::node_features(g);
+  const auto labels = reasoning::functional_labels(g);
+  rg.labels.reserve(labels.size());
+  for (auto c : labels) rg.labels.push_back(static_cast<int>(c));
+  auto adj = reasoning::to_graph(g);
+  rg.num_nodes = adj.num_nodes();
+  rg.num_edges = adj.num_edges();
+  rg.adj_norm =
+      std::make_shared<const graph::Csr>(adj.normalized_symmetric(1.f));
+  rg.adj_hop =
+      std::make_shared<const graph::Csr>(adj.normalized_symmetric(0.f));
+  rg.adj_fanin =
+      std::make_shared<const graph::Csr>(reasoning::to_fanin_graph(g));
+  rg.adj_row = std::make_shared<const graph::Csr>(adj.normalized_row());
+  rg.adj_raw = std::make_shared<const graph::Csr>(std::move(adj));
+  return rg;
+}
+
+}  // namespace hoga::data

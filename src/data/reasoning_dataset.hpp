@@ -1,0 +1,43 @@
+#pragma once
+// Functional-reasoning dataset (paper §IV-C, Gamora setting): multiplier
+// AIGs after technology mapping, with 4-class node labels from symbolic cut
+// matching. Models train on the 8-bit multiplier and generalize to larger
+// bitwidths.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "reasoning/labels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::data {
+
+struct ReasoningGraph {
+  std::string family;  // "csa" | "booth"
+  int bitwidth = 0;
+  bool mapped = false;
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+  Tensor features;                            // [n, d0]
+  std::vector<int> labels;                    // per node, 4 classes
+  std::shared_ptr<const graph::Csr> adj_raw;  // symmetrized, unnormalized
+  std::shared_ptr<const graph::Csr> adj_norm; // D^-1/2 (A+I) D^-1/2
+  std::shared_ptr<const graph::Csr> adj_row;  // D^-1 A (GraphSAGE mean)
+  /// Eq. 3 normalization for hop features: D^-1/2 A D^-1/2, NO self loops
+  /// (keeps hop-k features parity-pure, see Figure 7).
+  std::shared_ptr<const graph::Csr> adj_hop;
+  /// Row-normalized directed fanin adjacency (cone direction).
+  std::shared_ptr<const graph::Csr> adj_fanin;
+
+  std::array<std::int64_t, reasoning::kNumClasses> class_counts() const;
+};
+
+/// Builds the multiplier, optionally applies the technology-mapping
+/// substitute (the paper's challenging setting), labels functionally, and
+/// exports graph-learning inputs.
+ReasoningGraph make_reasoning_graph(const std::string& family, int bitwidth,
+                                    bool mapped = true);
+
+}  // namespace hoga::data

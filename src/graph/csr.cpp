@@ -1,0 +1,186 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace hoga::graph {
+
+Csr Csr::build_from_triples(std::int64_t n, std::vector<Triple> triples) {
+  std::sort(triples.begin(), triples.end(),
+            [](const Triple& a, const Triple& b) {
+              if (std::get<0>(a) != std::get<0>(b)) {
+                return std::get<0>(a) < std::get<0>(b);
+              }
+              return std::get<1>(a) < std::get<1>(b);
+            });
+  std::vector<Triple> merged;
+  merged.reserve(triples.size());
+  for (const auto& t : triples) {
+    if (!merged.empty() && std::get<0>(merged.back()) == std::get<0>(t) &&
+        std::get<1>(merged.back()) == std::get<1>(t)) {
+      std::get<2>(merged.back()) += std::get<2>(t);
+    } else {
+      merged.push_back(t);
+    }
+  }
+  Csr c;
+  c.n_ = n;
+  c.row_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& t : merged) c.row_ptr_[std::get<0>(t) + 1]++;
+  for (std::int64_t i = 0; i < n; ++i) c.row_ptr_[i + 1] += c.row_ptr_[i];
+  c.col_.reserve(merged.size());
+  c.val_.reserve(merged.size());
+  for (const auto& t : merged) {
+    c.col_.push_back(std::get<1>(t));
+    c.val_.push_back(std::get<2>(t));
+  }
+  return c;
+}
+
+Csr Csr::from_edges(std::int64_t num_nodes, const std::vector<Edge>& edges) {
+  std::vector<Triple> triples;
+  triples.reserve(edges.size());
+  for (const auto& e : edges) {
+    HOGA_CHECK(e.src >= 0 && e.src < num_nodes && e.dst >= 0 &&
+                   e.dst < num_nodes,
+               "from_edges: edge (" << e.src << ", " << e.dst
+                                    << ") out of range");
+    triples.emplace_back(e.src, e.dst, 1.f);
+  }
+  return build_from_triples(num_nodes, std::move(triples));
+}
+
+Csr Csr::from_edges_undirected(std::int64_t num_nodes,
+                               const std::vector<Edge>& edges) {
+  std::vector<Triple> triples;
+  triples.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    HOGA_CHECK(e.src >= 0 && e.src < num_nodes && e.dst >= 0 &&
+                   e.dst < num_nodes,
+               "from_edges_undirected: edge out of range");
+    triples.emplace_back(e.src, e.dst, 1.f);
+    if (e.src != e.dst) triples.emplace_back(e.dst, e.src, 1.f);
+  }
+  return build_from_triples(num_nodes, std::move(triples));
+}
+
+Csr Csr::normalized_symmetric(float self_loop_weight) const {
+  std::vector<Triple> triples;
+  triples.reserve(col_.size() +
+                  (self_loop_weight != 0.f ? static_cast<std::size_t>(n_) : 0));
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (std::int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      triples.emplace_back(i, col_[e], val_[e]);
+    }
+  }
+  if (self_loop_weight != 0.f) {
+    for (std::int64_t i = 0; i < n_; ++i) {
+      triples.emplace_back(i, i, self_loop_weight);
+    }
+  }
+  Csr out = build_from_triples(n_, std::move(triples));
+  std::vector<double> deg(static_cast<std::size_t>(n_), 0.0);
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (std::int64_t e = out.row_ptr_[i]; e < out.row_ptr_[i + 1]; ++e) {
+      deg[static_cast<std::size_t>(i)] += out.val_[e];
+    }
+  }
+  std::vector<float> dinv(static_cast<std::size_t>(n_), 0.f);
+  for (std::int64_t i = 0; i < n_; ++i) {
+    const double d = deg[static_cast<std::size_t>(i)];
+    dinv[static_cast<std::size_t>(i)] =
+        d > 0 ? static_cast<float>(1.0 / std::sqrt(d)) : 0.f;
+  }
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (std::int64_t e = out.row_ptr_[i]; e < out.row_ptr_[i + 1]; ++e) {
+      out.val_[e] *= dinv[static_cast<std::size_t>(i)] *
+                     dinv[static_cast<std::size_t>(out.col_[e])];
+    }
+  }
+  return out;
+}
+
+Csr Csr::normalized_row() const {
+  Csr out = *this;
+  for (std::int64_t i = 0; i < n_; ++i) {
+    double deg = 0;
+    for (std::int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      deg += val_[e];
+    }
+    if (deg <= 0) continue;
+    const float inv = static_cast<float>(1.0 / deg);
+    for (std::int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      out.val_[e] *= inv;
+    }
+  }
+  return out;
+}
+
+Csr Csr::transposed() const {
+  std::vector<Triple> triples;
+  triples.reserve(col_.size());
+  for (std::int64_t i = 0; i < n_; ++i) {
+    for (std::int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      triples.emplace_back(col_[e], i, val_[e]);
+    }
+  }
+  return build_from_triples(n_, std::move(triples));
+}
+
+Tensor Csr::spmm(const Tensor& x) const {
+  HOGA_CHECK(x.dim() == 2 && x.size(0) == n_,
+             "spmm: x shape " << shape_to_string(x.shape())
+                              << " incompatible with n=" << n_);
+  const std::int64_t d = x.size(1);
+  Tensor out({n_, d});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < n_; ++i) {
+    float* orow = po + i * d;
+    for (std::int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
+      const float w = val_[e];
+      const float* xrow = px + col_[e] * d;
+      for (std::int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+    }
+  }
+  return out;
+}
+
+Csr Csr::induced_subgraph(const std::vector<std::int64_t>& nodes) const {
+  std::unordered_map<std::int64_t, std::int64_t> remap;
+  remap.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    HOGA_CHECK(nodes[i] >= 0 && nodes[i] < n_,
+               "induced_subgraph: node out of range");
+    const bool inserted =
+        remap.emplace(nodes[i], static_cast<std::int64_t>(i)).second;
+    HOGA_CHECK(inserted, "induced_subgraph: duplicate node " << nodes[i]);
+  }
+  std::vector<Triple> triples;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::int64_t u = nodes[i];
+    for (std::int64_t e = row_ptr_[u]; e < row_ptr_[u + 1]; ++e) {
+      auto it = remap.find(col_[e]);
+      if (it != remap.end()) {
+        triples.emplace_back(static_cast<std::int64_t>(i), it->second,
+                             val_[e]);
+      }
+    }
+  }
+  return build_from_triples(static_cast<std::int64_t>(nodes.size()),
+                            std::move(triples));
+}
+
+bool Csr::is_symmetric(float tol) const {
+  Csr t = transposed();
+  if (t.col_ != col_ || t.row_ptr_ != row_ptr_) return false;
+  for (std::size_t i = 0; i < val_.size(); ++i) {
+    if (std::fabs(val_[i] - t.val_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace hoga::graph

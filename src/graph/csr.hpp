@@ -1,0 +1,83 @@
+#pragma once
+// Compressed-sparse-row graph with weighted edges.
+//
+// This is the adjacency substrate shared by hop-wise feature generation
+// (HOGA phase 1, Eq. 3), the GCN/GraphSAGE baselines, and the GraphSAINT
+// sampler. Normalizations follow the paper: symmetric D^-1/2 (A+sI) D^-1/2
+// for GCN/HOGA and row-stochastic D^-1 A for GraphSAGE's mean aggregator.
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hoga::graph {
+
+struct Edge {
+  std::int64_t src;
+  std::int64_t dst;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from an edge list. Duplicate edges are merged (weights summed,
+  /// each edge contributing weight 1). Self loops allowed.
+  static Csr from_edges(std::int64_t num_nodes, const std::vector<Edge>& edges);
+
+  /// Builds an undirected (symmetrized) adjacency from a directed edge list:
+  /// both (u,v) and (v,u) are inserted. This mirrors how OpenABC-D and Gamora
+  /// feed netlists to GNNs (message passing in both directions).
+  static Csr from_edges_undirected(std::int64_t num_nodes,
+                                   const std::vector<Edge>& edges);
+
+  std::int64_t num_nodes() const { return n_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(col_.size());
+  }
+
+  const std::vector<std::int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::int64_t>& col_idx() const { return col_; }
+  const std::vector<float>& values() const { return val_; }
+
+  /// Out-degree (number of stored entries in the row).
+  std::int64_t degree(std::int64_t node) const {
+    return row_ptr_[node + 1] - row_ptr_[node];
+  }
+
+  /// Symmetric GCN normalization: D^-1/2 (A + s I) D^-1/2 where s is the
+  /// self-loop weight (0 disables self loops). Isolated nodes are safe
+  /// (their rows stay empty or self-loop-only).
+  Csr normalized_symmetric(float self_loop_weight = 1.f) const;
+
+  /// Row normalization: D^-1 A (mean aggregator).
+  Csr normalized_row() const;
+
+  /// Transposed matrix (needed for SpMM backward on asymmetric matrices).
+  Csr transposed() const;
+
+  /// Dense SpMM: this[n,n] * x[n,d] -> [n,d].
+  Tensor spmm(const Tensor& x) const;
+
+  /// Induced subgraph on `nodes` (order defines new ids). Edge weights are
+  /// copied. `nodes` must not contain duplicates.
+  Csr induced_subgraph(const std::vector<std::int64_t>& nodes) const;
+
+  /// True if v_ij == v_ji for all stored entries.
+  bool is_symmetric(float tol = 1e-6f) const;
+
+ private:
+  using Triple = std::tuple<std::int64_t, std::int64_t, float>;
+  /// Sorts, merges duplicates (summing weights), and packs into CSR.
+  static Csr build_from_triples(std::int64_t n, std::vector<Triple> triples);
+
+  std::int64_t n_ = 0;
+  std::vector<std::int64_t> row_ptr_{0};
+  std::vector<std::int64_t> col_;
+  std::vector<float> val_;
+};
+
+}  // namespace hoga::graph

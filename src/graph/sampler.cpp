@@ -1,0 +1,71 @@
+#include "graph/sampler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hoga::graph {
+
+RandomWalkSampler::RandomWalkSampler(const Csr& graph, std::int64_t roots,
+                                     std::int64_t walk_length)
+    : graph_(&graph), roots_(roots), walk_length_(walk_length) {
+  HOGA_CHECK(graph.num_nodes() > 0, "RandomWalkSampler: empty graph");
+  HOGA_CHECK(roots > 0 && walk_length >= 0, "RandomWalkSampler: bad params");
+}
+
+std::vector<std::int64_t> RandomWalkSampler::walk_nodes(Rng& rng) const {
+  std::vector<std::int64_t> visited;
+  visited.reserve(static_cast<std::size_t>(roots_ * (walk_length_ + 1)));
+  const std::int64_t n = graph_->num_nodes();
+  for (std::int64_t r = 0; r < roots_; ++r) {
+    std::int64_t cur =
+        static_cast<std::int64_t>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+    visited.push_back(cur);
+    for (std::int64_t s = 0; s < walk_length_; ++s) {
+      const std::int64_t deg = graph_->degree(cur);
+      if (deg == 0) break;  // dead end; walker stops
+      const std::int64_t e =
+          graph_->row_ptr()[cur] +
+          static_cast<std::int64_t>(rng.uniform_int(
+              static_cast<std::uint64_t>(deg)));
+      cur = graph_->col_idx()[e];
+      visited.push_back(cur);
+    }
+  }
+  std::sort(visited.begin(), visited.end());
+  visited.erase(std::unique(visited.begin(), visited.end()), visited.end());
+  return visited;
+}
+
+void RandomWalkSampler::estimate_norms(Rng& rng, int num_estimation_runs) {
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(graph_->num_nodes()), 0);
+  for (int r = 0; r < num_estimation_runs; ++r) {
+    for (std::int64_t v : walk_nodes(rng)) {
+      counts[static_cast<std::size_t>(v)]++;
+    }
+  }
+  inclusion_prob_.assign(counts.size(), 0.f);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    inclusion_prob_[i] =
+        static_cast<float>(counts[i]) / static_cast<float>(num_estimation_runs);
+  }
+}
+
+SaintSample RandomWalkSampler::sample(Rng& rng) const {
+  SaintSample s;
+  s.nodes = walk_nodes(rng);
+  s.subgraph = graph_->induced_subgraph(s.nodes);
+  s.node_weight.reserve(s.nodes.size());
+  for (std::int64_t v : s.nodes) {
+    float w = 1.f;
+    if (!inclusion_prob_.empty()) {
+      const float p = inclusion_prob_[static_cast<std::size_t>(v)];
+      w = p > 1e-6f ? 1.f / p : 1.f;
+    }
+    s.node_weight.push_back(w);
+  }
+  return s;
+}
+
+}  // namespace hoga::graph

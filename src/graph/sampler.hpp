@@ -1,0 +1,47 @@
+#pragma once
+// GraphSAINT-style random-walk subgraph sampler (Zeng et al., ICLR 2020),
+// used as a baseline in the paper's Figure 6. Sampling-based GNNs are the
+// approach the paper argues is unsuitable for circuits because subgraphs
+// break design functionality — reproducing that failure mode requires a
+// faithful sampler.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::graph {
+
+struct SaintSample {
+  /// Original ids of the sampled nodes; position = new id in `subgraph`.
+  std::vector<std::int64_t> nodes;
+  Csr subgraph;
+  /// Loss normalization per sampled node ~ 1 / inclusion probability,
+  /// estimated from sampling frequency as in the GraphSAINT paper.
+  std::vector<float> node_weight;
+};
+
+class RandomWalkSampler {
+ public:
+  /// `roots` walkers, each taking `walk_length` steps over the (directed)
+  /// adjacency. The union of visited nodes induces the subgraph.
+  RandomWalkSampler(const Csr& graph, std::int64_t roots,
+                    std::int64_t walk_length);
+
+  /// Pre-samples `num_estimation_runs` subgraphs to estimate node inclusion
+  /// probabilities (GraphSAINT's normalization-coefficient estimation).
+  void estimate_norms(Rng& rng, int num_estimation_runs = 20);
+
+  SaintSample sample(Rng& rng) const;
+
+ private:
+  std::vector<std::int64_t> walk_nodes(Rng& rng) const;
+
+  const Csr* graph_;
+  std::int64_t roots_;
+  std::int64_t walk_length_;
+  std::vector<float> inclusion_prob_;  // empty until estimate_norms
+};
+
+}  // namespace hoga::graph

@@ -1,0 +1,22 @@
+#include "graph/spmm_op.hpp"
+
+#include "util/check.hpp"
+
+namespace hoga::graph {
+
+ag::Variable spmm(std::shared_ptr<const Csr> a, const ag::Variable& x,
+                  std::shared_ptr<const Csr> a_transposed) {
+  HOGA_CHECK(a != nullptr, "spmm: null matrix");
+  auto xn = x.node();
+  if (!a_transposed) {
+    // Safe default: materialize the transpose once at op construction so
+    // backward never mutates shared state.
+    a_transposed = std::make_shared<const Csr>(a->transposed());
+  }
+  return ag::Variable::make_result(
+      a->spmm(x.value()), {xn}, [xn, a_transposed](ag::Node& n) {
+        xn->accumulate_grad(a_transposed->spmm(n.grad));
+      });
+}
+
+}  // namespace hoga::graph

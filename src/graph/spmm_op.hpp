@@ -1,0 +1,20 @@
+#pragma once
+// Differentiable sparse-dense matmul: y = A x with A a constant CSR matrix.
+// Backward: dx = A^T dy. This is the core op of the GCN/GraphSAGE baselines
+// (message passing) and of HOGA's offline hop-feature generation.
+
+#include <memory>
+
+#include "autograd/variable.hpp"
+#include "graph/csr.hpp"
+
+namespace hoga::graph {
+
+/// y = A x. `a` must outlive the backward pass (held by shared_ptr).
+/// If A is symmetric (GCN normalization) the transpose is reused implicitly;
+/// otherwise pass the precomputed transpose to avoid rebuilding it on every
+/// backward call.
+ag::Variable spmm(std::shared_ptr<const Csr> a, const ag::Variable& x,
+                  std::shared_ptr<const Csr> a_transposed = nullptr);
+
+}  // namespace hoga::graph

@@ -1,0 +1,36 @@
+#include "models/gcn.hpp"
+
+namespace hoga::models {
+
+Gcn::Gcn(const GcnConfig& config, Rng& rng) : config_(config) {
+  HOGA_CHECK(config.num_layers >= 1, "Gcn: need at least one layer");
+  for (int l = 0; l < config.num_layers; ++l) {
+    const std::int64_t in = l == 0 ? config.in_dim : config.hidden;
+    const std::int64_t out =
+        l == config.num_layers - 1 ? config.out_dim : config.hidden;
+    auto layer = std::make_shared<nn::Linear>(in, out, rng);
+    register_module("layer" + std::to_string(l), layer);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+ag::Variable Gcn::forward_repr(std::shared_ptr<const graph::Csr> adj,
+                               const ag::Variable& x, Rng& rng) const {
+  ag::Variable h = x;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    h = graph::spmm(adj, layers_[l]->forward(h), adj);  // Â symmetric
+    h = ag::relu(h);
+    if (config_.dropout > 0.f) {
+      h = ag::dropout(h, config_.dropout, rng, training());
+    }
+  }
+  return h;
+}
+
+ag::Variable Gcn::forward(std::shared_ptr<const graph::Csr> adj,
+                          const ag::Variable& x, Rng& rng) const {
+  ag::Variable h = forward_repr(adj, x, rng);
+  return graph::spmm(adj, layers_.back()->forward(h), adj);
+}
+
+}  // namespace hoga::models

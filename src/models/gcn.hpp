@@ -1,0 +1,41 @@
+#pragma once
+// GCN baseline (Kipf & Welling), the model OpenABC-D uses for QoR
+// prediction (paper Table 2, 5 layers).
+
+#include <memory>
+#include <vector>
+
+#include "graph/spmm_op.hpp"
+#include "nn/layers.hpp"
+
+namespace hoga::models {
+
+struct GcnConfig {
+  std::int64_t in_dim = 0;
+  std::int64_t hidden = 64;
+  std::int64_t out_dim = 1;
+  int num_layers = 5;
+  float dropout = 0.f;
+};
+
+class Gcn : public nn::Module {
+ public:
+  Gcn(const GcnConfig& config, Rng& rng);
+
+  /// Full-graph forward: X' = Â relu(... Â X W ...) W, logits on every node.
+  /// `adj` must be the symmetric-normalized adjacency.
+  ag::Variable forward(std::shared_ptr<const graph::Csr> adj,
+                       const ag::Variable& x, Rng& rng) const;
+
+  /// Node representations before the last (output) layer.
+  ag::Variable forward_repr(std::shared_ptr<const graph::Csr> adj,
+                            const ag::Variable& x, Rng& rng) const;
+
+  const GcnConfig& config() const { return config_; }
+
+ private:
+  GcnConfig config_;
+  std::vector<std::shared_ptr<nn::Linear>> layers_;
+};
+
+}  // namespace hoga::models

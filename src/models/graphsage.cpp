@@ -1,0 +1,43 @@
+#include "models/graphsage.hpp"
+
+namespace hoga::models {
+
+GraphSage::GraphSage(const SageConfig& config, Rng& rng) : config_(config) {
+  HOGA_CHECK(config.num_layers >= 1, "GraphSage: need at least one layer");
+  for (int l = 0; l < config.num_layers; ++l) {
+    const std::int64_t in = l == 0 ? config.in_dim : config.hidden;
+    const std::int64_t out =
+        l == config.num_layers - 1 ? config.out_dim : config.hidden;
+    auto self_layer = std::make_shared<nn::Linear>(in, out, rng);
+    auto neigh_layer = std::make_shared<nn::Linear>(in, out, rng,
+                                                    /*bias=*/false);
+    register_module("self" + std::to_string(l), self_layer);
+    register_module("neigh" + std::to_string(l), neigh_layer);
+    self_layers_.push_back(std::move(self_layer));
+    neigh_layers_.push_back(std::move(neigh_layer));
+  }
+}
+
+ag::Variable GraphSage::forward(
+    std::shared_ptr<const graph::Csr> adj_row, const ag::Variable& x,
+    Rng& rng, std::shared_ptr<const graph::Csr> adj_row_t) const {
+  if (!adj_row_t) {
+    adj_row_t = std::make_shared<const graph::Csr>(adj_row->transposed());
+  }
+  ag::Variable h = x;
+  for (std::size_t l = 0; l < self_layers_.size(); ++l) {
+    const ag::Variable neigh_mean = graph::spmm(adj_row, h, adj_row_t);
+    ag::Variable next = ag::add(self_layers_[l]->forward(h),
+                                neigh_layers_[l]->forward(neigh_mean));
+    if (l + 1 < self_layers_.size()) {
+      next = ag::relu(next);
+      if (config_.dropout > 0.f) {
+        next = ag::dropout(next, config_.dropout, rng, training());
+      }
+    }
+    h = next;
+  }
+  return h;
+}
+
+}  // namespace hoga::models

@@ -1,0 +1,40 @@
+#pragma once
+// GraphSAGE baseline (Hamilton et al.) with mean aggregation, the model
+// Gamora uses for functional reasoning (paper Figure 6).
+
+#include <memory>
+#include <vector>
+
+#include "graph/spmm_op.hpp"
+#include "nn/layers.hpp"
+
+namespace hoga::models {
+
+struct SageConfig {
+  std::int64_t in_dim = 0;
+  std::int64_t hidden = 64;
+  std::int64_t out_dim = 4;
+  int num_layers = 4;
+  float dropout = 0.f;
+};
+
+class GraphSage : public nn::Module {
+ public:
+  GraphSage(const SageConfig& config, Rng& rng);
+
+  /// `adj_row` must be the row-normalized adjacency D^-1 A (mean aggregator).
+  /// `adj_row_t` is its transpose (pass null to compute internally).
+  ag::Variable forward(std::shared_ptr<const graph::Csr> adj_row,
+                       const ag::Variable& x, Rng& rng,
+                       std::shared_ptr<const graph::Csr> adj_row_t =
+                           nullptr) const;
+
+  const SageConfig& config() const { return config_; }
+
+ private:
+  SageConfig config_;
+  std::vector<std::shared_ptr<nn::Linear>> self_layers_;
+  std::vector<std::shared_ptr<nn::Linear>> neigh_layers_;
+};
+
+}  // namespace hoga::models

@@ -1,0 +1,37 @@
+#pragma once
+// GraphSAINT baseline (Zeng et al.): a GCN trained on random-walk sampled
+// subgraphs with inclusion-probability loss normalization. The paper's
+// §II-A/§IV-C argument — graph sampling breaks circuit functionality and
+// hurts accuracy — is reproduced by this exact training procedure.
+
+#include <memory>
+
+#include "graph/sampler.hpp"
+#include "models/gcn.hpp"
+#include "optim/optim.hpp"
+
+namespace hoga::models {
+
+struct SaintConfig {
+  GcnConfig gcn;
+  std::int64_t walk_roots = 512;
+  std::int64_t walk_length = 4;
+  int norm_estimation_runs = 20;
+};
+
+/// Trains a Gcn on sampled subgraphs of (adj_raw, x, labels); one step =
+/// one sampled subgraph. Inference runs full-graph like a normal GCN.
+class SaintTrainer {
+ public:
+  SaintTrainer(const SaintConfig& config, const graph::Csr& adj_raw, Rng& rng);
+
+  /// One training step on a fresh subgraph; returns the weighted loss.
+  float step(Gcn& model, optim::Adam& opt, const Tensor& x,
+             const std::vector<int>& labels, Rng& rng);
+
+ private:
+  SaintConfig config_;
+  graph::RandomWalkSampler sampler_;
+};
+
+}  // namespace hoga::models

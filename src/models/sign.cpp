@@ -1,0 +1,22 @@
+#include "models/sign.hpp"
+
+namespace hoga::models {
+
+Sign::Sign(const SignConfig& config, Rng& rng) : config_(config) {
+  std::vector<std::int64_t> dims;
+  dims.push_back((static_cast<std::int64_t>(config.num_hops) + 1) *
+                 config.in_dim);
+  for (int l = 0; l + 1 < config.mlp_layers; ++l) {
+    dims.push_back(config.hidden);
+  }
+  dims.push_back(config.out_dim);
+  mlp_ = std::make_shared<nn::Mlp>(dims, rng, config.dropout);
+  register_module("mlp", mlp_);
+}
+
+ag::Variable Sign::forward(const ag::Variable& flat_feats, Rng& rng) const {
+  mlp_->set_training(training());
+  return mlp_->forward(flat_feats, rng);
+}
+
+}  // namespace hoga::models

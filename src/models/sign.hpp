@@ -1,0 +1,38 @@
+#pragma once
+// SIGN baseline (Frasca et al.): an MLP over concatenated hop-wise features.
+// Shares HOGA's phase-1 precomputation but replaces the gated self-attention
+// with plain feature concatenation — the paper's ablation-by-baseline for
+// "does hop-wise attention matter" (Figure 6).
+
+#include <memory>
+
+#include "core/hop_features.hpp"
+#include "nn/layers.hpp"
+
+namespace hoga::models {
+
+struct SignConfig {
+  std::int64_t in_dim = 0;  // raw feature width d0
+  std::int64_t hidden = 64;
+  std::int64_t out_dim = 4;
+  int num_hops = 5;
+  int mlp_layers = 3;
+  float dropout = 0.f;
+};
+
+class Sign : public nn::Module {
+ public:
+  Sign(const SignConfig& config, Rng& rng);
+
+  /// flat_feats: [B, (K+1)*d0] from HopFeatures::flat() (optionally row
+  /// batched) -> logits [B, out_dim].
+  ag::Variable forward(const ag::Variable& flat_feats, Rng& rng) const;
+
+  const SignConfig& config() const { return config_; }
+
+ private:
+  SignConfig config_;
+  std::shared_ptr<nn::Mlp> mlp_;
+};
+
+}  // namespace hoga::models

@@ -1,0 +1,30 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace hoga::nn {
+
+Tensor xavier_uniform(std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  const float bound =
+      std::sqrt(6.f / static_cast<float>(fan_in + fan_out));
+  return Tensor::uniform({fan_in, fan_out}, rng, -bound, bound);
+}
+
+Tensor kaiming_normal(std::int64_t fan_in, std::int64_t fan_out, Rng& rng) {
+  const float stddev = std::sqrt(2.f / static_cast<float>(fan_in));
+  Tensor t({fan_in, fan_out});
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor normal_init(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+}  // namespace hoga::nn

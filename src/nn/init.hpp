@@ -1,0 +1,18 @@
+#pragma once
+// Parameter initialization schemes.
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::nn {
+
+/// Xavier/Glorot uniform for a [fan_in, fan_out] weight.
+Tensor xavier_uniform(std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+/// Kaiming/He normal for ReLU nets, [fan_in, fan_out].
+Tensor kaiming_normal(std::int64_t fan_in, std::int64_t fan_out, Rng& rng);
+
+/// Small-scale normal init for embeddings and attention vectors.
+Tensor normal_init(Shape shape, Rng& rng, float stddev = 0.02f);
+
+}  // namespace hoga::nn

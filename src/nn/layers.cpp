@@ -1,0 +1,86 @@
+#include "nn/layers.hpp"
+
+#include "nn/init.hpp"
+#include "util/check.hpp"
+
+namespace hoga::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  weight_ = register_parameter("weight", xavier_uniform(in_, out_, rng));
+  if (bias) {
+    bias_ = register_parameter("bias", Tensor::zeros({out_}));
+  }
+}
+
+ag::Variable Linear::forward(const ag::Variable& x) const {
+  ag::Variable h;
+  if (x.value().dim() == 2) {
+    h = ag::matmul(x, weight_);
+  } else {
+    HOGA_CHECK(x.value().dim() == 3,
+               "Linear: input must be 2-D or 3-D, got "
+                   << shape_to_string(x.shape()));
+    const auto& s = x.shape();
+    ag::Variable flat = ag::reshape(x, {s[0] * s[1], s[2]});
+    h = ag::reshape(ag::matmul(flat, weight_), {s[0], s[1], out_});
+  }
+  if (bias_.defined()) h = ag::add(h, bias_);
+  return h;
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : dim_(dim), eps_(eps) {
+  gamma_ = register_parameter("gamma", Tensor::ones({dim_}));
+  beta_ = register_parameter("beta", Tensor::zeros({dim_}));
+}
+
+ag::Variable LayerNorm::forward(const ag::Variable& x) const {
+  HOGA_CHECK(x.size(-1) == dim_, "LayerNorm: trailing dim "
+                                     << x.size(-1) << " != " << dim_);
+  ag::Variable y = ag::layer_norm_lastdim(x, eps_);
+  return ag::add(ag::mul(y, gamma_), beta_);
+}
+
+Embedding::Embedding(std::int64_t num_embeddings, std::int64_t dim, Rng& rng)
+    : dim_(dim) {
+  weight_ = register_parameter("weight",
+                               normal_init({num_embeddings, dim}, rng, 0.05f));
+}
+
+ag::Variable Embedding::forward(const std::vector<std::int64_t>& indices) const {
+  return ag::gather_rows(weight_, indices);
+}
+
+Mlp::Mlp(const std::vector<std::int64_t>& dims, Rng& rng, float dropout)
+    : dropout_(dropout) {
+  HOGA_CHECK(dims.size() >= 2, "Mlp: need at least {in, out} dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    auto layer = std::make_shared<Linear>(dims[i], dims[i + 1], rng);
+    register_module("layer" + std::to_string(i), layer);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+ag::Variable Mlp::forward(const ag::Variable& x, Rng& rng) const {
+  ag::Variable h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) {
+      h = ag::relu(h);
+      if (dropout_ > 0.f) h = ag::dropout(h, dropout_, rng, training());
+    }
+  }
+  return h;
+}
+
+ag::Variable Mlp::forward(const ag::Variable& x) const {
+  ag::Variable h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) h = ag::relu(h);
+  }
+  return h;
+}
+
+}  // namespace hoga::nn

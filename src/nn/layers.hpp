@@ -1,0 +1,76 @@
+#pragma once
+// Standard layers used by HOGA and the baseline GNNs.
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::nn {
+
+/// y = x W + b. Input may be 2-D [n, in] or 3-D [b, k, in] (applied to the
+/// trailing axis via reshape).
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  ag::Variable forward(const ag::Variable& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  const ag::Variable& weight() const { return weight_; }
+
+ private:
+  std::int64_t in_, out_;
+  ag::Variable weight_;  // [in, out]
+  ag::Variable bias_;    // [out] or undefined
+};
+
+/// LayerNorm over the trailing axis with affine gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5f);
+
+  ag::Variable forward(const ag::Variable& x) const;
+
+ private:
+  std::int64_t dim_;
+  float eps_;
+  ag::Variable gamma_;  // [dim]
+  ag::Variable beta_;   // [dim]
+};
+
+/// Row-lookup table: forward(indices) gathers rows of a [num, dim] weight.
+class Embedding : public Module {
+ public:
+  Embedding(std::int64_t num_embeddings, std::int64_t dim, Rng& rng);
+
+  ag::Variable forward(const std::vector<std::int64_t>& indices) const;
+
+  std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t dim_;
+  ag::Variable weight_;  // [num, dim]
+};
+
+/// Multi-layer perceptron: Linear -> ReLU -> ... -> Linear, with optional
+/// dropout between layers.
+class Mlp : public Module {
+ public:
+  /// dims = {in, hidden..., out}; at least {in, out}.
+  Mlp(const std::vector<std::int64_t>& dims, Rng& rng, float dropout = 0.f);
+
+  ag::Variable forward(const ag::Variable& x, Rng& rng) const;
+  /// Dropout-free forward for inference or dropout == 0 paths.
+  ag::Variable forward(const ag::Variable& x) const;
+
+ private:
+  std::vector<std::shared_ptr<Linear>> layers_;
+  float dropout_;
+};
+
+}  // namespace hoga::nn

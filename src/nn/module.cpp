@@ -1,0 +1,66 @@
+#include "nn/module.hpp"
+
+#include "util/check.hpp"
+
+namespace hoga::nn {
+
+std::vector<ag::Variable> Module::parameters() const {
+  std::vector<ag::Variable> out;
+  for (const auto& p : params_) out.push_back(p.param);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::string> Module::parameter_names() const {
+  std::vector<std::string> out;
+  for (const auto& p : params_) out.push_back(p.name);
+  for (const auto& [name, child] : children_) {
+    for (const auto& sub : child->parameter_names()) {
+      out.push_back(name + "." + sub);
+    }
+  }
+  return out;
+}
+
+std::int64_t Module::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  auto dst = parameters();
+  auto src = other.parameters();
+  HOGA_CHECK(dst.size() == src.size(),
+             "copy_parameters_from: architectures differ");
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    HOGA_CHECK(dst[i].shape() == src[i].shape(),
+               "copy_parameters_from: parameter " << i << " shape mismatch");
+    dst[i].mutable_value().copy_from(src[i].value());
+  }
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+ag::Variable Module::register_parameter(std::string name, Tensor init) {
+  ag::Variable v(std::move(init), /*requires_grad=*/true);
+  params_.push_back({std::move(name), v});
+  return v;
+}
+
+void Module::register_module(std::string name, std::shared_ptr<Module> child) {
+  HOGA_CHECK(child != nullptr, "register_module: null child");
+  children_.emplace_back(std::move(name), std::move(child));
+}
+
+}  // namespace hoga::nn

@@ -1,0 +1,54 @@
+#pragma once
+// Module base class: a named registry of trainable parameters and
+// submodules, so optimizers and the parallel trainer can enumerate, copy,
+// and average parameters generically.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace hoga::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its submodules, in
+  /// registration order (deterministic — the parallel trainer relies on it).
+  std::vector<ag::Variable> parameters() const;
+
+  /// Flat names ("layer0.weight") parallel to parameters().
+  std::vector<std::string> parameter_names() const;
+
+  /// Total number of trainable scalars.
+  std::int64_t parameter_count() const;
+
+  /// Copies parameter values from another module with an identical
+  /// architecture (used to replicate models across simulated workers).
+  void copy_parameters_from(const Module& other);
+
+  void zero_grad();
+
+  /// Train/eval mode toggle (affects dropout).
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// Registers a trainable parameter; returns it for storage by the layer.
+  ag::Variable register_parameter(std::string name, Tensor init);
+  /// Registers a child whose parameters are exposed through this module.
+  void register_module(std::string name, std::shared_ptr<Module> child);
+
+ private:
+  struct Named {
+    std::string name;
+    ag::Variable param;
+  };
+  std::vector<Named> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace hoga::nn

@@ -1,0 +1,80 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoga::nn {
+
+std::string save_checkpoint(const Module& module) {
+  const auto params = module.parameters();
+  const auto names = module.parameter_names();
+  HOGA_CHECK(params.size() == names.size(), "save_checkpoint: registry bug");
+  std::ostringstream os;
+  os << "hoga-ckpt v1 " << params.size() << '\n';
+  os << std::setprecision(9);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor& t = params[i].value();
+    os << names[i] << ' ' << t.dim();
+    for (std::int64_t a = 0; a < t.dim(); ++a) os << ' ' << t.size(a);
+    os << '\n';
+    for (std::int64_t j = 0; j < t.numel(); ++j) {
+      if (j) os << ' ';
+      os << t.data()[j];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void save_checkpoint_file(const Module& module, const std::string& path) {
+  std::ofstream out(path);
+  HOGA_CHECK(out.good(), "save_checkpoint_file: cannot open " << path);
+  out << save_checkpoint(module);
+}
+
+void load_checkpoint(Module& module, const std::string& text) {
+  std::istringstream is(text);
+  std::string magic, version;
+  std::size_t count = 0;
+  is >> magic >> version >> count;
+  HOGA_CHECK(is.good() && magic == "hoga-ckpt" && version == "v1",
+             "load_checkpoint: bad header");
+  auto params = module.parameters();
+  const auto names = module.parameter_names();
+  HOGA_CHECK(count == params.size(),
+             "load_checkpoint: checkpoint has " << count
+                                                << " parameters, module has "
+                                                << params.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    std::int64_t rank = 0;
+    is >> name >> rank;
+    HOGA_CHECK(is.good() && name == names[i],
+               "load_checkpoint: parameter " << i << " is '" << name
+                                             << "', expected '" << names[i]
+                                             << "'");
+    Shape shape(static_cast<std::size_t>(rank));
+    for (auto& s : shape) is >> s;
+    HOGA_CHECK(is.good() && shape == params[i].shape(),
+               "load_checkpoint: shape mismatch for " << name);
+    Tensor& dst = params[i].mutable_value();
+    for (std::int64_t j = 0; j < dst.numel(); ++j) {
+      is >> dst.data()[j];
+    }
+    HOGA_CHECK(is.good() || is.eof(),
+               "load_checkpoint: truncated data for " << name);
+  }
+}
+
+void load_checkpoint_file(Module& module, const std::string& path) {
+  std::ifstream in(path);
+  HOGA_CHECK(in.good(), "load_checkpoint_file: cannot open " << path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  load_checkpoint(module, os.str());
+}
+
+}  // namespace hoga::nn

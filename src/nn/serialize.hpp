@@ -1,0 +1,23 @@
+#pragma once
+// Model checkpointing: saves/loads a Module's named parameters in a simple
+// self-describing text format ("hoga-ckpt v1"). Names and shapes are
+// verified on load, so architecture mismatches fail loudly instead of
+// silently corrupting weights.
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace hoga::nn {
+
+/// Serializes all parameters (names, shapes, float data) of `module`.
+std::string save_checkpoint(const Module& module);
+void save_checkpoint_file(const Module& module, const std::string& path);
+
+/// Restores parameters into `module`; every name and shape must match the
+/// module's registry exactly.
+void load_checkpoint(Module& module, const std::string& text);
+void load_checkpoint_file(Module& module, const std::string& path);
+
+}  // namespace hoga::nn

@@ -1,0 +1,97 @@
+#include "optim/optim.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace hoga::optim {
+
+float clip_grad_norm(const std::vector<ag::Variable>& params, float max_norm) {
+  double sq = 0;
+  for (const auto& p : params) {
+    const Tensor& g = p.grad();
+    for (std::int64_t i = 0; i < g.numel(); ++i) {
+      sq += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm && norm > 0.f) {
+    const float scale = max_norm / norm;
+    for (auto p : params) {  // Variable is a shared handle; copy is cheap
+      Tensor& g = p.mutable_grad();
+      for (std::int64_t i = 0; i < g.numel(); ++i) g.data()[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<ag::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) {
+      velocity_.push_back(Tensor::zeros(p.shape()));
+    }
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& x = params_[i].mutable_value();
+    const Tensor& g = params_[i].grad();
+    if (momentum_ > 0.f) {
+      Tensor& v = velocity_[i];
+      for (std::int64_t j = 0; j < x.numel(); ++j) {
+        v.data()[j] = momentum_ * v.data()[j] + g.data()[j];
+        x.data()[j] -= lr_ * v.data()[j];
+      }
+    } else {
+      for (std::int64_t j = 0; j < x.numel(); ++j) {
+        x.data()[j] -= lr_ * g.data()[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.shape()));
+    v_.push_back(Tensor::zeros(p.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& x = params_[i].mutable_value();
+    const Tensor& g = params_[i].grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < x.numel(); ++j) {
+      float gj = g.data()[j];
+      if (weight_decay_ > 0.f) gj += weight_decay_ * x.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.f - beta1_) * gj;
+      v.data()[j] = beta2_ * v.data()[j] + (1.f - beta2_) * gj * gj;
+      const float mhat = m.data()[j] / bc1;
+      const float vhat = v.data()[j] / bc2;
+      x.data()[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace hoga::optim

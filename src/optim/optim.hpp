@@ -1,0 +1,55 @@
+#pragma once
+// Optimizers. The paper trains HOGA with Adam (lr 1e-4); SGD is provided for
+// tests and ablations.
+
+#include <vector>
+
+#include "autograd/variable.hpp"
+
+namespace hoga::optim {
+
+/// Clips the global L2 norm of the gradients in-place; returns the norm
+/// before clipping.
+float clip_grad_norm(const std::vector<ag::Variable>& params, float max_norm);
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+  const std::vector<ag::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Variable> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Variable> params, float lr, float momentum = 0.f);
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Variable> params, float lr = 1e-4f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.f);
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace hoga::optim

@@ -1,0 +1,55 @@
+#include "reasoning/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hoga::reasoning {
+
+Tensor node_features(const aig::Aig& g) {
+  const std::int64_t n = g.num_nodes();
+  Tensor x({n, kNodeFeatureDim});
+  std::vector<bool> drives_po(static_cast<std::size_t>(n), false);
+  for (aig::Lit po : g.pos()) drives_po[aig::lit_node(po)] = true;
+  const auto fanouts = g.fanout_counts();
+  for (aig::NodeId id = 0; id < static_cast<aig::NodeId>(n); ++id) {
+    float* row = x.data() + static_cast<std::int64_t>(id) * kNodeFeatureDim;
+    const auto& node = g.node(id);
+    if (g.is_pi(id)) row[0] = 1.f;
+    if (g.is_and(id)) {
+      row[1] = 1.f;
+      const int ncompl = (aig::lit_is_compl(node.fanin0) ? 1 : 0) +
+                         (aig::lit_is_compl(node.fanin1) ? 1 : 0);
+      row[2 + ncompl] = 1.f;
+    }
+    if (drives_po[id]) row[5] = 1.f;
+    if (g.is_const0(id)) row[6] = 1.f;
+    const int fo = fanouts[id];
+    if (fo >= 1) row[7 + std::min(fo - 1, 3)] = 1.f;
+    row[11] = std::log1p(static_cast<float>(std::min(fo, 16))) / 4.f;
+  }
+  return x;
+}
+
+graph::Csr to_fanin_graph(const aig::Aig& g) {
+  std::vector<graph::Edge> edges;
+  const auto structural = g.structural_edges();
+  edges.reserve(structural.size());
+  for (const auto& e : structural) {
+    edges.push_back({static_cast<std::int64_t>(e.dst),
+                     static_cast<std::int64_t>(e.src)});
+  }
+  return graph::Csr::from_edges(g.num_nodes(), edges).normalized_row();
+}
+
+graph::Csr to_graph(const aig::Aig& g) {
+  std::vector<graph::Edge> edges;
+  const auto structural = g.structural_edges();
+  edges.reserve(structural.size());
+  for (const auto& e : structural) {
+    edges.push_back({static_cast<std::int64_t>(e.src),
+                     static_cast<std::int64_t>(e.dst)});
+  }
+  return graph::Csr::from_edges_undirected(g.num_nodes(), edges);
+}
+
+}  // namespace hoga::reasoning

@@ -1,0 +1,34 @@
+#pragma once
+// Graph-learning export of AIGs: node features and adjacency, shared by the
+// QoR task (Figure 3b) and the functional-reasoning task (Figure 3c).
+//
+// Features mirror the baselines': node type one-hots plus the number of
+// complemented fanin edges — deliberately local and cheap, so everything
+// structural must be learned from the graph (or, for HOGA, from hop-wise
+// features).
+
+#include "aig/aig.hpp"
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::reasoning {
+
+/// Feature width of node_features().
+constexpr std::int64_t kNodeFeatureDim = 12;
+
+/// [n, kNodeFeatureDim] per-node features:
+/// [is_pi, is_and, #compl-fanins==0, ==1, ==2, drives_po, is_const0,
+///  fanout==1, ==2, ==3, >=4, log1p(fanout)/4].
+Tensor node_features(const aig::Aig& g);
+
+/// Symmetrized structural adjacency (fanin->node edges, both directions),
+/// one graph node per AIG node (including const-0 and PIs).
+graph::Csr to_graph(const aig::Aig& g);
+
+/// Directed fanin adjacency, row-normalized: row i averages the fanins of
+/// node i. Circuit graphs are directed (Eq. 3's A), and propagating along
+/// the fanin direction gives hop features of the logic *cone* that defines
+/// a node's function — used alongside the symmetric hops for reasoning.
+graph::Csr to_fanin_graph(const aig::Aig& g);
+
+}  // namespace hoga::reasoning

@@ -1,0 +1,95 @@
+#include "reasoning/labels.hpp"
+
+#include <algorithm>
+
+#include "aig/cuts.hpp"
+#include "aig/truth.hpp"
+
+namespace hoga::reasoning {
+
+const char* node_class_name(NodeClass c) {
+  switch (c) {
+    case NodeClass::kMaj: return "MAJ";
+    case NodeClass::kXor: return "XOR";
+    case NodeClass::kShared: return "MAJ&XOR";
+    case NodeClass::kPlain: return "plain";
+  }
+  return "?";
+}
+
+std::vector<NodeClass> functional_labels(const aig::Aig& g) {
+  // 3-input cuts suffice for XOR3/MAJ3; they include the 2-input cuts needed
+  // for XOR2 (half-adder sums).
+  const auto cuts = aig::enumerate_cuts(g, {.k = 3, .max_cuts = 16});
+  const aig::Tt xor2 = aig::tt_var(0) ^ aig::tt_var(1);
+  const aig::Tt xor3 = aig::tt_xor3();
+  const aig::Tt maj3 = aig::tt_maj3();
+
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<bool> in_xor(n, false), in_maj(n, false);
+
+  // Marks the root and every interior AND node of the matched cut cone
+  // (DFS from root, stopping at the cut leaves).
+  auto mark_cone = [&](aig::NodeId root, const std::vector<aig::NodeId>& leaves,
+                       std::vector<bool>& flag) {
+    std::vector<aig::NodeId> stack{root};
+    while (!stack.empty()) {
+      const aig::NodeId id = stack.back();
+      stack.pop_back();
+      if (flag[id]) continue;
+      flag[id] = true;
+      const auto& node = g.node(id);
+      for (aig::Lit f : {node.fanin0, node.fanin1}) {
+        const aig::NodeId fid = aig::lit_node(f);
+        if (!g.is_and(fid)) continue;
+        if (std::find(leaves.begin(), leaves.end(), fid) != leaves.end()) {
+          continue;
+        }
+        stack.push_back(fid);
+      }
+    }
+  };
+
+  for (aig::NodeId id = 0; id < static_cast<aig::NodeId>(g.num_nodes());
+       ++id) {
+    if (!g.is_and(id)) continue;
+    for (const aig::Cut& cut : cuts[id]) {
+      if (cut.size() == 1 && cut.leaves[0] == id) continue;
+      if (cut.size() == 2) {
+        // XOR2 up to phases: {xor2, xnor2}.
+        if (aig::tt_equal(cut.tt, xor2, 2) ||
+            aig::tt_equal(cut.tt, aig::tt_not(xor2, 2), 2)) {
+          if (!in_xor[id]) mark_cone(id, cut.leaves, in_xor);
+        }
+      } else if (cut.size() == 3) {
+        if (aig::tt_matches_up_to_phase3(cut.tt, xor3) && !in_xor[id]) {
+          mark_cone(id, cut.leaves, in_xor);
+        }
+        if (aig::tt_matches_up_to_phase3(cut.tt, maj3) && !in_maj[id]) {
+          mark_cone(id, cut.leaves, in_maj);
+        }
+      }
+    }
+  }
+
+  std::vector<NodeClass> labels(n, NodeClass::kPlain);
+  for (std::size_t id = 0; id < n; ++id) {
+    if (in_xor[id] && in_maj[id]) {
+      labels[id] = NodeClass::kShared;
+    } else if (in_xor[id]) {
+      labels[id] = NodeClass::kXor;
+    } else if (in_maj[id]) {
+      labels[id] = NodeClass::kMaj;
+    }
+  }
+  return labels;
+}
+
+std::array<std::int64_t, kNumClasses> class_histogram(
+    const std::vector<NodeClass>& labels) {
+  std::array<std::int64_t, kNumClasses> h{};
+  for (NodeClass c : labels) h[static_cast<std::size_t>(c)]++;
+  return h;
+}
+
+}  // namespace hoga::reasoning

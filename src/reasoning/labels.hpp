@@ -1,0 +1,33 @@
+#pragma once
+// Gamora-style functional labeling (paper §IV-C): classify every node of an
+// AIG as the root of a MAJ operation, an XOR operation, both ("shared"), or
+// plain logic. Ground truth comes from symbolic cut matching — computing the
+// function of each small cut and testing it against XOR/MAJ up to input and
+// output phases — which is exactly what Gamora distills from ABC.
+
+#include <array>
+#include <vector>
+
+#include "aig/aig.hpp"
+
+namespace hoga::reasoning {
+
+enum class NodeClass : std::uint8_t {
+  kMaj = 0,     // root of MAJ3 (adder carry-out)
+  kXor = 1,     // root of XOR2/XOR3 (adder sum)
+  kShared = 2,  // root of both under different cuts
+  kPlain = 3,   // everything else (PIs, plain ANDs, ...)
+};
+
+constexpr int kNumClasses = 4;
+
+const char* node_class_name(NodeClass c);
+
+/// Functional labels for all nodes (index = node id).
+std::vector<NodeClass> functional_labels(const aig::Aig& aig);
+
+/// Per-class node counts.
+std::array<std::int64_t, kNumClasses> class_histogram(
+    const std::vector<NodeClass>& labels);
+
+}  // namespace hoga::reasoning

@@ -1,0 +1,137 @@
+#include "synth/balance.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hoga::synth {
+
+using aig::Aig;
+using aig::Lit;
+using aig::NodeId;
+
+Aig balance(const Aig& src) {
+  const auto live = src.reachable_from_pos();
+  // Fanout counts restricted to live logic (and PO references).
+  std::vector<int> fanout(static_cast<std::size_t>(src.num_nodes()), 0);
+  // complemented_use[i]: some live consumer uses node i through an inverted
+  // edge, so the node must be materialized (cannot be dissolved into a tree).
+  std::vector<bool> complemented_use(static_cast<std::size_t>(src.num_nodes()),
+                                     false);
+  for (NodeId id = 0; id < static_cast<NodeId>(src.num_nodes()); ++id) {
+    if (!src.is_and(id) || !live[id]) continue;
+    const auto& n = src.node(id);
+    for (Lit f : {n.fanin0, n.fanin1}) {
+      fanout[aig::lit_node(f)]++;
+      if (aig::lit_is_compl(f)) complemented_use[aig::lit_node(f)] = true;
+    }
+  }
+  for (Lit po : src.pos()) {
+    fanout[aig::lit_node(po)]++;
+    if (aig::lit_is_compl(po)) complemented_use[aig::lit_node(po)] = true;
+  }
+
+  auto is_root = [&](NodeId id) {
+    return src.is_and(id) && live[id] &&
+           (fanout[id] != 1 || complemented_use[id]);
+  };
+  // A PO-referenced node with fanout 1 (the PO itself) is a root too; the
+  // fanout counting above already gives POs weight, so fanout==1 +
+  // non-complemented single use by an AND is the only dissolvable case.
+  std::vector<bool> po_ref(static_cast<std::size_t>(src.num_nodes()), false);
+  for (Lit po : src.pos()) po_ref[aig::lit_node(po)] = true;
+
+  Aig dst;
+  std::vector<int> lvl;
+  lvl.push_back(0);  // const-0
+  std::vector<Lit> map(static_cast<std::size_t>(src.num_nodes()), Aig::kNoLit);
+  map[0] = aig::kLitFalse;
+  for (NodeId pi : src.pis()) {
+    map[pi] = dst.add_pi();
+    lvl.push_back(0);
+  }
+  auto bal_and = [&](Lit a, Lit b) -> Lit {
+    const std::int64_t before = dst.num_nodes();
+    const Lit r = dst.add_and(a, b);
+    if (dst.num_nodes() > before) {
+      lvl.push_back(1 + std::max(lvl[aig::lit_node(a)],
+                                 lvl[aig::lit_node(b)]));
+    }
+    return r;
+  };
+
+  // Collects the leaf literals of the maximal AND tree rooted at `id`:
+  // expand a fanin when it is a plain (non-complemented) edge to a live AND
+  // node that is not itself a root.
+  auto collect_leaves = [&](NodeId id, std::vector<Lit>& out) {
+    std::vector<NodeId> stack{id};
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      const auto& n = src.node(cur);
+      for (Lit f : {n.fanin0, n.fanin1}) {
+        const NodeId fid = aig::lit_node(f);
+        if (!aig::lit_is_compl(f) && src.is_and(fid) && !is_root(fid) &&
+            !po_ref[fid]) {
+          stack.push_back(fid);
+        } else {
+          out.push_back(f);
+        }
+      }
+    }
+  };
+
+  for (NodeId id = 0; id < static_cast<NodeId>(src.num_nodes()); ++id) {
+    if (!src.is_and(id) || !live[id]) continue;
+    if (!is_root(id) && !po_ref[id]) continue;
+    std::vector<Lit> leaves;
+    collect_leaves(id, leaves);
+    // Map leaves into dst and combine the two shallowest first (Huffman by
+    // level) to minimize tree depth.
+    using Item = std::pair<int, Lit>;  // (level, literal)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    bool is_const0 = false;
+    for (Lit leaf : leaves) {
+      const Lit m = map[aig::lit_node(leaf)];
+      HOGA_CHECK(m != Aig::kNoLit, "balance: leaf unmapped");
+      const Lit ml = aig::lit_not_if(m, aig::lit_is_compl(leaf));
+      if (ml == aig::kLitFalse) {
+        is_const0 = true;
+        break;
+      }
+      if (ml == aig::kLitTrue) continue;
+      pq.emplace(lvl[aig::lit_node(ml)], ml);
+    }
+    Lit result;
+    if (is_const0) {
+      result = aig::kLitFalse;
+    } else if (pq.empty()) {
+      result = aig::kLitTrue;
+    } else {
+      while (pq.size() > 1) {
+        const Lit a = pq.top().second;
+        pq.pop();
+        const Lit b = pq.top().second;
+        pq.pop();
+        const Lit r = bal_and(a, b);
+        if (r == aig::kLitFalse) {
+          is_const0 = true;
+          break;
+        }
+        if (r == aig::kLitTrue) continue;
+        pq.emplace(lvl[aig::lit_node(r)], r);
+      }
+      result = is_const0 ? aig::kLitFalse
+               : pq.empty() ? aig::kLitTrue
+                            : pq.top().second;
+    }
+    map[id] = result;
+  }
+  for (Lit po : src.pos()) {
+    const Lit m = map[aig::lit_node(po)];
+    HOGA_CHECK(m != Aig::kNoLit, "balance: PO unmapped");
+    dst.add_po(aig::lit_not_if(m, aig::lit_is_compl(po)));
+  }
+  return dst;
+}
+
+}  // namespace hoga::synth

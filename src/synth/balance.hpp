@@ -1,0 +1,13 @@
+#pragma once
+// Depth-oriented AND-tree balancing (ABC's `balance`): maximal single-rail
+// AND trees are collected and rebuilt as level-sorted balanced trees.
+
+#include "aig/aig.hpp"
+
+namespace hoga::synth {
+
+/// Rebuilds `src` with every maximal AND tree balanced by level. Functionally
+/// equivalent; typically reduces depth, sometimes gate count (via hashing).
+aig::Aig balance(const aig::Aig& src);
+
+}  // namespace hoga::synth

@@ -1,0 +1,177 @@
+#include "synth/isop.hpp"
+
+#include <bit>
+#include <functional>
+#include <unordered_map>
+
+namespace hoga::synth {
+namespace {
+
+using aig::tt_cofactor0;
+using aig::tt_cofactor1;
+using aig::tt_mask;
+
+std::vector<Cube> isop_rec(Tt lower, Tt upper, int nvars, int top) {
+  const Tt mask = tt_mask(nvars);
+  lower &= mask;
+  upper &= mask;
+  if (lower == 0) return {};
+  if (upper == mask) return {Cube{}};  // tautology: single empty cube
+  HOGA_CHECK(top > 0, "isop: ran out of variables with lower != 0");
+  const int v = top - 1;
+  const Tt l0 = tt_cofactor0(lower, v) & mask;
+  const Tt l1 = tt_cofactor1(lower, v) & mask;
+  const Tt u0 = tt_cofactor0(upper, v) & mask;
+  const Tt u1 = tt_cofactor1(upper, v) & mask;
+
+  std::vector<Cube> c0 = isop_rec(l0 & ~u1, u0, nvars, v);
+  std::vector<Cube> c1 = isop_rec(l1 & ~u0, u1, nvars, v);
+  const Tt f0 = sop_tt(c0, nvars);
+  const Tt f1 = sop_tt(c1, nvars);
+  const Tt remainder = ((l0 & ~f0) | (l1 & ~f1)) & mask;
+  std::vector<Cube> cs = isop_rec(remainder, u0 & u1, nvars, v);
+
+  std::vector<Cube> out;
+  out.reserve(c0.size() + c1.size() + cs.size());
+  for (Cube c : c0) {
+    c.neg |= static_cast<std::uint8_t>(1u << v);
+    out.push_back(c);
+  }
+  for (Cube c : c1) {
+    c.pos |= static_cast<std::uint8_t>(1u << v);
+    out.push_back(c);
+  }
+  out.insert(out.end(), cs.begin(), cs.end());
+  return out;
+}
+
+// Shared balanced construction used by both the real and the dry-run
+// builders so their node counts agree exactly.
+template <typename AndFn>
+Lit generic_sop(const std::vector<Cube>& cubes, const std::vector<Lit>& leaves,
+                AndFn&& and_fn) {
+  auto and_multi = [&](std::vector<Lit> lits) -> Lit {
+    if (lits.empty()) return aig::kLitTrue;
+    while (lits.size() > 1) {
+      std::vector<Lit> next;
+      next.reserve((lits.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < lits.size(); i += 2) {
+        next.push_back(and_fn(lits[i], lits[i + 1]));
+      }
+      if (lits.size() % 2) next.push_back(lits.back());
+      lits = std::move(next);
+    }
+    return lits[0];
+  };
+  std::vector<Lit> terms;
+  terms.reserve(cubes.size());
+  for (const Cube& c : cubes) {
+    std::vector<Lit> lits;
+    for (std::size_t v = 0; v < leaves.size(); ++v) {
+      if (c.pos & (1u << v)) lits.push_back(leaves[v]);
+      if (c.neg & (1u << v)) lits.push_back(aig::lit_not(leaves[v]));
+    }
+    terms.push_back(and_multi(std::move(lits)));
+  }
+  if (terms.empty()) return aig::kLitFalse;
+  // OR via De Morgan.
+  std::vector<Lit> inv;
+  inv.reserve(terms.size());
+  for (Lit t : terms) inv.push_back(aig::lit_not(t));
+  return aig::lit_not(and_multi(std::move(inv)));
+}
+
+}  // namespace
+
+Tt cube_tt(const Cube& c, int nvars) {
+  Tt t = tt_mask(nvars);
+  for (int v = 0; v < nvars; ++v) {
+    if (c.pos & (1u << v)) t &= aig::tt_var(v);
+    if (c.neg & (1u << v)) t &= ~aig::tt_var(v);
+  }
+  return t & tt_mask(nvars);
+}
+
+Tt sop_tt(const std::vector<Cube>& cubes, int nvars) {
+  Tt t = 0;
+  for (const Cube& c : cubes) t |= cube_tt(c, nvars);
+  return t & tt_mask(nvars);
+}
+
+std::vector<Cube> isop(Tt lower, Tt upper, int nvars) {
+  HOGA_CHECK(nvars >= 0 && nvars <= aig::kMaxTtVars, "isop: bad nvars");
+  HOGA_CHECK((lower & ~upper & tt_mask(nvars)) == 0,
+             "isop: lower not contained in upper");
+  if (nvars == 0) {
+    if ((lower & 1) == 0) return {};
+    return {Cube{}};
+  }
+  return isop_rec(lower, upper, nvars, nvars);
+}
+
+int sop_gate_upper_bound(const std::vector<Cube>& cubes) {
+  if (cubes.empty()) return 0;
+  int gates = static_cast<int>(cubes.size()) - 1;
+  for (const Cube& c : cubes) {
+    const int lits = std::popcount(static_cast<unsigned>(c.pos)) +
+                     std::popcount(static_cast<unsigned>(c.neg));
+    gates += std::max(0, lits - 1);
+  }
+  return gates;
+}
+
+Lit build_sop(Aig& dst, const std::vector<Cube>& cubes,
+              const std::vector<Lit>& leaves) {
+  return generic_sop(cubes, leaves,
+                     [&dst](Lit a, Lit b) { return dst.add_and(a, b); });
+}
+
+int count_new_nodes_sop(const Aig& dst, const std::vector<Cube>& cubes,
+                        const std::vector<Lit>& leaves) {
+  // Dry run: virtual node ids start beyond the real id space, and a local
+  // hash table plays the role of the strash for nodes that would be new.
+  std::unordered_map<std::uint64_t, Lit> virt;
+  Lit next_virtual =
+      aig::make_lit(static_cast<aig::NodeId>(dst.num_nodes()), false);
+  int created = 0;
+  auto and_fn = [&](Lit a, Lit b) -> Lit {
+    if (a == aig::kLitFalse || b == aig::kLitFalse) return aig::kLitFalse;
+    if (a == aig::kLitTrue) return b;
+    if (b == aig::kLitTrue) return a;
+    if (a == b) return a;
+    if (a == aig::lit_not(b)) return aig::kLitFalse;
+    const Lit real = dst.find_and(a, b);
+    if (real != Aig::kNoLit) return real;
+    Lit lo = a, hi = b;
+    if (lo > hi) std::swap(lo, hi);
+    const std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    auto it = virt.find(key);
+    if (it != virt.end()) return it->second;
+    const Lit v = next_virtual;
+    next_virtual += 2;
+    ++created;
+    virt.emplace(key, v);
+    return v;
+  };
+  generic_sop(cubes, leaves, and_fn);
+  return created;
+}
+
+Lit build_function(Aig& dst, Tt tt, int nvars,
+                   const std::vector<Lit>& leaves) {
+  HOGA_CHECK(static_cast<int>(leaves.size()) == nvars,
+             "build_function: leaves/nvars mismatch");
+  const Tt mask = tt_mask(nvars);
+  tt &= mask;
+  const auto pos_cubes = isop(tt, tt, nvars);
+  const Tt neg = ~tt & mask;
+  const auto neg_cubes = isop(neg, neg, nvars);
+  const int pos_cost = count_new_nodes_sop(dst, pos_cubes, leaves);
+  const int neg_cost = count_new_nodes_sop(dst, neg_cubes, leaves);
+  if (neg_cost < pos_cost) {
+    return aig::lit_not(build_sop(dst, neg_cubes, leaves));
+  }
+  return build_sop(dst, pos_cubes, leaves);
+}
+
+}  // namespace hoga::synth

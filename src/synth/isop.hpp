@@ -1,0 +1,54 @@
+#pragma once
+// Irredundant sum-of-products (Minato-Morreale ISOP) over small truth
+// tables, plus AIG construction of the resulting SOP. This is the
+// resynthesis core shared by rewrite, refactor, and the LUT re-decomposition
+// inside the technology-mapping substitute.
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/truth.hpp"
+
+namespace hoga::synth {
+
+using aig::Aig;
+using aig::Lit;
+using aig::Tt;
+
+/// Product term over <= 6 variables: bit i of `pos` selects x_i, bit i of
+/// `neg` selects !x_i. pos & neg == 0. Empty cube (pos=neg=0) is constant 1.
+struct Cube {
+  std::uint8_t pos = 0;
+  std::uint8_t neg = 0;
+};
+
+/// Truth table of one cube.
+Tt cube_tt(const Cube& c, int nvars);
+
+/// Truth table of a cube list (OR of cubes).
+Tt sop_tt(const std::vector<Cube>& cubes, int nvars);
+
+/// Minato-Morreale irredundant SOP with interval [lower, upper]:
+/// returns cubes whose union f satisfies lower <= f <= upper.
+/// For an exact cover call with lower == upper == target function.
+std::vector<Cube> isop(Tt lower, Tt upper, int nvars);
+
+/// Number of AIG AND gates a naive balanced SOP construction needs
+/// (literals-1 per cube plus cubes-1 for the OR), before sharing.
+int sop_gate_upper_bound(const std::vector<Cube>& cubes);
+
+/// Builds the SOP into `dst` over the given leaf literals, reusing existing
+/// nodes via strash. Returns the root literal.
+Lit build_sop(Aig& dst, const std::vector<Cube>& cubes,
+              const std::vector<Lit>& leaves);
+
+/// Builds whichever of {SOP(f), NOT SOP(!f)} costs fewer new gates in `dst`
+/// (dual-phase resynthesis). `tt` is over `leaves.size()` variables.
+Lit build_function(Aig& dst, Tt tt, int nvars, const std::vector<Lit>& leaves);
+
+/// Counts how many new AND nodes building `cubes` over `leaves` into `dst`
+/// would create, without modifying `dst` (dry run against its strash table).
+int count_new_nodes_sop(const Aig& dst, const std::vector<Cube>& cubes,
+                        const std::vector<Lit>& leaves);
+
+}  // namespace hoga::synth

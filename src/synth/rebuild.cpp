@@ -1,0 +1,39 @@
+#include "synth/rebuild.hpp"
+
+namespace hoga::synth {
+
+using aig::Aig;
+using aig::Lit;
+using aig::NodeId;
+
+Aig strash_with_map(const Aig& src, std::vector<Lit>* old_to_new) {
+  Aig dst;
+  const auto live = src.reachable_from_pos();
+  std::vector<Lit> map(static_cast<std::size_t>(src.num_nodes()),
+                       Aig::kNoLit);
+  map[0] = aig::kLitFalse;
+  for (NodeId pi : src.pis()) {
+    map[pi] = dst.add_pi();
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(src.num_nodes()); ++id) {
+    if (!src.is_and(id) || !live[id]) continue;
+    const auto& n = src.node(id);
+    const Lit f0 = map[aig::lit_node(n.fanin0)];
+    const Lit f1 = map[aig::lit_node(n.fanin1)];
+    HOGA_CHECK(f0 != Aig::kNoLit && f1 != Aig::kNoLit,
+               "strash: fanin of live node unmapped");
+    map[id] = dst.add_and(aig::lit_not_if(f0, aig::lit_is_compl(n.fanin0)),
+                          aig::lit_not_if(f1, aig::lit_is_compl(n.fanin1)));
+  }
+  for (Lit po : src.pos()) {
+    const Lit m = map[aig::lit_node(po)];
+    HOGA_CHECK(m != Aig::kNoLit, "strash: PO cone unmapped");
+    dst.add_po(aig::lit_not_if(m, aig::lit_is_compl(po)));
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return dst;
+}
+
+Aig strash(const Aig& src) { return strash_with_map(src, nullptr); }
+
+}  // namespace hoga::synth

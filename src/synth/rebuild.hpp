@@ -1,0 +1,21 @@
+#pragma once
+// Network reconstruction utilities: structural hashing with dead-code
+// elimination ("strash" in ABC terms). Every synthesis pass in this library
+// returns a freshly reconstructed AIG, which keeps invariants simple
+// (topological node order, no dangling logic).
+
+#include "aig/aig.hpp"
+
+namespace hoga::synth {
+
+/// Copies `src` keeping only logic reachable from POs, with structural
+/// hashing (merges duplicated nodes). PIs are preserved in order even when
+/// unused. Also the "strash" recipe pass.
+aig::Aig strash(const aig::Aig& src);
+
+/// Like strash but also returns the node mapping old-id -> new-lit
+/// (Aig::kNoLit for removed nodes). Passes that must carry node labels
+/// across reconstruction (tech mapping in the reasoning flow) use this.
+aig::Aig strash_with_map(const aig::Aig& src, std::vector<aig::Lit>* old_to_new);
+
+}  // namespace hoga::synth

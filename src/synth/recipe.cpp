@@ -1,0 +1,82 @@
+#include "synth/recipe.hpp"
+
+#include <sstream>
+
+#include "synth/balance.hpp"
+#include "synth/rebuild.hpp"
+#include "synth/rewrite.hpp"
+
+namespace hoga::synth {
+
+const char* pass_name(Pass p) {
+  switch (p) {
+    case Pass::kBalance: return "balance";
+    case Pass::kRewrite: return "rewrite";
+    case Pass::kRewriteZ: return "rewrite -z";
+    case Pass::kRefactor: return "refactor";
+    case Pass::kRefactorZ: return "refactor -z";
+    case Pass::kResub: return "resub";
+    case Pass::kStrash: return "strash";
+  }
+  return "?";
+}
+
+aig::Aig apply_pass(const aig::Aig& src, Pass p) {
+  switch (p) {
+    case Pass::kBalance: return balance(src);
+    case Pass::kRewrite: return rewrite(src, false);
+    case Pass::kRewriteZ: return rewrite(src, true);
+    case Pass::kRefactor: return refactor(src, false);
+    case Pass::kRefactorZ: return refactor(src, true);
+    case Pass::kResub: return resub(src);
+    case Pass::kStrash: return strash(src);
+  }
+  HOGA_CHECK(false, "apply_pass: unknown pass");
+}
+
+Recipe Recipe::random(Rng& rng, int length) {
+  Recipe r;
+  r.passes.reserve(static_cast<std::size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    r.passes.push_back(
+        static_cast<Pass>(rng.uniform_int(kNumPassKinds)));
+  }
+  return r;
+}
+
+Recipe Recipe::resyn2() {
+  // ABC resyn2: b; rw; rf; b; rw; rwz; b; rfz; rwz; b
+  return Recipe{{Pass::kBalance, Pass::kRewrite, Pass::kRefactor,
+                 Pass::kBalance, Pass::kRewrite, Pass::kRewriteZ,
+                 Pass::kBalance, Pass::kRefactorZ, Pass::kRewriteZ,
+                 Pass::kBalance}};
+}
+
+std::string Recipe::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    if (i) os << "; ";
+    os << pass_name(passes[i]);
+  }
+  return os.str();
+}
+
+std::vector<std::int64_t> Recipe::token_ids() const {
+  std::vector<std::int64_t> out;
+  out.reserve(passes.size());
+  for (Pass p : passes) out.push_back(static_cast<std::int64_t>(p));
+  return out;
+}
+
+RecipeResult run_recipe(const aig::Aig& src, const Recipe& recipe) {
+  RecipeResult result;
+  result.optimized = strash(src);
+  result.and_counts.reserve(recipe.passes.size());
+  for (Pass p : recipe.passes) {
+    result.optimized = apply_pass(result.optimized, p);
+    result.and_counts.push_back(result.optimized.num_ands());
+  }
+  return result;
+}
+
+}  // namespace hoga::synth

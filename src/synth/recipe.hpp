@@ -1,0 +1,59 @@
+#pragma once
+// Synthesis recipes: sequences of optimization passes, mirroring the recipe
+// space of OpenABC-D (balance / rewrite / rewrite -z / refactor /
+// refactor -z / resub / strash). Recipes are first-class data — the QoR
+// prediction task conditions on a recipe encoding exactly as the paper's
+// baseline does (Figure 3b).
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::synth {
+
+enum class Pass : std::uint8_t {
+  kBalance = 0,
+  kRewrite = 1,
+  kRewriteZ = 2,
+  kRefactor = 3,
+  kRefactorZ = 4,
+  kResub = 5,
+  kStrash = 6,
+};
+
+constexpr int kNumPassKinds = 7;
+
+const char* pass_name(Pass p);
+
+/// Applies one pass; always returns a freshly reconstructed network.
+aig::Aig apply_pass(const aig::Aig& src, Pass p);
+
+struct Recipe {
+  std::vector<Pass> passes;
+
+  /// Uniformly random recipe of the given length.
+  static Recipe random(Rng& rng, int length);
+
+  /// ABC's resyn2 analog, the canonical reference recipe.
+  static Recipe resyn2();
+
+  std::string to_string() const;
+
+  /// Token ids (one per step) for the recipe encoder of the QoR model.
+  std::vector<std::int64_t> token_ids() const;
+
+  int length() const { return static_cast<int>(passes.size()); }
+};
+
+struct RecipeResult {
+  aig::Aig optimized;
+  /// AND count after each pass (index 0 = after first pass).
+  std::vector<std::int64_t> and_counts;
+};
+
+/// Runs all passes in order.
+RecipeResult run_recipe(const aig::Aig& src, const Recipe& recipe);
+
+}  // namespace hoga::synth

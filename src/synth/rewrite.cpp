@@ -1,0 +1,98 @@
+#include "synth/rewrite.hpp"
+
+#include "synth/isop.hpp"
+#include "synth/rebuild.hpp"
+
+namespace hoga::synth {
+
+using aig::Aig;
+using aig::Cut;
+using aig::Lit;
+using aig::NodeId;
+using aig::Tt;
+
+Aig resynthesize(const Aig& src, const ResynParams& params) {
+  const auto cuts = aig::enumerate_cuts(
+      src, {.k = params.cut_size, .max_cuts = params.max_cuts});
+  const auto live = src.reachable_from_pos();
+
+  Aig dst;
+  std::vector<Lit> map(static_cast<std::size_t>(src.num_nodes()), Aig::kNoLit);
+  map[0] = aig::kLitFalse;
+  for (NodeId pi : src.pis()) map[pi] = dst.add_pi();
+
+  for (NodeId id = 0; id < static_cast<NodeId>(src.num_nodes()); ++id) {
+    if (!src.is_and(id) || !live[id]) continue;
+    const auto& n = src.node(id);
+    const Lit d0 = map[aig::lit_node(n.fanin0)];
+    const Lit d1 = map[aig::lit_node(n.fanin1)];
+    HOGA_CHECK(d0 != Aig::kNoLit && d1 != Aig::kNoLit,
+               "resynthesize: fanin unmapped");
+    const Lit c0 = aig::lit_not_if(d0, aig::lit_is_compl(n.fanin0));
+    const Lit c1 = aig::lit_not_if(d1, aig::lit_is_compl(n.fanin1));
+    // Baseline: direct copy (free if the gate already exists in dst).
+    int best_cost = dst.find_and(c0, c1) != Aig::kNoLit ? 0 : 1;
+    enum class Choice { kCopy, kSopPos, kSopNeg };
+    Choice best_choice = Choice::kCopy;
+    std::vector<Cube> best_cubes;
+    std::vector<Lit> best_leaves;
+
+    for (const Cut& cut : cuts[id]) {
+      const int nv = cut.size();
+      if (nv < 2 || (nv == 1 && cut.leaves[0] == id)) continue;
+      if (nv == 1) continue;  // trivial self cut
+      bool leaves_ok = true;
+      std::vector<Lit> leaf_lits;
+      leaf_lits.reserve(static_cast<std::size_t>(nv));
+      for (NodeId leaf : cut.leaves) {
+        if (leaf == id || map[leaf] == Aig::kNoLit) {
+          leaves_ok = false;
+          break;
+        }
+        leaf_lits.push_back(map[leaf]);
+      }
+      if (!leaves_ok) continue;
+      const Tt mask = aig::tt_mask(nv);
+      const Tt f = cut.tt & mask;
+      const auto pos = isop(f, f, nv);
+      const auto neg = isop(~f & mask, ~f & mask, nv);
+      const int pos_cost = count_new_nodes_sop(dst, pos, leaf_lits);
+      const int neg_cost = count_new_nodes_sop(dst, neg, leaf_lits);
+      if (pos_cost < best_cost ||
+          (params.zero_cost && pos_cost == best_cost &&
+           best_choice == Choice::kCopy)) {
+        best_cost = pos_cost;
+        best_choice = Choice::kSopPos;
+        best_cubes = pos;
+        best_leaves = leaf_lits;
+      }
+      if (neg_cost < best_cost) {
+        best_cost = neg_cost;
+        best_choice = Choice::kSopNeg;
+        best_cubes = neg;
+        best_leaves = leaf_lits;
+      }
+    }
+
+    switch (best_choice) {
+      case Choice::kCopy:
+        map[id] = dst.add_and(c0, c1);
+        break;
+      case Choice::kSopPos:
+        map[id] = build_sop(dst, best_cubes, best_leaves);
+        break;
+      case Choice::kSopNeg:
+        map[id] = aig::lit_not(build_sop(dst, best_cubes, best_leaves));
+        break;
+    }
+  }
+  for (Lit po : src.pos()) {
+    const Lit m = map[aig::lit_node(po)];
+    HOGA_CHECK(m != Aig::kNoLit, "resynthesize: PO unmapped");
+    dst.add_po(aig::lit_not_if(m, aig::lit_is_compl(po)));
+  }
+  // Bypassed intermediates may be dead; clean them up.
+  return strash(dst);
+}
+
+}  // namespace hoga::synth

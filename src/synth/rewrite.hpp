@@ -1,0 +1,40 @@
+#pragma once
+// Cut-based resynthesis (ABC-style rewrite/refactor): every live node is
+// re-implemented by the cheapest of (a) a direct copy of its AND gate or
+// (b) a dual-phase ISOP network over one of its cuts, costed against the
+// partially built destination network so shared logic is free.
+
+#include "aig/aig.hpp"
+#include "aig/cuts.hpp"
+
+namespace hoga::synth {
+
+struct ResynParams {
+  int cut_size = 4;     // rewrite uses 4-cuts, refactor 6-cuts
+  int max_cuts = 8;
+  /// Accept zero-gain replacements (ABC's -z): perturbs structure so later
+  /// passes find new opportunities.
+  bool zero_cost = false;
+};
+
+/// Generic cut resynthesis; `rewrite`/`refactor`/`resub` below are the
+/// recipe-facing parameterizations.
+aig::Aig resynthesize(const aig::Aig& src, const ResynParams& params);
+
+inline aig::Aig rewrite(const aig::Aig& src, bool zero_cost = false) {
+  return resynthesize(src, {.cut_size = 4, .max_cuts = 8,
+                            .zero_cost = zero_cost});
+}
+
+inline aig::Aig refactor(const aig::Aig& src, bool zero_cost = false) {
+  return resynthesize(src, {.cut_size = 6, .max_cuts = 5,
+                            .zero_cost = zero_cost});
+}
+
+/// Lightweight substitution flavor: mid-size cuts, more cuts kept per node.
+inline aig::Aig resub(const aig::Aig& src) {
+  return resynthesize(src, {.cut_size = 5, .max_cuts = 10,
+                            .zero_cost = false});
+}
+
+}  // namespace hoga::synth

@@ -1,0 +1,117 @@
+#include "synth/techmap.hpp"
+
+#include <algorithm>
+
+#include "aig/cuts.hpp"
+#include "synth/isop.hpp"
+#include "synth/rebuild.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::synth {
+
+using aig::Aig;
+using aig::Cut;
+using aig::Lit;
+using aig::NodeId;
+using aig::Tt;
+
+Aig tech_map(const Aig& src, const TechMapParams& params) {
+  const auto cuts = aig::enumerate_cuts(
+      src, {.k = params.lut_size, .max_cuts = params.max_cuts});
+  const std::int64_t n = src.num_nodes();
+
+  // Depth-optimal cut selection (arrival time = LUT levels).
+  std::vector<int> arrival(static_cast<std::size_t>(n), 0);
+  std::vector<int> best_cut(static_cast<std::size_t>(n), -1);
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    if (!src.is_and(id)) continue;
+    int best_arr = -1, best_size = 0, best_idx = -1;
+    const auto& node_cuts = cuts[id];
+    for (std::size_t ci = 0; ci < node_cuts.size(); ++ci) {
+      const Cut& cut = node_cuts[ci];
+      if (cut.leaves.empty()) continue;
+      // Skip the trivial self cut.
+      if (cut.size() == 1 && cut.leaves[0] == id) continue;
+      int arr = 0;
+      for (NodeId leaf : cut.leaves) arr = std::max(arr, arrival[leaf]);
+      arr += 1;
+      if (best_idx < 0 || arr < best_arr ||
+          (arr == best_arr && cut.size() < best_size)) {
+        best_arr = arr;
+        best_size = cut.size();
+        best_idx = static_cast<int>(ci);
+      }
+    }
+    HOGA_CHECK(best_idx >= 0, "tech_map: node without usable cut");
+    arrival[id] = best_arr;
+    best_cut[id] = best_idx;
+  }
+
+  // Cover from the POs.
+  std::vector<bool> needed(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> stack;
+  for (Lit po : src.pos()) {
+    const NodeId id = aig::lit_node(po);
+    if (src.is_and(id) && !needed[id]) {
+      needed[id] = true;
+      stack.push_back(id);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const Cut& cut = cuts[id][static_cast<std::size_t>(best_cut[id])];
+    for (NodeId leaf : cut.leaves) {
+      if (src.is_and(leaf) && !needed[leaf]) {
+        needed[leaf] = true;
+        stack.push_back(leaf);
+      }
+    }
+  }
+
+  // Rebuild: each needed LUT is re-decomposed with a permuted variable
+  // order and a pseudo-random output phase. The permutation/phase are
+  // derived from the LUT *function*, not from visit order, so a given cell
+  // always decomposes the same way — like a real technology library — and
+  // local patterns recur across circuit sizes.
+  Aig dst;
+  std::vector<Lit> map(static_cast<std::size_t>(n), Aig::kNoLit);
+  map[0] = aig::kLitFalse;
+  for (NodeId pi : src.pis()) map[pi] = dst.add_pi();
+  for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+    if (!needed[id]) continue;
+    const Cut& cut = cuts[id][static_cast<std::size_t>(best_cut[id])];
+    const int nv = cut.size();
+    Rng rng(params.seed ^ (cut.tt * 0x9e3779b97f4a7c15ULL) ^
+            static_cast<std::uint64_t>(nv));
+    // Function-determined permutation of cut leaves.
+    std::vector<std::size_t> perm_idx(static_cast<std::size_t>(nv));
+    for (std::size_t i = 0; i < perm_idx.size(); ++i) perm_idx[i] = i;
+    rng.shuffle(perm_idx);
+    std::vector<NodeId> perm(static_cast<std::size_t>(nv));
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      perm[i] = cut.leaves[perm_idx[i]];
+    }
+    Tt tt = aig::tt_expand(cut.tt, cut.leaves, perm);
+    std::vector<Lit> leaf_lits;
+    leaf_lits.reserve(static_cast<std::size_t>(nv));
+    for (NodeId leaf : perm) {
+      HOGA_CHECK(map[leaf] != Aig::kNoLit, "tech_map: leaf unmapped");
+      leaf_lits.push_back(map[leaf]);
+    }
+    const bool flip = rng.bernoulli(0.5);
+    if (flip) tt = aig::tt_not(tt, nv);
+    const auto cubes = isop(tt, tt, nv);
+    Lit r = build_sop(dst, cubes, leaf_lits);
+    if (flip) r = aig::lit_not(r);
+    map[id] = r;
+  }
+  for (Lit po : src.pos()) {
+    const Lit m = map[aig::lit_node(po)];
+    HOGA_CHECK(m != Aig::kNoLit, "tech_map: PO unmapped");
+    dst.add_po(aig::lit_not_if(m, aig::lit_is_compl(po)));
+  }
+  return strash(dst);
+}
+
+}  // namespace hoga::synth

@@ -1,0 +1,25 @@
+#pragma once
+// Technology-mapping substitute (DESIGN.md §1): k-LUT covering with
+// depth-oriented cut selection followed by randomized re-decomposition of
+// every LUT back into AND-inverter logic.
+//
+// In the paper, ASAP-7nm technology mapping makes Gamora's functional
+// reasoning hard because it destroys the pristine adder-tree structure while
+// preserving function. This pass has exactly that effect: node boundaries
+// move to LUT cut boundaries and each LUT is rebuilt with a permuted
+// variable order and a randomly chosen output phase.
+
+#include "aig/aig.hpp"
+
+namespace hoga::synth {
+
+struct TechMapParams {
+  int lut_size = 4;
+  int max_cuts = 8;
+  /// Seed for the per-LUT re-decomposition randomization.
+  std::uint64_t seed = 0x7ea7u;
+};
+
+aig::Aig tech_map(const aig::Aig& src, const TechMapParams& params = {});
+
+}  // namespace hoga::synth

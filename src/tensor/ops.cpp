@@ -1,0 +1,431 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hoga::tensor_ops {
+namespace {
+
+// Validates the broadcast contract (identical shapes, or rhs a suffix of lhs)
+// and returns the rhs period (rhs numel).
+std::int64_t broadcast_period(const Tensor& a, const Tensor& b,
+                              const char* op) {
+  if (a.shape() == b.shape()) return a.numel();
+  const auto& sa = a.shape();
+  const auto& sb = b.shape();
+  HOGA_CHECK(sb.size() <= sa.size() && !sb.empty(),
+             op << ": cannot broadcast " << shape_to_string(sb) << " to "
+                << shape_to_string(sa));
+  const std::size_t off = sa.size() - sb.size();
+  for (std::size_t i = 0; i < sb.size(); ++i) {
+    HOGA_CHECK(sa[off + i] == sb[i],
+               op << ": cannot broadcast " << shape_to_string(sb) << " to "
+                  << shape_to_string(sa));
+  }
+  return b.numel();
+}
+
+template <typename F>
+Tensor binary(const Tensor& a, const Tensor& b, const char* name, F f) {
+  const std::int64_t period = broadcast_period(a, b, name);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t n = a.numel();
+  if (period == n) {
+    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i % period]);
+  }
+  return out;
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  const std::int64_t period = broadcast_period(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  if (period == n) {
+    for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i % period];
+  }
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  HOGA_CHECK(a.numel() == b.numel(), "axpy_inplace: numel mismatch");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x * s; });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.f ? x : 0.f; });
+}
+Tensor relu_mask(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.f ? 1.f : 0.f; });
+}
+Tensor exp(const Tensor& a) {
+  return unary(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary(a, [](float x) { return std::log(x); });
+}
+Tensor sigmoid(const Tensor& a) {
+  return unary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+Tensor tanh(const Tensor& a) {
+  return unary(a, [](float x) { return std::tanh(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary(a, [](float x) { return std::sqrt(x); });
+}
+Tensor neg(const Tensor& a) {
+  return unary(a, [](float x) { return -x; });
+}
+Tensor apply(const Tensor& a, const std::function<float(float)>& f) {
+  return unary(a, f);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  HOGA_CHECK(a.dim() == 2 && b.dim() == 2, "matmul: need 2-D operands, got "
+                                               << shape_to_string(a.shape())
+                                               << " x "
+                                               << shape_to_string(b.shape()));
+  const std::int64_t m = trans_a ? a.size(1) : a.size(0);
+  const std::int64_t k = trans_a ? a.size(0) : a.size(1);
+  const std::int64_t kb = trans_b ? b.size(1) : b.size(0);
+  const std::int64_t n = trans_b ? b.size(0) : b.size(1);
+  HOGA_CHECK(k == kb, "matmul: inner dims " << k << " vs " << kb);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const std::int64_t lda = a.size(1);
+  const std::int64_t ldb = b.size(1);
+  // i-k-j loop order keeps the inner loop contiguous for the common
+  // (no-transpose) case; transposed operands fall back to strided reads.
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+      if (av == 0.f) continue;
+      if (!trans_b) {
+        const float* brow = pb + kk * ldb;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * pb[j * ldb + kk];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  HOGA_CHECK(a.dim() == 3 && b.dim() == 3, "bmm: need 3-D operands, got "
+                                               << shape_to_string(a.shape())
+                                               << " x "
+                                               << shape_to_string(b.shape()));
+  HOGA_CHECK(a.size(0) == b.size(0), "bmm: batch dims differ");
+  const std::int64_t B = a.size(0);
+  const std::int64_t m = trans_a ? a.size(2) : a.size(1);
+  const std::int64_t k = trans_a ? a.size(1) : a.size(2);
+  const std::int64_t kb = trans_b ? b.size(2) : b.size(1);
+  const std::int64_t n = trans_b ? b.size(1) : b.size(2);
+  HOGA_CHECK(k == kb, "bmm: inner dims " << k << " vs " << kb);
+  Tensor out({B, m, n});
+  const std::int64_t sa = a.size(1) * a.size(2);
+  const std::int64_t sb = b.size(1) * b.size(2);
+  const std::int64_t so = m * n;
+  const std::int64_t lda = a.size(2);
+  const std::int64_t ldb = b.size(2);
+  for (std::int64_t bi = 0; bi < B; ++bi) {
+    const float* pa = a.data() + bi * sa;
+    const float* pb = b.data() + bi * sb;
+    float* po = out.data() + bi * so;
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* orow = po + i * n;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+        if (av == 0.f) continue;
+        if (!trans_b) {
+          const float* brow = pb + kk * ldb;
+          for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+        } else {
+          for (std::int64_t j = 0; j < n; ++j) {
+            orow[j] += av * pb[j * ldb + kk];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  HOGA_CHECK(a.dim() == 2, "transpose2d: need 2-D");
+  const std::int64_t m = a.size(0), n = a.size(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out.data()[j * m + i] = a.data()[i * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  HOGA_CHECK(!parts.empty(), "concat_cols: empty input");
+  const std::int64_t n = parts[0].size(0);
+  std::int64_t total = 0;
+  for (const auto& p : parts) {
+    HOGA_CHECK(p.dim() == 2 && p.size(0) == n,
+               "concat_cols: inconsistent shapes");
+    total += p.size(1);
+  }
+  Tensor out({n, total});
+  std::int64_t col = 0;
+  for (const auto& p : parts) {
+    const std::int64_t d = p.size(1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy(p.data() + i * d, p.data() + (i + 1) * d,
+                out.data() + i * total + col);
+    }
+    col += d;
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, std::int64_t lo, std::int64_t hi) {
+  HOGA_CHECK(a.dim() == 2, "slice_cols: need 2-D");
+  HOGA_CHECK(0 <= lo && lo <= hi && hi <= a.size(1),
+             "slice_cols: bad range [" << lo << ", " << hi << ")");
+  const std::int64_t n = a.size(0), d = a.size(1), w = hi - lo;
+  Tensor out({n, w});
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy(a.data() + i * d + lo, a.data() + i * d + hi,
+              out.data() + i * w);
+  }
+  return out;
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  HOGA_CHECK(!parts.empty(), "concat_rows: empty input");
+  Shape tail(parts[0].shape().begin() + 1, parts[0].shape().end());
+  std::int64_t rows = 0;
+  for (const auto& p : parts) {
+    Shape t(p.shape().begin() + 1, p.shape().end());
+    HOGA_CHECK(t == tail, "concat_rows: trailing dims differ");
+    rows += p.size(0);
+  }
+  Shape out_shape;
+  out_shape.push_back(rows);
+  out_shape.insert(out_shape.end(), tail.begin(), tail.end());
+  Tensor out(out_shape);
+  float* po = out.data();
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.numel(), po);
+    po += p.numel();
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& a, std::int64_t lo, std::int64_t hi) {
+  HOGA_CHECK(a.dim() >= 1, "slice_rows: need rank >= 1");
+  HOGA_CHECK(0 <= lo && lo <= hi && hi <= a.size(0),
+             "slice_rows: bad range [" << lo << ", " << hi << ")");
+  Shape out_shape = a.shape();
+  out_shape[0] = hi - lo;
+  const std::int64_t stride = a.numel() / std::max<std::int64_t>(1, a.size(0));
+  Tensor out(out_shape);
+  std::copy(a.data() + lo * stride, a.data() + hi * stride, out.data());
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& idx) {
+  HOGA_CHECK(a.dim() >= 1, "gather_rows: need rank >= 1");
+  const std::int64_t stride = a.numel() / std::max<std::int64_t>(1, a.size(0));
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<std::int64_t>(idx.size());
+  Tensor out(out_shape);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    HOGA_CHECK(idx[i] >= 0 && idx[i] < a.size(0),
+               "gather_rows: index " << idx[i] << " out of range");
+    std::copy(a.data() + idx[i] * stride, a.data() + (idx[i] + 1) * stride,
+              out.data() + static_cast<std::int64_t>(i) * stride);
+  }
+  return out;
+}
+
+void scatter_add_rows(Tensor& target, const std::vector<std::int64_t>& idx,
+                      const Tensor& src) {
+  HOGA_CHECK(src.size(0) == static_cast<std::int64_t>(idx.size()),
+             "scatter_add_rows: src rows != idx size");
+  const std::int64_t stride =
+      target.numel() / std::max<std::int64_t>(1, target.size(0));
+  HOGA_CHECK(src.numel() == stride * src.size(0),
+             "scatter_add_rows: row stride mismatch");
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    HOGA_CHECK(idx[i] >= 0 && idx[i] < target.size(0),
+               "scatter_add_rows: index out of range");
+    float* pt = target.data() + idx[i] * stride;
+    const float* ps = src.data() + static_cast<std::int64_t>(i) * stride;
+    for (std::int64_t j = 0; j < stride; ++j) pt[j] += ps[j];
+  }
+}
+
+Tensor stack(const std::vector<Tensor>& parts) {
+  HOGA_CHECK(!parts.empty(), "stack: empty input");
+  for (const auto& p : parts) {
+    HOGA_CHECK(p.shape() == parts[0].shape(), "stack: shapes differ");
+  }
+  Shape out_shape;
+  out_shape.push_back(static_cast<std::int64_t>(parts.size()));
+  out_shape.insert(out_shape.end(), parts[0].shape().begin(),
+                   parts[0].shape().end());
+  Tensor out(out_shape);
+  float* po = out.data();
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.numel(), po);
+    po += p.numel();
+  }
+  return out;
+}
+
+float sum_all(const Tensor& a) {
+  double s = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) s += a.data()[i];
+  return static_cast<float>(s);
+}
+
+float mean_all(const Tensor& a) {
+  HOGA_CHECK(a.numel() > 0, "mean_all: empty tensor");
+  return sum_all(a) / static_cast<float>(a.numel());
+}
+
+Tensor sum_axis0(const Tensor& a) {
+  HOGA_CHECK(a.dim() == 2, "sum_axis0: need 2-D");
+  const std::int64_t n = a.size(0), d = a.size(1);
+  Tensor out({d});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = a.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) out.data()[j] += row[j];
+  }
+  return out;
+}
+
+Tensor sum_lastdim(const Tensor& a) {
+  HOGA_CHECK(a.dim() >= 1, "sum_lastdim: need rank >= 1");
+  const std::int64_t d = a.size(-1);
+  const std::int64_t outer = a.numel() / std::max<std::int64_t>(1, d);
+  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+  Tensor out(out_shape.empty() ? Shape{1} : out_shape);
+  for (std::int64_t i = 0; i < outer; ++i) {
+    double s = 0;
+    const float* row = a.data() + i * d;
+    for (std::int64_t j = 0; j < d; ++j) s += row[j];
+    out.data()[i] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Tensor mean_lastdim(const Tensor& a) {
+  const std::int64_t d = a.size(-1);
+  HOGA_CHECK(d > 0, "mean_lastdim: empty last dim");
+  return mul_scalar(sum_lastdim(a), 1.f / static_cast<float>(d));
+}
+
+float frobenius_norm(const Tensor& a) {
+  double s = 0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    s += static_cast<double>(a.data()[i]) * a.data()[i];
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  HOGA_CHECK(a.dim() >= 1 && a.size(-1) > 0, "softmax_lastdim: bad shape");
+  const std::int64_t d = a.size(-1);
+  const std::int64_t outer = a.numel() / d;
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < outer; ++i) {
+    const float* row = a.data() + i * d;
+    float* orow = out.data() + i * d;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+    double s = 0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      s += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / s);
+    for (std::int64_t j = 0; j < d; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+LayerNormResult layer_norm_lastdim(const Tensor& a, float eps) {
+  HOGA_CHECK(a.dim() >= 1 && a.size(-1) > 0, "layer_norm: bad shape");
+  const std::int64_t d = a.size(-1);
+  const std::int64_t outer = a.numel() / d;
+  LayerNormResult r;
+  r.y = Tensor(a.shape());
+  Shape stat_shape(a.shape().begin(), a.shape().end() - 1);
+  if (stat_shape.empty()) stat_shape = {1};
+  r.mean = Tensor(stat_shape);
+  r.rstd = Tensor(stat_shape);
+  for (std::int64_t i = 0; i < outer; ++i) {
+    const float* row = a.data() + i * d;
+    float* orow = r.y.data() + i * d;
+    double m = 0;
+    for (std::int64_t j = 0; j < d; ++j) m += row[j];
+    m /= d;
+    double var = 0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const double c = row[j] - m;
+      var += c * c;
+    }
+    var /= d;
+    const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    r.mean.data()[i] = static_cast<float>(m);
+    r.rstd.data()[i] = rstd;
+    for (std::int64_t j = 0; j < d; ++j) {
+      orow[j] = (row[j] - static_cast<float>(m)) * rstd;
+    }
+  }
+  return r;
+}
+
+}  // namespace hoga::tensor_ops

@@ -1,0 +1,97 @@
+#pragma once
+// Raw (non-differentiable) tensor kernels. The autograd layer wraps these and
+// adds backward rules; models never call these directly except in
+// inference-only fast paths.
+//
+// Broadcasting policy: binary elementwise ops accept (a) identical shapes, or
+// (b) an rhs whose shape is a suffix of lhs's shape (e.g. bias [d] added to
+// [n, d] or [b, k, d]). Anything else is an error — explicit beats clever.
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hoga::tensor_ops {
+
+// -- Elementwise binary -------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+/// In-place a += b (same broadcast policy).
+void add_inplace(Tensor& a, const Tensor& b);
+/// In-place a += s * b (same shape only). The axpy workhorse for gradients.
+void axpy_inplace(Tensor& a, float s, const Tensor& b);
+
+// -- Scalar ---------------------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// -- Elementwise unary ------------------------------------------------------
+Tensor relu(const Tensor& a);
+/// 1 where a > 0 else 0 (relu's derivative mask).
+Tensor relu_mask(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor neg(const Tensor& a);
+Tensor apply(const Tensor& a, const std::function<float(float)>& f);
+
+// -- Matmul ----------------------------------------------------------------
+/// 2-D matrix product with optional operand transposes:
+/// op(a) [m, k] x op(b) [k, n] -> [m, n].
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+/// Batched 3-D matmul: [B, m, k] x [B, k, n] -> [B, m, n], with transposes
+/// applied to the trailing two axes.
+Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a = false,
+           bool trans_b = false);
+
+Tensor transpose2d(const Tensor& a);
+
+// -- Shape surgery -----------------------------------------------------------
+/// Concatenate 2-D tensors [n, d_i] along columns -> [n, sum d_i].
+Tensor concat_cols(const std::vector<Tensor>& parts);
+/// Columns [lo, hi) of a 2-D tensor.
+Tensor slice_cols(const Tensor& a, std::int64_t lo, std::int64_t hi);
+/// Concatenate along axis 0 (all trailing dims equal).
+Tensor concat_rows(const std::vector<Tensor>& parts);
+/// Rows [lo, hi) along axis 0.
+Tensor slice_rows(const Tensor& a, std::int64_t lo, std::int64_t hi);
+/// Rows a[idx[0]], a[idx[1]], ... along axis 0.
+Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& idx);
+/// target[idx[i]] += src[i] along axis 0 (gather_rows' adjoint).
+void scatter_add_rows(Tensor& target, const std::vector<std::int64_t>& idx,
+                      const Tensor& src);
+
+/// Stack R equal-shape tensors into a new leading axis -> [R, ...].
+Tensor stack(const std::vector<Tensor>& parts);
+
+// -- Reductions ----------------------------------------------------------
+float sum_all(const Tensor& a);
+float mean_all(const Tensor& a);
+/// Sum over axis 0 of a 2-D tensor -> [d].
+Tensor sum_axis0(const Tensor& a);
+/// Sum over the last axis -> shape with last dim dropped.
+Tensor sum_lastdim(const Tensor& a);
+Tensor mean_lastdim(const Tensor& a);
+/// Row-wise mean of a 2-D tensor -> [n].
+float frobenius_norm(const Tensor& a);
+
+// -- Softmax / layernorm ---------------------------------------------------
+/// Softmax along the last axis (numerically stabilized).
+Tensor softmax_lastdim(const Tensor& a);
+/// y = (x - mean) * rstd per row over the last axis; outputs mean/rstd with
+/// the last dim dropped (needed by the backward pass).
+struct LayerNormResult {
+  Tensor y;
+  Tensor mean;
+  Tensor rstd;
+};
+LayerNormResult layer_norm_lastdim(const Tensor& a, float eps = 1e-5f);
+
+}  // namespace hoga::tensor_ops

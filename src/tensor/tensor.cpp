@@ -1,0 +1,174 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace hoga {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto s : shape) {
+    HOGA_CHECK(s >= 0, "negative dimension in shape");
+    n *= s;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor() = default;
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      data_(std::make_shared<std::vector<float>>(numel_, 0.f)) {}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
+  Tensor t(std::move(shape));
+  HOGA_CHECK(static_cast<std::int64_t>(values.size()) == t.numel(),
+             "from_vector: " << values.size() << " values for shape "
+                             << shape_to_string(t.shape()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  for (std::int64_t i = 0; i < n; ++i) t.data()[i] = static_cast<float>(i);
+  return t;
+}
+
+std::int64_t Tensor::size(std::int64_t axis) const {
+  if (axis < 0) axis += dim();
+  HOGA_CHECK(axis >= 0 && axis < dim(),
+             "axis " << axis << " out of range for " << shape_to_string(shape_));
+  return shape_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  HOGA_CHECK(static_cast<std::int64_t>(idx.size()) == dim(),
+             "index rank " << idx.size() << " != tensor rank " << dim());
+  std::int64_t flat = 0;
+  std::size_t a = 0;
+  for (std::int64_t i : idx) {
+    HOGA_CHECK(i >= 0 && i < shape_[a],
+               "index " << i << " out of range for axis " << a << " of "
+                        << shape_to_string(shape_));
+    flat = flat * shape_[a] + i;
+    ++a;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return (*data_)[flat_index(idx)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return (*data_)[flat_index(idx)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  HOGA_CHECK(shape_numel(new_shape) == numel_,
+             "reshape " << shape_to_string(shape_) << " -> "
+                        << shape_to_string(new_shape) << ": numel mismatch");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.data_ = data_ ? std::make_shared<std::vector<float>>(*data_)
+                  : std::make_shared<std::vector<float>>();
+  return t;
+}
+
+void Tensor::fill(float value) {
+  if (!data_) return;
+  std::fill(data_->begin(), data_->end(), value);
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  HOGA_CHECK(src.numel() == numel_, "copy_from: numel mismatch");
+  std::copy(src.data(), src.data() + numel_, data());
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  HOGA_CHECK(a.shape() == b.shape(), "max_abs_diff: shape mismatch "
+                                         << shape_to_string(a.shape()) << " vs "
+                                         << shape_to_string(b.shape()));
+  float m = 0.f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+bool Tensor::allclose(const Tensor& a, const Tensor& b, float atol) {
+  if (a.shape() != b.shape()) return false;
+  return max_abs_diff(a, b) <= atol;
+}
+
+std::string Tensor::to_string(int max_per_dim) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " ";
+  if (numel_ == 0) {
+    os << "[]";
+    return os.str();
+  }
+  // Flat dump, truncated.
+  os << '[';
+  const std::int64_t limit =
+      std::min<std::int64_t>(numel_, static_cast<std::int64_t>(max_per_dim) * 4);
+  for (std::int64_t i = 0; i < limit; ++i) {
+    if (i) os << ", ";
+    os << data()[i];
+  }
+  if (limit < numel_) os << ", ...";
+  os << ']';
+  return os.str();
+}
+
+}  // namespace hoga

@@ -1,0 +1,96 @@
+#pragma once
+// Dense row-major fp32 tensor.
+//
+// Deliberately simple: tensors are always contiguous and own (share) their
+// storage; reshape shares storage, everything else copies. This is the
+// numeric substrate for the autograd/nn stack that replaces PyTorch in this
+// reproduction (see DESIGN.md §1).
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hoga {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape.
+std::int64_t shape_numel(const Shape& shape);
+
+/// "[2, 3, 4]" string for error messages.
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty tensor (numel 0, rank 0).
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // -- Factories ------------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// Elements drawn i.i.d. from N(0, 1).
+  static Tensor randn(Shape shape, Rng& rng);
+  /// Elements drawn i.i.d. from U[lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
+  /// Copies `values` (size must match shape).
+  static Tensor from_vector(Shape shape, const std::vector<float>& values);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor arange(std::int64_t n);
+
+  // -- Introspection ---------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t size(std::int64_t axis) const;
+  std::int64_t numel() const { return numel_; }
+  bool defined() const { return static_cast<bool>(data_); }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  // -- Element access (bounds-checked) ---------------------------------------
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+  /// Linear (flat) access.
+  float& operator[](std::int64_t i) { return (*data_)[check_flat(i)]; }
+  float operator[](std::int64_t i) const { return (*data_)[check_flat(i)]; }
+
+  // -- Basic manipulation -----------------------------------------------------
+  /// New tensor sharing storage with a different shape (numel must match).
+  Tensor reshape(Shape new_shape) const;
+  /// Deep copy.
+  Tensor clone() const;
+  void fill(float value);
+  /// Copies values from `src` (same numel required; shape may differ).
+  void copy_from(const Tensor& src);
+
+  /// Max |a - b| over elements; requires same shape.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+  /// True iff same shape and all elements within atol.
+  static bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+  /// Human-readable dump (small tensors only; truncates large ones).
+  std::string to_string(int max_per_dim = 8) const;
+
+ private:
+  std::int64_t check_flat(std::int64_t i) const {
+    HOGA_CHECK(i >= 0 && i < numel_, "flat index " << i << " out of range 0.."
+                                                   << numel_ - 1);
+    return i;
+  }
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace hoga

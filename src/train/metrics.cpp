@@ -1,0 +1,104 @@
+#include "train/metrics.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hoga::train {
+namespace {
+
+int argmax_row(const Tensor& logits, std::int64_t row) {
+  const std::int64_t c = logits.size(1);
+  const float* p = logits.data() + row * c;
+  int best = 0;
+  for (std::int64_t j = 1; j < c; ++j) {
+    if (p[j] > p[best]) best = static_cast<int>(j);
+  }
+  return best;
+}
+
+}  // namespace
+
+double mape(const std::vector<double>& truth,
+            const std::vector<double>& predicted) {
+  HOGA_CHECK(truth.size() == predicted.size() && !truth.empty(),
+             "mape: size mismatch or empty");
+  double acc = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    HOGA_CHECK(truth[i] != 0, "mape: zero ground truth at " << i);
+    acc += std::fabs((truth[i] - predicted[i]) / truth[i]);
+  }
+  return acc / static_cast<double>(truth.size()) * 100.0;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  HOGA_CHECK(logits.dim() == 2 &&
+                 logits.size(0) == static_cast<std::int64_t>(labels.size()),
+             "accuracy: shape mismatch");
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < logits.size(0); ++i) {
+    if (argmax_row(logits, i) == labels[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(std::max<std::int64_t>(1, logits.size(0)));
+}
+
+std::vector<double> per_class_accuracy(const Tensor& logits,
+                                       const std::vector<int>& labels,
+                                       int num_classes) {
+  std::vector<std::int64_t> correct(static_cast<std::size_t>(num_classes), 0);
+  std::vector<std::int64_t> total(static_cast<std::size_t>(num_classes), 0);
+  for (std::int64_t i = 0; i < logits.size(0); ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    total[static_cast<std::size_t>(y)]++;
+    if (argmax_row(logits, i) == y) correct[static_cast<std::size_t>(y)]++;
+  }
+  std::vector<double> out(static_cast<std::size_t>(num_classes), 0.0);
+  for (int c = 0; c < num_classes; ++c) {
+    out[static_cast<std::size_t>(c)] =
+        total[static_cast<std::size_t>(c)] == 0
+            ? 0.0
+            : static_cast<double>(correct[static_cast<std::size_t>(c)]) /
+                  static_cast<double>(total[static_cast<std::size_t>(c)]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::int64_t>> confusion_matrix(
+    const Tensor& logits, const std::vector<int>& labels, int num_classes) {
+  std::vector<std::vector<std::int64_t>> m(
+      static_cast<std::size_t>(num_classes),
+      std::vector<std::int64_t>(static_cast<std::size_t>(num_classes), 0));
+  for (std::int64_t i = 0; i < logits.size(0); ++i) {
+    m[static_cast<std::size_t>(labels[static_cast<std::size_t>(i)])]
+     [static_cast<std::size_t>(argmax_row(logits, i))]++;
+  }
+  return m;
+}
+
+std::vector<float> inverse_frequency_weights(const std::vector<int>& labels,
+                                             int num_classes) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (int y : labels) counts[static_cast<std::size_t>(y)]++;
+  std::vector<float> w(static_cast<std::size_t>(num_classes), 0.f);
+  double sum = 0;
+  int present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    if (counts[static_cast<std::size_t>(c)] > 0) {
+      w[static_cast<std::size_t>(c)] =
+          static_cast<float>(labels.size()) /
+          static_cast<float>(counts[static_cast<std::size_t>(c)]);
+      sum += w[static_cast<std::size_t>(c)];
+      ++present;
+    }
+  }
+  if (present > 0) {
+    const float norm = static_cast<float>(present) / static_cast<float>(sum);
+    for (auto& v : w) v *= norm;
+  }
+  return w;
+}
+
+}  // namespace hoga::train

@@ -1,0 +1,33 @@
+#pragma once
+// Evaluation metrics used in the paper: MAPE for QoR prediction (Table 2)
+// and node-classification accuracy (Figure 6).
+
+#include <array>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hoga::train {
+
+/// Mean absolute percentage error: (1/g) sum |y - yhat| / |y| * 100.
+double mape(const std::vector<double>& truth,
+            const std::vector<double>& predicted);
+
+/// Argmax accuracy of logits [n, c] against labels.
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Per-class recall from logits.
+std::vector<double> per_class_accuracy(const Tensor& logits,
+                                       const std::vector<int>& labels,
+                                       int num_classes);
+
+/// Row = truth, column = prediction.
+std::vector<std::vector<std::int64_t>> confusion_matrix(
+    const Tensor& logits, const std::vector<int>& labels, int num_classes);
+
+/// Inverse-frequency class weights (normalized to mean 1); classes absent
+/// from `labels` get weight 0.
+std::vector<float> inverse_frequency_weights(const std::vector<int>& labels,
+                                             int num_classes);
+
+}  // namespace hoga::train

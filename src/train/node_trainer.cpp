@@ -1,0 +1,207 @@
+#include "train/node_trainer.hpp"
+
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "util/timer.hpp"
+
+namespace hoga::train {
+namespace {
+
+std::vector<std::int64_t> shuffled_ids(std::int64_t n, Rng& rng) {
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.shuffle(ids);
+  return ids;
+}
+
+std::vector<int> gather_labels(const std::vector<int>& labels,
+                               const std::vector<std::int64_t>& ids) {
+  std::vector<int> out;
+  out.reserve(ids.size());
+  for (std::int64_t i : ids) out.push_back(labels[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+}  // namespace
+
+TrainLog train_hoga_node(core::Hoga& model, const core::HopFeatures& hops,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  optim::Adam opt(model.parameters(), cfg.lr);
+  model.set_training(true);
+  TrainLog log;
+  Timer timer;
+  const std::int64_t n = hops.num_nodes();
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto ids = shuffled_ids(n, rng);
+    double epoch_loss = 0;
+    std::int64_t batches = 0;
+    for (std::int64_t lo = 0; lo < n; lo += cfg.batch_size) {
+      const std::int64_t hi = std::min(n, lo + cfg.batch_size);
+      std::vector<std::int64_t> batch(ids.begin() + lo, ids.begin() + hi);
+      opt.zero_grad();
+      ag::Variable logits =
+          model.forward(ag::constant(hops.gather(batch)), rng);
+      ag::Variable loss = ag::softmax_cross_entropy(
+          logits, gather_labels(labels, batch), cfg.class_weights);
+      loss.backward();
+      if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
+      opt.step();
+      epoch_loss += loss.value().data()[0];
+      ++batches;
+    }
+    log.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / std::max<std::int64_t>(1, batches)));
+  }
+  log.seconds = timer.seconds();
+  return log;
+}
+
+TrainLog train_gcn_node(models::Gcn& model,
+                        std::shared_ptr<const graph::Csr> adj_norm,
+                        const Tensor& features, const std::vector<int>& labels,
+                        const NodeTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  optim::Adam opt(model.parameters(), cfg.lr);
+  model.set_training(true);
+  TrainLog log;
+  Timer timer;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    opt.zero_grad();
+    ag::Variable logits = model.forward(adj_norm, ag::constant(features), rng);
+    ag::Variable loss =
+        ag::softmax_cross_entropy(logits, labels, cfg.class_weights);
+    loss.backward();
+    if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
+    opt.step();
+    log.epoch_losses.push_back(loss.value().data()[0]);
+  }
+  log.seconds = timer.seconds();
+  return log;
+}
+
+TrainLog train_sage_node(models::GraphSage& model,
+                         std::shared_ptr<const graph::Csr> adj_row,
+                         const Tensor& features,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  optim::Adam opt(model.parameters(), cfg.lr);
+  model.set_training(true);
+  auto adj_row_t = std::make_shared<const graph::Csr>(adj_row->transposed());
+  TrainLog log;
+  Timer timer;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    opt.zero_grad();
+    ag::Variable logits =
+        model.forward(adj_row, ag::constant(features), rng, adj_row_t);
+    ag::Variable loss =
+        ag::softmax_cross_entropy(logits, labels, cfg.class_weights);
+    loss.backward();
+    if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
+    opt.step();
+    log.epoch_losses.push_back(loss.value().data()[0]);
+  }
+  log.seconds = timer.seconds();
+  return log;
+}
+
+TrainLog train_sign_node(models::Sign& model, const core::HopFeatures& hops,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  optim::Adam opt(model.parameters(), cfg.lr);
+  model.set_training(true);
+  const Tensor flat = hops.flat();
+  TrainLog log;
+  Timer timer;
+  const std::int64_t n = flat.size(0);
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto ids = shuffled_ids(n, rng);
+    double epoch_loss = 0;
+    std::int64_t batches = 0;
+    for (std::int64_t lo = 0; lo < n; lo += cfg.batch_size) {
+      const std::int64_t hi = std::min(n, lo + cfg.batch_size);
+      std::vector<std::int64_t> batch(ids.begin() + lo, ids.begin() + hi);
+      opt.zero_grad();
+      ag::Variable logits = model.forward(
+          ag::constant(tensor_ops::gather_rows(flat, batch)), rng);
+      ag::Variable loss = ag::softmax_cross_entropy(
+          logits, gather_labels(labels, batch), cfg.class_weights);
+      loss.backward();
+      if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
+      opt.step();
+      epoch_loss += loss.value().data()[0];
+      ++batches;
+    }
+    log.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / std::max<std::int64_t>(1, batches)));
+  }
+  log.seconds = timer.seconds();
+  return log;
+}
+
+TrainLog train_saint_node(models::Gcn& model,
+                          const models::SaintConfig& saint_cfg,
+                          const graph::Csr& adj_raw, const Tensor& features,
+                          const std::vector<int>& labels,
+                          const NodeTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  optim::Adam opt(model.parameters(), cfg.lr);
+  model.set_training(true);
+  models::SaintTrainer trainer(saint_cfg, adj_raw, rng);
+  TrainLog log;
+  Timer timer;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    log.epoch_losses.push_back(
+        trainer.step(model, opt, features, labels, rng));
+  }
+  log.seconds = timer.seconds();
+  return log;
+}
+
+Tensor predict_gcn(models::Gcn& m,
+                   std::shared_ptr<const graph::Csr> adj_norm,
+                   const Tensor& features) {
+  Rng rng(0);
+  const bool was = m.training();
+  m.set_training(false);
+  Tensor out = m.forward(adj_norm, ag::constant(features), rng).value();
+  m.set_training(was);
+  return out;
+}
+
+Tensor predict_sage(models::GraphSage& m,
+                    std::shared_ptr<const graph::Csr> adj_row,
+                    const Tensor& features) {
+  Rng rng(0);
+  const bool was = m.training();
+  m.set_training(false);
+  Tensor out = m.forward(adj_row, ag::constant(features), rng).value();
+  m.set_training(was);
+  return out;
+}
+
+Tensor predict_sign(models::Sign& m, const core::HopFeatures& hops,
+                    std::int64_t batch_size) {
+  Rng rng(0);
+  const bool was = m.training();
+  m.set_training(false);
+  const Tensor flat = hops.flat();
+  const std::int64_t n = flat.size(0);
+  const std::int64_t c = m.config().out_dim;
+  Tensor out({n, c});
+  for (std::int64_t lo = 0; lo < n; lo += batch_size) {
+    const std::int64_t hi = std::min(n, lo + batch_size);
+    Tensor part =
+        m.forward(ag::constant(tensor_ops::slice_rows(flat, lo, hi)), rng)
+            .value();
+    std::copy(part.data(), part.data() + part.numel(), out.data() + lo * c);
+  }
+  m.set_training(was);
+  return out;
+}
+
+}  // namespace hoga::train

@@ -1,0 +1,70 @@
+#pragma once
+// Training loops for the functional-reasoning task (node classification),
+// one per model family. All trainers use Adam + class-weighted cross
+// entropy (the classes are heavily imbalanced after technology mapping).
+
+#include "core/hoga_model.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "models/gcn.hpp"
+#include "models/graphsage.hpp"
+#include "models/saint.hpp"
+#include "models/sign.hpp"
+#include "optim/optim.hpp"
+
+namespace hoga::train {
+
+struct NodeTrainConfig {
+  int epochs = 120;
+  float lr = 3e-3f;
+  std::int64_t batch_size = 1024;  // minibatch models (HOGA, SIGN)
+  std::uint64_t seed = 1;
+  std::vector<float> class_weights;  // empty = unweighted
+  float grad_clip = 5.f;
+};
+
+struct TrainLog {
+  std::vector<float> epoch_losses;
+  double seconds = 0;  // training wall time (excludes any precompute)
+};
+
+// -- HOGA ----------------------------------------------------------------
+TrainLog train_hoga_node(core::Hoga& model, const core::HopFeatures& hops,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg);
+
+// -- GCN (full graph) ---------------------------------------------------------
+TrainLog train_gcn_node(models::Gcn& model,
+                        std::shared_ptr<const graph::Csr> adj_norm,
+                        const Tensor& features, const std::vector<int>& labels,
+                        const NodeTrainConfig& cfg);
+
+// -- GraphSAGE (full graph) --------------------------------------------------
+TrainLog train_sage_node(models::GraphSage& model,
+                         std::shared_ptr<const graph::Csr> adj_row,
+                         const Tensor& features,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg);
+
+// -- SIGN (minibatch over nodes) -----------------------------------------
+TrainLog train_sign_node(models::Sign& model, const core::HopFeatures& hops,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg);
+
+// -- GraphSAINT (subgraph sampling; one step per epoch unit) ----------------
+TrainLog train_saint_node(models::Gcn& model,
+                          const models::SaintConfig& saint_cfg,
+                          const graph::Csr& adj_raw, const Tensor& features,
+                          const std::vector<int>& labels,
+                          const NodeTrainConfig& cfg);
+
+// -- Inference helpers (no autograd; non-const: they toggle eval mode) ------
+Tensor predict_gcn(models::Gcn& model,
+                   std::shared_ptr<const graph::Csr> adj_norm,
+                   const Tensor& features);
+Tensor predict_sage(models::GraphSage& model,
+                    std::shared_ptr<const graph::Csr> adj_row,
+                    const Tensor& features);
+Tensor predict_sign(models::Sign& model, const core::HopFeatures& hops,
+                    std::int64_t batch_size = 8192);
+
+}  // namespace hoga::train

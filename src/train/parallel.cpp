@@ -1,0 +1,85 @@
+#include "train/parallel.hpp"
+
+#include <numeric>
+
+#include "util/timer.hpp"
+
+namespace hoga::train {
+
+std::vector<ScalingPoint> simulate_hoga_scaling(
+    core::Hoga& model, const core::HopFeatures& hops,
+    const std::vector<int>& labels, const NodeTrainConfig& train_cfg,
+    const ClusterConfig& cluster_cfg) {
+  const std::int64_t n = hops.num_nodes();
+  const std::int64_t param_bytes = model.parameter_count() * 4;
+  std::vector<ScalingPoint> points;
+  double base_epoch = 0;
+
+  for (int workers : cluster_cfg.worker_counts) {
+    Rng rng(train_cfg.seed);
+    optim::Adam opt(model.parameters(), train_cfg.lr);
+    model.set_training(true);
+    // Shuffle once per epoch, split contiguously into W shards (the DDP
+    // sampler's behavior).
+    double worst_compute = 0;
+    for (int epoch = 0; epoch < cluster_cfg.epochs_to_time; ++epoch) {
+      std::vector<std::int64_t> ids(static_cast<std::size_t>(n));
+      std::iota(ids.begin(), ids.end(), 0);
+      rng.shuffle(ids);
+      const std::int64_t per =
+          (n + workers - 1) / static_cast<std::int64_t>(workers);
+      double epoch_worst = 0;
+      for (int w = 0; w < workers; ++w) {
+        const std::int64_t lo = static_cast<std::int64_t>(w) * per;
+        const std::int64_t hi = std::min<std::int64_t>(n, lo + per);
+        if (lo >= hi) continue;
+        Timer t;
+        for (std::int64_t blo = lo; blo < hi; blo += train_cfg.batch_size) {
+          const std::int64_t bhi =
+              std::min(hi, blo + train_cfg.batch_size);
+          std::vector<std::int64_t> batch(ids.begin() + blo,
+                                          ids.begin() + bhi);
+          std::vector<int> batch_labels;
+          batch_labels.reserve(batch.size());
+          for (std::int64_t i : batch) {
+            batch_labels.push_back(labels[static_cast<std::size_t>(i)]);
+          }
+          opt.zero_grad();
+          ag::Variable logits =
+              model.forward(ag::constant(hops.gather(batch)), rng);
+          ag::Variable loss = ag::softmax_cross_entropy(
+              logits, batch_labels, train_cfg.class_weights);
+          loss.backward();
+          opt.step();
+        }
+        epoch_worst = std::max(epoch_worst, t.seconds());
+      }
+      worst_compute += epoch_worst;
+    }
+    worst_compute /= std::max(1, cluster_cfg.epochs_to_time);
+
+    ScalingPoint p;
+    p.workers = workers;
+    p.compute_seconds = worst_compute;
+    if (workers > 1) {
+      // Ring all-reduce: 2 (W-1)/W of the gradient bytes cross each link,
+      // once per optimizer step.
+      const std::int64_t steps_per_worker =
+          ((n + workers - 1) / workers + train_cfg.batch_size - 1) /
+          train_cfg.batch_size;
+      const double per_step =
+          2.0 * (workers - 1) / workers * static_cast<double>(param_bytes) /
+              cluster_cfg.bandwidth_bytes_per_sec +
+          cluster_cfg.collective_latency * 2 * (workers - 1);
+      p.allreduce_seconds = per_step * static_cast<double>(steps_per_worker);
+    }
+    p.epoch_seconds = p.compute_seconds + p.allreduce_seconds;
+    if (points.empty()) base_epoch = p.epoch_seconds;
+    p.speedup = base_epoch / p.epoch_seconds;
+    p.efficiency = p.speedup / workers;
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace hoga::train

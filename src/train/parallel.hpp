@@ -1,0 +1,48 @@
+#pragma once
+// Simulated-cluster data-parallel training (Figure 5 substitute, see
+// DESIGN.md §1). The machine has one core, so real multi-GPU wall clock is
+// unavailable; instead we exploit the property the paper demonstrates —
+// HOGA has no inter-node dependencies — by partitioning each epoch's node
+// batches across W simulated workers, measuring every partition's compute
+// serially, and reporting
+//
+//   T_epoch(W) = max_w T_compute(w) + T_allreduce(W)
+//
+// where T_allreduce models a ring all-reduce of the gradients. A model with
+// cross-node dependencies could not be partitioned this way without extra
+// communication, which is exactly the paper's point.
+
+#include <vector>
+
+#include "core/hoga_model.hpp"
+#include "train/node_trainer.hpp"
+
+namespace hoga::train {
+
+struct ScalingPoint {
+  int workers = 1;
+  double compute_seconds = 0;    // max over workers
+  double allreduce_seconds = 0;  // modeled communication
+  double epoch_seconds = 0;      // compute + allreduce
+  double speedup = 1;            // vs workers == 1
+  double efficiency = 1;         // speedup / workers
+};
+
+struct ClusterConfig {
+  std::vector<int> worker_counts{1, 2, 3, 4};
+  /// Modeled interconnect bandwidth for the gradient all-reduce (NVLink-ish).
+  double bandwidth_bytes_per_sec = 50e9;
+  /// Per-step latency of a collective (s).
+  double collective_latency = 50e-6;
+  int epochs_to_time = 1;
+};
+
+/// Measures HOGA data-parallel epoch time for each worker count. The model
+/// is trained for `epochs_to_time` epochs per configuration (real compute,
+/// real gradients; partitions measured serially).
+std::vector<ScalingPoint> simulate_hoga_scaling(
+    core::Hoga& model, const core::HopFeatures& hops,
+    const std::vector<int>& labels, const NodeTrainConfig& train_cfg,
+    const ClusterConfig& cluster_cfg);
+
+}  // namespace hoga::train

@@ -1,0 +1,170 @@
+#include "train/qor_trainer.hpp"
+
+#include <numeric>
+
+#include "synth/recipe.hpp"
+#include "train/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace hoga::train {
+
+double prepare_qor_inputs(const data::QorDataset& ds,
+                          const QorModelConfig& cfg,
+                          std::vector<QorDesignInput>* out) {
+  out->clear();
+  out->reserve(ds.designs.size());
+  double precompute_seconds = 0;
+  for (const auto& design : ds.designs) {
+    QorDesignInput in;
+    if (cfg.backbone == QorBackbone::kGcn) {
+      in.adj_norm = design.adj_norm;
+      in.features = design.features;
+    } else {
+      Timer t;
+      in.hops = core::HopFeatures::compute(*design.adj_hop, design.features,
+                                           cfg.num_hops);
+      precompute_seconds += t.seconds();
+    }
+    out->push_back(std::move(in));
+  }
+  return precompute_seconds;
+}
+
+QorModel::QorModel(const QorModelConfig& cfg, Rng& rng) : config_(cfg) {
+  HOGA_CHECK(cfg.in_dim > 0, "QorModel: in_dim unset");
+  if (cfg.backbone == QorBackbone::kGcn) {
+    gcn_ = std::make_shared<models::Gcn>(
+        models::GcnConfig{.in_dim = cfg.in_dim,
+                          .hidden = cfg.hidden,
+                          .out_dim = cfg.hidden,
+                          .num_layers = cfg.gcn_layers,
+                          .dropout = cfg.dropout},
+        rng);
+    register_module("gcn", gcn_);
+  } else {
+    hoga_ = std::make_shared<core::Hoga>(
+        core::HogaConfig{.in_dim = cfg.in_dim,
+                         .hidden = cfg.hidden,
+                         .num_hops = cfg.num_hops,
+                         .num_layers = 1,
+                         .out_dim = cfg.hidden,
+                         .dropout = cfg.dropout},
+        rng);
+    register_module("hoga", hoga_);
+  }
+  recipe_embedding_ = std::make_shared<nn::Embedding>(
+      synth::kNumPassKinds, cfg.hidden, rng);
+  register_module("recipe_embedding", recipe_embedding_);
+  head_ = std::make_shared<nn::Mlp>(
+      std::vector<std::int64_t>{3 * cfg.hidden, cfg.hidden, 1}, rng);
+  register_module("head", head_);
+}
+
+ag::Variable QorModel::forward(const QorDesignInput& design,
+                               const std::vector<std::int64_t>& recipe_tokens,
+                               Rng& rng) const {
+  ag::Variable node_reprs;  // [n, hidden]
+  if (config_.backbone == QorBackbone::kGcn) {
+    node_reprs =
+        gcn_->forward(design.adj_norm, ag::constant(design.features), rng);
+  } else {
+    HOGA_CHECK(design.hops.has_value(), "QorModel: hop features missing");
+    hoga_->set_training(training());
+    node_reprs = hoga_->forward_repr(
+        ag::constant(design.hops->gather_all()), rng);
+  }
+  ag::Variable mean_pool =
+      ag::reshape(ag::mean_axis0(node_reprs), {1, config_.hidden});
+  ag::Variable max_pool =
+      ag::reshape(ag::max_axis0(node_reprs), {1, config_.hidden});
+  ag::Variable recipe =
+      ag::reshape(ag::mean_axis0(recipe_embedding_->forward(recipe_tokens)),
+                  {1, config_.hidden});
+  ag::Variable joint = ag::concat_cols({mean_pool, max_pool, recipe});
+  return head_->forward(joint, rng);
+}
+
+QorTrainLog train_qor(QorModel& model,
+                      const std::vector<QorDesignInput>& inputs,
+                      const std::vector<data::QorSample>& samples,
+                      const QorTrainConfig& cfg) {
+  Rng rng(cfg.seed);
+  optim::Adam opt(model.parameters(), cfg.lr);
+  model.set_training(true);
+  QorTrainLog log;
+  Timer timer;
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0;
+    int batches = 0;
+    for (std::size_t lo = 0; lo < order.size();
+         lo += static_cast<std::size_t>(cfg.batch_size)) {
+      const std::size_t hi = std::min(
+          order.size(), lo + static_cast<std::size_t>(cfg.batch_size));
+      opt.zero_grad();
+      std::vector<ag::Variable> preds;
+      Tensor targets({static_cast<std::int64_t>(hi - lo), 1});
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto& sample = samples[order[i]];
+        preds.push_back(model.forward(
+            inputs[static_cast<std::size_t>(sample.design_index)],
+            sample.recipe.token_ids(), rng));
+        targets.data()[i - lo] = sample.target_ratio;
+      }
+      ag::Variable pred = ag::concat_rows(preds);
+      ag::Variable loss = ag::mse_loss(pred, targets);
+      loss.backward();
+      if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
+      opt.step();
+      epoch_loss += loss.value().data()[0];
+      ++batches;
+    }
+    log.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / std::max(1, batches)));
+  }
+  log.seconds = timer.seconds();
+  return log;
+}
+
+QorEval evaluate_qor(QorModel& m, const data::QorDataset& ds,
+                     const std::vector<QorDesignInput>& inputs,
+                     const std::vector<data::QorSample>& samples) {
+  Rng rng(0);
+  const bool was = m.training();
+  m.set_training(false);
+  // Per-design truth/prediction lists over gate counts.
+  std::vector<std::vector<double>> truth(ds.designs.size());
+  std::vector<std::vector<double>> pred(ds.designs.size());
+  QorEval eval;
+  for (const auto& sample : samples) {
+    const auto di = static_cast<std::size_t>(sample.design_index);
+    const double init =
+        static_cast<double>(ds.designs[di].initial_ands);
+    const double predicted_ratio =
+        m.forward(inputs[di], sample.recipe.token_ids(), rng)
+            .value()
+            .data()[0];
+    const double predicted_gates = predicted_ratio * init;
+    const double true_gates = static_cast<double>(sample.final_ands);
+    truth[di].push_back(true_gates);
+    pred[di].push_back(predicted_gates);
+    eval.scatter.emplace_back(true_gates, predicted_gates);
+    eval.scatter_design.push_back(sample.design_index);
+  }
+  m.set_training(was);
+  double mape_sum = 0;
+  int designs_counted = 0;
+  for (std::size_t di = 0; di < ds.designs.size(); ++di) {
+    if (truth[di].empty()) continue;
+    eval.design_names.push_back(ds.designs[di].name);
+    eval.design_mape.push_back(mape(truth[di], pred[di]));
+    mape_sum += eval.design_mape.back();
+    ++designs_counted;
+  }
+  eval.average_mape = designs_counted ? mape_sum / designs_counted : 0;
+  return eval;
+}
+
+}  // namespace hoga::train

@@ -1,0 +1,96 @@
+#pragma once
+// QoR prediction model + trainer (paper §IV-B, Figure 3b): a graph backbone
+// (GCN as in OpenABC-D, or HOGA as the paper's replacement) produces node
+// representations that are mean+max pooled into a graph embedding,
+// concatenated with a recipe embedding, and regressed to the optimized gate
+// count ratio.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/hoga_model.hpp"
+#include "data/qor_dataset.hpp"
+#include "models/gcn.hpp"
+#include "optim/optim.hpp"
+
+namespace hoga::train {
+
+enum class QorBackbone { kGcn, kHoga };
+
+struct QorModelConfig {
+  QorBackbone backbone = QorBackbone::kHoga;
+  std::int64_t in_dim = 0;
+  std::int64_t hidden = 48;
+  int num_hops = 5;     // HOGA K
+  int gcn_layers = 5;   // GCN depth (paper baseline: 5)
+  float dropout = 0.f;
+};
+
+/// Per-design inputs prepared once before training. For HOGA the hop
+/// features are the *only* graph-derived input (phase 1 precompute).
+struct QorDesignInput {
+  std::shared_ptr<const graph::Csr> adj_norm;  // GCN only
+  Tensor features;                             // GCN only
+  std::optional<core::HopFeatures> hops;       // HOGA only
+};
+
+/// Builds the per-design inputs for the chosen backbone; returns the hop
+/// feature precompute time in seconds (0 for GCN).
+double prepare_qor_inputs(const data::QorDataset& ds,
+                          const QorModelConfig& cfg,
+                          std::vector<QorDesignInput>* out);
+
+class QorModel : public nn::Module {
+ public:
+  QorModel(const QorModelConfig& cfg, Rng& rng);
+
+  /// Predicted gate-count ratio for one (design, recipe) sample: [1, 1].
+  ag::Variable forward(const QorDesignInput& design,
+                       const std::vector<std::int64_t>& recipe_tokens,
+                       Rng& rng) const;
+
+  const QorModelConfig& config() const { return config_; }
+
+ private:
+  QorModelConfig config_;
+  std::shared_ptr<models::Gcn> gcn_;
+  std::shared_ptr<core::Hoga> hoga_;
+  std::shared_ptr<nn::Embedding> recipe_embedding_;
+  std::shared_ptr<nn::Mlp> head_;
+};
+
+struct QorTrainConfig {
+  int epochs = 30;
+  float lr = 2e-3f;
+  int batch_size = 8;  // samples per optimizer step
+  std::uint64_t seed = 7;
+  float grad_clip = 5.f;
+};
+
+struct QorTrainLog {
+  std::vector<float> epoch_losses;
+  double seconds = 0;          // training time
+  double precompute_seconds = 0;  // hop-feature generation (HOGA)
+};
+
+QorTrainLog train_qor(QorModel& model,
+                      const std::vector<QorDesignInput>& inputs,
+                      const std::vector<data::QorSample>& samples,
+                      const QorTrainConfig& cfg);
+
+struct QorEval {
+  /// Per-test-design MAPE on gate counts, aligned with `design_names`.
+  std::vector<std::string> design_names;
+  std::vector<double> design_mape;
+  double average_mape = 0;
+  /// Raw (truth, prediction) gate-count pairs for Figure 4.
+  std::vector<std::pair<double, double>> scatter;
+  std::vector<int> scatter_design;  // design index per scatter point
+};
+
+QorEval evaluate_qor(QorModel& model, const data::QorDataset& ds,
+                     const std::vector<QorDesignInput>& inputs,
+                     const std::vector<data::QorSample>& samples);
+
+}  // namespace hoga::train

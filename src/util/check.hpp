@@ -1,0 +1,32 @@
+#pragma once
+// Lightweight runtime-check macros used across the library.
+//
+// HOGA_CHECK(cond, msg): throws std::runtime_error with file:line context on
+// failure. Used to validate API preconditions (shape mismatches, bad
+// arguments) — these are programmer errors the caller can fix, so an
+// exception with a precise message beats an abort.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hoga {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace hoga
+
+#define HOGA_CHECK(cond, msg)                               \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      std::ostringstream hoga_check_os_;                    \
+      hoga_check_os_ << msg;                                \
+      ::hoga::check_failed(__FILE__, __LINE__,              \
+                           hoga_check_os_.str());           \
+    }                                                       \
+  } while (0)

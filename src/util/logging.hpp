@@ -1,0 +1,40 @@
+#pragma once
+// Tiny leveled logger; benches use it for progress lines so table output
+// stays clean on stdout (logs go to stderr).
+
+#include <sstream>
+#include <string>
+
+namespace hoga {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace hoga
+
+#define HOGA_LOG_DEBUG ::hoga::detail::LogLine(::hoga::LogLevel::kDebug)
+#define HOGA_LOG_INFO ::hoga::detail::LogLine(::hoga::LogLevel::kInfo)
+#define HOGA_LOG_WARN ::hoga::detail::LogLine(::hoga::LogLevel::kWarn)
+#define HOGA_LOG_ERROR ::hoga::detail::LogLine(::hoga::LogLevel::kError)

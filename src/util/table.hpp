@@ -1,0 +1,39 @@
+#pragma once
+// ASCII table formatting used by the benchmark harness to print paper-shaped
+// tables (Table 1, Table 2, the Figure 6 accuracy grid, ...).
+
+#include <string>
+#include <vector>
+
+namespace hoga {
+
+/// Column-aligned plain-text table. All cells are strings; numeric helpers
+/// format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+  /// Formats as a percentage, e.g. 12.34%.
+  Table& pct(double fraction_times_100, int precision = 2);
+
+  /// Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Render as CSV (for EXPERIMENTS.md extraction).
+  std::string to_csv() const;
+
+  /// Convenience: print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hoga

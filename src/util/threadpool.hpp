@@ -1,0 +1,51 @@
+#pragma once
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Used by tensor kernels and the data-parallel trainer. On a single-core
+// machine the pool degrades gracefully to serial execution; correctness does
+// not depend on real parallelism.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hoga {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run fn(i) for i in [0, n), partitioned into contiguous chunks across the
+  /// pool. Blocks until all chunks complete. Exceptions from tasks are
+  /// rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Global pool shared by tensor kernels.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hoga

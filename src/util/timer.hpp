@@ -1,0 +1,32 @@
+#pragma once
+// Wall-clock timing helpers for benchmarks and the simulated-cluster trainer.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hoga {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Pretty "1.23 s" / "45.6 ms" formatting for tables.
+std::string format_duration(double seconds);
+
+}  // namespace hoga

@@ -1,0 +1,222 @@
+// AIG core tests: literal encoding, simplification rules, strashing, derived
+// gates (verified by simulation), topology queries.
+
+#include <gtest/gtest.h>
+
+#include "aig/aig.hpp"
+#include "aig/simulate.hpp"
+
+namespace hoga::aig {
+namespace {
+
+TEST(Lit, EncodingRoundTrip) {
+  const Lit l = make_lit(5, true);
+  EXPECT_EQ(lit_node(l), 5u);
+  EXPECT_TRUE(lit_is_compl(l));
+  EXPECT_EQ(lit_not(l), make_lit(5, false));
+  EXPECT_EQ(lit_not_if(l, false), l);
+  EXPECT_EQ(lit_regular(l), make_lit(5, false));
+}
+
+TEST(Aig, TrivialSimplificationRules) {
+  Aig g;
+  const Lit a = g.add_pi();
+  EXPECT_EQ(g.add_and(a, kLitFalse), kLitFalse);
+  EXPECT_EQ(g.add_and(kLitTrue, a), a);
+  EXPECT_EQ(g.add_and(a, a), a);
+  EXPECT_EQ(g.add_and(a, lit_not(a)), kLitFalse);
+  EXPECT_EQ(g.num_ands(), 0);
+}
+
+TEST(Aig, StructuralHashingDedupes) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(b, a);  // commuted
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(g.num_ands(), 1);
+  const Lit z = g.add_and(lit_not(a), b);  // different phase -> new node
+  EXPECT_NE(z, x);
+  EXPECT_EQ(g.num_ands(), 2);
+}
+
+TEST(Aig, FindAndMirrorsAddAnd) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  EXPECT_EQ(g.find_and(a, b), Aig::kNoLit);
+  const Lit x = g.add_and(a, b);
+  EXPECT_EQ(g.find_and(a, b), x);
+  EXPECT_EQ(g.find_and(b, a), x);
+  EXPECT_EQ(g.find_and(a, kLitTrue), a);
+  EXPECT_EQ(g.find_and(a, lit_not(a)), kLitFalse);
+}
+
+// Derived gates verified against their truth tables on 3 PIs.
+TEST(Aig, DerivedGateFunctions) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  g.add_po(g.add_or(a, b));
+  g.add_po(g.add_xor(a, b));
+  g.add_po(g.add_xnor(a, b));
+  g.add_po(g.add_mux(a, b, c));
+  g.add_po(g.add_maj(a, b, c));
+  for (std::uint64_t in = 0; in < 8; ++in) {
+    const bool va = in & 1, vb = in & 2, vc = in & 4;
+    const std::uint64_t out = evaluate(g, in);
+    EXPECT_EQ(bool(out & 1), va || vb) << in;
+    EXPECT_EQ(bool(out & 2), va != vb) << in;
+    EXPECT_EQ(bool(out & 4), va == vb) << in;
+    EXPECT_EQ(bool(out & 8), va ? vb : vc) << in;
+    EXPECT_EQ(bool(out & 16),
+              (va && vb) || (va && vc) || (vb && vc))
+        << in;
+  }
+}
+
+TEST(Aig, MultiInputGates) {
+  Aig g;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 5; ++i) pis.push_back(g.add_pi());
+  g.add_po(g.add_and_multi(pis));
+  g.add_po(g.add_or_multi(pis));
+  g.add_po(g.add_xor_multi(pis));
+  for (std::uint64_t in = 0; in < 32; ++in) {
+    const std::uint64_t out = evaluate(g, in);
+    EXPECT_EQ(bool(out & 1), in == 31);
+    EXPECT_EQ(bool(out & 2), in != 0);
+    EXPECT_EQ(bool(out & 4), __builtin_popcountll(in) % 2 == 1);
+  }
+  // Empty reductions.
+  Aig h;
+  EXPECT_EQ(h.add_and_multi({}), kLitTrue);
+  EXPECT_EQ(h.add_or_multi({}), kLitFalse);
+  EXPECT_EQ(h.add_xor_multi({}), kLitFalse);
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(x, a);
+  g.add_po(y);
+  const auto lvl = g.levels();
+  EXPECT_EQ(lvl[lit_node(a)], 0);
+  EXPECT_EQ(lvl[lit_node(x)], 1);
+  EXPECT_EQ(lvl[lit_node(y)], 2);
+  EXPECT_EQ(g.depth(), 2);
+}
+
+TEST(Aig, FanoutCountsIncludePoRefs) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  g.add_and(x, a);
+  g.add_po(x);
+  const auto fo = g.fanout_counts();
+  EXPECT_EQ(fo[lit_node(x)], 2);  // AND fanout + PO
+  EXPECT_EQ(fo[lit_node(a)], 2);
+}
+
+TEST(Aig, ConeAndReachability) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit dead = g.add_and(b, c);
+  g.add_po(x);
+  const auto cone = g.cone(lit_node(x));
+  EXPECT_EQ(cone.size(), 3u);  // x, a, b
+  const auto live = g.reachable_from_pos();
+  EXPECT_TRUE(live[lit_node(x)]);
+  EXPECT_FALSE(live[lit_node(dead)]);
+  EXPECT_EQ(g.num_live_ands(), 1);
+  EXPECT_EQ(g.num_ands(), 2);
+}
+
+TEST(Aig, StructuralEdgesMatchFanins) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.add_and(lit_not(a), b);
+  g.add_po(x);
+  const auto edges = g.structural_edges();
+  ASSERT_EQ(edges.size(), 2u);
+  // One edge is complemented (from a), one plain (from b).
+  int compl_count = 0;
+  for (const auto& e : edges) {
+    EXPECT_EQ(e.dst, lit_node(x));
+    if (e.complemented) ++compl_count;
+  }
+  EXPECT_EQ(compl_count, 1);
+}
+
+TEST(Simulate, WordLevelMatchesEvaluate) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(g.add_xor(a, b));
+  // Word simulation with alternating patterns.
+  const auto out = simulate_outputs(g, {0xAAAAAAAAAAAAAAAAULL,
+                                        0xCCCCCCCCCCCCCCCCULL});
+  EXPECT_EQ(out[0], 0xAAAAAAAAAAAAAAAAULL ^ 0xCCCCCCCCCCCCCCCCULL);
+}
+
+TEST(Simulate, ComplementedPoHandled) {
+  Aig g;
+  const Lit a = g.add_pi();
+  g.add_po(lit_not(a));
+  EXPECT_EQ(evaluate(g, 1), 0u);
+  EXPECT_EQ(evaluate(g, 0), 1u);
+}
+
+TEST(Simulate, RandomEquivalenceDetectsDifference) {
+  Rng rng(1);
+  Aig g1, g2;
+  {
+    const Lit a = g1.add_pi();
+    const Lit b = g1.add_pi();
+    g1.add_po(g1.add_and(a, b));
+  }
+  {
+    const Lit a = g2.add_pi();
+    const Lit b = g2.add_pi();
+    g2.add_po(g2.add_or(a, b));
+  }
+  EXPECT_FALSE(random_equivalent(g1, g2, rng));
+  EXPECT_FALSE(exhaustive_equivalent(g1, g2));
+}
+
+TEST(Simulate, ExhaustiveEquivalenceOnDeMorgan) {
+  Aig g1, g2;
+  {
+    const Lit a = g1.add_pi();
+    const Lit b = g1.add_pi();
+    g1.add_po(g1.add_or(a, b));
+  }
+  {
+    const Lit a = g2.add_pi();
+    const Lit b = g2.add_pi();
+    g2.add_po(lit_not(g2.add_and(lit_not(a), lit_not(b))));
+  }
+  EXPECT_TRUE(exhaustive_equivalent(g1, g2));
+}
+
+TEST(Aig, StatsString) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(g.add_and(a, b));
+  const std::string s = g.stats_string("test");
+  EXPECT_NE(s.find("pi=2"), std::string::npos);
+  EXPECT_NE(s.find("and=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoga::aig

@@ -1,0 +1,259 @@
+// Autograd tests: every differentiable op is checked against central
+// differences, plus structural tests (accumulation, diamonds, constants).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace hoga::ag {
+namespace {
+
+Variable leaf(Shape shape, Rng& rng) {
+  return Variable(Tensor::randn(std::move(shape), rng), true);
+}
+
+// Named single-op gradient checks, parameterized so each op is its own case.
+struct OpCase {
+  const char* name;
+  int num_inputs;
+  std::vector<Shape> shapes;
+  std::function<Variable(const std::vector<Variable>&)> fn;
+};
+
+class OpGradCheck : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(OpGradCheck, MatchesFiniteDifferences) {
+  const OpCase& c = GetParam();
+  Rng rng(1234);
+  std::vector<Variable> inputs;
+  for (const auto& s : c.shapes) inputs.push_back(leaf(s, rng));
+  auto result = grad_check(c.fn, inputs);
+  EXPECT_TRUE(result.ok) << c.name << ": " << result.detail
+                         << " (max abs err " << result.max_abs_error << ")";
+}
+
+const OpCase kOpCases[] = {
+    {"add", 2, {{3, 4}, {3, 4}},
+     [](const std::vector<Variable>& v) { return add(v[0], v[1]); }},
+    {"add_broadcast", 2, {{3, 4}, {4}},
+     [](const std::vector<Variable>& v) { return add(v[0], v[1]); }},
+    {"sub", 2, {{2, 5}, {2, 5}},
+     [](const std::vector<Variable>& v) { return sub(v[0], v[1]); }},
+    {"sub_broadcast", 2, {{2, 5}, {5}},
+     [](const std::vector<Variable>& v) { return sub(v[0], v[1]); }},
+    {"mul", 2, {{3, 3}, {3, 3}},
+     [](const std::vector<Variable>& v) { return mul(v[0], v[1]); }},
+    {"mul_broadcast3d", 2, {{2, 3, 4}, {4}},
+     [](const std::vector<Variable>& v) { return mul(v[0], v[1]); }},
+    {"add_scalar", 1, {{4}},
+     [](const std::vector<Variable>& v) { return add_scalar(v[0], 2.5f); }},
+    {"mul_scalar", 1, {{4}},
+     [](const std::vector<Variable>& v) { return mul_scalar(v[0], -1.5f); }},
+    {"matmul", 2, {{3, 4}, {4, 2}},
+     [](const std::vector<Variable>& v) { return matmul(v[0], v[1]); }},
+    {"matmul_ta", 2, {{4, 3}, {4, 2}},
+     [](const std::vector<Variable>& v) {
+       return matmul(v[0], v[1], true, false);
+     }},
+    {"matmul_tb", 2, {{3, 4}, {2, 4}},
+     [](const std::vector<Variable>& v) {
+       return matmul(v[0], v[1], false, true);
+     }},
+    {"matmul_tatb", 2, {{4, 3}, {2, 4}},
+     [](const std::vector<Variable>& v) {
+       return matmul(v[0], v[1], true, true);
+     }},
+    {"bmm", 2, {{2, 3, 4}, {2, 4, 2}},
+     [](const std::vector<Variable>& v) { return bmm(v[0], v[1]); }},
+    {"bmm_tb", 2, {{2, 3, 4}, {2, 3, 4}},
+     [](const std::vector<Variable>& v) {
+       return bmm(v[0], v[1], false, true);
+     }},
+    {"relu", 1, {{3, 5}},
+     [](const std::vector<Variable>& v) { return relu(v[0]); }},
+    {"sigmoid", 1, {{3, 5}},
+     [](const std::vector<Variable>& v) { return sigmoid(v[0]); }},
+    {"tanh", 1, {{3, 5}},
+     [](const std::vector<Variable>& v) { return tanh(v[0]); }},
+    {"exp", 1, {{3, 3}},
+     [](const std::vector<Variable>& v) { return exp(v[0]); }},
+    {"softmax", 1, {{4, 6}},
+     [](const std::vector<Variable>& v) { return softmax_lastdim(v[0]); }},
+    {"softmax3d", 1, {{2, 3, 4}},
+     [](const std::vector<Variable>& v) { return softmax_lastdim(v[0]); }},
+    {"layernorm", 1, {{4, 8}},
+     [](const std::vector<Variable>& v) { return layer_norm_lastdim(v[0]); }},
+    {"reshape", 1, {{2, 6}},
+     [](const std::vector<Variable>& v) { return reshape(v[0], {3, 4}); }},
+    {"concat_cols", 2, {{3, 2}, {3, 3}},
+     [](const std::vector<Variable>& v) { return concat_cols({v[0], v[1]}); }},
+    {"slice_cols", 1, {{3, 6}},
+     [](const std::vector<Variable>& v) { return slice_cols(v[0], 1, 4); }},
+    {"concat_rows", 2, {{2, 3}, {4, 3}},
+     [](const std::vector<Variable>& v) { return concat_rows({v[0], v[1]}); }},
+    {"slice_rows", 1, {{6, 3}},
+     [](const std::vector<Variable>& v) { return slice_rows(v[0], 2, 5); }},
+    {"gather_rows", 1, {{5, 3}},
+     [](const std::vector<Variable>& v) {
+       return gather_rows(v[0], {4, 0, 0, 2});
+     }},
+    {"mean_axis0", 1, {{5, 3}},
+     [](const std::vector<Variable>& v) { return mean_axis0(v[0]); }},
+    {"sum_all", 1, {{4, 3}},
+     [](const std::vector<Variable>& v) { return sum_all(v[0]); }},
+    {"mean_all", 1, {{4, 3}},
+     [](const std::vector<Variable>& v) { return mean_all(v[0]); }},
+    {"composite_attention", 2, {{2, 3, 4}, {2, 3, 4}},
+     [](const std::vector<Variable>& v) {
+       Variable s = softmax_lastdim(bmm(v[0], v[1], false, true));
+       return mul(v[0], bmm(s, v[1]));
+     }},
+};
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpGradCheck, ::testing::ValuesIn(kOpCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+TEST(Autograd, BackwardRequiresScalarWithoutSeed) {
+  Rng rng(1);
+  Variable x = leaf({2, 2}, rng);
+  Variable y = relu(x);
+  EXPECT_THROW(y.backward(), std::runtime_error);
+}
+
+TEST(Autograd, ConstantsGetNoGradient) {
+  Rng rng(1);
+  Variable x = leaf({3}, rng);
+  Variable c = constant(Tensor::ones({3}));
+  Variable y = sum_all(mul(x, c));
+  y.backward();
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_TRUE(x.requires_grad());
+  EXPECT_TRUE(Tensor::allclose(x.grad(), Tensor::ones({3})));
+}
+
+TEST(Autograd, DiamondAccumulatesBothPaths) {
+  // y = sum(x + x): dy/dx = 2.
+  Rng rng(2);
+  Variable x = leaf({4}, rng);
+  Variable y = sum_all(add(x, x));
+  y.backward();
+  EXPECT_TRUE(Tensor::allclose(x.grad(), Tensor::full({4}, 2.f)));
+}
+
+TEST(Autograd, ReusedParameterAccumulates) {
+  // y = sum(x W + (x W) W'), W reused: gradient flows through both uses.
+  Rng rng(3);
+  Variable x = leaf({2, 3}, rng);
+  Variable w = leaf({3, 3}, rng);
+  auto fn = [](const std::vector<Variable>& v) {
+    Variable h = matmul(v[0], v[1]);
+    return matmul(h, v[1]);
+  };
+  auto result = grad_check(fn, {x, w});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Autograd, ZeroGradClearsAccumulation) {
+  Rng rng(4);
+  Variable x = leaf({3}, rng);
+  Variable y = sum_all(x);
+  y.backward();
+  EXPECT_TRUE(Tensor::allclose(x.grad(), Tensor::ones({3})));
+  x.zero_grad();
+  Variable y2 = sum_all(x);
+  y2.backward();
+  EXPECT_TRUE(Tensor::allclose(x.grad(), Tensor::ones({3})));
+}
+
+TEST(Autograd, MseLossValueAndGrad) {
+  Variable pred(Tensor::from_vector({2, 1}, {1.f, 3.f}), true);
+  Tensor target = Tensor::from_vector({2, 1}, {0.f, 1.f});
+  Variable loss = mse_loss(pred, target);
+  EXPECT_NEAR(loss.value()[0], (1.f + 4.f) / 2.f, 1e-5f);
+  loss.backward();
+  EXPECT_NEAR(pred.grad()[0], 2.f * 1.f / 2.f, 1e-5f);
+  EXPECT_NEAR(pred.grad()[1], 2.f * 2.f / 2.f, 1e-5f);
+}
+
+TEST(Autograd, MaeLossValueAndGrad) {
+  Variable pred(Tensor::from_vector({2, 1}, {1.f, -3.f}), true);
+  Tensor target = Tensor::from_vector({2, 1}, {0.f, 0.f});
+  Variable loss = mae_loss(pred, target);
+  EXPECT_NEAR(loss.value()[0], 2.f, 1e-5f);
+  loss.backward();
+  EXPECT_NEAR(pred.grad()[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(pred.grad()[1], -0.5f, 1e-5f);
+}
+
+TEST(Autograd, CrossEntropyMatchesManual) {
+  Variable logits(Tensor::from_vector({2, 3}, {1, 2, 3, 0, 0, 0}), true);
+  Variable loss = softmax_cross_entropy(logits, {2, 0});
+  Tensor probs = tensor_ops::softmax_lastdim(logits.value());
+  const float expected =
+      -0.5f * (std::log(probs.at({0, 2})) + std::log(probs.at({1, 0})));
+  EXPECT_NEAR(loss.value()[0], expected, 1e-5f);
+  loss.backward();
+  // grad = (p - onehot)/n
+  EXPECT_NEAR(logits.grad().at({0, 2}), (probs.at({0, 2}) - 1.f) / 2.f, 1e-5f);
+  EXPECT_NEAR(logits.grad().at({1, 1}), probs.at({1, 1}) / 2.f, 1e-5f);
+}
+
+TEST(Autograd, CrossEntropyClassWeights) {
+  Variable logits(Tensor::from_vector({2, 2}, {0, 0, 0, 0}), true);
+  // Class 1 has weight 3; both samples give loss log(2).
+  Variable loss = softmax_cross_entropy(logits, {0, 1}, {1.f, 3.f});
+  EXPECT_NEAR(loss.value()[0], std::log(2.f), 1e-5f);
+  loss.backward();
+  // Sample 1 (weight 3) contributes 3x the gradient of sample 0 (both
+  // true-class entries are negative, so the ratio is +3).
+  EXPECT_NEAR(logits.grad().at({1, 1}) / logits.grad().at({0, 0}), 3.f,
+              1e-4f);
+}
+
+TEST(Autograd, CrossEntropyGradCheck) {
+  Rng rng(5);
+  Variable logits = leaf({4, 3}, rng);
+  auto fn = [](const std::vector<Variable>& v) {
+    return softmax_cross_entropy(v[0], {0, 2, 1, 2}, {1.f, 2.f, 0.5f});
+  };
+  auto result = grad_check(fn, {logits});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Autograd, DropoutTrainAndEval) {
+  Rng rng(6);
+  Variable x(Tensor::ones({1000}), true);
+  Variable y_eval = dropout(x, 0.5f, rng, /*training=*/false);
+  EXPECT_TRUE(Tensor::allclose(y_eval.value(), x.value()));
+  Variable y_train = dropout(x, 0.5f, rng, /*training=*/true);
+  // Roughly half zeros, survivors scaled by 2.
+  int zeros = 0;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    const float v = y_train.value()[i];
+    EXPECT_TRUE(v == 0.f || std::fabs(v - 2.f) < 1e-6f);
+    if (v == 0.f) ++zeros;
+  }
+  EXPECT_NEAR(zeros, 500, 120);
+  // Mean approximately preserved (inverted dropout).
+  EXPECT_NEAR(tensor_ops::mean_all(y_train.value()), 1.f, 0.25f);
+}
+
+TEST(Autograd, MaxAxis0SubgradientRouting) {
+  Variable x(Tensor::from_vector({3, 2}, {1, 9, 5, 2, 3, 4}), true);
+  Variable y = sum_all(max_axis0(x));
+  y.backward();
+  // Column 0 max at row 1 (5); column 1 max at row 0 (9).
+  Tensor expected = Tensor::zeros({3, 2});
+  expected.at({1, 0}) = 1.f;
+  expected.at({0, 1}) = 1.f;
+  EXPECT_TRUE(Tensor::allclose(x.grad(), expected));
+}
+
+}  // namespace
+}  // namespace hoga::ag

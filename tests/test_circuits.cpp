@@ -1,0 +1,209 @@
+// Circuit generator tests: arithmetic correctness (exhaustive at small
+// widths, random at larger), generator-recorded roots, IP design properties.
+
+#include <gtest/gtest.h>
+
+#include "aig/simulate.hpp"
+#include "circuits/arith.hpp"
+#include "circuits/ip_designs.hpp"
+#include "circuits/multipliers.hpp"
+#include "reasoning/labels.hpp"
+
+namespace hoga::circuits {
+namespace {
+
+TEST(Arith, HalfAdderFunction) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  GenRoots roots;
+  const AdderBits ha = half_adder(g, a, b, &roots);
+  g.add_po(ha.sum);
+  g.add_po(ha.carry);
+  for (std::uint64_t in = 0; in < 4; ++in) {
+    const std::uint64_t out = aig::evaluate(g, in);
+    const int x = in & 1, y = (in >> 1) & 1;
+    EXPECT_EQ(out & 1, static_cast<std::uint64_t>(x ^ y));
+    EXPECT_EQ((out >> 1) & 1, static_cast<std::uint64_t>(x & y));
+  }
+  EXPECT_EQ(roots.xor_roots.size(), 1u);
+}
+
+TEST(Arith, FullAdderFunctionAndRoots) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit c = g.add_pi();
+  GenRoots roots;
+  const AdderBits fa = full_adder(g, a, b, c, &roots);
+  g.add_po(fa.sum);
+  g.add_po(fa.carry);
+  for (std::uint64_t in = 0; in < 8; ++in) {
+    const std::uint64_t out = aig::evaluate(g, in);
+    const int total = (in & 1) + ((in >> 1) & 1) + ((in >> 2) & 1);
+    EXPECT_EQ(out & 1, static_cast<std::uint64_t>(total & 1));
+    EXPECT_EQ((out >> 1) & 1, static_cast<std::uint64_t>(total >> 1));
+  }
+  EXPECT_EQ(roots.xor_roots.size(), 1u);
+  EXPECT_EQ(roots.maj_roots.size(), 1u);
+}
+
+TEST(Arith, DegenerateFullAdderRecordsNoRoots) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  GenRoots roots;
+  full_adder(g, a, b, aig::kLitFalse, &roots);  // cin = 0 -> half adder
+  EXPECT_TRUE(roots.maj_roots.empty());
+}
+
+class RippleAdderWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(RippleAdderWidths, MatchesIntegerAddition) {
+  const int bits = GetParam();
+  Aig g = make_ripple_adder(bits);
+  const std::uint64_t mask = (1ull << bits) - 1;
+  if (bits <= 4) {
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) {
+        EXPECT_EQ(aig::evaluate(g, a | (b << bits)), a + b);
+      }
+    }
+  } else {
+    Rng rng(bits);
+    for (int t = 0; t < 200; ++t) {
+      const std::uint64_t a = rng.next_u64() & mask;
+      const std::uint64_t b = rng.next_u64() & mask;
+      EXPECT_EQ(aig::evaluate(g, a | (b << bits)), a + b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RippleAdderWidths,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 24));
+
+TEST(Arith, CarryLookaheadEquivalentToRipple) {
+  for (int bits : {2, 4, 6}) {
+    Aig ripple = make_ripple_adder(bits);
+    Aig cla = make_carry_lookahead_adder(bits);
+    EXPECT_TRUE(aig::exhaustive_equivalent(ripple, cla)) << bits;
+  }
+}
+
+struct MultCase {
+  const char* family;
+  int bits;
+};
+
+class MultiplierCorrectness : public ::testing::TestWithParam<MultCase> {};
+
+TEST_P(MultiplierCorrectness, MatchesIntegerMultiplication) {
+  const auto& param = GetParam();
+  LabeledCircuit lc = std::string(param.family) == "csa"
+                          ? make_csa_multiplier(param.bits)
+                          : make_booth_multiplier(param.bits);
+  const int bits = param.bits;
+  EXPECT_EQ(lc.aig.num_pis(), 2 * bits);
+  EXPECT_EQ(lc.aig.num_pos(), 2 * bits);
+  const std::uint64_t mask = (1ull << bits) - 1;
+  const std::uint64_t pmask =
+      2 * bits >= 64 ? ~0ull : (1ull << (2 * bits)) - 1;
+  if (bits <= 5) {
+    for (std::uint64_t a = 0; a <= mask; ++a) {
+      for (std::uint64_t b = 0; b <= mask; ++b) {
+        EXPECT_EQ(aig::evaluate(lc.aig, a | (b << bits)), (a * b) & pmask)
+            << param.family << " " << a << "*" << b;
+      }
+    }
+  } else {
+    Rng rng(static_cast<std::uint64_t>(bits));
+    for (int t = 0; t < 100; ++t) {
+      const std::uint64_t a = rng.next_u64() & mask;
+      const std::uint64_t b = rng.next_u64() & mask;
+      EXPECT_EQ(aig::evaluate(lc.aig, a | (b << bits)), (a * b) & pmask);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MultiplierCorrectness,
+    ::testing::Values(MultCase{"csa", 1}, MultCase{"csa", 2},
+                      MultCase{"csa", 3}, MultCase{"csa", 4},
+                      MultCase{"csa", 5}, MultCase{"csa", 8},
+                      MultCase{"csa", 16}, MultCase{"booth", 1},
+                      MultCase{"booth", 2}, MultCase{"booth", 3},
+                      MultCase{"booth", 4}, MultCase{"booth", 5},
+                      MultCase{"booth", 8}, MultCase{"booth", 16}),
+    [](const auto& info) {
+      return std::string(info.param.family) + "_" +
+             std::to_string(info.param.bits);
+    });
+
+TEST(Multipliers, GeneratorRootsAreFunctionalRoots) {
+  // Every generator-recorded XOR/MAJ root must be confirmed by the
+  // cut-matching labeler (the labeler may find more; never fewer).
+  for (const char* family : {"csa", "booth"}) {
+    LabeledCircuit lc = std::string(family) == "csa"
+                            ? make_csa_multiplier(8)
+                            : make_booth_multiplier(8);
+    const auto labels = reasoning::functional_labels(lc.aig);
+    for (aig::NodeId id : lc.roots.xor_roots) {
+      EXPECT_TRUE(labels[id] == reasoning::NodeClass::kXor ||
+                  labels[id] == reasoning::NodeClass::kShared)
+          << family << " xor root " << id;
+    }
+    for (aig::NodeId id : lc.roots.maj_roots) {
+      EXPECT_TRUE(labels[id] == reasoning::NodeClass::kMaj ||
+                  labels[id] == reasoning::NodeClass::kShared)
+          << family << " maj root " << id;
+    }
+  }
+}
+
+TEST(Multipliers, FamiliesAreStructurallyDifferent) {
+  const auto csa = make_csa_multiplier(8);
+  const auto booth = make_booth_multiplier(8);
+  EXPECT_NE(csa.aig.num_ands(), booth.aig.num_ands());
+}
+
+TEST(IpDesigns, TwentyNineSpecsWithPaperSplit) {
+  const auto& specs = openabcd_specs();
+  ASSERT_EQ(specs.size(), 29u);
+  int train = 0;
+  for (const auto& s : specs) train += s.train_split ? 1 : 0;
+  EXPECT_EQ(train, 20);
+  EXPECT_EQ(specs[0].name, "spi");
+  EXPECT_EQ(specs[23].name, "vga_lcd");
+  EXPECT_FALSE(specs[23].train_split);
+}
+
+TEST(IpDesigns, DeterministicGeneration) {
+  const auto& spec = openabcd_specs()[0];
+  Aig a = build_ip_design(spec);
+  Aig b = build_ip_design(spec);
+  EXPECT_EQ(a.num_ands(), b.num_ands());
+  EXPECT_EQ(a.num_pis(), b.num_pis());
+  Rng rng(1);
+  EXPECT_TRUE(aig::random_equivalent(a, b, rng, 4));
+}
+
+TEST(IpDesigns, SizesTrackPaperOrdering) {
+  // Larger paper designs produce larger scaled designs (up to the clamp).
+  const auto& specs = openabcd_specs();
+  const Aig small = build_ip_design(specs[2]);   // ss_pcm, 462 nodes
+  const Aig large = build_ip_design(specs[23]);  // vga_lcd, 105334 nodes
+  EXPECT_LT(small.num_ands(), large.num_ands());
+  EXPECT_GE(small.num_ands(), 50);
+}
+
+TEST(IpDesigns, EveryCategoryBuildsAndHasPos) {
+  for (const auto& spec : openabcd_specs()) {
+    Aig g = build_ip_design(spec, /*size_scale=*/200.0);  // small & fast
+    EXPECT_GT(g.num_ands(), 0) << spec.name;
+    EXPECT_GT(g.num_pos(), 0) << spec.name;
+    EXPECT_GT(g.num_pis(), 0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace hoga::circuits

@@ -1,0 +1,171 @@
+// Graph subsystem tests: CSR construction, normalizations, SpMM (raw and
+// differentiable), subgraphs, and the GraphSAINT sampler.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "graph/csr.hpp"
+#include "graph/sampler.hpp"
+#include "graph/spmm_op.hpp"
+#include "tensor/ops.hpp"
+
+namespace hoga::graph {
+namespace {
+
+Csr triangle() {
+  // 0-1, 1-2, 2-0 undirected.
+  return Csr::from_edges_undirected(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(Csr, FromEdgesMergesDuplicates) {
+  Csr c = Csr::from_edges(3, {{0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(c.num_edges(), 2);
+  EXPECT_FLOAT_EQ(c.values()[0], 2.f);  // merged weight
+}
+
+TEST(Csr, UndirectedSymmetric) {
+  Csr c = triangle();
+  EXPECT_EQ(c.num_edges(), 6);
+  EXPECT_TRUE(c.is_symmetric());
+  EXPECT_EQ(c.degree(0), 2);
+}
+
+TEST(Csr, RejectsOutOfRangeEdges) {
+  EXPECT_THROW(Csr::from_edges(2, {{0, 2}}), std::runtime_error);
+}
+
+TEST(Csr, SymmetricNormalizationRowSums) {
+  // For a k-regular graph with self loops, D = k+1 and every row of the
+  // normalized matrix sums to 1.
+  Csr norm = triangle().normalized_symmetric(1.f);
+  Tensor ones = Tensor::ones({3, 1});
+  Tensor out = norm.spmm(ones);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(out[i], 1.f, 1e-5f);
+  EXPECT_TRUE(norm.is_symmetric());
+}
+
+TEST(Csr, SymmetricNormalizationNoSelfLoops) {
+  Csr norm = triangle().normalized_symmetric(0.f);
+  // No diagonal entries.
+  for (std::int64_t i = 0; i < 3; ++i) {
+    for (std::int64_t e = norm.row_ptr()[i]; e < norm.row_ptr()[i + 1]; ++e) {
+      EXPECT_NE(norm.col_idx()[e], i);
+    }
+  }
+}
+
+TEST(Csr, RowNormalizationMakesRowsStochastic) {
+  Csr c = Csr::from_edges(3, {{0, 1}, {0, 2}, {1, 2}});
+  Csr norm = c.normalized_row();
+  Tensor ones = Tensor::ones({3, 1});
+  Tensor out = norm.spmm(ones);
+  EXPECT_NEAR(out[0], 1.f, 1e-6f);
+  EXPECT_NEAR(out[1], 1.f, 1e-6f);
+  EXPECT_NEAR(out[2], 0.f, 1e-6f);  // no out-edges
+}
+
+TEST(Csr, IsolatedNodesSafeUnderNormalization) {
+  Csr c = Csr::from_edges(4, {{0, 1}});
+  Csr sym = c.normalized_symmetric(0.f);
+  Csr row = c.normalized_row();
+  EXPECT_EQ(sym.num_nodes(), 4);
+  EXPECT_EQ(row.degree(3), 0);
+}
+
+TEST(Csr, SpmmMatchesDense) {
+  Rng rng(1);
+  Csr c = Csr::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 0}, {3, 3}});
+  Tensor x = Tensor::randn({4, 3}, rng);
+  Tensor y = c.spmm(x);
+  // Dense reference.
+  Tensor dense = Tensor::zeros({4, 4});
+  for (std::int64_t i = 0; i < 4; ++i) {
+    for (std::int64_t e = c.row_ptr()[i]; e < c.row_ptr()[i + 1]; ++e) {
+      dense.at({i, c.col_idx()[e]}) = c.values()[e];
+    }
+  }
+  EXPECT_TRUE(Tensor::allclose(y, tensor_ops::matmul(dense, x), 1e-5f));
+}
+
+TEST(Csr, TransposeInvolution) {
+  Csr c = Csr::from_edges(4, {{0, 1}, {2, 3}, {3, 1}});
+  Csr tt = c.transposed().transposed();
+  EXPECT_EQ(tt.row_ptr(), c.row_ptr());
+  EXPECT_EQ(tt.col_idx(), c.col_idx());
+}
+
+TEST(Csr, InducedSubgraphKeepsInternalEdges) {
+  Csr c = Csr::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  Csr sub = c.induced_subgraph({1, 2, 3});
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);  // 1->2 and 2->3 remapped
+  EXPECT_THROW(c.induced_subgraph({1, 1}), std::runtime_error);
+}
+
+TEST(SpmmOp, GradientIsTransposeSpmm) {
+  Rng rng(2);
+  auto c = std::make_shared<const Csr>(
+      Csr::from_edges(4, {{0, 1}, {1, 2}, {3, 0}, {2, 2}}));
+  ag::Variable x(Tensor::randn({4, 3}, rng), true);
+  auto fn = [&c](const std::vector<ag::Variable>& v) {
+    return spmm(c, v[0]);
+  };
+  auto result = ag::grad_check(fn, {x});
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SpmmOp, SymmetricMatrixReusedForBackward) {
+  Rng rng(3);
+  auto sym = std::make_shared<const Csr>(triangle().normalized_symmetric(1.f));
+  ag::Variable x(Tensor::randn({3, 2}, rng), true);
+  ag::Variable y = spmm(sym, x, sym);
+  ag::Variable loss = ag::sum_all(y);
+  loss.backward();
+  // d(sum A x)/dx = A^T 1 = A 1 (symmetric): row sums.
+  Tensor expected = sym->spmm(Tensor::ones({3, 2}));
+  EXPECT_TRUE(Tensor::allclose(x.grad(), expected, 1e-5f));
+}
+
+TEST(Sampler, SubgraphNodesValidAndUnique) {
+  Rng rng(4);
+  // Path graph 0-1-...-49.
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < 50; ++i) edges.push_back({i, i + 1});
+  Csr c = Csr::from_edges_undirected(50, edges);
+  RandomWalkSampler sampler(c, 8, 5);
+  SaintSample s = sampler.sample(rng);
+  std::set<std::int64_t> uniq(s.nodes.begin(), s.nodes.end());
+  EXPECT_EQ(uniq.size(), s.nodes.size());
+  EXPECT_EQ(s.subgraph.num_nodes(),
+            static_cast<std::int64_t>(s.nodes.size()));
+  EXPECT_LE(s.nodes.size(), 8u * 6u);
+  for (auto v : s.nodes) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(Sampler, NormEstimationGivesPositiveWeights) {
+  Rng rng(5);
+  Csr c = triangle();
+  RandomWalkSampler sampler(c, 2, 3);
+  sampler.estimate_norms(rng, 10);
+  SaintSample s = sampler.sample(rng);
+  for (float w : s.node_weight) EXPECT_GT(w, 0.f);
+}
+
+TEST(Sampler, DeadEndWalksTerminate) {
+  Rng rng(6);
+  // Star with directed edges into the center: walkers stop at the center.
+  Csr c = Csr::from_edges(4, {{1, 0}, {2, 0}, {3, 0}});
+  RandomWalkSampler sampler(c, 4, 10);
+  SaintSample s = sampler.sample(rng);
+  EXPECT_GE(s.nodes.size(), 1u);
+  EXPECT_LE(s.nodes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hoga::graph

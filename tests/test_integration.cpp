@@ -1,0 +1,141 @@
+// Cross-module integration tests: miniature versions of the paper's two
+// pipelines running end to end, plus consistency checks that span
+// subsystems (synthesis <-> labeling <-> learning).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aig/simulate.hpp"
+#include "circuits/multipliers.hpp"
+#include "data/qor_dataset.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "reasoning/features.hpp"
+#include "synth/recipe.hpp"
+#include "synth/techmap.hpp"
+#include "train/metrics.hpp"
+#include "train/node_trainer.hpp"
+#include "train/qor_trainer.hpp"
+
+namespace hoga {
+namespace {
+
+// Miniature functional-reasoning pipeline: train HOGA on an unmapped 4-bit
+// CSA multiplier and verify it transfers to the 8-bit one far above chance.
+TEST(Integration, ReasoningTransfersAcrossBitwidth) {
+  const auto g4 = data::make_reasoning_graph("csa", 4, /*mapped=*/false);
+  const auto g8 = data::make_reasoning_graph("csa", 8, /*mapped=*/false);
+  const int K = 4;
+  auto hops4 = core::HopFeatures::compute_concat(
+      {g4.adj_hop.get(), g4.adj_fanin.get()}, g4.features, K);
+  auto hops8 = core::HopFeatures::compute_concat(
+      {g8.adj_hop.get(), g8.adj_fanin.get()}, g8.features, K);
+  Rng rng(1);
+  core::Hoga model(
+      core::HogaConfig{.in_dim = 2 * reasoning::kNodeFeatureDim,
+                       .hidden = 24,
+                       .num_hops = K,
+                       .num_layers = 1,
+                       .out_dim = reasoning::kNumClasses},
+      rng);
+  train::NodeTrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.batch_size = 128;
+  cfg.lr = 5e-3f;
+  cfg.class_weights =
+      train::inverse_frequency_weights(g4.labels, reasoning::kNumClasses);
+  train::train_hoga_node(model, hops4, g4.labels, cfg);
+  const double train_acc =
+      train::accuracy(model.predict(hops4), g4.labels);
+  const double transfer_acc =
+      train::accuracy(model.predict(hops8), g8.labels);
+  EXPECT_GT(train_acc, 0.9);
+  EXPECT_GT(transfer_acc, 0.6);  // well above the 25% chance level
+}
+
+// Miniature QoR pipeline: both backbones train end to end on a scaled-down
+// dataset and produce finite per-design MAPE on the held-out designs.
+TEST(Integration, QorPipelineBothBackbones) {
+  data::QorDatasetParams dparams;
+  dparams.recipes_per_design = 3;
+  dparams.size_scale = 200.0;
+  dparams.min_recipe_len = 2;
+  dparams.max_recipe_len = 5;
+  const auto ds = data::QorDataset::generate(dparams);
+  for (auto backbone : {train::QorBackbone::kGcn, train::QorBackbone::kHoga}) {
+    train::QorModelConfig cfg;
+    cfg.backbone = backbone;
+    cfg.in_dim = reasoning::kNodeFeatureDim;
+    cfg.hidden = 12;
+    cfg.num_hops = 3;
+    cfg.gcn_layers = 3;
+    std::vector<train::QorDesignInput> inputs;
+    train::prepare_qor_inputs(ds, cfg, &inputs);
+    Rng rng(2);
+    train::QorModel model(cfg, rng);
+    train::QorTrainConfig tcfg;
+    tcfg.epochs = 10;
+    auto log = train::train_qor(model, inputs, ds.train, tcfg);
+    EXPECT_LT(log.epoch_losses.back(), log.epoch_losses.front());
+    auto eval = train::evaluate_qor(model, ds, inputs, ds.test);
+    EXPECT_EQ(eval.design_mape.size(), 9u);
+    for (double m : eval.design_mape) {
+      EXPECT_TRUE(std::isfinite(m));
+      EXPECT_LT(m, 200.0);  // sane scale
+    }
+  }
+}
+
+// Synthesis and labeling interact correctly: recipes preserve function AND
+// the functional labeler finds adder roots before and after optimization.
+TEST(Integration, LabelsSurviveSynthesis) {
+  auto lc = circuits::make_csa_multiplier(5);
+  Rng rng(3);
+  const auto recipe = synth::Recipe::resyn2();
+  const auto result = synth::run_recipe(lc.aig, recipe);
+  ASSERT_TRUE(aig::exhaustive_equivalent(lc.aig, result.optimized));
+  const auto labels_before = reasoning::functional_labels(lc.aig);
+  const auto labels_after = reasoning::functional_labels(result.optimized);
+  const auto hist_before = reasoning::class_histogram(labels_before);
+  const auto hist_after = reasoning::class_histogram(labels_after);
+  // Adder structure survives gate-level optimization: XOR/MAJ roots remain.
+  EXPECT_GT(hist_after[0] + hist_after[1] + hist_after[2], 0);
+  EXPECT_GT(hist_before[1], 0);
+}
+
+// The mapped netlist pipeline is self-consistent: mapping preserves the
+// multiplier function while changing the label distribution.
+TEST(Integration, MappingPreservesFunctionChangesLabels) {
+  auto lc = circuits::make_booth_multiplier(4);
+  const aig::Aig mapped = synth::tech_map(lc.aig);
+  EXPECT_TRUE(aig::exhaustive_equivalent(lc.aig, mapped));
+  const auto before =
+      reasoning::class_histogram(reasoning::functional_labels(lc.aig));
+  const auto after =
+      reasoning::class_histogram(reasoning::functional_labels(mapped));
+  EXPECT_NE(before, after);
+}
+
+// Hop features on the QoR designs respect the phase-1/phase-2 split: the
+// HOGA backbone input carries no graph object.
+TEST(Integration, HopFeaturePrecomputeIsGraphFree) {
+  data::QorDatasetParams dparams;
+  dparams.recipes_per_design = 1;
+  dparams.size_scale = 300.0;
+  const auto ds = data::QorDataset::generate(dparams);
+  train::QorModelConfig cfg;
+  cfg.backbone = train::QorBackbone::kHoga;
+  cfg.in_dim = reasoning::kNodeFeatureDim;
+  cfg.hidden = 8;
+  cfg.num_hops = 2;
+  std::vector<train::QorDesignInput> inputs;
+  prepare_qor_inputs(ds, cfg, &inputs);
+  for (const auto& in : inputs) {
+    EXPECT_TRUE(in.hops.has_value());
+    EXPECT_EQ(in.adj_norm, nullptr);  // no adjacency reaches the model
+    EXPECT_EQ(in.hops->stacked().dim(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace hoga

@@ -1,0 +1,167 @@
+// Tests for AIGER I/O, DOT export, and model checkpointing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "aig/aiger.hpp"
+#include "aig/dot.hpp"
+#include "aig/simulate.hpp"
+#include "circuits/arith.hpp"
+#include "circuits/ip_designs.hpp"
+#include "circuits/multipliers.hpp"
+#include "core/hoga_model.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace hoga {
+namespace {
+
+TEST(Aiger, RoundTripPreservesFunction) {
+  for (int bits : {2, 4}) {
+    const aig::Aig original = circuits::make_csa_multiplier(bits).aig;
+    const std::string text = aig::write_aiger(original);
+    const aig::Aig parsed = aig::read_aiger(text);
+    EXPECT_EQ(parsed.num_pis(), original.num_pis());
+    EXPECT_EQ(parsed.num_pos(), original.num_pos());
+    EXPECT_TRUE(aig::exhaustive_equivalent(original, parsed)) << bits;
+  }
+}
+
+TEST(Aiger, RoundTripOnIpDesign) {
+  Rng rng(1);
+  const auto& spec = circuits::openabcd_specs()[1];  // i2c, small
+  const aig::Aig original = circuits::build_ip_design(spec, 200.0);
+  const aig::Aig parsed = aig::read_aiger(aig::write_aiger(original));
+  EXPECT_TRUE(aig::random_equivalent(original, parsed, rng, 8));
+}
+
+TEST(Aiger, HeaderFormat) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  g.add_po(g.add_and(a, b));
+  const std::string text = aig::write_aiger(g);
+  EXPECT_EQ(text.substr(0, 12), "aag 3 2 0 1 ");
+}
+
+TEST(Aiger, ParsesComplementedOutputsAndConstants) {
+  // Output = NOT input0; second output = constant true.
+  const std::string text = "aag 1 1 0 2 0\n2\n3\n1\n";
+  const aig::Aig g = aig::read_aiger(text);
+  EXPECT_EQ(g.num_pis(), 1);
+  EXPECT_EQ(g.num_pos(), 2);
+  EXPECT_EQ(aig::evaluate(g, 0), 0b11u);
+  EXPECT_EQ(aig::evaluate(g, 1), 0b10u);
+}
+
+TEST(Aiger, RejectsMalformedInput) {
+  EXPECT_THROW(aig::read_aiger("not aiger"), std::runtime_error);
+  EXPECT_THROW(aig::read_aiger("aag 1 0 1 0 0\n"), std::runtime_error);
+  // AND uses undefined variable 5.
+  EXPECT_THROW(aig::read_aiger("aag 5 1 0 1 1\n2\n4\n4 10 2\n"),
+               std::runtime_error);
+}
+
+TEST(Aiger, FileRoundTrip) {
+  const aig::Aig original = circuits::make_ripple_adder(3);
+  const std::string path = "/tmp/hoga_test_rca3.aag";
+  aig::write_aiger_file(original, path);
+  const aig::Aig parsed = aig::read_aiger_file(path);
+  EXPECT_TRUE(aig::exhaustive_equivalent(original, parsed));
+  std::remove(path.c_str());
+  EXPECT_THROW(aig::read_aiger_file("/nonexistent/x.aag"),
+               std::runtime_error);
+}
+
+TEST(Dot, ContainsNodesEdgesAndStyles) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  g.add_po(g.add_and(aig::lit_not(a), b));
+  const std::string dot = aig::to_dot(g);
+  EXPECT_NE(dot.find("digraph aig"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // inverted edge
+  EXPECT_NE(dot.find("triangle"), std::string::npos);      // PI shape
+  EXPECT_NE(dot.find("-> o0"), std::string::npos);         // PO marker
+}
+
+TEST(Dot, CustomLabelsAndColors) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  g.add_po(g.add_and(a, b));
+  aig::DotOptions opts;
+  opts.node_label = [](aig::NodeId id) {
+    return id == 3 ? std::string("AND!") : std::string();
+  };
+  opts.node_color = [](aig::NodeId id) {
+    return id == 3 ? std::string("lightblue") : std::string();
+  };
+  const std::string dot = aig::to_dot(g, opts);
+  EXPECT_NE(dot.find("AND!"), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+TEST(Dot, RespectsNodeCap) {
+  const aig::Aig g = circuits::make_csa_multiplier(8).aig;
+  aig::DotOptions opts;
+  opts.max_nodes = 10;
+  const std::string dot = aig::to_dot(g, opts);
+  EXPECT_EQ(dot.find("n500 "), std::string::npos);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  Rng rng(1);
+  core::Hoga a(core::HogaConfig{.in_dim = 5, .hidden = 8, .num_hops = 3,
+                                .num_layers = 1, .out_dim = 2},
+               rng);
+  core::Hoga b(core::HogaConfig{.in_dim = 5, .hidden = 8, .num_hops = 3,
+                                .num_layers = 1, .out_dim = 2},
+               rng);
+  // Different init.
+  EXPECT_FALSE(Tensor::allclose(a.parameters()[0].value(),
+                                b.parameters()[0].value()));
+  nn::load_checkpoint(b, nn::save_checkpoint(a));
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(Tensor::allclose(pa[i].value(), pb[i].value(), 1e-5f));
+  }
+  // Same predictions after restore.
+  Rng fwd(0);
+  Tensor x = Tensor::randn({4, 4, 5}, rng);
+  a.set_training(false);
+  b.set_training(false);
+  EXPECT_TRUE(Tensor::allclose(
+      a.forward(ag::constant(x), fwd).value(),
+      b.forward(ag::constant(x), fwd).value(), 1e-5f));
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  Rng rng(2);
+  core::Hoga small(core::HogaConfig{.in_dim = 5, .hidden = 8, .num_hops = 3,
+                                    .num_layers = 1, .out_dim = 2},
+                   rng);
+  core::Hoga big(core::HogaConfig{.in_dim = 5, .hidden = 16, .num_hops = 3,
+                                  .num_layers = 1, .out_dim = 2},
+                 rng);
+  EXPECT_THROW(nn::load_checkpoint(big, nn::save_checkpoint(small)),
+               std::runtime_error);
+  EXPECT_THROW(nn::load_checkpoint(big, "garbage"), std::runtime_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Rng rng(3);
+  nn::Mlp mlp({3, 4, 2}, rng);
+  const std::string path = "/tmp/hoga_test_ckpt.txt";
+  nn::save_checkpoint_file(mlp, path);
+  nn::Mlp restored({3, 4, 2}, rng);
+  nn::load_checkpoint_file(restored, path);
+  EXPECT_TRUE(Tensor::allclose(mlp.parameters()[0].value(),
+                               restored.parameters()[0].value(), 1e-5f));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hoga

@@ -1,0 +1,218 @@
+// Tests for nn layers (shape/registration/gradients) and optimizers
+// (convergence on analytic problems).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.hpp"
+#include "nn/init.hpp"
+#include "nn/layers.hpp"
+#include "optim/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace hoga {
+namespace {
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  nn::Linear lin(3, 5, rng);
+  ag::Variable x = ag::constant(Tensor::ones({4, 3}));
+  ag::Variable y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{4, 5}));
+  EXPECT_EQ(lin.parameters().size(), 2u);  // weight + bias
+  nn::Linear nobias(3, 5, rng, false);
+  EXPECT_EQ(nobias.parameters().size(), 1u);
+}
+
+TEST(Linear, ThreeDInputAppliesToTrailingAxis) {
+  Rng rng(2);
+  nn::Linear lin(4, 2, rng);
+  ag::Variable x = ag::constant(Tensor::ones({3, 5, 4}));
+  ag::Variable y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 5, 2}));
+  // Same values in every row since the input rows are identical.
+  EXPECT_NEAR(y.value().at({0, 0, 0}), y.value().at({2, 4, 0}), 1e-6f);
+}
+
+TEST(Linear, GradCheckThroughLayer) {
+  Rng rng(3);
+  auto lin = std::make_shared<nn::Linear>(3, 2, rng);
+  ag::Variable x(Tensor::randn({4, 3}, rng), true);
+  auto fn = [&lin](const std::vector<ag::Variable>& v) {
+    return lin->forward(v[0]);
+  };
+  // Check input gradient and parameter gradients.
+  std::vector<ag::Variable> inputs{x};
+  auto result = ag::grad_check(fn, inputs);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(LayerNorm, NormalizesAndLearnsAffine) {
+  Rng rng(4);
+  nn::LayerNorm ln(8);
+  ag::Variable x = ag::constant(Tensor::randn({3, 8}, rng));
+  ag::Variable y = ln.forward(x);
+  // With default gamma=1, beta=0 rows are standardized.
+  for (std::int64_t i = 0; i < 3; ++i) {
+    double mean = 0;
+    for (std::int64_t j = 0; j < 8; ++j) mean += y.value().at({i, j});
+    EXPECT_NEAR(mean / 8, 0.0, 1e-4);
+  }
+  EXPECT_EQ(ln.parameters().size(), 2u);
+  EXPECT_THROW(ln.forward(ag::constant(Tensor::ones({3, 4}))),
+               std::runtime_error);
+}
+
+TEST(Embedding, GatherAndGradientFlow) {
+  Rng rng(5);
+  nn::Embedding emb(10, 4, rng);
+  ag::Variable rows = emb.forward({1, 1, 7});
+  EXPECT_EQ(rows.shape(), (Shape{3, 4}));
+  EXPECT_TRUE(Tensor::allclose(
+      tensor_ops::slice_rows(rows.value(), 0, 1),
+      tensor_ops::slice_rows(rows.value(), 1, 2)));
+  ag::Variable loss = ag::sum_all(rows);
+  loss.backward();
+  // Row 1 used twice -> grad 2, row 7 once -> 1, row 0 unused -> 0.
+  const Tensor& g = emb.parameters()[0].grad();
+  EXPECT_FLOAT_EQ(g.at({1, 0}), 2.f);
+  EXPECT_FLOAT_EQ(g.at({7, 0}), 1.f);
+  EXPECT_FLOAT_EQ(g.at({0, 0}), 0.f);
+}
+
+TEST(Mlp, ShapesAndParameterCount) {
+  Rng rng(6);
+  nn::Mlp mlp({5, 8, 3}, rng);
+  ag::Variable y = mlp.forward(ag::constant(Tensor::ones({2, 5})));
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_EQ(mlp.parameter_count(), 5 * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(Module, ParameterNamesAndCopy) {
+  Rng rng(7);
+  nn::Mlp a({2, 3, 1}, rng), b({2, 3, 1}, rng);
+  auto names = a.parameter_names();
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "layer0.weight");
+  // Different init; after copy they match.
+  EXPECT_FALSE(Tensor::allclose(a.parameters()[0].value(),
+                                b.parameters()[0].value()));
+  b.copy_parameters_from(a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(Tensor::allclose(a.parameters()[i].value(),
+                                 b.parameters()[i].value()));
+  }
+}
+
+TEST(Init, XavierBoundsAndKaimingScale) {
+  Rng rng(8);
+  Tensor w = nn::xavier_uniform(100, 50, rng);
+  const float bound = std::sqrt(6.f / 150.f);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::fabs(w.data()[i]), bound + 1e-6f);
+  }
+  Tensor k = nn::kaiming_normal(200, 50, rng);
+  double var = 0;
+  for (std::int64_t i = 0; i < k.numel(); ++i) {
+    var += static_cast<double>(k.data()[i]) * k.data()[i];
+  }
+  var /= k.numel();
+  EXPECT_NEAR(var, 2.0 / 200.0, 2.0 / 200.0 * 0.3);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // minimize (x - 3)^2
+  ag::Variable x(Tensor::zeros({1}), true);
+  optim::Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    ag::Variable diff = ag::add_scalar(x, -3.f);
+    ag::Variable loss = ag::sum_all(ag::mul(diff, diff));
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_NEAR(x.value()[0], 3.f, 1e-3f);
+}
+
+TEST(SgdMomentum, ConvergesFasterThanPlainOnIllConditioned) {
+  auto run = [](float momentum) {
+    Rng rng(9);
+    ag::Variable x(Tensor::from_vector({2}, {5.f, 5.f}), true);
+    optim::Sgd opt({x}, 0.02f, momentum);
+    Tensor scale = Tensor::from_vector({2}, {10.f, 0.5f});
+    float loss_val = 0;
+    for (int i = 0; i < 60; ++i) {
+      opt.zero_grad();
+      ag::Variable scaled = ag::mul_const(x, scale);
+      ag::Variable loss = ag::sum_all(ag::mul(scaled, scaled));
+      loss.backward();
+      loss_val = loss.value()[0];
+      opt.step();
+    }
+    return loss_val;
+  };
+  EXPECT_LT(run(0.9f), run(0.0f) + 1e-3f);
+}
+
+TEST(Adam, ConvergesOnLinearRegression) {
+  Rng rng(10);
+  // y = X w* + noise; recover w*.
+  Tensor w_true = Tensor::from_vector({3, 1}, {1.f, -2.f, 0.5f});
+  Tensor x = Tensor::randn({64, 3}, rng);
+  Tensor y = tensor_ops::matmul(x, w_true);
+  ag::Variable w(Tensor::zeros({3, 1}), true);
+  optim::Adam opt({w}, 0.05f);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    ag::Variable pred = ag::matmul(ag::constant(x), w);
+    ag::Variable loss = ag::mse_loss(pred, y);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_TRUE(Tensor::allclose(w.value(), w_true, 0.05f));
+}
+
+TEST(Adam, WeightDecayShrinksParameters) {
+  ag::Variable w(Tensor::full({4}, 10.f), true);
+  optim::Adam opt({w}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.f);
+  for (int i = 0; i < 50; ++i) {
+    opt.zero_grad();
+    // Zero loss gradient: decay only.
+    ag::Variable loss = ag::mul_scalar(ag::sum_all(w), 0.f);
+    loss.backward();
+    opt.step();
+  }
+  EXPECT_LT(std::fabs(w.value()[0]), 10.f);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  ag::Variable x(Tensor::zeros({4}), true);
+  x.mutable_grad().fill(10.f);  // norm = 20
+  const float before = optim::clip_grad_norm({x}, 1.f);
+  EXPECT_NEAR(before, 20.f, 1e-4f);
+  double norm = 0;
+  for (int i = 0; i < 4; ++i) {
+    norm += static_cast<double>(x.grad()[i]) * x.grad()[i];
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-4);
+  // Small gradients untouched.
+  x.mutable_grad().fill(0.01f);
+  optim::clip_grad_norm({x}, 1.f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.01f);
+}
+
+TEST(Dropout, ModuleTrainingFlagPropagates) {
+  Rng rng(11);
+  nn::Mlp mlp({4, 4, 2}, rng, /*dropout=*/0.5f);
+  mlp.set_training(false);
+  ag::Variable x = ag::constant(Tensor::ones({8, 4}));
+  // Two eval forwards are identical (no dropout noise).
+  Rng r1(1), r2(2);
+  Tensor y1 = mlp.forward(x, r1).value();
+  Tensor y2 = mlp.forward(x, r2).value();
+  EXPECT_TRUE(Tensor::allclose(y1, y2));
+}
+
+}  // namespace
+}  // namespace hoga

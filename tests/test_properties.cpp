@@ -1,0 +1,166 @@
+// Property-based sweeps across random circuits: invariants that must hold
+// for ANY input, exercised with randomized structures. These complement the
+// per-module unit tests by hitting interactions the hand-written cases
+// miss (random AIGs through every synthesis pass, the mapper, the labeler,
+// AIGER round-trips, hop-feature algebra).
+
+#include <gtest/gtest.h>
+
+#include "aig/aiger.hpp"
+#include "aig/simulate.hpp"
+#include "circuits/multipliers.hpp"
+#include "core/hop_features.hpp"
+#include "tensor/ops.hpp"
+#include "reasoning/features.hpp"
+#include "reasoning/labels.hpp"
+#include "synth/rebuild.hpp"
+#include "synth/recipe.hpp"
+#include "synth/techmap.hpp"
+#include "util/rng.hpp"
+
+namespace hoga {
+namespace {
+
+// Random AIG with `gates` AND nodes over `inputs` PIs (plus random POs).
+aig::Aig random_aig(std::uint64_t seed, int inputs, int gates) {
+  Rng rng(seed);
+  aig::Aig g;
+  std::vector<aig::Lit> pool;
+  for (int i = 0; i < inputs; ++i) pool.push_back(g.add_pi());
+  for (int i = 0; i < gates; ++i) {
+    const aig::Lit a = aig::lit_not_if(pool[rng.uniform_int(pool.size())],
+                                       rng.bernoulli(0.5));
+    const aig::Lit b = aig::lit_not_if(pool[rng.uniform_int(pool.size())],
+                                       rng.bernoulli(0.5));
+    pool.push_back(g.add_and(a, b));
+  }
+  const int pos = 1 + static_cast<int>(rng.uniform_int(4));
+  for (int i = 0; i < pos; ++i) {
+    g.add_po(aig::lit_not_if(pool[pool.size() - 1 - rng.uniform_int(8)],
+                             rng.bernoulli(0.5)));
+  }
+  return g;
+}
+
+class RandomCircuitSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCircuitSweep, EveryPassPreservesFunction) {
+  const aig::Aig g = random_aig(GetParam(), 8, 60);
+  for (int p = 0; p < synth::kNumPassKinds; ++p) {
+    const aig::Aig out = synth::apply_pass(g, static_cast<synth::Pass>(p));
+    EXPECT_TRUE(aig::exhaustive_equivalent(g, out))
+        << "seed " << GetParam() << " pass "
+        << synth::pass_name(static_cast<synth::Pass>(p));
+  }
+}
+
+TEST_P(RandomCircuitSweep, TechMapPreservesFunction) {
+  const aig::Aig g = random_aig(GetParam() ^ 0x1234, 7, 50);
+  for (int k : {3, 4, 5}) {
+    const aig::Aig mapped =
+        synth::tech_map(g, {.lut_size = k, .max_cuts = 6,
+                            .seed = GetParam()});
+    EXPECT_TRUE(aig::exhaustive_equivalent(g, mapped))
+        << "seed " << GetParam() << " k=" << k;
+  }
+}
+
+TEST_P(RandomCircuitSweep, RandomRecipePreservesFunction) {
+  const aig::Aig g = random_aig(GetParam() ^ 0x9999, 8, 70);
+  Rng rng(GetParam());
+  const auto recipe = synth::Recipe::random(rng, 6);
+  const auto result = synth::run_recipe(g, recipe);
+  EXPECT_TRUE(aig::exhaustive_equivalent(g, result.optimized))
+      << "seed " << GetParam() << " recipe " << recipe.to_string();
+  // Optimized network has no dead logic.
+  EXPECT_EQ(result.optimized.num_ands(), result.optimized.num_live_ands());
+}
+
+TEST_P(RandomCircuitSweep, AigerRoundTrip) {
+  const aig::Aig g = random_aig(GetParam() ^ 0x4242, 6, 40);
+  const aig::Aig parsed = aig::read_aiger(aig::write_aiger(g));
+  EXPECT_TRUE(aig::exhaustive_equivalent(g, parsed)) << GetParam();
+}
+
+TEST_P(RandomCircuitSweep, LabelsAreInvariantUnderStrash) {
+  // Strash with DCE may drop nodes, but classes of surviving live nodes
+  // must be consistent: counts of each root class on the strashed network
+  // are computed from the same functions.
+  const aig::Aig g = random_aig(GetParam() ^ 0x7777, 8, 60);
+  const aig::Aig s = synth::strash(g);
+  const auto labels = reasoning::functional_labels(s);
+  const auto hist = reasoning::class_histogram(labels);
+  EXPECT_EQ(hist[0] + hist[1] + hist[2] + hist[3], s.num_nodes());
+  // Labeling twice gives identical results (determinism).
+  const auto labels2 = reasoning::functional_labels(s);
+  EXPECT_EQ(labels, labels2);
+}
+
+TEST_P(RandomCircuitSweep, HopFeatureLinearity) {
+  // HopFeatures is linear in X: hops(A, x1 + x2) == hops(A, x1) +
+  // hops(A, x2) elementwise.
+  const aig::Aig g = random_aig(GetParam() ^ 0xabc, 6, 40);
+  const graph::Csr adj =
+      reasoning::to_graph(g).normalized_symmetric(0.f);
+  Rng rng(GetParam());
+  const Tensor x1 = Tensor::randn({g.num_nodes(), 3}, rng);
+  const Tensor x2 = Tensor::randn({g.num_nodes(), 3}, rng);
+  const auto h1 = core::HopFeatures::compute(adj, x1, 3);
+  const auto h2 = core::HopFeatures::compute(adj, x2, 3);
+  const auto hsum =
+      core::HopFeatures::compute(adj, tensor_ops::add(x1, x2), 3);
+  EXPECT_TRUE(Tensor::allclose(
+      hsum.stacked(), tensor_ops::add(h1.stacked(), h2.stacked()), 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// Passes never *increase* live gate count (except the explicitly
+// perturbation-oriented zero-cost variants and balance, which trades area
+// for depth).
+TEST(SynthesisProperties, SizeMonotonicityOfGreedyPasses) {
+  for (std::uint64_t seed : {3u, 5u, 7u}) {
+    const aig::Aig g = synth::strash(random_aig(seed, 8, 80));
+    for (synth::Pass p : {synth::Pass::kRewrite, synth::Pass::kRefactor,
+                          synth::Pass::kResub, synth::Pass::kStrash}) {
+      const aig::Aig out = synth::apply_pass(g, p);
+      EXPECT_LE(out.num_ands(), g.num_ands())
+          << synth::pass_name(p) << " seed " << seed;
+    }
+  }
+}
+
+TEST(SynthesisProperties, RecipeCountsAreMonotonicallyTracked) {
+  const aig::Aig g = random_aig(13, 8, 70);
+  const auto result = synth::run_recipe(g, synth::Recipe::resyn2());
+  ASSERT_EQ(result.and_counts.size(), 10u);
+  for (std::int64_t c : result.and_counts) EXPECT_GE(c, 0);
+}
+
+TEST(MultiplierProperties, CommutativityOfOperands) {
+  // a*b == b*a realized by the circuit: swap operand halves of the input.
+  const auto lc = circuits::make_booth_multiplier(5);
+  Rng rng(5);
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t a = rng.uniform_int(32);
+    const std::uint64_t b = rng.uniform_int(32);
+    EXPECT_EQ(aig::evaluate(lc.aig, a | (b << 5)),
+              aig::evaluate(lc.aig, b | (a << 5)));
+  }
+}
+
+TEST(MultiplierProperties, IdentityAndZero) {
+  for (const char* family : {"csa", "booth"}) {
+    const auto lc = std::string(family) == "csa"
+                        ? circuits::make_csa_multiplier(6)
+                        : circuits::make_booth_multiplier(6);
+    for (std::uint64_t x = 0; x < 64; x += 7) {
+      EXPECT_EQ(aig::evaluate(lc.aig, x | (0ull << 6)), 0u) << family;
+      EXPECT_EQ(aig::evaluate(lc.aig, x | (1ull << 6)), x) << family;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hoga

@@ -1,0 +1,208 @@
+// Tests for the reasoning labeler, feature extraction, and both datasets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/multipliers.hpp"
+#include "data/qor_dataset.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "reasoning/features.hpp"
+#include "reasoning/labels.hpp"
+
+namespace hoga {
+namespace {
+
+using reasoning::NodeClass;
+
+TEST(Labels, PureXor3IsXorRoot) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  const aig::Lit c = g.add_pi();
+  const aig::Lit x = g.add_xor(g.add_xor(a, b), c);
+  g.add_po(x);
+  const auto labels = reasoning::functional_labels(g);
+  EXPECT_TRUE(labels[aig::lit_node(x)] == NodeClass::kXor ||
+              labels[aig::lit_node(x)] == NodeClass::kShared);
+}
+
+TEST(Labels, PureMaj3IsMajRoot) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  const aig::Lit c = g.add_pi();
+  const aig::Lit m = g.add_maj(a, b, c);
+  g.add_po(m);
+  const auto labels = reasoning::functional_labels(g);
+  EXPECT_TRUE(labels[aig::lit_node(m)] == NodeClass::kMaj ||
+              labels[aig::lit_node(m)] == NodeClass::kShared);
+}
+
+TEST(Labels, PlainAndStaysPlain) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  const aig::Lit c = g.add_pi();
+  const aig::Lit x = g.add_and(g.add_and(a, b), c);
+  g.add_po(x);
+  const auto labels = reasoning::functional_labels(g);
+  EXPECT_EQ(labels[aig::lit_node(x)], NodeClass::kPlain);
+  // PIs are always plain.
+  EXPECT_EQ(labels[aig::lit_node(a)], NodeClass::kPlain);
+}
+
+TEST(Labels, FullAdderProducesSharedNodes) {
+  // Shared-form full adder: x = a^b participates in both the sum and carry
+  // cones, so the shared class must be populated.
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  const aig::Lit c = g.add_pi();
+  circuits::GenRoots roots;
+  const auto fa = circuits::full_adder(g, a, b, c, &roots);
+  g.add_po(fa.sum);
+  g.add_po(fa.carry);
+  const auto hist = reasoning::class_histogram(reasoning::functional_labels(g));
+  EXPECT_GT(hist[static_cast<int>(NodeClass::kShared)], 0);
+  EXPECT_GT(hist[static_cast<int>(NodeClass::kXor)], 0);
+  EXPECT_GT(hist[static_cast<int>(NodeClass::kMaj)], 0);
+}
+
+TEST(Labels, InvertedInputsStillMatch) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  const aig::Lit c = g.add_pi();
+  const aig::Lit m = g.add_maj(aig::lit_not(a), b, aig::lit_not(c));
+  g.add_po(m);
+  const auto labels = reasoning::functional_labels(g);
+  EXPECT_TRUE(labels[aig::lit_node(m)] == NodeClass::kMaj ||
+              labels[aig::lit_node(m)] == NodeClass::kShared);
+}
+
+TEST(Labels, HistogramSumsToNodeCount) {
+  const auto lc = circuits::make_csa_multiplier(6);
+  const auto labels = reasoning::functional_labels(lc.aig);
+  const auto hist = reasoning::class_histogram(labels);
+  EXPECT_EQ(hist[0] + hist[1] + hist[2] + hist[3], lc.aig.num_nodes());
+}
+
+TEST(Features, ShapeAndOneHots) {
+  aig::Aig g;
+  const aig::Lit a = g.add_pi();
+  const aig::Lit b = g.add_pi();
+  const aig::Lit x = g.add_and(aig::lit_not(a), b);
+  g.add_po(x);
+  const Tensor f = reasoning::node_features(g);
+  EXPECT_EQ(f.shape(),
+            (Shape{g.num_nodes(), reasoning::kNodeFeatureDim}));
+  const auto id = aig::lit_node(x);
+  EXPECT_EQ(f.at({id, 0}), 0.f);  // not PI
+  EXPECT_EQ(f.at({id, 1}), 1.f);  // AND
+  EXPECT_EQ(f.at({id, 3}), 1.f);  // one complemented fanin
+  EXPECT_EQ(f.at({id, 5}), 1.f);  // drives PO
+  // PI row.
+  const auto pid = aig::lit_node(a);
+  EXPECT_EQ(f.at({pid, 0}), 1.f);
+  EXPECT_EQ(f.at({pid, 1}), 0.f);
+  // const-0 row.
+  EXPECT_EQ(f.at({0, 6}), 1.f);
+}
+
+TEST(Features, GraphExportsMatchAig) {
+  const auto lc = circuits::make_csa_multiplier(4);
+  const graph::Csr adj = reasoning::to_graph(lc.aig);
+  EXPECT_EQ(adj.num_nodes(), lc.aig.num_nodes());
+  EXPECT_TRUE(adj.is_symmetric());
+  // Directed fanin graph: rows are AND nodes with out-degree <= 2 and rows
+  // sum to 1 (mean normalization).
+  const graph::Csr fanin = reasoning::to_fanin_graph(lc.aig);
+  Tensor ones = Tensor::ones({fanin.num_nodes(), 1});
+  Tensor sums = fanin.spmm(ones);
+  for (aig::NodeId id = 0;
+       id < static_cast<aig::NodeId>(lc.aig.num_nodes()); ++id) {
+    if (lc.aig.is_and(id)) {
+      EXPECT_NEAR(sums[id], 1.f, 1e-5f);
+    } else {
+      EXPECT_EQ(sums[id], 0.f);
+    }
+  }
+}
+
+TEST(ReasoningDataset, BuildsMappedGraphWithAllPieces) {
+  const auto g = data::make_reasoning_graph("csa", 6, true);
+  EXPECT_EQ(g.family, "csa");
+  EXPECT_TRUE(g.mapped);
+  EXPECT_EQ(static_cast<std::int64_t>(g.labels.size()), g.num_nodes);
+  EXPECT_EQ(g.features.size(0), g.num_nodes);
+  EXPECT_NE(g.adj_norm, nullptr);
+  EXPECT_NE(g.adj_hop, nullptr);
+  EXPECT_NE(g.adj_fanin, nullptr);
+  EXPECT_NE(g.adj_row, nullptr);
+  EXPECT_NE(g.adj_raw, nullptr);
+  const auto counts = g.class_counts();
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], g.num_nodes);
+  EXPECT_GT(counts[1], 0);  // XOR class present after mapping
+  EXPECT_THROW(data::make_reasoning_graph("wallace", 4), std::runtime_error);
+}
+
+TEST(ReasoningDataset, UnmappedEasierThanMapped) {
+  const auto plain = data::make_reasoning_graph("csa", 6, false);
+  const auto mapped = data::make_reasoning_graph("csa", 6, true);
+  // Mapping restructures: different node count, fewer detected roots.
+  EXPECT_NE(plain.num_nodes, mapped.num_nodes);
+  const auto pc = plain.class_counts();
+  const auto mc = mapped.class_counts();
+  const double plain_root_frac =
+      static_cast<double>(pc[0] + pc[1] + pc[2]) / plain.num_nodes;
+  const double mapped_root_frac =
+      static_cast<double>(mc[0] + mc[1] + mc[2]) / mapped.num_nodes;
+  EXPECT_GT(plain_root_frac, mapped_root_frac);
+}
+
+TEST(QorDataset, GeneratesSplitsAndTargets) {
+  data::QorDatasetParams params;
+  params.recipes_per_design = 2;
+  params.size_scale = 300.0;  // tiny, fast
+  params.min_recipe_len = 2;
+  params.max_recipe_len = 4;
+  const auto ds = data::QorDataset::generate(params);
+  EXPECT_EQ(ds.designs.size(), 29u);
+  EXPECT_EQ(ds.train.size(), 40u);  // 20 designs x 2 recipes
+  EXPECT_EQ(ds.test.size(), 18u);   // 9 designs x 2 recipes
+  for (const auto& s : ds.train) {
+    EXPECT_TRUE(ds.designs[s.design_index].train_split);
+    EXPECT_GT(s.target_ratio, 0.f);
+    EXPECT_LE(s.target_ratio, 1.5f);
+    EXPECT_EQ(s.final_ands,
+              static_cast<std::int64_t>(std::llround(
+                  s.target_ratio * ds.designs[s.design_index].initial_ands)));
+  }
+  for (const auto& s : ds.test) {
+    EXPECT_FALSE(ds.designs[s.design_index].train_split);
+  }
+  // Designs expose both normalizations and features.
+  for (const auto& d : ds.designs) {
+    EXPECT_NE(d.adj_norm, nullptr);
+    EXPECT_NE(d.adj_hop, nullptr);
+    EXPECT_EQ(d.features.size(0), d.num_nodes);
+    EXPECT_GT(d.initial_ands, 0);
+  }
+}
+
+TEST(QorDataset, DeterministicForSeed) {
+  data::QorDatasetParams params;
+  params.recipes_per_design = 1;
+  params.size_scale = 300.0;
+  const auto a = data::QorDataset::generate(params);
+  const auto b = data::QorDataset::generate(params);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].final_ands, b.train[i].final_ands);
+    EXPECT_EQ(a.train[i].recipe.token_ids(), b.train[i].recipe.token_ids());
+  }
+}
+
+}  // namespace
+}  // namespace hoga

@@ -1,0 +1,211 @@
+// Synthesis pass tests: every pass preserves function (the cardinal
+// invariant), plus per-pass behavioral checks and recipe machinery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "aig/simulate.hpp"
+#include "circuits/arith.hpp"
+#include "circuits/ip_designs.hpp"
+#include "circuits/multipliers.hpp"
+#include "synth/balance.hpp"
+#include "synth/rebuild.hpp"
+#include "synth/recipe.hpp"
+#include "synth/rewrite.hpp"
+#include "synth/techmap.hpp"
+
+namespace hoga::synth {
+namespace {
+
+using aig::Aig;
+using aig::Lit;
+
+Aig redundant_circuit() {
+  // Deliberately wasteful logic with re-derivable subterms.
+  Aig g;
+  std::vector<Lit> p;
+  for (int i = 0; i < 6; ++i) p.push_back(g.add_pi());
+  const Lit t1 = g.add_and(p[0], p[1]);
+  const Lit t2 = g.add_or(t1, g.add_and(t1, p[2]));     // absorbs to t1
+  const Lit t3 = g.add_xor(p[3], p[4]);
+  const Lit t4 = g.add_xor(p[3], p[4]);                 // strash duplicate
+  const Lit t5 = g.add_mux(p[5], t2, g.add_and(t3, t4));
+  g.add_po(t5);
+  g.add_po(g.add_or(t2, t5));
+  // Dead logic.
+  g.add_and(p[0], p[5]);
+  return g;
+}
+
+class PassEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PassEquivalence, PreservesFunctionExhaustively) {
+  const Pass pass = static_cast<Pass>(GetParam());
+  // Multiple circuit shapes.
+  std::vector<Aig> circuits;
+  circuits.push_back(redundant_circuit());
+  circuits.push_back(circuits::make_ripple_adder(4));
+  circuits.push_back(circuits::make_csa_multiplier(4).aig);
+  circuits.push_back(circuits::make_booth_multiplier(3).aig);
+  for (const Aig& src : circuits) {
+    Aig out = apply_pass(src, pass);
+    EXPECT_TRUE(aig::exhaustive_equivalent(src, out))
+        << pass_name(pass) << " broke function";
+    EXPECT_EQ(out.num_pis(), src.num_pis());
+    EXPECT_EQ(out.num_pos(), src.num_pos());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPasses, PassEquivalence,
+                         ::testing::Range(0, kNumPassKinds),
+                         [](const auto& info) {
+                           std::string n = pass_name(
+                               static_cast<Pass>(info.param));
+                           for (auto& c : n) {
+                             if (c == ' ' || c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Strash, RemovesDeadLogicAndDuplicates) {
+  Aig src = redundant_circuit();
+  Aig out = strash(src);
+  EXPECT_LE(out.num_ands(), src.num_ands());
+  EXPECT_EQ(out.num_ands(), out.num_live_ands());
+}
+
+TEST(Strash, MapReturnsValidLiterals) {
+  Aig src = redundant_circuit();
+  std::vector<Lit> map;
+  Aig out = strash_with_map(src, &map);
+  ASSERT_EQ(map.size(), static_cast<std::size_t>(src.num_nodes()));
+  const auto live = src.reachable_from_pos();
+  for (aig::NodeId id = 0; id < static_cast<aig::NodeId>(src.num_nodes());
+       ++id) {
+    if (live[id]) {
+      EXPECT_NE(map[id], Aig::kNoLit);
+      EXPECT_LT(aig::lit_node(map[id]),
+                static_cast<aig::NodeId>(out.num_nodes()));
+    }
+  }
+}
+
+TEST(Balance, ReducesDepthOfChains) {
+  // A long AND chain should become a log-depth tree.
+  Aig g;
+  std::vector<Lit> p;
+  for (int i = 0; i < 16; ++i) p.push_back(g.add_pi());
+  Lit acc = p[0];
+  for (int i = 1; i < 16; ++i) acc = g.add_and(acc, p[i]);
+  g.add_po(acc);
+  EXPECT_EQ(g.depth(), 15);
+  Aig b = balance(g);
+  EXPECT_LE(b.depth(), 5);
+  EXPECT_TRUE(aig::exhaustive_equivalent(g, b));
+}
+
+TEST(Balance, DoesNotIncreaseDepthOnArithmetic) {
+  Aig g = circuits::make_csa_multiplier(6).aig;
+  Aig b = balance(g);
+  EXPECT_LE(b.depth(), g.depth());
+}
+
+TEST(Rewrite, ShrinksRedundantLogic) {
+  Aig src = redundant_circuit();
+  Aig out = rewrite(strash(src));
+  EXPECT_LT(out.num_ands(), strash(src).num_ands());
+}
+
+TEST(Rewrite, IdempotentOnOptimizedNetworks) {
+  Aig once = rewrite(strash(redundant_circuit()));
+  Aig twice = rewrite(once);
+  // Second application cannot increase size.
+  EXPECT_LE(twice.num_ands(), once.num_ands());
+}
+
+TEST(Refactor, HandlesLargerCones) {
+  Aig src = circuits::make_carry_lookahead_adder(5);
+  Aig out = refactor(src);
+  EXPECT_TRUE(aig::exhaustive_equivalent(src, out));
+  EXPECT_LE(out.num_ands(), src.num_ands());
+}
+
+TEST(Recipe, RandomRecipesDeterministicPerSeed) {
+  Rng a(5), b(5);
+  Recipe ra = Recipe::random(a, 10);
+  Recipe rb = Recipe::random(b, 10);
+  EXPECT_EQ(ra.token_ids(), rb.token_ids());
+  EXPECT_EQ(ra.length(), 10);
+  for (Pass p : ra.passes) {
+    EXPECT_LT(static_cast<int>(p), kNumPassKinds);
+  }
+}
+
+TEST(Recipe, Resyn2MatchesAbcSequence) {
+  Recipe r = Recipe::resyn2();
+  EXPECT_EQ(r.length(), 10);
+  EXPECT_EQ(r.passes[0], Pass::kBalance);
+  EXPECT_EQ(r.passes[1], Pass::kRewrite);
+  EXPECT_NE(r.to_string().find("rewrite -z"), std::string::npos);
+}
+
+TEST(Recipe, RunRecordsPerPassCounts) {
+  Aig src = redundant_circuit();
+  Recipe r{{Pass::kStrash, Pass::kRewrite, Pass::kBalance}};
+  RecipeResult result = run_recipe(src, r);
+  ASSERT_EQ(result.and_counts.size(), 3u);
+  EXPECT_EQ(result.and_counts.back(), result.optimized.num_ands());
+  EXPECT_TRUE(aig::exhaustive_equivalent(src, result.optimized));
+}
+
+TEST(Recipe, DifferentRecipesCanGiveDifferentQoR) {
+  // Across the full dataset generation, recipes must not all collapse to
+  // identical gate counts (the QoR task would be recipe-independent).
+  const auto& specs = circuits::openabcd_specs();
+  Aig g = strash(circuits::build_ip_design(specs[23]));  // vga_lcd
+  Rng rng(11);
+  std::set<std::int64_t> counts;
+  counts.insert(run_recipe(g, Recipe{{Pass::kStrash}}).optimized.num_ands());
+  counts.insert(run_recipe(g, Recipe::resyn2()).optimized.num_ands());
+  for (int i = 0; i < 3; ++i) {
+    counts.insert(
+        run_recipe(g, Recipe::random(rng, 3 + i)).optimized.num_ands());
+  }
+  EXPECT_GE(counts.size(), 3u);
+}
+
+TEST(TechMap, PreservesFunction) {
+  for (int bits : {3, 4, 5}) {
+    Aig src = circuits::make_csa_multiplier(bits).aig;
+    Aig mapped = tech_map(src);
+    EXPECT_TRUE(aig::exhaustive_equivalent(src, mapped)) << bits;
+  }
+}
+
+TEST(TechMap, ObfuscatesStructure) {
+  // Mapping must change the network (it is what makes the reasoning task
+  // hard), typically increasing node count via re-decomposition.
+  Aig src = circuits::make_csa_multiplier(6).aig;
+  Aig mapped = tech_map(src);
+  EXPECT_NE(mapped.num_ands(), src.num_live_ands());
+}
+
+TEST(TechMap, DeterministicForSameSeed) {
+  Aig src = circuits::make_booth_multiplier(4).aig;
+  Aig m1 = tech_map(src, {.lut_size = 4, .max_cuts = 8, .seed = 9});
+  Aig m2 = tech_map(src, {.lut_size = 4, .max_cuts = 8, .seed = 9});
+  EXPECT_EQ(m1.num_ands(), m2.num_ands());
+}
+
+TEST(TechMap, LutSizeControlsCoarseness) {
+  Aig src = circuits::make_csa_multiplier(6).aig;
+  Aig k2 = tech_map(src, {.lut_size = 2, .max_cuts = 8, .seed = 1});
+  Aig k6 = tech_map(src, {.lut_size = 6, .max_cuts = 8, .seed = 1});
+  Rng rng(1);
+  EXPECT_TRUE(aig::random_equivalent(src, k2, rng, 8));
+  EXPECT_TRUE(aig::random_equivalent(src, k6, rng, 8));
+}
+
+}  // namespace
+}  // namespace hoga::synth

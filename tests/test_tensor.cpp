@@ -1,0 +1,260 @@
+// Unit tests for the tensor subsystem: shapes, element access, kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga {
+namespace {
+
+namespace to = tensor_ops;
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(-1), 4);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 0.f);
+}
+
+TEST(Tensor, AtAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 5.f;
+  EXPECT_EQ(t.data()[5], 5.f);
+  EXPECT_EQ(t.at({1, 2}), 5.f);
+  EXPECT_THROW(t.at({2, 0}), std::runtime_error);
+  EXPECT_THROW(t.at({0}), std::runtime_error);
+}
+
+TEST(Tensor, FactoriesProduceExpectedValues) {
+  EXPECT_EQ(Tensor::ones({3})[1], 1.f);
+  EXPECT_EQ(Tensor::full({2, 2}, 7.f)[3], 7.f);
+  Tensor ar = Tensor::arange(5);
+  EXPECT_EQ(ar[4], 4.f);
+  Rng rng(1);
+  Tensor r = Tensor::randn({100}, rng);
+  float mean = to::mean_all(r);
+  EXPECT_LT(std::fabs(mean), 0.5f);
+  Tensor u = Tensor::uniform({100}, rng, 2.f, 3.f);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(u[i], 2.f);
+    EXPECT_LT(u[i], 3.f);
+  }
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t({2, 3});
+  Tensor r = t.reshape({3, 2});
+  r.at({0, 1}) = 9.f;
+  EXPECT_EQ(t.at({0, 1}), 9.f);
+  EXPECT_THROW(t.reshape({4, 2}), std::runtime_error);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({2});
+  Tensor c = t.clone();
+  c[0] = 1.f;
+  EXPECT_EQ(t[0], 0.f);
+}
+
+TEST(Tensor, FromVectorValidatesSize) {
+  EXPECT_THROW(Tensor::from_vector({2, 2}, {1.f, 2.f}), std::runtime_error);
+  Tensor t = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({1, 0}), 3.f);
+}
+
+TEST(TensorOps, ElementwiseBinary) {
+  Tensor a = Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::from_vector({2, 2}, {5, 6, 7, 8});
+  EXPECT_TRUE(Tensor::allclose(to::add(a, b),
+                               Tensor::from_vector({2, 2}, {6, 8, 10, 12})));
+  EXPECT_TRUE(Tensor::allclose(to::sub(b, a),
+                               Tensor::from_vector({2, 2}, {4, 4, 4, 4})));
+  EXPECT_TRUE(Tensor::allclose(to::mul(a, b),
+                               Tensor::from_vector({2, 2}, {5, 12, 21, 32})));
+  EXPECT_TRUE(Tensor::allclose(to::div(b, a),
+                               Tensor::from_vector({2, 2}, {5, 3, 7.f / 3, 2})));
+}
+
+TEST(TensorOps, SuffixBroadcast) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::from_vector({3}, {10, 20, 30});
+  Tensor out = to::add(a, bias);
+  EXPECT_TRUE(Tensor::allclose(
+      out, Tensor::from_vector({2, 3}, {11, 22, 33, 14, 25, 36})));
+  // 3-D broadcast of a [d] vector.
+  Tensor c = Tensor::ones({2, 2, 3});
+  Tensor out3 = to::mul(c, bias);
+  EXPECT_EQ(out3.at({1, 1, 2}), 30.f);
+  // Invalid broadcast is an error, not silent.
+  EXPECT_THROW(to::add(a, Tensor::ones({2})), std::runtime_error);
+}
+
+TEST(TensorOps, MatmulAgainstManual) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = to::matmul(a, b);
+  EXPECT_TRUE(Tensor::allclose(
+      c, Tensor::from_vector({2, 2}, {58, 64, 139, 154})));
+}
+
+TEST(TensorOps, MatmulTransposeFlagsAgree) {
+  Rng rng(2);
+  Tensor a = Tensor::randn({4, 3}, rng);
+  Tensor b = Tensor::randn({4, 5}, rng);
+  // a^T b via flag vs explicit transpose.
+  Tensor v1 = to::matmul(a, b, true, false);
+  Tensor v2 = to::matmul(to::transpose2d(a), b);
+  EXPECT_TRUE(Tensor::allclose(v1, v2, 1e-4f));
+  Tensor c = Tensor::randn({3, 4}, rng);
+  Tensor w1 = to::matmul(b, c, true, true);
+  Tensor w2 = to::matmul(to::transpose2d(b), to::transpose2d(c));
+  EXPECT_TRUE(Tensor::allclose(w1, w2, 1e-4f));
+}
+
+TEST(TensorOps, BmmMatchesPerSliceMatmul) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({3, 2, 4}, rng);
+  Tensor b = Tensor::randn({3, 4, 5}, rng);
+  Tensor c = to::bmm(a, b);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    Tensor ai = to::slice_rows(a, i, i + 1).reshape({2, 4});
+    Tensor bi = to::slice_rows(b, i, i + 1).reshape({4, 5});
+    Tensor ci = to::slice_rows(c, i, i + 1).reshape({2, 5});
+    EXPECT_TRUE(Tensor::allclose(ci, to::matmul(ai, bi), 1e-4f));
+  }
+}
+
+TEST(TensorOps, BmmTransposeB) {
+  Rng rng(4);
+  Tensor q = Tensor::randn({2, 3, 4}, rng);
+  Tensor k = Tensor::randn({2, 3, 4}, rng);
+  Tensor s = to::bmm(q, k, false, true);
+  EXPECT_EQ(s.shape(), (Shape{2, 3, 3}));
+  // element check
+  float manual = 0;
+  for (int d = 0; d < 4; ++d) {
+    manual += q.at({1, 2, d}) * k.at({1, 0, d});
+  }
+  EXPECT_NEAR(s.at({1, 2, 0}), manual, 1e-4f);
+}
+
+TEST(TensorOps, ConcatSliceColsRoundTrip) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({3, 2}, rng);
+  Tensor b = Tensor::randn({3, 4}, rng);
+  Tensor cat = to::concat_cols({a, b});
+  EXPECT_EQ(cat.shape(), (Shape{3, 6}));
+  EXPECT_TRUE(Tensor::allclose(to::slice_cols(cat, 0, 2), a));
+  EXPECT_TRUE(Tensor::allclose(to::slice_cols(cat, 2, 6), b));
+}
+
+TEST(TensorOps, ConcatSliceRowsRoundTrip) {
+  Rng rng(6);
+  Tensor a = Tensor::randn({2, 3}, rng);
+  Tensor b = Tensor::randn({4, 3}, rng);
+  Tensor cat = to::concat_rows({a, b});
+  EXPECT_EQ(cat.shape(), (Shape{6, 3}));
+  EXPECT_TRUE(Tensor::allclose(to::slice_rows(cat, 2, 6), b));
+}
+
+TEST(TensorOps, GatherScatterRows) {
+  Tensor a = Tensor::from_vector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = to::gather_rows(a, {2, 0, 2});
+  EXPECT_TRUE(
+      Tensor::allclose(g, Tensor::from_vector({3, 2}, {5, 6, 1, 2, 5, 6})));
+  Tensor target = Tensor::zeros({3, 2});
+  to::scatter_add_rows(target, {2, 0, 2}, g);
+  EXPECT_EQ(target.at({2, 0}), 10.f);  // two contributions of 5
+  EXPECT_EQ(target.at({0, 1}), 2.f);
+  EXPECT_THROW(to::gather_rows(a, {3}), std::runtime_error);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a = Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(to::sum_all(a), 21.f);
+  EXPECT_FLOAT_EQ(to::mean_all(a), 3.5f);
+  EXPECT_TRUE(Tensor::allclose(to::sum_axis0(a),
+                               Tensor::from_vector({3}, {5, 7, 9})));
+  EXPECT_TRUE(Tensor::allclose(to::sum_lastdim(a),
+                               Tensor::from_vector({2}, {6, 15})));
+  EXPECT_TRUE(Tensor::allclose(to::mean_lastdim(a),
+                               Tensor::from_vector({2}, {2, 5})));
+  EXPECT_NEAR(to::frobenius_norm(a), std::sqrt(91.f), 1e-4f);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOneAndOrderPreserved) {
+  Rng rng(7);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor s = to::softmax_lastdim(a);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    float sum = 0;
+    for (std::int64_t j = 0; j < 6; ++j) {
+      const float v = s.at({i, j});
+      EXPECT_GT(v, 0.f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+  // Monotonic: argmax preserved.
+  EXPECT_EQ(std::max_element(a.data(), a.data() + 6) - a.data(),
+            std::max_element(s.data(), s.data() + 6) - s.data());
+}
+
+TEST(TensorOps, SoftmaxNumericallyStableForLargeInputs) {
+  Tensor a = Tensor::from_vector({1, 3}, {1000.f, 1001.f, 999.f});
+  Tensor s = to::softmax_lastdim(a);
+  EXPECT_FALSE(std::isnan(s[0]));
+  EXPECT_NEAR(s[0] + s[1] + s[2], 1.f, 1e-5f);
+}
+
+TEST(TensorOps, LayerNormProperties) {
+  Rng rng(8);
+  Tensor a = Tensor::randn({5, 16}, rng);
+  auto r = to::layer_norm_lastdim(a);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    double mean = 0, var = 0;
+    for (std::int64_t j = 0; j < 16; ++j) mean += r.y.at({i, j});
+    mean /= 16;
+    for (std::int64_t j = 0; j < 16; ++j) {
+      var += (r.y.at({i, j}) - mean) * (r.y.at({i, j}) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(TensorOps, UnaryMaps) {
+  Tensor a = Tensor::from_vector({4}, {-1, 0, 1, 2});
+  EXPECT_TRUE(Tensor::allclose(to::relu(a),
+                               Tensor::from_vector({4}, {0, 0, 1, 2})));
+  EXPECT_TRUE(Tensor::allclose(to::relu_mask(a),
+                               Tensor::from_vector({4}, {0, 0, 1, 1})));
+  EXPECT_NEAR(to::sigmoid(a)[0], 1.f / (1.f + std::exp(1.f)), 1e-5f);
+  EXPECT_NEAR(to::exp(a)[3], std::exp(2.f), 1e-4f);
+  EXPECT_NEAR(to::tanh(a)[3], std::tanh(2.f), 1e-5f);
+}
+
+TEST(TensorOps, StackAddsLeadingAxis) {
+  Tensor a = Tensor::ones({2, 2});
+  Tensor b = Tensor::zeros({2, 2});
+  Tensor s = to::stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2, 2}));
+  EXPECT_EQ(s.at({0, 1, 1}), 1.f);
+  EXPECT_EQ(s.at({1, 1, 1}), 0.f);
+}
+
+TEST(TensorOps, AxpyInplace) {
+  Tensor a = Tensor::ones({3});
+  Tensor b = Tensor::from_vector({3}, {1, 2, 3});
+  to::axpy_inplace(a, 2.f, b);
+  EXPECT_TRUE(Tensor::allclose(a, Tensor::from_vector({3}, {3, 5, 7})));
+}
+
+}  // namespace
+}  // namespace hoga

@@ -1,0 +1,208 @@
+// Trainer and metric tests, including the QoR model and the simulated
+// cluster scaling machinery.
+
+#include <gtest/gtest.h>
+
+#include "data/reasoning_dataset.hpp"
+#include "reasoning/features.hpp"
+#include "train/metrics.hpp"
+#include "train/node_trainer.hpp"
+#include "train/parallel.hpp"
+#include "train/qor_trainer.hpp"
+
+namespace hoga::train {
+namespace {
+
+TEST(Metrics, MapeDefinition) {
+  // |100-90|/100 + |50-55|/50 = 0.1 + 0.1 -> 10%
+  EXPECT_NEAR(mape({100, 50}, {90, 55}), 10.0, 1e-9);
+  EXPECT_THROW(mape({0.0}, {1.0}), std::runtime_error);
+  EXPECT_THROW(mape({1.0}, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Metrics, AccuracyAndPerClass) {
+  Tensor logits = Tensor::from_vector({4, 2}, {2, 1,   // -> 0 (correct)
+                                               0, 3,   // -> 1 (correct)
+                                               5, 0,   // -> 0 (wrong)
+                                               1, 2});  // -> 1 (correct)
+  std::vector<int> labels{0, 1, 1, 1};
+  EXPECT_NEAR(accuracy(logits, labels), 0.75, 1e-9);
+  auto pca = per_class_accuracy(logits, labels, 2);
+  EXPECT_NEAR(pca[0], 1.0, 1e-9);
+  EXPECT_NEAR(pca[1], 2.0 / 3.0, 1e-9);
+  auto cm = confusion_matrix(logits, labels, 2);
+  EXPECT_EQ(cm[1][0], 1);
+  EXPECT_EQ(cm[1][1], 2);
+  EXPECT_EQ(cm[0][0], 1);
+}
+
+TEST(Metrics, InverseFrequencyWeights) {
+  std::vector<int> labels{0, 0, 0, 1};
+  auto w = inverse_frequency_weights(labels, 3);
+  EXPECT_GT(w[1], w[0]);
+  EXPECT_EQ(w[2], 0.f);  // absent class
+  // Mean over present classes is 1.
+  EXPECT_NEAR((w[0] + w[1]) / 2.f, 1.f, 1e-5f);
+}
+
+class TinyReasoningFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = data::make_reasoning_graph("csa", 4, /*mapped=*/false);
+    hops_ = core::HopFeatures::compute(*g_.adj_hop, g_.features, 3);
+    cfg_.epochs = 15;
+    cfg_.batch_size = 64;
+    cfg_.lr = 5e-3f;
+    cfg_.seed = 3;
+  }
+  data::ReasoningGraph g_;
+  core::HopFeatures hops_;
+  NodeTrainConfig cfg_;
+};
+
+TEST_F(TinyReasoningFixture, HogaTrainerReducesLoss) {
+  Rng rng(1);
+  core::Hoga model(core::HogaConfig{.in_dim = reasoning::kNodeFeatureDim,
+                                    .hidden = 12,
+                                    .num_hops = 3,
+                                    .num_layers = 1,
+                                    .out_dim = 4},
+                   rng);
+  auto log = train_hoga_node(model, hops_, g_.labels, cfg_);
+  EXPECT_EQ(log.epoch_losses.size(), 15u);
+  EXPECT_LT(log.epoch_losses.back(), log.epoch_losses.front());
+  EXPECT_GT(log.seconds, 0.0);
+}
+
+TEST_F(TinyReasoningFixture, GcnTrainerReducesLoss) {
+  Rng rng(2);
+  models::Gcn model(models::GcnConfig{.in_dim = reasoning::kNodeFeatureDim,
+                                      .hidden = 12,
+                                      .out_dim = 4,
+                                      .num_layers = 3},
+                    rng);
+  auto cfg = cfg_;
+  cfg.epochs = 60;
+  auto log = train_gcn_node(model, g_.adj_norm, g_.features, g_.labels, cfg);
+  EXPECT_LT(log.epoch_losses.back(), log.epoch_losses.front());
+  Tensor pred = predict_gcn(model, g_.adj_norm, g_.features);
+  EXPECT_EQ(pred.size(0), g_.num_nodes);
+}
+
+TEST_F(TinyReasoningFixture, SageTrainerReducesLoss) {
+  Rng rng(3);
+  models::GraphSage model(
+      models::SageConfig{.in_dim = reasoning::kNodeFeatureDim,
+                         .hidden = 12,
+                         .out_dim = 4,
+                         .num_layers = 3},
+      rng);
+  auto cfg = cfg_;
+  cfg.epochs = 60;
+  auto log = train_sage_node(model, g_.adj_row, g_.features, g_.labels, cfg);
+  EXPECT_LT(log.epoch_losses.back(), log.epoch_losses.front());
+}
+
+TEST_F(TinyReasoningFixture, SignTrainerReducesLoss) {
+  Rng rng(4);
+  models::Sign model(models::SignConfig{.in_dim = reasoning::kNodeFeatureDim,
+                                        .hidden = 12,
+                                        .out_dim = 4,
+                                        .num_hops = 3,
+                                        .mlp_layers = 2},
+                     rng);
+  auto log = train_sign_node(model, hops_, g_.labels, cfg_);
+  EXPECT_LT(log.epoch_losses.back(), log.epoch_losses.front());
+  Tensor pred = predict_sign(model, hops_);
+  EXPECT_EQ(pred.size(0), g_.num_nodes);
+}
+
+TEST(QorModelTest, ForwardBothBackbones) {
+  data::QorDatasetParams dparams;
+  dparams.recipes_per_design = 1;
+  dparams.size_scale = 300.0;
+  const auto ds = data::QorDataset::generate(dparams);
+  for (QorBackbone backbone : {QorBackbone::kGcn, QorBackbone::kHoga}) {
+    QorModelConfig cfg;
+    cfg.backbone = backbone;
+    cfg.in_dim = reasoning::kNodeFeatureDim;
+    cfg.hidden = 8;
+    cfg.num_hops = 2;
+    cfg.gcn_layers = 2;
+    std::vector<QorDesignInput> inputs;
+    const double precompute = prepare_qor_inputs(ds, cfg, &inputs);
+    if (backbone == QorBackbone::kHoga) {
+      EXPECT_GT(precompute, 0.0);
+      EXPECT_TRUE(inputs[0].hops.has_value());
+    } else {
+      EXPECT_EQ(precompute, 0.0);
+      EXPECT_NE(inputs[0].adj_norm, nullptr);
+    }
+    Rng rng(5);
+    QorModel model(cfg, rng);
+    Rng fwd(0);
+    ag::Variable pred =
+        model.forward(inputs[0], ds.train[0].recipe.token_ids(), fwd);
+    EXPECT_EQ(pred.shape(), (Shape{1, 1}));
+  }
+}
+
+TEST(QorModelTest, TrainingReducesLossAndEvalProducesMape) {
+  data::QorDatasetParams dparams;
+  dparams.recipes_per_design = 2;
+  dparams.size_scale = 300.0;
+  const auto ds = data::QorDataset::generate(dparams);
+  QorModelConfig cfg;
+  cfg.backbone = QorBackbone::kHoga;
+  cfg.in_dim = reasoning::kNodeFeatureDim;
+  cfg.hidden = 8;
+  cfg.num_hops = 2;
+  std::vector<QorDesignInput> inputs;
+  prepare_qor_inputs(ds, cfg, &inputs);
+  Rng rng(6);
+  QorModel model(cfg, rng);
+  QorTrainConfig tcfg;
+  tcfg.epochs = 8;
+  tcfg.batch_size = 8;
+  auto log = train_qor(model, inputs, ds.train, tcfg);
+  EXPECT_EQ(log.epoch_losses.size(), 8u);
+  EXPECT_LT(log.epoch_losses.back(), log.epoch_losses.front() + 1e-6f);
+  auto eval = evaluate_qor(model, ds, inputs, ds.test);
+  EXPECT_EQ(eval.design_names.size(), 9u);
+  EXPECT_EQ(eval.scatter.size(), ds.test.size());
+  EXPECT_GE(eval.average_mape, 0.0);
+  for (double m : eval.design_mape) EXPECT_GE(m, 0.0);
+}
+
+TEST(ParallelScaling, ComputeTimeDecreasesWithWorkers) {
+  const auto g = data::make_reasoning_graph("csa", 6, /*mapped=*/false);
+  auto hops = core::HopFeatures::compute(*g.adj_hop, g.features, 3);
+  Rng rng(7);
+  core::Hoga model(core::HogaConfig{.in_dim = reasoning::kNodeFeatureDim,
+                                    .hidden = 16,
+                                    .num_hops = 3,
+                                    .num_layers = 1,
+                                    .out_dim = 4},
+                   rng);
+  NodeTrainConfig tcfg;
+  tcfg.epochs = 1;
+  tcfg.batch_size = 64;
+  ClusterConfig ccfg;
+  ccfg.worker_counts = {1, 2, 4};
+  ccfg.epochs_to_time = 1;
+  const auto points = simulate_hoga_scaling(model, hops, g.labels, tcfg, ccfg);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].workers, 1);
+  EXPECT_NEAR(points[0].speedup, 1.0, 1e-9);
+  EXPECT_EQ(points[0].allreduce_seconds, 0.0);
+  // Partition-max compute shrinks as workers grow. Compare only the
+  // extremes (1 vs 4 workers, expected ~4x apart) so transient CPU
+  // contention cannot flip the ordering of adjacent points.
+  EXPECT_LT(points[2].compute_seconds, points[0].compute_seconds);
+  // Communication is modeled for W > 1.
+  EXPECT_GT(points[1].allreduce_seconds, 0.0);
+  EXPECT_GT(points[2].speedup, 1.0);
+}
+
+}  // namespace
+}  // namespace hoga::train

@@ -1,0 +1,265 @@
+// Truth-table manipulation, ISOP synthesis, and cut enumeration tests,
+// including property sweeps over random functions.
+
+#include <gtest/gtest.h>
+
+#include "aig/cuts.hpp"
+#include "aig/simulate.hpp"
+#include "aig/truth.hpp"
+#include "synth/isop.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::aig {
+namespace {
+
+TEST(Truth, VarProjections) {
+  // Over 2 vars: x0 = 0b1010, x1 = 0b1100.
+  EXPECT_EQ(tt_var(0) & tt_mask(2), 0xAull);
+  EXPECT_EQ(tt_var(1) & tt_mask(2), 0xCull);
+}
+
+TEST(Truth, MaskAndNot) {
+  EXPECT_EQ(tt_mask(3), 0xFFull);
+  EXPECT_EQ(tt_not(0xF0ull, 3), 0x0Full);
+  EXPECT_TRUE(tt_equal(0xFFull | (1ull << 60), 0xFFull, 3));
+}
+
+TEST(Truth, FlipInputSwapsCofactors) {
+  const Tt f = tt_var(0) & tt_var(1);  // AND over 2 vars = 0b1000
+  const Tt flipped = tt_flip_input(f, 0);  // !x0 & x1 = 0b0100
+  EXPECT_TRUE(tt_equal(flipped, 0x4ull, 2));
+}
+
+TEST(Truth, CofactorsAndSupport) {
+  const Tt f = tt_var(0) ^ tt_var(2);  // depends on vars 0, 2
+  EXPECT_TRUE(tt_has_var(f, 0, 3));
+  EXPECT_FALSE(tt_has_var(f, 1, 3));
+  EXPECT_TRUE(tt_has_var(f, 2, 3));
+  EXPECT_EQ(tt_support_size(f, 3), 2);
+  // Cofactor on var 0: f|x0=1 = !x2.
+  EXPECT_TRUE(tt_equal(tt_cofactor1(f, 0), tt_not(tt_var(2), 3), 3));
+}
+
+TEST(Truth, ExpandPreservesFunction) {
+  // f(x0, x1) = x0 & x1 over support {3, 7}; expand to {1, 3, 7}.
+  const Tt f = tt_var(0) & tt_var(1);
+  const Tt big = tt_expand(f, {3, 7}, {1, 3, 7});
+  // In new support, old var0 (id 3) is position 1, old var1 (id 7) is 2.
+  EXPECT_TRUE(tt_equal(big, tt_var(1) & tt_var(2), 3));
+}
+
+TEST(Truth, Xor3Maj3References) {
+  EXPECT_EQ(tt_xor3() & tt_mask(3), 0x96ull);
+  EXPECT_EQ(tt_maj3() & tt_mask(3), 0xE8ull);
+}
+
+TEST(Truth, PhaseMatchingXor3) {
+  // XOR3 with any inputs complemented is XOR3 or XNOR3 -> matches.
+  Tt f = tt_xor3();
+  EXPECT_TRUE(tt_matches_up_to_phase3(f, tt_xor3()));
+  EXPECT_TRUE(tt_matches_up_to_phase3(tt_not(f, 3), tt_xor3()));
+  EXPECT_TRUE(tt_matches_up_to_phase3(tt_flip_input(f, 1), tt_xor3()));
+  // AND3 does not match XOR3.
+  EXPECT_FALSE(tt_matches_up_to_phase3(tt_var(0) & tt_var(1) & tt_var(2),
+                                       tt_xor3()));
+}
+
+TEST(Truth, PhaseMatchingMaj3) {
+  Tt m = tt_maj3();
+  EXPECT_TRUE(tt_matches_up_to_phase3(m, tt_maj3()));
+  EXPECT_TRUE(tt_matches_up_to_phase3(tt_flip_input(m, 0), tt_maj3()));
+  EXPECT_TRUE(tt_matches_up_to_phase3(tt_not(m, 3), tt_maj3()));
+  EXPECT_FALSE(tt_matches_up_to_phase3(tt_xor3(), tt_maj3()));
+}
+
+// -- ISOP property sweep -------------------------------------------------------
+
+class IsopRandomFunctions : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsopRandomFunctions, CoversExactlyTheFunction) {
+  const int nvars = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(nvars));
+  for (int trial = 0; trial < 50; ++trial) {
+    const Tt f = rng.next_u64() & tt_mask(nvars);
+    const auto cubes = synth::isop(f, f, nvars);
+    EXPECT_TRUE(tt_equal(synth::sop_tt(cubes, nvars), f, nvars))
+        << "nvars=" << nvars << " f=" << f;
+    // Cubes are well-formed: pos & neg disjoint.
+    for (const auto& c : cubes) EXPECT_EQ(c.pos & c.neg, 0);
+  }
+}
+
+TEST_P(IsopRandomFunctions, IntervalRespectsBounds) {
+  const int nvars = GetParam();
+  Rng rng(200 + static_cast<std::uint64_t>(nvars));
+  for (int trial = 0; trial < 30; ++trial) {
+    const Tt lower_raw = rng.next_u64() & tt_mask(nvars);
+    const Tt upper = (lower_raw | rng.next_u64()) & tt_mask(nvars);
+    const Tt lower = lower_raw & upper;
+    const auto cubes = synth::isop(lower, upper, nvars);
+    const Tt f = synth::sop_tt(cubes, nvars);
+    EXPECT_EQ(lower & ~f, 0ull) << "lower not covered";
+    EXPECT_EQ(f & ~upper, 0ull) << "exceeded upper bound";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VarCounts, IsopRandomFunctions,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Isop, ConstantsAndEdgeCases) {
+  EXPECT_TRUE(synth::isop(0, 0, 3).empty());
+  const auto taut = synth::isop(tt_mask(3), tt_mask(3), 3);
+  ASSERT_EQ(taut.size(), 1u);
+  EXPECT_EQ(taut[0].pos, 0);
+  EXPECT_EQ(taut[0].neg, 0);
+  EXPECT_THROW(synth::isop(1, 0, 2), std::runtime_error);
+}
+
+TEST(Isop, BuildSopRealizesFunction) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nvars = 4;
+    const Tt f = rng.next_u64() & tt_mask(nvars);
+    Aig g;
+    std::vector<Lit> leaves;
+    for (int i = 0; i < nvars; ++i) leaves.push_back(g.add_pi());
+    const auto cubes = synth::isop(f, f, nvars);
+    g.add_po(synth::build_sop(g, cubes, leaves));
+    for (std::uint64_t in = 0; in < 16; ++in) {
+      EXPECT_EQ(evaluate(g, in) & 1, (f >> in) & 1) << "f=" << f;
+    }
+  }
+}
+
+TEST(Isop, BuildFunctionPicksCheaperPhase) {
+  // f with a huge ON set: complement has 1 minterm, so the negative phase
+  // build should be chosen and still realize f.
+  Aig g;
+  std::vector<Lit> leaves;
+  for (int i = 0; i < 4; ++i) leaves.push_back(g.add_pi());
+  const Tt f = tt_mask(4) & ~Tt{1};  // everything except minterm 0 (NOR)
+  const Lit root = synth::build_function(g, f, 4, leaves);
+  g.add_po(root);
+  for (std::uint64_t in = 0; in < 16; ++in) {
+    EXPECT_EQ(evaluate(g, in) & 1, (f >> in) & 1);
+  }
+}
+
+TEST(Isop, DryRunCountMatchesRealBuild) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nvars = 4;
+    const Tt f = rng.next_u64() & tt_mask(nvars);
+    Aig g;
+    std::vector<Lit> leaves;
+    for (int i = 0; i < nvars; ++i) leaves.push_back(g.add_pi());
+    const auto cubes = synth::isop(f, f, nvars);
+    const int predicted = synth::count_new_nodes_sop(g, cubes, leaves);
+    const std::int64_t before = g.num_ands();
+    synth::build_sop(g, cubes, leaves);
+    EXPECT_EQ(predicted, g.num_ands() - before) << "f=" << f;
+  }
+}
+
+TEST(Isop, DryRunSeesExistingSharedNodes) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_and(a, b);  // pre-existing a&b
+  // SOP for a&b costs zero new nodes.
+  const auto cubes = synth::isop(tt_var(0) & tt_var(1), tt_var(0) & tt_var(1), 2);
+  EXPECT_EQ(synth::count_new_nodes_sop(g, cubes, {a, b}), 0);
+}
+
+// -- Cut enumeration -----------------------------------------------------------
+
+TEST(Cuts, TrivialCutsForLeaves) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  g.add_po(g.add_and(a, b));
+  const auto cuts = enumerate_cuts(g, {.k = 4, .max_cuts = 8});
+  const NodeId pi = lit_node(a);
+  ASSERT_EQ(cuts[pi].size(), 1u);
+  EXPECT_EQ(cuts[pi][0].leaves, std::vector<NodeId>{pi});
+  EXPECT_TRUE(tt_equal(cuts[pi][0].tt, tt_var(0), 1));
+}
+
+TEST(Cuts, TruthTablesMatchSimulation) {
+  // Build a small random circuit, then validate every cut's truth table by
+  // simulating the cut function directly.
+  Rng rng(7);
+  Aig g;
+  std::vector<Lit> pool;
+  for (int i = 0; i < 5; ++i) pool.push_back(g.add_pi());
+  for (int i = 0; i < 80; ++i) {
+    const Lit x = lit_not_if(pool[rng.uniform_int(pool.size())],
+                             rng.bernoulli(0.5));
+    const Lit y = lit_not_if(pool[rng.uniform_int(pool.size())],
+                             rng.bernoulli(0.5));
+    pool.push_back(g.add_and(x, y));
+  }
+  g.add_po(pool.back());
+  const auto sim = simulate_words(
+      g, {tt_var(0), tt_var(1), tt_var(2), tt_var(3), tt_var(4)});
+  const auto cuts = enumerate_cuts(g, {.k = 4, .max_cuts = 6});
+  int checked = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(g.num_nodes()); ++id) {
+    if (!g.is_and(id)) continue;
+    for (const Cut& cut : cuts[id]) {
+      if (cut.leaves.empty()) continue;
+      // Evaluate the cut tt on the global simulation words of its leaves.
+      // For each of the 32 global patterns, compute the cut-local minterm.
+      std::uint64_t expected = 0;
+      for (int p = 0; p < 32; ++p) {
+        int minterm = 0;
+        for (std::size_t v = 0; v < cut.leaves.size(); ++v) {
+          if ((sim[cut.leaves[v]] >> p) & 1) minterm |= 1 << v;
+        }
+        if ((cut.tt >> minterm) & 1) expected |= 1ull << p;
+      }
+      EXPECT_EQ(expected & 0xFFFFFFFFull, sim[id] & 0xFFFFFFFFull)
+          << "node " << id;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Cuts, RespectsSizeLimit) {
+  Aig g;
+  std::vector<Lit> pis;
+  for (int i = 0; i < 8; ++i) pis.push_back(g.add_pi());
+  g.add_po(g.add_and_multi(pis));
+  for (int k : {2, 3, 4, 6}) {
+    const auto cuts = enumerate_cuts(g, {.k = k, .max_cuts = 10});
+    for (const auto& node_cuts : cuts) {
+      for (const Cut& cut : node_cuts) {
+        EXPECT_LE(cut.size(), k);
+      }
+    }
+  }
+  EXPECT_THROW(enumerate_cuts(g, {.k = 7, .max_cuts = 4}),
+               std::runtime_error);
+}
+
+TEST(Cuts, FanInPairCutAlwaysPresentForAnds) {
+  Aig g;
+  const Lit a = g.add_pi();
+  const Lit b = g.add_pi();
+  const Lit x = g.add_and(a, b);
+  const Lit y = g.add_and(x, a);
+  g.add_po(y);
+  const auto cuts = enumerate_cuts(g, {.k = 4, .max_cuts = 8});
+  // Node y must have a cut {a, b} (through x).
+  bool found = false;
+  for (const Cut& cut : cuts[lit_node(y)]) {
+    if (cut.leaves == std::vector<NodeId>{lit_node(a), lit_node(b)}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace hoga::aig

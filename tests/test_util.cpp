@@ -1,0 +1,177 @@
+// Unit tests for the util subsystem: RNG, thread pool, table formatting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace hoga {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    counts[static_cast<std::size_t>(rng.uniform_int(10))]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.25);
+  }
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(3);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.split();
+  // Streams should differ from each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(13);
+  auto s = rng.sample_without_replacement(100, 30);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (auto v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(0), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.submit([&count] { count++; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(200);
+  pool.parallel_for(200, [&hits](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("a").cell(1.5, 1);
+  t.row().cell("longer").cell(22.25, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| a      | 1.5   |"), std::string::npos);
+  EXPECT_NE(s.find("22.25"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(static_cast<long long>(1)).pct(12.345, 1);
+  EXPECT_EQ(t.to_csv(), "a,b\n1,12.3%\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), std::runtime_error);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.seconds(), 0.0);
+  (void)sink;
+}
+
+TEST(FormatDuration, PicksSensibleUnits) {
+  EXPECT_NE(format_duration(0.0000005).find("us"), std::string::npos);
+  EXPECT_NE(format_duration(0.005).find("ms"), std::string::npos);
+  EXPECT_NE(format_duration(3.5).find("s"), std::string::npos);
+  EXPECT_NE(format_duration(300).find("min"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoga
