@@ -10,9 +10,11 @@
 // vs hours of training, i.e. negligible).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "data/reasoning_dataset.hpp"
+#include "fault/fault.hpp"
 #include "reasoning/features.hpp"
 #include "train/parallel.hpp"
 #include "util/table.hpp"
@@ -24,10 +26,16 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   const int bits =
       static_cast<int>(bench::int_option(argc, argv, "--bits", full ? 64 : 32));
+  // --fault kills one worker mid-epoch at every worker count, showing the
+  // elastic re-partition cost next to the fault-free scaling numbers.
+  const bool with_faults = bench::has_flag(argc, argv, "--fault");
 
   std::puts("=== Figure 5: simulated multi-worker HOGA training time ===");
   std::printf("workload: mapped %d-bit CSA multiplier, node classification\n",
               bits);
+  if (with_faults) {
+    std::puts("fault injection: worker 1 dies mid-epoch at each worker count");
+  }
 
   Timer build_t;
   const auto g = data::make_reasoning_graph("csa", bits, true);
@@ -55,18 +63,41 @@ int main(int argc, char** argv) {
     tcfg.batch_size = 512;
     train::ClusterConfig ccfg;
     ccfg.worker_counts = {1, 2, 3, 4, 8};
-    const auto points =
-        train::simulate_hoga_scaling(model, hops, g.labels, tcfg, ccfg);
+    std::vector<train::ScalingPoint> points;
+    if (!with_faults) {
+      points = train::simulate_hoga_scaling(model, hops, g.labels, tcfg, ccfg);
+    } else {
+      // One simulate call per worker count so each gets its own one-shot
+      // worker kill (scheduled faults are consumed when they fire).
+      for (int workers : ccfg.worker_counts) {
+        fault::Injector inj;
+        inj.kill_worker(/*epoch=*/0, /*worker=*/1);
+        fault::ScopedInjector scope(inj);
+        train::ClusterConfig one = ccfg;
+        one.worker_counts = {workers};
+        points.push_back(
+            train::simulate_hoga_scaling(model, hops, g.labels, tcfg, one)[0]);
+      }
+      // Speedup/efficiency are relative to the first point of each call;
+      // recompute them against the single-worker baseline.
+      const double base = points.front().epoch_seconds;
+      for (auto& p : points) {
+        p.speedup = base / p.epoch_seconds;
+        p.efficiency = p.speedup / p.workers;
+      }
+    }
 
     std::printf("\n-- HOGA-%d (hop features computed in %s) --\n", k,
                 format_duration(hop_seconds).c_str());
-    Table table({"Workers", "Compute/epoch", "All-reduce", "Epoch time",
-                 "Speedup", "Efficiency"});
+    Table table({"Workers", "Compute/epoch", "All-reduce", "Recovery",
+                 "Failures", "Epoch time", "Speedup", "Efficiency"});
     for (const auto& p : points) {
       table.row()
           .cell(static_cast<long long>(p.workers))
           .cell(format_duration(p.compute_seconds))
           .cell(format_duration(p.allreduce_seconds))
+          .cell(format_duration(p.recovery_seconds))
+          .cell(static_cast<long long>(p.worker_failures))
           .cell(format_duration(p.epoch_seconds))
           .cell(p.speedup, 2)
           .pct(p.efficiency * 100, 0);

@@ -1,6 +1,7 @@
 #include "aig/aiger.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -57,10 +58,12 @@ Aig read_aiger(const std::string& text) {
   std::string magic;
   std::uint32_t m = 0, num_in = 0, num_latch = 0, num_out = 0, num_and = 0;
   is >> magic >> m >> num_in >> num_latch >> num_out >> num_and;
-  HOGA_CHECK(is.good() && magic == "aag",
+  HOGA_CHECK(!is.fail() && magic == "aag",
              "read_aiger: expected ASCII AIGER ('aag') header");
   HOGA_CHECK(num_latch == 0, "read_aiger: latches are not supported");
-  HOGA_CHECK(m >= num_in + num_and, "read_aiger: inconsistent header");
+  HOGA_CHECK(m >= num_in + num_and,
+             "read_aiger: inconsistent header (M=" << m << " < I+A="
+                                                   << num_in + num_and << ")");
 
   // AIGER literal -> our literal, indexed by variable.
   std::vector<Lit> map(static_cast<std::size_t>(m) + 1, Aig::kNoLit);
@@ -68,27 +71,39 @@ Aig read_aiger(const std::string& text) {
   Aig aig;
 
   std::vector<std::uint32_t> input_lits(num_in);
-  for (auto& l : input_lits) {
+  for (std::size_t i = 0; i < input_lits.size(); ++i) {
+    std::uint32_t& l = input_lits[i];
     is >> l;
-    HOGA_CHECK(is.good() && l >= 2 && (l & 1) == 0 && (l >> 1) <= m,
-               "read_aiger: bad input literal");
+    HOGA_CHECK(!is.fail(), "read_aiger: truncated input section (expected "
+                               << num_in << " inputs, got " << i << ")");
+    HOGA_CHECK(l >= 2 && (l & 1) == 0 && (l >> 1) <= m,
+               "read_aiger: bad input literal " << l);
+    HOGA_CHECK(map[l >> 1] == Aig::kNoLit,
+               "read_aiger: input variable " << (l >> 1) << " defined twice");
     map[l >> 1] = aig.add_pi();
   }
   std::vector<std::uint32_t> output_lits(num_out);
-  for (auto& l : output_lits) {
+  for (std::size_t i = 0; i < output_lits.size(); ++i) {
+    std::uint32_t& l = output_lits[i];
     is >> l;
-    HOGA_CHECK(is.good() && (l >> 1) <= m, "read_aiger: bad output literal");
+    HOGA_CHECK(!is.fail(), "read_aiger: truncated output section (expected "
+                               << num_out << " outputs, got " << i << ")");
+    HOGA_CHECK((l >> 1) <= m, "read_aiger: output literal " << l
+                                  << " out of range (M=" << m << ")");
   }
   struct AndDef {
     std::uint32_t lhs, rhs0, rhs1;
   };
   std::vector<AndDef> defs(num_and);
-  for (auto& d : defs) {
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    AndDef& d = defs[i];
     is >> d.lhs >> d.rhs0 >> d.rhs1;
-    HOGA_CHECK(is.good() && (d.lhs & 1) == 0 && d.lhs >= 2 &&
-                   (d.lhs >> 1) <= m && (d.rhs0 >> 1) <= m &&
-                   (d.rhs1 >> 1) <= m,
-               "read_aiger: bad AND definition");
+    HOGA_CHECK(!is.fail(), "read_aiger: truncated AND section (expected "
+                               << num_and << " ANDs, got " << i << ")");
+    HOGA_CHECK((d.lhs & 1) == 0 && d.lhs >= 2 && (d.lhs >> 1) <= m,
+               "read_aiger: bad AND lhs literal " << d.lhs);
+    HOGA_CHECK((d.rhs0 >> 1) <= m && (d.rhs1 >> 1) <= m,
+               "read_aiger: AND rhs literal out of range (M=" << m << ")");
   }
   // AIGER guarantees lhs > rhs0 >= rhs1, so a pass in lhs order is
   // topological.
@@ -107,6 +122,39 @@ Aig read_aiger(const std::string& text) {
   }
   for (std::uint32_t l : output_lits) {
     aig.add_po(resolve(l));
+  }
+
+  // After the definitions, the AIGER spec allows an optional symbol table
+  // ("i<k> name" / "o<k> name") and a comment section introduced by a line
+  // holding just "c". Anything else is junk — reject it precisely instead
+  // of silently ignoring trailing bytes.
+  std::string line;
+  std::getline(is, line);  // consume the remainder of the last token's line
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line == "c") break;  // comment section: rest of the file is free-form
+    const char kind = line[0];
+    bool symbol_ok = false;
+    if ((kind == 'i' || kind == 'o') && line.size() >= 2) {
+      std::size_t pos = 1;
+      while (pos < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      }
+      // "<i|o><index> <name>": at least one digit (at most 9, so stoul
+      // cannot overflow), then a space and a name.
+      if (pos > 1 && pos <= 10 && pos < line.size() && line[pos] == ' ') {
+        const std::uint32_t index = static_cast<std::uint32_t>(
+            std::stoul(line.substr(1, pos - 1)));
+        symbol_ok = index < (kind == 'i' ? num_in : num_out);
+      }
+    }
+    HOGA_CHECK(symbol_ok,
+               "read_aiger: trailing junk after definitions: '" << line
+                                                                << "'");
   }
   return aig;
 }

@@ -1,0 +1,109 @@
+#include "fault/fault.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace hoga::fault {
+namespace {
+
+Injector* g_active = nullptr;
+
+}  // namespace
+
+Injector::Injector(std::uint64_t seed) : rng_(seed) {}
+
+void Injector::kill_worker(int epoch, int worker) {
+  worker_kills_.emplace(epoch, worker);
+}
+
+void Injector::set_worker_failure_prob(double p) { worker_failure_prob_ = p; }
+
+void Injector::fail_checkpoint_write(int nth) { write_fails_.insert(nth); }
+
+void Injector::fail_checkpoint_read(int nth) { read_fails_.insert(nth); }
+
+void Injector::corrupt_gradient_step(int nth) { grad_corruptions_.insert(nth); }
+
+bool Injector::worker_should_fail(int epoch, int worker) {
+  if (auto it = worker_kills_.find({epoch, worker});
+      it != worker_kills_.end()) {
+    worker_kills_.erase(it);  // fires once; the healed epoch must survive
+    ++counts_.worker_failures;
+    return true;
+  }
+  if (worker_failure_prob_ > 0 && rng_.bernoulli(worker_failure_prob_)) {
+    ++counts_.worker_failures;
+    return true;
+  }
+  return false;
+}
+
+bool Injector::checkpoint_write_should_fail() {
+  const int attempt = write_attempts_++;
+  if (auto it = write_fails_.find(attempt); it != write_fails_.end()) {
+    write_fails_.erase(it);
+    ++counts_.checkpoint_write_errors;
+    return true;
+  }
+  return false;
+}
+
+bool Injector::checkpoint_read_should_fail() {
+  const int attempt = read_attempts_++;
+  if (auto it = read_fails_.find(attempt); it != read_fails_.end()) {
+    read_fails_.erase(it);
+    ++counts_.checkpoint_read_errors;
+    return true;
+  }
+  return false;
+}
+
+bool Injector::gradient_should_corrupt() {
+  const int step = grad_steps_++;
+  if (auto it = grad_corruptions_.find(step); it != grad_corruptions_.end()) {
+    grad_corruptions_.erase(it);
+    ++counts_.gradient_corruptions;
+    return true;
+  }
+  return false;
+}
+
+Injector* active() { return g_active; }
+
+ScopedInjector::ScopedInjector(Injector& injector) : previous_(g_active) {
+  g_active = &injector;
+}
+
+ScopedInjector::~ScopedInjector() { g_active = previous_; }
+
+bool maybe_corrupt_gradients(const std::vector<ag::Variable>& params) {
+  Injector* inj = active();
+  if (!inj || !inj->gradient_should_corrupt()) return false;
+  for (const auto& p : params) {
+    if (p.grad().numel() > 0) {
+      ag::Variable handle = p;  // Variable is a shared handle
+      handle.mutable_grad().data()[0] =
+          std::numeric_limits<float>::quiet_NaN();
+      return true;
+    }
+  }
+  return true;
+}
+
+void maybe_fail_checkpoint_write(const std::string& path) {
+  if (Injector* inj = active();
+      inj && inj->checkpoint_write_should_fail()) {
+    throw std::runtime_error("fault-injected checkpoint write I/O error: " +
+                             path);
+  }
+}
+
+void maybe_fail_checkpoint_read(const std::string& path) {
+  if (Injector* inj = active(); inj && inj->checkpoint_read_should_fail()) {
+    throw std::runtime_error("fault-injected checkpoint read I/O error: " +
+                             path);
+  }
+}
+
+}  // namespace hoga::fault

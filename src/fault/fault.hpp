@@ -1,0 +1,103 @@
+#pragma once
+// Deterministic fault injection for the training runtime (DESIGN.md §7).
+//
+// Production-scale training must survive worker crashes, checkpoint I/O
+// errors, and numerically-corrupt gradients. This subsystem lets tests and
+// benches inject exactly those faults on a reproducible, seeded schedule:
+//
+//   fault::Injector inj(seed);
+//   inj.kill_worker(/*epoch=*/0, /*worker=*/1);
+//   inj.fail_checkpoint_write(0);      // first write attempt errors
+//   inj.corrupt_gradient_step(7);      // step 7 gets a NaN gradient
+//   fault::ScopedInjector scope(inj);  // install for this block
+//   ... run training; the runtime heals every injected fault ...
+//
+// Hook sites (checkpoint save/load, trainer steps, simulated-cluster
+// workers) query `fault::active()` — a single pointer load plus one
+// predictable branch — so hot paths pay effectively nothing when no
+// injector is installed, and exactly nothing is injected by default.
+//
+// Every scheduled fault fires at most once: the schedule entry is consumed
+// when it triggers, so a healed retry of the same epoch/step/write does not
+// re-fail. Probabilistic failures (set_worker_failure_prob) draw from the
+// injector's own seeded Rng and are therefore also reproducible.
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::fault {
+
+/// How many faults of each kind have actually fired.
+struct Counts {
+  int worker_failures = 0;
+  int checkpoint_write_errors = 0;
+  int checkpoint_read_errors = 0;
+  int gradient_corruptions = 0;
+};
+
+class Injector {
+ public:
+  explicit Injector(std::uint64_t seed = 0);
+
+  // -- Schedule (all deterministic) -----------------------------------------
+  /// Worker `worker` dies mid-epoch in epoch `epoch` of a simulated
+  /// data-parallel run.
+  void kill_worker(int epoch, int worker);
+  /// Every (epoch, worker) slot additionally fails with probability p,
+  /// drawn from the injector's seeded Rng.
+  void set_worker_failure_prob(double p);
+  /// The nth (0-based) checkpoint write attempt raises an I/O error.
+  void fail_checkpoint_write(int nth);
+  /// The nth (0-based) checkpoint read attempt raises an I/O error.
+  void fail_checkpoint_read(int nth);
+  /// The nth (0-based) observed optimizer step gets a NaN gradient.
+  void corrupt_gradient_step(int nth);
+
+  // -- Hot-path queries (count attempts internally) -------------------------
+  bool worker_should_fail(int epoch, int worker);
+  bool checkpoint_write_should_fail();
+  bool checkpoint_read_should_fail();
+  bool gradient_should_corrupt();
+
+  const Counts& counts() const { return counts_; }
+
+ private:
+  Rng rng_;
+  double worker_failure_prob_ = 0.0;
+  std::set<std::pair<int, int>> worker_kills_;
+  std::set<int> write_fails_, read_fails_, grad_corruptions_;
+  int write_attempts_ = 0, read_attempts_ = 0, grad_steps_ = 0;
+  Counts counts_;
+};
+
+/// The installed injector, or nullptr when fault injection is disabled.
+Injector* active();
+
+/// RAII install/uninstall of the process-wide injector (restores whatever
+/// was installed before, so scopes nest).
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(Injector& injector);
+  ~ScopedInjector();
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+ private:
+  Injector* previous_;
+};
+
+/// Trainer-side hook: if an active injector schedules a corruption for this
+/// optimizer step, poison the first gradient scalar with a quiet NaN
+/// (modeling a flipped bit in an accumulator). Returns true if it fired.
+bool maybe_corrupt_gradients(const std::vector<ag::Variable>& params);
+
+/// Checkpoint-side hooks: throw an injected I/O error when scheduled.
+void maybe_fail_checkpoint_write(const std::string& path);
+void maybe_fail_checkpoint_read(const std::string& path);
+
+}  // namespace hoga::fault

@@ -1,10 +1,11 @@
 #include "nn/serialize.hpp"
 
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
+#include "util/io.hpp"
 
 namespace hoga::nn {
 
@@ -30,9 +31,10 @@ std::string save_checkpoint(const Module& module) {
 }
 
 void save_checkpoint_file(const Module& module, const std::string& path) {
-  std::ofstream out(path);
-  HOGA_CHECK(out.good(), "save_checkpoint_file: cannot open " << path);
-  out << save_checkpoint(module);
+  fault::maybe_fail_checkpoint_write(path);
+  // Write-tmp-then-rename: a crash mid-save can never leave a torn
+  // checkpoint at `path`.
+  util::atomic_write_file(path, save_checkpoint(module));
 }
 
 void load_checkpoint(Module& module, const std::string& text) {
@@ -70,11 +72,8 @@ void load_checkpoint(Module& module, const std::string& text) {
 }
 
 void load_checkpoint_file(Module& module, const std::string& path) {
-  std::ifstream in(path);
-  HOGA_CHECK(in.good(), "load_checkpoint_file: cannot open " << path);
-  std::ostringstream os;
-  os << in.rdbuf();
-  load_checkpoint(module, os.str());
+  fault::maybe_fail_checkpoint_read(path);
+  load_checkpoint(module, util::read_file(path));
 }
 
 }  // namespace hoga::nn

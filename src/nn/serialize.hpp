@@ -13,6 +13,8 @@ namespace hoga::nn {
 
 /// Serializes all parameters (names, shapes, float data) of `module`.
 std::string save_checkpoint(const Module& module);
+/// Atomic save: writes `path + ".tmp"` then renames, so an interrupted
+/// write never leaves a torn checkpoint at `path`.
 void save_checkpoint_file(const Module& module, const std::string& path);
 
 /// Restores parameters into `module`; every name and shape must match the

@@ -73,6 +73,22 @@ Adam::Adam(std::vector<ag::Variable> params, float lr, float beta1,
   }
 }
 
+void Adam::restore_state(std::int64_t t, const std::vector<Tensor>& m,
+                         const std::vector<Tensor>& v) {
+  HOGA_CHECK(t >= 0, "Adam::restore_state: negative step count " << t);
+  HOGA_CHECK(m.size() == m_.size() && v.size() == v_.size(),
+             "Adam::restore_state: moment count mismatch (got "
+                 << m.size() << "/" << v.size() << ", optimizer has "
+                 << m_.size() << ")");
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    HOGA_CHECK(m[i].numel() == m_[i].numel() && v[i].numel() == v_[i].numel(),
+               "Adam::restore_state: moment " << i << " size mismatch");
+    m_[i].copy_from(m[i]);
+    v_[i].copy_from(v[i]);
+  }
+  t_ = t;
+}
+
 void Adam::step() {
   ++t_;
   const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));

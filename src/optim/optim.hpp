@@ -46,6 +46,17 @@ class Adam : public Optimizer {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
+  /// Optimizer state exposure for checkpoint/resume (TrainState v2): the
+  /// step counter and both moment estimates. Resuming with these restored
+  /// continues the parameter trajectory bit-exactly.
+  std::int64_t step_count() const { return t_; }
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+  /// Restores the step counter and moments; `m`/`v` must match the
+  /// parameter list element-for-element in count and numel.
+  void restore_state(std::int64_t t, const std::vector<Tensor>& m,
+                     const std::vector<Tensor>& v);
+
  private:
   float lr_, beta1_, beta2_, eps_, weight_decay_;
   std::int64_t t_ = 0;

@@ -1,7 +1,10 @@
 #include "train/node_trainer.hpp"
 
+#include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "fault/fault.hpp"
 #include "tensor/ops.hpp"
 #include "util/timer.hpp"
 
@@ -23,18 +26,51 @@ std::vector<int> gather_labels(const std::vector<int>& labels,
   return out;
 }
 
+void check_label_preconditions(const char* name, std::int64_t num_nodes,
+                               const std::vector<int>& labels,
+                               const std::vector<float>& class_weights,
+                               std::int64_t num_classes) {
+  HOGA_CHECK(labels.size() == static_cast<std::size_t>(num_nodes),
+             name << ": labels.size() (" << labels.size()
+                  << ") != number of nodes (" << num_nodes << ")");
+  HOGA_CHECK(class_weights.empty() ||
+                 class_weights.size() == static_cast<std::size_t>(num_classes),
+             name << ": class_weights.size() (" << class_weights.size()
+                  << ") != class count (" << num_classes << ")");
+}
+
+/// backward + fault hook + clip + step, with non-finite detection. Returns
+/// false (step skipped) when the loss or the pre-clip gradient norm is
+/// NaN/Inf — the fault-tolerant loop then rolls back instead of letting the
+/// parameters diverge.
+bool guarded_step(optim::Adam& opt, ag::Variable loss, float grad_clip) {
+  loss.backward();
+  fault::maybe_corrupt_gradients(opt.params());
+  const float max_norm =
+      grad_clip > 0 ? grad_clip : std::numeric_limits<float>::infinity();
+  const float norm = optim::clip_grad_norm(opt.params(), max_norm);
+  if (!std::isfinite(loss.value().data()[0]) || !std::isfinite(norm)) {
+    return false;
+  }
+  opt.step();
+  return true;
+}
+
 }  // namespace
 
 TrainLog train_hoga_node(core::Hoga& model, const core::HopFeatures& hops,
                          const std::vector<int>& labels,
                          const NodeTrainConfig& cfg) {
+  const std::int64_t n = hops.num_nodes();
+  check_label_preconditions("train_hoga_node", n, labels, cfg.class_weights,
+                            model.config().out_dim);
+  HOGA_CHECK(cfg.batch_size > 0, "train_hoga_node: batch_size must be > 0");
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
   model.set_training(true);
   TrainLog log;
   Timer timer;
-  const std::int64_t n = hops.num_nodes();
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  auto epoch_body = [&](bool* ok) -> double {
     const auto ids = shuffled_ids(n, rng);
     double epoch_loss = 0;
     std::int64_t batches = 0;
@@ -46,15 +82,18 @@ TrainLog train_hoga_node(core::Hoga& model, const core::HopFeatures& hops,
           model.forward(ag::constant(hops.gather(batch)), rng);
       ag::Variable loss = ag::softmax_cross_entropy(
           logits, gather_labels(labels, batch), cfg.class_weights);
-      loss.backward();
-      if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
-      opt.step();
+      if (!guarded_step(opt, loss, cfg.grad_clip)) {
+        *ok = false;
+        return 0;
+      }
       epoch_loss += loss.value().data()[0];
       ++batches;
     }
-    log.epoch_losses.push_back(
-        static_cast<float>(epoch_loss / std::max<std::int64_t>(1, batches)));
-  }
+    return epoch_loss / std::max<std::int64_t>(1, batches);
+  };
+  log.epoch_losses = run_fault_tolerant_epochs(
+      model, opt, rng, cfg.epochs, cfg.checkpoint, epoch_body,
+      &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
 }
@@ -63,21 +102,27 @@ TrainLog train_gcn_node(models::Gcn& model,
                         std::shared_ptr<const graph::Csr> adj_norm,
                         const Tensor& features, const std::vector<int>& labels,
                         const NodeTrainConfig& cfg) {
+  check_label_preconditions("train_gcn_node", features.size(0), labels,
+                            cfg.class_weights, model.config().out_dim);
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
   model.set_training(true);
   TrainLog log;
   Timer timer;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  auto epoch_body = [&](bool* ok) -> double {
     opt.zero_grad();
     ag::Variable logits = model.forward(adj_norm, ag::constant(features), rng);
     ag::Variable loss =
         ag::softmax_cross_entropy(logits, labels, cfg.class_weights);
-    loss.backward();
-    if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
-    opt.step();
-    log.epoch_losses.push_back(loss.value().data()[0]);
-  }
+    if (!guarded_step(opt, loss, cfg.grad_clip)) {
+      *ok = false;
+      return 0;
+    }
+    return loss.value().data()[0];
+  };
+  log.epoch_losses = run_fault_tolerant_epochs(
+      model, opt, rng, cfg.epochs, cfg.checkpoint, epoch_body,
+      &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
 }
@@ -87,23 +132,29 @@ TrainLog train_sage_node(models::GraphSage& model,
                          const Tensor& features,
                          const std::vector<int>& labels,
                          const NodeTrainConfig& cfg) {
+  check_label_preconditions("train_sage_node", features.size(0), labels,
+                            cfg.class_weights, model.config().out_dim);
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
   model.set_training(true);
   auto adj_row_t = std::make_shared<const graph::Csr>(adj_row->transposed());
   TrainLog log;
   Timer timer;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  auto epoch_body = [&](bool* ok) -> double {
     opt.zero_grad();
     ag::Variable logits =
         model.forward(adj_row, ag::constant(features), rng, adj_row_t);
     ag::Variable loss =
         ag::softmax_cross_entropy(logits, labels, cfg.class_weights);
-    loss.backward();
-    if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
-    opt.step();
-    log.epoch_losses.push_back(loss.value().data()[0]);
-  }
+    if (!guarded_step(opt, loss, cfg.grad_clip)) {
+      *ok = false;
+      return 0;
+    }
+    return loss.value().data()[0];
+  };
+  log.epoch_losses = run_fault_tolerant_epochs(
+      model, opt, rng, cfg.epochs, cfg.checkpoint, epoch_body,
+      &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
 }
@@ -111,6 +162,9 @@ TrainLog train_sage_node(models::GraphSage& model,
 TrainLog train_sign_node(models::Sign& model, const core::HopFeatures& hops,
                          const std::vector<int>& labels,
                          const NodeTrainConfig& cfg) {
+  check_label_preconditions("train_sign_node", hops.num_nodes(), labels,
+                            cfg.class_weights, model.config().out_dim);
+  HOGA_CHECK(cfg.batch_size > 0, "train_sign_node: batch_size must be > 0");
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
   model.set_training(true);
@@ -118,7 +172,7 @@ TrainLog train_sign_node(models::Sign& model, const core::HopFeatures& hops,
   TrainLog log;
   Timer timer;
   const std::int64_t n = flat.size(0);
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  auto epoch_body = [&](bool* ok) -> double {
     const auto ids = shuffled_ids(n, rng);
     double epoch_loss = 0;
     std::int64_t batches = 0;
@@ -130,15 +184,18 @@ TrainLog train_sign_node(models::Sign& model, const core::HopFeatures& hops,
           ag::constant(tensor_ops::gather_rows(flat, batch)), rng);
       ag::Variable loss = ag::softmax_cross_entropy(
           logits, gather_labels(labels, batch), cfg.class_weights);
-      loss.backward();
-      if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
-      opt.step();
+      if (!guarded_step(opt, loss, cfg.grad_clip)) {
+        *ok = false;
+        return 0;
+      }
       epoch_loss += loss.value().data()[0];
       ++batches;
     }
-    log.epoch_losses.push_back(
-        static_cast<float>(epoch_loss / std::max<std::int64_t>(1, batches)));
-  }
+    return epoch_loss / std::max<std::int64_t>(1, batches);
+  };
+  log.epoch_losses = run_fault_tolerant_epochs(
+      model, opt, rng, cfg.epochs, cfg.checkpoint, epoch_body,
+      &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
 }
@@ -148,16 +205,25 @@ TrainLog train_saint_node(models::Gcn& model,
                           const graph::Csr& adj_raw, const Tensor& features,
                           const std::vector<int>& labels,
                           const NodeTrainConfig& cfg) {
+  check_label_preconditions("train_saint_node", features.size(0), labels,
+                            cfg.class_weights, model.config().out_dim);
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
   model.set_training(true);
   models::SaintTrainer trainer(saint_cfg, adj_raw, rng);
   TrainLog log;
   Timer timer;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
-    log.epoch_losses.push_back(
-        trainer.step(model, opt, features, labels, rng));
-  }
+  auto epoch_body = [&](bool* ok) -> double {
+    const float loss = trainer.step(model, opt, features, labels, rng);
+    if (!std::isfinite(loss)) {
+      *ok = false;
+      return 0;
+    }
+    return loss;
+  };
+  log.epoch_losses = run_fault_tolerant_epochs(
+      model, opt, rng, cfg.epochs, cfg.checkpoint, epoch_body,
+      &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
 }

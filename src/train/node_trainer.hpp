@@ -10,6 +10,7 @@
 #include "models/saint.hpp"
 #include "models/sign.hpp"
 #include "optim/optim.hpp"
+#include "train/train_state.hpp"
 
 namespace hoga::train {
 
@@ -20,11 +21,17 @@ struct NodeTrainConfig {
   std::uint64_t seed = 1;
   std::vector<float> class_weights;  // empty = unweighted
   float grad_clip = 5.f;
+  /// Fault tolerance: checkpoint/resume targets, retry policy, and
+  /// non-finite rollback behavior (see train_state.hpp).
+  CheckpointConfig checkpoint;
 };
 
 struct TrainLog {
   std::vector<float> epoch_losses;
   double seconds = 0;  // training wall time (excludes any precompute)
+  /// Recovery events: resume epoch, non-finite rollbacks taken, and
+  /// checkpoint write attempts that had to be retried.
+  LoopStats fault_stats;
 };
 
 // -- HOGA ----------------------------------------------------------------

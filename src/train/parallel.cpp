@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "fault/fault.hpp"
 #include "util/timer.hpp"
 
 namespace hoga::train {
@@ -11,6 +12,13 @@ std::vector<ScalingPoint> simulate_hoga_scaling(
     const std::vector<int>& labels, const NodeTrainConfig& train_cfg,
     const ClusterConfig& cluster_cfg) {
   const std::int64_t n = hops.num_nodes();
+  HOGA_CHECK(labels.size() == static_cast<std::size_t>(n),
+             "simulate_hoga_scaling: labels.size() (" << labels.size()
+                                                      << ") != number of "
+                                                         "nodes ("
+                                                      << n << ")");
+  HOGA_CHECK(train_cfg.batch_size > 0,
+             "simulate_hoga_scaling: batch_size must be > 0");
   const std::int64_t param_bytes = model.parameter_count() * 4;
   std::vector<ScalingPoint> points;
   double base_epoch = 0;
@@ -22,45 +30,109 @@ std::vector<ScalingPoint> simulate_hoga_scaling(
     // Shuffle once per epoch, split contiguously into W shards (the DDP
     // sampler's behavior).
     double worst_compute = 0;
+    double recovery_total = 0;
+    int failures_total = 0;
     for (int epoch = 0; epoch < cluster_cfg.epochs_to_time; ++epoch) {
       std::vector<std::int64_t> ids(static_cast<std::size_t>(n));
       std::iota(ids.begin(), ids.end(), 0);
       rng.shuffle(ids);
+      // Runs one forward/backward/step over ids[lo, hi) as a single batch.
+      auto run_batch = [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::int64_t> batch(ids.begin() + lo, ids.begin() + hi);
+        std::vector<int> batch_labels;
+        batch_labels.reserve(batch.size());
+        for (std::int64_t i : batch) {
+          batch_labels.push_back(labels[static_cast<std::size_t>(i)]);
+        }
+        opt.zero_grad();
+        ag::Variable logits =
+            model.forward(ag::constant(hops.gather(batch)), rng);
+        ag::Variable loss = ag::softmax_cross_entropy(
+            logits, batch_labels, train_cfg.class_weights);
+        loss.backward();
+        opt.step();
+      };
+
       const std::int64_t per =
           (n + workers - 1) / static_cast<std::int64_t>(workers);
       double epoch_worst = 0;
+      // Pending [lo, hi) node ranges orphaned by failed workers, and which
+      // workers survived to absorb them.
+      std::vector<std::pair<std::int64_t, std::int64_t>> orphaned;
+      std::vector<int> survivors;
+      int epoch_failures = 0;
+      fault::Injector* inj = fault::active();
       for (int w = 0; w < workers; ++w) {
         const std::int64_t lo = static_cast<std::int64_t>(w) * per;
         const std::int64_t hi = std::min<std::int64_t>(n, lo + per);
         if (lo >= hi) continue;
+        // A failing worker dies mid-epoch: it completes the first half of
+        // its batches and the remainder must be re-assigned. Single-worker
+        // runs have nobody to heal them, so failures only make sense for
+        // W > 1.
+        const bool fails =
+            workers > 1 && inj && inj->worker_should_fail(epoch, w);
+        std::int64_t processed_end = hi;
+        if (fails) {
+          const std::int64_t num_batches =
+              (hi - lo + train_cfg.batch_size - 1) / train_cfg.batch_size;
+          processed_end =
+              std::min(hi, lo + (num_batches / 2) * train_cfg.batch_size);
+        }
         Timer t;
-        for (std::int64_t blo = lo; blo < hi; blo += train_cfg.batch_size) {
-          const std::int64_t bhi =
-              std::min(hi, blo + train_cfg.batch_size);
-          std::vector<std::int64_t> batch(ids.begin() + blo,
-                                          ids.begin() + bhi);
-          std::vector<int> batch_labels;
-          batch_labels.reserve(batch.size());
-          for (std::int64_t i : batch) {
-            batch_labels.push_back(labels[static_cast<std::size_t>(i)]);
-          }
-          opt.zero_grad();
-          ag::Variable logits =
-              model.forward(ag::constant(hops.gather(batch)), rng);
-          ag::Variable loss = ag::softmax_cross_entropy(
-              logits, batch_labels, train_cfg.class_weights);
-          loss.backward();
-          opt.step();
+        for (std::int64_t blo = lo; blo < processed_end;
+             blo += train_cfg.batch_size) {
+          run_batch(blo, std::min(processed_end, blo + train_cfg.batch_size));
         }
         epoch_worst = std::max(epoch_worst, t.seconds());
+        if (fails) {
+          if (processed_end < hi) orphaned.emplace_back(processed_end, hi);
+          ++epoch_failures;
+        } else {
+          survivors.push_back(w);
+        }
       }
       worst_compute += epoch_worst;
+
+      // Elastic re-partition: survivors absorb the orphaned batches
+      // round-robin. If every worker died, a single replacement worker is
+      // restarted to drain the backlog (worst case, still correct).
+      if (!orphaned.empty()) {
+        failures_total += epoch_failures;
+        const std::size_t num_survivors = std::max<std::size_t>(
+            1, survivors.size());
+        std::vector<double> extra(num_survivors, 0.0);
+        std::size_t next = 0;
+        for (const auto& [olo, ohi] : orphaned) {
+          for (std::int64_t blo = olo; blo < ohi;
+               blo += train_cfg.batch_size) {
+            Timer t;
+            run_batch(blo, std::min(ohi, blo + train_cfg.batch_size));
+            extra[next % num_survivors] += t.seconds();
+            ++next;
+          }
+        }
+        double recovery = 0;
+        for (double e : extra) recovery = std::max(recovery, e);
+        // Failure detection + re-shard broadcast, one barrier per failure.
+        recovery += cluster_cfg.collective_latency * 2 * epoch_failures;
+        recovery_total += recovery;
+      } else if (epoch_failures > 0) {
+        // Failure fired on the last batch boundary: nothing to re-assign,
+        // only the detection barrier.
+        failures_total += epoch_failures;
+        recovery_total += cluster_cfg.collective_latency * 2 * epoch_failures;
+      }
     }
-    worst_compute /= std::max(1, cluster_cfg.epochs_to_time);
+    const int epochs = std::max(1, cluster_cfg.epochs_to_time);
+    worst_compute /= epochs;
+    recovery_total /= epochs;
 
     ScalingPoint p;
     p.workers = workers;
     p.compute_seconds = worst_compute;
+    p.worker_failures = failures_total;
+    p.recovery_seconds = recovery_total;
     if (workers > 1) {
       // Ring all-reduce: 2 (W-1)/W of the gradient bytes cross each link,
       // once per optimizer step.
@@ -73,7 +145,8 @@ std::vector<ScalingPoint> simulate_hoga_scaling(
           cluster_cfg.collective_latency * 2 * (workers - 1);
       p.allreduce_seconds = per_step * static_cast<double>(steps_per_worker);
     }
-    p.epoch_seconds = p.compute_seconds + p.allreduce_seconds;
+    p.epoch_seconds =
+        p.compute_seconds + p.allreduce_seconds + p.recovery_seconds;
     if (points.empty()) base_epoch = p.epoch_seconds;
     p.speedup = base_epoch / p.epoch_seconds;
     p.efficiency = p.speedup / workers;

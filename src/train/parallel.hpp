@@ -23,9 +23,17 @@ struct ScalingPoint {
   int workers = 1;
   double compute_seconds = 0;    // max over workers
   double allreduce_seconds = 0;  // modeled communication
-  double epoch_seconds = 0;      // compute + allreduce
+  double epoch_seconds = 0;      // compute + allreduce + recovery
   double speedup = 1;            // vs workers == 1
   double efficiency = 1;         // speedup / workers
+  /// Elastic-epoch fault tolerance (fault::Injector-driven): injected
+  /// worker failures healed in this configuration, and the per-epoch cost
+  /// of healing them — survivors re-executing the dead worker's remaining
+  /// node batches, plus a modeled re-partition barrier. Hop-wise
+  /// independence is what makes this cheap: a dead worker's partition can
+  /// be re-assigned without any cross-node communication.
+  int worker_failures = 0;
+  double recovery_seconds = 0;
 };
 
 struct ClusterConfig {

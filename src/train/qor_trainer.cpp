@@ -1,7 +1,10 @@
 #include "train/qor_trainer.hpp"
 
+#include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "fault/fault.hpp"
 #include "synth/recipe.hpp"
 #include "train/metrics.hpp"
 #include "util/timer.hpp"
@@ -88,14 +91,27 @@ QorTrainLog train_qor(QorModel& model,
                       const std::vector<QorDesignInput>& inputs,
                       const std::vector<data::QorSample>& samples,
                       const QorTrainConfig& cfg) {
+  HOGA_CHECK(cfg.batch_size > 0, "train_qor: batch_size must be > 0");
+  for (const auto& sample : samples) {
+    HOGA_CHECK(sample.design_index >= 0 &&
+                   static_cast<std::size_t>(sample.design_index) <
+                       inputs.size(),
+               "train_qor: sample design_index " << sample.design_index
+                                                 << " out of range (have "
+                                                 << inputs.size()
+                                                 << " design inputs)");
+  }
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
   model.set_training(true);
   QorTrainLog log;
   Timer timer;
-  std::vector<std::size_t> order(samples.size());
-  std::iota(order.begin(), order.end(), 0);
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  auto epoch_body = [&](bool* ok) -> double {
+    // Regenerated from identity every epoch so the permutation is a pure
+    // function of the RNG state — bit-exact resume depends on the epoch
+    // body carrying no state outside (model, optimizer, RNG).
+    std::vector<std::size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), 0);
     rng.shuffle(order);
     double epoch_loss = 0;
     int batches = 0;
@@ -116,14 +132,24 @@ QorTrainLog train_qor(QorModel& model,
       ag::Variable pred = ag::concat_rows(preds);
       ag::Variable loss = ag::mse_loss(pred, targets);
       loss.backward();
-      if (cfg.grad_clip > 0) optim::clip_grad_norm(opt.params(), cfg.grad_clip);
+      fault::maybe_corrupt_gradients(opt.params());
+      const float max_norm = cfg.grad_clip > 0
+                                 ? cfg.grad_clip
+                                 : std::numeric_limits<float>::infinity();
+      const float norm = optim::clip_grad_norm(opt.params(), max_norm);
+      if (!std::isfinite(loss.value().data()[0]) || !std::isfinite(norm)) {
+        *ok = false;
+        return 0;
+      }
       opt.step();
       epoch_loss += loss.value().data()[0];
       ++batches;
     }
-    log.epoch_losses.push_back(
-        static_cast<float>(epoch_loss / std::max(1, batches)));
-  }
+    return epoch_loss / std::max(1, batches);
+  };
+  log.epoch_losses = run_fault_tolerant_epochs(
+      model, opt, rng, cfg.epochs, cfg.checkpoint, epoch_body,
+      &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
 }

@@ -13,6 +13,7 @@
 #include "data/qor_dataset.hpp"
 #include "models/gcn.hpp"
 #include "optim/optim.hpp"
+#include "train/train_state.hpp"
 
 namespace hoga::train {
 
@@ -66,12 +67,16 @@ struct QorTrainConfig {
   int batch_size = 8;  // samples per optimizer step
   std::uint64_t seed = 7;
   float grad_clip = 5.f;
+  /// Fault tolerance: checkpoint/resume targets, retry policy, and
+  /// non-finite rollback behavior (see train_state.hpp).
+  CheckpointConfig checkpoint;
 };
 
 struct QorTrainLog {
   std::vector<float> epoch_losses;
   double seconds = 0;          // training time
   double precompute_seconds = 0;  // hop-feature generation (HOGA)
+  LoopStats fault_stats;       // resume/rollback/retry events
 };
 
 QorTrainLog train_qor(QorModel& model,

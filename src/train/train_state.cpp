@@ -1,0 +1,335 @@
+#include "train/train_state.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "fault/fault.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/io.hpp"
+
+namespace hoga::train {
+namespace {
+
+// Floats/doubles are stored as hex bit patterns: decimal text would lose
+// bits and break bit-exact resume.
+void put_hex(std::ostream& os, std::uint64_t v) {
+  os << std::hex << v << std::dec;
+}
+
+std::uint64_t get_hex(std::istream& is, const char* what) {
+  std::string tok;
+  is >> tok;
+  HOGA_CHECK(!tok.empty(), "train-state: truncated while reading " << what);
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(tok.c_str(), &end, 16);
+  HOGA_CHECK(end != nullptr && *end == '\0',
+             "train-state: bad hex token '" << tok << "' for " << what);
+  return v;
+}
+
+void put_f32(std::ostream& os, float f) {
+  put_hex(os, std::bit_cast<std::uint32_t>(f));
+}
+
+float get_f32(std::istream& is, const char* what) {
+  const std::uint64_t bits = get_hex(is, what);
+  HOGA_CHECK(bits <= 0xFFFFFFFFull,
+             "train-state: fp32 bit pattern out of range for " << what);
+  return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+}
+
+void expect_keyword(std::istream& is, const char* keyword) {
+  std::string tok;
+  is >> tok;
+  HOGA_CHECK(tok == keyword, "train-state: expected section '"
+                                 << keyword << "', found '" << tok << "'");
+}
+
+void put_tensor_bits(std::ostream& os, const Tensor& t) {
+  os << t.numel();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    os << ' ';
+    put_f32(os, t.data()[i]);
+  }
+  os << '\n';
+}
+
+void get_tensor_bits(std::istream& is, Tensor& dst, const char* what) {
+  std::int64_t numel = -1;
+  is >> numel;
+  HOGA_CHECK(is.good() && numel == dst.numel(),
+             "train-state: element count mismatch for " << what << " (got "
+                                                        << numel << ", want "
+                                                        << dst.numel() << ")");
+  for (std::int64_t i = 0; i < numel; ++i) dst.data()[i] = get_f32(is, what);
+}
+
+}  // namespace
+
+std::string save_train_state(const nn::Module& model, const optim::Adam& opt,
+                             const Rng& rng, const TrainState& state) {
+  std::ostringstream body;
+  body << "epoch " << state.epoch << '\n';
+  body << "losses " << state.epoch_losses.size();
+  for (float l : state.epoch_losses) {
+    body << ' ';
+    put_f32(body, l);
+  }
+  body << '\n';
+
+  const Rng::State rs = rng.state();
+  body << "rng";
+  for (std::uint64_t s : rs.s) {
+    body << ' ';
+    put_hex(body, s);
+  }
+  body << ' ' << (rs.have_cached_normal ? 1 : 0) << ' ';
+  put_hex(body, std::bit_cast<std::uint64_t>(rs.cached_normal));
+  body << '\n';
+
+  const auto& m = opt.first_moments();
+  const auto& v = opt.second_moments();
+  body << "adam " << opt.step_count() << ' ';
+  put_f32(body, opt.lr());
+  body << ' ' << m.size() << '\n';
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    body << "m ";
+    put_tensor_bits(body, m[i]);
+    body << "v ";
+    put_tensor_bits(body, v[i]);
+  }
+
+  const auto params = model.parameters();
+  const auto names = model.parameter_names();
+  body << "model " << params.size() << '\n';
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor& t = params[i].value();
+    body << names[i] << ' ' << t.dim();
+    for (std::int64_t a = 0; a < t.dim(); ++a) body << ' ' << t.size(a);
+    body << '\n';
+    put_tensor_bits(body, t);
+  }
+
+  const std::string payload = body.str();
+  std::ostringstream os;
+  os << "hoga-ckpt v2 " << payload.size() << ' ';
+  put_hex(os, util::crc32(payload));
+  os << '\n' << payload;
+  return os.str();
+}
+
+TrainState load_train_state(nn::Module& model, optim::Adam& opt, Rng& rng,
+                            const std::string& text) {
+  // Header: "hoga-ckpt v2 <payload bytes> <crc32 hex>\n".
+  const std::size_t header_end = text.find('\n');
+  HOGA_CHECK(header_end != std::string::npos,
+             "load_train_state: missing header line");
+  std::istringstream header(text.substr(0, header_end));
+  std::string magic, version;
+  std::size_t payload_size = 0;
+  header >> magic >> version >> payload_size;
+  HOGA_CHECK(header.good() && magic == "hoga-ckpt",
+             "load_train_state: not a hoga-ckpt file");
+  HOGA_CHECK(version == "v2", "load_train_state: expected v2, found '"
+                                  << version
+                                  << "' (v1 files hold model weights only; "
+                                     "use nn::load_checkpoint)");
+  const std::uint32_t expect_crc =
+      static_cast<std::uint32_t>(get_hex(header, "header crc"));
+  const std::string payload = text.substr(header_end + 1);
+  HOGA_CHECK(payload.size() == payload_size,
+             "load_train_state: payload is " << payload.size()
+                                             << " bytes, header declares "
+                                             << payload_size
+                                             << " (truncated write?)");
+  const std::uint32_t got_crc = util::crc32(payload);
+  HOGA_CHECK(got_crc == expect_crc,
+             "load_train_state: CRC mismatch (corrupted checkpoint)");
+
+  std::istringstream is(payload);
+  TrainState state;
+  expect_keyword(is, "epoch");
+  is >> state.epoch;
+  HOGA_CHECK(is.good() && state.epoch >= 0,
+             "load_train_state: bad epoch counter");
+
+  expect_keyword(is, "losses");
+  std::size_t num_losses = 0;
+  is >> num_losses;
+  HOGA_CHECK(is.good(), "load_train_state: bad loss-history length");
+  state.epoch_losses.resize(num_losses);
+  for (auto& l : state.epoch_losses) l = get_f32(is, "loss history");
+
+  expect_keyword(is, "rng");
+  Rng::State rs;
+  for (auto& s : rs.s) s = get_hex(is, "rng state");
+  int have_cached = 0;
+  is >> have_cached;
+  HOGA_CHECK(is.good() && (have_cached == 0 || have_cached == 1),
+             "load_train_state: bad rng cache flag");
+  rs.have_cached_normal = have_cached == 1;
+  rs.cached_normal =
+      std::bit_cast<double>(get_hex(is, "rng cached normal"));
+
+  expect_keyword(is, "adam");
+  std::int64_t t = -1;
+  std::size_t num_moments = 0;
+  is >> t;
+  const float lr = get_f32(is, "adam lr");
+  is >> num_moments;
+  HOGA_CHECK(is.good() && t >= 0, "load_train_state: bad adam section");
+  auto params = model.parameters();
+  HOGA_CHECK(num_moments == params.size(),
+             "load_train_state: checkpoint has " << num_moments
+                                                 << " moment pairs, model has "
+                                                 << params.size()
+                                                 << " parameters");
+  std::vector<Tensor> m, v;
+  m.reserve(num_moments);
+  v.reserve(num_moments);
+  for (std::size_t i = 0; i < num_moments; ++i) {
+    Tensor mi(params[i].shape()), vi(params[i].shape());
+    expect_keyword(is, "m");
+    get_tensor_bits(is, mi, "adam m");
+    expect_keyword(is, "v");
+    get_tensor_bits(is, vi, "adam v");
+    m.push_back(std::move(mi));
+    v.push_back(std::move(vi));
+  }
+
+  expect_keyword(is, "model");
+  std::size_t num_params = 0;
+  is >> num_params;
+  const auto names = model.parameter_names();
+  HOGA_CHECK(is.good() && num_params == params.size(),
+             "load_train_state: checkpoint has " << num_params
+                                                 << " parameters, model has "
+                                                 << params.size());
+  // Parse everything into staging tensors before mutating the model, so a
+  // truncated tail cannot leave it half-restored.
+  std::vector<Tensor> values;
+  values.reserve(num_params);
+  for (std::size_t i = 0; i < num_params; ++i) {
+    std::string name;
+    std::int64_t rank = 0;
+    is >> name >> rank;
+    HOGA_CHECK(is.good() && name == names[i],
+               "load_train_state: parameter " << i << " is '" << name
+                                              << "', expected '" << names[i]
+                                              << "'");
+    Shape shape(static_cast<std::size_t>(rank));
+    for (auto& s : shape) is >> s;
+    HOGA_CHECK(is.good() && shape == params[i].shape(),
+               "load_train_state: shape mismatch for " << name);
+    Tensor value(shape);
+    get_tensor_bits(is, value, name.c_str());
+    values.push_back(std::move(value));
+  }
+
+  for (std::size_t i = 0; i < num_params; ++i) {
+    params[i].mutable_value().copy_from(values[i]);
+  }
+  opt.restore_state(t, m, v);
+  opt.set_lr(lr);
+  rng.set_state(rs);
+  return state;
+}
+
+void save_train_state_file(const nn::Module& model, const optim::Adam& opt,
+                           const Rng& rng, const TrainState& state,
+                           const std::string& path) {
+  fault::maybe_fail_checkpoint_write(path);
+  util::atomic_write_file(path, save_train_state(model, opt, rng, state));
+}
+
+TrainState load_train_state_file(nn::Module& model, optim::Adam& opt,
+                                 Rng& rng, const std::string& path) {
+  fault::maybe_fail_checkpoint_read(path);
+  return load_train_state(model, opt, rng, util::read_file(path));
+}
+
+int save_train_state_file_with_retry(const nn::Module& model,
+                                     const optim::Adam& opt, const Rng& rng,
+                                     const TrainState& state,
+                                     const std::string& path,
+                                     int max_attempts,
+                                     double initial_backoff_ms,
+                                     double max_backoff_ms) {
+  HOGA_CHECK(max_attempts > 0,
+             "save_train_state_file_with_retry: max_attempts must be > 0");
+  double backoff_ms = initial_backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      save_train_state_file(model, opt, rng, state, path);
+      return attempt;
+    } catch (const std::exception&) {
+      if (attempt + 1 >= max_attempts) throw;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2.0, max_backoff_ms);
+    }
+  }
+}
+
+std::vector<float> run_fault_tolerant_epochs(
+    nn::Module& model, optim::Adam& opt, Rng& rng, int epochs,
+    const CheckpointConfig& ckpt,
+    const std::function<double(bool* ok)>& epoch_body, LoopStats* stats) {
+  TrainState state;
+  if (!ckpt.resume_from.empty()) {
+    state = load_train_state_file(model, opt, rng, ckpt.resume_from);
+    HOGA_CHECK(state.epoch <= epochs,
+               "run_fault_tolerant_epochs: checkpoint is at epoch "
+                   << state.epoch << ", run only has " << epochs);
+  }
+  LoopStats local;
+  local.resumed_from_epoch = state.epoch;
+
+  // In-memory last-good snapshot for non-finite rollback. Serialized once
+  // per epoch; O(parameters) next to an epoch of O(steps * parameters)
+  // compute, so the overhead is negligible.
+  std::string last_good;
+  if (ckpt.recover_nonfinite) {
+    last_good = save_train_state(model, opt, rng, state);
+  }
+
+  while (state.epoch < epochs) {
+    bool ok = true;
+    const double mean_loss = epoch_body(&ok);
+    if (!ok) {
+      HOGA_CHECK(ckpt.recover_nonfinite,
+                 "trainer: non-finite loss/gradient at epoch "
+                     << state.epoch << " (recovery disabled)");
+      HOGA_CHECK(local.rollbacks < ckpt.max_rollbacks,
+                 "trainer: still diverging after "
+                     << local.rollbacks
+                     << " rollbacks; refusing to continue");
+      state = load_train_state(model, opt, rng, last_good);
+      opt.set_lr(opt.lr() * ckpt.rollback_lr_cut);
+      // Refresh the snapshot so repeated rollbacks compound the LR cut
+      // instead of resetting to the pre-cut rate each time.
+      last_good = save_train_state(model, opt, rng, state);
+      ++local.rollbacks;
+      continue;
+    }
+    state.epoch_losses.push_back(static_cast<float>(mean_loss));
+    ++state.epoch;
+    if (ckpt.recover_nonfinite) {
+      last_good = save_train_state(model, opt, rng, state);
+    }
+    if (ckpt.every > 0 && !ckpt.path.empty() &&
+        state.epoch % ckpt.every == 0) {
+      local.checkpoint_retries += save_train_state_file_with_retry(
+          model, opt, rng, state, ckpt.path, ckpt.max_retries,
+          ckpt.backoff_initial_ms, ckpt.backoff_max_ms);
+    }
+  }
+  if (stats) *stats = local;
+  return state.epoch_losses;
+}
+
+}  // namespace hoga::train

@@ -1,0 +1,101 @@
+#pragma once
+// Fault-tolerant training state: the "hoga-ckpt v2" format (DESIGN.md §7).
+//
+// A v2 checkpoint bundles everything a trainer needs to continue a run
+// *bit-exactly* after a crash:
+//
+//   - model parameters (raw fp32 bit patterns, not decimal text),
+//   - Adam state (step counter, learning rate, both moment vectors),
+//   - RNG state (xoshiro words + Box-Muller cache),
+//   - the epoch counter and the per-epoch loss history so far.
+//
+// The payload is guarded by a CRC32 in the header and written via
+// write-tmp-then-rename, so a torn or bit-flipped checkpoint is rejected on
+// load instead of silently restoring garbage. All floats are serialized as
+// hex bit patterns: a resumed run replays the identical loss curve.
+//
+// run_fault_tolerant_epochs() is the epoch-loop harness shared by the node
+// and QoR trainers: it handles resume, periodic checkpointing with
+// retry/backoff, and non-finite-loss rollback (restore last good state, cut
+// the learning rate, retry) — the trainers only supply the epoch body.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "optim/optim.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::train {
+
+/// Loop progress carried by a v2 checkpoint (model/optimizer/RNG state is
+/// restored directly into the objects passed to load_train_state).
+struct TrainState {
+  int epoch = 0;                    // completed epochs
+  std::vector<float> epoch_losses;  // one entry per completed epoch
+};
+
+/// Fault-tolerance knobs embedded in every trainer config.
+struct CheckpointConfig {
+  std::string path;         // v2 TrainState target ("" disables writes)
+  int every = 0;            // checkpoint every E completed epochs (0 = off)
+  std::string resume_from;  // v2 TrainState to resume from ("" = fresh run)
+  int max_retries = 4;      // write attempts before giving up (I/O errors)
+  double backoff_initial_ms = 0.5;  // first retry delay
+  double backoff_max_ms = 50.0;     // exponential backoff cap
+  bool recover_nonfinite = true;    // roll back + LR cut instead of diverging
+  float rollback_lr_cut = 0.5f;     // LR multiplier applied per rollback
+  int max_rollbacks = 8;            // divergence guard
+};
+
+/// Recovery/restart events observed by one run_fault_tolerant_epochs call.
+struct LoopStats {
+  int resumed_from_epoch = 0;  // first epoch executed by this call
+  int rollbacks = 0;           // non-finite recoveries taken
+  int checkpoint_retries = 0;  // failed write attempts that were retried
+};
+
+// -- Serialization ----------------------------------------------------------
+std::string save_train_state(const nn::Module& model, const optim::Adam& opt,
+                             const Rng& rng, const TrainState& state);
+/// Restores model parameters, Adam state, and RNG from `text`; returns the
+/// loop progress. Verifies the CRC and every name/shape before touching
+/// anything.
+TrainState load_train_state(nn::Module& model, optim::Adam& opt, Rng& rng,
+                            const std::string& text);
+
+void save_train_state_file(const nn::Module& model, const optim::Adam& opt,
+                           const Rng& rng, const TrainState& state,
+                           const std::string& path);
+TrainState load_train_state_file(nn::Module& model, optim::Adam& opt,
+                                 Rng& rng, const std::string& path);
+
+/// save_train_state_file with capped exponential backoff on I/O errors.
+/// Returns the number of failed attempts that were retried; rethrows after
+/// `max_attempts` consecutive failures.
+int save_train_state_file_with_retry(const nn::Module& model,
+                                     const optim::Adam& opt, const Rng& rng,
+                                     const TrainState& state,
+                                     const std::string& path,
+                                     int max_attempts = 4,
+                                     double initial_backoff_ms = 0.5,
+                                     double max_backoff_ms = 50.0);
+
+// -- Shared fault-tolerant epoch loop ---------------------------------------
+/// Runs `epoch_body` until `epochs` epochs have completed. The body runs one
+/// epoch (forward/backward/step over all its batches) and returns the mean
+/// loss; it sets `*ok = false` when it observed a non-finite loss or
+/// gradient norm (after skipping the poisoned optimizer step).
+///
+/// The harness resumes from `ckpt.resume_from` if set, checkpoints every
+/// `ckpt.every` epochs with retry/backoff, keeps an in-memory last-good
+/// snapshot, and on a non-finite epoch restores that snapshot and cuts the
+/// learning rate by `ckpt.rollback_lr_cut`. Returns the full loss history
+/// (including any resumed prefix).
+std::vector<float> run_fault_tolerant_epochs(
+    nn::Module& model, optim::Adam& opt, Rng& rng, int epochs,
+    const CheckpointConfig& ckpt,
+    const std::function<double(bool* ok)>& epoch_body, LoopStats* stats);
+
+}  // namespace hoga::train

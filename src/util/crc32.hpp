@@ -1,0 +1,15 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320 — the zip/png/zlib
+// variant). Used to verify checkpoint payload integrity on load, so a
+// partially-written or bit-flipped checkpoint is rejected loudly instead of
+// loading garbage weights.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hoga::util {
+
+/// CRC of `data`; crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view data);
+
+}  // namespace hoga::util

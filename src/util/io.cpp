@@ -1,0 +1,46 @@
+#include "util/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hoga::util {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HOGA_CHECK(in.good(), "read_file: cannot open '" << path
+                                                   << "' (missing file?)");
+  std::ostringstream os;
+  os << in.rdbuf();
+  HOGA_CHECK(!in.bad(), "read_file: I/O error while reading '" << path << "'");
+  std::string text = os.str();
+  HOGA_CHECK(!text.empty(), "read_file: '" << path
+                                           << "' is empty (interrupted or "
+                                              "failed write?)");
+  return text;
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    HOGA_CHECK(out.good(), "atomic_write_file: cannot open '" << tmp << "'");
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      HOGA_CHECK(false, "atomic_write_file: write to '" << tmp << "' failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    HOGA_CHECK(false, "atomic_write_file: rename '" << tmp << "' -> '" << path
+                                                    << "' failed");
+  }
+}
+
+}  // namespace hoga::util

@@ -1,0 +1,23 @@
+#pragma once
+// Small file-I/O helpers shared by the checkpoint writers.
+//
+// atomic_write_file is the durability primitive of the fault-tolerance
+// layer: a crash (or injected I/O error) mid-write can only ever leave a
+// stale ".tmp" file behind — the destination path either holds the previous
+// complete file or the new complete file, never a torn one.
+
+#include <string>
+
+namespace hoga::util {
+
+/// Reads a whole file into a string. Throws with a precise message when the
+/// file is missing, unreadable, or empty (an empty file is always the
+/// residue of a failed write, never a valid checkpoint).
+std::string read_file(const std::string& path);
+
+/// Atomically replaces `path`: writes `content` to `path + ".tmp"`, flushes
+/// and closes it, then renames it over the target. Cleans up the temporary
+/// on failure.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+}  // namespace hoga::util

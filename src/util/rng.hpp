@@ -53,6 +53,17 @@ class Rng {
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
 
+  /// Full generator state, including the Box-Muller cache, so a restored
+  /// generator replays the exact draw sequence (bit-exact checkpoint resume
+  /// depends on this).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t s_[4];
   bool have_cached_normal_ = false;

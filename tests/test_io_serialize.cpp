@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "aig/aiger.hpp"
 #include "aig/dot.hpp"
@@ -61,6 +62,49 @@ TEST(Aiger, RejectsMalformedInput) {
   // AND uses undefined variable 5.
   EXPECT_THROW(aig::read_aiger("aag 5 1 0 1 1\n2\n4\n4 10 2\n"),
                std::runtime_error);
+}
+
+TEST(Aiger, RejectsTruncatedSections) {
+  // Input section cut short.
+  EXPECT_THROW(aig::read_aiger("aag 2 2 0 0 0\n2\n"), std::runtime_error);
+  // Output section missing entirely.
+  EXPECT_THROW(aig::read_aiger("aag 3 2 0 1 1\n2\n4\n"), std::runtime_error);
+  // AND section cut mid-definition.
+  EXPECT_THROW(aig::read_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 4"),
+               std::runtime_error);
+}
+
+TEST(Aiger, RejectsOutOfRangeLiterals) {
+  // Output variable 4 exceeds M=1.
+  EXPECT_THROW(aig::read_aiger("aag 1 1 0 1 0\n2\n9\n"), std::runtime_error);
+  // AND rhs variable 5 exceeds M=3.
+  EXPECT_THROW(aig::read_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 10 2\n"),
+               std::runtime_error);
+  // Input variable defined twice.
+  EXPECT_THROW(aig::read_aiger("aag 2 2 0 0 0\n2\n2\n"), std::runtime_error);
+}
+
+TEST(Aiger, RejectsTrailingJunk) {
+  EXPECT_THROW(aig::read_aiger("aag 1 1 0 1 0\n2\n2\nxyz\n"),
+               std::runtime_error);
+  // An extra AND-like definition after the declared sections is junk too.
+  EXPECT_THROW(aig::read_aiger("aag 1 1 0 1 0\n2\n2\n4 2 3\n"),
+               std::runtime_error);
+  // Symbol entries must index a declared input/output.
+  EXPECT_THROW(aig::read_aiger("aag 1 1 0 1 0\n2\n2\ni1 a\n"),
+               std::runtime_error);
+  EXPECT_THROW(aig::read_aiger("aag 1 1 0 1 0\n2\n2\ni99999999999999999999 a\n"),
+               std::runtime_error);
+}
+
+TEST(Aiger, AcceptsSymbolTableAndComments) {
+  const aig::Aig g = aig::read_aiger(
+      "aag 1 1 0 1 0\n2\n2\ni0 in_a\no0 out_y\nc\nanything goes here\n");
+  EXPECT_EQ(g.num_pis(), 1);
+  EXPECT_EQ(g.num_pos(), 1);
+  // Output passes the single input through.
+  EXPECT_EQ(aig::evaluate(g, 0), 0u);
+  EXPECT_EQ(aig::evaluate(g, 1), 1u);
 }
 
 TEST(Aiger, FileRoundTrip) {
@@ -160,6 +204,24 @@ TEST(Checkpoint, FileRoundTrip) {
   nn::load_checkpoint_file(restored, path);
   EXPECT_TRUE(Tensor::allclose(mlp.parameters()[0].value(),
                                restored.parameters()[0].value(), 1e-5f));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FileWriteIsAtomicAndLoadErrorsAreClear) {
+  Rng rng(4);
+  nn::Mlp mlp({3, 4, 2}, rng);
+  const std::string path = "/tmp/hoga_test_ckpt_atomic.txt";
+  nn::save_checkpoint_file(mlp, path);
+  // The temporary used for the atomic rename must not linger.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+  // Missing and empty files produce clear errors instead of a blank parse.
+  nn::Mlp restored({3, 4, 2}, rng);
+  EXPECT_THROW(nn::load_checkpoint_file(restored, "/nonexistent/ckpt.txt"),
+               std::runtime_error);
+  { std::ofstream out(path, std::ios::trunc); }
+  EXPECT_THROW(nn::load_checkpoint_file(restored, path), std::runtime_error);
   std::remove(path.c_str());
 }
 
