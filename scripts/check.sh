@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full local gate: plain build + tests, then an address/UB-sanitizer build
+# + tests. The serving runtime is heavily multi-threaded, so the sanitizer
+# pass is not optional before merging changes to src/serve, src/util, or
+# src/fault.
+#
+# Usage: scripts/check.sh [--skip-sanitize]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build -j"${JOBS}" --output-on-failure
+
+if [[ "${1:-}" == "--skip-sanitize" ]]; then
+  echo "== sanitizer pass skipped =="
+  exit 0
+fi
+
+echo "== sanitizer build (address;undefined) =="
+cmake -B build-asan -S . -DHOGA_SANITIZE="address;undefined" >/dev/null
+cmake --build build-asan -j"${JOBS}"
+ctest --test-dir build-asan -j"${JOBS}" --output-on-failure
+
+echo "== all checks passed =="

@@ -27,21 +27,23 @@ Hoga::Hoga(const HogaConfig& config, Rng& rng) : config_(config) {
   register_module("head", head_);
 }
 
-ag::Variable Hoga::forward_repr(const ag::Variable& hop_feats, Rng& rng,
-                                HogaAttention* attention) const {
+ag::Variable Hoga::repr_impl(const ag::Variable& hop_feats, Rng* rng,
+                             bool with_dropout,
+                             HogaAttention* attention) const {
   HOGA_CHECK(hop_feats.value().dim() == 3,
              "Hoga: hop features must be [B, K+1, d0]");
   const std::int64_t batch = hop_feats.size(0);
   const std::int64_t k1 = hop_feats.size(1);
   const std::int64_t num_hops = k1 - 1;
-  HOGA_CHECK(num_hops == config_.num_hops,
-             "Hoga: expected K=" << config_.num_hops << ", got " << num_hops);
+  HOGA_CHECK(num_hops >= 1 && num_hops <= config_.num_hops,
+             "Hoga: got k=" << num_hops << " hops, model supports 1..K="
+                            << config_.num_hops);
   const std::int64_t d = config_.hidden;
 
   ag::Variable h = input_proj_->forward(hop_feats);
   if (input_norm_) h = input_norm_->forward(h);
-  if (config_.dropout > 0.f) {
-    h = ag::dropout(h, config_.dropout, rng, training());
+  if (with_dropout && config_.dropout > 0.f) {
+    h = ag::dropout(h, config_.dropout, *rng, training());
   }
   Tensor self_attn;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -80,16 +82,34 @@ ag::Variable Hoga::forward_repr(const ag::Variable& hop_feats, Rng& rng,
   return ag::add(h0, ag::reshape(mix, {batch, d}));
 }
 
+ag::Variable Hoga::forward_repr(const ag::Variable& hop_feats, Rng& rng,
+                                HogaAttention* attention) const {
+  // Training never truncates hops: a shorter prefix here is a data bug, not
+  // a degradation request.
+  HOGA_CHECK(hop_feats.value().dim() == 3 &&
+                 hop_feats.size(1) - 1 == config_.num_hops,
+             "Hoga: expected hop features [B, K+1=" << config_.num_hops + 1
+                                                    << ", d0]");
+  return repr_impl(hop_feats, &rng, /*with_dropout=*/true, attention);
+}
+
 ag::Variable Hoga::forward(const ag::Variable& hop_feats, Rng& rng,
                            HogaAttention* attention) const {
   return head_->forward(forward_repr(hop_feats, rng, attention));
 }
 
+ag::Variable Hoga::forward_eval_repr(const ag::Variable& hop_feats,
+                                     HogaAttention* attention) const {
+  return repr_impl(hop_feats, nullptr, /*with_dropout=*/false, attention);
+}
+
+ag::Variable Hoga::forward_eval(const ag::Variable& hop_feats,
+                                HogaAttention* attention) const {
+  return head_->forward(forward_eval_repr(hop_feats, attention));
+}
+
 Tensor Hoga::predict(const HopFeatures& hop_features, std::int64_t batch_size,
-                     HogaAttention* attention) {
-  Rng rng(0);  // unused: dropout is inactive outside training mode
-  const bool was_training = training();
-  set_training(false);
+                     HogaAttention* attention) const {
   const std::int64_t n = hop_features.num_nodes();
   Tensor out({n, config_.out_dim});
   std::vector<Tensor> readout_parts, attn_parts;
@@ -99,8 +119,8 @@ Tensor Hoga::predict(const HopFeatures& hop_features, std::int64_t batch_size,
     ids.reserve(static_cast<std::size_t>(hi - lo));
     for (std::int64_t i = lo; i < hi; ++i) ids.push_back(i);
     HogaAttention local;
-    ag::Variable pred = forward(ag::constant(hop_features.gather(ids)), rng,
-                                attention ? &local : nullptr);
+    ag::Variable pred = forward_eval(ag::constant(hop_features.gather(ids)),
+                                     attention ? &local : nullptr);
     std::copy(pred.value().data(), pred.value().data() + pred.numel(),
               out.data() + lo * config_.out_dim);
     if (attention) {
@@ -112,7 +132,6 @@ Tensor Hoga::predict(const HopFeatures& hop_features, std::int64_t batch_size,
     attention->readout_scores = tensor_ops::concat_rows(readout_parts);
     attention->self_attention = tensor_ops::concat_rows(attn_parts);
   }
-  set_training(was_training);
   return out;
 }
 

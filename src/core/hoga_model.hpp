@@ -45,23 +45,39 @@ class Hoga : public nn::Module {
   Hoga(const HogaConfig& config, Rng& rng);
 
   /// Node representations y [B, hidden] from hop features [B, K+1, d0].
+  /// Training path: consults the module's train/eval flag for dropout.
   ag::Variable forward_repr(const ag::Variable& hop_feats, Rng& rng,
                             HogaAttention* attention = nullptr) const;
 
-  /// Head output [B, out_dim].
+  /// Head output [B, out_dim] (training path, as forward_repr).
   ag::Variable forward(const ag::Variable& hop_feats, Rng& rng,
                        HogaAttention* attention = nullptr) const;
 
+  /// Inference-only forward: never reads the mutable train/eval flag, never
+  /// draws randomness, touches no shared state — safe for any number of
+  /// concurrent callers on one model instance (the serving runtime depends
+  /// on this). Accepts hop tensors [B, k+1, d0] for ANY 1 <= k <= K: the
+  /// hop-wise decoupling (Eq. 3) means the same weights evaluate on a
+  /// truncated hop prefix, which is the degraded serving path.
+  ag::Variable forward_eval_repr(const ag::Variable& hop_feats,
+                                 HogaAttention* attention = nullptr) const;
+  ag::Variable forward_eval(const ag::Variable& hop_feats,
+                            HogaAttention* attention = nullptr) const;
+
   /// Inference over all nodes of a HopFeatures set, in node batches;
-  /// returns head outputs [n, out_dim] (no autograd graph kept). Non-const
-  /// because it temporarily switches the module to eval mode.
+  /// returns head outputs [n, out_dim] (no autograd graph kept). Const and
+  /// reentrant: uses the forward_eval path.
   Tensor predict(const HopFeatures& hop_features,
                  std::int64_t batch_size = 4096,
-                 HogaAttention* attention = nullptr);
+                 HogaAttention* attention = nullptr) const;
 
   const HogaConfig& config() const { return config_; }
 
  private:
+  /// Shared forward core; `rng` may be null iff `with_dropout` is false.
+  ag::Variable repr_impl(const ag::Variable& hop_feats, Rng* rng,
+                         bool with_dropout, HogaAttention* attention) const;
+
   HogaConfig config_;
   std::shared_ptr<nn::Linear> input_proj_;
   std::shared_ptr<nn::LayerNorm> input_norm_;

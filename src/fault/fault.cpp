@@ -25,6 +25,12 @@ void Injector::fail_checkpoint_read(int nth) { read_fails_.insert(nth); }
 
 void Injector::corrupt_gradient_step(int nth) { grad_corruptions_.insert(nth); }
 
+void Injector::delay_request(int nth, double ms) { slow_requests_[nth] = ms; }
+
+void Injector::poison_request(int nth) { poisoned_requests_.insert(nth); }
+
+void Injector::stall_queue(int nth, double ms) { queue_stalls_[nth] = ms; }
+
 bool Injector::worker_should_fail(int epoch, int worker) {
   if (auto it = worker_kills_.find({epoch, worker});
       it != worker_kills_.end()) {
@@ -69,6 +75,41 @@ bool Injector::gradient_should_corrupt() {
   return false;
 }
 
+double Injector::request_delay_ms() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = executed_requests_++;
+  if (auto it = slow_requests_.find(n); it != slow_requests_.end()) {
+    const double ms = it->second;
+    slow_requests_.erase(it);
+    ++counts_.slow_requests;
+    return ms;
+  }
+  return 0;
+}
+
+bool Injector::request_should_poison() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = submitted_requests_++;
+  if (auto it = poisoned_requests_.find(n); it != poisoned_requests_.end()) {
+    poisoned_requests_.erase(it);
+    ++counts_.poisoned_requests;
+    return true;
+  }
+  return false;
+}
+
+double Injector::queue_stall_ms() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = stall_checks_++;
+  if (auto it = queue_stalls_.find(n); it != queue_stalls_.end()) {
+    const double ms = it->second;
+    queue_stalls_.erase(it);
+    ++counts_.queue_stalls;
+    return ms;
+  }
+  return 0;
+}
+
 Injector* active() { return g_active; }
 
 ScopedInjector::ScopedInjector(Injector& injector) : previous_(g_active) {
@@ -104,6 +145,15 @@ void maybe_fail_checkpoint_read(const std::string& path) {
     throw std::runtime_error("fault-injected checkpoint read I/O error: " +
                              path);
   }
+}
+
+bool maybe_poison_request(Tensor& payload) {
+  Injector* inj = active();
+  if (!inj || !inj->request_should_poison()) return false;
+  if (payload.numel() > 0) {
+    payload.data()[0] = std::numeric_limits<float>::quiet_NaN();
+  }
+  return true;
 }
 
 }  // namespace hoga::fault

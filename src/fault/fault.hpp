@@ -23,6 +23,8 @@
 // injector's own seeded Rng and are therefore also reproducible.
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
@@ -38,6 +40,10 @@ struct Counts {
   int checkpoint_write_errors = 0;
   int checkpoint_read_errors = 0;
   int gradient_corruptions = 0;
+  // Serving-runtime faults (DESIGN.md §8).
+  int slow_requests = 0;
+  int poisoned_requests = 0;
+  int queue_stalls = 0;
 };
 
 class Injector {
@@ -58,11 +64,31 @@ class Injector {
   /// The nth (0-based) observed optimizer step gets a NaN gradient.
   void corrupt_gradient_step(int nth);
 
+  // -- Serving-runtime schedule ----------------------------------------------
+  /// The nth (0-based) *executed* inference request runs on a slow worker:
+  /// its execution is delayed by `ms` (the runtime sleeps cooperatively, so
+  /// deadline cancellation still works).
+  void delay_request(int nth, double ms);
+  /// The nth (0-based) *submitted* inference request arrives with a
+  /// poisoned payload (a NaN written into its feature tensor) — the
+  /// validation layer must reject it before it reaches a kernel.
+  void poison_request(int nth);
+  /// The nth (0-based) *executed* request wedges the executor for `ms`
+  /// before any request processing (models a stalled queue head; admissions
+  /// pile up behind it and backpressure must kick in).
+  void stall_queue(int nth, double ms);
+
   // -- Hot-path queries (count attempts internally) -------------------------
   bool worker_should_fail(int epoch, int worker);
   bool checkpoint_write_should_fail();
   bool checkpoint_read_should_fail();
   bool gradient_should_corrupt();
+  /// Delay for this executed request in ms (0 = none); consumes one slot.
+  double request_delay_ms();
+  /// True when this submitted request's payload should be poisoned.
+  bool request_should_poison();
+  /// Queue-stall duration for this executed request in ms (0 = none).
+  double queue_stall_ms();
 
   const Counts& counts() const { return counts_; }
 
@@ -71,7 +97,13 @@ class Injector {
   double worker_failure_prob_ = 0.0;
   std::set<std::pair<int, int>> worker_kills_;
   std::set<int> write_fails_, read_fails_, grad_corruptions_;
+  std::set<int> poisoned_requests_;
+  std::map<int, double> slow_requests_, queue_stalls_;
   int write_attempts_ = 0, read_attempts_ = 0, grad_steps_ = 0;
+  int executed_requests_ = 0, submitted_requests_ = 0, stall_checks_ = 0;
+  // Serve-side queries run on pool workers; training-side queries stay
+  // single-threaded and lock-free.
+  std::mutex serve_mu_;
   Counts counts_;
 };
 
@@ -99,5 +131,11 @@ bool maybe_corrupt_gradients(const std::vector<ag::Variable>& params);
 /// Checkpoint-side hooks: throw an injected I/O error when scheduled.
 void maybe_fail_checkpoint_write(const std::string& path);
 void maybe_fail_checkpoint_read(const std::string& path);
+
+/// Serve-side hook: if the active injector poisons this submitted request,
+/// writes a quiet NaN into the first element of `payload` (modeling a
+/// corrupt client buffer). Returns true if it fired. The caller must pass
+/// storage it owns — the hook mutates in place.
+bool maybe_poison_request(Tensor& payload);
 
 }  // namespace hoga::fault

@@ -33,4 +33,13 @@ ag::Variable Gcn::forward(std::shared_ptr<const graph::Csr> adj,
   return graph::spmm(adj, layers_.back()->forward(h), adj);
 }
 
+ag::Variable Gcn::forward_eval(std::shared_ptr<const graph::Csr> adj,
+                               const ag::Variable& x) const {
+  ag::Variable h = x;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    h = ag::relu(graph::spmm(adj, layers_[l]->forward(h), adj));
+  }
+  return graph::spmm(adj, layers_.back()->forward(h), adj);
+}
+
 }  // namespace hoga::models

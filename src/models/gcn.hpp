@@ -31,6 +31,11 @@ class Gcn : public nn::Module {
   ag::Variable forward_repr(std::shared_ptr<const graph::Csr> adj,
                             const ag::Variable& x, Rng& rng) const;
 
+  /// Inference-only forward: no dropout, no RNG, no reads of the mutable
+  /// train/eval flag — reentrant for concurrent serving.
+  ag::Variable forward_eval(std::shared_ptr<const graph::Csr> adj,
+                            const ag::Variable& x) const;
+
   const GcnConfig& config() const { return config_; }
 
  private:

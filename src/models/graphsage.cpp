@@ -40,4 +40,21 @@ ag::Variable GraphSage::forward(
   return h;
 }
 
+ag::Variable GraphSage::forward_eval(
+    std::shared_ptr<const graph::Csr> adj_row, const ag::Variable& x,
+    std::shared_ptr<const graph::Csr> adj_row_t) const {
+  if (!adj_row_t) {
+    adj_row_t = std::make_shared<const graph::Csr>(adj_row->transposed());
+  }
+  ag::Variable h = x;
+  for (std::size_t l = 0; l < self_layers_.size(); ++l) {
+    const ag::Variable neigh_mean = graph::spmm(adj_row, h, adj_row_t);
+    ag::Variable next = ag::add(self_layers_[l]->forward(h),
+                                neigh_layers_[l]->forward(neigh_mean));
+    if (l + 1 < self_layers_.size()) next = ag::relu(next);
+    h = next;
+  }
+  return h;
+}
+
 }  // namespace hoga::models

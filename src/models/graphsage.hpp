@@ -29,6 +29,13 @@ class GraphSage : public nn::Module {
                        std::shared_ptr<const graph::Csr> adj_row_t =
                            nullptr) const;
 
+  /// Inference-only forward: no dropout, no RNG, no reads of the mutable
+  /// train/eval flag — reentrant for concurrent serving.
+  ag::Variable forward_eval(std::shared_ptr<const graph::Csr> adj_row,
+                            const ag::Variable& x,
+                            std::shared_ptr<const graph::Csr> adj_row_t =
+                                nullptr) const;
+
   const SageConfig& config() const { return config_; }
 
  private:

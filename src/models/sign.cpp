@@ -15,8 +15,14 @@ Sign::Sign(const SignConfig& config, Rng& rng) : config_(config) {
 }
 
 ag::Variable Sign::forward(const ag::Variable& flat_feats, Rng& rng) const {
-  mlp_->set_training(training());
+  // The MLP child tracks this module's train/eval flag through
+  // Module::set_training's recursion — no per-forward toggle needed (a
+  // toggle here would make concurrent eval calls race on the flag).
   return mlp_->forward(flat_feats, rng);
+}
+
+ag::Variable Sign::forward_eval(const ag::Variable& flat_feats) const {
+  return mlp_->forward(flat_feats);
 }
 
 }  // namespace hoga::models

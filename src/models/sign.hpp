@@ -28,6 +28,10 @@ class Sign : public nn::Module {
   /// batched) -> logits [B, out_dim].
   ag::Variable forward(const ag::Variable& flat_feats, Rng& rng) const;
 
+  /// Inference-only forward: no dropout, no RNG, no reads of the mutable
+  /// train/eval flag — reentrant for concurrent serving.
+  ag::Variable forward_eval(const ag::Variable& flat_feats) const;
+
   const SignConfig& config() const { return config_; }
 
  private:

@@ -41,9 +41,15 @@ void load_checkpoint(Module& module, const std::string& text) {
   std::istringstream is(text);
   std::string magic, version;
   std::size_t count = 0;
-  is >> magic >> version >> count;
-  HOGA_CHECK(is.good() && magic == "hoga-ckpt" && version == "v1",
-             "load_checkpoint: bad header");
+  is >> magic >> version;
+  HOGA_CHECK(!is.fail() && magic == "hoga-ckpt",
+             "load_checkpoint: not a hoga-ckpt file");
+  HOGA_CHECK(version == "v1",
+             "load_checkpoint: unsupported checkpoint version '"
+                 << version << "' (expected v1; v2 files carry full training "
+                               "state — use train::load_train_state)");
+  is >> count;
+  HOGA_CHECK(!is.fail(), "load_checkpoint: bad parameter count in header");
   auto params = module.parameters();
   const auto names = module.parameter_names();
   HOGA_CHECK(count == params.size(),

@@ -1,0 +1,431 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "autograd/ops.hpp"
+#include "fault/fault.hpp"
+#include "reasoning/features.hpp"
+#include "tensor/ops.hpp"
+#include "validate/validate.hpp"
+
+namespace hoga::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+Response reject(Outcome outcome, std::string why) {
+  Response r;
+  r.outcome = outcome;
+  r.error = std::move(why);
+  return r;
+}
+
+/// Sleeps `ms` in ~1ms slices, returning early (false) once `cancel` is set.
+/// Keeps injected slow-worker delays cooperative: a timed-out request stops
+/// burning its worker at the next slice instead of after the full delay.
+bool cooperative_sleep(double ms, const std::atomic<bool>& cancel) {
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(ms));
+  while (Clock::now() < until) {
+    if (cancel.load(std::memory_order_relaxed)) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// First k+1 hops of a [B, K+1, d] batch: [B, k+1, d]. Legal model input by
+/// hop-wise decoupling (Eq. 3) — the degraded rung's cheaper evaluation.
+Tensor truncate_hops(const Tensor& batch, int keep_hops) {
+  const std::int64_t b = batch.size(0);
+  const std::int64_t full = batch.size(1);
+  const std::int64_t d = batch.size(2);
+  const std::int64_t kept = std::min<std::int64_t>(keep_hops + 1, full);
+  if (kept == full) return batch;
+  Tensor out({b, kept, d});
+  for (std::int64_t i = 0; i < b; ++i) {
+    std::memcpy(out.data() + i * kept * d, batch.data() + i * full * d,
+                static_cast<std::size_t>(kept * d) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kServed: return "served";
+    case Outcome::kDegradedTruncated: return "degraded_truncated";
+    case Outcome::kDegradedCached: return "degraded_cached";
+    case Outcome::kRejectedInvalid: return "rejected_invalid";
+    case Outcome::kRejectedOverload: return "rejected_overload";
+    case Outcome::kTimedOut: return "timed_out";
+    case Outcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+double ServeStats::latency_percentile(double q) const {
+  if (latencies_ms.empty()) return 0;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::string ServeStats::counts_signature() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " served=" << served
+     << " degraded_truncated=" << degraded_truncated
+     << " degraded_cached=" << degraded_cached
+     << " rejected_invalid=" << rejected_invalid
+     << " rejected_overload=" << rejected_overload
+     << " timed_out=" << timed_out << " failed=" << failed
+     << " breaker_trips=" << breaker_trips;
+  return os.str();
+}
+
+std::string ServeStats::to_string() const {
+  std::ostringstream os;
+  os << counts_signature();
+  if (!latencies_ms.empty()) {
+    os << "\nlatency_ms p50=" << latency_percentile(50)
+       << " p90=" << latency_percentile(90)
+       << " p99=" << latency_percentile(99);
+  }
+  return os.str();
+}
+
+/// Per-request execution state, shared between the caller and the pool
+/// worker. The shared_ptr keeps it alive when a timed-out caller returns
+/// while the worker is still between cancellation checks.
+struct InferenceService::Job {
+  std::atomic<bool> cancel{false};
+  Tensor output;
+};
+
+InferenceService::InferenceService(const core::Hoga& model, ServeConfig config)
+    : model_(model), config_(config) {
+  HOGA_CHECK(config_.workers > 0, "InferenceService: workers must be > 0");
+  HOGA_CHECK(config_.node_batch > 0,
+             "InferenceService: node_batch must be > 0");
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+}
+
+InferenceService::~InferenceService() = default;
+
+ServeStats InferenceService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void InferenceService::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = ServeStats{};
+}
+
+bool InferenceService::breaker_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_ != BreakerState::kClosed;
+}
+
+std::size_t InferenceService::queue_depth() const { return pool_->pending(); }
+
+std::size_t InferenceService::active_requests() const {
+  return pool_->active();
+}
+
+Response InferenceService::infer(const Request& request) {
+  const auto start = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+  const double deadline_ms = request.deadline_ms > 0
+                                 ? request.deadline_ms
+                                 : config_.default_deadline_ms;
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(deadline_ms));
+
+  // -- Resolve the input tensor (featurize AIG requests on this thread) -----
+  const bool has_batch = request.hop_batch.defined();
+  const bool has_aig = request.aig != nullptr;
+  Tensor input;
+  if (has_batch == has_aig) {
+    Response r = reject(Outcome::kRejectedInvalid,
+                        "request must carry exactly one of hop_batch / aig");
+    record_result(r.outcome, 0, false);
+    r.latency_ms = ms_since(start);
+    return r;
+  }
+  if (has_aig) {
+    if (model_.config().in_dim != reasoning::kNodeFeatureDim) {
+      Response r = reject(
+          Outcome::kRejectedInvalid,
+          "model in_dim does not match raw AIG features; send hop_batch");
+      record_result(r.outcome, 0, false);
+      r.latency_ms = ms_since(start);
+      return r;
+    }
+    if (auto bad =
+            validate::check_aig(*request.aig, config_.max_request_nodes)) {
+      Response r = reject(Outcome::kRejectedInvalid, *bad);
+      record_result(r.outcome, 0, false);
+      r.latency_ms = ms_since(start);
+      return r;
+    }
+    // Phase 1 (Eq. 3): hop features are a pure function of the AIG, cheap
+    // relative to the model and deterministic — run on the caller's thread.
+    const graph::Csr adj =
+        reasoning::to_graph(*request.aig).normalized_symmetric();
+    input = core::HopFeatures::compute(adj, reasoning::node_features(*request.aig),
+                                       model_.config().num_hops)
+                .gather_all();
+  } else {
+    input = request.hop_batch;
+  }
+
+  // Fault hook: a poisoned request models a corrupt client buffer. Poison a
+  // private copy — the caller's storage (shared) must stay intact.
+  if (fault::active() != nullptr) {
+    Tensor poisoned = input.clone();
+    if (fault::maybe_poison_request(poisoned)) input = poisoned;
+  }
+
+  // -- Validation: nothing unvalidated ever reaches a kernel ----------------
+  if (auto bad = validate::check_hop_batch(input, model_.config().num_hops,
+                                           model_.config().in_dim,
+                                           config_.max_request_nodes)) {
+    Response r = reject(Outcome::kRejectedInvalid, *bad);
+    record_result(r.outcome, 0, false);
+    r.latency_ms = ms_since(start);
+    return r;
+  }
+
+  // -- Circuit breaker: pick the path ---------------------------------------
+  bool is_probe = false;
+  bool degraded = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (breaker_ == BreakerState::kOpen && Clock::now() >= breaker_open_until_) {
+      breaker_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = false;
+    }
+    if (breaker_ == BreakerState::kHalfOpen && !probe_in_flight_) {
+      probe_in_flight_ = true;
+      is_probe = true;
+    } else if (breaker_ != BreakerState::kClosed) {
+      degraded = true;
+    }
+  }
+  if (degraded) {
+    Response r = execute_degraded(input, request.cache_key, deadline);
+    record_result(r.outcome, ms_since(start), false);
+    r.latency_ms = ms_since(start);
+    return r;
+  }
+
+  Response r = execute_full(input, deadline);
+  record_result(r.outcome, ms_since(start), is_probe);
+  if (r.outcome == Outcome::kServed && request.cache_key != 0) {
+    update_cache(request.cache_key, r.output);
+  }
+  r.latency_ms = ms_since(start);
+  return r;
+}
+
+Response InferenceService::execute_full(const Tensor& input,
+                                        Clock::time_point deadline) {
+  // Admission under mu_ so check-then-submit is atomic: concurrent clients
+  // cannot over-admit past queue_capacity.
+  auto job = std::make_shared<Job>();
+  TaskHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t depth = pool_->pending();
+    if (depth >= config_.queue_capacity) {
+      Response r = reject(Outcome::kRejectedOverload, "admission queue full");
+      r.retry_after_ms =
+          config_.retry_after_ms * static_cast<double>(depth + 1);
+      return r;
+    }
+    const std::int64_t n = input.size(0);
+    const std::int64_t node_batch = config_.node_batch;
+    const core::Hoga* model = &model_;
+    handle = pool_->submit_cancellable([job, input, n, node_batch, model] {
+      if (fault::Injector* inj = fault::active()) {
+        // A queue stall wedges the executor *non*-cooperatively (models a
+        // stuck worker); admissions pile up behind it.
+        const double stall = inj->queue_stall_ms();
+        if (stall > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(stall));
+        }
+        // A slow worker is cooperative: cancellation still observed.
+        const double delay = inj->request_delay_ms();
+        if (delay > 0 && !cooperative_sleep(delay, job->cancel)) return;
+      }
+      // HOGA inference is per-node independent (Eq. 3), so the batch splits
+      // into node chunks with a cancellation/deadline check between chunks.
+      const std::int64_t c = model->config().out_dim;
+      Tensor out({n, c});
+      for (std::int64_t lo = 0; lo < n; lo += node_batch) {
+        if (job->cancel.load(std::memory_order_relaxed)) return;
+        const std::int64_t hi = std::min(n, lo + node_batch);
+        Tensor part =
+            model->forward_eval(ag::constant(tensor_ops::slice_rows(input, lo, hi)))
+                .value();
+        std::copy(part.data(), part.data() + part.numel(),
+                  out.data() + lo * c);
+      }
+      job->output = out;
+    });
+  }
+
+  if (handle.future().wait_until(deadline) == std::future_status::ready) {
+    try {
+      handle.future().get();
+    } catch (const TaskCancelled&) {
+      return reject(Outcome::kTimedOut, "cancelled before execution");
+    } catch (const std::exception& e) {
+      return reject(Outcome::kFailed, e.what());
+    }
+    if (job->cancel.load()) {
+      return reject(Outcome::kTimedOut, "deadline expired");
+    }
+    Response r;
+    r.outcome = Outcome::kServed;
+    r.output = job->output;
+    return r;
+  }
+
+  // Deadline expired. Revoke if still queued; otherwise flag the running
+  // task to stop at its next check. Either way return *now* — the caller's
+  // latency stays bounded by the deadline even when a worker is wedged
+  // (`job` keeps the shared state alive for the straggler).
+  if (!handle.cancel()) job->cancel.store(true, std::memory_order_relaxed);
+  return reject(Outcome::kTimedOut, "deadline expired");
+}
+
+Response InferenceService::execute_degraded(const Tensor& input,
+                                            std::uint64_t cache_key,
+                                            Clock::time_point deadline) {
+  // Rung 1: last-good cached result for this logical query.
+  if (config_.cache_last_good && cache_key != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(cache_key);
+    if (it != cache_.end()) {
+      Response r;
+      r.outcome = Outcome::kDegradedCached;
+      r.output = it->second;
+      return r;
+    }
+  }
+  // Rung 2: same weights on a truncated hop prefix, evaluated inline on the
+  // calling thread — the sick executor is bypassed entirely.
+  const Tensor truncated = truncate_hops(input, config_.degraded_num_hops);
+  const std::int64_t n = truncated.size(0);
+  const std::int64_t c = model_.config().out_dim;
+  Tensor out({n, c});
+  for (std::int64_t lo = 0; lo < n; lo += config_.node_batch) {
+    if (Clock::now() >= deadline) {
+      return reject(Outcome::kTimedOut, "deadline expired (degraded path)");
+    }
+    const std::int64_t hi = std::min(n, lo + config_.node_batch);
+    Tensor part =
+        model_.forward_eval(ag::constant(tensor_ops::slice_rows(truncated, lo, hi)))
+            .value();
+    std::copy(part.data(), part.data() + part.numel(), out.data() + lo * c);
+  }
+  Response r;
+  r.outcome = Outcome::kDegradedTruncated;
+  r.output = out;
+  return r;
+}
+
+void InferenceService::record_result(Outcome outcome, double latency_ms,
+                                     bool was_probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (outcome) {
+    case Outcome::kServed: ++stats_.served; break;
+    case Outcome::kDegradedTruncated: ++stats_.degraded_truncated; break;
+    case Outcome::kDegradedCached: ++stats_.degraded_cached; break;
+    case Outcome::kRejectedInvalid: ++stats_.rejected_invalid; break;
+    case Outcome::kRejectedOverload: ++stats_.rejected_overload; break;
+    case Outcome::kTimedOut: ++stats_.timed_out; break;
+    case Outcome::kFailed: ++stats_.failed; break;
+  }
+  const bool completed = outcome == Outcome::kServed ||
+                         outcome == Outcome::kDegradedTruncated ||
+                         outcome == Outcome::kDegradedCached ||
+                         outcome == Outcome::kTimedOut ||
+                         outcome == Outcome::kFailed;
+  if (completed) stats_.latencies_ms.push_back(latency_ms);
+
+  // Breaker bookkeeping. Degraded outcomes and rejections are neutral:
+  // only full-path results move the state machine.
+  const bool failure =
+      outcome == Outcome::kTimedOut || outcome == Outcome::kFailed;
+  const bool success = outcome == Outcome::kServed;
+  if (was_probe) {
+    probe_in_flight_ = false;
+    if (success) {
+      breaker_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+    } else if (failure) {
+      breaker_ = BreakerState::kOpen;
+      breaker_open_until_ =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 config_.breaker_reset_ms));
+      ++stats_.breaker_trips;
+    }
+    return;
+  }
+  if (breaker_ != BreakerState::kClosed) return;
+  if (success) {
+    consecutive_failures_ = 0;
+  } else if (failure) {
+    if (++consecutive_failures_ >= config_.breaker_trip_failures) {
+      breaker_ = BreakerState::kOpen;
+      breaker_open_until_ =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 config_.breaker_reset_ms));
+      ++stats_.breaker_trips;
+      consecutive_failures_ = 0;
+    }
+  }
+}
+
+void InferenceService::update_cache(std::uint64_t cache_key,
+                                    const Tensor& output) {
+  if (!config_.cache_last_good || config_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(cache_key);
+  if (it != cache_.end()) {
+    it->second = output;
+    return;
+  }
+  cache_.emplace(cache_key, output);
+  cache_order_.push_back(cache_key);
+  while (cache_.size() > config_.cache_capacity) {
+    cache_.erase(cache_order_.front());
+    cache_order_.erase(cache_order_.begin());
+  }
+}
+
+}  // namespace hoga::serve

@@ -1,0 +1,173 @@
+#pragma once
+// hoga::serve — fault-tolerant in-process inference serving (DESIGN.md §8).
+//
+// HOGA's hop-wise decoupling (Eq. 3) makes per-request inference
+// embarrassingly parallel: a request is just a hop-feature batch, so any
+// number of requests can evaluate concurrently against one immutable model.
+// This runtime adds the robustness layer a production deployment needs on
+// top of that property:
+//
+//   - validated requests: every payload passes hoga::validate (shape, hop
+//     count, NaN/Inf scan, size caps) before it can reach a kernel —
+//     poisoned requests become kRejectedInvalid responses, never crashes
+//     and never wrong answers;
+//   - bounded admission queue with backpressure: when the executor queue is
+//     full, requests are rejected immediately with a retry-after hint
+//     instead of growing an unbounded backlog;
+//   - per-request deadlines with cooperative cancellation: execution checks
+//     the deadline between node batches; a request that cannot finish in
+//     time returns kTimedOut at ~the deadline instead of hogging a worker;
+//   - a circuit breaker: after `breaker_trip_failures` consecutive
+//     failures/timeouts the breaker opens and requests take the degraded
+//     ladder — a cached last-good result when available, otherwise the same
+//     weights evaluated on a K-truncated hop prefix (cheaper, Eq. 3 makes
+//     this legal) — until a half-open probe succeeds;
+//   - ServeStats: every outcome is counted, and for a fixed fault schedule
+//     the counts are deterministic (bench_serving proves it).
+//
+// Thread-safety: InferenceService is safe for concurrent infer() calls from
+// any number of client threads. The model must not be trained concurrently
+// (forward_eval shares the parameter tensors read-only).
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/hoga_model.hpp"
+#include "util/threadpool.hpp"
+
+namespace hoga::serve {
+
+struct ServeConfig {
+  std::size_t workers = 2;           // executor threads
+  std::size_t queue_capacity = 16;   // max queued (not yet running) requests
+  std::int64_t max_request_nodes = 65536;  // request size cap (validation)
+  std::int64_t node_batch = 1024;    // deadline-check granularity (nodes)
+  double default_deadline_ms = 1000; // used when a request passes 0
+  int breaker_trip_failures = 3;     // consecutive failures that open it
+  double breaker_reset_ms = 100;     // open -> half-open probe delay
+  int degraded_num_hops = 1;         // K' for the truncated fallback
+  bool cache_last_good = true;       // enable the cached-result rung
+  std::size_t cache_capacity = 1024; // last-good entries kept
+  double retry_after_ms = 5;         // backpressure hint per queued request
+};
+
+/// One inference request: either a precomputed hop-feature batch
+/// [B, k+1, d0] (k <= model K), or an AIG the service featurizes itself
+/// (phase 1 runs on the calling thread). Exactly one input must be set.
+struct Request {
+  Tensor hop_batch;
+  const aig::Aig* aig = nullptr;
+  /// Per-request deadline; 0 uses ServeConfig::default_deadline_ms.
+  double deadline_ms = 0;
+  /// Non-zero enables the cached-last-good degraded rung for this request
+  /// (the key identifies the logical query across retries).
+  std::uint64_t cache_key = 0;
+};
+
+enum class Outcome {
+  kServed,             // full model, within deadline
+  kDegradedTruncated,  // breaker open: K-truncated hop prefix served
+  kDegradedCached,     // breaker open: last-good cached result served
+  kRejectedInvalid,    // failed validation (client error)
+  kRejectedOverload,   // admission queue full (backpressure)
+  kTimedOut,           // deadline expired before completion
+  kFailed,             // internal execution error
+};
+const char* outcome_name(Outcome o);
+
+struct Response {
+  Outcome outcome = Outcome::kFailed;
+  /// Head outputs [B, out_dim]; defined only for kServed / kDegraded*.
+  Tensor output;
+  std::string error;       // reason for rejected/failed outcomes
+  double latency_ms = 0;   // request wall time as observed by the caller
+  double retry_after_ms = 0;  // backpressure hint (kRejectedOverload only)
+};
+
+/// Outcome counters plus completed-request latencies. For a fixed request
+/// sequence and fault schedule the counters are deterministic; latencies
+/// are wall-clock and are reported separately.
+struct ServeStats {
+  long long submitted = 0;
+  long long served = 0;
+  long long degraded_truncated = 0;
+  long long degraded_cached = 0;
+  long long rejected_invalid = 0;
+  long long rejected_overload = 0;
+  long long timed_out = 0;
+  long long failed = 0;
+  long long breaker_trips = 0;
+  std::vector<double> latencies_ms;  // kServed/kDegraded*/kTimedOut/kFailed
+
+  long long degraded() const { return degraded_truncated + degraded_cached; }
+  /// Latency percentile in ms over completed requests (q in [0, 100]).
+  double latency_percentile(double q) const;
+  /// The deterministic part, e.g. "served=9 degraded_truncated=1 ...".
+  std::string counts_signature() const;
+  /// Human-readable outcome table.
+  std::string to_string() const;
+};
+
+class InferenceService {
+ public:
+  /// The service borrows `model`; it must outlive the service and must not
+  /// be mutated (trained) while the service is live.
+  InferenceService(const core::Hoga& model, ServeConfig config);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Serves one request, blocking until a terminal outcome. Never throws
+  /// for bad input, overload, deadline, or execution failure — those are
+  /// encoded in the Response. Safe from any number of threads.
+  Response infer(const Request& request);
+
+  ServeStats stats() const;
+  void reset_stats();
+
+  /// True while the circuit breaker is open (requests take the degraded
+  /// ladder). Exposed for tests and the bench.
+  bool breaker_open() const;
+
+  /// Requests admitted but not yet picked up by a worker (the admission
+  /// queue depth that backpressure compares against queue_capacity).
+  std::size_t queue_depth() const;
+
+  /// Requests currently executing on a worker thread.
+  std::size_t active_requests() const;
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  struct Job;
+
+  Response execute_full(const Tensor& input,
+                        std::chrono::steady_clock::time_point deadline);
+  Response execute_degraded(const Tensor& input, std::uint64_t cache_key,
+                            std::chrono::steady_clock::time_point deadline);
+  void record_result(Outcome outcome, double latency_ms, bool was_probe);
+  void update_cache(std::uint64_t cache_key, const Tensor& output);
+
+  const core::Hoga& model_;
+  ServeConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  BreakerState breaker_ = BreakerState::kClosed;
+  bool probe_in_flight_ = false;
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_open_until_{};
+  ServeStats stats_;
+  std::unordered_map<std::uint64_t, Tensor> cache_;
+  std::vector<std::uint64_t> cache_order_;  // FIFO eviction
+};
+
+}  // namespace hoga::serve

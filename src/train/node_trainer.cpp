@@ -7,6 +7,7 @@
 #include "fault/fault.hpp"
 #include "tensor/ops.hpp"
 #include "util/timer.hpp"
+#include "validate/validate.hpp"
 
 namespace hoga::train {
 namespace {
@@ -26,17 +27,15 @@ std::vector<int> gather_labels(const std::vector<int>& labels,
   return out;
 }
 
+// Shared with the serving runtime: hoga::validate is the single source of
+// truth for what counts as well-formed labels/features (DESIGN.md §8).
 void check_label_preconditions(const char* name, std::int64_t num_nodes,
                                const std::vector<int>& labels,
                                const std::vector<float>& class_weights,
                                std::int64_t num_classes) {
-  HOGA_CHECK(labels.size() == static_cast<std::size_t>(num_nodes),
-             name << ": labels.size() (" << labels.size()
-                  << ") != number of nodes (" << num_nodes << ")");
-  HOGA_CHECK(class_weights.empty() ||
-                 class_weights.size() == static_cast<std::size_t>(num_classes),
-             name << ": class_weights.size() (" << class_weights.size()
-                  << ") != class count (" << num_classes << ")");
+  validate::require(
+      validate::check_labels(num_nodes, labels, class_weights, num_classes),
+      name);
 }
 
 /// backward + fault hook + clip + step, with non-finite detection. Returns
@@ -64,6 +63,9 @@ TrainLog train_hoga_node(core::Hoga& model, const core::HopFeatures& hops,
   const std::int64_t n = hops.num_nodes();
   check_label_preconditions("train_hoga_node", n, labels, cfg.class_weights,
                             model.config().out_dim);
+  validate::require(validate::check_hop_features(hops, model.config().num_hops,
+                                                 model.config().in_dim),
+                    "train_hoga_node");
   HOGA_CHECK(cfg.batch_size > 0, "train_hoga_node: batch_size must be > 0");
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
@@ -228,33 +230,20 @@ TrainLog train_saint_node(models::Gcn& model,
   return log;
 }
 
-Tensor predict_gcn(models::Gcn& m,
+Tensor predict_gcn(const models::Gcn& m,
                    std::shared_ptr<const graph::Csr> adj_norm,
                    const Tensor& features) {
-  Rng rng(0);
-  const bool was = m.training();
-  m.set_training(false);
-  Tensor out = m.forward(adj_norm, ag::constant(features), rng).value();
-  m.set_training(was);
-  return out;
+  return m.forward_eval(adj_norm, ag::constant(features)).value();
 }
 
-Tensor predict_sage(models::GraphSage& m,
+Tensor predict_sage(const models::GraphSage& m,
                     std::shared_ptr<const graph::Csr> adj_row,
                     const Tensor& features) {
-  Rng rng(0);
-  const bool was = m.training();
-  m.set_training(false);
-  Tensor out = m.forward(adj_row, ag::constant(features), rng).value();
-  m.set_training(was);
-  return out;
+  return m.forward_eval(adj_row, ag::constant(features)).value();
 }
 
-Tensor predict_sign(models::Sign& m, const core::HopFeatures& hops,
+Tensor predict_sign(const models::Sign& m, const core::HopFeatures& hops,
                     std::int64_t batch_size) {
-  Rng rng(0);
-  const bool was = m.training();
-  m.set_training(false);
   const Tensor flat = hops.flat();
   const std::int64_t n = flat.size(0);
   const std::int64_t c = m.config().out_dim;
@@ -262,11 +251,10 @@ Tensor predict_sign(models::Sign& m, const core::HopFeatures& hops,
   for (std::int64_t lo = 0; lo < n; lo += batch_size) {
     const std::int64_t hi = std::min(n, lo + batch_size);
     Tensor part =
-        m.forward(ag::constant(tensor_ops::slice_rows(flat, lo, hi)), rng)
+        m.forward_eval(ag::constant(tensor_ops::slice_rows(flat, lo, hi)))
             .value();
     std::copy(part.data(), part.data() + part.numel(), out.data() + lo * c);
   }
-  m.set_training(was);
   return out;
 }
 

@@ -64,14 +64,15 @@ TrainLog train_saint_node(models::Gcn& model,
                           const std::vector<int>& labels,
                           const NodeTrainConfig& cfg);
 
-// -- Inference helpers (no autograd; non-const: they toggle eval mode) ------
-Tensor predict_gcn(models::Gcn& model,
+// -- Inference helpers (no autograd; const and reentrant: they use the
+// models' forward_eval paths and never touch the train/eval flag) -----------
+Tensor predict_gcn(const models::Gcn& model,
                    std::shared_ptr<const graph::Csr> adj_norm,
                    const Tensor& features);
-Tensor predict_sage(models::GraphSage& model,
+Tensor predict_sage(const models::GraphSage& model,
                     std::shared_ptr<const graph::Csr> adj_row,
                     const Tensor& features);
-Tensor predict_sign(models::Sign& model, const core::HopFeatures& hops,
+Tensor predict_sign(const models::Sign& model, const core::HopFeatures& hops,
                     std::int64_t batch_size = 8192);
 
 }  // namespace hoga::train

@@ -72,7 +72,8 @@ ag::Variable QorModel::forward(const QorDesignInput& design,
         gcn_->forward(design.adj_norm, ag::constant(design.features), rng);
   } else {
     HOGA_CHECK(design.hops.has_value(), "QorModel: hop features missing");
-    hoga_->set_training(training());
+    // The HOGA child tracks this module's train/eval flag through
+    // Module::set_training's recursion — no per-forward toggle needed.
     node_reprs = hoga_->forward_repr(
         ag::constant(design.hops->gather_all()), rng);
   }
@@ -85,6 +86,29 @@ ag::Variable QorModel::forward(const QorDesignInput& design,
                   {1, config_.hidden});
   ag::Variable joint = ag::concat_cols({mean_pool, max_pool, recipe});
   return head_->forward(joint, rng);
+}
+
+ag::Variable QorModel::forward_eval(
+    const QorDesignInput& design,
+    const std::vector<std::int64_t>& recipe_tokens) const {
+  ag::Variable node_reprs;  // [n, hidden]
+  if (config_.backbone == QorBackbone::kGcn) {
+    node_reprs =
+        gcn_->forward_eval(design.adj_norm, ag::constant(design.features));
+  } else {
+    HOGA_CHECK(design.hops.has_value(), "QorModel: hop features missing");
+    node_reprs =
+        hoga_->forward_eval_repr(ag::constant(design.hops->gather_all()));
+  }
+  ag::Variable mean_pool =
+      ag::reshape(ag::mean_axis0(node_reprs), {1, config_.hidden});
+  ag::Variable max_pool =
+      ag::reshape(ag::max_axis0(node_reprs), {1, config_.hidden});
+  ag::Variable recipe =
+      ag::reshape(ag::mean_axis0(recipe_embedding_->forward(recipe_tokens)),
+                  {1, config_.hidden});
+  ag::Variable joint = ag::concat_cols({mean_pool, max_pool, recipe});
+  return head_->forward(joint);
 }
 
 QorTrainLog train_qor(QorModel& model,
@@ -154,12 +178,9 @@ QorTrainLog train_qor(QorModel& model,
   return log;
 }
 
-QorEval evaluate_qor(QorModel& m, const data::QorDataset& ds,
+QorEval evaluate_qor(const QorModel& m, const data::QorDataset& ds,
                      const std::vector<QorDesignInput>& inputs,
                      const std::vector<data::QorSample>& samples) {
-  Rng rng(0);
-  const bool was = m.training();
-  m.set_training(false);
   // Per-design truth/prediction lists over gate counts.
   std::vector<std::vector<double>> truth(ds.designs.size());
   std::vector<std::vector<double>> pred(ds.designs.size());
@@ -169,7 +190,7 @@ QorEval evaluate_qor(QorModel& m, const data::QorDataset& ds,
     const double init =
         static_cast<double>(ds.designs[di].initial_ands);
     const double predicted_ratio =
-        m.forward(inputs[di], sample.recipe.token_ids(), rng)
+        m.forward_eval(inputs[di], sample.recipe.token_ids())
             .value()
             .data()[0];
     const double predicted_gates = predicted_ratio * init;
@@ -179,7 +200,6 @@ QorEval evaluate_qor(QorModel& m, const data::QorDataset& ds,
     eval.scatter.emplace_back(true_gates, predicted_gates);
     eval.scatter_design.push_back(sample.design_index);
   }
-  m.set_training(was);
   double mape_sum = 0;
   int designs_counted = 0;
   for (std::size_t di = 0; di < ds.designs.size(); ++di) {

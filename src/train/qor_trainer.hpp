@@ -51,6 +51,12 @@ class QorModel : public nn::Module {
                        const std::vector<std::int64_t>& recipe_tokens,
                        Rng& rng) const;
 
+  /// Inference-only forward: no dropout, no RNG, no train/eval toggles —
+  /// reentrant for concurrent evaluation.
+  ag::Variable forward_eval(const QorDesignInput& design,
+                            const std::vector<std::int64_t>& recipe_tokens)
+      const;
+
   const QorModelConfig& config() const { return config_; }
 
  private:
@@ -94,7 +100,7 @@ struct QorEval {
   std::vector<int> scatter_design;  // design index per scatter point
 };
 
-QorEval evaluate_qor(QorModel& model, const data::QorDataset& ds,
+QorEval evaluate_qor(const QorModel& model, const data::QorDataset& ds,
                      const std::vector<QorDesignInput>& inputs,
                      const std::vector<data::QorSample>& samples);
 

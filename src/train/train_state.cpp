@@ -131,13 +131,19 @@ TrainState load_train_state(nn::Module& model, optim::Adam& opt, Rng& rng,
   std::istringstream header(text.substr(0, header_end));
   std::string magic, version;
   std::size_t payload_size = 0;
-  header >> magic >> version >> payload_size;
-  HOGA_CHECK(header.good() && magic == "hoga-ckpt",
+  // Magic and version are checked *before* the size field is parsed: a v1
+  // header is shorter, and parsing past its end would flip the stream's
+  // fail state and turn a clear version mismatch into "not a hoga-ckpt
+  // file".
+  header >> magic >> version;
+  HOGA_CHECK(!header.fail() && magic == "hoga-ckpt",
              "load_train_state: not a hoga-ckpt file");
-  HOGA_CHECK(version == "v2", "load_train_state: expected v2, found '"
-                                  << version
-                                  << "' (v1 files hold model weights only; "
-                                     "use nn::load_checkpoint)");
+  HOGA_CHECK(version == "v2",
+             "load_train_state: unsupported checkpoint version '"
+                 << version << "' (expected v2; v1 files hold model weights "
+                               "only — use nn::load_checkpoint)");
+  header >> payload_size;
+  HOGA_CHECK(!header.fail(), "load_train_state: bad payload size in header");
   const std::uint32_t expect_crc =
       static_cast<std::uint32_t>(get_hex(header, "header crc"));
   const std::string payload = text.substr(header_end + 1);

@@ -5,6 +5,14 @@
 
 namespace hoga {
 
+bool TaskHandle::cancel() {
+  if (!state_) return false;
+  int expected = 0;
+  return state_->compare_exchange_strong(expected, 2);
+}
+
+bool TaskHandle::cancelled() const { return state_ && state_->load() == 2; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -24,15 +32,37 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   auto fut = task.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
     tasks_.push(std::move(task));
+    ++queued_;
   }
   cv_.notify_one();
   return fut;
+}
+
+TaskHandle ThreadPool::submit_cancellable(std::function<void()> fn) {
+  TaskHandle handle;
+  handle.state_ = std::make_shared<std::atomic<int>>(0);
+  auto state = handle.state_;
+  // The claim (0 -> 1) races only against cancel's 0 -> 2: exactly one of
+  // "the callable runs" and "the future gets TaskCancelled" happens.
+  handle.future_ = submit([state, fn = std::move(fn)] {
+    int expected = 0;
+    if (!state->compare_exchange_strong(expected, 1)) {
+      throw TaskCancelled();
+    }
+    fn();
+  });
+  return handle;
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -71,11 +101,16 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
+      if (tasks_.empty()) return;  // stopping_ && drained
       task = std::move(tasks_.front());
       tasks_.pop();
+      --queued_;
+      ++active_;
     }
+    // packaged_task captures any exception into the shared state; a
+    // throwing task can never take a worker thread down.
     task();
+    --active_;
   }
 }
 

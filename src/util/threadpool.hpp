@@ -1,25 +1,75 @@
 #pragma once
 // Minimal fixed-size thread pool with a parallel_for helper.
 //
-// Used by tensor kernels and the data-parallel trainer. On a single-core
-// machine the pool degrades gracefully to serial execution; correctness does
-// not depend on real parallelism.
+// Used by tensor kernels, the data-parallel trainer, and the inference
+// serving runtime. On a single-core machine the pool degrades gracefully to
+// serial execution; correctness does not depend on real parallelism.
+//
+// Guarantees relied on by hoga::serve (DESIGN.md §8):
+//   - Exceptions thrown by a task are captured and rethrown from the
+//     returned future's get(), never swallowed and never fatal to a worker.
+//   - submit_cancellable() tasks can be revoked while still queued; a
+//     successful cancel means the callable will never run and the future
+//     completes with TaskCancelled. A task that already started cannot be
+//     revoked (cancellation of running work is cooperative, at a higher
+//     layer).
+//   - The destructor drains: every task already queued runs to completion
+//     (or is delivered as cancelled) before the workers join, so no future
+//     obtained from this pool is ever abandoned with no state.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace hoga {
 
+/// Delivered through the future of a task that was cancelled before it ran.
+struct TaskCancelled : std::runtime_error {
+  TaskCancelled() : std::runtime_error("task cancelled before execution") {}
+};
+
+/// Handle to a cancellable submission: the completion future plus a revoke
+/// switch. Default-constructed handles are empty (valid() == false).
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Revokes the task if it has not started. Returns true iff the callable
+  /// will never run; its future then throws TaskCancelled from get().
+  /// Returns false when the task is already running or finished.
+  bool cancel();
+
+  /// True once cancel() succeeded.
+  bool cancelled() const;
+
+  /// Completion future: value on success, the task's exception on failure,
+  /// TaskCancelled if revoked in time.
+  std::future<void>& future() { return future_; }
+
+ private:
+  friend class ThreadPool;
+  // 0 = queued, 1 = running/done, 2 = cancelled.
+  std::shared_ptr<std::atomic<int>> state_;
+  std::future<void> future_;
+};
+
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains the queue (runs or cancels-and-delivers every queued task),
+  /// then joins all workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -27,8 +77,21 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Tasks queued but not yet started (admission-queue depth for
+  /// backpressure decisions; running tasks are not counted).
+  std::size_t pending() const;
+
+  /// Tasks currently executing on a worker. Together with pending() this
+  /// gives the pool's in-flight total; serve's bench uses it to wait for a
+  /// request to actually occupy a worker rather than guessing with sleeps.
+  std::size_t active() const { return active_.load(); }
+
+  /// Enqueue a task; returns a future for its completion. Exceptions the
+  /// task throws are rethrown from future.get().
   std::future<void> submit(std::function<void()> fn);
+
+  /// Enqueue a task that can still be revoked while queued.
+  TaskHandle submit_cancellable(std::function<void()> fn);
 
   /// Run fn(i) for i in [0, n), partitioned into contiguous chunks across the
   /// pool. Blocks until all chunks complete. Exceptions from tasks are
@@ -43,8 +106,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::size_t queued_ = 0;
+  std::atomic<std::size_t> active_{0};
   bool stopping_ = false;
 };
 

@@ -1,0 +1,151 @@
+#include "validate/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/hop_features.hpp"
+#include "util/check.hpp"
+
+namespace hoga::validate {
+namespace {
+
+std::optional<std::string> fail(const std::ostringstream& os) {
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::string> check_finite(const Tensor& t, const char* what) {
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(p[i])) {
+      std::ostringstream os;
+      os << what << ": non-finite value " << p[i] << " at flat index " << i;
+      return fail(os);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_hop_batch(const Tensor& batch, int max_hops,
+                                           std::int64_t expected_dim,
+                                           std::int64_t max_nodes) {
+  if (batch.dim() != 3) {
+    std::ostringstream os;
+    os << "hop batch: expected rank 3 [B, k+1, d], got "
+       << shape_to_string(batch.shape());
+    return fail(os);
+  }
+  const std::int64_t b = batch.size(0);
+  const std::int64_t k = batch.size(1) - 1;
+  const std::int64_t d = batch.size(2);
+  if (b < 1) return std::string("hop batch: empty batch (B = 0)");
+  if (max_nodes > 0 && b > max_nodes) {
+    std::ostringstream os;
+    os << "hop batch: " << b << " nodes exceeds the request cap of "
+       << max_nodes;
+    return fail(os);
+  }
+  if (k < 1 || k > max_hops) {
+    std::ostringstream os;
+    os << "hop batch: hop count " << k << " outside [1, " << max_hops
+       << "] (model K = " << max_hops << "; truncation below K is legal, "
+       << "extension above it is not)";
+    return fail(os);
+  }
+  if (d != expected_dim) {
+    std::ostringstream os;
+    os << "hop batch: feature dim " << d << " != model input dim "
+       << expected_dim;
+    return fail(os);
+  }
+  return check_finite(batch, "hop batch");
+}
+
+std::optional<std::string> check_hop_features(const core::HopFeatures& hops,
+                                              int expected_hops,
+                                              std::int64_t expected_dim) {
+  if (hops.num_hops() != expected_hops) {
+    std::ostringstream os;
+    os << "hop features: K = " << hops.num_hops() << ", model expects K = "
+       << expected_hops;
+    return fail(os);
+  }
+  if (hops.feature_dim() != expected_dim) {
+    std::ostringstream os;
+    os << "hop features: dim " << hops.feature_dim()
+       << " != model input dim " << expected_dim;
+    return fail(os);
+  }
+  return check_finite(hops.stacked(), "hop features");
+}
+
+std::optional<std::string> check_labels(
+    std::int64_t num_nodes, const std::vector<int>& labels,
+    const std::vector<float>& class_weights, std::int64_t num_classes) {
+  if (labels.size() != static_cast<std::size_t>(num_nodes)) {
+    std::ostringstream os;
+    os << "labels: " << labels.size() << " labels for " << num_nodes
+       << " nodes";
+    return fail(os);
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0 || labels[i] >= num_classes) {
+      std::ostringstream os;
+      os << "labels: label " << labels[i] << " at node " << i
+         << " outside [0, " << num_classes << ")";
+      return fail(os);
+    }
+  }
+  if (!class_weights.empty() &&
+      class_weights.size() != static_cast<std::size_t>(num_classes)) {
+    std::ostringstream os;
+    os << "labels: " << class_weights.size() << " class weights for "
+       << num_classes << " classes";
+    return fail(os);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_aig(const aig::Aig& g,
+                                     std::int64_t max_nodes) {
+  if (g.num_nodes() < 1) return std::string("aig: missing constant-0 node");
+  if (max_nodes > 0 && g.num_nodes() > max_nodes) {
+    std::ostringstream os;
+    os << "aig: " << g.num_nodes() << " nodes exceeds the request cap of "
+       << max_nodes;
+    return fail(os);
+  }
+  const auto n = static_cast<aig::NodeId>(g.num_nodes());
+  for (aig::NodeId id = 0; id < n; ++id) {
+    const auto& node = g.node(id);
+    if (id == 0 && node.type != aig::NodeType::kConst0) {
+      return std::string("aig: node 0 is not the constant-0 node");
+    }
+    if (node.type == aig::NodeType::kAnd) {
+      for (const aig::Lit l : {node.fanin0, node.fanin1}) {
+        if (aig::lit_node(l) >= id) {
+          std::ostringstream os;
+          os << "aig: AND node " << id << " has fanin literal " << l
+             << " that does not precede it (topological order violated)";
+          return fail(os);
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < g.pos().size(); ++i) {
+    if (aig::lit_node(g.pos()[i]) >= n) {
+      std::ostringstream os;
+      os << "aig: PO " << i << " references literal " << g.pos()[i]
+         << " beyond the last node";
+      return fail(os);
+    }
+  }
+  return std::nullopt;
+}
+
+void require(std::optional<std::string> failure, const char* context) {
+  HOGA_CHECK(!failure.has_value(), context << ": " << *failure);
+}
+
+}  // namespace hoga::validate

@@ -1,0 +1,69 @@
+#pragma once
+// Shared input-validation layer (DESIGN.md §8).
+//
+// Both the training entry points and the serving runtime accept data from
+// outside the library — files, clients, other processes — and both must
+// reject malformed input *before* it reaches a kernel, where a bad shape
+// or a NaN turns into either a crash or a silently wrong answer. This
+// module centralizes those checks so the two stacks cannot drift apart.
+//
+// Two calling conventions:
+//   - `check_*` returns std::optional<std::string>: nullopt when valid,
+//     otherwise a precise human-readable reason. The serving runtime uses
+//     these to turn bad requests into kRejectedInvalid responses instead
+//     of exceptions on the hot path.
+//   - `require_*` wraps the same checks and throws std::runtime_error —
+//     the right shape for trainer preconditions (programmer errors).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::core {
+class HopFeatures;
+}
+
+namespace hoga::validate {
+
+/// Scans every element; reports the first NaN/Inf with its flat index.
+std::optional<std::string> check_finite(const Tensor& t, const char* what);
+
+/// A hop-feature batch as the serving runtime accepts it: rank 3
+/// [B, k+1, d0] with 1 <= B <= max_nodes, 1 <= k <= max_hops (hop
+/// truncation below the model's K is legal — the degraded serving path
+/// depends on it), d0 == expected_dim, and all elements finite.
+std::optional<std::string> check_hop_batch(const Tensor& batch,
+                                           int max_hops,
+                                           std::int64_t expected_dim,
+                                           std::int64_t max_nodes);
+
+/// Precomputed hop features offered to a trainer: exact hop count match
+/// (training never truncates) plus dimension and finiteness checks.
+std::optional<std::string> check_hop_features(const core::HopFeatures& hops,
+                                              int expected_hops,
+                                              std::int64_t expected_dim);
+
+/// Node-classification labels: one label per node, every label within
+/// [0, num_classes), and class_weights (when present) sized num_classes.
+std::optional<std::string> check_labels(std::int64_t num_nodes,
+                                        const std::vector<int>& labels,
+                                        const std::vector<float>& class_weights,
+                                        std::int64_t num_classes);
+
+/// AIG structural well-formedness: fanin literals reference earlier nodes
+/// (topological order), node types are consistent with their role, PO
+/// literals are in range, and the node count respects `max_nodes`
+/// (0 = no cap). Catches corrupt or adversarial netlists that parsed
+/// syntactically but would break downstream passes.
+std::optional<std::string> check_aig(const aig::Aig& g,
+                                     std::int64_t max_nodes = 0);
+
+/// Throwing wrappers for trainer preconditions: `context` prefixes the
+/// message (e.g. "train_hoga_node").
+void require(std::optional<std::string> failure, const char* context);
+
+}  // namespace hoga::validate

@@ -11,6 +11,7 @@
 
 #include "data/reasoning_dataset.hpp"
 #include "fault/fault.hpp"
+#include "nn/serialize.hpp"
 #include "reasoning/features.hpp"
 #include "train/node_trainer.hpp"
 #include "train/parallel.hpp"
@@ -191,6 +192,61 @@ TEST_F(FaultToleranceFixture, CorruptedTrainStateIsRejected) {
                std::runtime_error);
   // An intact checkpoint still loads after all the failed attempts.
   EXPECT_NO_THROW(load_train_state(model, opt, rng, text));
+}
+
+TEST_F(FaultToleranceFixture, VersionMismatchGivesClearMessage) {
+  Rng init(1);
+  core::Hoga model = make_hoga(init);
+  optim::Adam opt(model.parameters(), 1e-3f);
+  Rng rng(5);
+  // A v1 (weights-only) file fed to the TrainState loader must name the
+  // version problem, not fail as a generic parse/CRC error.
+  const std::string v1 = nn::save_checkpoint(model);
+  try {
+    load_train_state(model, opt, rng, v1);
+    FAIL() << "v1 file accepted by load_train_state";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported checkpoint version"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("v1"), std::string::npos)
+        << e.what();
+  }
+  // Future versions are refused by name as well.
+  try {
+    load_train_state(model, opt, rng, "hoga-ckpt v9 4 deadbeef\nxxxx");
+    FAIL() << "v9 file accepted by load_train_state";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported checkpoint version"),
+              std::string::npos)
+        << e.what();
+  }
+  // The reverse direction: a v2 TrainState file fed to the weights-only
+  // loader points at load_train_state.
+  TrainState st;
+  st.epoch = 1;
+  st.epoch_losses = {1.f};
+  const std::string v2 = save_train_state(model, opt, rng, st);
+  try {
+    nn::load_checkpoint(model, v2);
+    FAIL() << "v2 file accepted by load_checkpoint";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported checkpoint version"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("load_train_state"),
+              std::string::npos)
+        << e.what();
+  }
+  // Non-checkpoint garbage still reads as "not a hoga-ckpt file".
+  try {
+    load_train_state(model, opt, rng, "some random text\n");
+    FAIL() << "garbage accepted by load_train_state";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not a hoga-ckpt file"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(FaultToleranceFixture, HogaCheckpointResumeIsBitExact) {

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "aig/aiger.hpp"
 #include "aig/simulate.hpp"
 #include "circuits/multipliers.hpp"
 #include "core/hop_features.hpp"
+#include "fault/fault.hpp"
 #include "tensor/ops.hpp"
 #include "reasoning/features.hpp"
 #include "reasoning/labels.hpp"
@@ -17,6 +20,7 @@
 #include "synth/recipe.hpp"
 #include "synth/techmap.hpp"
 #include "util/rng.hpp"
+#include "validate/validate.hpp"
 
 namespace hoga {
 namespace {
@@ -78,8 +82,26 @@ TEST_P(RandomCircuitSweep, RandomRecipePreservesFunction) {
 
 TEST_P(RandomCircuitSweep, AigerRoundTrip) {
   const aig::Aig g = random_aig(GetParam() ^ 0x4242, 6, 40);
-  const aig::Aig parsed = aig::read_aiger(aig::write_aiger(g));
+  const std::string text = aig::write_aiger(g);
+  const aig::Aig parsed = aig::read_aiger(text);
   EXPECT_TRUE(aig::exhaustive_equivalent(g, parsed)) << GetParam();
+  // Interface shape survives the round trip exactly.
+  EXPECT_EQ(parsed.num_pis(), g.num_pis()) << GetParam();
+  EXPECT_EQ(parsed.num_pos(), g.num_pos()) << GetParam();
+  // One round trip canonicalizes the numbering; after that the text is a
+  // fixed point of write(read(.)).
+  EXPECT_EQ(aig::write_aiger(aig::read_aiger(text)), text) << GetParam();
+}
+
+TEST_P(RandomCircuitSweep, RandomAigsPassStructuralValidation) {
+  // Builder-produced AIGs are well-formed by construction, so check_aig
+  // must accept every one of them — and reject the same graph once the
+  // node-count cap is below its size.
+  const aig::Aig g = random_aig(GetParam() ^ 0x5151, 7, 50);
+  EXPECT_FALSE(validate::check_aig(g).has_value()) << GetParam();
+  const auto capped = validate::check_aig(g, g.num_nodes() - 1);
+  ASSERT_TRUE(capped.has_value()) << GetParam();
+  EXPECT_NE(capped->find("cap"), std::string::npos) << *capped;
 }
 
 TEST_P(RandomCircuitSweep, LabelsAreInvariantUnderStrash) {
@@ -115,6 +137,62 @@ TEST_P(RandomCircuitSweep, HopFeatureLinearity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitSweep,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+class FaultScheduleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultScheduleSweep, NthAttemptFiresExactlyOnceAtTheRightIndex) {
+  // Property: for ANY random schedule, an nth-attempt fault fires on
+  // exactly the scheduled attempt indices, exactly once each — querying
+  // past the schedule (a healed retry) never re-fires.
+  Rng rng(GetParam());
+  const int attempts = 30;
+  std::set<int> scheduled;
+  const int n_faults = 1 + static_cast<int>(rng.uniform_int(6));
+  while (static_cast<int>(scheduled.size()) < n_faults) {
+    scheduled.insert(static_cast<int>(rng.uniform_int(attempts)));
+  }
+
+  fault::Injector inj(GetParam());
+  for (int nth : scheduled) {
+    inj.fail_checkpoint_write(nth);
+    inj.fail_checkpoint_read(nth);
+    inj.corrupt_gradient_step(nth);
+    inj.poison_request(nth);
+    inj.delay_request(nth, 1.5);
+    inj.stall_queue(nth, 2.5);
+  }
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    const bool expect = scheduled.count(attempt) > 0;
+    EXPECT_EQ(inj.checkpoint_write_should_fail(), expect) << attempt;
+    EXPECT_EQ(inj.checkpoint_read_should_fail(), expect) << attempt;
+    EXPECT_EQ(inj.gradient_should_corrupt(), expect) << attempt;
+    EXPECT_EQ(inj.request_should_poison(), expect) << attempt;
+    EXPECT_EQ(inj.request_delay_ms(), expect ? 1.5 : 0.0) << attempt;
+    EXPECT_EQ(inj.queue_stall_ms(), expect ? 2.5 : 0.0) << attempt;
+  }
+  const auto& counts = inj.counts();
+  EXPECT_EQ(counts.checkpoint_write_errors, n_faults);
+  EXPECT_EQ(counts.checkpoint_read_errors, n_faults);
+  EXPECT_EQ(counts.gradient_corruptions, n_faults);
+  EXPECT_EQ(counts.poisoned_requests, n_faults);
+  EXPECT_EQ(counts.slow_requests, n_faults);
+  EXPECT_EQ(counts.queue_stalls, n_faults);
+}
+
+TEST_P(FaultScheduleSweep, ConsumedFaultsDoNotSurviveRescheduling) {
+  // Re-arming the same index after it fired makes it fire again — the
+  // consume-once semantics apply per schedule entry, not per index forever.
+  fault::Injector inj(GetParam());
+  inj.poison_request(0);
+  EXPECT_TRUE(inj.request_should_poison());   // submitted request 0
+  EXPECT_FALSE(inj.request_should_poison());  // request 1: nothing armed
+  inj.poison_request(2);
+  EXPECT_TRUE(inj.request_should_poison());   // request 2: re-armed
+  EXPECT_EQ(inj.counts().poisoned_requests, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleSweep,
+                         ::testing::Values(101, 202, 303, 404));
 
 // Passes never *increase* live gate count (except the explicitly
 // perturbation-oriented zero-cost variants and balance, which trades area

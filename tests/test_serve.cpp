@@ -1,0 +1,369 @@
+// Serving-runtime tests: request validation, correct answers (also under
+// concurrency), deadline timeouts, backpressure, circuit-breaker trips, the
+// degradation ladder, recovery, and deterministic outcome counts under a
+// scripted fault schedule (DESIGN.md §8).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "fault/fault.hpp"
+#include "reasoning/features.hpp"
+#include "serve/serve.hpp"
+#include "tensor/ops.hpp"
+
+namespace hoga::serve {
+namespace {
+
+core::HogaConfig small_config(std::int64_t in_dim = 4) {
+  return {.in_dim = in_dim,
+          .hidden = 8,
+          .num_hops = 3,
+          .num_layers = 1,
+          .out_dim = 3,
+          .dropout = 0.25f};  // non-zero on purpose: eval must ignore it
+}
+
+Tensor random_batch(std::int64_t nodes, const core::HogaConfig& cfg,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({nodes, cfg.num_hops + 1, cfg.in_dim}, rng);
+}
+
+aig::Aig random_aig(std::uint64_t seed, int inputs, int gates) {
+  Rng rng(seed);
+  aig::Aig g;
+  std::vector<aig::Lit> pool;
+  for (int i = 0; i < inputs; ++i) pool.push_back(g.add_pi());
+  for (int i = 0; i < gates; ++i) {
+    const aig::Lit a = aig::lit_not_if(pool[rng.uniform_int(pool.size())],
+                                       rng.bernoulli(0.5));
+    const aig::Lit b = aig::lit_not_if(pool[rng.uniform_int(pool.size())],
+                                       rng.bernoulli(0.5));
+    pool.push_back(g.add_and(a, b));
+  }
+  g.add_po(pool.back());
+  return g;
+}
+
+TEST(Serve, ServesValidBatchWithExactModelOutput) {
+  Rng rng(3);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 2});
+  const Tensor batch = random_batch(17, cfg, 5);
+
+  Response r = svc.infer({.hop_batch = batch});
+  ASSERT_EQ(r.outcome, Outcome::kServed) << r.error;
+  // Zero wrong answers: the served output IS the model's forward_eval.
+  const Tensor expect = model.forward_eval(ag::constant(batch)).value();
+  EXPECT_TRUE(Tensor::allclose(r.output, expect, 1e-5f));
+  EXPECT_GT(r.latency_ms, 0);
+  EXPECT_EQ(svc.stats().served, 1);
+  EXPECT_EQ(svc.stats().counts_signature(),
+            "submitted=1 served=1 degraded_truncated=0 degraded_cached=0 "
+            "rejected_invalid=0 rejected_overload=0 timed_out=0 failed=0 "
+            "breaker_trips=0");
+}
+
+TEST(Serve, ConcurrentClientsAllGetCorrectAnswers) {
+  Rng rng(4);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 3, .queue_capacity = 64});
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 8;
+  std::vector<Tensor> batches;
+  std::vector<Tensor> expected;
+  for (int i = 0; i < kClients; ++i) {
+    batches.push_back(random_batch(9 + i, cfg, 100 + i));
+    expected.push_back(model.forward_eval(ag::constant(batches.back())).value());
+  }
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      for (int j = 0; j < kPerClient; ++j) {
+        Response r = svc.infer({.hop_batch = batches[i]});
+        if (r.outcome != Outcome::kServed ||
+            !Tensor::allclose(r.output, expected[i], 1e-5f)) {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(svc.stats().served, kClients * kPerClient);
+}
+
+TEST(Serve, RejectsMalformedRequests) {
+  Rng rng(5);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1, .max_request_nodes = 32});
+
+  // Neither input set.
+  EXPECT_EQ(svc.infer({}).outcome, Outcome::kRejectedInvalid);
+  // Both inputs set.
+  const aig::Aig g = random_aig(1, 4, 10);
+  EXPECT_EQ(svc.infer({.hop_batch = random_batch(4, cfg, 1), .aig = &g}).outcome,
+            Outcome::kRejectedInvalid);
+  // Wrong rank.
+  EXPECT_EQ(svc.infer({.hop_batch = Tensor::zeros({4, cfg.in_dim})}).outcome,
+            Outcome::kRejectedInvalid);
+  // Wrong feature dim.
+  EXPECT_EQ(svc.infer({.hop_batch = Tensor::zeros({4, 4, cfg.in_dim + 1})})
+                .outcome,
+            Outcome::kRejectedInvalid);
+  // More hops than the model K.
+  EXPECT_EQ(
+      svc.infer({.hop_batch = Tensor::zeros({4, cfg.num_hops + 2, cfg.in_dim})})
+          .outcome,
+      Outcome::kRejectedInvalid);
+  // NaN payload.
+  Tensor bad = random_batch(4, cfg, 2);
+  bad.data()[3] = std::numeric_limits<float>::quiet_NaN();
+  Response r = svc.infer({.hop_batch = bad});
+  EXPECT_EQ(r.outcome, Outcome::kRejectedInvalid);
+  EXPECT_NE(r.error.find("non-finite"), std::string::npos) << r.error;
+  // Request size cap.
+  EXPECT_EQ(svc.infer({.hop_batch = random_batch(33, cfg, 3)}).outcome,
+            Outcome::kRejectedInvalid);
+  EXPECT_EQ(svc.stats().rejected_invalid, 7);
+  EXPECT_EQ(svc.stats().served, 0);
+}
+
+TEST(Serve, HopTruncatedBatchIsLegalInput) {
+  // A [B, k+1, d] batch with k < K is valid by hop-wise decoupling.
+  Rng rng(6);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1});
+  Rng data_rng(7);
+  const Tensor batch = Tensor::randn({5, 2, cfg.in_dim}, data_rng);
+  Response r = svc.infer({.hop_batch = batch});
+  ASSERT_EQ(r.outcome, Outcome::kServed) << r.error;
+  EXPECT_TRUE(Tensor::allclose(
+      r.output, model.forward_eval(ag::constant(batch)).value(), 1e-5f));
+}
+
+TEST(Serve, ServesRawAigRequest) {
+  Rng rng(8);
+  const auto cfg = small_config(reasoning::kNodeFeatureDim);
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1});
+  const aig::Aig g = random_aig(9, 5, 30);
+  Response r = svc.infer({.aig = &g});
+  ASSERT_EQ(r.outcome, Outcome::kServed) << r.error;
+  // Matches featurizing by hand and evaluating directly.
+  const graph::Csr adj = reasoning::to_graph(g).normalized_symmetric();
+  const Tensor batch = core::HopFeatures::compute(
+                           adj, reasoning::node_features(g), cfg.num_hops)
+                           .gather_all();
+  EXPECT_TRUE(Tensor::allclose(
+      r.output, model.forward_eval(ag::constant(batch)).value(), 1e-5f));
+
+  // A model whose input width is not the AIG feature width cannot take
+  // raw AIG requests.
+  Rng rng2(8);
+  core::Hoga narrow(small_config(4), rng2);
+  InferenceService svc2(narrow, {.workers = 1});
+  EXPECT_EQ(svc2.infer({.aig = &g}).outcome, Outcome::kRejectedInvalid);
+}
+
+TEST(Serve, PoisonedRequestIsRejectedNotCrashed) {
+  Rng rng(10);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1});
+  fault::Injector inj(1);
+  inj.poison_request(0);
+  fault::ScopedInjector scope(inj);
+  const Tensor batch = random_batch(6, cfg, 11);
+  Response r = svc.infer({.hop_batch = batch});
+  EXPECT_EQ(r.outcome, Outcome::kRejectedInvalid);
+  EXPECT_EQ(inj.counts().poisoned_requests, 1);
+  // The caller's buffer was not scribbled on — poisoning hits a copy.
+  EXPECT_TRUE(std::isfinite(batch.data()[0]));
+  // The next (unpoisoned) request with the same storage succeeds.
+  EXPECT_EQ(svc.infer({.hop_batch = batch}).outcome, Outcome::kServed);
+}
+
+TEST(Serve, DeadlineExpiryReturnsTimedOutPromptly) {
+  Rng rng(12);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1});
+  fault::Injector inj(2);
+  inj.delay_request(0, 2000);  // slow worker far beyond the deadline
+  fault::ScopedInjector scope(inj);
+  const auto start = std::chrono::steady_clock::now();
+  Response r = svc.infer({.hop_batch = random_batch(4, cfg, 13),
+                          .deadline_ms = 30});
+  const double waited = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  EXPECT_EQ(r.outcome, Outcome::kTimedOut);
+  // The caller gets the answer at ~the deadline, not after the 2s delay.
+  EXPECT_LT(waited, 1000);
+  EXPECT_GE(waited, 30);
+  EXPECT_EQ(svc.stats().timed_out, 1);
+}
+
+TEST(Serve, ZeroCapacityQueueRejectsWithRetryAfter) {
+  Rng rng(14);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1, .queue_capacity = 0});
+  Response r = svc.infer({.hop_batch = random_batch(4, cfg, 15)});
+  EXPECT_EQ(r.outcome, Outcome::kRejectedOverload);
+  EXPECT_GT(r.retry_after_ms, 0);
+  EXPECT_EQ(svc.stats().rejected_overload, 1);
+}
+
+TEST(Serve, StalledQueueTriggersBackpressure) {
+  Rng rng(16);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1,
+                               .queue_capacity = 1,
+                               .default_deadline_ms = 5000});
+  fault::Injector inj(3);
+  inj.stall_queue(0, 400);  // request 0 wedges the only worker
+  fault::ScopedInjector scope(inj);
+  const Tensor batch = random_batch(4, cfg, 17);
+
+  std::thread head([&] {
+    EXPECT_EQ(svc.infer({.hop_batch = batch}).outcome, Outcome::kServed);
+  });
+  // Wait for the head request to occupy the worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread queued([&] {
+    EXPECT_EQ(svc.infer({.hop_batch = batch}).outcome, Outcome::kServed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Queue is now full (1 queued behind the wedged head): backpressure.
+  Response r = svc.infer({.hop_batch = batch});
+  EXPECT_EQ(r.outcome, Outcome::kRejectedOverload);
+  EXPECT_GT(r.retry_after_ms, 0);
+  head.join();
+  queued.join();
+  EXPECT_EQ(inj.counts().queue_stalls, 1);
+}
+
+TEST(Serve, BreakerTripsThenDegradesThenRecovers) {
+  Rng rng(18);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1,
+                               .breaker_trip_failures = 2,
+                               .breaker_reset_ms = 80,
+                               .degraded_num_hops = 1});
+  fault::Injector inj(4);
+  inj.delay_request(0, 2000);
+  inj.delay_request(1, 2000);
+  fault::ScopedInjector scope(inj);
+  const Tensor batch = random_batch(7, cfg, 19);
+
+  // Two consecutive timeouts trip the breaker.
+  EXPECT_EQ(svc.infer({.hop_batch = batch, .deadline_ms = 25}).outcome,
+            Outcome::kTimedOut);
+  EXPECT_FALSE(svc.breaker_open());
+  EXPECT_EQ(svc.infer({.hop_batch = batch, .deadline_ms = 25}).outcome,
+            Outcome::kTimedOut);
+  EXPECT_TRUE(svc.breaker_open());
+  EXPECT_EQ(svc.stats().breaker_trips, 1);
+
+  // Open breaker: graceful degradation on the truncated hop prefix,
+  // computed inline — still a *correct* model output for hops 0..1.
+  Response d = svc.infer({.hop_batch = batch});
+  ASSERT_EQ(d.outcome, Outcome::kDegradedTruncated) << d.error;
+  Tensor prefix({batch.size(0), 2, batch.size(2)});
+  for (std::int64_t i = 0; i < batch.size(0); ++i) {
+    for (std::int64_t j = 0; j < 2 * batch.size(2); ++j) {
+      prefix.data()[i * 2 * batch.size(2) + j] =
+          batch.data()[i * batch.size(1) * batch.size(2) + j];
+    }
+  }
+  EXPECT_TRUE(Tensor::allclose(
+      d.output, model.forward_eval(ag::constant(prefix)).value(), 1e-5f));
+
+  // After the reset window a half-open probe goes through the healthy
+  // executor and closes the breaker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_EQ(svc.infer({.hop_batch = batch}).outcome, Outcome::kServed);
+  EXPECT_FALSE(svc.breaker_open());
+  EXPECT_EQ(svc.infer({.hop_batch = batch}).outcome, Outcome::kServed);
+}
+
+TEST(Serve, CachedLastGoodResultServedWhenBreakerOpen) {
+  Rng rng(20);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  InferenceService svc(model, {.workers = 1,
+                               .breaker_trip_failures = 1,
+                               .breaker_reset_ms = 60000});
+  const Tensor batch = random_batch(5, cfg, 21);
+
+  // Populate the last-good cache with a healthy serve.
+  Response good = svc.infer({.hop_batch = batch, .cache_key = 42});
+  ASSERT_EQ(good.outcome, Outcome::kServed) << good.error;
+
+  // One timeout trips the breaker (threshold 1).
+  {
+    fault::Injector inj(5);
+    inj.delay_request(0, 2000);
+    fault::ScopedInjector scope(inj);
+    EXPECT_EQ(svc.infer({.hop_batch = batch, .deadline_ms = 25}).outcome,
+              Outcome::kTimedOut);
+  }
+  ASSERT_TRUE(svc.breaker_open());
+
+  // Same logical query: the cached full-model answer beats recompute.
+  Response cached = svc.infer({.hop_batch = batch, .cache_key = 42});
+  ASSERT_EQ(cached.outcome, Outcome::kDegradedCached) << cached.error;
+  EXPECT_TRUE(Tensor::allclose(cached.output, good.output, 0.f));
+
+  // Unknown key falls through to the truncated rung.
+  EXPECT_EQ(svc.infer({.hop_batch = batch, .cache_key = 99}).outcome,
+            Outcome::kDegradedTruncated);
+}
+
+TEST(Serve, ScriptedFaultScheduleGivesDeterministicCounts) {
+  // The acceptance bar for the bench: same seed, same schedule, same
+  // request sequence => identical outcome counts.
+  auto run_once = [] {
+    Rng rng(22);
+    const auto cfg = small_config();
+    core::Hoga model(cfg, rng);
+    InferenceService svc(model, {.workers = 1,
+                                 .breaker_trip_failures = 2,
+                                 .breaker_reset_ms = 60000});
+    fault::Injector inj(6);
+    inj.poison_request(1);
+    inj.delay_request(1, 2000);  // executed request index shifts: poisoned
+    inj.delay_request(2, 2000);  // request never executes
+    fault::ScopedInjector scope(inj);
+    const Tensor batch = random_batch(6, cfg, 23);
+    for (int i = 0; i < 8; ++i) {
+      svc.infer({.hop_batch = batch, .deadline_ms = 25, .cache_key = 0});
+    }
+    return svc.stats().counts_signature();
+  };
+  const std::string first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_NE(first.find("rejected_invalid=1"), std::string::npos) << first;
+  EXPECT_NE(first.find("timed_out=2"), std::string::npos) << first;
+  EXPECT_NE(first.find("degraded_truncated=4"), std::string::npos) << first;
+  EXPECT_NE(first.find("breaker_trips=1"), std::string::npos) << first;
+}
+
+}  // namespace
+}  // namespace hoga::serve

@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
+#include <thread>
 
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -134,6 +136,92 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
 TEST(ThreadPool, ZeroItemsIsNoop) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SubmitPropagatesTaskException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("task boom"); });
+  try {
+    fut.get();
+    FAIL() << "expected the task's exception from future.get()";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task boom");
+  }
+  // The worker that ran the throwing task must survive to run more work.
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit([&count] { count++; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, CancelQueuedTaskNeverRuns) {
+  ThreadPool pool(1);
+  // Block the single worker so further submissions stay queued.
+  std::promise<void> started;
+  std::promise<void> gate;
+  auto blocker = pool.submit([&started, &gate] {
+    started.set_value();
+    gate.get_future().wait();
+  });
+  started.get_future().wait();  // worker has claimed the blocker
+  std::atomic<bool> ran{false};
+  TaskHandle handle = pool.submit_cancellable([&ran] { ran = true; });
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(pool.pending(), 1u);
+  EXPECT_TRUE(handle.cancel());
+  EXPECT_TRUE(handle.cancelled());
+  gate.set_value();
+  EXPECT_THROW(handle.future().get(), TaskCancelled);
+  EXPECT_FALSE(ran.load());
+  blocker.get();
+}
+
+TEST(ThreadPool, CancelAfterStartFails) {
+  ThreadPool pool(1);
+  std::promise<void> started;
+  std::promise<void> release;
+  TaskHandle handle = pool.submit_cancellable([&started, &release] {
+    started.set_value();
+    release.get_future().wait();
+  });
+  started.get_future().wait();
+  EXPECT_FALSE(handle.cancel());
+  EXPECT_FALSE(handle.cancelled());
+  release.set_value();
+  handle.future().get();  // completes normally, no TaskCancelled
+}
+
+TEST(ThreadPool, PendingCountsQueuedNotRunning) {
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  auto blocker = pool.submit([&gate] { gate.get_future().wait(); });
+  // Give the worker a moment to pop the blocker off the queue.
+  while (pool.pending() > 0) std::this_thread::yield();
+  EXPECT_EQ(pool.active(), 1u);  // the blocker occupies the only worker
+  auto a = pool.submit([] {});
+  auto b = pool.submit([] {});
+  EXPECT_EQ(pool.pending(), 2u);
+  gate.set_value();
+  a.get();
+  b.get();
+  blocker.get();
+  EXPECT_EQ(pool.pending(), 0u);
+  while (pool.active() > 0) std::this_thread::yield();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count++; });
+    }
+    // Destructor must run every queued task before joining.
+  }
+  EXPECT_EQ(count.load(), 20);
 }
 
 TEST(Table, FormatsAlignedColumns) {
