@@ -1,0 +1,268 @@
+// Feature-store benchmark (DESIGN.md §9): cold phase-1 precompute vs warm
+// store hits on a CSA-multiplier workload, the serve-path cache, and the
+// self-healing corruption paths. The smoke run doubles as a tier-1 test —
+// it fails loudly if any acceptance invariant is violated:
+//
+//   - a warm memory-tier hit is >= 10x faster than a cold compute (the
+//     store's reason to exist);
+//   - every cached result — memory hit, disk hit, post-corruption heal —
+//     is bit-exact against a direct HopFeatures::compute;
+//   - an injected corrupted shard is rejected by CRC, counted, and healed
+//     by recompute (the run completes; nothing crashes);
+//   - an injected shard-write failure degrades the store to memory-only
+//     and is counted;
+//   - two identical raw-AIG serve requests trigger exactly one precompute;
+//   - the same fault schedule reproduces the exact same store counters.
+//
+// Usage: bench_store [--smoke] [--full] [--seed=N]
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "circuits/multipliers.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "fault/fault.hpp"
+#include "reasoning/features.hpp"
+#include "reasoning/labels.hpp"
+#include "serve/serve.hpp"
+#include "store/feature_store.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hoga;
+
+namespace {
+
+bool bit_exact(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+/// Best-of-`repeats` wall time of `fn` in seconds.
+template <typename Fn>
+double best_seconds(int repeats, Fn&& fn) {
+  double best = 1e30;
+  for (int i = 0; i < repeats; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+struct ShardDir {
+  std::string path;
+  explicit ShardDir(const std::string& name)
+      : path("/tmp/hoga_bench_store_" + name) {
+    std::filesystem::remove_all(path);
+  }
+  ~ShardDir() { std::filesystem::remove_all(path); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const auto seed =
+      static_cast<std::uint64_t>(bench::int_option(argc, argv, "--seed", 7));
+  const bool smoke = !full;
+
+  std::puts("=== Feature store: cold vs warm hop-feature precompute ===");
+
+  // Workload: the mapped CSA-multiplier reasoning graph (the store's
+  // training-side consumer), K = 5 as in the paper's default config.
+  const int bits = smoke ? 16 : 48;
+  const int num_hops = 5;
+  Timer build_t;
+  const auto g = data::make_reasoning_graph("csa", bits, true);
+  std::printf("workload: mapped %d-bit CSA multiplier, %lld nodes, d = %lld, "
+              "K = %d (built in %s)\n",
+              bits, static_cast<long long>(g.features.size(0)),
+              static_cast<long long>(g.features.size(1)), num_hops,
+              format_duration(build_t.seconds()).c_str());
+
+  const core::HopFeatures reference =
+      core::HopFeatures::compute(*g.adj_hop, g.features, num_hops);
+
+  int violations = 0;
+  const auto require = [&violations](bool ok, const char* what) {
+    std::printf("%-56s %s\n", what, ok ? "ok" : "VIOLATED");
+    if (!ok) ++violations;
+  };
+
+  // -- Cold vs warm ----------------------------------------------------------
+  ShardDir dir("main");
+  store::FeatureStore fs({.directory = dir.path});
+
+  const int cold_repeats = smoke ? 3 : 5;
+  const int warm_repeats = smoke ? 50 : 200;
+  const double cold_s = best_seconds(cold_repeats, [&] {
+    core::HopFeatures::compute(*g.adj_hop, g.features, num_hops);
+  });
+
+  Tensor first;  // populates both tiers
+  fs.get_or_compute(*g.adj_hop, g.features, num_hops, nullptr);
+  first = fs.get_or_compute(*g.adj_hop, g.features, num_hops).stacked();
+
+  bool warm_exact = true;
+  const double memory_s = best_seconds(warm_repeats, [&] {
+    store::StoreOutcome from = store::StoreOutcome::kComputed;
+    const auto hit = fs.get_or_compute(*g.adj_hop, g.features, num_hops, &from);
+    if (from != store::StoreOutcome::kMemoryHit) warm_exact = false;
+    (void)hit;
+  });
+  warm_exact = warm_exact && bit_exact(first, reference.stacked());
+
+  // Disk tier in isolation: memory budget 0 forces every hit through the
+  // shard file (read + CRC + decode).
+  store::FeatureStore disk_fs(
+      {.directory = dir.path, .memory_budget_bytes = 0});
+  bool disk_exact = true;
+  const double disk_s = best_seconds(smoke ? 10 : 50, [&] {
+    store::StoreOutcome from = store::StoreOutcome::kComputed;
+    const auto hit =
+        disk_fs.get_or_compute(*g.adj_hop, g.features, num_hops, &from);
+    if (from != store::StoreOutcome::kDiskHit ||
+        !bit_exact(hit.stacked(), reference.stacked())) {
+      disk_exact = false;
+    }
+  });
+
+  Table table({"Path", "Best time", "Speedup vs cold"});
+  const auto timing_row = [&table, cold_s](const char* name, double s) {
+    table.row().cell(name).cell(format_duration(s)).cell(
+        s > 0 ? cold_s / s : 0.0);
+  };
+  timing_row("cold compute (K SpMM passes)", cold_s);
+  timing_row("warm memory-tier hit", memory_s);
+  timing_row("warm disk-tier hit (read+CRC+decode)", disk_s);
+  table.print();
+
+  // -- Serve path: raw-AIG requests against the LRU tier ---------------------
+  std::puts("\n-- serve path: repeated raw-AIG requests --");
+  const int serve_requests = smoke ? 8 : 64;
+  const auto circuit = circuits::make_csa_multiplier(smoke ? 8 : 16);
+  Rng model_rng(seed);
+  core::Hoga model(core::HogaConfig{.in_dim = reasoning::kNodeFeatureDim,
+                                    .hidden = 32,
+                                    .num_hops = 3,
+                                    .num_layers = 1,
+                                    .out_dim = reasoning::kNumClasses},
+                   model_rng);
+  store::FeatureStore serve_store({.directory = ""});  // LRU tier only
+  serve::InferenceService svc(
+      model, {.workers = 2, .feature_store = &serve_store});
+
+  Timer miss_t;
+  const serve::Response cold_r = svc.infer({.aig = &circuit.aig});
+  const double serve_miss_s = miss_t.seconds();
+  double serve_hit_s = 1e30;
+  long long serve_ok = cold_r.outcome == serve::Outcome::kServed ? 1 : 0;
+  for (int i = 1; i < serve_requests; ++i) {
+    Timer t;
+    const serve::Response r = svc.infer({.aig = &circuit.aig});
+    serve_hit_s = std::min(serve_hit_s, t.seconds());
+    if (r.outcome == serve::Outcome::kServed &&
+        bit_exact(r.output, cold_r.output)) {
+      ++serve_ok;
+    }
+  }
+  const auto serve_stats = svc.stats();
+  std::printf("first request (cache miss): %s, best hit request: %s\n",
+              format_duration(serve_miss_s).c_str(),
+              format_duration(serve_hit_s).c_str());
+  std::printf("serve counters: %s\n", serve_stats.counts_signature().c_str());
+  std::printf("store counters: %s\n",
+              serve_store.stats().counts_signature().c_str());
+
+  // -- Fault injection: corruption and write failure -------------------------
+  std::puts("\n-- fault injection --");
+  // Corrupted shard: CRC rejects, recompute heals, result stays bit-exact.
+  bool corrupt_healed = false;
+  long long corrupt_counted = 0;
+  {
+    fault::Injector inj(seed);
+    inj.corrupt_store_read(0);
+    fault::ScopedInjector scope(inj);
+    store::FeatureStore victim(
+        {.directory = dir.path, .memory_budget_bytes = 0});
+    store::StoreOutcome from = store::StoreOutcome::kMemoryHit;
+    const auto healed =
+        victim.get_or_compute(*g.adj_hop, g.features, num_hops, &from);
+    corrupt_healed = from == store::StoreOutcome::kComputed &&
+                     bit_exact(healed.stacked(), reference.stacked());
+    corrupt_counted = victim.stats().corrupt_shards;
+    std::printf("corrupted shard: %s\n",
+                victim.stats().counts_signature().c_str());
+  }
+  // Shard-write failure: swallowed, counted, memory tier still serves.
+  bool write_fail_served = false;
+  long long write_fail_counted = 0;
+  {
+    ShardDir broken("broken_disk");
+    fault::Injector inj(seed + 1);
+    inj.fail_store_write(0);
+    fault::ScopedInjector scope(inj);
+    store::FeatureStore victim({.directory = broken.path});
+    victim.get_or_compute(*g.adj_hop, g.features, num_hops);
+    store::StoreOutcome from = store::StoreOutcome::kComputed;
+    const auto hit =
+        victim.get_or_compute(*g.adj_hop, g.features, num_hops, &from);
+    write_fail_served = from == store::StoreOutcome::kMemoryHit &&
+                        bit_exact(hit.stacked(), reference.stacked());
+    write_fail_counted = victim.stats().write_errors;
+    std::printf("failed shard write: %s\n",
+                victim.stats().counts_signature().c_str());
+  }
+  // Determinism: the same schedule reproduces the same store counters.
+  auto injected_run = [&](std::uint64_t s) {
+    ShardDir scratch("determinism");
+    fault::Injector inj(s);
+    inj.fail_store_write(0);
+    inj.corrupt_store_read(0);
+    fault::ScopedInjector scope(inj);
+    store::FeatureStore victim({.directory = scratch.path});
+    victim.get_or_compute(*g.adj_hop, g.features, num_hops);  // write fails
+    victim.put({store::graph_digest(*g.adj_hop, g.features), num_hops},
+               reference);                                    // write lands
+    store::FeatureStore reader(
+        {.directory = scratch.path, .memory_budget_bytes = 0});
+    reader.get_or_compute(*g.adj_hop, g.features, num_hops);  // corrupt read
+    reader.get_or_compute(*g.adj_hop, g.features, num_hops);  // healed hit
+    return victim.stats().counts_signature() + " | " +
+           reader.stats().counts_signature();
+  };
+  const std::string sig_a = injected_run(seed);
+  const std::string sig_b = injected_run(seed);
+
+  // -- Acceptance checks -----------------------------------------------------
+  std::puts("\n-- acceptance checks --");
+  require(cold_s >= 10.0 * memory_s,
+          "warm memory-tier hit >= 10x faster than cold compute");
+  require(warm_exact, "memory-tier hits are bit-exact vs direct compute");
+  require(disk_exact, "disk-tier hits are bit-exact vs direct compute");
+  require(serve_ok == serve_requests && serve_stats.failed == 0,
+          "all raw-AIG serve requests answered identically");
+  require(serve_stats.feature_cache_misses == 1 &&
+              serve_stats.feature_cache_hits == serve_requests - 1 &&
+              serve_store.stats().computes == 1,
+          "repeated AIG requests cost exactly one precompute");
+  require(corrupt_healed && corrupt_counted == 1,
+          "corrupted shard rejected by CRC, healed by recompute");
+  require(write_fail_served && write_fail_counted == 1,
+          "shard-write failure swallowed; memory tier still serves");
+  require(sig_a == sig_b,
+          "same fault schedule reproduces the same store counters");
+
+  if (violations > 0) {
+    std::printf("\n%d acceptance check(s) VIOLATED\n", violations);
+    return 1;
+  }
+  std::puts("\nall acceptance checks passed");
+  return 0;
+}

@@ -4,6 +4,31 @@
 #include "util/check.hpp"
 
 namespace hoga::core {
+namespace {
+
+/// Runs the K propagation iterations of one adjacency (Eq. 3) and writes
+/// hop slice k into `stacked` at feature-column offset `d_offset`. The
+/// per-graph propagation state (`current`) is computed once here and passed
+/// through every hop — and writing straight into the destination slice is
+/// what lets compute_concat skip the per-adjacency [n, K+1, d] intermediate
+/// (and its second copy) that it used to materialize.
+void propagate_into(const graph::Csr& adj_norm, const Tensor& x, int num_hops,
+                    Tensor& stacked, std::int64_t d_offset) {
+  const std::int64_t n = x.size(0);
+  const std::int64_t d = x.size(1);
+  const std::int64_t k1 = num_hops + 1;
+  const std::int64_t d_total = stacked.size(2);
+  Tensor current = x;
+  for (int k = 0; k <= num_hops; ++k) {
+    if (k > 0) current = adj_norm.spmm(current);
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy(current.data() + i * d, current.data() + (i + 1) * d,
+                stacked.data() + (i * k1 + k) * d_total + d_offset);
+    }
+  }
+}
+
+}  // namespace
 
 HopFeatures HopFeatures::compute(const graph::Csr& adj_norm, const Tensor& x,
                                  int num_hops) {
@@ -14,18 +39,8 @@ HopFeatures HopFeatures::compute(const graph::Csr& adj_norm, const Tensor& x,
   hf.n_ = x.size(0);
   hf.d_ = x.size(1);
   hf.k_ = num_hops;
-  const std::int64_t k1 = num_hops + 1;
-  hf.stacked_ = Tensor({hf.n_, k1, hf.d_});
-
-  Tensor current = x;
-  for (int k = 0; k <= num_hops; ++k) {
-    if (k > 0) current = adj_norm.spmm(current);
-    // Interleave into [n, K+1, d] rows.
-    for (std::int64_t i = 0; i < hf.n_; ++i) {
-      std::copy(current.data() + i * hf.d_, current.data() + (i + 1) * hf.d_,
-                hf.stacked_.data() + (i * k1 + k) * hf.d_);
-    }
-  }
+  hf.stacked_ = Tensor({hf.n_, num_hops + 1, hf.d_});
+  propagate_into(adj_norm, x, num_hops, hf.stacked_, 0);
   return hf;
 }
 
@@ -33,29 +48,34 @@ HopFeatures HopFeatures::compute_concat(
     const std::vector<const graph::Csr*>& adjs, const Tensor& x,
     int num_hops) {
   HOGA_CHECK(!adjs.empty(), "compute_concat: no adjacencies");
-  std::vector<HopFeatures> parts;
-  parts.reserve(adjs.size());
-  for (const graph::Csr* a : adjs) {
-    parts.push_back(compute(*a, x, num_hops));
-  }
+  HOGA_CHECK(num_hops >= 1, "compute_concat: need at least 1 hop");
+  HOGA_CHECK(x.dim() == 2, "compute_concat: features must be rank 2");
+  const std::int64_t d0 = x.size(1);
   HopFeatures hf;
-  hf.n_ = parts[0].n_;
+  hf.n_ = x.size(0);
   hf.k_ = num_hops;
-  hf.d_ = parts[0].d_ * static_cast<std::int64_t>(parts.size());
-  const std::int64_t k1 = num_hops + 1;
-  const std::int64_t d0 = parts[0].d_;
-  hf.stacked_ = Tensor({hf.n_, k1, hf.d_});
-  for (std::int64_t i = 0; i < hf.n_; ++i) {
-    for (std::int64_t k = 0; k < k1; ++k) {
-      for (std::size_t p = 0; p < parts.size(); ++p) {
-        const float* src =
-            parts[p].stacked_.data() + (i * k1 + k) * d0;
-        std::copy(src, src + d0,
-                  hf.stacked_.data() + (i * k1 + k) * hf.d_ +
-                      static_cast<std::int64_t>(p) * d0);
-      }
-    }
+  hf.d_ = d0 * static_cast<std::int64_t>(adjs.size());
+  hf.stacked_ = Tensor({hf.n_, num_hops + 1, hf.d_});
+  for (std::size_t p = 0; p < adjs.size(); ++p) {
+    HOGA_CHECK(adjs[p] != nullptr && adjs[p]->num_nodes() == hf.n_,
+               "compute_concat: adjacency " << p << " mismatches features");
+    propagate_into(*adjs[p], x, num_hops, hf.stacked_,
+                   static_cast<std::int64_t>(p) * d0);
   }
+  return hf;
+}
+
+HopFeatures HopFeatures::from_stacked(Tensor stacked, int num_hops) {
+  HOGA_CHECK(num_hops >= 1, "from_stacked: need at least 1 hop");
+  HOGA_CHECK(stacked.dim() == 3 && stacked.size(1) == num_hops + 1,
+             "from_stacked: want shape [n, " << num_hops + 1 << ", d], got "
+                                             << shape_to_string(
+                                                    stacked.shape()));
+  HopFeatures hf;
+  hf.n_ = stacked.size(0);
+  hf.d_ = stacked.size(2);
+  hf.k_ = num_hops;
+  hf.stacked_ = std::move(stacked);
   return hf;
 }
 

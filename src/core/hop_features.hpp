@@ -23,10 +23,16 @@ class HopFeatures {
 
   /// Hop features propagated through several adjacency variants (e.g. the
   /// symmetric graph and the directed fanin cone), concatenated along the
-  /// feature axis: result dim = |matrices| * x.size(1).
+  /// feature axis: result dim = |matrices| * x.size(1). Each adjacency is
+  /// propagated once and written straight into its column slice of the
+  /// result — no per-adjacency [n, K+1, d] intermediate is materialized.
   static HopFeatures compute_concat(
       const std::vector<const graph::Csr*>& adjs, const Tensor& x,
       int num_hops);
+
+  /// Rebuilds from a previously-computed stacked tensor [n, K+1, d] — the
+  /// deserialization entry point of the feature store (hoga-feat shards).
+  static HopFeatures from_stacked(Tensor stacked, int num_hops);
 
   std::int64_t num_nodes() const { return n_; }
   std::int64_t feature_dim() const { return d_; }

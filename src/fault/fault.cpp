@@ -31,6 +31,12 @@ void Injector::poison_request(int nth) { poisoned_requests_.insert(nth); }
 
 void Injector::stall_queue(int nth, double ms) { queue_stalls_[nth] = ms; }
 
+void Injector::corrupt_store_read(int nth) {
+  store_read_corruptions_.insert(nth);
+}
+
+void Injector::fail_store_write(int nth) { store_write_fails_.insert(nth); }
+
 bool Injector::worker_should_fail(int epoch, int worker) {
   if (auto it = worker_kills_.find({epoch, worker});
       it != worker_kills_.end()) {
@@ -110,6 +116,29 @@ double Injector::queue_stall_ms() {
   return 0;
 }
 
+bool Injector::store_read_should_corrupt() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = store_reads_++;
+  if (auto it = store_read_corruptions_.find(n);
+      it != store_read_corruptions_.end()) {
+    store_read_corruptions_.erase(it);
+    ++counts_.store_shard_corruptions;
+    return true;
+  }
+  return false;
+}
+
+bool Injector::store_write_should_fail() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = store_writes_++;
+  if (auto it = store_write_fails_.find(n); it != store_write_fails_.end()) {
+    store_write_fails_.erase(it);
+    ++counts_.store_write_errors;
+    return true;
+  }
+  return false;
+}
+
 Injector* active() { return g_active; }
 
 ScopedInjector::ScopedInjector(Injector& injector) : previous_(g_active) {
@@ -154,6 +183,23 @@ bool maybe_poison_request(Tensor& payload) {
     payload.data()[0] = std::numeric_limits<float>::quiet_NaN();
   }
   return true;
+}
+
+bool maybe_corrupt_store_shard(std::string& bytes) {
+  Injector* inj = active();
+  if (!inj || !inj->store_read_should_corrupt()) return false;
+  if (!bytes.empty()) {
+    // Mid-buffer keeps the header parseable, so the corruption must be
+    // caught by the CRC, not by a lucky syntax error.
+    bytes[bytes.size() / 2] ^= 0x40;
+  }
+  return true;
+}
+
+void maybe_fail_store_write(const std::string& path) {
+  if (Injector* inj = active(); inj && inj->store_write_should_fail()) {
+    throw std::runtime_error("fault-injected shard write I/O error: " + path);
+  }
 }
 
 }  // namespace hoga::fault

@@ -44,6 +44,9 @@ struct Counts {
   int slow_requests = 0;
   int poisoned_requests = 0;
   int queue_stalls = 0;
+  // Feature-store faults (DESIGN.md §9).
+  int store_shard_corruptions = 0;
+  int store_write_errors = 0;
 };
 
 class Injector {
@@ -78,6 +81,15 @@ class Injector {
   /// pile up behind it and backpressure must kick in).
   void stall_queue(int nth, double ms);
 
+  // -- Feature-store schedule (DESIGN.md §9) ---------------------------------
+  /// The nth (0-based) shard read returns rotted bytes (one byte flipped in
+  /// the middle of the buffer) — the store's CRC must reject the shard and
+  /// fall back to recompute.
+  void corrupt_store_read(int nth);
+  /// The nth (0-based) shard write attempt raises an I/O error — the store
+  /// must swallow it (degrading to memory-only) and count it.
+  void fail_store_write(int nth);
+
   // -- Hot-path queries (count attempts internally) -------------------------
   bool worker_should_fail(int epoch, int worker);
   bool checkpoint_write_should_fail();
@@ -89,6 +101,10 @@ class Injector {
   bool request_should_poison();
   /// Queue-stall duration for this executed request in ms (0 = none).
   double queue_stall_ms();
+  /// True when this shard read's bytes should be corrupted.
+  bool store_read_should_corrupt();
+  /// True when this shard write attempt should fail.
+  bool store_write_should_fail();
 
   const Counts& counts() const { return counts_; }
 
@@ -98,11 +114,13 @@ class Injector {
   std::set<std::pair<int, int>> worker_kills_;
   std::set<int> write_fails_, read_fails_, grad_corruptions_;
   std::set<int> poisoned_requests_;
+  std::set<int> store_read_corruptions_, store_write_fails_;
   std::map<int, double> slow_requests_, queue_stalls_;
   int write_attempts_ = 0, read_attempts_ = 0, grad_steps_ = 0;
   int executed_requests_ = 0, submitted_requests_ = 0, stall_checks_ = 0;
-  // Serve-side queries run on pool workers; training-side queries stay
-  // single-threaded and lock-free.
+  int store_reads_ = 0, store_writes_ = 0;
+  // Serve-side and store-side queries run on pool workers / client threads;
+  // training-side queries stay single-threaded and lock-free.
   std::mutex serve_mu_;
   Counts counts_;
 };
@@ -137,5 +155,11 @@ void maybe_fail_checkpoint_read(const std::string& path);
 /// corrupt client buffer). Returns true if it fired. The caller must pass
 /// storage it owns — the hook mutates in place.
 bool maybe_poison_request(Tensor& payload);
+
+/// Store-side hooks (DESIGN.md §9): bit-rot a just-read shard buffer in
+/// place (flips one byte mid-buffer; returns true if it fired), and throw
+/// an injected I/O error on a scheduled shard write.
+bool maybe_corrupt_store_shard(std::string& bytes);
+void maybe_fail_store_write(const std::string& path);
 
 }  // namespace hoga::fault

@@ -8,13 +8,16 @@ ag::Variable spmm(std::shared_ptr<const Csr> a, const ag::Variable& x,
                   std::shared_ptr<const Csr> a_transposed) {
   HOGA_CHECK(a != nullptr, "spmm: null matrix");
   auto xn = x.node();
-  if (!a_transposed) {
-    // Safe default: materialize the transpose once at op construction so
-    // backward never mutates shared state.
-    a_transposed = std::make_shared<const Csr>(a->transposed());
-  }
   return ag::Variable::make_result(
-      a->spmm(x.value()), {xn}, [xn, a_transposed](ag::Node& n) {
+      a->spmm(x.value()), {xn}, [xn, a, a_transposed](ag::Node& n) mutable {
+        // The transpose is only ever needed by backward, so build it lazily
+        // inside the closure: inference-only forwards (forward_eval paths,
+        // the serving runtime) never pay for it. The closure owns the
+        // materialized transpose — no shared state is mutated, and a node's
+        // backward runs at most once per pass.
+        if (!a_transposed) {
+          a_transposed = std::make_shared<const Csr>(a->transposed());
+        }
         xn->accumulate_grad(a_transposed->spmm(n.grad));
       });
 }

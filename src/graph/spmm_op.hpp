@@ -11,9 +11,12 @@
 namespace hoga::graph {
 
 /// y = A x. `a` must outlive the backward pass (held by shared_ptr).
-/// If A is symmetric (GCN normalization) the transpose is reused implicitly;
-/// otherwise pass the precomputed transpose to avoid rebuilding it on every
-/// backward call.
+/// If A is symmetric (GCN normalization) pass `a` itself as the transpose;
+/// for asymmetric matrices used across many training steps, compute the
+/// transpose once per graph and pass it through (the trainers do). When
+/// omitted, the transpose is materialized lazily inside backward — so
+/// inference-only forwards never build it, but each training-step op that
+/// reaches backward without one rebuilds it.
 ag::Variable spmm(std::shared_ptr<const Csr> a, const ag::Variable& x,
                   std::shared_ptr<const Csr> a_transposed = nullptr);
 

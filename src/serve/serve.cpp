@@ -9,6 +9,8 @@
 #include "autograd/ops.hpp"
 #include "fault/fault.hpp"
 #include "reasoning/features.hpp"
+#include "store/digest.hpp"
+#include "store/feature_store.hpp"
 #include "tensor/ops.hpp"
 #include "validate/validate.hpp"
 
@@ -93,7 +95,9 @@ std::string ServeStats::counts_signature() const {
      << " rejected_invalid=" << rejected_invalid
      << " rejected_overload=" << rejected_overload
      << " timed_out=" << timed_out << " failed=" << failed
-     << " breaker_trips=" << breaker_trips;
+     << " breaker_trips=" << breaker_trips
+     << " feature_cache_hits=" << feature_cache_hits
+     << " feature_cache_misses=" << feature_cache_misses;
   return os.str();
 }
 
@@ -189,11 +193,33 @@ Response InferenceService::infer(const Request& request) {
     }
     // Phase 1 (Eq. 3): hop features are a pure function of the AIG, cheap
     // relative to the model and deterministic — run on the caller's thread.
-    const graph::Csr adj =
-        reasoning::to_graph(*request.aig).normalized_symmetric();
-    input = core::HopFeatures::compute(adj, reasoning::node_features(*request.aig),
-                                       model_.config().num_hops)
-                .gather_all();
+    // With a feature store configured, that purity makes them cacheable:
+    // key by the AIG's content digest so a repeated circuit skips phase 1
+    // entirely (graph construction included).
+    auto featurize = [this, &request] {
+      const graph::Csr adj =
+          reasoning::to_graph(*request.aig).normalized_symmetric();
+      return core::HopFeatures::compute(adj,
+                                        reasoning::node_features(*request.aig),
+                                        model_.config().num_hops);
+    };
+    if (config_.feature_store != nullptr) {
+      const store::FeatureKey key{store::aig_digest(*request.aig),
+                                  model_.config().num_hops};
+      store::StoreOutcome from = store::StoreOutcome::kComputed;
+      input = config_.feature_store
+                  ->get_or_compute(key, model_.config().in_dim, featurize,
+                                   &from)
+                  .gather_all();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (from == store::StoreOutcome::kComputed) {
+        ++stats_.feature_cache_misses;
+      } else {
+        ++stats_.feature_cache_hits;
+      }
+    } else {
+      input = featurize().gather_all();
+    }
   } else {
     input = request.hop_batch;
   }

@@ -41,6 +41,10 @@
 #include "core/hoga_model.hpp"
 #include "util/threadpool.hpp"
 
+namespace hoga::store {
+class FeatureStore;
+}
+
 namespace hoga::serve {
 
 struct ServeConfig {
@@ -55,6 +59,11 @@ struct ServeConfig {
   bool cache_last_good = true;       // enable the cached-result rung
   std::size_t cache_capacity = 1024; // last-good entries kept
   double retry_after_ms = 5;         // backpressure hint per queued request
+  /// Optional hop-feature store (DESIGN.md §9), borrowed — must outlive the
+  /// service. Raw-AIG requests consult it (keyed by the AIG's content
+  /// digest) before running phase-1 featurization, turning repeated-circuit
+  /// traffic into cache hits; null keeps the old recompute-per-request path.
+  store::FeatureStore* feature_store = nullptr;
 };
 
 /// One inference request: either a precomputed hop-feature batch
@@ -103,6 +112,10 @@ struct ServeStats {
   long long timed_out = 0;
   long long failed = 0;
   long long breaker_trips = 0;
+  /// Raw-AIG featurization resolved from / missed in the feature store
+  /// (both zero when no store is configured or no AIG requests arrived).
+  long long feature_cache_hits = 0;
+  long long feature_cache_misses = 0;
   std::vector<double> latencies_ms;  // kServed/kDegraded*/kTimedOut/kFailed
 
   long long degraded() const { return degraded_truncated + degraded_cached; }

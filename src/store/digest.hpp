@@ -1,0 +1,57 @@
+#pragma once
+// Content digests for the feature store (DESIGN.md §9).
+//
+// The store is content-addressed: a cached hop-feature tensor is keyed by a
+// deterministic 64-bit digest of everything that determines its value — the
+// graph structure (CSR arrays, edge weights) and the raw node features. Two
+// runs over the same circuit therefore hash to the same shard, across
+// processes and across time, with no registry or naming convention needed.
+//
+// The hash is FNV-1a folded over 8-byte words — four independent lanes on
+// large buffers, so the fold is not serialized on the multiply's latency —
+// with a splitmix64 finalizer. This keeps digesting far cheaper than the
+// SpMM propagation it guards (a byte-wise FNV would cost a noticeable
+// fraction of a cold compute); the finalizer and the per-lane mixing break
+// up FNV's weak low-bit diffusion. This
+// is an integrity-adjacent fingerprint, not a cryptographic hash — shards
+// additionally carry a CRC32 so corruption is caught independently.
+
+#include <cstdint>
+#include <cstring>
+
+#include "aig/aig.hpp"
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::store {
+
+class Digest {
+ public:
+  /// Folds `bytes` raw bytes into the digest (word-at-a-time FNV-1a).
+  Digest& update(const void* data, std::size_t bytes);
+
+  /// Folds one trivially-copyable value (its object representation).
+  template <typename T>
+  Digest& update_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return update(&v, sizeof(T));
+  }
+
+  /// Finalized digest (mixing pass over the accumulated state).
+  std::uint64_t value() const;
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;  // FNV-1a 64 offset basis
+};
+
+/// Digest of (adjacency, raw features): the content key of a precomputed
+/// hop-feature set. Covers node count, CSR structure, edge weights, feature
+/// shape, and feature values.
+std::uint64_t graph_digest(const graph::Csr& adj, const Tensor& x);
+
+/// Digest of an AIG's structure (nodes, fanins, PIs, POs). The serving
+/// runtime keys raw-AIG requests by this: hop features are a pure function
+/// of the AIG (Eq. 3), so equal digests mean equal features.
+std::uint64_t aig_digest(const aig::Aig& g);
+
+}  // namespace hoga::store

@@ -1,0 +1,342 @@
+#include "store/feature_store.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/io.hpp"
+#include "validate/validate.hpp"
+
+namespace hoga::store {
+namespace {
+
+// Fixed per-entry overhead charged against the memory budget on top of the
+// tensor payload (map node, LRU node, bookkeeping).
+constexpr std::size_t kEntryOverheadBytes = 128;
+
+std::size_t entry_bytes(const core::HopFeatures& hops) {
+  return static_cast<std::size_t>(hops.stacked().numel()) * sizeof(float) +
+         kEntryOverheadBytes;
+}
+
+void append_raw(std::string& out, const void* data, std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+template <typename T>
+void append_value(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  append_raw(out, &v, sizeof(T));
+}
+
+template <typename T>
+bool read_value(const std::string& in, std::size_t& off, T* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (off + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+std::optional<core::HopFeatures> reject(std::string* why, std::string reason) {
+  if (why) *why = std::move(reason);
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* outcome_name(StoreOutcome o) {
+  switch (o) {
+    case StoreOutcome::kMemoryHit: return "memory_hit";
+    case StoreOutcome::kDiskHit: return "disk_hit";
+    case StoreOutcome::kComputed: return "computed";
+  }
+  return "unknown";
+}
+
+std::string StoreStats::counts_signature() const {
+  std::ostringstream os;
+  os << "lookups=" << lookups << " memory_hits=" << memory_hits
+     << " disk_hits=" << disk_hits << " misses=" << misses
+     << " config_mismatches=" << config_mismatches
+     << " computes=" << computes << " shard_writes=" << shard_writes
+     << " write_errors=" << write_errors
+     << " corrupt_shards=" << corrupt_shards << " evictions=" << evictions;
+  return os.str();
+}
+
+std::string FeatureKey::shard_name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx-k%d.feat",
+                static_cast<unsigned long long>(content), num_hops);
+  return buf;
+}
+
+std::string encode_shard(const FeatureKey& key,
+                         const core::HopFeatures& hops) {
+  HOGA_CHECK(hops.num_hops() == key.num_hops,
+             "encode_shard: features have K = " << hops.num_hops()
+                                                << ", key says K = "
+                                                << key.num_hops);
+  std::string payload;
+  payload.reserve(32 + static_cast<std::size_t>(hops.stacked().numel()) *
+                           sizeof(float));
+  append_value(payload, key.content);
+  append_value(payload, static_cast<std::int32_t>(key.num_hops));
+  append_value(payload, hops.num_nodes());
+  append_value(payload, hops.feature_dim());
+  if (hops.stacked().numel() > 0) {
+    append_raw(payload, hops.stacked().data(),
+               static_cast<std::size_t>(hops.stacked().numel()) *
+                   sizeof(float));
+  }
+  std::ostringstream os;
+  os << "hoga-feat v1 " << payload.size() << ' ' << std::hex
+     << util::crc32(payload) << std::dec << '\n';
+  return os.str() + payload;
+}
+
+std::optional<core::HopFeatures> decode_shard(const std::string& bytes,
+                                              const FeatureKey& expect,
+                                              std::string* why) {
+  const std::size_t header_end = bytes.find('\n');
+  if (header_end == std::string::npos) {
+    return reject(why, "missing header line");
+  }
+  std::istringstream header(bytes.substr(0, header_end));
+  std::string magic, version;
+  header >> magic >> version;
+  if (header.fail() || magic != "hoga-feat") {
+    return reject(why, "not a hoga-feat shard");
+  }
+  if (version != "v1") {
+    return reject(why, "unsupported shard version '" + version + "'");
+  }
+  std::size_t payload_size = 0;
+  header >> payload_size;
+  if (header.fail()) return reject(why, "bad payload size in header");
+  std::uint64_t expect_crc = 0;
+  header >> std::hex >> expect_crc;
+  if (header.fail() || expect_crc > 0xFFFFFFFFull) {
+    return reject(why, "bad crc in header");
+  }
+  const std::string_view payload(bytes.data() + header_end + 1,
+                                 bytes.size() - header_end - 1);
+  if (payload.size() != payload_size) {
+    std::ostringstream os;
+    os << "payload is " << payload.size() << " bytes, header declares "
+       << payload_size << " (truncated write?)";
+    return reject(why, os.str());
+  }
+  if (util::crc32(payload) != static_cast<std::uint32_t>(expect_crc)) {
+    return reject(why, "CRC mismatch (corrupted shard)");
+  }
+
+  const std::string body(payload);
+  std::size_t off = 0;
+  std::uint64_t content = 0;
+  std::int32_t num_hops = 0;
+  std::int64_t n = 0, d = 0;
+  if (!read_value(body, off, &content) || !read_value(body, off, &num_hops) ||
+      !read_value(body, off, &n) || !read_value(body, off, &d)) {
+    return reject(why, "truncated shard fields");
+  }
+  if (content != expect.content) {
+    return reject(why, "content digest mismatch (renamed or aliased shard)");
+  }
+  if (num_hops != expect.num_hops) {
+    std::ostringstream os;
+    os << "shard has K = " << num_hops << ", requested K = "
+       << expect.num_hops;
+    return reject(why, os.str());
+  }
+  if (num_hops < 1 || n < 0 || d < 0) {
+    return reject(why, "implausible shard dimensions");
+  }
+  const std::int64_t numel = n * (num_hops + 1) * d;
+  if (body.size() - off !=
+      static_cast<std::size_t>(numel) * sizeof(float)) {
+    return reject(why, "shard data size disagrees with its dimensions");
+  }
+  Tensor stacked({n, num_hops + 1, d});
+  if (numel > 0) {
+    std::memcpy(stacked.data(), body.data() + off,
+                static_cast<std::size_t>(numel) * sizeof(float));
+  }
+  return core::HopFeatures::from_stacked(std::move(stacked), num_hops);
+}
+
+FeatureStore::FeatureStore(StoreConfig config) : config_(std::move(config)) {
+  if (!config_.directory.empty()) {
+    std::filesystem::create_directories(config_.directory);
+  }
+}
+
+std::string FeatureStore::shard_path(const FeatureKey& key) const {
+  if (config_.directory.empty()) return {};
+  return (std::filesystem::path(config_.directory) / key.shard_name())
+      .string();
+}
+
+void FeatureStore::insert_memory_locked(std::uint64_t content,
+                                        const core::HopFeatures& hops) {
+  if (config_.memory_budget_bytes == 0) return;
+  const std::size_t bytes = entry_bytes(hops);
+  if (auto it = entries_.find(content); it != entries_.end()) {
+    memory_bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  if (bytes > config_.memory_budget_bytes) return;  // would never fit
+  while (memory_bytes_ + bytes > config_.memory_budget_bytes &&
+         !lru_.empty()) {
+    const std::uint64_t victim = lru_.front();
+    lru_.pop_front();
+    auto it = entries_.find(victim);
+    memory_bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+  lru_.push_back(content);
+  entries_.emplace(content,
+                   Entry{hops, bytes, std::prev(lru_.end())});
+  memory_bytes_ += bytes;
+}
+
+std::optional<core::HopFeatures> FeatureStore::lookup(
+    const FeatureKey& key, std::int64_t expected_dim, StoreOutcome* outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    if (auto it = entries_.find(key.content); it != entries_.end()) {
+      // Re-validate the hit against the *requesting* config. Metadata-only
+      // (O(1)): the data was validated when it entered the cache, and the
+      // persistent tier is CRC-guarded — a full finite scan here would cost
+      // as much as the SpMM propagation the cache exists to avoid.
+      if (!validate::check_hop_config(it->second.hops, key.num_hops,
+                                      expected_dim)) {
+        lru_.splice(lru_.end(), lru_, it->second.lru_it);  // touch
+        ++stats_.memory_hits;
+        if (outcome) *outcome = StoreOutcome::kMemoryHit;
+        return it->second.hops;
+      }
+      // Same graph, different K or dim: a miss, never an error — the
+      // recompute below replaces this entry with the requested config.
+      ++stats_.config_mismatches;
+    }
+  }
+
+  if (!config_.directory.empty()) {
+    std::string bytes;
+    bool have_shard = true;
+    try {
+      bytes = util::read_file(shard_path(key));
+    } catch (const std::exception&) {
+      have_shard = false;  // no shard (or unreadable): plain miss
+    }
+    if (have_shard) {
+      fault::maybe_corrupt_store_shard(bytes);
+      std::string why;
+      auto hops = decode_shard(bytes, key, &why);
+      const bool config_ok =
+          hops.has_value() &&
+          !validate::check_hop_config(*hops, key.num_hops, expected_dim);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (config_ok) {
+        insert_memory_locked(key.content, *hops);
+        ++stats_.disk_hits;
+        if (outcome) *outcome = StoreOutcome::kDiskHit;
+        return hops;
+      }
+      if (!hops.has_value()) {
+        // CRC/format rejection: count it and fall through to recompute —
+        // a rotted shard must never crash a trainer or the serving path.
+        ++stats_.corrupt_shards;
+      } else {
+        ++stats_.config_mismatches;
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+core::HopFeatures FeatureStore::get_or_compute(
+    const FeatureKey& key, std::int64_t expected_dim,
+    const std::function<core::HopFeatures()>& compute,
+    StoreOutcome* outcome) {
+  if (auto hit = lookup(key, expected_dim, outcome)) return *std::move(hit);
+  if (outcome) *outcome = StoreOutcome::kComputed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.computes;
+  }
+  core::HopFeatures hops = compute();
+  HOGA_CHECK(hops.num_hops() == key.num_hops,
+             "FeatureStore: compute returned K = " << hops.num_hops()
+                                                   << " for a key with K = "
+                                                   << key.num_hops);
+  put(key, hops);
+  return hops;
+}
+
+core::HopFeatures FeatureStore::get_or_compute(const graph::Csr& adj_norm,
+                                               const Tensor& x, int num_hops,
+                                               StoreOutcome* outcome) {
+  const FeatureKey key{graph_digest(adj_norm, x), num_hops};
+  return get_or_compute(
+      key, x.size(1),
+      [&] { return core::HopFeatures::compute(adj_norm, x, num_hops); },
+      outcome);
+}
+
+void FeatureStore::put(const FeatureKey& key, const core::HopFeatures& hops) {
+  HOGA_CHECK(hops.num_hops() == key.num_hops,
+             "FeatureStore::put: features have K = "
+                 << hops.num_hops() << ", key says K = " << key.num_hops);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    insert_memory_locked(key.content, hops);
+  }
+  if (config_.directory.empty()) return;
+  const std::string path = shard_path(key);
+  try {
+    fault::maybe_fail_store_write(path);
+    util::atomic_write_file(path, encode_shard(key, hops));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shard_writes;
+  } catch (const std::exception&) {
+    // A failed shard write degrades the store to memory-only for this key;
+    // the features themselves are already in hand and in the LRU tier.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_errors;
+  }
+}
+
+StoreStats FeatureStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FeatureStore::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = StoreStats{};
+}
+
+std::size_t FeatureStore::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_bytes_;
+}
+
+std::size_t FeatureStore::memory_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace hoga::store

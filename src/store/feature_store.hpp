@@ -1,0 +1,171 @@
+#pragma once
+// hoga::store — persistent content-addressed hop-feature store (DESIGN.md §9).
+//
+// HOGA's scalability rests on computing hop-wise features ONCE per graph
+// (phase 1, Eq. 3) and reusing them forever; until now every trainer run and
+// every raw-AIG serve request recomputed them from scratch. The store makes
+// the "once" literal across processes:
+//
+//   - keys are content digests of (graph structure, raw features) plus the
+//     hop count K — no naming convention, no cache invalidation: a changed
+//     circuit is simply a different key;
+//   - two tiers: an in-memory LRU with a configurable byte budget (the serve
+//     hot path), and a persistent tier of one shard file per key in the
+//     `hoga-feat` v1 binary format (magic, version, sized header, CRC32 over
+//     the payload, atomic rename-on-write — the hoga-ckpt v2 conventions);
+//   - cache hits are re-validated against the *requesting* model config: a
+//     K or feature-dim mismatch is a miss that falls back to recompute,
+//     never an error (the re-validation is metadata-only, so hits stay O(1)
+//     plus a shared-storage tensor copy);
+//   - corruption is contained: a truncated or bit-flipped shard fails CRC,
+//     is counted in StoreStats, and falls back to recompute — which then
+//     rewrites the shard (self-healing). Persistent-tier write failures are
+//     swallowed and counted: a broken disk degrades the store to
+//     memory-only, it never takes down a trainer or the serving runtime.
+//   - `hoga::fault` I/O hooks cover both failure modes deterministically
+//     (corrupt_store_read / fail_store_write).
+//
+// Thread-safety: all public methods are safe from any number of threads.
+// Misses release the lock during compute and file I/O, so two threads
+// missing the same key may both compute; the second insert wins (both are
+// bit-identical — compute is deterministic). Callers must treat returned
+// HopFeatures as immutable: tensors share storage with the cache.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/hop_features.hpp"
+#include "graph/csr.hpp"
+#include "store/digest.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::store {
+
+struct StoreConfig {
+  /// Shard directory of the persistent tier (created if missing); empty
+  /// disables it — the store becomes memory-only.
+  std::string directory;
+  /// Byte budget of the in-memory LRU tier; 0 disables memory caching.
+  std::size_t memory_budget_bytes = std::size_t{256} << 20;
+};
+
+/// Where a get_or_compute was satisfied.
+enum class StoreOutcome { kMemoryHit, kDiskHit, kComputed };
+const char* outcome_name(StoreOutcome o);
+
+/// Every counter is deterministic for a fixed lookup sequence (and fault
+/// schedule); timings are the benches' job.
+struct StoreStats {
+  long long lookups = 0;
+  long long memory_hits = 0;
+  long long disk_hits = 0;
+  long long misses = 0;             // lookups that fell through to compute
+  long long config_mismatches = 0;  // cached K/dim != requesting model config
+  long long computes = 0;           // recomputes executed on miss
+  long long shard_writes = 0;       // persistent shards written
+  long long write_errors = 0;       // swallowed persistent-tier write failures
+  long long corrupt_shards = 0;     // CRC/decode rejections (treated as miss)
+  long long evictions = 0;          // memory-tier LRU evictions
+
+  long long hits() const { return memory_hits + disk_hits; }
+  /// Deterministic counter line, e.g. "lookups=4 memory_hits=2 ...".
+  std::string counts_signature() const;
+};
+
+/// Content-addressed key: the digest covers everything that determines the
+/// feature values except the hop count, which is part of the key so the
+/// same circuit at different K maps to different shards.
+struct FeatureKey {
+  std::uint64_t content = 0;
+  int num_hops = 0;
+
+  /// Shard file name, "<16-hex-digest>-k<K>.feat".
+  std::string shard_name() const;
+};
+
+/// Serializes hop features into one `hoga-feat` v1 shard: a textual header
+/// line "hoga-feat v1 <payload bytes> <crc32 hex>\n" followed by a binary
+/// payload (key digest, K, n, d, then raw fp32 data — host byte order; the
+/// store is a per-machine cache, not an interchange format).
+std::string encode_shard(const FeatureKey& key, const core::HopFeatures& hops);
+
+/// Parses and verifies one shard. Returns nullopt — never throws — when the
+/// magic/version is wrong, the payload is truncated, the CRC does not match,
+/// or the embedded key disagrees with `expect`; `why` (optional) receives
+/// the reason. Decoded floats are bit-exact.
+std::optional<core::HopFeatures> decode_shard(const std::string& bytes,
+                                              const FeatureKey& expect,
+                                              std::string* why = nullptr);
+
+class FeatureStore {
+ public:
+  explicit FeatureStore(StoreConfig config);
+
+  /// The central API: returns the cached features for `key`, or runs
+  /// `compute`, caches the result in both tiers, and returns it. A hit is
+  /// re-validated against (key.num_hops, expected_dim); mismatches are
+  /// misses. `outcome` (optional) reports which tier satisfied the call.
+  core::HopFeatures get_or_compute(
+      const FeatureKey& key, std::int64_t expected_dim,
+      const std::function<core::HopFeatures()>& compute,
+      StoreOutcome* outcome = nullptr);
+
+  /// Convenience: digests (adj_norm, x) and computes via
+  /// HopFeatures::compute on miss — the drop-in replacement for direct
+  /// phase-1 calls in the trainers.
+  core::HopFeatures get_or_compute(const graph::Csr& adj_norm, const Tensor& x,
+                                   int num_hops,
+                                   StoreOutcome* outcome = nullptr);
+
+  /// Lookup without compute: memory tier, then persistent tier (promoting
+  /// a disk hit into memory). Returns nullopt on miss.
+  std::optional<core::HopFeatures> lookup(const FeatureKey& key,
+                                          std::int64_t expected_dim,
+                                          StoreOutcome* outcome = nullptr);
+
+  /// Inserts into both tiers (persistent write failures are swallowed and
+  /// counted). `hops` must match the key's num_hops.
+  void put(const FeatureKey& key, const core::HopFeatures& hops);
+
+  StoreStats stats() const;
+  void reset_stats();
+
+  /// Memory-tier occupancy (bytes / entries) — exposed for tests and the
+  /// bench.
+  std::size_t memory_bytes() const;
+  std::size_t memory_entries() const;
+
+  /// Shard path for a key (empty when the persistent tier is disabled).
+  std::string shard_path(const FeatureKey& key) const;
+
+  const StoreConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    core::HopFeatures hops;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  /// Inserts/replaces under mu_, evicting LRU entries past the budget.
+  void insert_memory_locked(std::uint64_t content,
+                            const core::HopFeatures& hops);
+
+  StoreConfig config_;
+  mutable std::mutex mu_;
+  // Memory tier keyed by content digest alone (one entry per graph): this
+  // is what makes a same-graph different-K request observable as a config
+  // mismatch instead of silently coexisting — the K the entry was built
+  // with is re-checked on every hit.
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = oldest
+  std::size_t memory_bytes_ = 0;
+  StoreStats stats_;
+};
+
+}  // namespace hoga::store

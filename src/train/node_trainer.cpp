@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "fault/fault.hpp"
+#include "store/feature_store.hpp"
 #include "tensor/ops.hpp"
 #include "util/timer.hpp"
 #include "validate/validate.hpp"
@@ -98,6 +99,15 @@ TrainLog train_hoga_node(core::Hoga& model, const core::HopFeatures& hops,
       &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
+}
+
+TrainLog train_hoga_node(core::Hoga& model, store::FeatureStore& store,
+                         const graph::Csr& adj_hop, const Tensor& features,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg) {
+  const core::HopFeatures hops =
+      store.get_or_compute(adj_hop, features, model.config().num_hops);
+  return train_hoga_node(model, hops, labels, cfg);
 }
 
 TrainLog train_gcn_node(models::Gcn& model,
@@ -200,6 +210,15 @@ TrainLog train_sign_node(models::Sign& model, const core::HopFeatures& hops,
       &log.fault_stats);
   log.seconds = timer.seconds();
   return log;
+}
+
+TrainLog train_sign_node(models::Sign& model, store::FeatureStore& store,
+                         const graph::Csr& adj_hop, const Tensor& features,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg) {
+  const core::HopFeatures hops =
+      store.get_or_compute(adj_hop, features, model.config().num_hops);
+  return train_sign_node(model, hops, labels, cfg);
 }
 
 TrainLog train_saint_node(models::Gcn& model,

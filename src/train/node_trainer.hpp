@@ -12,6 +12,10 @@
 #include "optim/optim.hpp"
 #include "train/train_state.hpp"
 
+namespace hoga::store {
+class FeatureStore;
+}
+
 namespace hoga::train {
 
 struct NodeTrainConfig {
@@ -39,6 +43,15 @@ TrainLog train_hoga_node(core::Hoga& model, const core::HopFeatures& hops,
                          const std::vector<int>& labels,
                          const NodeTrainConfig& cfg);
 
+/// Store-aware variant: fetches the phase-1 precompute through the feature
+/// store (DESIGN.md §9) — keyed by the graph's content digest and the
+/// model's K — then trains as above. Warm reruns on the same graph skip
+/// the K SpMM passes entirely.
+TrainLog train_hoga_node(core::Hoga& model, store::FeatureStore& store,
+                         const graph::Csr& adj_hop, const Tensor& features,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg);
+
 // -- GCN (full graph) ---------------------------------------------------------
 TrainLog train_gcn_node(models::Gcn& model,
                         std::shared_ptr<const graph::Csr> adj_norm,
@@ -54,6 +67,13 @@ TrainLog train_sage_node(models::GraphSage& model,
 
 // -- SIGN (minibatch over nodes) -----------------------------------------
 TrainLog train_sign_node(models::Sign& model, const core::HopFeatures& hops,
+                         const std::vector<int>& labels,
+                         const NodeTrainConfig& cfg);
+
+/// Store-aware variant (see train_hoga_node above): SIGN consumes the same
+/// hop-feature precompute, so the same cache entry serves both models.
+TrainLog train_sign_node(models::Sign& model, store::FeatureStore& store,
+                         const graph::Csr& adj_hop, const Tensor& features,
                          const std::vector<int>& labels,
                          const NodeTrainConfig& cfg);
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "fault/fault.hpp"
+#include "store/feature_store.hpp"
 #include "synth/recipe.hpp"
 #include "train/metrics.hpp"
 #include "util/timer.hpp"
@@ -13,7 +14,8 @@ namespace hoga::train {
 
 double prepare_qor_inputs(const data::QorDataset& ds,
                           const QorModelConfig& cfg,
-                          std::vector<QorDesignInput>* out) {
+                          std::vector<QorDesignInput>* out,
+                          store::FeatureStore* store) {
   out->clear();
   out->reserve(ds.designs.size());
   double precompute_seconds = 0;
@@ -24,8 +26,12 @@ double prepare_qor_inputs(const data::QorDataset& ds,
       in.features = design.features;
     } else {
       Timer t;
-      in.hops = core::HopFeatures::compute(*design.adj_hop, design.features,
-                                           cfg.num_hops);
+      in.hops = store != nullptr
+                    ? store->get_or_compute(*design.adj_hop, design.features,
+                                            cfg.num_hops)
+                    : core::HopFeatures::compute(*design.adj_hop,
+                                                 design.features,
+                                                 cfg.num_hops);
       precompute_seconds += t.seconds();
     }
     out->push_back(std::move(in));

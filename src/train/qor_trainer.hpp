@@ -15,6 +15,10 @@
 #include "optim/optim.hpp"
 #include "train/train_state.hpp"
 
+namespace hoga::store {
+class FeatureStore;
+}
+
 namespace hoga::train {
 
 enum class QorBackbone { kGcn, kHoga };
@@ -37,10 +41,14 @@ struct QorDesignInput {
 };
 
 /// Builds the per-design inputs for the chosen backbone; returns the hop
-/// feature precompute time in seconds (0 for GCN).
+/// feature precompute time in seconds (0 for GCN). With a feature store
+/// (DESIGN.md §9) the HOGA precompute is fetched through it — warm runs
+/// (re-training on the same designs, hyperparameter sweeps) reuse cached
+/// hop features instead of recomputing phase 1 per run.
 double prepare_qor_inputs(const data::QorDataset& ds,
                           const QorModelConfig& cfg,
-                          std::vector<QorDesignInput>* out);
+                          std::vector<QorDesignInput>* out,
+                          store::FeatureStore* store = nullptr);
 
 class QorModel : public nn::Module {
  public:

@@ -62,9 +62,9 @@ std::optional<std::string> check_hop_batch(const Tensor& batch, int max_hops,
   return check_finite(batch, "hop batch");
 }
 
-std::optional<std::string> check_hop_features(const core::HopFeatures& hops,
-                                              int expected_hops,
-                                              std::int64_t expected_dim) {
+std::optional<std::string> check_hop_config(const core::HopFeatures& hops,
+                                            int expected_hops,
+                                            std::int64_t expected_dim) {
   if (hops.num_hops() != expected_hops) {
     std::ostringstream os;
     os << "hop features: K = " << hops.num_hops() << ", model expects K = "
@@ -76,6 +76,15 @@ std::optional<std::string> check_hop_features(const core::HopFeatures& hops,
     os << "hop features: dim " << hops.feature_dim()
        << " != model input dim " << expected_dim;
     return fail(os);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_hop_features(const core::HopFeatures& hops,
+                                              int expected_hops,
+                                              std::int64_t expected_dim) {
+  if (auto bad = check_hop_config(hops, expected_hops, expected_dim)) {
+    return bad;
   }
   return check_finite(hops.stacked(), "hop features");
 }

@@ -41,8 +41,17 @@ std::optional<std::string> check_hop_batch(const Tensor& batch,
                                            std::int64_t expected_dim,
                                            std::int64_t max_nodes);
 
-/// Precomputed hop features offered to a trainer: exact hop count match
-/// (training never truncates) plus dimension and finiteness checks.
+/// Metadata-only half of check_hop_features: exact hop count and feature
+/// dimension against the requesting model config, no data scan. This is the
+/// store-aware path — the feature store re-validates every cache hit with
+/// it (a K mismatch is a miss that falls back to recompute, never an
+/// error), and it is O(1) so hits stay cheap.
+std::optional<std::string> check_hop_config(const core::HopFeatures& hops,
+                                            int expected_hops,
+                                            std::int64_t expected_dim);
+
+/// Precomputed hop features offered to a trainer: check_hop_config plus a
+/// full finiteness scan (training never truncates and never forgives NaN).
 std::optional<std::string> check_hop_features(const core::HopFeatures& hops,
                                               int expected_hops,
                                               std::int64_t expected_dim);

@@ -16,6 +16,7 @@
 #include "fault/fault.hpp"
 #include "reasoning/features.hpp"
 #include "serve/serve.hpp"
+#include "store/feature_store.hpp"
 #include "tensor/ops.hpp"
 
 namespace hoga::serve {
@@ -69,7 +70,7 @@ TEST(Serve, ServesValidBatchWithExactModelOutput) {
   EXPECT_EQ(svc.stats().counts_signature(),
             "submitted=1 served=1 degraded_truncated=0 degraded_cached=0 "
             "rejected_invalid=0 rejected_overload=0 timed_out=0 failed=0 "
-            "breaker_trips=0");
+            "breaker_trips=0 feature_cache_hits=0 feature_cache_misses=0");
 }
 
 TEST(Serve, ConcurrentClientsAllGetCorrectAnswers) {
@@ -176,6 +177,59 @@ TEST(Serve, ServesRawAigRequest) {
   core::Hoga narrow(small_config(4), rng2);
   InferenceService svc2(narrow, {.workers = 1});
   EXPECT_EQ(svc2.infer({.aig = &g}).outcome, Outcome::kRejectedInvalid);
+}
+
+TEST(Serve, FeatureStoreCachesRepeatedAigRequests) {
+  Rng rng(24);
+  const auto cfg = small_config(reasoning::kNodeFeatureDim);
+  core::Hoga model(cfg, rng);
+  store::FeatureStore fs({.directory = ""});  // memory-only tier
+  InferenceService svc(model, {.workers = 1, .feature_store = &fs});
+  const aig::Aig g = random_aig(25, 5, 40);
+
+  Response first = svc.infer({.aig = &g});
+  ASSERT_EQ(first.outcome, Outcome::kServed) << first.error;
+  Response second = svc.infer({.aig = &g});
+  ASSERT_EQ(second.outcome, Outcome::kServed) << second.error;
+  // Identical circuit, identical answer — and exactly one phase-1 run.
+  EXPECT_TRUE(Tensor::allclose(first.output, second.output, 0.f));
+  EXPECT_EQ(svc.stats().feature_cache_misses, 1);
+  EXPECT_EQ(svc.stats().feature_cache_hits, 1);
+  EXPECT_EQ(fs.stats().computes, 1);
+  EXPECT_EQ(fs.stats().memory_hits, 1);
+
+  // A structurally different circuit is a different content digest.
+  const aig::Aig other = random_aig(26, 5, 40);
+  EXPECT_EQ(svc.infer({.aig = &other}).outcome, Outcome::kServed);
+  EXPECT_EQ(svc.stats().feature_cache_misses, 2);
+  EXPECT_EQ(fs.stats().computes, 2);
+}
+
+TEST(Serve, FeatureStoreCountsDeterministicUnderFaultSchedule) {
+  // Same request sequence + same fault schedule => identical serve and
+  // store counters, including cache accounting for requests that are later
+  // rejected (featurization happens before the poison hook fires).
+  auto run_once = [] {
+    Rng rng(27);
+    const auto cfg = small_config(reasoning::kNodeFeatureDim);
+    core::Hoga model(cfg, rng);
+    store::FeatureStore fs({.directory = ""});
+    InferenceService svc(model, {.workers = 1, .feature_store = &fs});
+    fault::Injector inj(7);
+    inj.poison_request(1);
+    fault::ScopedInjector scope(inj);
+    const aig::Aig g = random_aig(28, 4, 24);
+    for (int i = 0; i < 4; ++i) svc.infer({.aig = &g});
+    return svc.stats().counts_signature() + " | " +
+           fs.stats().counts_signature();
+  };
+  const std::string first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_NE(first.find("served=3"), std::string::npos) << first;
+  EXPECT_NE(first.find("rejected_invalid=1"), std::string::npos) << first;
+  EXPECT_NE(first.find("feature_cache_hits=3"), std::string::npos) << first;
+  EXPECT_NE(first.find("feature_cache_misses=1"), std::string::npos) << first;
+  EXPECT_NE(first.find("computes=1"), std::string::npos) << first;
 }
 
 TEST(Serve, PoisonedRequestIsRejectedNotCrashed) {

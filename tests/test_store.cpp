@@ -1,0 +1,382 @@
+// Feature-store tests: content digests, hoga-feat shard round trips
+// (bit-exact, property-style over random shapes), CRC corruption detection
+// at every byte offset, config-mismatch-as-miss semantics, LRU eviction,
+// cross-instance persistence, and deterministic fault injection
+// (DESIGN.md §9).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/hop_features.hpp"
+#include "fault/fault.hpp"
+#include "graph/csr.hpp"
+#include "store/digest.hpp"
+#include "store/feature_store.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace hoga::store {
+namespace {
+
+graph::Csr path_graph(int n) {
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return graph::Csr::from_edges_undirected(n, edges);
+}
+
+core::HopFeatures random_hops(std::int64_t n, int k, std::int64_t d,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  return core::HopFeatures::from_stacked(Tensor::randn({n, k + 1, d}, rng),
+                                         k);
+}
+
+bool bit_exact(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+/// Fresh shard directory under /tmp, removed on destruction.
+struct ShardDir {
+  std::string path;
+  explicit ShardDir(const std::string& name)
+      : path("/tmp/hoga_test_store_" + name) {
+    std::filesystem::remove_all(path);
+  }
+  ~ShardDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(StoreDigest, DeterministicAndSensitive) {
+  Rng rng(1);
+  const graph::Csr adj = path_graph(8).normalized_symmetric();
+  const Tensor x = Tensor::randn({8, 5}, rng);
+  const std::uint64_t base = graph_digest(adj, x);
+  EXPECT_EQ(base, graph_digest(adj, x));  // pure function
+
+  // Any change to structure or features must move the digest.
+  EXPECT_NE(base, graph_digest(path_graph(9).normalized_symmetric(), x));
+  EXPECT_NE(base, graph_digest(adj.normalized_row(), x));
+  Tensor x2 = x.clone();
+  x2.data()[17] += 1e-3f;
+  EXPECT_NE(base, graph_digest(adj, x2));
+  Rng rng2(1);
+  EXPECT_NE(base, graph_digest(adj, Tensor::randn({8, 6}, rng2)));
+}
+
+TEST(StoreDigest, AigDigestSeparatesCircuits) {
+  aig::Aig a;
+  const aig::Lit p0 = a.add_pi();
+  const aig::Lit p1 = a.add_pi();
+  a.add_po(a.add_and(p0, p1));
+
+  aig::Aig b;
+  const aig::Lit q0 = b.add_pi();
+  const aig::Lit q1 = b.add_pi();
+  b.add_po(b.add_and(q0, aig::lit_not(q1)));  // one inverted fanin
+
+  EXPECT_EQ(aig_digest(a), aig_digest(a));
+  EXPECT_NE(aig_digest(a), aig_digest(b));
+}
+
+TEST(StoreShard, RoundTripIsBitExactOverRandomShapes) {
+  // Property: encode -> decode is the identity, bit for bit, across random
+  // shapes and values — including the empty graph and a single node.
+  struct Case { std::int64_t n; int k; std::int64_t d; };
+  const std::vector<Case> cases = {
+      {0, 3, 4}, {1, 1, 1}, {1, 5, 7}, {3, 2, 1}, {17, 4, 12}, {64, 6, 3}};
+  std::uint64_t seed = 100;
+  for (const auto& c : cases) {
+    const core::HopFeatures hops = random_hops(c.n, c.k, c.d, seed++);
+    const FeatureKey key{0xDEADBEEFu + seed, c.k};
+    const std::string bytes = encode_shard(key, hops);
+    std::string why;
+    auto back = decode_shard(bytes, key, &why);
+    ASSERT_TRUE(back.has_value())
+        << "n=" << c.n << " k=" << c.k << " d=" << c.d << ": " << why;
+    EXPECT_EQ(back->num_nodes(), c.n);
+    EXPECT_EQ(back->num_hops(), c.k);
+    EXPECT_EQ(back->feature_dim(), c.d);
+    EXPECT_TRUE(bit_exact(back->stacked(), hops.stacked()));
+  }
+}
+
+TEST(StoreShard, EveryFlippedByteIsDetected) {
+  // A single flipped bit anywhere in the shard — header or payload — must
+  // make decode_shard return nullopt (CRC or a parse check catches it).
+  const core::HopFeatures hops = random_hops(2, 2, 3, 42);
+  const FeatureKey key{0x1234u, 2};
+  const std::string good = encode_shard(key, hops);
+  ASSERT_TRUE(decode_shard(good, key).has_value());
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x10);
+    EXPECT_FALSE(decode_shard(bad, key).has_value())
+        << "flip at byte " << i << " went undetected";
+  }
+  // Truncation at any point is also rejected.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(decode_shard(good.substr(0, len), key).has_value())
+        << "truncation to " << len << " bytes went undetected";
+  }
+}
+
+TEST(StoreShard, RejectsWrongKeyAndVersion) {
+  const core::HopFeatures hops = random_hops(3, 2, 2, 7);
+  const FeatureKey key{99, 2};
+  const std::string bytes = encode_shard(key, hops);
+  std::string why;
+  EXPECT_FALSE(decode_shard(bytes, {98, 2}, &why).has_value());
+  EXPECT_NE(why.find("digest"), std::string::npos) << why;
+  EXPECT_FALSE(decode_shard(bytes, {99, 3}, &why).has_value());
+  EXPECT_NE(why.find("K"), std::string::npos) << why;
+  EXPECT_FALSE(decode_shard("hoga-feat v2 0 0\n", {99, 2}, &why).has_value());
+  EXPECT_NE(why.find("version"), std::string::npos) << why;
+  EXPECT_FALSE(decode_shard("not a shard at all", {99, 2}, &why).has_value());
+}
+
+TEST(FeatureStore, ComputesOnceThenHitsMemory) {
+  Rng rng(3);
+  const graph::Csr adj = path_graph(10).normalized_symmetric();
+  const Tensor x = Tensor::randn({10, 4}, rng);
+  FeatureStore fs({.directory = ""});  // memory-only
+
+  StoreOutcome from = StoreOutcome::kComputed;
+  const core::HopFeatures first = fs.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kComputed);
+  const core::HopFeatures again = fs.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kMemoryHit);
+  EXPECT_TRUE(bit_exact(first.stacked(), again.stacked()));
+  EXPECT_TRUE(bit_exact(first.stacked(),
+                        core::HopFeatures::compute(adj, x, 3).stacked()));
+  EXPECT_EQ(fs.stats().computes, 1);
+  EXPECT_EQ(fs.stats().memory_hits, 1);
+  EXPECT_EQ(fs.stats().shard_writes, 0);  // persistent tier disabled
+  EXPECT_EQ(fs.memory_entries(), 1u);
+}
+
+TEST(FeatureStore, KMismatchIsAMissNotAnError) {
+  // The same graph requested at a different K (or dim) must re-validate as
+  // a config mismatch and fall back to recompute — never throw, never
+  // return features built for the wrong config.
+  Rng rng(4);
+  const graph::Csr adj = path_graph(6).normalized_symmetric();
+  const Tensor x = Tensor::randn({6, 3}, rng);
+  FeatureStore fs({.directory = ""});
+
+  const core::HopFeatures k3 = fs.get_or_compute(adj, x, 3);
+  StoreOutcome from = StoreOutcome::kMemoryHit;
+  const core::HopFeatures k5 = fs.get_or_compute(adj, x, 5, &from);
+  EXPECT_EQ(from, StoreOutcome::kComputed);
+  EXPECT_EQ(k5.num_hops(), 5);
+  EXPECT_TRUE(bit_exact(k5.stacked(),
+                        core::HopFeatures::compute(adj, x, 5).stacked()));
+  EXPECT_EQ(fs.stats().config_mismatches, 1);
+  EXPECT_EQ(fs.stats().computes, 2);
+  EXPECT_EQ(k3.num_hops(), 3);  // the first result is untouched
+
+  // The K=5 entry replaced K=3 in the memory tier; asking for K=3 again is
+  // another mismatch-then-recompute round trip.
+  from = StoreOutcome::kMemoryHit;
+  const core::HopFeatures k3_again = fs.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kComputed);
+  EXPECT_TRUE(bit_exact(k3_again.stacked(), k3.stacked()));
+  EXPECT_EQ(fs.stats().config_mismatches, 2);
+}
+
+TEST(FeatureStore, PersistsAcrossInstancesViaShards) {
+  ShardDir dir("persist");
+  Rng rng(5);
+  const graph::Csr adj = path_graph(12).normalized_symmetric();
+  const Tensor x = Tensor::randn({12, 4}, rng);
+
+  Tensor produced;
+  {
+    FeatureStore writer({.directory = dir.path});
+    produced = writer.get_or_compute(adj, x, 3).stacked();
+    EXPECT_EQ(writer.stats().shard_writes, 1);
+    const FeatureKey key{graph_digest(adj, x), 3};
+    EXPECT_TRUE(std::filesystem::exists(writer.shard_path(key)));
+  }
+  // A fresh store (cold memory tier) resolves from disk, bit-exact, and
+  // promotes the shard into memory for the next hit.
+  FeatureStore reader({.directory = dir.path});
+  StoreOutcome from = StoreOutcome::kComputed;
+  const core::HopFeatures warm = reader.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kDiskHit);
+  EXPECT_TRUE(bit_exact(warm.stacked(), produced));
+  reader.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kMemoryHit);
+  EXPECT_EQ(reader.stats().computes, 0);
+
+  // Different K coexists on disk: its own shard file, no clobbering.
+  reader.get_or_compute(adj, x, 4);
+  FeatureStore reader2({.directory = dir.path});
+  reader2.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kDiskHit);
+  reader2.get_or_compute(adj, x, 4, &from);
+  EXPECT_EQ(from, StoreOutcome::kDiskHit);
+  EXPECT_EQ(reader2.stats().computes, 0);
+}
+
+TEST(FeatureStore, CorruptShardFallsBackToRecomputeAndHeals) {
+  ShardDir dir("corrupt");
+  Rng rng(6);
+  const graph::Csr adj = path_graph(9).normalized_symmetric();
+  const Tensor x = Tensor::randn({9, 4}, rng);
+  const FeatureKey key{graph_digest(adj, x), 3};
+
+  Tensor produced;
+  {
+    FeatureStore writer({.directory = dir.path});
+    produced = writer.get_or_compute(adj, x, 3).stacked();
+  }
+  // Rot the shard on disk for real (not via the fault hook): flip one
+  // payload byte.
+  FeatureStore fs({.directory = dir.path});
+  {
+    std::string bytes = util::read_file(fs.shard_path(key));
+    bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 1);
+    util::atomic_write_file(fs.shard_path(key), bytes);
+  }
+  StoreOutcome from = StoreOutcome::kMemoryHit;
+  const core::HopFeatures healed = fs.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kComputed);  // corruption => miss => compute
+  EXPECT_TRUE(bit_exact(healed.stacked(), produced));
+  EXPECT_EQ(fs.stats().corrupt_shards, 1);
+  EXPECT_EQ(fs.stats().shard_writes, 1);  // the shard was rewritten
+
+  // Self-healing: the rewritten shard now decodes for a fresh instance.
+  FeatureStore fresh({.directory = dir.path});
+  fresh.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kDiskHit);
+}
+
+TEST(FeatureStore, InjectedReadCorruptionIsDeterministic) {
+  // The fault hook corrupts exactly the scheduled read; the store recovers
+  // via recompute and counts the event on its own stats and the injector's.
+  ShardDir dir("inject_read");
+  Rng rng(7);
+  const graph::Csr adj = path_graph(7).normalized_symmetric();
+  const Tensor x = Tensor::randn({7, 3}, rng);
+
+  Tensor produced;
+  {
+    FeatureStore writer({.directory = dir.path});
+    produced = writer.get_or_compute(adj, x, 2).stacked();
+  }
+  fault::Injector inj(1);
+  inj.corrupt_store_read(0);
+  fault::ScopedInjector scope(inj);
+  FeatureStore fs({.directory = dir.path, .memory_budget_bytes = 0});
+  StoreOutcome from = StoreOutcome::kMemoryHit;
+  const core::HopFeatures healed = fs.get_or_compute(adj, x, 2, &from);
+  EXPECT_EQ(from, StoreOutcome::kComputed);
+  EXPECT_TRUE(bit_exact(healed.stacked(), produced));
+  EXPECT_EQ(fs.stats().corrupt_shards, 1);
+  EXPECT_EQ(inj.counts().store_shard_corruptions, 1);
+  // The schedule slot is consumed: the healed shard reads clean.
+  fs.get_or_compute(adj, x, 2, &from);
+  EXPECT_EQ(from, StoreOutcome::kDiskHit);
+}
+
+TEST(FeatureStore, InjectedWriteFailureDegradesToMemoryOnly) {
+  ShardDir dir("inject_write");
+  Rng rng(8);
+  const graph::Csr adj = path_graph(5).normalized_symmetric();
+  const Tensor x = Tensor::randn({5, 3}, rng);
+  const FeatureKey key{graph_digest(adj, x), 2};
+
+  fault::Injector inj(2);
+  inj.fail_store_write(0);
+  fault::ScopedInjector scope(inj);
+  FeatureStore fs({.directory = dir.path});
+  StoreOutcome from = StoreOutcome::kMemoryHit;
+  fs.get_or_compute(adj, x, 2, &from);
+  EXPECT_EQ(from, StoreOutcome::kComputed);
+  EXPECT_EQ(fs.stats().write_errors, 1);
+  EXPECT_EQ(fs.stats().shard_writes, 0);
+  EXPECT_FALSE(std::filesystem::exists(fs.shard_path(key)));
+  EXPECT_EQ(inj.counts().store_write_errors, 1);
+  // The features still serve from the memory tier — no crash, no recompute.
+  fs.get_or_compute(adj, x, 2, &from);
+  EXPECT_EQ(from, StoreOutcome::kMemoryHit);
+}
+
+TEST(FeatureStore, LruEvictsOldestWithinByteBudget) {
+  // Budget sized for roughly two entries: the third insert evicts the
+  // least-recently-used graph, and touching an entry refreshes its slot.
+  const int k = 2;
+  const std::int64_t d = 4;
+  const std::int64_t n = 10;
+  const std::size_t entry = static_cast<std::size_t>(n * (k + 1) * d) *
+                                sizeof(float) +
+                            128;  // payload + charged overhead
+  FeatureStore fs({.directory = "", .memory_budget_bytes = 2 * entry});
+
+  std::vector<graph::Csr> graphs;
+  std::vector<Tensor> xs;
+  for (int i = 0; i < 3; ++i) {
+    graphs.push_back(path_graph(static_cast<int>(n)).normalized_symmetric(
+        1.f + static_cast<float>(i)));  // distinct weights => distinct keys
+    Rng rng(100 + i);
+    xs.push_back(Tensor::randn({n, d}, rng));
+  }
+  fs.get_or_compute(graphs[0], xs[0], k);
+  fs.get_or_compute(graphs[1], xs[1], k);
+  EXPECT_EQ(fs.memory_entries(), 2u);
+  // Touch graph 0 so graph 1 is the LRU victim.
+  StoreOutcome from = StoreOutcome::kComputed;
+  fs.get_or_compute(graphs[0], xs[0], k, &from);
+  EXPECT_EQ(from, StoreOutcome::kMemoryHit);
+  fs.get_or_compute(graphs[2], xs[2], k);
+  EXPECT_EQ(fs.memory_entries(), 2u);
+  EXPECT_EQ(fs.stats().evictions, 1);
+  fs.get_or_compute(graphs[0], xs[0], k, &from);
+  EXPECT_EQ(from, StoreOutcome::kMemoryHit);  // survived
+  fs.get_or_compute(graphs[1], xs[1], k, &from);
+  EXPECT_EQ(from, StoreOutcome::kComputed);  // evicted
+  EXPECT_LE(fs.memory_bytes(), 2 * entry);
+}
+
+TEST(FeatureStore, ZeroBudgetDisablesMemoryTier) {
+  ShardDir dir("zero_budget");
+  Rng rng(9);
+  const graph::Csr adj = path_graph(6).normalized_symmetric();
+  const Tensor x = Tensor::randn({6, 3}, rng);
+  FeatureStore fs({.directory = dir.path, .memory_budget_bytes = 0});
+  fs.get_or_compute(adj, x, 2);
+  EXPECT_EQ(fs.memory_entries(), 0u);
+  StoreOutcome from = StoreOutcome::kComputed;
+  fs.get_or_compute(adj, x, 2, &from);
+  EXPECT_EQ(from, StoreOutcome::kDiskHit);  // every hit comes from disk
+}
+
+TEST(FeatureStore, StatsSignatureIsDeterministic) {
+  auto run_once = [] {
+    Rng rng(10);
+    const graph::Csr adj = path_graph(8).normalized_symmetric();
+    const Tensor x = Tensor::randn({8, 3}, rng);
+    FeatureStore fs({.directory = ""});
+    fs.get_or_compute(adj, x, 3);
+    fs.get_or_compute(adj, x, 3);
+    fs.get_or_compute(adj, x, 4);  // config mismatch
+    return fs.stats().counts_signature();
+  };
+  const std::string sig = run_once();
+  EXPECT_EQ(sig, run_once());
+  EXPECT_EQ(sig,
+            "lookups=3 memory_hits=1 disk_hits=0 misses=2 "
+            "config_mismatches=1 computes=2 shard_writes=0 write_errors=0 "
+            "corrupt_shards=0 evictions=0");
+}
+
+}  // namespace
+}  // namespace hoga::store
