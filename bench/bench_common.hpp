@@ -28,4 +28,16 @@ inline long long int_option(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// String option "--name=value"; returns fallback when absent.
+inline std::string str_option(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
 }  // namespace hoga::bench

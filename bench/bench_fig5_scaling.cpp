@@ -12,9 +12,12 @@
 #include <cstdio>
 #include <vector>
 
+#include <memory>
+
 #include "bench_common.hpp"
 #include "data/reasoning_dataset.hpp"
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "reasoning/features.hpp"
 #include "train/parallel.hpp"
 #include "util/table.hpp"
@@ -29,12 +32,28 @@ int main(int argc, char** argv) {
   // --fault kills one worker mid-epoch at every worker count, showing the
   // elastic re-partition cost next to the fault-free scaling numbers.
   const bool with_faults = bench::has_flag(argc, argv, "--fault");
+  // --ledger=PATH writes a run ledger with one "scaling.point" event per
+  // table row (plus worker-failure events under --fault); every printed
+  // number is reconstructible from it (see DESIGN.md §10).
+  const std::string ledger_path =
+      bench::str_option(argc, argv, "--ledger", "");
+  std::unique_ptr<obs::RunLedger> ledger;
+  std::unique_ptr<obs::ScopedObservability> obs_scope;
+  if (!ledger_path.empty()) {
+    ledger = std::make_unique<obs::RunLedger>(ledger_path);
+    obs::Observability ctx;
+    ctx.ledger = ledger.get();
+    obs_scope = std::make_unique<obs::ScopedObservability>(ctx);
+  }
 
   std::puts("=== Figure 5: simulated multi-worker HOGA training time ===");
   std::printf("workload: mapped %d-bit CSA multiplier, node classification\n",
               bits);
   if (with_faults) {
     std::puts("fault injection: worker 1 dies mid-epoch at each worker count");
+  }
+  if (ledger) {
+    std::printf("run ledger: %s\n", ledger_path.c_str());
   }
 
   Timer build_t;
@@ -68,22 +87,20 @@ int main(int argc, char** argv) {
       points = train::simulate_hoga_scaling(model, hops, g.labels, tcfg, ccfg);
     } else {
       // One simulate call per worker count so each gets its own one-shot
-      // worker kill (scheduled faults are consumed when they fire).
+      // worker kill (scheduled faults are consumed when they fire). The
+      // first call's epoch time becomes every later call's speedup
+      // baseline, so the points — and their ledger events — come out
+      // normalized against the same single-worker run.
       for (int workers : ccfg.worker_counts) {
         fault::Injector inj;
         inj.kill_worker(/*epoch=*/0, /*worker=*/1);
         fault::ScopedInjector scope(inj);
         train::ClusterConfig one = ccfg;
         one.worker_counts = {workers};
+        one.baseline_epoch_seconds =
+            points.empty() ? 0 : points.front().epoch_seconds;
         points.push_back(
             train::simulate_hoga_scaling(model, hops, g.labels, tcfg, one)[0]);
-      }
-      // Speedup/efficiency are relative to the first point of each call;
-      // recompute them against the single-worker baseline.
-      const double base = points.front().epoch_seconds;
-      for (auto& p : points) {
-        p.speedup = base / p.epoch_seconds;
-        p.efficiency = p.speedup / p.workers;
       }
     }
 
@@ -110,6 +127,12 @@ int main(int argc, char** argv) {
     std::printf("shape check: %d workers -> %.2fx speedup "
                 "(paper: near-linear)\n",
                 last.workers, last.speedup);
+  }
+  if (ledger) {
+    obs_scope.reset();
+    ledger->close();
+    std::printf("ledger closed: %lld events -> %s\n",
+                ledger->events_written(), ledger_path.c_str());
   }
   return 0;
 }

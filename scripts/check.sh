@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full local gate: plain build + tests, then an address/UB-sanitizer build
 # + tests. Both passes run the whole ctest suite, which includes the
-# feature-store tests (test_store.cpp) and the bench_store / bench_serving
-# smoke acceptance runs. The serving runtime and the feature store are
-# heavily multi-threaded, so the sanitizer pass is not optional before
-# merging changes to src/serve, src/store, src/util, or src/fault.
+# feature-store tests (test_store.cpp) and the bench_store / bench_serving /
+# bench_obs smoke acceptance runs. The serving runtime, the feature store,
+# and the observability layer (atomic metric cells, thread-local span
+# stacks, cross-thread clock handoff) are heavily multi-threaded, so the
+# sanitizer pass is not optional before merging changes to src/serve,
+# src/store, src/obs, src/util, or src/fault.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 

@@ -4,7 +4,21 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.hpp"
+
 namespace hoga::fault {
+namespace {
+
+// Every fired fault is observable: a counter bump plus a point event on
+// whatever ambient span is open around the injection site. Both no-op when
+// no ambient observability is installed.
+void observe_fault(const char* kind) {
+  obs::count("fault.injected");
+  obs::count(std::string("fault.") + kind);
+  obs::trace_event(std::string("fault.") + kind);
+}
+
+}  // namespace
 namespace {
 
 Injector* g_active = nullptr;
@@ -150,6 +164,7 @@ ScopedInjector::~ScopedInjector() { g_active = previous_; }
 bool maybe_corrupt_gradients(const std::vector<ag::Variable>& params) {
   Injector* inj = active();
   if (!inj || !inj->gradient_should_corrupt()) return false;
+  observe_fault("gradient_corruption");
   for (const auto& p : params) {
     if (p.grad().numel() > 0) {
       ag::Variable handle = p;  // Variable is a shared handle
@@ -164,6 +179,7 @@ bool maybe_corrupt_gradients(const std::vector<ag::Variable>& params) {
 void maybe_fail_checkpoint_write(const std::string& path) {
   if (Injector* inj = active();
       inj && inj->checkpoint_write_should_fail()) {
+    observe_fault("checkpoint_write");
     throw std::runtime_error("fault-injected checkpoint write I/O error: " +
                              path);
   }
@@ -171,6 +187,7 @@ void maybe_fail_checkpoint_write(const std::string& path) {
 
 void maybe_fail_checkpoint_read(const std::string& path) {
   if (Injector* inj = active(); inj && inj->checkpoint_read_should_fail()) {
+    observe_fault("checkpoint_read");
     throw std::runtime_error("fault-injected checkpoint read I/O error: " +
                              path);
   }
@@ -179,6 +196,7 @@ void maybe_fail_checkpoint_read(const std::string& path) {
 bool maybe_poison_request(Tensor& payload) {
   Injector* inj = active();
   if (!inj || !inj->request_should_poison()) return false;
+  observe_fault("poisoned_request");
   if (payload.numel() > 0) {
     payload.data()[0] = std::numeric_limits<float>::quiet_NaN();
   }
@@ -188,6 +206,7 @@ bool maybe_poison_request(Tensor& payload) {
 bool maybe_corrupt_store_shard(std::string& bytes) {
   Injector* inj = active();
   if (!inj || !inj->store_read_should_corrupt()) return false;
+  observe_fault("store_shard_corruption");
   if (!bytes.empty()) {
     // Mid-buffer keeps the header parseable, so the corruption must be
     // caught by the CRC, not by a lucky syntax error.
@@ -198,6 +217,7 @@ bool maybe_corrupt_store_shard(std::string& bytes) {
 
 void maybe_fail_store_write(const std::string& path) {
   if (Injector* inj = active(); inj && inj->store_write_should_fail()) {
+    observe_fault("store_write");
     throw std::runtime_error("fault-injected shard write I/O error: " + path);
   }
 }

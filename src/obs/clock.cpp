@@ -1,0 +1,37 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace hoga::obs {
+
+std::uint64_t SteadyClock::now_ns() {
+  using namespace std::chrono;
+  static const steady_clock::time_point origin = steady_clock::now();
+  return static_cast<std::uint64_t>(
+      duration_cast<nanoseconds>(steady_clock::now() - origin).count());
+}
+
+SteadyClock& SteadyClock::instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+FakeClock::FakeClock(std::uint64_t start_ns, std::uint64_t step_ns,
+                     std::uint64_t jitter_seed, std::uint64_t jitter_ns)
+    : now_(start_ns), step_(step_ns), jitter_ns_(jitter_ns),
+      rng_(jitter_seed) {}
+
+std::uint64_t FakeClock::now_ns() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t reading = now_;
+  now_ += step_;
+  if (jitter_ns_ > 0) now_ += rng_.uniform_int(jitter_ns_ + 1);
+  return reading;
+}
+
+void FakeClock::advance(std::uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_ += ns;
+}
+
+}  // namespace hoga::obs

@@ -1,0 +1,67 @@
+#pragma once
+// Pluggable time source for the observability subsystem (DESIGN.md §10).
+//
+// Every timestamp obs records — span start/end, span events, histogram
+// latency samples, ledger event times — flows through a Clock. Production
+// uses SteadyClock (a monotonic wall clock); tests and fault-injection runs
+// swap in a FakeClock whose readings are a pure function of its seed and
+// step, so a scripted schedule produces *byte-identical* span trees,
+// metrics snapshots, and ledgers across runs. Determinism of the trace is
+// exactly determinism of the clock-call sequence: single-client scripted
+// schedules totally order every now_ns() call, so FakeClock readings are
+// reproducible even though the serving runtime hops between the caller
+// thread and a pool worker.
+//
+// Clocks deliberately have no relation to the deadlines and breaker timers
+// in hoga::serve — those stay on std::chrono::steady_clock, because a
+// request must time out in real time even when the observable timestamps
+// are fake.
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/rng.hpp"
+
+namespace hoga::obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Nanoseconds from an arbitrary but fixed origin; monotone non-decreasing.
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// std::chrono::steady_clock, rebased so the first reading in the process is
+/// near zero (keeps exported timestamps short and diffable).
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ns() override;
+  /// Shared instance used whenever no clock is configured.
+  static SteadyClock& instance();
+};
+
+/// Deterministic clock: each now_ns() returns the current time and advances
+/// it by `step_ns`, optionally plus a seeded pseudo-random jitter in
+/// [0, jitter_ns]. Two FakeClocks with the same constructor arguments
+/// produce the same reading sequence — the bit-reproducibility contract the
+/// determinism tests rely on. Thread-safe.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0, std::uint64_t step_ns = 1000,
+                     std::uint64_t jitter_seed = 0,
+                     std::uint64_t jitter_ns = 0);
+
+  std::uint64_t now_ns() override;
+
+  /// Manually advances the clock without consuming a reading.
+  void advance(std::uint64_t ns);
+
+ private:
+  std::mutex mu_;
+  std::uint64_t now_;
+  std::uint64_t step_;
+  std::uint64_t jitter_ns_;
+  Rng rng_;
+};
+
+}  // namespace hoga::obs

@@ -1,0 +1,209 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace hoga::obs::detail {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return std::nullopt;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) return std::nullopt;
+        char hex[5] = {s[i + 1], s[i + 2], s[i + 3], s[i + 4], '\0'};
+        char* end = nullptr;
+        const unsigned long code = std::strtoul(hex, &end, 16);
+        if (end != hex + 4 || code > 0xFF) return std::nullopt;  // ASCII only
+        out += static_cast<char>(code);
+        i += 4;
+        break;
+      }
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  // Integral values print as plain integers ("10", not the shortest-%g
+  // "1e+01"); they parse back as JSON integers, which numeric readers
+  // accept as the same value.
+  if (v >= -9007199254740992.0 && v <= 9007199254740992.0 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+const JsonObject::Member* JsonObject::find(const std::string& key) const {
+  for (const auto& m : members) {
+    if (m.key == key) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Strict cursor-based parser for the emitted subset.
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  bool consume(char c) {
+    if (eof() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+};
+
+bool parse_string(Cursor& c, std::string* out) {
+  if (!c.consume('"')) return false;
+  std::string raw;
+  while (!c.eof() && c.peek() != '"') {
+    if (c.peek() == '\\') {
+      raw += c.s[c.i++];
+      if (c.eof()) return false;
+    }
+    raw += c.s[c.i++];
+  }
+  if (!c.consume('"')) return false;
+  auto unescaped = json_unescape(raw);
+  if (!unescaped) return false;
+  *out = *std::move(unescaped);
+  return true;
+}
+
+bool parse_scalar(Cursor& c, JsonScalar* out) {
+  if (c.eof()) return false;
+  if (c.peek() == '"') {
+    std::string s;
+    if (!parse_string(c, &s)) return false;
+    *out = std::move(s);
+    return true;
+  }
+  if (c.s.compare(c.i, 4, "true") == 0) {
+    c.i += 4;
+    *out = true;
+    return true;
+  }
+  if (c.s.compare(c.i, 5, "false") == 0) {
+    c.i += 5;
+    *out = false;
+    return true;
+  }
+  const std::size_t start = c.i;
+  bool is_double = false;
+  while (!c.eof()) {
+    const char ch = c.peek();
+    if (ch == '-' || ch == '+' || (ch >= '0' && ch <= '9')) {
+      ++c.i;
+    } else if (ch == '.' || ch == 'e' || ch == 'E') {
+      is_double = true;
+      ++c.i;
+    } else {
+      break;
+    }
+  }
+  if (c.i == start) return false;
+  const std::string tok = c.s.substr(start, c.i - start);
+  char* end = nullptr;
+  if (is_double) {
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return false;
+    *out = v;
+  } else {
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end != tok.c_str() + tok.size()) return false;
+    *out = v;
+  }
+  return true;
+}
+
+bool parse_flat_object(Cursor& c,
+                       std::vector<std::pair<std::string, JsonScalar>>* out) {
+  if (!c.consume('{')) return false;
+  if (c.consume('}')) return true;
+  for (;;) {
+    std::string key;
+    JsonScalar value;
+    if (!parse_string(c, &key) || !c.consume(':') ||
+        !parse_scalar(c, &value)) {
+      return false;
+    }
+    out->emplace_back(std::move(key), std::move(value));
+    if (c.consume('}')) return true;
+    if (!c.consume(',')) return false;
+  }
+}
+
+}  // namespace
+
+std::optional<JsonObject> parse_json_line(const std::string& line) {
+  Cursor c{line};
+  if (!c.consume('{')) return std::nullopt;
+  JsonObject obj;
+  if (c.consume('}')) {
+    return c.eof() ? std::optional<JsonObject>(std::move(obj)) : std::nullopt;
+  }
+  for (;;) {
+    JsonObject::Member m;
+    if (!parse_string(c, &m.key) || !c.consume(':')) return std::nullopt;
+    if (!c.eof() && c.peek() == '{') {
+      m.has_object = true;
+      if (!parse_flat_object(c, &m.object)) return std::nullopt;
+    } else {
+      if (!parse_scalar(c, &m.scalar)) return std::nullopt;
+    }
+    obj.members.push_back(std::move(m));
+    if (c.consume('}')) break;
+    if (!c.consume(',')) return std::nullopt;
+  }
+  return c.eof() ? std::optional<JsonObject>(std::move(obj)) : std::nullopt;
+}
+
+}  // namespace hoga::obs::detail

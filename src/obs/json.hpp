@@ -1,0 +1,52 @@
+#pragma once
+// Minimal JSON helpers shared by the obs exporters (metrics snapshot, span
+// JSONL, run ledger) and the ledger reader. This is not a general JSON
+// library: the writer emits exactly the subset the readers understand —
+// flat objects of string/number values with at most one level of nesting —
+// and the parser is strict about that subset. Everything the subsystem
+// writes must be byte-deterministic, so all double formatting goes through
+// format_double (shortest round-trippable form via %.17g with a trailing
+// cleanup pass).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hoga::obs::detail {
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not added).
+std::string json_escape(const std::string& s);
+
+/// Inverse of json_escape; returns nullopt on a malformed escape.
+std::optional<std::string> json_unescape(const std::string& s);
+
+/// Round-trippable, deterministic double formatting: tries %.1g..%.17g and
+/// returns the shortest form that parses back bit-exactly.
+std::string format_double(double v);
+
+/// One parsed JSON scalar: integers stay exact, everything else numeric is
+/// a double.
+using JsonScalar = std::variant<long long, double, std::string, bool>;
+
+/// A parsed flat JSON object: (key, value) pairs in document order; values
+/// are scalars or nested flat objects (one level only).
+struct JsonObject {
+  struct Member {
+    std::string key;
+    // Exactly one of scalar/object is meaningful; has_object selects.
+    JsonScalar scalar;
+    std::vector<std::pair<std::string, JsonScalar>> object;
+    bool has_object = false;
+  };
+  std::vector<Member> members;
+
+  const Member* find(const std::string& key) const;
+};
+
+/// Parses one JSON object line of the subset described above. Returns
+/// nullopt (never throws) on anything outside the subset.
+std::optional<JsonObject> parse_json_line(const std::string& line);
+
+}  // namespace hoga::obs::detail

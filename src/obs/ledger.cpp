@@ -1,0 +1,192 @@
+#include "obs/ledger.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace hoga::obs {
+
+namespace {
+
+void append_scalar(std::ostringstream& out, const detail::JsonScalar& v) {
+  if (const auto* i = std::get_if<long long>(&v)) {
+    out << *i;
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    out << detail::format_double(*d);
+  } else if (const auto* s = std::get_if<std::string>(&v)) {
+    out << '"' << detail::json_escape(*s) << '"';
+  } else {
+    out << (std::get<bool>(v) ? "true" : "false");
+  }
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+}  // namespace
+
+const detail::JsonScalar* LedgerEvent::find(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+long long LedgerEvent::int_field(const std::string& key) const {
+  const auto* v = find(key);
+  HOGA_CHECK(v && std::holds_alternative<long long>(*v),
+             "ledger event '" << type << "': no integer field '" << key
+                              << "'");
+  return std::get<long long>(*v);
+}
+
+double LedgerEvent::double_field(const std::string& key) const {
+  const auto* v = find(key);
+  HOGA_CHECK(v, "ledger event '" << type << "': no field '" << key << "'");
+  // Integral-valued doubles serialize without a decimal point and parse back
+  // as integers; both are the same number to the caller.
+  if (const auto* i = std::get_if<long long>(v)) {
+    return static_cast<double>(*i);
+  }
+  HOGA_CHECK(std::holds_alternative<double>(*v),
+             "ledger event '" << type << "': field '" << key
+                              << "' is not numeric");
+  return std::get<double>(*v);
+}
+
+std::string LedgerEvent::string_field(const std::string& key) const {
+  const auto* v = find(key);
+  HOGA_CHECK(v && std::holds_alternative<std::string>(*v),
+             "ledger event '" << type << "': no string field '" << key
+                              << "'");
+  return std::get<std::string>(*v);
+}
+
+RunLedger::RunLedger(const std::string& path, Clock* clock)
+    : path_(path), clock_(clock ? clock : &SteadyClock::instance()),
+      crc_state_(util::crc32_init()) {
+  file_ = std::fopen(path.c_str(), "wb");
+  HOGA_CHECK(file_ != nullptr, "RunLedger: cannot open '" << path << "'");
+}
+
+RunLedger::~RunLedger() { close(); }
+
+void RunLedger::event(const std::string& type,
+                      std::vector<LedgerField> fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  std::ostringstream line;
+  line << "{\"seq\":" << seq_ << ",\"ts_ns\":" << clock_->now_ns()
+       << ",\"type\":\"" << detail::json_escape(type) << '"';
+  for (const auto& f : fields) {
+    line << ",\"" << detail::json_escape(f.key) << "\":";
+    append_scalar(line, f.value);
+  }
+  line << "}\n";
+  const std::string bytes = line.str();
+  // One fwrite per line: a crash leaves at most one partial final line,
+  // never an interleaved or half-updated earlier one.
+  std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  std::fflush(file_);
+  crc_state_ = util::crc32_update(crc_state_, bytes);
+  ++seq_;
+}
+
+long long RunLedger::events_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void RunLedger::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  std::ostringstream footer;
+  footer << "{\"type\":\"ledger.footer\",\"events\":" << seq_
+         << ",\"crc32\":\"" << crc_hex(util::crc32_final(crc_state_))
+         << "\"}\n";
+  const std::string bytes = footer.str();
+  std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+LedgerReadResult RunLedger::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HOGA_CHECK(in.good(), "RunLedger::read: cannot open '" << path << "'");
+  LedgerReadResult result;
+  std::uint32_t crc = util::crc32_init();
+  std::string line;
+  while (std::getline(in, line)) {
+    auto parsed = detail::parse_json_line(line);
+    if (!parsed) {
+      ++result.skipped_lines;
+      continue;
+    }
+    const auto* type_m = parsed->find("type");
+    if (!type_m || type_m->has_object ||
+        !std::holds_alternative<std::string>(type_m->scalar)) {
+      ++result.skipped_lines;
+      continue;
+    }
+    const std::string type = std::get<std::string>(type_m->scalar);
+    if (type == "ledger.footer") {
+      result.footer_present = true;
+      const auto* events_m = parsed->find("events");
+      const auto* crc_m = parsed->find("crc32");
+      result.footer_valid =
+          events_m && !events_m->has_object &&
+          std::holds_alternative<long long>(events_m->scalar) &&
+          std::get<long long>(events_m->scalar) ==
+              static_cast<long long>(result.events.size()) &&
+          crc_m && !crc_m->has_object &&
+          std::holds_alternative<std::string>(crc_m->scalar) &&
+          std::get<std::string>(crc_m->scalar) ==
+              crc_hex(util::crc32_final(crc));
+      // Anything after a footer would be another run's residue; stop.
+      break;
+    }
+    crc = util::crc32_update(crc, line + "\n");
+    LedgerEvent event;
+    event.type = type;
+    bool ok = true;
+    for (const auto& m : parsed->members) {
+      if (m.has_object) {
+        ok = false;  // event lines are flat
+        break;
+      }
+      if (m.key == "seq") {
+        if (!std::holds_alternative<long long>(m.scalar)) {
+          ok = false;
+          break;
+        }
+        event.seq = std::get<long long>(m.scalar);
+      } else if (m.key == "ts_ns") {
+        if (!std::holds_alternative<long long>(m.scalar)) {
+          ok = false;
+          break;
+        }
+        event.ts_ns =
+            static_cast<std::uint64_t>(std::get<long long>(m.scalar));
+      } else if (m.key == "type") {
+        // already extracted
+      } else {
+        event.fields.emplace_back(m.key, m.scalar);
+      }
+    }
+    if (!ok) {
+      ++result.skipped_lines;
+      continue;
+    }
+    result.events.push_back(std::move(event));
+  }
+  return result;
+}
+
+}  // namespace hoga::obs

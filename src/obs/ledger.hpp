@@ -1,0 +1,118 @@
+#pragma once
+// hoga::obs run ledger — a crash-safe, append-only JSONL record of what a
+// run did (DESIGN.md §10).
+//
+// One line per event: an epoch finishing, a serve request completing, a
+// feature-store access, a fault firing, a recovery action. Each line is a
+// flat JSON object with a monotonically increasing "seq", a clock timestamp
+// "ts_ns", a "type" tag, and the event's fields in the order the emitter
+// listed them. Lines are written atomically with respect to crashes in the
+// sense that a line is either fully present or absent: the ledger formats
+// the complete line in memory, then issues a single fwrite + fflush, so a
+// crash can at worst truncate the final line (and a truncated tail is
+// detectable — it has no trailing newline and fails to parse).
+//
+// close() appends a footer line carrying the event count and a CRC32 over
+// every byte written before the footer. A reader that finds the footer can
+// verify the whole file; a reader that doesn't (the process died mid-run)
+// still gets every complete event line — crash residue is useful, not
+// poison. That mirrors the checkpoint formats ("hoga-ckpt v2"), which also
+// end with an integrity trailer.
+//
+// Determinism: with a FakeClock and a scripted schedule, ledger bytes are
+// identical across runs. Doubles are formatted with the shortest
+// round-trippable form, so reading a ledger back reconstructs exact values
+// (the fig5 scaling test asserts ScalingPoint equality through the ledger).
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/json.hpp"
+
+namespace hoga::obs {
+
+/// One field of a ledger event; emission order is preserved.
+struct LedgerField {
+  std::string key;
+  detail::JsonScalar value;
+
+  LedgerField(std::string k, long long v) : key(std::move(k)), value(v) {}
+  LedgerField(std::string k, int v)
+      : key(std::move(k)), value(static_cast<long long>(v)) {}
+  LedgerField(std::string k, std::size_t v)
+      : key(std::move(k)), value(static_cast<long long>(v)) {}
+  LedgerField(std::string k, double v) : key(std::move(k)), value(v) {}
+  LedgerField(std::string k, bool v) : key(std::move(k)), value(v) {}
+  LedgerField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LedgerField(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+};
+
+/// A parsed ledger event (see RunLedger::read).
+struct LedgerEvent {
+  long long seq = 0;
+  std::uint64_t ts_ns = 0;
+  std::string type;
+  std::vector<std::pair<std::string, detail::JsonScalar>> fields;
+
+  const detail::JsonScalar* find(const std::string& key) const;
+  /// Typed accessors; HOGA_CHECK-fail when the field is absent or mistyped.
+  long long int_field(const std::string& key) const;
+  double double_field(const std::string& key) const;
+  std::string string_field(const std::string& key) const;
+};
+
+/// Result of reading a ledger file back.
+struct LedgerReadResult {
+  std::vector<LedgerEvent> events;
+  bool footer_present = false;
+  bool footer_valid = false;   // count and CRC both match
+  std::size_t skipped_lines = 0;  // unparseable lines (e.g. truncated tail)
+};
+
+class RunLedger {
+ public:
+  /// Opens `path` for writing, truncating any previous content. `clock`
+  /// must outlive the ledger; defaults to the shared SteadyClock.
+  explicit RunLedger(const std::string& path, Clock* clock = nullptr);
+
+  /// Closes (writing the footer) if still open.
+  ~RunLedger();
+
+  RunLedger(const RunLedger&) = delete;
+  RunLedger& operator=(const RunLedger&) = delete;
+
+  /// Appends one event line; thread-safe; no-op after close().
+  void event(const std::string& type, std::vector<LedgerField> fields);
+
+  /// Events written so far (excluding the footer).
+  long long events_written() const;
+
+  /// Writes the CRC footer and closes the file. Idempotent.
+  void close();
+
+  const std::string& path() const { return path_; }
+
+  /// Parses a ledger file. Complete event lines are returned even when the
+  /// footer is missing or wrong (crash residue); malformed lines are
+  /// counted, not fatal. Throws only if the file cannot be opened.
+  static LedgerReadResult read(const std::string& path);
+
+ private:
+  std::string path_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  long long seq_ = 0;
+  std::uint32_t crc_state_;
+};
+
+}  // namespace hoga::obs

@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/threadpool.hpp"
+
+namespace hoga::obs {
+
+void Histogram::record(double v) {
+  if (!cell_) return;
+  // First bucket whose upper bound is >= v; everything above the last bound
+  // lands in the overflow bucket at index bounds.size().
+  const auto it =
+      std::lower_bound(cell_->bounds.begin(), cell_->bounds.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - cell_->bounds.begin());
+  cell_->counts[idx].fetch_add(1, std::memory_order_relaxed);
+  cell_->count.fetch_add(1, std::memory_order_relaxed);
+  cell_->sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+long long Histogram::bucket_count(std::size_t i) const {
+  if (!cell_ || i >= cell_->counts.size()) return 0;
+  return cell_->counts[i].load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  if (!enabled_) return Counter();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = counters_[name];
+  if (!cell) cell = std::make_unique<std::atomic<long long>>(0);
+  return Counter(cell.get());
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> bounds) {
+  HOGA_CHECK(!bounds.empty(), "histogram '" << name << "': empty bounds");
+  HOGA_CHECK(std::is_sorted(bounds.begin(), bounds.end()) &&
+                 std::adjacent_find(bounds.begin(), bounds.end()) ==
+                     bounds.end(),
+             "histogram '" << name << "': bounds must strictly increase");
+  if (!enabled_) return Histogram();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cell = histograms_[name];
+  if (!cell) {
+    cell = std::make_unique<detail::HistogramCell>(std::move(bounds));
+  } else {
+    HOGA_CHECK(cell->bounds == bounds,
+               "histogram '" << name << "': re-registered with different "
+                             << "bounds");
+  }
+  return Histogram(cell.get());
+}
+
+std::string MetricsRegistry::text_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, cell] : counters_) {
+    out << "counter " << name << ' '
+        << cell->load(std::memory_order_relaxed) << '\n';
+  }
+  for (const auto& [name, cell] : histograms_) {
+    out << "histogram " << name
+        << " count=" << cell->count.load(std::memory_order_relaxed)
+        << " sum=" << detail::format_double(
+               cell->sum.load(std::memory_order_relaxed));
+    for (std::size_t i = 0; i < cell->bounds.size(); ++i) {
+      out << " le" << detail::format_double(cell->bounds[i]) << '='
+          << cell->counts[i].load(std::memory_order_relaxed);
+    }
+    out << " inf="
+        << cell->counts[cell->bounds.size()].load(std::memory_order_relaxed)
+        << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, cell] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << detail::json_escape(name) << "\":"
+        << cell->load(std::memory_order_relaxed);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, cell] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << detail::json_escape(name) << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < cell->bounds.size(); ++i) {
+      if (i > 0) out << ',';
+      out << detail::format_double(cell->bounds[i]);
+    }
+    out << "],\"bucket_counts\":[";
+    for (std::size_t i = 0; i < cell->counts.size(); ++i) {
+      if (i > 0) out << ',';
+      out << cell->counts[i].load(std::memory_order_relaxed);
+    }
+    out << "],\"count\":" << cell->count.load(std::memory_order_relaxed)
+        << ",\"sum\":"
+        << detail::format_double(cell->sum.load(std::memory_order_relaxed))
+        << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, cell] : counters_) {
+    cell->store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : histograms_) {
+    for (auto& c : cell->counts) c.store(0, std::memory_order_relaxed);
+    cell->count.store(0, std::memory_order_relaxed);
+    cell->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry(true);
+  return registry;
+}
+
+const std::vector<double>& latency_ms_bounds() {
+  static const std::vector<double> bounds = {
+      0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+      100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+  return bounds;
+}
+
+void attach_queue_latency(ThreadPool& pool, MetricsRegistry& registry,
+                          const std::string& name) {
+  Histogram hist = registry.histogram(name, latency_ms_bounds());
+  pool.set_queue_latency_sink([hist](double ms) mutable { hist.record(ms); });
+}
+
+}  // namespace hoga::obs

@@ -1,0 +1,154 @@
+#pragma once
+// hoga::obs metrics — process-wide registry of named counters and
+// fixed-bucket histograms (DESIGN.md §10).
+//
+// The registry is the successor to the hand-rolled per-subsystem stat
+// structs (ServeStats, StoreStats): one namespace of metrics, one snapshot
+// format, one determinism contract. Design goals, in order:
+//
+//   - hot-path increments are one relaxed atomic add through a pre-resolved
+//     handle (registration happens once, at wiring time, under a mutex;
+//     Counter/Histogram handles are trivially copyable values that stay
+//     valid for the registry's lifetime);
+//   - a *disabled* registry hands out null handles whose operations are a
+//     single predictable branch — the "no-op registry" baseline that
+//     bench_obs compares the instrumented serve hot path against;
+//   - snapshots are deterministic: metrics are emitted sorted by name, and
+//     every value a scripted run records is either an exact integer count
+//     or a clock reading — under FakeClock the whole text/JSON snapshot is
+//     byte-identical across identical runs, the same way
+//     ServeStats::counts_signature() is.
+//
+// Histograms are fixed-bucket (cumulative "le" upper bounds plus an
+// implicit +inf overflow bucket) with an exact count and a double sum —
+// there is no reservoir and no quantile sketch, so two runs that record
+// the same values produce the same snapshot bytes.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hoga {
+class ThreadPool;
+}
+
+namespace hoga::obs {
+
+namespace detail {
+struct HistogramCell {
+  std::vector<double> bounds;  // strictly increasing upper bounds
+  std::vector<std::atomic<long long>> counts;  // bounds.size() + 1 (overflow)
+  std::atomic<long long> count{0};
+  std::atomic<double> sum{0.0};
+
+  explicit HistogramCell(std::vector<double> b)
+      : bounds(std::move(b)), counts(bounds.size() + 1) {}
+};
+}  // namespace detail
+
+/// Handle to a registered counter. Null handles (from a disabled registry or
+/// a default-constructed Counter) no-op on every operation.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(long long n = 1) {
+    if (cell_) cell_->fetch_add(n, std::memory_order_relaxed);
+  }
+  long long value() const {
+    return cell_ ? cell_->load(std::memory_order_relaxed) : 0;
+  }
+  void reset() {
+    if (cell_) cell_->store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<long long>* cell) : cell_(cell) {}
+  std::atomic<long long>* cell_ = nullptr;
+};
+
+/// Handle to a registered fixed-bucket histogram; null handles no-op.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Records one observation: bumps the first bucket whose bound is >= v
+  /// (or the overflow bucket), the count, and the sum.
+  void record(double v);
+
+  long long count() const {
+    return cell_ ? cell_->count.load(std::memory_order_relaxed) : 0;
+  }
+  double sum() const {
+    return cell_ ? cell_->sum.load(std::memory_order_relaxed) : 0.0;
+  }
+  /// Observations in bucket `i` (i == bounds.size() is the overflow bucket);
+  /// 0 for a null handle or out-of-range index.
+  long long bucket_count(std::size_t i) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+class MetricsRegistry {
+ public:
+  /// A disabled registry hands out null handles and produces empty
+  /// snapshots: the no-op baseline for overhead measurements.
+  explicit MetricsRegistry(bool enabled = true);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Returns the counter named `name`, registering it on first use. The
+  /// handle stays valid for the registry's lifetime.
+  Counter counter(const std::string& name);
+
+  /// Returns the histogram named `name` with the given strictly-increasing
+  /// upper bounds, registering it on first use. Re-requesting an existing
+  /// name must pass identical bounds.
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Deterministic plain-text snapshot, one metric per line, sorted by
+  /// name:
+  ///   counter serve.served 9
+  ///   histogram serve.latency_ms count=3 sum=4.5 le0.5=1 le5=2 inf=0
+  std::string text_snapshot() const;
+
+  /// The same data as sorted JSON:
+  ///   {"counters":{...},"histograms":{"h":{"bounds":[...],
+  ///    "bucket_counts":[...],"count":3,"sum":4.5}}}
+  std::string json_snapshot() const;
+
+  /// Zeroes every registered metric (handles stay valid).
+  void reset();
+
+  /// The process-wide default registry.
+  static MetricsRegistry& global();
+
+ private:
+  bool enabled_;
+  mutable std::mutex mu_;
+  // std::map: sorted iteration gives the snapshot determinism for free.
+  std::map<std::string, std::unique_ptr<std::atomic<long long>>> counters_;
+  std::map<std::string, std::unique_ptr<detail::HistogramCell>> histograms_;
+};
+
+/// Standard latency bucket bounds in milliseconds (sub-ms to 10 s).
+const std::vector<double>& latency_ms_bounds();
+
+/// Wires `pool`'s queue-latency sink into `registry[name]` (latency-ms
+/// buckets): every executed task records the time it spent queued. Replaces
+/// any previously-installed sink; call before tasks are submitted.
+void attach_queue_latency(ThreadPool& pool, MetricsRegistry& registry,
+                          const std::string& name);
+
+}  // namespace hoga::obs

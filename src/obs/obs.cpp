@@ -1,0 +1,35 @@
+#include "obs/obs.hpp"
+
+namespace hoga::obs {
+
+namespace {
+Observability g_ambient;
+}  // namespace
+
+const Observability& ambient() { return g_ambient; }
+
+ScopedObservability::ScopedObservability(Observability ctx)
+    : previous_(g_ambient) {
+  g_ambient = ctx;
+}
+
+ScopedObservability::~ScopedObservability() { g_ambient = previous_; }
+
+void count(const std::string& name, long long n) {
+  if (g_ambient.metrics) g_ambient.metrics->counter(name).inc(n);
+}
+
+void trace_event(const std::string& name) {
+  if (g_ambient.tracer) g_ambient.tracer->event(name);
+}
+
+Span ambient_span(const std::string& name) {
+  if (!g_ambient.tracer) return Span();
+  return g_ambient.tracer->span(name);
+}
+
+void ledger_event(const std::string& type, std::vector<LedgerField> fields) {
+  if (g_ambient.ledger) g_ambient.ledger->event(type, std::move(fields));
+}
+
+}  // namespace hoga::obs

@@ -1,0 +1,65 @@
+#pragma once
+// hoga::obs — umbrella header and ambient observability context
+// (DESIGN.md §10).
+//
+// Layers with explicit configuration (serve, the feature store) take
+// MetricsRegistry/Tracer/RunLedger pointers in their config structs. Layers
+// that are reached through free functions with settled signatures — the
+// trainers, the fault hooks, the parallel scaling simulation — instead read
+// an *ambient* Observability installed with ScopedObservability, mirroring
+// how fault::ScopedInjector scopes an injector without threading it through
+// every call. Null members are simply skipped, so uninstrumented runs pay
+// one pointer test per site.
+
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hoga::obs {
+
+/// The ambient observability context: any member may be null.
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  RunLedger* ledger = nullptr;
+};
+
+/// The currently installed ambient context. Never null; members may be.
+const Observability& ambient();
+
+/// Installs `ctx` process-wide for this scope, restoring the previous
+/// context on destruction. Same single-global pattern as
+/// fault::ScopedInjector: scopes may nest but not overlap across threads.
+class ScopedObservability {
+ public:
+  explicit ScopedObservability(Observability ctx);
+  ~ScopedObservability();
+
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+
+ private:
+  Observability previous_;
+};
+
+/// Bumps `name` in the ambient registry (registering on first use). For hot
+/// paths prefer resolving a Counter handle once; this is for cold sites like
+/// fault hooks.
+void count(const std::string& name, long long n = 1);
+
+/// Records a point event on the innermost ambient span of the current
+/// thread; no-op without an ambient tracer or open span.
+void trace_event(const std::string& name);
+
+/// Opens a span on the ambient tracer; returns an inert Span when no tracer
+/// is installed.
+Span ambient_span(const std::string& name);
+
+/// Appends an event to the ambient ledger; no-op without one.
+void ledger_event(const std::string& type, std::vector<LedgerField> fields);
+
+}  // namespace hoga::obs

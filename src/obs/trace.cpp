@@ -1,0 +1,177 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace hoga::obs {
+
+namespace {
+
+// Open spans of the current thread, innermost last. Spans strictly nest
+// lexically within a thread, so push/pop at the back is the common case even
+// when several tracers interleave; frames keep a pointer to the live Span so
+// Tracer::event() can annotate it directly.
+struct TlsFrame {
+  const Tracer* tracer;
+  std::uint64_t span_id;
+  Span* span;
+};
+thread_local std::vector<TlsFrame> g_open_spans;
+
+std::vector<TlsFrame>::iterator find_frame(const Tracer* tracer,
+                                           std::uint64_t span_id) {
+  for (auto it = g_open_spans.rbegin(); it != g_open_spans.rend(); ++it) {
+    if (it->tracer == tracer && it->span_id == span_id) {
+      return std::next(it).base();
+    }
+  }
+  return g_open_spans.end();
+}
+
+}  // namespace
+
+Span::Span(Tracer* tracer, SpanRecord record)
+    : tracer_(tracer), record_(std::move(record)) {
+  g_open_spans.push_back({tracer_, record_.span_id, this});
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+    if (tracer_) {
+      auto it = find_frame(tracer_, record_.span_id);
+      if (it != g_open_spans.end()) it->span = this;
+    }
+  }
+  return *this;
+}
+
+void Span::set_attr(const std::string& key, const std::string& value) {
+  if (!tracer_) return;
+  record_.attrs.emplace_back(key, value);
+}
+
+void Span::add_event(const std::string& name) {
+  if (!tracer_) return;
+  record_.events.push_back({name, tracer_->clock().now_ns()});
+}
+
+void Span::end() {
+  if (!tracer_) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  auto it = find_frame(tracer, record_.span_id);
+  if (it != g_open_spans.end()) g_open_spans.erase(it);
+  record_.end_ns = tracer->clock().now_ns();
+  tracer->finish(std::move(record_));
+}
+
+Tracer::Tracer(Clock* clock, std::size_t capacity)
+    : clock_(clock ? clock : &SteadyClock::instance()), capacity_(capacity) {}
+
+std::uint64_t Tracer::current_parent() const {
+  for (auto it = g_open_spans.rbegin(); it != g_open_spans.rend(); ++it) {
+    if (it->tracer == this) return it->span_id;
+  }
+  return 0;
+}
+
+Span Tracer::span(const std::string& name) {
+  return span(name, current_parent());
+}
+
+Span Tracer::span(const std::string& name, std::uint64_t parent_id) {
+  SpanRecord record;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    record.span_id = next_id_++;
+  }
+  record.parent_id = parent_id;
+  record.name = name;
+  record.start_ns = clock_->now_ns();
+  return Span(this, std::move(record));
+}
+
+void Tracer::event(const std::string& name) {
+  for (auto it = g_open_spans.rbegin(); it != g_open_spans.rend(); ++it) {
+    if (it->tracer == this) {
+      it->span->add_event(name);
+      return;
+    }
+  }
+}
+
+void Tracer::finish(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_.size() >= capacity_) {
+    finished_.pop_front();
+    ++dropped_;
+  }
+  finished_.push_back(std::move(record));
+}
+
+long long Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_.size();
+}
+
+std::vector<SpanRecord> Tracer::finished() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.assign(finished_.begin(), finished_.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::string Tracer::export_jsonl() const {
+  std::ostringstream out;
+  for (const SpanRecord& s : finished()) {
+    out << "{\"span_id\":" << s.span_id << ",\"parent_id\":" << s.parent_id
+        << ",\"name\":\"" << detail::json_escape(s.name) << "\",\"start_ns\":"
+        << s.start_ns << ",\"end_ns\":" << s.end_ns;
+    if (!s.attrs.empty()) {
+      out << ",\"attrs\":{";
+      for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+        if (i > 0) out << ',';
+        out << '"' << detail::json_escape(s.attrs[i].first) << "\":\""
+            << detail::json_escape(s.attrs[i].second) << '"';
+      }
+      out << '}';
+    }
+    if (!s.events.empty()) {
+      out << ",\"events\":{";
+      for (std::size_t i = 0; i < s.events.size(); ++i) {
+        if (i > 0) out << ',';
+        out << '"' << detail::json_escape(s.events[i].name)
+            << "\":" << s.events[i].ts_ns;
+      }
+      out << '}';
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace hoga::obs

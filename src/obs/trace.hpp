@@ -1,0 +1,141 @@
+#pragma once
+// hoga::obs tracing — RAII spans with parent/child nesting, a pluggable
+// clock, and a bounded in-memory buffer of finished spans (DESIGN.md §10).
+//
+// A Span marks a timed region: construction records the start timestamp,
+// destruction records the end and moves the finished record into the
+// tracer's buffer. Nesting is tracked two ways:
+//
+//   - implicitly, via a thread-local stack: a span opened on a thread while
+//     another span from the *same tracer* is open on that thread becomes its
+//     child. This covers ordinary lexical nesting (epoch -> checkpoint).
+//   - explicitly, via Tracer::span(name, parent_id): the serving runtime
+//     opens the forward-execution span on a pool worker as a child of the
+//     request span that lives on the caller thread, where TLS can't see the
+//     parent.
+//
+// Spans can carry string attributes and point events (a named timestamp on
+// the span, used by the fault layer to mark injected faults). Finished
+// spans land in a bounded deque — when full, the oldest are dropped and
+// counted, never blocking the hot path. export_jsonl() serializes finished
+// spans sorted by (start_ns, span_id), which under a FakeClock is a total
+// order: byte-identical across identical scripted runs.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace hoga::obs {
+
+class Tracer;
+
+/// A finished span as stored in the tracer's buffer.
+struct SpanRecord {
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  struct Event {
+    std::string name;
+    std::uint64_t ts_ns = 0;
+  };
+  std::vector<Event> events;
+};
+
+/// RAII handle for an open span. Move-only; a moved-from or default span is
+/// inert. End happens at destruction (or explicitly via end()).
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return record_.span_id; }
+
+  /// Attaches a string attribute (kept in insertion order).
+  void set_attr(const std::string& key, const std::string& value);
+
+  /// Records a named point event at the current clock reading.
+  void add_event(const std::string& name);
+
+  /// Finishes the span now; further calls are no-ops.
+  void end();
+
+ private:
+  friend class Tracer;
+  // Registers this span on the current thread's open-span stack; the span
+  // must be ended on the thread that opened it.
+  Span(Tracer* tracer, SpanRecord record);
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+};
+
+class Tracer {
+ public:
+  /// `clock` must outlive the tracer; defaults to the shared SteadyClock.
+  /// `capacity` bounds the finished-span buffer.
+  explicit Tracer(Clock* clock = nullptr, std::size_t capacity = 4096);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span. Parent is the innermost span of *this* tracer open on
+  /// the current thread, if any.
+  Span span(const std::string& name);
+
+  /// Opens a span with an explicit parent (0 = root). Used when the logical
+  /// parent is open on a different thread. The new span still becomes the
+  /// implicit parent for further spans on the current thread.
+  Span span(const std::string& name, std::uint64_t parent_id);
+
+  /// Records a named point event on the innermost span of this tracer open
+  /// on the current thread; no-op when none is open. This is how layers that
+  /// never hold a Span object (the fault hooks) annotate whatever span is
+  /// active around them.
+  void event(const std::string& name);
+
+  Clock& clock() { return *clock_; }
+
+  /// Finished spans dropped because the buffer was full.
+  long long dropped() const;
+
+  /// Finished spans currently buffered.
+  std::size_t size() const;
+
+  /// Snapshot of the buffered finished spans sorted by (start_ns, span_id).
+  std::vector<SpanRecord> finished() const;
+
+  /// One JSON object per line per finished span, in finished() order.
+  /// Deterministic under FakeClock.
+  std::string export_jsonl() const;
+
+  /// Clears buffered spans and the dropped counter. Open spans are
+  /// unaffected (they land in the buffer when they end).
+  void clear();
+
+ private:
+  friend class Span;
+  void finish(SpanRecord record);
+  std::uint64_t current_parent() const;
+
+  Clock* clock_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::deque<SpanRecord> finished_;
+  long long dropped_ = 0;
+};
+
+}  // namespace hoga::obs

@@ -126,18 +126,70 @@ InferenceService::InferenceService(const core::Hoga& model, ServeConfig config)
   HOGA_CHECK(config_.node_batch > 0,
              "InferenceService: node_batch must be > 0");
   pool_ = std::make_unique<ThreadPool>(config_.workers);
+
+  if (config_.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(true);
+  }
+  metrics_ = config_.metrics ? config_.metrics : owned_metrics_.get();
+  obs_clock_ = config_.tracer ? &config_.tracer->clock()
+                              : &obs::SteadyClock::instance();
+  c_.submitted = metrics_->counter("serve.submitted");
+  c_.served = metrics_->counter("serve.served");
+  c_.degraded_truncated = metrics_->counter("serve.degraded_truncated");
+  c_.degraded_cached = metrics_->counter("serve.degraded_cached");
+  c_.rejected_invalid = metrics_->counter("serve.rejected_invalid");
+  c_.rejected_overload = metrics_->counter("serve.rejected_overload");
+  c_.timed_out = metrics_->counter("serve.timed_out");
+  c_.failed = metrics_->counter("serve.failed");
+  c_.breaker_trips = metrics_->counter("serve.breaker_trips");
+  c_.feature_cache_hits = metrics_->counter("serve.feature_cache_hits");
+  c_.feature_cache_misses = metrics_->counter("serve.feature_cache_misses");
+  c_.deadline_missed = metrics_->counter("serve.deadline_missed");
+  c_.latency_ms =
+      metrics_->histogram("serve.latency_ms", obs::latency_ms_bounds());
+  c_.queue_wait_ms =
+      metrics_->histogram("serve.queue_wait_ms", obs::latency_ms_bounds());
+  c_.queue_depth = metrics_->histogram(
+      "serve.queue_depth", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
 }
 
 InferenceService::~InferenceService() = default;
 
 ServeStats InferenceService::stats() const {
+  ServeStats s;
+  s.submitted = c_.submitted.value();
+  s.served = c_.served.value();
+  s.degraded_truncated = c_.degraded_truncated.value();
+  s.degraded_cached = c_.degraded_cached.value();
+  s.rejected_invalid = c_.rejected_invalid.value();
+  s.rejected_overload = c_.rejected_overload.value();
+  s.timed_out = c_.timed_out.value();
+  s.failed = c_.failed.value();
+  s.breaker_trips = c_.breaker_trips.value();
+  s.feature_cache_hits = c_.feature_cache_hits.value();
+  s.feature_cache_misses = c_.feature_cache_misses.value();
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  s.latencies_ms = latencies_ms_;
+  return s;
 }
 
 void InferenceService::reset_stats() {
+  // Resets only this service's counters, not the whole registry (which the
+  // caller may share across services).
+  c_.submitted.reset();
+  c_.served.reset();
+  c_.degraded_truncated.reset();
+  c_.degraded_cached.reset();
+  c_.rejected_invalid.reset();
+  c_.rejected_overload.reset();
+  c_.timed_out.reset();
+  c_.failed.reset();
+  c_.breaker_trips.reset();
+  c_.feature_cache_hits.reset();
+  c_.feature_cache_misses.reset();
+  c_.deadline_missed.reset();
   std::lock_guard<std::mutex> lock(mu_);
-  stats_ = ServeStats{};
+  latencies_ms_.clear();
 }
 
 bool InferenceService::breaker_open() const {
@@ -153,10 +205,35 @@ std::size_t InferenceService::active_requests() const {
 
 Response InferenceService::infer(const Request& request) {
   const auto start = Clock::now();
+  const std::uint64_t obs_start_ns = obs_clock_->now_ns();
+  obs::Span req_span;
+  if (config_.tracer) req_span = config_.tracer->span("serve.request");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.submitted;
+    c_.submitted.inc();
   }
+  // Closes out every return path identically: stats, span, histogram,
+  // ledger. `stats_latency_ms` feeds the ServeStats latency vector (0 for
+  // rejects, matching the pre-obs behaviour); the histogram and ledger use
+  // the obs clock so they stay deterministic under a FakeClock.
+  const auto finalize = [&](Response r, double stats_latency_ms,
+                            bool was_probe) {
+    record_result(r.outcome, stats_latency_ms, was_probe);
+    const double obs_ms =
+        static_cast<double>(obs_clock_->now_ns() - obs_start_ns) / 1e6;
+    c_.latency_ms.record(obs_ms);
+    if (req_span.active()) {
+      req_span.set_attr("outcome", outcome_name(r.outcome));
+      req_span.end();
+    }
+    if (config_.ledger) {
+      config_.ledger->event("serve.request",
+                            {{"outcome", outcome_name(r.outcome)},
+                             {"latency_ms", obs_ms}});
+    }
+    r.latency_ms = ms_since(start);
+    return r;
+  };
   const double deadline_ms = request.deadline_ms > 0
                                  ? request.deadline_ms
                                  : config_.default_deadline_ms;
@@ -169,27 +246,22 @@ Response InferenceService::infer(const Request& request) {
   const bool has_aig = request.aig != nullptr;
   Tensor input;
   if (has_batch == has_aig) {
-    Response r = reject(Outcome::kRejectedInvalid,
-                        "request must carry exactly one of hop_batch / aig");
-    record_result(r.outcome, 0, false);
-    r.latency_ms = ms_since(start);
-    return r;
+    return finalize(
+        reject(Outcome::kRejectedInvalid,
+               "request must carry exactly one of hop_batch / aig"),
+        0, false);
   }
   if (has_aig) {
     if (model_.config().in_dim != reasoning::kNodeFeatureDim) {
-      Response r = reject(
-          Outcome::kRejectedInvalid,
-          "model in_dim does not match raw AIG features; send hop_batch");
-      record_result(r.outcome, 0, false);
-      r.latency_ms = ms_since(start);
-      return r;
+      return finalize(
+          reject(Outcome::kRejectedInvalid,
+                 "model in_dim does not match raw AIG features; send "
+                 "hop_batch"),
+          0, false);
     }
     if (auto bad =
             validate::check_aig(*request.aig, config_.max_request_nodes)) {
-      Response r = reject(Outcome::kRejectedInvalid, *bad);
-      record_result(r.outcome, 0, false);
-      r.latency_ms = ms_since(start);
-      return r;
+      return finalize(reject(Outcome::kRejectedInvalid, *bad), 0, false);
     }
     // Phase 1 (Eq. 3): hop features are a pure function of the AIG, cheap
     // relative to the model and deterministic — run on the caller's thread.
@@ -203,6 +275,8 @@ Response InferenceService::infer(const Request& request) {
                                         reasoning::node_features(*request.aig),
                                         model_.config().num_hops);
     };
+    obs::Span feat_span;
+    if (config_.tracer) feat_span = config_.tracer->span("serve.featurize");
     if (config_.feature_store != nullptr) {
       const store::FeatureKey key{store::aig_digest(*request.aig),
                                   model_.config().num_hops};
@@ -211,11 +285,15 @@ Response InferenceService::infer(const Request& request) {
                   ->get_or_compute(key, model_.config().in_dim, featurize,
                                    &from)
                   .gather_all();
-      std::lock_guard<std::mutex> lock(mu_);
       if (from == store::StoreOutcome::kComputed) {
-        ++stats_.feature_cache_misses;
+        c_.feature_cache_misses.inc();
       } else {
-        ++stats_.feature_cache_hits;
+        c_.feature_cache_hits.inc();
+      }
+      if (feat_span.active()) {
+        feat_span.set_attr(
+            "source", from == store::StoreOutcome::kComputed ? "computed"
+                                                             : "store");
       }
     } else {
       input = featurize().gather_all();
@@ -232,13 +310,16 @@ Response InferenceService::infer(const Request& request) {
   }
 
   // -- Validation: nothing unvalidated ever reaches a kernel ----------------
-  if (auto bad = validate::check_hop_batch(input, model_.config().num_hops,
-                                           model_.config().in_dim,
-                                           config_.max_request_nodes)) {
-    Response r = reject(Outcome::kRejectedInvalid, *bad);
-    record_result(r.outcome, 0, false);
-    r.latency_ms = ms_since(start);
-    return r;
+  {
+    obs::Span val_span;
+    if (config_.tracer) val_span = config_.tracer->span("serve.validate");
+    if (auto bad = validate::check_hop_batch(input, model_.config().num_hops,
+                                             model_.config().in_dim,
+                                             config_.max_request_nodes)) {
+      if (val_span.active()) val_span.set_attr("result", "invalid");
+      val_span.end();
+      return finalize(reject(Outcome::kRejectedInvalid, *bad), 0, false);
+    }
   }
 
   // -- Circuit breaker: pick the path ---------------------------------------
@@ -258,31 +339,35 @@ Response InferenceService::infer(const Request& request) {
     }
   }
   if (degraded) {
+    obs::Span deg_span;
+    if (config_.tracer) deg_span = config_.tracer->span("serve.degraded");
     Response r = execute_degraded(input, request.cache_key, deadline);
-    record_result(r.outcome, ms_since(start), false);
-    r.latency_ms = ms_since(start);
-    return r;
+    deg_span.end();
+    return finalize(std::move(r), ms_since(start), false);
   }
 
-  Response r = execute_full(input, deadline);
-  record_result(r.outcome, ms_since(start), is_probe);
+  Response r = execute_full(input, deadline, req_span.id());
   if (r.outcome == Outcome::kServed && request.cache_key != 0) {
     update_cache(request.cache_key, r.output);
   }
-  r.latency_ms = ms_since(start);
-  return r;
+  return finalize(std::move(r), ms_since(start), is_probe);
 }
 
 Response InferenceService::execute_full(const Tensor& input,
-                                        Clock::time_point deadline) {
+                                        Clock::time_point deadline,
+                                        std::uint64_t request_span_id) {
   // Admission under mu_ so check-then-submit is atomic: concurrent clients
   // cannot over-admit past queue_capacity.
   auto job = std::make_shared<Job>();
   TaskHandle handle;
+  obs::Span adm_span;
+  if (config_.tracer) adm_span = config_.tracer->span("serve.admission");
   {
     std::lock_guard<std::mutex> lock(mu_);
     const std::size_t depth = pool_->pending();
+    c_.queue_depth.record(static_cast<double>(depth));
     if (depth >= config_.queue_capacity) {
+      adm_span.add_event("rejected_overload");
       Response r = reject(Outcome::kRejectedOverload, "admission queue full");
       r.retry_after_ms =
           config_.retry_after_ms * static_cast<double>(depth + 1);
@@ -291,18 +376,41 @@ Response InferenceService::execute_full(const Tensor& input,
     const std::int64_t n = input.size(0);
     const std::int64_t node_batch = config_.node_batch;
     const core::Hoga* model = &model_;
-    handle = pool_->submit_cancellable([job, input, n, node_batch, model] {
+    // The forward span opens on the pool worker, where TLS can't see the
+    // request span — hence the explicit parent id. The enqueue timestamp
+    // rides along so the worker can record the obs-clock queue wait.
+    obs::Tracer* tracer = config_.tracer;
+    obs::Histogram queue_wait = c_.queue_wait_ms;
+    obs::Clock* obs_clock = obs_clock_;
+    // The admission span must close before the task can reach a worker:
+    // from the enqueue read until the future resolves, the worker owns the
+    // obs clock, which is what keeps scripted FakeClock runs totally
+    // ordered (and therefore byte-identical).
+    adm_span.end();
+    const std::uint64_t enqueued_ns = obs_clock_->now_ns();
+    handle = pool_->submit_cancellable([job, input, n, node_batch, model,
+                                        tracer, queue_wait, obs_clock,
+                                        enqueued_ns,
+                                        request_span_id]() mutable {
+      queue_wait.record(
+          static_cast<double>(obs_clock->now_ns() - enqueued_ns) / 1e6);
+      obs::Span fwd_span;
+      if (tracer) fwd_span = tracer->span("serve.forward", request_span_id);
       if (fault::Injector* inj = fault::active()) {
         // A queue stall wedges the executor *non*-cooperatively (models a
         // stuck worker); admissions pile up behind it.
         const double stall = inj->queue_stall_ms();
         if (stall > 0) {
+          fwd_span.add_event("fault.queue_stall");
           std::this_thread::sleep_for(
               std::chrono::duration<double, std::milli>(stall));
         }
         // A slow worker is cooperative: cancellation still observed.
         const double delay = inj->request_delay_ms();
-        if (delay > 0 && !cooperative_sleep(delay, job->cancel)) return;
+        if (delay > 0) {
+          fwd_span.add_event("fault.request_delay");
+          if (!cooperative_sleep(delay, job->cancel)) return;
+        }
       }
       // HOGA inference is per-node independent (Eq. 3), so the batch splits
       // into node chunks with a cancellation/deadline check between chunks.
@@ -386,20 +494,21 @@ void InferenceService::record_result(Outcome outcome, double latency_ms,
                                      bool was_probe) {
   std::lock_guard<std::mutex> lock(mu_);
   switch (outcome) {
-    case Outcome::kServed: ++stats_.served; break;
-    case Outcome::kDegradedTruncated: ++stats_.degraded_truncated; break;
-    case Outcome::kDegradedCached: ++stats_.degraded_cached; break;
-    case Outcome::kRejectedInvalid: ++stats_.rejected_invalid; break;
-    case Outcome::kRejectedOverload: ++stats_.rejected_overload; break;
-    case Outcome::kTimedOut: ++stats_.timed_out; break;
-    case Outcome::kFailed: ++stats_.failed; break;
+    case Outcome::kServed: c_.served.inc(); break;
+    case Outcome::kDegradedTruncated: c_.degraded_truncated.inc(); break;
+    case Outcome::kDegradedCached: c_.degraded_cached.inc(); break;
+    case Outcome::kRejectedInvalid: c_.rejected_invalid.inc(); break;
+    case Outcome::kRejectedOverload: c_.rejected_overload.inc(); break;
+    case Outcome::kTimedOut: c_.timed_out.inc(); break;
+    case Outcome::kFailed: c_.failed.inc(); break;
   }
+  if (outcome == Outcome::kTimedOut) c_.deadline_missed.inc();
   const bool completed = outcome == Outcome::kServed ||
                          outcome == Outcome::kDegradedTruncated ||
                          outcome == Outcome::kDegradedCached ||
                          outcome == Outcome::kTimedOut ||
                          outcome == Outcome::kFailed;
-  if (completed) stats_.latencies_ms.push_back(latency_ms);
+  if (completed) latencies_ms_.push_back(latency_ms);
 
   // Breaker bookkeeping. Degraded outcomes and rejections are neutral:
   // only full-path results move the state machine.
@@ -417,7 +526,7 @@ void InferenceService::record_result(Outcome outcome, double latency_ms,
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double, std::milli>(
                                  config_.breaker_reset_ms));
-      ++stats_.breaker_trips;
+      c_.breaker_trips.inc();
     }
     return;
   }
@@ -431,7 +540,7 @@ void InferenceService::record_result(Outcome outcome, double latency_ms,
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
                              std::chrono::duration<double, std::milli>(
                                  config_.breaker_reset_ms));
-      ++stats_.breaker_trips;
+      c_.breaker_trips.inc();
       consecutive_failures_ = 0;
     }
   }

@@ -39,6 +39,9 @@
 
 #include "aig/aig.hpp"
 #include "core/hoga_model.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/threadpool.hpp"
 
 namespace hoga::store {
@@ -64,6 +67,17 @@ struct ServeConfig {
   /// digest) before running phase-1 featurization, turning repeated-circuit
   /// traffic into cache hits; null keeps the old recompute-per-request path.
   store::FeatureStore* feature_store = nullptr;
+  /// Optional observability sinks (DESIGN.md §10), all borrowed and
+  /// independent. `metrics` hosts the serve.* counters and histograms that
+  /// back ServeStats; when null the service keeps a private registry, so
+  /// stats work either way. `tracer` enables per-request spans
+  /// (request/featurize/validate/admission/forward/degraded); when set, its
+  /// clock also timestamps the serve.* histograms and ledger events, which
+  /// is how the determinism tests get byte-identical output under a
+  /// FakeClock. `ledger` receives one serve.request event per call.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  obs::RunLedger* ledger = nullptr;
 };
 
 /// One inference request: either a precomputed hop-feature batch
@@ -163,7 +177,8 @@ class InferenceService {
   struct Job;
 
   Response execute_full(const Tensor& input,
-                        std::chrono::steady_clock::time_point deadline);
+                        std::chrono::steady_clock::time_point deadline,
+                        std::uint64_t request_span_id);
   Response execute_degraded(const Tensor& input, std::uint64_t cache_key,
                             std::chrono::steady_clock::time_point deadline);
   void record_result(Outcome outcome, double latency_ms, bool was_probe);
@@ -173,12 +188,28 @@ class InferenceService {
   ServeConfig config_;
   std::unique_ptr<ThreadPool> pool_;
 
+  // ServeStats is re-based onto a metrics registry: the counters live in
+  // config_.metrics (or this private registry when none is given) under
+  // "serve.*" names, and stats() reconstructs the struct from the handles.
+  // Signature semantics are unchanged; only the storage moved.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Clock* obs_clock_ = nullptr;
+  struct ServeCounters {
+    obs::Counter submitted, served, degraded_truncated, degraded_cached,
+        rejected_invalid, rejected_overload, timed_out, failed, breaker_trips,
+        feature_cache_hits, feature_cache_misses, deadline_missed;
+    obs::Histogram latency_ms;     // obs-clock end-to-end request time
+    obs::Histogram queue_wait_ms;  // obs-clock admission-to-worker-pickup
+    obs::Histogram queue_depth;    // admission-queue depth seen per admit
+  } c_;
+
   mutable std::mutex mu_;
   BreakerState breaker_ = BreakerState::kClosed;
   bool probe_in_flight_ = false;
   int consecutive_failures_ = 0;
   std::chrono::steady_clock::time_point breaker_open_until_{};
-  ServeStats stats_;
+  std::vector<double> latencies_ms_;  // wall-clock, kept out of the registry
   std::unordered_map<std::uint64_t, Tensor> cache_;
   std::vector<std::uint64_t> cache_order_;  // FIFO eviction
 };

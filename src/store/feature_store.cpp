@@ -1,11 +1,14 @@
 #include "store/feature_store.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/io.hpp"
@@ -65,7 +68,9 @@ std::string StoreStats::counts_signature() const {
      << " config_mismatches=" << config_mismatches
      << " computes=" << computes << " shard_writes=" << shard_writes
      << " write_errors=" << write_errors
-     << " corrupt_shards=" << corrupt_shards << " evictions=" << evictions;
+     << " corrupt_shards=" << corrupt_shards << " evictions=" << evictions
+     << " negative_hits=" << negative_hits
+     << " shard_evictions=" << shard_evictions;
   return os.str();
 }
 
@@ -174,6 +179,21 @@ FeatureStore::FeatureStore(StoreConfig config) : config_(std::move(config)) {
   if (!config_.directory.empty()) {
     std::filesystem::create_directories(config_.directory);
   }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    c_.lookups = m.counter("store.lookups");
+    c_.memory_hits = m.counter("store.memory_hits");
+    c_.disk_hits = m.counter("store.disk_hits");
+    c_.misses = m.counter("store.misses");
+    c_.config_mismatches = m.counter("store.config_mismatches");
+    c_.computes = m.counter("store.computes");
+    c_.shard_writes = m.counter("store.shard_writes");
+    c_.write_errors = m.counter("store.write_errors");
+    c_.corrupt_shards = m.counter("store.corrupt_shards");
+    c_.evictions = m.counter("store.evictions");
+    c_.negative_hits = m.counter("store.negative_hits");
+    c_.shard_evictions = m.counter("store.shard_evictions");
+  }
 }
 
 std::string FeatureStore::shard_path(const FeatureKey& key) const {
@@ -200,6 +220,7 @@ void FeatureStore::insert_memory_locked(std::uint64_t content,
     memory_bytes_ -= it->second.bytes;
     entries_.erase(it);
     ++stats_.evictions;
+    c_.evictions.inc();
   }
   lru_.push_back(content);
   entries_.emplace(content,
@@ -207,11 +228,30 @@ void FeatureStore::insert_memory_locked(std::uint64_t content,
   memory_bytes_ += bytes;
 }
 
+void FeatureStore::remember_negative_locked(const FeatureKey& key) {
+  if (config_.negative_cache_capacity == 0) return;
+  const auto entry = std::make_pair(key.content, key.num_hops);
+  if (!negative_.insert(entry).second) return;  // already remembered
+  negative_fifo_.push_back(entry);
+  // Invalidated entries linger in the FIFO until they surface; skip them.
+  while (negative_.size() > config_.negative_cache_capacity &&
+         !negative_fifo_.empty()) {
+    negative_.erase(negative_fifo_.front());
+    negative_fifo_.pop_front();
+  }
+}
+
+void FeatureStore::forget_negative_locked(const FeatureKey& key) {
+  negative_.erase(std::make_pair(key.content, key.num_hops));
+}
+
 std::optional<core::HopFeatures> FeatureStore::lookup(
     const FeatureKey& key, std::int64_t expected_dim, StoreOutcome* outcome) {
+  bool skip_disk = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.lookups;
+    c_.lookups.inc();
     if (auto it = entries_.find(key.content); it != entries_.end()) {
       // Re-validate the hit against the *requesting* config. Metadata-only
       // (O(1)): the data was validated when it entered the cache, and the
@@ -221,16 +261,26 @@ std::optional<core::HopFeatures> FeatureStore::lookup(
                                       expected_dim)) {
         lru_.splice(lru_.end(), lru_, it->second.lru_it);  // touch
         ++stats_.memory_hits;
+        c_.memory_hits.inc();
         if (outcome) *outcome = StoreOutcome::kMemoryHit;
         return it->second.hops;
       }
       // Same graph, different K or dim: a miss, never an error — the
       // recompute below replaces this entry with the requested config.
       ++stats_.config_mismatches;
+      c_.config_mismatches.inc();
+    }
+    // Negative memoization: a key recently confirmed shard-less skips the
+    // filesystem probe below. Exactness matters — membership is the literal
+    // (digest, K) pair, so this can never shadow a shard that exists.
+    if (negative_.count(std::make_pair(key.content, key.num_hops)) > 0) {
+      skip_disk = true;
+      ++stats_.negative_hits;
+      c_.negative_hits.inc();
     }
   }
 
-  if (!config_.directory.empty()) {
+  if (!config_.directory.empty() && !skip_disk) {
     std::string bytes;
     bool have_shard = true;
     try {
@@ -249,6 +299,7 @@ std::optional<core::HopFeatures> FeatureStore::lookup(
       if (config_ok) {
         insert_memory_locked(key.content, *hops);
         ++stats_.disk_hits;
+        c_.disk_hits.inc();
         if (outcome) *outcome = StoreOutcome::kDiskHit;
         return hops;
       }
@@ -256,14 +307,20 @@ std::optional<core::HopFeatures> FeatureStore::lookup(
         // CRC/format rejection: count it and fall through to recompute —
         // a rotted shard must never crash a trainer or the serving path.
         ++stats_.corrupt_shards;
+        c_.corrupt_shards.inc();
       } else {
         ++stats_.config_mismatches;
+        c_.config_mismatches.inc();
       }
+    } else {
+      std::lock_guard<std::mutex> lock(mu_);
+      remember_negative_locked(key);
     }
   }
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.misses;
+  c_.misses.inc();
   return std::nullopt;
 }
 
@@ -276,6 +333,7 @@ core::HopFeatures FeatureStore::get_or_compute(
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.computes;
+    c_.computes.inc();
   }
   core::HopFeatures hops = compute();
   HOGA_CHECK(hops.num_hops() == key.num_hops,
@@ -303,19 +361,61 @@ void FeatureStore::put(const FeatureKey& key, const core::HopFeatures& hops) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     insert_memory_locked(key.content, hops);
+    // The shard is about to exist (or at least be retried): a stale "no
+    // shard here" memo must not outlive this put.
+    forget_negative_locked(key);
   }
   if (config_.directory.empty()) return;
   const std::string path = shard_path(key);
+  bool wrote = false;
   try {
     fault::maybe_fail_store_write(path);
     util::atomic_write_file(path, encode_shard(key, hops));
+    wrote = true;
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.shard_writes;
+    c_.shard_writes.inc();
   } catch (const std::exception&) {
     // A failed shard write degrades the store to memory-only for this key;
     // the features themselves are already in hand and in the LRU tier.
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.write_errors;
+    c_.write_errors.inc();
+  }
+  if (wrote && config_.max_shard_files > 0) {
+    enforce_shard_cap(key.shard_name());
+  }
+}
+
+void FeatureStore::enforce_shard_cap(const std::string& keep_name) {
+  namespace fs = std::filesystem;
+  struct Shard {
+    fs::file_time_type mtime;
+    std::string name;
+  };
+  std::vector<Shard> shards;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".feat") continue;
+    if (name == keep_name) continue;  // never evict the shard just written
+    shards.push_back({entry.last_write_time(ec), name});
+  }
+  // keep_name itself occupies one slot of the cap.
+  if (shards.size() + 1 <= config_.max_shard_files) return;
+  const std::size_t excess = shards.size() + 1 - config_.max_shard_files;
+  std::sort(shards.begin(), shards.end(), [](const Shard& a, const Shard& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.name < b.name;
+  });
+  for (std::size_t i = 0; i < excess && i < shards.size(); ++i) {
+    fs::remove(fs::path(config_.directory) / shards[i].name, ec);
+    if (ec) continue;
+    obs::ledger_event("store.shard_eviction", {{"shard", shards[i].name}});
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shard_evictions;
+    c_.shard_evictions.inc();
   }
 }
 

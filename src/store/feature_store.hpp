@@ -32,15 +32,19 @@
 // HopFeatures as immutable: tensors share storage with the cache.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "core/hop_features.hpp"
 #include "graph/csr.hpp"
+#include "obs/metrics.hpp"
 #include "store/digest.hpp"
 #include "tensor/tensor.hpp"
 
@@ -52,6 +56,21 @@ struct StoreConfig {
   std::string directory;
   /// Byte budget of the in-memory LRU tier; 0 disables memory caching.
   std::size_t memory_budget_bytes = std::size_t{256} << 20;
+  /// Recently-missed keys remembered so repeated lookups of a key with no
+  /// shard skip the filesystem entirely (negative-lookup memoization);
+  /// 0 disables. Entries are exact (digest, K) pairs — no hashing, so a
+  /// negative hit can never shadow an existing shard — and a put()
+  /// invalidates its key immediately.
+  std::size_t negative_cache_capacity = 1024;
+  /// Upper bound on shard files kept in the persistent tier; 0 = unbounded.
+  /// Enforced after each successful shard write by deleting the
+  /// oldest-mtime shards (mtime ties broken by filename, so tests with
+  /// explicit mtimes are deterministic); the shard just written is never
+  /// the victim. Evictions are counted and logged through obs.
+  std::size_t max_shard_files = 0;
+  /// Optional registry that mirrors every StoreStats counter under
+  /// "store.*" names; null skips the mirroring (stats() works regardless).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Where a get_or_compute was satisfied.
@@ -71,6 +90,8 @@ struct StoreStats {
   long long write_errors = 0;       // swallowed persistent-tier write failures
   long long corrupt_shards = 0;     // CRC/decode rejections (treated as miss)
   long long evictions = 0;          // memory-tier LRU evictions
+  long long negative_hits = 0;      // disk probes skipped via negative cache
+  long long shard_evictions = 0;    // persistent shards deleted by the cap
 
   long long hits() const { return memory_hits + disk_hits; }
   /// Deterministic counter line, e.g. "lookups=4 memory_hits=2 ...".
@@ -156,7 +177,21 @@ class FeatureStore {
   void insert_memory_locked(std::uint64_t content,
                             const core::HopFeatures& hops);
 
+  /// Remembers `key` as having no shard / forgets it again (both under mu_).
+  void remember_negative_locked(const FeatureKey& key);
+  void forget_negative_locked(const FeatureKey& key);
+
+  /// Deletes oldest-mtime shards past max_shard_files, sparing `keep_name`.
+  void enforce_shard_cap(const std::string& keep_name);
+
   StoreConfig config_;
+  // Registry mirror of StoreStats (null handles when no registry is
+  // configured, so the increments cost one branch).
+  struct StoreCounters {
+    obs::Counter lookups, memory_hits, disk_hits, misses, config_mismatches,
+        computes, shard_writes, write_errors, corrupt_shards, evictions,
+        negative_hits, shard_evictions;
+  } c_;
   mutable std::mutex mu_;
   // Memory tier keyed by content digest alone (one entry per graph): this
   // is what makes a same-graph different-K request observable as a config
@@ -165,6 +200,11 @@ class FeatureStore {
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // front = oldest
   std::size_t memory_bytes_ = 0;
+  // Negative-lookup memoization: exact keys known to have no shard. The
+  // FIFO bounds the set; entries invalidated by put() are skipped when they
+  // reach the front.
+  std::set<std::pair<std::uint64_t, int>> negative_;
+  std::deque<std::pair<std::uint64_t, int>> negative_fifo_;
   StoreStats stats_;
 };
 

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace hoga::train {
@@ -21,7 +22,7 @@ std::vector<ScalingPoint> simulate_hoga_scaling(
              "simulate_hoga_scaling: batch_size must be > 0");
   const std::int64_t param_bytes = model.parameter_count() * 4;
   std::vector<ScalingPoint> points;
-  double base_epoch = 0;
+  double base_epoch = cluster_cfg.baseline_epoch_seconds;
 
   for (int workers : cluster_cfg.worker_counts) {
     Rng rng(train_cfg.seed);
@@ -88,6 +89,11 @@ std::vector<ScalingPoint> simulate_hoga_scaling(
         if (fails) {
           if (processed_end < hi) orphaned.emplace_back(processed_end, hi);
           ++epoch_failures;
+          obs::trace_event("scaling.worker_failure");
+          obs::ledger_event("scaling.worker_failure",
+                            {{"workers", workers},
+                             {"epoch", epoch},
+                             {"worker", w}});
         } else {
           survivors.push_back(w);
         }
@@ -147,9 +153,21 @@ std::vector<ScalingPoint> simulate_hoga_scaling(
     }
     p.epoch_seconds =
         p.compute_seconds + p.allreduce_seconds + p.recovery_seconds;
-    if (points.empty()) base_epoch = p.epoch_seconds;
+    if (base_epoch == 0) base_epoch = p.epoch_seconds;
     p.speedup = base_epoch / p.epoch_seconds;
     p.efficiency = p.speedup / workers;
+    // Every field of the point goes to the ledger; doubles are written in
+    // shortest round-trippable form, so the figure is reconstructible from
+    // the ledger alone (asserted by test_obs).
+    obs::ledger_event("scaling.point",
+                      {{"workers", p.workers},
+                       {"worker_failures", p.worker_failures},
+                       {"compute_seconds", p.compute_seconds},
+                       {"allreduce_seconds", p.allreduce_seconds},
+                       {"recovery_seconds", p.recovery_seconds},
+                       {"epoch_seconds", p.epoch_seconds},
+                       {"speedup", p.speedup},
+                       {"efficiency", p.efficiency}});
     points.push_back(p);
   }
   return points;

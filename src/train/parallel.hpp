@@ -43,6 +43,11 @@ struct ClusterConfig {
   /// Per-step latency of a collective (s).
   double collective_latency = 50e-6;
   int epochs_to_time = 1;
+  /// Speedup/efficiency baseline. 0 (default) = the first measured point's
+  /// epoch time; set it when splitting one sweep across several calls so
+  /// every point (and its "scaling.point" ledger event) is normalized
+  /// against the same single-worker run.
+  double baseline_epoch_seconds = 0;
 };
 
 /// Measures HOGA data-parallel epoch time for each worker count. The model

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "fault/fault.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/io.hpp"
@@ -287,10 +288,13 @@ std::vector<float> run_fault_tolerant_epochs(
     const std::function<double(bool* ok)>& epoch_body, LoopStats* stats) {
   TrainState state;
   if (!ckpt.resume_from.empty()) {
+    obs::Span resume_span = obs::ambient_span("train.resume");
     state = load_train_state_file(model, opt, rng, ckpt.resume_from);
     HOGA_CHECK(state.epoch <= epochs,
                "run_fault_tolerant_epochs: checkpoint is at epoch "
                    << state.epoch << ", run only has " << epochs);
+    resume_span.end();
+    obs::ledger_event("train.resume", {{"epoch", state.epoch}});
   }
   LoopStats local;
   local.resumed_from_epoch = state.epoch;
@@ -304,6 +308,7 @@ std::vector<float> run_fault_tolerant_epochs(
   }
 
   while (state.epoch < epochs) {
+    obs::Span epoch_span = obs::ambient_span("train.epoch");
     bool ok = true;
     const double mean_loss = epoch_body(&ok);
     if (!ok) {
@@ -314,12 +319,18 @@ std::vector<float> run_fault_tolerant_epochs(
                  "trainer: still diverging after "
                      << local.rollbacks
                      << " rollbacks; refusing to continue");
-      state = load_train_state(model, opt, rng, last_good);
-      opt.set_lr(opt.lr() * ckpt.rollback_lr_cut);
-      // Refresh the snapshot so repeated rollbacks compound the LR cut
-      // instead of resetting to the pre-cut rate each time.
-      last_good = save_train_state(model, opt, rng, state);
+      {
+        obs::Span recovery_span = obs::ambient_span("train.recovery");
+        state = load_train_state(model, opt, rng, last_good);
+        opt.set_lr(opt.lr() * ckpt.rollback_lr_cut);
+        // Refresh the snapshot so repeated rollbacks compound the LR cut
+        // instead of resetting to the pre-cut rate each time.
+        last_good = save_train_state(model, opt, rng, state);
+      }
       ++local.rollbacks;
+      obs::ledger_event("train.rollback", {{"epoch", state.epoch},
+                                           {"rollbacks", local.rollbacks},
+                                           {"lr", opt.lr()}});
       continue;
     }
     state.epoch_losses.push_back(static_cast<float>(mean_loss));
@@ -329,10 +340,18 @@ std::vector<float> run_fault_tolerant_epochs(
     }
     if (ckpt.every > 0 && !ckpt.path.empty() &&
         state.epoch % ckpt.every == 0) {
-      local.checkpoint_retries += save_train_state_file_with_retry(
+      obs::Span ckpt_span = obs::ambient_span("train.checkpoint");
+      const int retries = save_train_state_file_with_retry(
           model, opt, rng, state, ckpt.path, ckpt.max_retries,
           ckpt.backoff_initial_ms, ckpt.backoff_max_ms);
+      local.checkpoint_retries += retries;
+      ckpt_span.end();
+      obs::ledger_event("train.checkpoint",
+                        {{"epoch", state.epoch}, {"retries", retries}});
     }
+    epoch_span.end();
+    obs::ledger_event("train.epoch",
+                      {{"epoch", state.epoch}, {"mean_loss", mean_loss}});
   }
   if (stats) *stats = local;
   return state.epoch_losses;

@@ -20,12 +20,15 @@ std::array<std::uint32_t, 256> make_table() {
 }  // namespace
 
 std::uint32_t crc32(std::string_view data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+std::uint32_t crc32_update(std::uint32_t state, std::string_view data) {
   static const std::array<std::uint32_t, 256> table = make_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
   for (unsigned char byte : data) {
-    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    state = table[(state ^ byte) & 0xFFu] ^ (state >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
+  return state;
 }
 
 }  // namespace hoga::util

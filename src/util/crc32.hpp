@@ -12,4 +12,15 @@ namespace hoga::util {
 /// CRC of `data`; crc32("123456789") == 0xCBF43926.
 std::uint32_t crc32(std::string_view data);
 
+/// Incremental form for streamed data (e.g. the run ledger, which CRCs each
+/// appended line without buffering the whole file). Start from
+/// crc32_init(), fold in chunks with crc32_update, finish with
+/// crc32_final: crc32_final(crc32_update(crc32_init(), d)) == crc32(d), and
+/// updates compose: update(update(s, a), b) == update(s, a+b).
+inline std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+std::uint32_t crc32_update(std::uint32_t state, std::string_view data);
+inline std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
 }  // namespace hoga::util

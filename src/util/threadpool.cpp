@@ -42,11 +42,17 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   auto fut = task.get_future();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(
+        QueuedTask{std::move(task), std::chrono::steady_clock::now()});
     ++queued_;
   }
   cv_.notify_one();
   return fut;
+}
+
+void ThreadPool::set_queue_latency_sink(std::function<void(double)> sink) {
+  std::lock_guard<std::mutex> lk(mu_);
+  queue_latency_sink_ = std::move(sink);
 }
 
 TaskHandle ThreadPool::submit_cancellable(std::function<void()> fn) {
@@ -97,19 +103,25 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask item;
+    std::function<void(double)> sink;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) return;  // stopping_ && drained
-      task = std::move(tasks_.front());
+      item = std::move(tasks_.front());
       tasks_.pop();
       --queued_;
       ++active_;
+      sink = queue_latency_sink_;
+    }
+    if (sink) {
+      const auto waited = std::chrono::steady_clock::now() - item.enqueued;
+      sink(std::chrono::duration<double, std::milli>(waited).count());
     }
     // packaged_task captures any exception into the shared state; a
     // throwing task can never take a worker thread down.
-    task();
+    item.task();
     --active_;
   }
 }

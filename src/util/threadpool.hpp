@@ -18,6 +18,7 @@
 //     obtained from this pool is ever abandoned with no state.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -101,16 +102,31 @@ class ThreadPool {
   /// Global pool shared by tensor kernels.
   static ThreadPool& global();
 
+  /// Installs a callback invoked by a worker, just before it runs each task,
+  /// with the milliseconds the task spent queued. Generic on purpose: the
+  /// pool lives below the observability layer, so obs wires a histogram in
+  /// from above (obs::attach_queue_latency) instead of the pool depending on
+  /// it. Replaces any previous sink; pass an empty function to detach.
+  /// Install before tasks are submitted — the sink is read per-dequeue under
+  /// the queue lock but invoked outside it.
+  void set_queue_latency_sink(std::function<void(double)> sink);
+
  private:
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::size_t queued_ = 0;
   std::atomic<std::size_t> active_{0};
   bool stopping_ = false;
+  std::function<void(double)> queue_latency_sink_;
 };
 
 }  // namespace hoga

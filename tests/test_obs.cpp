@@ -1,0 +1,918 @@
+// Observability subsystem tests (DESIGN.md §10): metrics registry semantics
+// and snapshot formats, fake/steady clocks, span nesting (implicit TLS and
+// explicit cross-thread parents), the bounded trace buffer, run-ledger
+// round trips and crash residue, and the cross-layer wiring — serve span
+// trees byte-identical under FakeClock + seeded faults, trainer
+// recovery events reconstructible from the ledger, fig5 scaling points
+// rebuilt bit-exactly from ledger lines, store negative-lookup and
+// shard-cap instrumentation, and the thread-pool queue-latency sink.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "core/hop_features.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "reasoning/features.hpp"
+#include "serve/serve.hpp"
+#include "store/feature_store.hpp"
+#include "train/parallel.hpp"
+#include "train/train_state.hpp"
+#include "util/io.hpp"
+#include "util/threadpool.hpp"
+
+namespace hoga {
+namespace {
+
+// -- Metrics registry -------------------------------------------------------
+
+TEST(ObsMetrics, CounterRegistersCountsAndResets) {
+  obs::MetricsRegistry reg;
+  obs::Counter a = reg.counter("x.a");
+  a.inc();
+  a.inc(4);
+  EXPECT_EQ(a.value(), 5);
+  // Same name resolves to the same cell.
+  obs::Counter a2 = reg.counter("x.a");
+  a2.inc();
+  EXPECT_EQ(a.value(), 6);
+  a.reset();
+  EXPECT_EQ(a2.value(), 0);
+  // Default-constructed handles no-op.
+  obs::Counter null;
+  null.inc(100);
+  EXPECT_EQ(null.value(), 0);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndExactSnapshots) {
+  obs::MetricsRegistry reg;
+  obs::Counter c = reg.counter("obs.test");
+  c.inc(2);
+  obs::Histogram h = reg.histogram("h", {1.0, 5.0, 10.0});
+  for (double v : {0.5, 1.0, 3.0, 10.0, 11.0}) h.record(v);
+  // "le" semantics: a value equal to a bound lands in that bucket.
+  EXPECT_EQ(h.bucket_count(0), 2);  // 0.5, 1.0
+  EXPECT_EQ(h.bucket_count(1), 1);  // 3.0
+  EXPECT_EQ(h.bucket_count(2), 1);  // 10.0
+  EXPECT_EQ(h.bucket_count(3), 1);  // 11.0 -> overflow
+  EXPECT_EQ(h.bucket_count(4), 0);  // out of range
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 25.5);
+
+  EXPECT_EQ(reg.text_snapshot(),
+            "counter obs.test 2\n"
+            "histogram h count=5 sum=25.5 le1=2 le5=1 le10=1 inf=1\n");
+  EXPECT_EQ(reg.json_snapshot(),
+            "{\"counters\":{\"obs.test\":2},\"histograms\":{\"h\":"
+            "{\"bounds\":[1,5,10],\"bucket_counts\":[2,1,1,1],"
+            "\"count\":5,\"sum\":25.5}}}");
+
+  reg.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.bucket_count(0), 0);
+}
+
+TEST(ObsMetrics, SnapshotIsSortedByName) {
+  obs::MetricsRegistry reg;
+  reg.counter("zeta").inc();
+  reg.counter("alpha").inc();
+  reg.counter("mid").inc();
+  EXPECT_EQ(reg.text_snapshot(),
+            "counter alpha 1\ncounter mid 1\ncounter zeta 1\n");
+}
+
+TEST(ObsMetrics, DisabledRegistryHandsOutNoopsAndEmptySnapshots) {
+  obs::MetricsRegistry reg(/*enabled=*/false);
+  EXPECT_FALSE(reg.enabled());
+  obs::Counter c = reg.counter("a");
+  obs::Histogram h = reg.histogram("h", {1.0});
+  c.inc(7);
+  h.record(0.5);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(reg.text_snapshot(), "");
+  EXPECT_EQ(reg.json_snapshot(), "{\"counters\":{},\"histograms\":{}}");
+}
+
+TEST(ObsMetrics, HistogramBoundsAreValidated) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad", {}), std::runtime_error);
+  EXPECT_THROW(reg.histogram("bad", {2.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(reg.histogram("bad", {1.0, 1.0}), std::runtime_error);
+  obs::Histogram h = reg.histogram("ok", {1.0, 2.0});
+  (void)h;
+  // Re-registration with identical bounds shares the cell...
+  obs::Histogram h2 = reg.histogram("ok", {1.0, 2.0});
+  h2.record(0.5);
+  EXPECT_EQ(h.count(), 1);
+  // ...but different bounds are a wiring bug.
+  EXPECT_THROW(reg.histogram("ok", {1.0, 3.0}), std::runtime_error);
+}
+
+// -- Clocks -----------------------------------------------------------------
+
+TEST(ObsClock, FakeClockIsDeterministicAndAdvances) {
+  obs::FakeClock a(100, 10), b(100, 10);
+  EXPECT_EQ(a.now_ns(), 100u);
+  EXPECT_EQ(a.now_ns(), 110u);
+  EXPECT_EQ(a.now_ns(), 120u);
+  a.advance(5);
+  EXPECT_EQ(a.now_ns(), 135u);
+  for (std::uint64_t want : {100u, 110u, 120u}) EXPECT_EQ(b.now_ns(), want);
+}
+
+TEST(ObsClock, FakeClockJitterIsSeededAndBounded) {
+  obs::FakeClock a(0, 1000, /*jitter_seed=*/42, /*jitter_ns=*/500);
+  obs::FakeClock b(0, 1000, /*jitter_seed=*/42, /*jitter_ns=*/500);
+  std::uint64_t prev = 0;
+  bool jittered = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t ta = a.now_ns();
+    EXPECT_EQ(ta, b.now_ns());  // same seed, same sequence
+    if (i > 0) {
+      const std::uint64_t step = ta - prev;
+      EXPECT_GE(step, 1000u);
+      EXPECT_LE(step, 1500u);
+      if (step != 1000u) jittered = true;
+    }
+    prev = ta;
+  }
+  EXPECT_TRUE(jittered);  // jitter_ns > 0 actually perturbs the steps
+}
+
+TEST(ObsClock, SteadyClockIsMonotone) {
+  obs::SteadyClock& clk = obs::SteadyClock::instance();
+  const std::uint64_t t1 = clk.now_ns();
+  const std::uint64_t t2 = clk.now_ns();
+  EXPECT_LE(t1, t2);
+}
+
+// -- Tracer -----------------------------------------------------------------
+
+TEST(ObsTrace, ImplicitNestingAttrsAndEvents) {
+  obs::FakeClock clk;
+  obs::Tracer tr(&clk);
+  {
+    obs::Span parent = tr.span("parent");
+    parent.set_attr("k", "v");
+    {
+      obs::Span child = tr.span("child");
+      tr.event("mark");  // lands on the innermost open span
+    }
+  }
+  const auto spans = tr.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time: parent opened first.
+  EXPECT_EQ(spans[0].name, "parent");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "k");
+  EXPECT_EQ(spans[0].attrs[0].second, "v");
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+  ASSERT_EQ(spans[1].events.size(), 1u);
+  EXPECT_EQ(spans[1].events[0].name, "mark");
+  // FakeClock(0, 1000): parent start 0, child start 1000, event 2000,
+  // child end 3000, parent end 4000.
+  EXPECT_EQ(spans[0].start_ns, 0u);
+  EXPECT_EQ(spans[1].start_ns, 1000u);
+  EXPECT_EQ(spans[1].events[0].ts_ns, 2000u);
+  EXPECT_EQ(spans[1].end_ns, 3000u);
+  EXPECT_EQ(spans[0].end_ns, 4000u);
+}
+
+TEST(ObsTrace, ExplicitParentBridgesThreads) {
+  obs::FakeClock clk;
+  obs::Tracer tr(&clk);
+  obs::Span root = tr.span("root");
+  const std::uint64_t root_id = root.id();
+  std::thread worker([&] {
+    // TLS on this thread has no open span; the explicit parent links the
+    // cross-thread child, and it becomes the implicit parent locally.
+    obs::Span w = tr.span("worker", root_id);
+    obs::Span inner = tr.span("inner");
+  });
+  worker.join();
+  root.end();
+  const auto spans = tr.finished();
+  ASSERT_EQ(spans.size(), 3u);
+  std::uint64_t worker_id = 0;
+  for (const auto& s : spans) {
+    if (s.name == "worker") {
+      worker_id = s.span_id;
+      EXPECT_EQ(s.parent_id, root_id);
+    }
+  }
+  ASSERT_NE(worker_id, 0u);
+  for (const auto& s : spans) {
+    if (s.name == "inner") {
+      EXPECT_EQ(s.parent_id, worker_id);
+    }
+    if (s.name == "root") {
+      EXPECT_EQ(s.parent_id, 0u);
+    }
+  }
+}
+
+TEST(ObsTrace, MoveAndExplicitEndAreSafe) {
+  obs::FakeClock clk;
+  obs::Tracer tr(&clk);
+  obs::Span a = tr.span("a");
+  obs::Span b = std::move(a);  // the TLS frame must follow the move
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  tr.event("after-move");  // must land on the moved-to span, not crash
+  b.end();
+  b.end();  // idempotent
+  const auto spans = tr.finished();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].events.size(), 1u);
+  EXPECT_EQ(spans[0].events[0].name, "after-move");
+  // Event with no open span is a silent no-op.
+  tr.event("orphan");
+  EXPECT_EQ(tr.finished()[0].events.size(), 1u);
+}
+
+TEST(ObsTrace, BoundedBufferDropsOldest) {
+  obs::FakeClock clk;
+  obs::Tracer tr(&clk, /*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    std::string name("s");
+    name += std::to_string(i);
+    obs::Span s = tr.span(name);
+  }
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.dropped(), 2);
+  const auto spans = tr.finished();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "s2");  // s0, s1 were dropped
+  EXPECT_EQ(spans[2].name, "s4");
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.dropped(), 0);
+}
+
+TEST(ObsTrace, ExportJsonlExactFormatAndDeterminism) {
+  const auto run = [] {
+    obs::FakeClock clk;
+    obs::Tracer tr(&clk);
+    {
+      obs::Span s = tr.span("solo");
+    }
+    {
+      obs::Span p = tr.span("p");
+      p.set_attr("outcome", "ok");
+      p.add_event("tick");
+    }
+    return tr.export_jsonl();
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());  // byte-identical across identical scripted runs
+  EXPECT_EQ(a,
+            "{\"span_id\":1,\"parent_id\":0,\"name\":\"solo\","
+            "\"start_ns\":0,\"end_ns\":1000}\n"
+            "{\"span_id\":2,\"parent_id\":0,\"name\":\"p\","
+            "\"start_ns\":2000,\"end_ns\":4000,"
+            "\"attrs\":{\"outcome\":\"ok\"},\"events\":{\"tick\":3000}}\n");
+}
+
+// -- Run ledger -------------------------------------------------------------
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) : path("/tmp/hoga_obs_" + name) {
+    std::filesystem::remove(path);
+  }
+  ~TempFile() { std::filesystem::remove(path); }
+};
+
+TEST(ObsLedger, RoundTripPreservesTypesAndDoubleBits) {
+  TempFile f("roundtrip.jsonl");
+  obs::FakeClock clk(0, 7);
+  {
+    obs::RunLedger led(f.path, &clk);
+    led.event("train.epoch", {{"epoch", 3}, {"mean_loss", 0.1}});
+    led.event("note", {{"msg", "hello \"quoted\"\nline"},
+                       {"flag", true},
+                       {"tiny", 1.0000000000000002e-17}});
+    EXPECT_EQ(led.events_written(), 2);
+    led.close();
+    led.close();  // idempotent
+    led.event("late", {});  // no-op after close
+    EXPECT_EQ(led.events_written(), 2);
+  }
+  const auto r = obs::RunLedger::read(f.path);
+  EXPECT_TRUE(r.footer_present);
+  EXPECT_TRUE(r.footer_valid);
+  EXPECT_EQ(r.skipped_lines, 0u);
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.events[0].seq, 0);
+  EXPECT_EQ(r.events[0].ts_ns, 0u);
+  EXPECT_EQ(r.events[0].type, "train.epoch");
+  EXPECT_EQ(r.events[0].int_field("epoch"), 3);
+  EXPECT_EQ(r.events[0].double_field("mean_loss"), 0.1);  // bit-exact
+  EXPECT_EQ(r.events[1].seq, 1);
+  EXPECT_EQ(r.events[1].ts_ns, 7u);
+  EXPECT_EQ(r.events[1].string_field("msg"), "hello \"quoted\"\nline");
+  EXPECT_EQ(r.events[1].double_field("tiny"), 1.0000000000000002e-17);
+  const auto* flag = r.events[1].find("flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_TRUE(std::get<bool>(*flag));
+  // Typed accessors reject absent or mistyped fields.
+  EXPECT_THROW(r.events[0].int_field("nope"), std::runtime_error);
+  EXPECT_THROW(r.events[1].int_field("msg"), std::runtime_error);
+  EXPECT_THROW(r.events[1].string_field("tiny"), std::runtime_error);
+}
+
+TEST(ObsLedger, CrashResidueWithoutFooterIsStillReadable) {
+  TempFile f("crash.jsonl");
+  obs::FakeClock clk;
+  {
+    obs::RunLedger led(f.path, &clk);
+    for (int i = 0; i < 3; ++i) led.event("e", {{"x", i}});
+    led.close();
+  }
+  // Simulate a crash: drop the footer and tear the last event line in half.
+  std::string bytes = util::read_file(f.path);
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', pos);
+    lines.push_back(bytes.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 4u);  // 3 events + footer
+  const std::string torn =
+      lines[0] + "\n" + lines[1] + "\n" +
+      lines[2].substr(0, lines[2].size() / 2);  // no trailing newline
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+  const auto r = obs::RunLedger::read(f.path);
+  EXPECT_FALSE(r.footer_present);
+  EXPECT_FALSE(r.footer_valid);
+  EXPECT_EQ(r.skipped_lines, 1u);  // the torn tail
+  ASSERT_EQ(r.events.size(), 2u);  // complete lines survive
+  EXPECT_EQ(r.events[1].int_field("x"), 1);
+}
+
+TEST(ObsLedger, CorruptedLineFailsTheFooterCrc) {
+  TempFile f("corrupt.jsonl");
+  obs::FakeClock clk;
+  {
+    obs::RunLedger led(f.path, &clk);
+    for (int i = 0; i < 3; ++i) led.event("e", {{"x", i}});
+    led.close();
+  }
+  // Flip one digit in the second event: the line still parses, but the
+  // bytes no longer match the footer CRC.
+  std::string bytes = util::read_file(f.path);
+  const std::size_t at = bytes.find("\"x\":1");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at + 4] = '9';
+  {
+    std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const auto r = obs::RunLedger::read(f.path);
+  EXPECT_TRUE(r.footer_present);
+  EXPECT_FALSE(r.footer_valid);  // tampering detected
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[1].int_field("x"), 9);  // data still delivered
+}
+
+// -- Ambient context --------------------------------------------------------
+
+TEST(ObsAmbient, ScopedInstallNestsAndHelpersNoopWithoutContext) {
+  EXPECT_EQ(obs::ambient().metrics, nullptr);
+  // Helpers must be safe with nothing installed.
+  obs::count("nothing");
+  obs::trace_event("nothing");
+  obs::ledger_event("nothing", {{"x", 1}});
+  {
+    obs::Span inert = obs::ambient_span("nothing");
+    EXPECT_FALSE(inert.active());
+  }
+
+  obs::MetricsRegistry reg;
+  obs::FakeClock clk;
+  obs::Tracer tr(&clk);
+  {
+    obs::Observability ctx;
+    ctx.metrics = &reg;
+    ctx.tracer = &tr;
+    obs::ScopedObservability scope(ctx);
+    EXPECT_EQ(obs::ambient().metrics, &reg);
+    obs::count("hits", 2);
+    obs::count("hits");
+    {
+      obs::Span s = obs::ambient_span("region");
+      EXPECT_TRUE(s.active());
+      obs::trace_event("inside");
+    }
+    {
+      obs::Observability inner;  // nested scope overrides, then restores
+      obs::ScopedObservability scope2(inner);
+      EXPECT_EQ(obs::ambient().metrics, nullptr);
+    }
+    EXPECT_EQ(obs::ambient().metrics, &reg);
+  }
+  EXPECT_EQ(obs::ambient().metrics, nullptr);
+  EXPECT_EQ(reg.counter("hits").value(), 3);
+  const auto spans = tr.finished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "region");
+  ASSERT_EQ(spans[0].events.size(), 1u);
+  EXPECT_EQ(spans[0].events[0].name, "inside");
+}
+
+// -- Thread-pool queue-latency sink -----------------------------------------
+
+TEST(ObsPool, QueueLatencySinkRecordsEveryTask) {
+  obs::MetricsRegistry reg;
+  ThreadPool pool(2);
+  obs::attach_queue_latency(pool, reg, "pool.queue_wait_ms");
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  obs::Histogram h = reg.histogram("pool.queue_wait_ms",
+                                   obs::latency_ms_bounds());
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+// -- Serving runtime wiring -------------------------------------------------
+
+core::HogaConfig small_config() {
+  return {.in_dim = 4, .hidden = 8, .num_hops = 3, .num_layers = 1,
+          .out_dim = 3};
+}
+
+Tensor random_batch(std::int64_t nodes, const core::HogaConfig& cfg,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({nodes, cfg.num_hops + 1, cfg.in_dim}, rng);
+}
+
+TEST(ObsServe, RequestProducesSpansMetricsAndLedgerEvent) {
+  TempFile f("serve_one.jsonl");
+  Rng rng(3);
+  const auto mcfg = small_config();
+  core::Hoga model(mcfg, rng);
+  obs::FakeClock clk;
+  obs::Tracer tracer(&clk);
+  obs::MetricsRegistry registry;
+  obs::RunLedger ledger(f.path, &clk);
+  serve::ServeConfig scfg{.workers = 1};
+  scfg.metrics = &registry;
+  scfg.tracer = &tracer;
+  scfg.ledger = &ledger;
+  serve::InferenceService svc(model, scfg);
+
+  const serve::Response r = svc.infer({.hop_batch = random_batch(5, mcfg, 9)});
+  ASSERT_EQ(r.outcome, serve::Outcome::kServed) << r.error;
+
+  // Counters live in the shared registry under serve.* names, and stats()
+  // reconstructs the legacy struct from them.
+  EXPECT_EQ(registry.counter("serve.submitted").value(), 1);
+  EXPECT_EQ(registry.counter("serve.served").value(), 1);
+  EXPECT_EQ(svc.stats().served, 1);
+  EXPECT_NE(registry.text_snapshot().find("counter serve.served 1\n"),
+            std::string::npos);
+  EXPECT_NE(registry.text_snapshot().find("histogram serve.latency_ms"),
+            std::string::npos);
+
+  // Span tree: the request span is the root; validate/admission are its
+  // children on the caller thread, and the forward span is its child via
+  // the explicit cross-thread parent.
+  const auto spans = tracer.finished();
+  std::uint64_t request_id = 0;
+  for (const auto& s : spans) {
+    if (s.name == "serve.request") {
+      request_id = s.span_id;
+      ASSERT_EQ(s.attrs.size(), 1u);
+      EXPECT_EQ(s.attrs[0].first, "outcome");
+      EXPECT_EQ(s.attrs[0].second, "served");
+    }
+  }
+  ASSERT_NE(request_id, 0u);
+  std::set<std::string> children;
+  for (const auto& s : spans) {
+    if (s.parent_id == request_id) children.insert(s.name);
+  }
+  EXPECT_TRUE(children.count("serve.validate"));
+  EXPECT_TRUE(children.count("serve.admission"));
+  EXPECT_TRUE(children.count("serve.forward"));
+
+  ledger.close();
+  const auto led = obs::RunLedger::read(f.path);
+  EXPECT_TRUE(led.footer_valid);
+  ASSERT_EQ(led.events.size(), 1u);
+  EXPECT_EQ(led.events[0].type, "serve.request");
+  EXPECT_EQ(led.events[0].string_field("outcome"), "served");
+  EXPECT_GE(led.events[0].double_field("latency_ms"), 0.0);
+}
+
+// The satellite determinism contract: under a FakeClock and a seeded fault
+// schedule, a scripted serve run produces byte-identical span JSONL,
+// metrics snapshots, and ledger files across runs.
+struct ScriptedArtifacts {
+  std::string spans, metrics, ledger;
+};
+
+ScriptedArtifacts scripted_serve_run(const std::string& ledger_path) {
+  Rng mrng(3);
+  const auto mcfg = small_config();
+  core::Hoga model(mcfg, mrng);
+  obs::FakeClock clock(0, 1000, /*jitter_seed=*/9, /*jitter_ns=*/300);
+  obs::Tracer tracer(&clock);
+  obs::MetricsRegistry registry;
+  obs::RunLedger ledger(ledger_path, &clock);
+  // Ambient context too, so the fault hooks' counters and span events are
+  // part of the compared bytes.
+  obs::Observability ctx;
+  ctx.metrics = &registry;
+  ctx.tracer = &tracer;
+  obs::ScopedObservability obs_scope(ctx);
+
+  serve::ServeConfig scfg{.workers = 1, .queue_capacity = 8};
+  scfg.metrics = &registry;
+  scfg.tracer = &tracer;
+  scfg.ledger = &ledger;
+  serve::InferenceService svc(model, scfg);
+
+  fault::Injector inj(11);
+  inj.poison_request(3);  // the 4th submitted request fails validation
+  fault::ScopedInjector scope(inj);
+
+  const std::vector<Tensor> batches = {random_batch(6, mcfg, 21),
+                                       random_batch(9, mcfg, 22)};
+  for (int i = 0; i < 7; ++i) {
+    svc.infer({.hop_batch = batches[static_cast<std::size_t>(i % 2)]});
+  }
+
+  ScriptedArtifacts out;
+  out.spans = tracer.export_jsonl();
+  out.metrics = registry.text_snapshot();
+  ledger.close();
+  out.ledger = util::read_file(ledger_path);
+  return out;
+}
+
+TEST(ObsServe, ScriptedRunIsByteIdenticalUnderFakeClockAndFaults) {
+  TempFile fa("determinism_a.jsonl");
+  TempFile fb("determinism_b.jsonl");
+  const ScriptedArtifacts a = scripted_serve_run(fa.path);
+  const ScriptedArtifacts b = scripted_serve_run(fb.path);
+
+  EXPECT_FALSE(a.spans.empty());
+  EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.ledger, b.ledger);
+
+  // Sanity: the schedule actually exercised what it scripted.
+  EXPECT_NE(a.metrics.find("counter serve.served 6\n"), std::string::npos);
+  EXPECT_NE(a.metrics.find("counter serve.rejected_invalid 1\n"),
+            std::string::npos);
+  EXPECT_NE(a.metrics.find("counter fault.poisoned_request 1\n"),
+            std::string::npos);
+}
+
+// -- Trainer wiring ---------------------------------------------------------
+
+TEST(ObsTrain, EpochLoopEmitsSpansAndLedgerEvents) {
+  TempFile ledger_file("train.jsonl");
+  TempFile ckpt_file("train.ckpt");
+  obs::FakeClock clk;
+  obs::Tracer tracer(&clk);
+  obs::MetricsRegistry registry;
+
+  Rng mrng(1);
+  core::Hoga model(core::HogaConfig{.in_dim = 4, .hidden = 4, .num_hops = 2,
+                                    .num_layers = 1, .out_dim = 2},
+                   mrng);
+  optim::Adam opt(model.parameters(), 1e-3f);
+  Rng rng(2);
+
+  fault::Injector inj;
+  inj.fail_checkpoint_write(0);  // first checkpoint write attempt errors
+  fault::ScopedInjector fault_scope(inj);
+
+  train::CheckpointConfig ckpt;
+  ckpt.path = ckpt_file.path;
+  ckpt.every = 1;
+  train::LoopStats stats;
+  int calls = 0;
+  std::vector<float> losses;
+  {
+    obs::RunLedger ledger(ledger_file.path, &clk);
+    obs::Observability ctx;
+    ctx.metrics = &registry;
+    ctx.tracer = &tracer;
+    ctx.ledger = &ledger;
+    obs::ScopedObservability scope(ctx);
+    losses = train::run_fault_tolerant_epochs(
+        model, opt, rng, /*epochs=*/2, ckpt,
+        [&](bool* ok) {
+          ++calls;
+          if (calls == 1) {
+            *ok = false;  // poisoned first epoch forces a rollback
+            return 0.0;
+          }
+          return 1.0 / calls;
+        },
+        &stats);
+  }
+  ASSERT_EQ(losses.size(), 2u);
+  EXPECT_EQ(stats.rollbacks, 1);
+  EXPECT_EQ(stats.checkpoint_retries, 1);  // the injected write error
+
+  const auto led = obs::RunLedger::read(ledger_file.path);
+  EXPECT_TRUE(led.footer_valid);
+  std::vector<const obs::LedgerEvent*> epochs, checkpoints, rollbacks;
+  for (const auto& e : led.events) {
+    if (e.type == "train.epoch") epochs.push_back(&e);
+    if (e.type == "train.checkpoint") checkpoints.push_back(&e);
+    if (e.type == "train.rollback") rollbacks.push_back(&e);
+  }
+  ASSERT_EQ(rollbacks.size(), 1u);
+  EXPECT_EQ(rollbacks[0]->int_field("epoch"), 0);
+  EXPECT_EQ(rollbacks[0]->int_field("rollbacks"), 1);
+  EXPECT_GT(rollbacks[0]->double_field("lr"), 0.0);
+  ASSERT_EQ(checkpoints.size(), 2u);
+  EXPECT_EQ(checkpoints[0]->int_field("epoch"), 1);
+  EXPECT_EQ(checkpoints[0]->int_field("retries"), 1);
+  EXPECT_EQ(checkpoints[1]->int_field("retries"), 0);
+  ASSERT_EQ(epochs.size(), 2u);
+  // The ledger's shortest-round-trip doubles reproduce the loss history
+  // exactly (losses are stored as float; the ledger carried the double).
+  EXPECT_EQ(static_cast<float>(epochs[0]->double_field("mean_loss")),
+            losses[0]);
+  EXPECT_EQ(static_cast<float>(epochs[1]->double_field("mean_loss")),
+            losses[1]);
+
+  // Span tree: recovery and checkpoint spans nest under epoch spans, and
+  // the injected checkpoint-write fault marked the open checkpoint span.
+  std::set<std::uint64_t> epoch_ids;
+  for (const auto& s : tracer.finished()) {
+    if (s.name == "train.epoch") epoch_ids.insert(s.span_id);
+  }
+  EXPECT_EQ(epoch_ids.size(), 3u);  // rolled-back epoch + two that landed
+  bool saw_recovery = false, saw_ckpt_fault = false;
+  for (const auto& s : tracer.finished()) {
+    if (s.name == "train.recovery") {
+      saw_recovery = true;
+      EXPECT_TRUE(epoch_ids.count(s.parent_id));
+    }
+    if (s.name == "train.checkpoint") {
+      EXPECT_TRUE(epoch_ids.count(s.parent_id));
+      for (const auto& ev : s.events) {
+        if (ev.name == "fault.checkpoint_write") saw_ckpt_fault = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_recovery);
+  EXPECT_TRUE(saw_ckpt_fault);
+  EXPECT_EQ(registry.counter("fault.checkpoint_write").value(), 1);
+
+  // Resume from the checkpoint: one more epoch, and the resume itself is a
+  // span plus a ledger event.
+  TempFile resume_ledger("train_resume.jsonl");
+  tracer.clear();
+  {
+    obs::RunLedger ledger(resume_ledger.path, &clk);
+    obs::Observability ctx;
+    ctx.tracer = &tracer;
+    ctx.ledger = &ledger;
+    obs::ScopedObservability scope(ctx);
+    train::CheckpointConfig resume_cfg;
+    resume_cfg.resume_from = ckpt_file.path;
+    train::run_fault_tolerant_epochs(
+        model, opt, rng, /*epochs=*/3, resume_cfg,
+        [&](bool*) { return 0.125; }, nullptr);
+  }
+  const auto led2 = obs::RunLedger::read(resume_ledger.path);
+  ASSERT_FALSE(led2.events.empty());
+  EXPECT_EQ(led2.events[0].type, "train.resume");
+  EXPECT_EQ(led2.events[0].int_field("epoch"), 2);
+  bool saw_resume_span = false;
+  for (const auto& s : tracer.finished()) {
+    if (s.name == "train.resume") saw_resume_span = true;
+  }
+  EXPECT_TRUE(saw_resume_span);
+}
+
+// Satellite: the fig5 --fault output must be reconstructible from the run
+// ledger alone — every ScalingPoint field round-trips bit-exactly through
+// scaling.point events, and worker failures appear as their own events.
+TEST(ObsTrain, ScalingPointsReconstructBitExactlyFromLedger) {
+  TempFile f("fig5.jsonl");
+  const auto g = data::make_reasoning_graph("csa", 4, /*mapped=*/false);
+  const auto hops = core::HopFeatures::compute(*g.adj_hop, g.features, 3);
+  Rng rng(7);
+  core::Hoga model(core::HogaConfig{.in_dim = reasoning::kNodeFeatureDim,
+                                    .hidden = 12, .num_hops = 3,
+                                    .num_layers = 1, .out_dim = 4},
+                   rng);
+  train::NodeTrainConfig tcfg;
+  tcfg.epochs = 1;
+  tcfg.batch_size = 8;
+  train::ClusterConfig ccfg;
+  ccfg.worker_counts = {1, 2};
+  ccfg.epochs_to_time = 1;
+
+  fault::Injector inj;
+  inj.kill_worker(/*epoch=*/0, /*worker=*/1);  // dies in the 2-worker run
+  fault::ScopedInjector fault_scope(inj);
+
+  std::vector<train::ScalingPoint> points;
+  {
+    obs::RunLedger ledger(f.path);
+    obs::Observability ctx;
+    ctx.ledger = &ledger;
+    obs::ScopedObservability scope(ctx);
+    points = train::simulate_hoga_scaling(model, hops, g.labels, tcfg, ccfg);
+  }
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[1].worker_failures, 1);
+
+  const auto led = obs::RunLedger::read(f.path);
+  EXPECT_TRUE(led.footer_valid);
+  std::vector<train::ScalingPoint> rebuilt;
+  long long failure_events = 0;
+  for (const auto& e : led.events) {
+    if (e.type == "scaling.worker_failure") {
+      ++failure_events;
+      EXPECT_EQ(e.int_field("workers"), 2);
+      EXPECT_EQ(e.int_field("worker"), 1);
+      continue;
+    }
+    ASSERT_EQ(e.type, "scaling.point");
+    train::ScalingPoint p;
+    p.workers = static_cast<int>(e.int_field("workers"));
+    p.worker_failures = static_cast<int>(e.int_field("worker_failures"));
+    p.compute_seconds = e.double_field("compute_seconds");
+    p.allreduce_seconds = e.double_field("allreduce_seconds");
+    p.recovery_seconds = e.double_field("recovery_seconds");
+    p.epoch_seconds = e.double_field("epoch_seconds");
+    p.speedup = e.double_field("speedup");
+    p.efficiency = e.double_field("efficiency");
+    rebuilt.push_back(p);
+  }
+  EXPECT_EQ(failure_events, 1);
+  ASSERT_EQ(rebuilt.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].workers, points[i].workers);
+    EXPECT_EQ(rebuilt[i].worker_failures, points[i].worker_failures);
+    // Bit-exact: the ledger writes shortest-round-trip doubles.
+    EXPECT_EQ(rebuilt[i].compute_seconds, points[i].compute_seconds);
+    EXPECT_EQ(rebuilt[i].allreduce_seconds, points[i].allreduce_seconds);
+    EXPECT_EQ(rebuilt[i].recovery_seconds, points[i].recovery_seconds);
+    EXPECT_EQ(rebuilt[i].epoch_seconds, points[i].epoch_seconds);
+    EXPECT_EQ(rebuilt[i].speedup, points[i].speedup);
+    EXPECT_EQ(rebuilt[i].efficiency, points[i].efficiency);
+  }
+}
+
+// -- Feature-store wiring ---------------------------------------------------
+
+core::HopFeatures random_hops(std::int64_t n, int k, std::int64_t d,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  return core::HopFeatures::from_stacked(Tensor::randn({n, k + 1, d}, rng),
+                                         k);
+}
+
+struct ShardDir {
+  std::string path;
+  explicit ShardDir(const std::string& name)
+      : path("/tmp/hoga_obs_store_" + name) {
+    std::filesystem::remove_all(path);
+  }
+  ~ShardDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(ObsStore, NegativeLookupSkipsDiskAndPutInvalidates) {
+  ShardDir dir("negative");
+  obs::MetricsRegistry registry;
+  store::StoreConfig cfg;
+  cfg.directory = dir.path;
+  cfg.memory_budget_bytes = 0;  // force every positive lookup to disk
+  cfg.metrics = &registry;
+  store::FeatureStore fs(cfg);
+  const store::FeatureKey key{0xABCDEFull, 2};
+  const auto hops = random_hops(6, 2, 3, 1);
+
+  // First miss probes the filesystem and memoizes the absence; the second
+  // skips the probe entirely.
+  EXPECT_FALSE(fs.lookup(key, 3).has_value());
+  EXPECT_EQ(fs.stats().negative_hits, 0);
+  EXPECT_FALSE(fs.lookup(key, 3).has_value());
+  EXPECT_FALSE(fs.lookup(key, 3).has_value());
+  EXPECT_EQ(fs.stats().negative_hits, 2);
+  EXPECT_EQ(fs.stats().misses, 3);
+  EXPECT_EQ(registry.counter("store.negative_hits").value(), 2);
+
+  // put() invalidates the memo before writing, so the shard written right
+  // after is immediately visible — with the memory tier disabled this hit
+  // can only have come from the disk probe the memo would have skipped.
+  fs.put(key, hops);
+  store::StoreOutcome outcome{};
+  ASSERT_TRUE(fs.lookup(key, 3, &outcome).has_value());
+  EXPECT_EQ(outcome, store::StoreOutcome::kDiskHit);
+  EXPECT_EQ(fs.stats().negative_hits, 2);  // no stale negative hit
+  const std::string sig = fs.stats().counts_signature();
+  EXPECT_NE(sig.find("negative_hits=2"), std::string::npos);
+  EXPECT_NE(sig.find("shard_evictions=0"), std::string::npos);
+}
+
+TEST(ObsStore, NegativeCacheCapacityZeroDisablesAndFifoBounds) {
+  ShardDir dir("negative_cap");
+  store::StoreConfig cfg;
+  cfg.directory = dir.path;
+  cfg.negative_cache_capacity = 0;
+  store::FeatureStore off(cfg);
+  const store::FeatureKey key{1, 2};
+  EXPECT_FALSE(off.lookup(key, 3).has_value());
+  EXPECT_FALSE(off.lookup(key, 3).has_value());
+  EXPECT_EQ(off.stats().negative_hits, 0);  // disabled: every miss probes
+
+  // Capacity 1: remembering a second key evicts the first (FIFO), so the
+  // first key's next lookup probes the disk again.
+  store::StoreConfig cfg1;
+  cfg1.directory = dir.path;
+  cfg1.negative_cache_capacity = 1;
+  store::FeatureStore tiny(cfg1);
+  const store::FeatureKey k1{10, 2}, k2{11, 2};
+  EXPECT_FALSE(tiny.lookup(k1, 3).has_value());  // memoized
+  EXPECT_FALSE(tiny.lookup(k2, 3).has_value());  // evicts k1's memo
+  EXPECT_FALSE(tiny.lookup(k1, 3).has_value());  // probes again, re-memoizes
+  EXPECT_EQ(tiny.stats().negative_hits, 0);
+  EXPECT_FALSE(tiny.lookup(k1, 3).has_value());  // now a negative hit
+  EXPECT_EQ(tiny.stats().negative_hits, 1);
+}
+
+TEST(ObsStore, MaxShardFilesEvictsOldestMtimeAndLogsThroughObs) {
+  namespace stdfs = std::filesystem;
+  ShardDir dir("shard_cap");
+  TempFile ledger_file("shard_cap.jsonl");
+  obs::MetricsRegistry registry;
+  store::StoreConfig cfg;
+  cfg.directory = dir.path;
+  cfg.max_shard_files = 2;
+  cfg.metrics = &registry;
+  store::FeatureStore fs(cfg);
+  const store::FeatureKey k1{1, 2}, k2{2, 2}, k3{3, 2};
+  const auto hops = random_hops(6, 2, 3, 1);
+
+  fs.put(k1, hops);
+  fs.put(k2, hops);
+  ASSERT_TRUE(stdfs::exists(fs.shard_path(k1)));
+  ASSERT_TRUE(stdfs::exists(fs.shard_path(k2)));
+  // Make k1 unambiguously the oldest shard.
+  const auto now = stdfs::last_write_time(fs.shard_path(k2));
+  stdfs::last_write_time(fs.shard_path(k1), now - std::chrono::hours(2));
+
+  {
+    obs::RunLedger ledger(ledger_file.path);
+    obs::Observability ctx;
+    ctx.ledger = &ledger;
+    obs::ScopedObservability scope(ctx);
+    fs.put(k3, hops);  // third shard: the cap deletes the oldest
+  }
+
+  EXPECT_FALSE(stdfs::exists(fs.shard_path(k1)));
+  EXPECT_TRUE(stdfs::exists(fs.shard_path(k2)));
+  EXPECT_TRUE(stdfs::exists(fs.shard_path(k3)));
+  EXPECT_EQ(fs.stats().shard_evictions, 1);
+  EXPECT_EQ(fs.stats().shard_writes, 3);
+  EXPECT_EQ(registry.counter("store.shard_evictions").value(), 1);
+
+  const auto led = obs::RunLedger::read(ledger_file.path);
+  ASSERT_EQ(led.events.size(), 1u);
+  EXPECT_EQ(led.events[0].type, "store.shard_eviction");
+  EXPECT_EQ(led.events[0].string_field("shard"), k1.shard_name());
+
+  // The just-written shard is never the victim, even when it would sort
+  // oldest: k4 written with the cap at 2 must survive its own put.
+  const store::FeatureKey k4{4, 2};
+  fs.put(k4, hops);
+  EXPECT_TRUE(stdfs::exists(fs.shard_path(k4)));
+  EXPECT_EQ(fs.stats().shard_evictions, 2);
+}
+
+}  // namespace
+}  // namespace hoga

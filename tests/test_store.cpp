@@ -375,7 +375,8 @@ TEST(FeatureStore, StatsSignatureIsDeterministic) {
   EXPECT_EQ(sig,
             "lookups=3 memory_hits=1 disk_hits=0 misses=2 "
             "config_mismatches=1 computes=2 shard_writes=0 write_errors=0 "
-            "corrupt_shards=0 evictions=0");
+            "corrupt_shards=0 evictions=0 negative_hits=0 "
+            "shard_evictions=0");
 }
 
 }  // namespace
