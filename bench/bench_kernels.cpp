@@ -1,0 +1,263 @@
+// Blocked-kernel benchmark (DESIGN.md §11): the packed tiled GEMM against
+// the seed's naive zero-skip triple loop, transposed-operand overhead, the
+// row-blocked SpMM, and the fused row kernels. Emits machine-readable
+// results to BENCH_kernels.json so later PRs have a perf trajectory
+// (compare runs with scripts/perf_diff.py).
+//
+// The smoke run doubles as a tier-1 test — it fails loudly if:
+//
+//   - the blocked GEMM is not >= 2x the seed naive loop on a single-thread
+//     512x512x512 problem (the tentpole's reason to exist);
+//   - a transposed-operand GEMM is not within 1.2x of the no-transpose
+//     case (packing is supposed to make operand layout irrelevant);
+//   - any blocked kernel output differs bit-for-bit from its reference
+//     (the fp-order contract, re-checked on bench-sized problems).
+//
+// Per-kernel p50/p95 latencies come from obs histogram quantile estimation
+// (MetricsRegistry histograms + Histogram::quantile), exercising the same
+// estimator the serve latency report uses.
+//
+// Usage: bench_kernels [--smoke] [--full] [--seed=N] [--out=path.json]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/csr.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/kernels.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace hoga;
+
+namespace {
+
+std::vector<float> random_floats(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// The seed repo's matmul inner loop, kept verbatim as the perf baseline:
+/// naive i-k-j with the data-dependent `av == 0` skip the kernel layer
+/// removed (see the fp-order contract in tensor/kernels.hpp).
+void seed_naive_matmul(const float* a, const float* b, float* c,
+                       std::int64_t m, std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) c[i * n + j] = 0.f;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      if (av == 0.f) continue;
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// One timed kernel: repeats `fn`, records per-iteration latency into an
+/// obs histogram, reports best-iteration GFLOP/s plus estimated p50/p95.
+struct KernelResult {
+  std::string name;
+  double gflops = 0;   // from the best (least-noisy) iteration
+  double best_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+};
+
+template <typename Fn>
+KernelResult time_kernel(obs::MetricsRegistry& reg, const std::string& name,
+                         double flops_per_iter, int iters, Fn&& fn) {
+  obs::Histogram h = reg.histogram("bench." + name, obs::latency_ms_bounds());
+  KernelResult r;
+  r.name = name;
+  r.best_ms = 1e30;
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    fn();
+    const double ms = t.millis();
+    h.record(ms);
+    if (ms < r.best_ms) r.best_ms = ms;
+  }
+  r.gflops = flops_per_iter / (r.best_ms * 1e-3) / 1e9;
+  r.p50_ms = h.quantile(0.50);
+  r.p95_ms = h.quantile(0.95);
+  std::printf("%-18s best %8.3f ms  %7.2f GFLOP/s  p50 %7.2f ms  p95 %7.2f ms\n",
+              name.c_str(), r.best_ms, r.gflops, r.p50_ms, r.p95_ms);
+  return r;
+}
+
+void append_json(std::string& out, const KernelResult& r, bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"gflops\": %.4f, \"best_ms\": %.4f, "
+                "\"p50_ms\": %.4f, \"p95_ms\": %.4f}%s\n",
+                r.name.c_str(), r.gflops, r.best_ms, r.p50_ms, r.p95_ms,
+                last ? "" : ",");
+  out += buf;
+}
+
+bool bit_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const auto seed =
+      static_cast<std::uint64_t>(bench::int_option(argc, argv, "--seed", 13));
+  const std::string out_path =
+      bench::str_option(argc, argv, "--out", "BENCH_kernels.json");
+  const int iters = full ? 20 : 5;
+  int failures = 0;
+
+  obs::MetricsRegistry reg;
+  Rng rng(seed);
+  std::vector<KernelResult> results;
+
+  // -- GEMM: blocked vs the seed naive loop, 512^3 single-thread ------------
+  {
+    const std::int64_t n = 512;
+    const double flops = 2.0 * n * n * n;
+    const auto a = random_floats(n * n, rng);
+    const auto b = random_floats(n * n, rng);
+    std::vector<float> c_naive(a.size()), c_blocked(a.size());
+
+    std::puts("=== GEMM 512x512x512 (single thread) ===");
+    const auto naive =
+        time_kernel(reg, "gemm_seed_naive", flops, iters, [&] {
+          seed_naive_matmul(a.data(), b.data(), c_naive.data(), n, n, n);
+        });
+    ArenaScope arena;  // pack panels from the arena, as in training
+    const auto blocked = time_kernel(reg, "gemm_blocked", flops, iters, [&] {
+      kernels::gemm_blocked(a.data(), b.data(), c_blocked.data(), n, n, n, n,
+                            n, false, false);
+    });
+    results.push_back(naive);
+    results.push_back(blocked);
+
+    std::vector<float> c_ref(a.size());
+    kernels::gemm_reference(a.data(), b.data(), c_ref.data(), n, n, n, n, n,
+                            false, false);
+    if (!bit_equal(c_ref, c_blocked)) {
+      std::puts("FAIL: blocked GEMM output differs from reference");
+      ++failures;
+    }
+    const double speedup = blocked.gflops / naive.gflops;
+    std::printf("blocked vs seed naive: %.2fx\n", speedup);
+    if (speedup < 2.0) {
+      std::puts("FAIL: blocked GEMM is not >= 2x the seed naive loop");
+      ++failures;
+    }
+
+    // Transposed operands: packing should make layout irrelevant.
+    const auto tn = time_kernel(reg, "gemm_trans_a", flops, iters, [&] {
+      kernels::gemm_blocked(a.data(), b.data(), c_blocked.data(), n, n, n, n,
+                            n, true, false);
+    });
+    const auto nt = time_kernel(reg, "gemm_trans_b", flops, iters, [&] {
+      kernels::gemm_blocked(a.data(), b.data(), c_blocked.data(), n, n, n, n,
+                            n, false, true);
+    });
+    results.push_back(tn);
+    results.push_back(nt);
+    for (const auto* t : {&tn, &nt}) {
+      const double ratio = t->best_ms / blocked.best_ms;
+      std::printf("%s vs no-transpose: %.2fx\n", t->name.c_str(), ratio);
+      if (ratio > 1.2) {
+        std::printf("FAIL: %s is more than 1.2x the no-transpose case\n",
+                    t->name.c_str());
+        ++failures;
+      }
+    }
+  }
+
+  // -- SpMM: row-blocked vs reference on a circuit-sized graph --------------
+  {
+    const int n = full ? 50000 : 20000;
+    const std::int64_t d = 128;
+    std::vector<graph::Edge> edges;
+    for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+    for (int e = 0; e < 4 * n; ++e) {
+      edges.push_back(
+          {static_cast<std::int64_t>(rng.uniform_int(n)),
+           static_cast<std::int64_t>(rng.uniform_int(n))});
+    }
+    const graph::Csr adj =
+        graph::Csr::from_edges(n, edges).normalized_symmetric();
+    const double flops = 2.0 * static_cast<double>(adj.num_edges()) * d;
+    const auto x = random_floats(static_cast<std::int64_t>(n) * d, rng);
+    std::vector<float> y_ref(x.size()), y_blk(x.size());
+
+    std::printf("=== SpMM n=%d nnz=%lld d=%lld ===\n", n,
+                static_cast<long long>(adj.num_edges()),
+                static_cast<long long>(d));
+    results.push_back(time_kernel(reg, "spmm_reference", flops, iters, [&] {
+      kernels::spmm_reference(adj.row_ptr().data(), adj.col_idx().data(),
+                              adj.values().data(), n, x.data(), d,
+                              y_ref.data());
+    }));
+    results.push_back(time_kernel(reg, "spmm_blocked", flops, iters, [&] {
+      kernels::spmm_blocked(adj.row_ptr().data(), adj.col_idx().data(),
+                            adj.values().data(), n, x.data(), d,
+                            y_blk.data());
+    }));
+    if (!bit_equal(y_ref, y_blk)) {
+      std::puts("FAIL: blocked SpMM output differs from reference");
+      ++failures;
+    }
+  }
+
+  // -- Fused row kernels ----------------------------------------------------
+  {
+    const std::int64_t rows = full ? 100000 : 40000;
+    const std::int64_t d = 64;
+    const auto x = random_floats(rows * d, rng);
+    const auto gamma = random_floats(d, rng);
+    const auto beta = random_floats(d, rng);
+    std::vector<float> y(x.size());
+    std::vector<float> mean(static_cast<std::size_t>(rows)),
+        rstd(static_cast<std::size_t>(rows));
+    // softmax/layernorm are memory-bound; report effective GFLOP/s with a
+    // nominal ~5 flops per element.
+    const double flops = 5.0 * static_cast<double>(rows) * d;
+
+    std::printf("=== Fused row kernels rows=%lld d=%lld ===\n",
+                static_cast<long long>(rows), static_cast<long long>(d));
+    results.push_back(time_kernel(reg, "softmax_rows", flops, iters, [&] {
+      kernels::softmax_rows(x.data(), y.data(), rows, d);
+    }));
+    results.push_back(time_kernel(reg, "layer_norm_rows", flops, iters, [&] {
+      kernels::layer_norm_rows(x.data(), rows, d, 1e-5f, gamma.data(),
+                               beta.data(), y.data(), mean.data(),
+                               rstd.data(), nullptr);
+    }));
+  }
+
+  // -- JSON emission --------------------------------------------------------
+  std::string json = "{\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_json(json, results[i], i + 1 == results.size());
+  }
+  json += "}\n";
+  std::ofstream out(out_path);
+  out << json;
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (failures > 0) {
+    std::printf("bench_kernels: %d acceptance gate(s) FAILED\n", failures);
+    return 1;
+  }
+  std::puts("bench_kernels: all acceptance gates passed");
+  return 0;
+}

@@ -6,7 +6,11 @@
 # and the observability layer (atomic metric cells, thread-local span
 # stacks, cross-thread clock handoff) are heavily multi-threaded, so the
 # sanitizer pass is not optional before merging changes to src/serve,
-# src/store, src/obs, src/util, or src/fault.
+# src/store, src/obs, src/util, or src/fault — nor for src/tensor (the
+# blocked kernels and the bump arena: packing index math, Scratch LIFO
+# lifetimes, and uninitialized Tensor::empty storage are exactly what
+# asan/ubsan exist to catch; bench_kernels_smoke re-checks kernel parity
+# under both builds).
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 

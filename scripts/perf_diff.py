@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_kernels.json runs and flag regressions.
+
+Usage: scripts/perf_diff.py BASELINE.json CURRENT.json [--threshold=0.10]
+
+Each file is the output of `bench_kernels --out=...`: a flat object mapping
+kernel names to {"gflops", "best_ms", "p50_ms", "p95_ms"}. A kernel has
+regressed when its current best-iteration GFLOP/s is more than `threshold`
+(default 10%) below the baseline's. Kernels present in only one file are
+reported but are not failures (benches gain cases over time). Exits 1 if
+any kernel regressed, 0 otherwise — wire it between two bench runs to gate
+a perf-sensitive change.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object of kernel results")
+    return data
+
+
+def main(argv):
+    threshold = 0.10
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip())
+        return 2
+
+    base, cur = load(paths[0]), load(paths[1])
+    regressions = []
+    print(f"{'kernel':<20} {'base GFLOP/s':>13} {'cur GFLOP/s':>13} {'delta':>8}")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<20} {'-':>13} {cur[name]['gflops']:>13.2f}   (new)")
+            continue
+        if name not in cur:
+            print(f"{name:<20} {base[name]['gflops']:>13.2f} {'-':>13}   (gone)")
+            continue
+        b, c = base[name]["gflops"], cur[name]["gflops"]
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = ""
+        if delta < -threshold:
+            regressions.append(name)
+            flag = "  REGRESSED"
+        print(f"{name:<20} {b:>13.2f} {c:>13.2f} {delta:>+7.1%}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} kernel(s) regressed more than "
+              f"{threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nno kernel regressed more than {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/arena.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
@@ -335,6 +337,128 @@ Variable layer_norm_lastdim(const Variable& a, float eps) {
       }
     }
     an->accumulate_grad(dx);
+  });
+}
+
+Variable layer_norm_affine(const Variable& x, const Variable& gamma,
+                           const Variable& beta, float eps) {
+  const Tensor& xv = x.value();
+  HOGA_CHECK(xv.dim() >= 1 && xv.size(-1) > 0, "layer_norm_affine: bad shape");
+  const std::int64_t d = xv.size(-1);
+  HOGA_CHECK(gamma.value().numel() == d && beta.value().numel() == d,
+             "layer_norm_affine: gamma/beta must be [" << d << "]");
+  const std::int64_t rows = xv.numel() / d;
+  auto xn = x.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  Tensor y = Tensor::empty(xv.shape());
+  Shape stat_shape(xv.shape().begin(), xv.shape().end() - 1);
+  if (stat_shape.empty()) stat_shape = {1};
+  Tensor mean = Tensor::empty(stat_shape);
+  Tensor rstd = Tensor::empty(stat_shape);
+  Tensor xhat = Tensor::empty(xv.shape());
+  kernels::layer_norm_rows(xv.data(), rows, d, eps, gamma.value().data(),
+                           beta.value().data(), y.data(), mean.data(),
+                           rstd.data(), xhat.data());
+  return Variable::make_result(
+      y, {xn, gn, bn}, [xn, gn, bn, xhat, rstd, rows, d](Node& n) {
+        const float* g = n.grad.data();
+        const float* xh = xhat.data();
+        if (bn->requires_grad) {
+          Tensor dbeta = Tensor::zeros({d});
+          float* pdb = dbeta.data();
+          for (std::int64_t i = 0; i < rows; ++i) {
+            const float* gr = g + i * d;
+            for (std::int64_t j = 0; j < d; ++j) pdb[j] += gr[j];
+          }
+          bn->accumulate_grad(dbeta);
+        }
+        if (gn->requires_grad) {
+          Tensor dgamma = Tensor::zeros({d});
+          float* pdg = dgamma.data();
+          for (std::int64_t i = 0; i < rows; ++i) {
+            const float* gr = g + i * d;
+            const float* xr = xh + i * d;
+            for (std::int64_t j = 0; j < d; ++j) pdg[j] += gr[j] * xr[j];
+          }
+          gn->accumulate_grad(dgamma);
+        }
+        if (xn->requires_grad) {
+          // dx̂ = g * gamma;  dx = rstd * (dx̂ - mean(dx̂) - x̂ * mean(dx̂ x̂)).
+          const float* gam = gn->value.data();
+          Tensor dx = Tensor::empty(xhat.shape());
+          for (std::int64_t i = 0; i < rows; ++i) {
+            const float* gr = g + i * d;
+            const float* xr = xh + i * d;
+            float* pd = dx.data() + i * d;
+            double s1 = 0, s2 = 0;
+            for (std::int64_t j = 0; j < d; ++j) {
+              const double dxh = static_cast<double>(gr[j]) * gam[j];
+              s1 += dxh;
+              s2 += dxh * xr[j];
+            }
+            const float m1 = static_cast<float>(s1 / d);
+            const float m2 = static_cast<float>(s2 / d);
+            const float rs = rstd.data()[i];
+            for (std::int64_t j = 0; j < d; ++j) {
+              pd[j] = rs * (gr[j] * gam[j] - m1 - xr[j] * m2);
+            }
+          }
+          xn->accumulate_grad(dx);
+        }
+      });
+}
+
+Variable attention_scores(const Variable& q, const Variable& k) {
+  const Tensor& qv = q.value();
+  const Tensor& kv = k.value();
+  HOGA_CHECK(qv.dim() == 3 && kv.dim() == 3 && qv.shape() == kv.shape(),
+             "attention_scores: need matching 3-D q/k, got "
+                 << shape_to_string(qv.shape()) << " and "
+                 << shape_to_string(kv.shape()));
+  const std::int64_t B = qv.size(0);
+  const std::int64_t m = qv.size(1);
+  const std::int64_t dk = qv.size(2);
+  auto qn = q.node();
+  auto kn = k.node();
+  // Logits land in the output tensor and are softmaxed in place: no
+  // intermediate [B, m, m] logits allocation survives the op.
+  Tensor y = Tensor::empty({B, m, m});
+  kernels::gemm_batched(qv.data(), kv.data(), y.data(), B, m, m, dk, dk, dk,
+                        m * dk, m * dk, m * m, /*trans_a=*/false,
+                        /*trans_b=*/true);
+  kernels::softmax_rows(y.data(), y.data(), B * m, m);
+  return Variable::make_result(y, {qn, kn}, [qn, kn, y, B, m, dk](Node& n) {
+    // Softmax backward per row into scratch, then two batched GEMMs:
+    // dq = gl @ k and dk = glᵀ @ q.
+    Scratch gl(B * m * m);
+    const float* py = y.data();
+    const float* pg = n.grad.data();
+    float* pl = gl.data();
+    for (std::int64_t r = 0; r < B * m; ++r) {
+      const float* yr = py + r * m;
+      const float* gr = pg + r * m;
+      float* lr = pl + r * m;
+      double dot = 0;
+      for (std::int64_t j = 0; j < m; ++j) dot += gr[j] * yr[j];
+      for (std::int64_t j = 0; j < m; ++j) {
+        lr[j] = yr[j] * (gr[j] - static_cast<float>(dot));
+      }
+    }
+    if (qn->requires_grad) {
+      Tensor dq = Tensor::empty(qn->value.shape());
+      kernels::gemm_batched(pl, kn->value.data(), dq.data(), B, m, dk, m, m,
+                            dk, m * m, m * dk, m * dk, /*trans_a=*/false,
+                            /*trans_b=*/false);
+      qn->accumulate_grad(dq);
+    }
+    if (kn->requires_grad) {
+      Tensor dkv = Tensor::empty(kn->value.shape());
+      kernels::gemm_batched(pl, qn->value.data(), dkv.data(), B, m, dk, m, m,
+                            dk, m * m, m * dk, m * dk, /*trans_a=*/true,
+                            /*trans_b=*/false);
+      kn->accumulate_grad(dkv);
+    }
   });
 }
 

@@ -54,9 +54,21 @@ Variable gather_rows(const Variable& a, std::vector<std::int64_t> idx);
 
 // -- Normalization -----------------------------------------------------------
 Variable softmax_lastdim(const Variable& a);
-/// LayerNorm over the last axis without affine parameters (nn::LayerNorm
-/// composes the affine part from mul/add).
+/// LayerNorm over the last axis without affine parameters.
 Variable layer_norm_lastdim(const Variable& a, float eps = 1e-5f);
+/// Fused LayerNorm + affine: y = x̂ * gamma + beta with x̂ the normalized
+/// input. One kernel pass and one backward closure — replaces the
+/// layer_norm → mul → add chain (which materialized two intermediates and
+/// reduced the broadcast grads with modulo loops). gamma/beta are [d].
+Variable layer_norm_affine(const Variable& x, const Variable& gamma,
+                           const Variable& beta, float eps = 1e-5f);
+
+// -- Fused attention ----------------------------------------------------------
+/// softmax(q @ kᵀ) over the last axis, batched: q and k are [B, m, d] ->
+/// [B, m, m]. Fuses the bmm and softmax (the GEMM output is softmaxed in
+/// place — no logits tensor) and backward runs two batched GEMMs instead of
+/// the bmm/softmax closure pair.
+Variable attention_scores(const Variable& q, const Variable& k);
 
 // -- Reductions ----------------------------------------------------------
 Variable sum_all(const Variable& a);

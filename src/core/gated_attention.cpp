@@ -23,9 +23,8 @@ ag::Variable GatedAttentionLayer::forward(const ag::Variable& h,
   const ag::Variable k = wk_->forward(h);
   const ag::Variable u = wu_->forward(h);
   const ag::Variable v = wv_->forward(h);
-  // S = softmax(Q K^T) over the hop axis.
-  const ag::Variable s =
-      ag::softmax_lastdim(ag::bmm(q, k, /*trans_a=*/false, /*trans_b=*/true));
+  // S = softmax(Q K^T) over the hop axis (fused bmm + softmax).
+  const ag::Variable s = ag::attention_scores(q, k);
   if (attention_out) *attention_out = s.value();
   const ag::Variable mixed = ag::bmm(s, v);
   const ag::Variable gated = ag::mul(u, mixed);

@@ -203,16 +203,20 @@ bool maybe_poison_request(Tensor& payload) {
   return true;
 }
 
-bool maybe_corrupt_store_shard(std::string& bytes) {
+bool maybe_corrupt_store_shard(char* bytes, std::size_t size) {
   Injector* inj = active();
   if (!inj || !inj->store_read_should_corrupt()) return false;
   observe_fault("store_shard_corruption");
-  if (!bytes.empty()) {
+  if (size > 0) {
     // Mid-buffer keeps the header parseable, so the corruption must be
     // caught by the CRC, not by a lucky syntax error.
-    bytes[bytes.size() / 2] ^= 0x40;
+    bytes[size / 2] ^= 0x40;
   }
   return true;
+}
+
+bool maybe_corrupt_store_shard(std::string& bytes) {
+  return maybe_corrupt_store_shard(bytes.data(), bytes.size());
 }
 
 void maybe_fail_store_write(const std::string& path) {

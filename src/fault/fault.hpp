@@ -158,7 +158,9 @@ bool maybe_poison_request(Tensor& payload);
 
 /// Store-side hooks (DESIGN.md §9): bit-rot a just-read shard buffer in
 /// place (flips one byte mid-buffer; returns true if it fired), and throw
-/// an injected I/O error on a scheduled shard write.
+/// an injected I/O error on a scheduled shard write. The pointer form also
+/// serves mmap'd shards (copy-on-write mappings: the flip stays in memory).
+bool maybe_corrupt_store_shard(char* bytes, std::size_t size);
 bool maybe_corrupt_store_shard(std::string& bytes);
 void maybe_fail_store_write(const std::string& path);
 

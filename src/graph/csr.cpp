@@ -4,7 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "tensor/kernels.hpp"
 #include "util/check.hpp"
+#include "util/digest.hpp"
 
 namespace hoga::graph {
 
@@ -135,18 +137,24 @@ Tensor Csr::spmm(const Tensor& x) const {
              "spmm: x shape " << shape_to_string(x.shape())
                               << " incompatible with n=" << n_);
   const std::int64_t d = x.size(1);
-  Tensor out({n_, d});
-  const float* px = x.data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < n_; ++i) {
-    float* orow = po + i * d;
-    for (std::int64_t e = row_ptr_[i]; e < row_ptr_[i + 1]; ++e) {
-      const float w = val_[e];
-      const float* xrow = px + col_[e] * d;
-      for (std::int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
-    }
-  }
+  Tensor out = Tensor::empty({n_, d});
+  kernels::spmm(row_ptr_.data(), col_.data(), val_.data(), n_, x.data(), d,
+                out.data());
   return out;
+}
+
+std::uint64_t Csr::content_digest() const {
+  std::uint64_t v = digest_.load(std::memory_order_relaxed);
+  if (v != 0) return v;
+  util::Digest d;
+  d.update_value(n_);
+  d.update(row_ptr_.data(), row_ptr_.size() * sizeof(std::int64_t));
+  d.update(col_.data(), col_.size() * sizeof(std::int64_t));
+  d.update(val_.data(), val_.size() * sizeof(float));
+  v = d.value();
+  if (v == 0) v = 1;  // keep 0 as the unset sentinel
+  digest_.store(v, std::memory_order_relaxed);
+  return v;
 }
 
 Csr Csr::induced_subgraph(const std::vector<std::int64_t>& nodes) const {

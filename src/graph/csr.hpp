@@ -6,6 +6,7 @@
 // sampler. Normalizations follow the paper: symmetric D^-1/2 (A+sI) D^-1/2
 // for GCN/HOGA and row-stochastic D^-1 A for GraphSAGE's mean aggregator.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <tuple>
@@ -23,6 +24,36 @@ struct Edge {
 class Csr {
  public:
   Csr() = default;
+
+  // The cached digest is identity-free state: copies and moves start with it
+  // unset so a copy whose values are then mutated (normalized_row) can never
+  // inherit a stale key.
+  Csr(const Csr& other)
+      : n_(other.n_),
+        row_ptr_(other.row_ptr_),
+        col_(other.col_),
+        val_(other.val_) {}
+  Csr(Csr&& other) noexcept
+      : n_(other.n_),
+        row_ptr_(std::move(other.row_ptr_)),
+        col_(std::move(other.col_)),
+        val_(std::move(other.val_)) {}
+  Csr& operator=(const Csr& other) {
+    n_ = other.n_;
+    row_ptr_ = other.row_ptr_;
+    col_ = other.col_;
+    val_ = other.val_;
+    digest_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+  Csr& operator=(Csr&& other) noexcept {
+    n_ = other.n_;
+    row_ptr_ = std::move(other.row_ptr_);
+    col_ = std::move(other.col_);
+    val_ = std::move(other.val_);
+    digest_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Builds from an edge list. Duplicate edges are merged (weights summed,
   /// each edge contributing weight 1). Self loops allowed.
@@ -69,6 +100,12 @@ class Csr {
   /// True if v_ij == v_ji for all stored entries.
   bool is_symmetric(float tol = 1e-6f) const;
 
+  /// Content hash over (n, row_ptr, col, val) — the key the process-wide
+  /// TransposeCache uses to share one Aᵀ per distinct graph. Computed on
+  /// first call and cached (0 is reserved as the unset sentinel; the hash is
+  /// remapped away from it).
+  std::uint64_t content_digest() const;
+
  private:
   using Triple = std::tuple<std::int64_t, std::int64_t, float>;
   /// Sorts, merges duplicates (summing weights), and packs into CSR.
@@ -78,6 +115,9 @@ class Csr {
   std::vector<std::int64_t> row_ptr_{0};
   std::vector<std::int64_t> col_;
   std::vector<float> val_;
+  // Lazily computed content_digest(); 0 = not yet computed. Benign race:
+  // concurrent first calls compute the same value.
+  mutable std::atomic<std::uint64_t> digest_{0};
 };
 
 }  // namespace hoga::graph

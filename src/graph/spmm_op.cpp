@@ -1,5 +1,6 @@
 #include "graph/spmm_op.hpp"
 
+#include "graph/transpose_cache.hpp"
 #include "util/check.hpp"
 
 namespace hoga::graph {
@@ -10,13 +11,13 @@ ag::Variable spmm(std::shared_ptr<const Csr> a, const ag::Variable& x,
   auto xn = x.node();
   return ag::Variable::make_result(
       a->spmm(x.value()), {xn}, [xn, a, a_transposed](ag::Node& n) mutable {
-        // The transpose is only ever needed by backward, so build it lazily
-        // inside the closure: inference-only forwards (forward_eval paths,
-        // the serving runtime) never pay for it. The closure owns the
-        // materialized transpose — no shared state is mutated, and a node's
-        // backward runs at most once per pass.
+        // The transpose is only ever needed by backward, so resolve it
+        // lazily inside the closure: inference-only forwards (forward_eval
+        // paths, the serving runtime) never pay for it. Resolution goes
+        // through the process-wide TransposeCache, so every backward over
+        // the same graph content shares one materialized Aᵀ.
         if (!a_transposed) {
-          a_transposed = std::make_shared<const Csr>(a->transposed());
+          a_transposed = TransposeCache::global().get(a);
         }
         xn->accumulate_grad(a_transposed->spmm(n.grad));
       });

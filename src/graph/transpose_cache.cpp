@@ -1,0 +1,51 @@
+#include "graph/transpose_cache.hpp"
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace hoga::graph {
+
+TransposeCache& TransposeCache::global() {
+  static TransposeCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Csr> TransposeCache::get(
+    const std::shared_ptr<const Csr>& a) {
+  HOGA_CHECK(a != nullptr, "TransposeCache::get: null matrix");
+  const std::uint64_t key = a->content_digest();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    obs::count("spmm.transpose_hits");
+    return it->second;
+  }
+  // Build under the lock: a second thread asking for the same graph blocks
+  // here instead of duplicating the O(nnz log nnz) rebuild — this is what
+  // makes "exactly one transpose build per graph per process" a guarantee
+  // rather than a likelihood.
+  auto t = std::make_shared<const Csr>(a->transposed());
+  entries_.emplace(key, t);
+  ++stats_.misses;
+  obs::count("spmm.transpose_misses");
+  return t;
+}
+
+TransposeCache::Stats TransposeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t TransposeCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TransposeCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace hoga::graph

@@ -1,0 +1,51 @@
+#pragma once
+// Process-wide cache of CSR transposes, keyed by graph content.
+//
+// SpMM backward on an asymmetric adjacency needs Aᵀ, and GraphSAGE's mean
+// aggregator needs it explicitly in forward. The seed rebuilt it per call
+// site (an O(nnz log nnz) triple sort each time); with hundreds of epochs
+// over the same graph that rebuild dominated backward. The cache keys on
+// Csr::content_digest(), so every call site that sees the same graph —
+// across trainers, models, and serving — shares one transpose, built
+// exactly once per process (the build runs under the cache mutex, so
+// concurrent first requests for one graph cannot race to build twice).
+//
+// Entries are shared_ptr<const Csr> and are never evicted: the working set
+// is a handful of adjacencies per run (see ROADMAP for eviction follow-up).
+// Hits/misses are tallied locally and mirrored to the ambient obs counters
+// "spmm.transpose_hits" / "spmm.transpose_misses".
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/csr.hpp"
+
+namespace hoga::graph {
+
+class TransposeCache {
+ public:
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+  };
+
+  /// The process-wide instance.
+  static TransposeCache& global();
+
+  /// The transpose of `a`, built on first request for this graph content.
+  std::shared_ptr<const Csr> get(const std::shared_ptr<const Csr>& a);
+
+  Stats stats() const;
+  std::size_t entries() const;
+  /// Drops all entries and zeroes the stats (tests only).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Csr>> entries_;
+  Stats stats_;
+};
+
+}  // namespace hoga::graph

@@ -1,5 +1,7 @@
 #include "models/graphsage.hpp"
 
+#include "graph/transpose_cache.hpp"
+
 namespace hoga::models {
 
 GraphSage::GraphSage(const SageConfig& config, Rng& rng) : config_(config) {
@@ -22,7 +24,7 @@ ag::Variable GraphSage::forward(
     std::shared_ptr<const graph::Csr> adj_row, const ag::Variable& x,
     Rng& rng, std::shared_ptr<const graph::Csr> adj_row_t) const {
   if (!adj_row_t) {
-    adj_row_t = std::make_shared<const graph::Csr>(adj_row->transposed());
+    adj_row_t = graph::TransposeCache::global().get(adj_row);
   }
   ag::Variable h = x;
   for (std::size_t l = 0; l < self_layers_.size(); ++l) {
@@ -44,7 +46,7 @@ ag::Variable GraphSage::forward_eval(
     std::shared_ptr<const graph::Csr> adj_row, const ag::Variable& x,
     std::shared_ptr<const graph::Csr> adj_row_t) const {
   if (!adj_row_t) {
-    adj_row_t = std::make_shared<const graph::Csr>(adj_row->transposed());
+    adj_row_t = graph::TransposeCache::global().get(adj_row);
   }
   ag::Variable h = x;
   for (std::size_t l = 0; l < self_layers_.size(); ++l) {

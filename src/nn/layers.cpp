@@ -38,8 +38,7 @@ LayerNorm::LayerNorm(std::int64_t dim, float eps) : dim_(dim), eps_(eps) {
 ag::Variable LayerNorm::forward(const ag::Variable& x) const {
   HOGA_CHECK(x.size(-1) == dim_, "LayerNorm: trailing dim "
                                      << x.size(-1) << " != " << dim_);
-  ag::Variable y = ag::layer_norm_lastdim(x, eps_);
-  return ag::add(ag::mul(y, gamma_), beta_);
+  return ag::layer_norm_affine(x, gamma_, beta_, eps_);
 }
 
 Embedding::Embedding(std::int64_t num_embeddings, std::int64_t dim, Rng& rng)

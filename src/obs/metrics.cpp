@@ -27,6 +27,46 @@ long long Histogram::bucket_count(std::size_t i) const {
   return cell_->counts[i].load(std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const {
+  if (!cell_) return 0.0;
+  return detail::histogram_quantile(*cell_, q);
+}
+
+namespace detail {
+
+double histogram_quantile(const HistogramCell& cell, double q) {
+  const long long total = cell.count.load(std::memory_order_relaxed);
+  if (total <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  long long cumulative = 0;
+  for (std::size_t i = 0; i < cell.bounds.size(); ++i) {
+    const long long in_bucket =
+        cell.counts[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    const long long next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= target) {
+      // Rank lands in this bucket: interpolate linearly between its lower
+      // and upper bound (the first bucket's lower bound is 0 unless the
+      // bound itself is negative).
+      const double hi = cell.bounds[i];
+      const double lo =
+          i == 0 ? std::min(0.0, cell.bounds[0]) : cell.bounds[i - 1];
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative = next;
+  }
+  // Rank falls in the overflow bucket: no upper bound to interpolate
+  // toward, so clamp to the last finite bound (standard histogram-quantile
+  // behaviour — the estimate is a lower bound on the true value).
+  return cell.bounds.back();
+}
+
+}  // namespace detail
+
 MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
 
 Counter MetricsRegistry::counter(const std::string& name) {
@@ -68,7 +108,13 @@ std::string MetricsRegistry::text_snapshot() const {
     out << "histogram " << name
         << " count=" << cell->count.load(std::memory_order_relaxed)
         << " sum=" << detail::format_double(
-               cell->sum.load(std::memory_order_relaxed));
+               cell->sum.load(std::memory_order_relaxed))
+        << " p50=" << detail::format_double(
+               detail::histogram_quantile(*cell, 0.50))
+        << " p95=" << detail::format_double(
+               detail::histogram_quantile(*cell, 0.95))
+        << " p99=" << detail::format_double(
+               detail::histogram_quantile(*cell, 0.99));
     for (std::size_t i = 0; i < cell->bounds.size(); ++i) {
       out << " le" << detail::format_double(cell->bounds[i]) << '='
           << cell->counts[i].load(std::memory_order_relaxed);
@@ -109,6 +155,12 @@ std::string MetricsRegistry::json_snapshot() const {
     out << "],\"count\":" << cell->count.load(std::memory_order_relaxed)
         << ",\"sum\":"
         << detail::format_double(cell->sum.load(std::memory_order_relaxed))
+        << ",\"p50\":"
+        << detail::format_double(detail::histogram_quantile(*cell, 0.50))
+        << ",\"p95\":"
+        << detail::format_double(detail::histogram_quantile(*cell, 0.95))
+        << ",\"p99\":"
+        << detail::format_double(detail::histogram_quantile(*cell, 0.99))
         << '}';
   }
   out << "}}";

@@ -22,7 +22,10 @@
 // Histograms are fixed-bucket (cumulative "le" upper bounds plus an
 // implicit +inf overflow bucket) with an exact count and a double sum —
 // there is no reservoir and no quantile sketch, so two runs that record
-// the same values produce the same snapshot bytes.
+// the same values produce the same snapshot bytes. Quantiles (p50/p95/p99
+// in snapshots, Histogram::quantile for arbitrary q) are estimated by
+// linear interpolation within the bucket holding the target rank — a pure
+// function of the bucket counts, so they share the determinism contract.
 
 #include <atomic>
 #include <cstdint>
@@ -39,6 +42,11 @@ class ThreadPool;
 namespace hoga::obs {
 
 namespace detail {
+struct HistogramCell;
+/// Shared quantile estimation over a cell (used by the Histogram handle and
+/// the registry snapshots, which already hold the registry lock).
+double histogram_quantile(const HistogramCell& cell, double q);
+
 struct HistogramCell {
   std::vector<double> bounds;  // strictly increasing upper bounds
   std::vector<std::atomic<long long>> counts;  // bounds.size() + 1 (overflow)
@@ -91,6 +99,13 @@ class Histogram {
   /// 0 for a null handle or out-of-range index.
   long long bucket_count(std::size_t i) const;
 
+  /// Estimated quantile (q in [0, 1]) by linear interpolation within the
+  /// bucket holding the target rank — the standard Prometheus-style
+  /// histogram_quantile. Deterministic for a fixed set of recordings.
+  /// Overflow-bucket ranks clamp to the last finite bound; an empty (or
+  /// null-handle) histogram returns 0.
+  double quantile(double q) const;
+
  private:
   friend class MetricsRegistry;
   explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
@@ -120,12 +135,14 @@ class MetricsRegistry {
   /// Deterministic plain-text snapshot, one metric per line, sorted by
   /// name:
   ///   counter serve.served 9
-  ///   histogram serve.latency_ms count=3 sum=4.5 le0.5=1 le5=2 inf=0
+  ///   histogram serve.latency_ms count=3 sum=4.5 p50=... p95=... p99=...
+  ///     le0.5=1 le5=2 inf=0   (one line; wrapped here for width)
   std::string text_snapshot() const;
 
   /// The same data as sorted JSON:
   ///   {"counters":{...},"histograms":{"h":{"bounds":[...],
-  ///    "bucket_counts":[...],"count":3,"sum":4.5}}}
+  ///    "bucket_counts":[...],"count":3,"sum":4.5,
+  ///    "p50":...,"p95":...,"p99":...}}}
   std::string json_snapshot() const;
 
   /// Zeroes every registered metric (handles stay valid).

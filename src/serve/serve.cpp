@@ -11,6 +11,7 @@
 #include "reasoning/features.hpp"
 #include "store/digest.hpp"
 #include "store/feature_store.hpp"
+#include "tensor/arena.hpp"
 #include "tensor/ops.hpp"
 #include "validate/validate.hpp"
 
@@ -190,6 +191,20 @@ void InferenceService::reset_stats() {
   c_.deadline_missed.reset();
   std::lock_guard<std::mutex> lock(mu_);
   latencies_ms_.clear();
+}
+
+std::string InferenceService::latency_report() const {
+  const ServeStats s = stats();
+  std::ostringstream os;
+  os << "latency_ms exact p50=" << s.latency_percentile(50)
+     << " p95=" << s.latency_percentile(95)
+     << " p99=" << s.latency_percentile(99);
+  if (metrics_ != nullptr) {
+    os << " | hist p50=" << c_.latency_ms.quantile(0.50)
+       << " p95=" << c_.latency_ms.quantile(0.95)
+       << " p99=" << c_.latency_ms.quantile(0.99);
+  }
+  return os.str();
 }
 
 bool InferenceService::breaker_open() const {
@@ -414,6 +429,7 @@ Response InferenceService::execute_full(const Tensor& input,
       }
       // HOGA inference is per-node independent (Eq. 3), so the batch splits
       // into node chunks with a cancellation/deadline check between chunks.
+      ArenaScope arena;  // kernel scratch reused across the chunk loop
       const std::int64_t c = model->config().out_dim;
       Tensor out({n, c});
       for (std::int64_t lo = 0; lo < n; lo += node_batch) {
@@ -473,6 +489,7 @@ Response InferenceService::execute_degraded(const Tensor& input,
   const Tensor truncated = truncate_hops(input, config_.degraded_num_hops);
   const std::int64_t n = truncated.size(0);
   const std::int64_t c = model_.config().out_dim;
+  ArenaScope arena;  // kernel scratch for the inline degraded forward
   Tensor out({n, c});
   for (std::int64_t lo = 0; lo < n; lo += config_.node_batch) {
     if (Clock::now() >= deadline) {

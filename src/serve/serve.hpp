@@ -159,6 +159,13 @@ class InferenceService {
   ServeStats stats() const;
   void reset_stats();
 
+  /// One-line latency report: the exact percentiles from the recorded
+  /// latency vector plus, when a metrics registry is wired, the
+  /// bucket-interpolated estimates from the "serve.latency_ms" obs
+  /// histogram (Histogram::quantile) for cross-checking the two views:
+  ///   "latency_ms exact p50=.. p95=.. p99=.. | hist p50=.. p95=.. p99=.."
+  std::string latency_report() const;
+
   /// True while the circuit breaker is open (requests take the degraded
   /// ladder). Exposed for tests and the bench.
   bool breaker_open() const;

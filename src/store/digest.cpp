@@ -1,60 +1,6 @@
 #include "store/digest.hpp"
 
 namespace hoga::store {
-namespace {
-
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
-
-Digest& Digest::update(const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = h_;
-  std::size_t i = 0;
-  // Bulk path: four independent FNV lanes, folded together at the end. A
-  // single lane serializes on the multiply's latency (~5 cycles per word);
-  // four lanes keep the multiplier busy, which is what makes digesting a
-  // multi-hundred-KB graph far cheaper than the SpMM compute it guards.
-  if (bytes >= 64) {
-    std::uint64_t lanes[4] = {h ^ 0x9e3779b97f4a7c15ull,
-                              h ^ 0xbf58476d1ce4e5b9ull,
-                              h ^ 0x94d049bb133111ebull,
-                              h ^ 0xd6e8feb86659fd93ull};
-    for (; i + 32 <= bytes; i += 32) {
-      std::uint64_t words[4];
-      std::memcpy(words, p + i, 32);
-      for (int j = 0; j < 4; ++j) {
-        lanes[j] = (lanes[j] ^ words[j]) * kFnvPrime;
-      }
-    }
-    for (int j = 0; j < 4; ++j) {
-      h = (h ^ splitmix64(lanes[j])) * kFnvPrime;
-    }
-  }
-  for (; i + 8 <= bytes; i += 8) {
-    std::uint64_t word;
-    std::memcpy(&word, p + i, 8);
-    h = (h ^ word) * kFnvPrime;
-  }
-  if (i < bytes) {
-    std::uint64_t tail = 0;
-    std::memcpy(&tail, p + i, bytes - i);
-    // Fold the tail length in too, so "abc" and "abc\0" differ.
-    h = (h ^ tail) * kFnvPrime;
-    h = (h ^ static_cast<std::uint64_t>(bytes - i)) * kFnvPrime;
-  }
-  h_ = h;
-  return *this;
-}
-
-std::uint64_t Digest::value() const { return splitmix64(h_); }
 
 std::uint64_t graph_digest(const graph::Csr& adj, const Tensor& x) {
   Digest d;

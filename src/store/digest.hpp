@@ -7,42 +7,20 @@
 // runs over the same circuit therefore hash to the same shard, across
 // processes and across time, with no registry or naming convention needed.
 //
-// The hash is FNV-1a folded over 8-byte words — four independent lanes on
-// large buffers, so the fold is not serialized on the multiply's latency —
-// with a splitmix64 finalizer. This keeps digesting far cheaper than the
-// SpMM propagation it guards (a byte-wise FNV would cost a noticeable
-// fraction of a cold compute); the finalizer and the per-lane mixing break
-// up FNV's weak low-bit diffusion. This
-// is an integrity-adjacent fingerprint, not a cryptographic hash — shards
-// additionally carry a CRC32 so corruption is caught independently.
+// The digest primitive itself lives in util/digest.hpp (it is shared with
+// the graph layer's transpose cache, which cannot depend on the store);
+// this header re-exports it and adds the store's domain digests.
 
 #include <cstdint>
-#include <cstring>
 
 #include "aig/aig.hpp"
 #include "graph/csr.hpp"
 #include "tensor/tensor.hpp"
+#include "util/digest.hpp"
 
 namespace hoga::store {
 
-class Digest {
- public:
-  /// Folds `bytes` raw bytes into the digest (word-at-a-time FNV-1a).
-  Digest& update(const void* data, std::size_t bytes);
-
-  /// Folds one trivially-copyable value (its object representation).
-  template <typename T>
-  Digest& update_value(const T& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    return update(&v, sizeof(T));
-  }
-
-  /// Finalized digest (mixing pass over the accumulated state).
-  std::uint64_t value() const;
-
- private:
-  std::uint64_t h_ = 14695981039346656037ull;  // FNV-1a 64 offset basis
-};
+using Digest = ::hoga::util::Digest;
 
 /// Digest of (adjacency, raw features): the content key of a precomputed
 /// hop-feature set. Covers node count, CSR structure, edge weights, feature

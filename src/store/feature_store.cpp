@@ -37,13 +37,17 @@ void append_value(std::string& out, const T& v) {
 }
 
 template <typename T>
-bool read_value(const std::string& in, std::size_t& off, T* v) {
+bool read_value(std::string_view in, std::size_t& off, T* v) {
   static_assert(std::is_trivially_copyable_v<T>);
   if (off + sizeof(T) > in.size()) return false;
   std::memcpy(v, in.data() + off, sizeof(T));
   off += sizeof(T);
   return true;
 }
+
+// Byte offset of the fp32 data within a shard payload (digest + K + n + d).
+constexpr std::size_t kPayloadPrefixBytes =
+    sizeof(std::uint64_t) + sizeof(std::int32_t) + 2 * sizeof(std::int64_t);
 
 std::optional<core::HopFeatures> reject(std::string* why, std::string reason) {
   if (why) *why = std::move(reason);
@@ -70,7 +74,8 @@ std::string StoreStats::counts_signature() const {
      << " write_errors=" << write_errors
      << " corrupt_shards=" << corrupt_shards << " evictions=" << evictions
      << " negative_hits=" << negative_hits
-     << " shard_evictions=" << shard_evictions;
+     << " shard_evictions=" << shard_evictions
+     << " mmap_reads=" << mmap_reads;
   return os.str();
 }
 
@@ -101,18 +106,28 @@ std::string encode_shard(const FeatureKey& key,
   }
   std::ostringstream os;
   os << "hoga-feat v1 " << payload.size() << ' ' << std::hex
-     << util::crc32(payload) << std::dec << '\n';
-  return os.str() + payload;
+     << util::crc32(payload) << std::dec;
+  std::string header = os.str();
+  // Pad the header with spaces (ignored by the parser) so that in an mmap'd
+  // shard — whose first byte is page-aligned — the fp32 data at
+  // header + kPayloadPrefixBytes lands on a 64-byte boundary, letting
+  // decode_shard alias it instead of copying. +1 for the '\n'.
+  while ((header.size() + 1 + kPayloadPrefixBytes) % 64 != 0) {
+    header.push_back(' ');
+  }
+  header.push_back('\n');
+  return header + payload;
 }
 
-std::optional<core::HopFeatures> decode_shard(const std::string& bytes,
-                                              const FeatureKey& expect,
-                                              std::string* why) {
+std::optional<core::HopFeatures> decode_shard(
+    std::string_view bytes, const FeatureKey& expect, std::string* why,
+    std::shared_ptr<void> alias_owner) {
   const std::size_t header_end = bytes.find('\n');
-  if (header_end == std::string::npos) {
+  if (header_end == std::string_view::npos) {
     return reject(why, "missing header line");
   }
-  std::istringstream header(bytes.substr(0, header_end));
+  const std::string header_line(bytes.substr(0, header_end));
+  std::istringstream header(header_line);
   std::string magic, version;
   header >> magic >> version;
   if (header.fail() || magic != "hoga-feat") {
@@ -129,6 +144,15 @@ std::optional<core::HopFeatures> decode_shard(const std::string& bytes,
   if (header.fail() || expect_crc > 0xFFFFFFFFull) {
     return reject(why, "bad crc in header");
   }
+  // The only bytes allowed after the CRC token are the alignment padding
+  // spaces encode_shard appends; the payload CRC cannot see the header, so
+  // anything else there is corruption this check must catch.
+  const auto after_crc = header.tellg();
+  const std::size_t tail = after_crc < 0 ? header_line.size()
+                                         : static_cast<std::size_t>(after_crc);
+  if (header_line.find_first_not_of(' ', tail) != std::string::npos) {
+    return reject(why, "trailing junk in header");
+  }
   const std::string_view payload(bytes.data() + header_end + 1,
                                  bytes.size() - header_end - 1);
   if (payload.size() != payload_size) {
@@ -141,13 +165,13 @@ std::optional<core::HopFeatures> decode_shard(const std::string& bytes,
     return reject(why, "CRC mismatch (corrupted shard)");
   }
 
-  const std::string body(payload);
   std::size_t off = 0;
   std::uint64_t content = 0;
   std::int32_t num_hops = 0;
   std::int64_t n = 0, d = 0;
-  if (!read_value(body, off, &content) || !read_value(body, off, &num_hops) ||
-      !read_value(body, off, &n) || !read_value(body, off, &d)) {
+  if (!read_value(payload, off, &content) ||
+      !read_value(payload, off, &num_hops) || !read_value(payload, off, &n) ||
+      !read_value(payload, off, &d)) {
     return reject(why, "truncated shard fields");
   }
   if (content != expect.content) {
@@ -163,14 +187,27 @@ std::optional<core::HopFeatures> decode_shard(const std::string& bytes,
     return reject(why, "implausible shard dimensions");
   }
   const std::int64_t numel = n * (num_hops + 1) * d;
-  if (body.size() - off !=
+  if (payload.size() - off !=
       static_cast<std::size_t>(numel) * sizeof(float)) {
     return reject(why, "shard data size disagrees with its dimensions");
   }
-  Tensor stacked({n, num_hops + 1, d});
-  if (numel > 0) {
-    std::memcpy(stacked.data(), body.data() + off,
-                static_cast<std::size_t>(numel) * sizeof(float));
+  const char* raw = payload.data() + off;
+  const bool aligned =
+      reinterpret_cast<std::uintptr_t>(raw) % alignof(float) == 0;
+  Tensor stacked;
+  if (alias_owner != nullptr && aligned && numel > 0) {
+    // Zero-copy: the tensor reads the mapped pages directly; the mapping is
+    // copy-on-write, so in-place mutation (fault hooks) never hits the file.
+    stacked = Tensor::from_external(
+        {n, num_hops + 1, d},
+        reinterpret_cast<float*>(const_cast<char*>(raw)),
+        std::move(alias_owner));
+  } else {
+    stacked = Tensor::empty({n, num_hops + 1, d});
+    if (numel > 0) {
+      std::memcpy(stacked.data(), raw,
+                  static_cast<std::size_t>(numel) * sizeof(float));
+    }
   }
   return core::HopFeatures::from_stacked(std::move(stacked), num_hops);
 }
@@ -193,6 +230,7 @@ FeatureStore::FeatureStore(StoreConfig config) : config_(std::move(config)) {
     c_.evictions = m.counter("store.evictions");
     c_.negative_hits = m.counter("store.negative_hits");
     c_.shard_evictions = m.counter("store.shard_evictions");
+    c_.mmap_reads = m.counter("store.mmap_reads");
   }
 }
 
@@ -281,17 +319,33 @@ std::optional<core::HopFeatures> FeatureStore::lookup(
   }
 
   if (!config_.directory.empty() && !skip_disk) {
-    std::string bytes;
+    // Prefer mapping the shard: decode_shard then aliases tensor storage
+    // straight onto the page cache (CRC-verified on first touch) instead of
+    // copying the payload through the heap. Falls back to read_file when
+    // mmap is unavailable.
+    std::string bytes_buf;
+    std::string_view bytes;
+    std::shared_ptr<util::MappedFile> mapped =
+        util::MappedFile::map(shard_path(key));
     bool have_shard = true;
-    try {
-      bytes = util::read_file(shard_path(key));
-    } catch (const std::exception&) {
-      have_shard = false;  // no shard (or unreadable): plain miss
+    if (mapped != nullptr) {
+      fault::maybe_corrupt_store_shard(mapped->data(), mapped->size());
+      bytes = std::string_view(mapped->data(), mapped->size());
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.mmap_reads;
+      c_.mmap_reads.inc();
+    } else {
+      try {
+        bytes_buf = util::read_file(shard_path(key));
+        fault::maybe_corrupt_store_shard(bytes_buf);
+        bytes = bytes_buf;
+      } catch (const std::exception&) {
+        have_shard = false;  // no shard (or unreadable): plain miss
+      }
     }
     if (have_shard) {
-      fault::maybe_corrupt_store_shard(bytes);
       std::string why;
-      auto hops = decode_shard(bytes, key, &why);
+      auto hops = decode_shard(bytes, key, &why, mapped);
       const bool config_ok =
           hops.has_value() &&
           !validate::check_hop_config(*hops, key.num_hops, expected_dim);

@@ -35,10 +35,12 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -92,6 +94,7 @@ struct StoreStats {
   long long evictions = 0;          // memory-tier LRU evictions
   long long negative_hits = 0;      // disk probes skipped via negative cache
   long long shard_evictions = 0;    // persistent shards deleted by the cap
+  long long mmap_reads = 0;         // disk probes served by a file mapping
 
   long long hits() const { return memory_hits + disk_hits; }
   /// Deterministic counter line, e.g. "lookups=4 memory_hits=2 ...".
@@ -119,9 +122,15 @@ std::string encode_shard(const FeatureKey& key, const core::HopFeatures& hops);
 /// magic/version is wrong, the payload is truncated, the CRC does not match,
 /// or the embedded key disagrees with `expect`; `why` (optional) receives
 /// the reason. Decoded floats are bit-exact.
-std::optional<core::HopFeatures> decode_shard(const std::string& bytes,
-                                              const FeatureKey& expect,
-                                              std::string* why = nullptr);
+///
+/// When `alias_owner` is non-null (an mmap'd shard kept alive by the owner)
+/// and the float payload is suitably aligned, the returned tensor *aliases*
+/// `bytes` instead of copying it — the CRC pass above doubles as the
+/// first-touch verification of the mapped pages. Misaligned payloads (e.g.
+/// shards written before headers were pad-aligned) fall back to a copy.
+std::optional<core::HopFeatures> decode_shard(
+    std::string_view bytes, const FeatureKey& expect,
+    std::string* why = nullptr, std::shared_ptr<void> alias_owner = nullptr);
 
 class FeatureStore {
  public:
@@ -190,7 +199,7 @@ class FeatureStore {
   struct StoreCounters {
     obs::Counter lookups, memory_hits, disk_hits, misses, config_mismatches,
         computes, shard_writes, write_errors, corrupt_shards, evictions,
-        negative_hits, shard_evictions;
+        negative_hits, shard_evictions, mmap_reads;
   } c_;
   mutable std::mutex mu_;
   // Memory tier keyed by content digest alone (one entry per graph): this

@@ -1,0 +1,104 @@
+#include "tensor/arena.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace hoga {
+namespace {
+
+// Allocation granularity in floats (64 bytes): keeps successive scratch
+// buffers cache-line-separated so adjacent pack panels don't false-share.
+constexpr std::size_t kAlignFloats = 16;
+// Smallest block the arena reserves; sized so a typical epoch's deepest
+// kernel nesting fits in one or two blocks.
+constexpr std::size_t kMinBlockFloats = std::size_t{1} << 18;  // 1 MiB
+
+std::size_t round_up(std::size_t v) {
+  return (v + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+// One arena object per thread, living for the thread's lifetime so blocks
+// reserved in one ArenaScope are reused by every later scope (this is what
+// makes step 2..N of a training loop allocation-free).
+thread_local Arena t_arena;
+thread_local int t_scope_depth = 0;
+
+}  // namespace
+
+Arena* Arena::current() { return t_scope_depth > 0 ? &t_arena : nullptr; }
+
+std::size_t Arena::in_use_floats() const {
+  std::size_t floats = cur_offset_;
+  for (std::size_t b = 0; b < cur_block_; ++b) floats += blocks_[b].floats;
+  return floats;
+}
+
+float* Arena::alloc(std::int64_t floats) {
+  HOGA_CHECK(floats >= 0, "Arena::alloc: negative size");
+  const std::size_t need = round_up(std::max<std::size_t>(
+      static_cast<std::size_t>(floats), 1));
+  // Advance to the first block with room; blocks skipped here stay counted
+  // as in-use (their tail slack is dead until release), which keeps marks a
+  // simple (block, offset) pair.
+  while (cur_block_ < blocks_.size() &&
+         cur_offset_ + need > blocks_[cur_block_].floats) {
+    ++cur_block_;
+    cur_offset_ = 0;
+  }
+  if (cur_block_ == blocks_.size()) {
+    const std::size_t last = blocks_.empty() ? 0 : blocks_.back().floats;
+    const std::size_t size = std::max({need, 2 * last, kMinBlockFloats});
+    blocks_.push_back(Block{std::make_unique<float[]>(size), size});
+    reserved_bytes_ += size * sizeof(float);
+  }
+  float* p = blocks_[cur_block_].data.get() + cur_offset_;
+  cur_offset_ += need;
+  high_water_bytes_ =
+      std::max(high_water_bytes_, in_use_floats() * sizeof(float));
+  return p;
+}
+
+void Arena::release(Mark m) {
+  HOGA_CHECK(m.block < cur_block_ ||
+                 (m.block == cur_block_ && m.offset <= cur_offset_),
+             "Arena::release: non-LIFO release");
+  cur_block_ = m.block;
+  cur_offset_ = m.offset;
+}
+
+void Arena::reset() {
+  cur_block_ = 0;
+  cur_offset_ = 0;
+}
+
+ArenaScope::ArenaScope() { ++t_scope_depth; }
+
+ArenaScope::~ArenaScope() {
+  if (--t_scope_depth > 0) return;
+  // Outermost exit: publish the peak and hand the blocks back for reuse.
+  if (obs::MetricsRegistry* m = obs::ambient().metrics) {
+    obs::Counter c = m->counter("arena.high_water");
+    const auto hw = static_cast<long long>(t_arena.high_water_bytes());
+    if (hw > c.value()) c.inc(hw - c.value());  // counter as monotonic max
+  }
+  t_arena.reset();
+}
+
+Scratch::Scratch(std::int64_t floats) : arena_(Arena::current()) {
+  if (arena_ != nullptr) {
+    mark_ = arena_->mark();
+    ptr_ = arena_->alloc(floats);
+  } else {
+    heap_ = std::make_unique<float[]>(
+        static_cast<std::size_t>(std::max<std::int64_t>(floats, 1)));
+    ptr_ = heap_.get();
+  }
+}
+
+Scratch::~Scratch() {
+  if (arena_ != nullptr) arena_->release(mark_);
+}
+
+}  // namespace hoga

@@ -1,0 +1,121 @@
+#pragma once
+// Per-thread bump arena for kernel temporaries (DESIGN.md §11).
+//
+// The training/serving hot paths call the blocked kernels thousands of times
+// per epoch; each call needs short-lived scratch (GEMM pack panels, softmax
+// logit staging, layernorm row statistics). Heap-allocating that scratch per
+// call puts malloc/free on the critical path and churns the allocator.
+// Instead, a thread-local arena hands out bump allocations that are released
+// in LIFO order when the requesting kernel returns.
+//
+// Lifetime rules (enforced by construction, documented in DESIGN.md §11):
+//
+//   - The arena is *inert* until an ArenaScope is alive on the thread:
+//     outside a scope, Scratch falls back to a plain heap allocation, so
+//     kernels work identically with or without one.
+//   - Scratch allocations are strictly LIFO within a scope. C++ block
+//     scoping gives this for free; holding a Scratch across another
+//     Scratch's destruction out of order is a bug.
+//   - Arena memory is only valid while the allocating Scratch is alive.
+//     Nothing that outlives the kernel call (tensors, autograd closures)
+//     may live in the arena.
+//   - Scope exit resets the cursor but *retains* the blocks: the second and
+//     every later step of a training loop reuse the first step's memory —
+//     the allocation-free property the arena exists for. Block count and
+//     reserved bytes are observable so tests can assert no growth.
+//
+// ArenaScope nests (refcounted); the outermost exit resets the cursor and
+// publishes the scope's high-water mark to the ambient obs registry as the
+// monotonic "arena.high_water" counter (bytes).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hoga {
+
+class Arena {
+ public:
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;  // floats into the block
+  };
+
+  /// 64-byte-aligned allocation of `floats` fp32 slots, valid until the
+  /// matching release(). Grows by adding blocks (existing blocks never move,
+  /// so outstanding pointers stay valid).
+  float* alloc(std::int64_t floats);
+
+  Mark mark() const { return Mark{cur_block_, cur_offset_}; }
+  /// LIFO release back to a previous mark().
+  void release(Mark m);
+
+  /// Cursor back to zero; blocks retained for reuse.
+  void reset();
+
+  /// Peak bytes simultaneously allocated since construction.
+  std::size_t high_water_bytes() const { return high_water_bytes_; }
+  /// Total bytes reserved across all blocks (monotone; growth stops once a
+  /// workload's peak fits — what the arena-reuse test asserts).
+  std::size_t reserved_bytes() const { return reserved_bytes_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// The calling thread's arena when an ArenaScope is active, else null.
+  static Arena* current();
+
+ private:
+  friend class ArenaScope;
+
+  struct Block {
+    std::unique_ptr<float[]> data;
+    std::size_t floats = 0;
+  };
+
+  std::size_t in_use_floats() const;
+
+  std::vector<Block> blocks_;
+  std::size_t cur_block_ = 0;
+  std::size_t cur_offset_ = 0;  // floats into blocks_[cur_block_]
+  std::size_t reserved_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
+};
+
+/// Activates the thread-local arena for the enclosing dynamic extent. Used
+/// by the trainers (around each epoch body) and the serve forward path.
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+};
+
+/// Runs `f()` inside an ArenaScope and returns its result.
+template <typename F>
+auto with_arena(F&& f) {
+  ArenaScope scope;
+  return f();
+}
+
+/// Kernel scratch buffer: arena-backed when a scope is active on this
+/// thread, heap-backed otherwise. Strictly LIFO (see lifetime rules above).
+class Scratch {
+ public:
+  explicit Scratch(std::int64_t floats);
+  ~Scratch();
+
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+
+ private:
+  Arena* arena_ = nullptr;
+  Arena::Mark mark_;
+  float* ptr_ = nullptr;
+  std::unique_ptr<float[]> heap_;
+};
+
+}  // namespace hoga

@@ -1,0 +1,410 @@
+// Blocked compute kernels. This translation unit is compiled with
+// -ffp-contract=off (see src/CMakeLists.txt): the fp-order contract in
+// kernels.hpp promises that blocked and reference kernels round identically
+// per accumulation step, which FMA contraction — applied by the optimizer to
+// one loop shape but not the other — would silently break.
+
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "tensor/arena.hpp"
+#include "util/check.hpp"
+
+namespace hoga::kernels {
+namespace {
+
+// Register tile: kMr x kNr fp32 accumulators (8 YMM-widths worth) — small
+// enough to stay resident, big enough to amortize the packed-operand loads.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+// Cache panels: A panel (kMc x kKc, 64 KiB) targets L2, B panel
+// (kKc x kNc, up to 1 MiB) streams once per KC step.
+constexpr std::int64_t kMc = 64;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kNc = 1024;
+
+// Below this problem volume the packing traffic outweighs the register
+// tiling; the serial loop (identical bits, see contract) runs instead.
+constexpr std::int64_t kBlockedThreshold = 32 * 32 * 32;
+
+std::int64_t round_up(std::int64_t v, std::int64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+int env_reference_mode() {
+  static const int v = [] {
+    const char* e = std::getenv("HOGA_REF_KERNELS");
+    return (e != nullptr && *e != '\0' && std::string_view(e) != "0") ? 1 : 0;
+  }();
+  return v;
+}
+
+thread_local int t_ref_override = -1;  // -1 = defer to the environment
+
+// A panel pack: ceil(mc/kMr) slivers, each [kc][kMr] — the micro kernel
+// reads one sliver with unit stride regardless of trans_a. Rows past mc are
+// zero-padded (M-direction padding only; padded lanes are never stored).
+void pack_a(const float* a, std::int64_t lda, bool trans, std::int64_t ic,
+            std::int64_t mc, std::int64_t pc, std::int64_t kc, float* dst) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+    const std::int64_t mr = std::min(kMr, mc - ir);
+    float* sl = dst + (ir / kMr) * (kc * kMr);
+    if (!trans) {
+      for (std::int64_t ii = 0; ii < kMr; ++ii) {
+        if (ii < mr) {
+          const float* src = a + (ic + ir + ii) * lda + pc;
+          for (std::int64_t kk = 0; kk < kc; ++kk) sl[kk * kMr + ii] = src[kk];
+        } else {
+          for (std::int64_t kk = 0; kk < kc; ++kk) sl[kk * kMr + ii] = 0.f;
+        }
+      }
+    } else {
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = a + (pc + kk) * lda + ic + ir;
+        float* dk = sl + kk * kMr;
+        for (std::int64_t ii = 0; ii < mr; ++ii) dk[ii] = src[ii];
+        for (std::int64_t ii = mr; ii < kMr; ++ii) dk[ii] = 0.f;
+      }
+    }
+  }
+}
+
+// B panel pack: ceil(nc/kNr) slivers, each [kc][kNr]; N-direction padding
+// only. Loop nesting follows the source stride so reads stay contiguous for
+// both trans_b settings — this is what turns the seed's strided
+// transposed-operand inner loops into unit-stride ones.
+void pack_b(const float* b, std::int64_t ldb, bool trans, std::int64_t pc,
+            std::int64_t kc, std::int64_t jc, std::int64_t nc, float* dst) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+    const std::int64_t nr = std::min(kNr, nc - jr);
+    float* sl = dst + (jr / kNr) * (kc * kNr);
+    if (!trans) {
+      for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = b + (pc + kk) * ldb + jc + jr;
+        float* dk = sl + kk * kNr;
+        for (std::int64_t jj = 0; jj < nr; ++jj) dk[jj] = src[jj];
+        for (std::int64_t jj = nr; jj < kNr; ++jj) dk[jj] = 0.f;
+      }
+    } else {
+      for (std::int64_t jj = 0; jj < kNr; ++jj) {
+        if (jj < nr) {
+          const float* src = b + (jc + jr + jj) * ldb + pc;
+          for (std::int64_t kk = 0; kk < kc; ++kk) sl[kk * kNr + jj] = src[kk];
+        } else {
+          for (std::int64_t kk = 0; kk < kc; ++kk) sl[kk * kNr + jj] = 0.f;
+        }
+      }
+    }
+  }
+}
+
+// One packed B sliver row as a compiler vector (GCC/Clang vector extension):
+// the += below compiles to the widest mul/add the target has and degrades
+// to split ops on narrow ISAs — without intrinsics and without changing fp
+// semantics (lanes are independent accumulator chains; contraction is off).
+typedef float BVec __attribute__((vector_size(sizeof(float) * kNr)));
+
+// kMr x kNr register tile over one KC panel. `first` selects lazy-zero
+// accumulation (no C read on the first panel); later panels resume the
+// k-ascending chain from the stored fp32 value, which rounds identically to
+// having kept it in a register. Padded lanes compute but are never stored.
+void micro_kernel(std::int64_t kc, const float* ap, const float* bp, float* c,
+                  std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                  bool first) {
+  float buf[kMr][kNr] = {};
+  if (!first) {
+    for (std::int64_t i = 0; i < mr; ++i) {
+      for (std::int64_t j = 0; j < nr; ++j) buf[i][j] = c[i * ldc + j];
+    }
+  }
+  BVec acc[kMr];
+  for (int i = 0; i < kMr; ++i) std::memcpy(&acc[i], buf[i], sizeof(BVec));
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* ak = ap + kk * kMr;
+    BVec bk;
+    std::memcpy(&bk, bp + kk * kNr, sizeof(BVec));
+    for (int i = 0; i < kMr; ++i) acc[i] += ak[i] * bk;
+  }
+  for (int i = 0; i < kMr; ++i) std::memcpy(buf[i], &acc[i], sizeof(BVec));
+  for (std::int64_t i = 0; i < mr; ++i) {
+    for (std::int64_t j = 0; j < nr; ++j) c[i * ldc + j] = buf[i][j];
+  }
+}
+
+// Source floats staged into panels by one blocked call (A is repacked once
+// per NC column block; B once per KC panel). Used for both the stats tally
+// and the obs mirror.
+std::int64_t blocked_pack_floats(std::int64_t m, std::int64_t n,
+                                 std::int64_t k) {
+  const std::int64_t jc_iters = (n + kNc - 1) / kNc;
+  return jc_iters * m * k + k * n;
+}
+
+void zero_fill(float* c, std::int64_t count) {
+  std::fill(c, c + count, 0.f);
+}
+
+}  // namespace
+
+bool reference_mode() {
+  return t_ref_override >= 0 ? t_ref_override != 0 : env_reference_mode() != 0;
+}
+
+ScopedReferenceMode::ScopedReferenceMode(bool on) : prev_(t_ref_override) {
+  t_ref_override = on ? 1 : 0;
+}
+
+ScopedReferenceMode::~ScopedReferenceMode() { t_ref_override = prev_; }
+
+KernelStats& stats() {
+  static KernelStats s;
+  return s;
+}
+
+void reset_stats() {
+  auto& s = stats();
+  s.gemm_calls.store(0, std::memory_order_relaxed);
+  s.gemm_flops.store(0, std::memory_order_relaxed);
+  s.pack_bytes.store(0, std::memory_order_relaxed);
+  s.spmm_calls.store(0, std::memory_order_relaxed);
+  s.spmm_flops.store(0, std::memory_order_relaxed);
+}
+
+void gemm_reference(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t n, std::int64_t k, std::int64_t lda,
+                    std::int64_t ldb, bool trans_a, bool trans_b) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* orow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) orow[j] = 0.f;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float av = trans_a ? a[kk * lda + i] : a[i * lda + kk];
+      if (!trans_b) {
+        const float* brow = b + kk * ldb;
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      } else {
+        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * b[j * ldb + kk];
+      }
+    }
+  }
+}
+
+void gemm_blocked(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t n, std::int64_t k, std::int64_t lda,
+                  std::int64_t ldb, bool trans_a, bool trans_b) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    zero_fill(c, m * n);
+    return;
+  }
+  const std::int64_t kc_max = std::min(k, kKc);
+  const std::int64_t mc_pad = round_up(std::min(m, kMc), kMr);
+  const std::int64_t nc_pad = round_up(std::min(n, kNc), kNr);
+  Scratch apack(mc_pad * kc_max);
+  Scratch bpack(nc_pad * kc_max);
+  std::int64_t packed = 0;
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nc = std::min(kNc, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kc = std::min(kKc, k - pc);
+      const bool first = pc == 0;
+      pack_b(b, ldb, trans_b, pc, kc, jc, nc, bpack.data());
+      packed += kc * nc;
+      for (std::int64_t ic = 0; ic < m; ic += kMc) {
+        const std::int64_t mc = std::min(kMc, m - ic);
+        pack_a(a, lda, trans_a, ic, mc, pc, kc, apack.data());
+        packed += mc * kc;
+        for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+          const std::int64_t nr = std::min(kNr, nc - jr);
+          const float* bp = bpack.data() + (jr / kNr) * (kc * kNr);
+          for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+            const std::int64_t mr = std::min(kMr, mc - ir);
+            micro_kernel(kc, apack.data() + (ir / kMr) * (kc * kMr), bp,
+                         c + (ic + ir) * n + jc + jr, n, mr, nr, first);
+          }
+        }
+      }
+    }
+  }
+  stats().pack_bytes.fetch_add(
+      packed * static_cast<std::int64_t>(sizeof(float)),
+      std::memory_order_relaxed);
+}
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t n, std::int64_t k, std::int64_t lda, std::int64_t ldb,
+          bool trans_a, bool trans_b) {
+  gemm_batched(a, b, c, 1, m, n, k, lda, ldb, 0, 0, 0, trans_a, trans_b);
+}
+
+void gemm_batched(const float* a, const float* b, float* c, std::int64_t batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::int64_t lda, std::int64_t ldb, std::int64_t stride_a,
+                  std::int64_t stride_b, std::int64_t stride_c, bool trans_a,
+                  bool trans_b) {
+  const bool ref = reference_mode();
+  const bool blocked = !ref && m * n * k >= kBlockedThreshold;
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    const float* pa = a + bi * stride_a;
+    const float* pb = b + bi * stride_b;
+    float* pc = c + bi * stride_c;
+    if (blocked) {
+      gemm_blocked(pa, pb, pc, m, n, k, lda, ldb, trans_a, trans_b);
+    } else {
+      gemm_reference(pa, pb, pc, m, n, k, lda, ldb, trans_a, trans_b);
+    }
+  }
+  auto& s = stats();
+  const long long flops = 2ll * batch * m * n * k;
+  s.gemm_calls.fetch_add(batch, std::memory_order_relaxed);
+  s.gemm_flops.fetch_add(flops, std::memory_order_relaxed);
+  if (obs::ambient().metrics != nullptr) {
+    obs::count("kernel.gemm_flops", flops);
+    if (blocked) {
+      obs::count("kernel.pack_bytes",
+                 batch * blocked_pack_floats(m, n, k) *
+                     static_cast<long long>(sizeof(float)));
+    }
+  }
+}
+
+void spmm_reference(const std::int64_t* row_ptr, const std::int64_t* col,
+                    const float* val, std::int64_t n_rows, const float* x,
+                    std::int64_t d, float* out) {
+  for (std::int64_t i = 0; i < n_rows; ++i) {
+    float* orow = out + i * d;
+    for (std::int64_t j = 0; j < d; ++j) orow[j] = 0.f;
+    for (std::int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const float w = val[e];
+      const float* xrow = x + col[e] * d;
+      for (std::int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+    }
+  }
+}
+
+void spmm_blocked(const std::int64_t* row_ptr, const std::int64_t* col,
+                  const float* val, std::int64_t n_rows, const float* x,
+                  std::int64_t d, float* out) {
+  // Row blocks keep a small working set of output rows hot; column tiles
+  // bound the bytes each gathered x row drags through cache when d is wide.
+  // Per output element the accumulation is still a single edge-ascending
+  // chain — bit-identical to the reference (fp contract).
+  constexpr std::int64_t kRowBlock = 64;
+  constexpr std::int64_t kColTile = 384;
+  for (std::int64_t r0 = 0; r0 < n_rows; r0 += kRowBlock) {
+    const std::int64_t r1 = std::min(n_rows, r0 + kRowBlock);
+    for (std::int64_t j0 = 0; j0 < d; j0 += kColTile) {
+      const std::int64_t w = std::min(kColTile, d - j0);
+      for (std::int64_t i = r0; i < r1; ++i) {
+        float* orow = out + i * d + j0;
+        for (std::int64_t j = 0; j < w; ++j) orow[j] = 0.f;
+        for (std::int64_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+          const float we = val[e];
+          const float* xrow = x + col[e] * d + j0;
+          for (std::int64_t j = 0; j < w; ++j) orow[j] += we * xrow[j];
+        }
+      }
+    }
+  }
+}
+
+void spmm(const std::int64_t* row_ptr, const std::int64_t* col,
+          const float* val, std::int64_t n_rows, const float* x,
+          std::int64_t d, float* out) {
+  if (reference_mode()) {
+    spmm_reference(row_ptr, col, val, n_rows, x, d, out);
+  } else {
+    spmm_blocked(row_ptr, col, val, n_rows, x, d, out);
+  }
+  auto& s = stats();
+  const long long nnz = n_rows > 0 ? row_ptr[n_rows] : 0;
+  s.spmm_calls.fetch_add(1, std::memory_order_relaxed);
+  s.spmm_flops.fetch_add(2ll * nnz * d, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Shared softmax/layernorm row loops: there is no tiling to vary between
+// blocked and reference, so one implementation serves both dispatch names
+// and parity is exact by construction.
+
+void softmax_rows_impl(const float* in, float* out, std::int64_t rows,
+                       std::int64_t d) {
+  if (d == 0) return;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = in + i * d;
+    float* orow = out + i * d;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+    double s = 0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      s += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / s);
+    for (std::int64_t j = 0; j < d; ++j) orow[j] *= inv;
+  }
+}
+
+void layer_norm_rows_impl(const float* x, std::int64_t rows, std::int64_t d,
+                          float eps, const float* gamma, const float* beta,
+                          float* y, float* mean, float* rstd, float* xhat) {
+  HOGA_CHECK(d > 0, "layer_norm_rows: empty last dim");
+  HOGA_CHECK((gamma == nullptr) == (beta == nullptr),
+             "layer_norm_rows: gamma/beta must be both set or both null");
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = x + i * d;
+    double m = 0;
+    for (std::int64_t j = 0; j < d; ++j) m += row[j];
+    m /= static_cast<double>(d);
+    double var = 0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const double c = row[j] - m;
+      var += c * c;
+    }
+    var /= static_cast<double>(d);
+    const float mf = static_cast<float>(m);
+    const float rs = static_cast<float>(1.0 / std::sqrt(var + eps));
+    mean[i] = mf;
+    rstd[i] = rs;
+    float* yrow = y + i * d;
+    float* xrow = xhat != nullptr ? xhat + i * d : nullptr;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float xh = (row[j] - mf) * rs;
+      if (xrow != nullptr) xrow[j] = xh;
+      yrow[j] = gamma != nullptr ? xh * gamma[j] + beta[j] : xh;
+    }
+  }
+}
+
+}  // namespace
+
+void softmax_rows(const float* in, float* out, std::int64_t rows,
+                  std::int64_t d) {
+  softmax_rows_impl(in, out, rows, d);
+}
+
+void softmax_rows_reference(const float* in, float* out, std::int64_t rows,
+                            std::int64_t d) {
+  softmax_rows_impl(in, out, rows, d);
+}
+
+void layer_norm_rows(const float* x, std::int64_t rows, std::int64_t d,
+                     float eps, const float* gamma, const float* beta,
+                     float* y, float* mean, float* rstd, float* xhat) {
+  layer_norm_rows_impl(x, rows, d, eps, gamma, beta, y, mean, rstd, xhat);
+}
+
+void layer_norm_rows_reference(const float* x, std::int64_t rows,
+                               std::int64_t d, float eps, const float* gamma,
+                               const float* beta, float* y, float* mean,
+                               float* rstd, float* xhat) {
+  layer_norm_rows_impl(x, rows, d, eps, gamma, beta, y, mean, rstd, xhat);
+}
+
+}  // namespace hoga::kernels

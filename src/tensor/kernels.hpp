@@ -1,0 +1,146 @@
+#pragma once
+// Blocked compute kernels (DESIGN.md §11).
+//
+// Every dense hot loop in the stack bottoms out here: GEMM (matmul/bmm and
+// every transposed-operand backward), CSR SpMM, and the fused softmax /
+// layernorm row kernels. Two implementations exist for each:
+//
+//   - the *blocked* kernel: cache-tiled, operand-packed, register-tiled —
+//     the production path;
+//   - the *reference* kernel: the plainest possible serial loop, kept
+//     permanently as the semantic oracle.
+//
+// fp-order contract (the invariant that makes A/B testing exact): for every
+// output element, both implementations accumulate the same products in the
+// same order — strictly increasing k (GEMM) or edge index (SpMM), through a
+// single fp32 accumulator chain, with no FMA contraction (this translation
+// unit is compiled with -ffp-contract=off) and no k-dimension padding
+// (adding a padded +0.0 to a -0.0 accumulator would flip its sign bit).
+// Packing may pad only the M/N register-tile directions, whose padded lanes
+// are never stored. Under this contract blocked and reference outputs are
+// bit-identical, so the parity suite compares with ==, not a tolerance —
+// and notably the kernels never skip zero operands (the seed matmul's
+// `if (av == 0.f) continue;` made fp behaviour and 0*NaN/-0.0 semantics
+// input-dependent).
+//
+// Dispatch: the public entry points run the blocked kernel unless the
+// HOGA_REF_KERNELS environment variable is set (non-empty, not "0") or a
+// ScopedReferenceMode overrides it for the current thread.
+//
+// Scratch for pack panels comes from the per-thread bump arena when an
+// ArenaScope is active (tensor/arena.hpp) and the heap otherwise.
+
+#include <atomic>
+#include <cstdint>
+
+namespace hoga::kernels {
+
+// -- Dispatch control --------------------------------------------------------
+
+/// True when kernels should run the serial reference implementation:
+/// HOGA_REF_KERNELS in the environment, or a ScopedReferenceMode(true).
+bool reference_mode();
+
+/// Thread-local override of reference_mode(), for A/B tests.
+class ScopedReferenceMode {
+ public:
+  explicit ScopedReferenceMode(bool on);
+  ~ScopedReferenceMode();
+
+  ScopedReferenceMode(const ScopedReferenceMode&) = delete;
+  ScopedReferenceMode& operator=(const ScopedReferenceMode&) = delete;
+
+ private:
+  int prev_;
+};
+
+// -- Kernel stats ------------------------------------------------------------
+
+/// Always-on process-global tallies (relaxed atomics, one bump per call).
+/// When an ambient obs registry is installed, the same quantities are also
+/// mirrored to the "kernel.gemm_flops" / "kernel.pack_bytes" counters.
+struct KernelStats {
+  std::atomic<long long> gemm_calls{0};
+  std::atomic<long long> gemm_flops{0};   // 2*m*n*k per call
+  std::atomic<long long> pack_bytes{0};   // operand bytes staged into panels
+  std::atomic<long long> spmm_calls{0};
+  std::atomic<long long> spmm_flops{0};   // 2*nnz*d per call
+};
+KernelStats& stats();
+void reset_stats();
+
+// -- GEMM --------------------------------------------------------------------
+// c[m, n] = op(a) x op(b), where op transposes when the flag is set.
+// a is [m, k] with leading dimension lda (or [k, m] when trans_a), b is
+// [k, n] with leading dimension ldb (or [n, k] when trans_b). c is written
+// densely (every element stored, k == 0 writes zeros).
+
+/// Dispatching entry point (blocked unless reference_mode()).
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t n, std::int64_t k, std::int64_t lda, std::int64_t ldb,
+          bool trans_a, bool trans_b);
+
+/// Cache-blocked, operand-packed implementation (MC/KC/NC panels, MR x NR
+/// register tile, lazy-zero accumulation on the first KC panel).
+void gemm_blocked(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t n, std::int64_t k, std::int64_t lda,
+                  std::int64_t ldb, bool trans_a, bool trans_b);
+
+/// Serial i-k-j reference (no zero-skip); the semantic oracle.
+void gemm_reference(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t n, std::int64_t k, std::int64_t lda,
+                    std::int64_t ldb, bool trans_a, bool trans_b);
+
+/// Batched GEMM over `batch` independent problems at regular strides:
+/// equivalent to `batch` gemm() calls (same dispatch, same fp contract) but
+/// stats/obs-counted once — the bmm and fused-attention workhorse.
+void gemm_batched(const float* a, const float* b, float* c, std::int64_t batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::int64_t lda, std::int64_t ldb, std::int64_t stride_a,
+                  std::int64_t stride_b, std::int64_t stride_c, bool trans_a,
+                  bool trans_b);
+
+// -- SpMM --------------------------------------------------------------------
+// out[n_rows, d] = A x, A in CSR form (row_ptr/col/val), x is [*, d] indexed
+// by the column ids. Per-row accumulation in edge order (see fp contract).
+
+/// Dispatching entry point (row/column-blocked unless reference_mode()).
+void spmm(const std::int64_t* row_ptr, const std::int64_t* col,
+          const float* val, std::int64_t n_rows, const float* x,
+          std::int64_t d, float* out);
+
+/// Row-blocked implementation with column tiling for wide feature matrices.
+void spmm_blocked(const std::int64_t* row_ptr, const std::int64_t* col,
+                  const float* val, std::int64_t n_rows, const float* x,
+                  std::int64_t d, float* out);
+
+/// Plain per-row-per-edge reference loop.
+void spmm_reference(const std::int64_t* row_ptr, const std::int64_t* col,
+                    const float* val, std::int64_t n_rows, const float* x,
+                    std::int64_t d, float* out);
+
+// -- Fused row kernels -------------------------------------------------------
+// Both dispatch like gemm/spmm; blocked and reference share one loop shape
+// (there is no tiling to vary), so parity is exact by construction.
+
+/// out[i, :] = softmax(in[i, :]) for `rows` rows of width d. in == out is
+/// allowed (the fused-attention op runs it in place over GEMM output).
+void softmax_rows(const float* in, float* out, std::int64_t rows,
+                  std::int64_t d);
+void softmax_rows_reference(const float* in, float* out, std::int64_t rows,
+                            std::int64_t d);
+
+/// Fused layernorm + affine over `rows` rows of width d:
+///   xhat = (x - mean) * rstd;  y = gamma ? xhat * gamma + beta : xhat.
+/// gamma/beta are [d] (both null for the non-affine form). mean/rstd are
+/// [rows] outputs for backward; xhat (optional, [rows, d]) is stored when
+/// the affine backward needs it. y == x is allowed only when xhat is null.
+void layer_norm_rows(const float* x, std::int64_t rows, std::int64_t d,
+                     float eps, const float* gamma, const float* beta,
+                     float* y, float* mean, float* rstd, float* xhat);
+void layer_norm_rows_reference(const float* x, std::int64_t rows,
+                               std::int64_t d, float eps, const float* gamma,
+                               const float* beta, float* y, float* mean,
+                               float* rstd, float* xhat);
+
+}  // namespace hoga::kernels

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.hpp"
+
 namespace hoga::tensor_ops {
 namespace {
 
@@ -28,7 +30,7 @@ std::int64_t broadcast_period(const Tensor& a, const Tensor& b,
 template <typename F>
 Tensor binary(const Tensor& a, const Tensor& b, const char* name, F f) {
   const std::int64_t period = broadcast_period(a, b, name);
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -43,7 +45,7 @@ Tensor binary(const Tensor& a, const Tensor& b, const char* name, F f) {
 
 template <typename F>
 Tensor unary(const Tensor& a, F f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
@@ -129,27 +131,9 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const std::int64_t kb = trans_b ? b.size(1) : b.size(0);
   const std::int64_t n = trans_b ? b.size(0) : b.size(1);
   HOGA_CHECK(k == kb, "matmul: inner dims " << k << " vs " << kb);
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const std::int64_t lda = a.size(1);
-  const std::int64_t ldb = b.size(1);
-  // i-k-j loop order keeps the inner loop contiguous for the common
-  // (no-transpose) case; transposed operands fall back to strided reads.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* orow = po + i * n;
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
-      if (av == 0.f) continue;
-      if (!trans_b) {
-        const float* brow = pb + kk * ldb;
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      } else {
-        for (std::int64_t j = 0; j < n; ++j) orow[j] += av * pb[j * ldb + kk];
-      }
-    }
-  }
+  Tensor out = Tensor::empty({m, n});
+  kernels::gemm(a.data(), b.data(), out.data(), m, n, k, a.size(1), b.size(1),
+                trans_a, trans_b);
   return out;
 }
 
@@ -165,39 +149,17 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const std::int64_t kb = trans_b ? b.size(2) : b.size(1);
   const std::int64_t n = trans_b ? b.size(1) : b.size(2);
   HOGA_CHECK(k == kb, "bmm: inner dims " << k << " vs " << kb);
-  Tensor out({B, m, n});
-  const std::int64_t sa = a.size(1) * a.size(2);
-  const std::int64_t sb = b.size(1) * b.size(2);
-  const std::int64_t so = m * n;
-  const std::int64_t lda = a.size(2);
-  const std::int64_t ldb = b.size(2);
-  for (std::int64_t bi = 0; bi < B; ++bi) {
-    const float* pa = a.data() + bi * sa;
-    const float* pb = b.data() + bi * sb;
-    float* po = out.data() + bi * so;
-    for (std::int64_t i = 0; i < m; ++i) {
-      float* orow = po + i * n;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        const float av = trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
-        if (av == 0.f) continue;
-        if (!trans_b) {
-          const float* brow = pb + kk * ldb;
-          for (std::int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-        } else {
-          for (std::int64_t j = 0; j < n; ++j) {
-            orow[j] += av * pb[j * ldb + kk];
-          }
-        }
-      }
-    }
-  }
+  Tensor out = Tensor::empty({B, m, n});
+  kernels::gemm_batched(a.data(), b.data(), out.data(), B, m, n, k, a.size(2),
+                        b.size(2), a.size(1) * a.size(2), b.size(1) * b.size(2),
+                        m * n, trans_a, trans_b);
   return out;
 }
 
 Tensor transpose2d(const Tensor& a) {
   HOGA_CHECK(a.dim() == 2, "transpose2d: need 2-D");
   const std::int64_t m = a.size(0), n = a.size(1);
-  Tensor out({n, m});
+  Tensor out = Tensor::empty({n, m});
   for (std::int64_t i = 0; i < m; ++i) {
     for (std::int64_t j = 0; j < n; ++j) {
       out.data()[j * m + i] = a.data()[i * n + j];
@@ -215,7 +177,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
                "concat_cols: inconsistent shapes");
     total += p.size(1);
   }
-  Tensor out({n, total});
+  Tensor out = Tensor::empty({n, total});
   std::int64_t col = 0;
   for (const auto& p : parts) {
     const std::int64_t d = p.size(1);
@@ -233,7 +195,7 @@ Tensor slice_cols(const Tensor& a, std::int64_t lo, std::int64_t hi) {
   HOGA_CHECK(0 <= lo && lo <= hi && hi <= a.size(1),
              "slice_cols: bad range [" << lo << ", " << hi << ")");
   const std::int64_t n = a.size(0), d = a.size(1), w = hi - lo;
-  Tensor out({n, w});
+  Tensor out = Tensor::empty({n, w});
   for (std::int64_t i = 0; i < n; ++i) {
     std::copy(a.data() + i * d + lo, a.data() + i * d + hi,
               out.data() + i * w);
@@ -253,7 +215,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
   Shape out_shape;
   out_shape.push_back(rows);
   out_shape.insert(out_shape.end(), tail.begin(), tail.end());
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   float* po = out.data();
   for (const auto& p : parts) {
     std::copy(p.data(), p.data() + p.numel(), po);
@@ -269,7 +231,7 @@ Tensor slice_rows(const Tensor& a, std::int64_t lo, std::int64_t hi) {
   Shape out_shape = a.shape();
   out_shape[0] = hi - lo;
   const std::int64_t stride = a.numel() / std::max<std::int64_t>(1, a.size(0));
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   std::copy(a.data() + lo * stride, a.data() + hi * stride, out.data());
   return out;
 }
@@ -279,7 +241,7 @@ Tensor gather_rows(const Tensor& a, const std::vector<std::int64_t>& idx) {
   const std::int64_t stride = a.numel() / std::max<std::int64_t>(1, a.size(0));
   Shape out_shape = a.shape();
   out_shape[0] = static_cast<std::int64_t>(idx.size());
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   for (std::size_t i = 0; i < idx.size(); ++i) {
     HOGA_CHECK(idx[i] >= 0 && idx[i] < a.size(0),
                "gather_rows: index " << idx[i] << " out of range");
@@ -315,7 +277,7 @@ Tensor stack(const std::vector<Tensor>& parts) {
   out_shape.push_back(static_cast<std::int64_t>(parts.size()));
   out_shape.insert(out_shape.end(), parts[0].shape().begin(),
                    parts[0].shape().end());
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   float* po = out.data();
   for (const auto& p : parts) {
     std::copy(p.data(), p.data() + p.numel(), po);
@@ -351,7 +313,7 @@ Tensor sum_lastdim(const Tensor& a) {
   const std::int64_t d = a.size(-1);
   const std::int64_t outer = a.numel() / std::max<std::int64_t>(1, d);
   Shape out_shape(a.shape().begin(), a.shape().end() - 1);
-  Tensor out(out_shape.empty() ? Shape{1} : out_shape);
+  Tensor out = Tensor::empty(out_shape.empty() ? Shape{1} : out_shape);
   for (std::int64_t i = 0; i < outer; ++i) {
     double s = 0;
     const float* row = a.data() + i * d;
@@ -379,20 +341,8 @@ Tensor softmax_lastdim(const Tensor& a) {
   HOGA_CHECK(a.dim() >= 1 && a.size(-1) > 0, "softmax_lastdim: bad shape");
   const std::int64_t d = a.size(-1);
   const std::int64_t outer = a.numel() / d;
-  Tensor out(a.shape());
-  for (std::int64_t i = 0; i < outer; ++i) {
-    const float* row = a.data() + i * d;
-    float* orow = out.data() + i * d;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
-    double s = 0;
-    for (std::int64_t j = 0; j < d; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      s += orow[j];
-    }
-    const float inv = static_cast<float>(1.0 / s);
-    for (std::int64_t j = 0; j < d; ++j) orow[j] *= inv;
-  }
+  Tensor out = Tensor::empty(a.shape());
+  kernels::softmax_rows(a.data(), out.data(), outer, d);
   return out;
 }
 
@@ -401,30 +351,13 @@ LayerNormResult layer_norm_lastdim(const Tensor& a, float eps) {
   const std::int64_t d = a.size(-1);
   const std::int64_t outer = a.numel() / d;
   LayerNormResult r;
-  r.y = Tensor(a.shape());
+  r.y = Tensor::empty(a.shape());
   Shape stat_shape(a.shape().begin(), a.shape().end() - 1);
   if (stat_shape.empty()) stat_shape = {1};
-  r.mean = Tensor(stat_shape);
-  r.rstd = Tensor(stat_shape);
-  for (std::int64_t i = 0; i < outer; ++i) {
-    const float* row = a.data() + i * d;
-    float* orow = r.y.data() + i * d;
-    double m = 0;
-    for (std::int64_t j = 0; j < d; ++j) m += row[j];
-    m /= d;
-    double var = 0;
-    for (std::int64_t j = 0; j < d; ++j) {
-      const double c = row[j] - m;
-      var += c * c;
-    }
-    var /= d;
-    const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    r.mean.data()[i] = static_cast<float>(m);
-    r.rstd.data()[i] = rstd;
-    for (std::int64_t j = 0; j < d; ++j) {
-      orow[j] = (row[j] - static_cast<float>(m)) * rstd;
-    }
-  }
+  r.mean = Tensor::empty(stat_shape);
+  r.rstd = Tensor::empty(stat_shape);
+  kernels::layer_norm_rows(a.data(), outer, d, eps, nullptr, nullptr,
+                           r.y.data(), r.mean.data(), r.rstd.data(), nullptr);
   return r;
 }
 

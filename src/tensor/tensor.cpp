@@ -4,6 +4,17 @@
 #include <sstream>
 
 namespace hoga {
+namespace {
+
+// Owning allocation: the shared owner is the array itself; ptr_ aliases it.
+// `init` selects zero-initialization (new float[n]()) vs raw (new float[n]).
+std::shared_ptr<float[]> alloc_floats(std::int64_t n, bool init) {
+  const auto count = static_cast<std::size_t>(n);
+  return init ? std::shared_ptr<float[]>(new float[count]())
+              : std::shared_ptr<float[]>(new float[count]);
+}
+
+}  // namespace
 
 std::int64_t shape_numel(const Shape& shape) {
   std::int64_t n = 1;
@@ -28,22 +39,34 @@ std::string shape_to_string(const Shape& shape) {
 Tensor::Tensor() = default;
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      numel_(shape_numel(shape_)),
-      data_(std::make_shared<std::vector<float>>(numel_, 0.f)) {}
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  auto buf = alloc_floats(numel_, /*init=*/true);
+  ptr_ = buf.get();
+  owner_ = std::move(buf);
+}
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::empty(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  auto buf = alloc_floats(t.numel_, /*init=*/false);
+  t.ptr_ = buf.get();
+  t.owner_ = std::move(buf);
+  return t;
+}
 
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
 
 Tensor Tensor::full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   t.fill(value);
   return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   float* p = t.data();
   for (std::int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng.normal());
@@ -52,7 +75,7 @@ Tensor Tensor::randn(Shape shape, Rng& rng) {
 }
 
 Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   float* p = t.data();
   for (std::int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng.uniform(lo, hi));
@@ -61,7 +84,7 @@ Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
 }
 
 Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   HOGA_CHECK(static_cast<std::int64_t>(values.size()) == t.numel(),
              "from_vector: " << values.size() << " values for shape "
                              << shape_to_string(t.shape()));
@@ -70,8 +93,20 @@ Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
 }
 
 Tensor Tensor::arange(std::int64_t n) {
-  Tensor t({n});
+  Tensor t = empty({n});
   for (std::int64_t i = 0; i < n; ++i) t.data()[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::from_external(Shape shape, float* ptr,
+                             std::shared_ptr<void> owner) {
+  HOGA_CHECK(owner != nullptr, "from_external: null owner");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  HOGA_CHECK(t.numel_ == 0 || ptr != nullptr, "from_external: null pointer");
+  t.ptr_ = ptr;
+  t.owner_ = std::move(owner);
   return t;
 }
 
@@ -98,11 +133,11 @@ std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
 }
 
 float& Tensor::at(std::initializer_list<std::int64_t> idx) {
-  return (*data_)[flat_index(idx)];
+  return ptr_[flat_index(idx)];
 }
 
 float Tensor::at(std::initializer_list<std::int64_t> idx) const {
-  return (*data_)[flat_index(idx)];
+  return ptr_[flat_index(idx)];
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
@@ -112,22 +147,20 @@ Tensor Tensor::reshape(Shape new_shape) const {
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.numel_ = numel_;
-  t.data_ = data_;
+  t.owner_ = owner_;
+  t.ptr_ = ptr_;
   return t;
 }
 
 Tensor Tensor::clone() const {
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.data_ = data_ ? std::make_shared<std::vector<float>>(*data_)
-                  : std::make_shared<std::vector<float>>();
+  Tensor t = empty(shape_);
+  if (numel_ > 0) std::copy(ptr_, ptr_ + numel_, t.ptr_);
   return t;
 }
 
 void Tensor::fill(float value) {
-  if (!data_) return;
-  std::fill(data_->begin(), data_->end(), value);
+  if (!owner_) return;
+  std::fill(ptr_, ptr_ + numel_, value);
 }
 
 void Tensor::copy_from(const Tensor& src) {

@@ -5,6 +5,11 @@
 // storage; reshape shares storage, everything else copies. This is the
 // numeric substrate for the autograd/nn stack that replaces PyTorch in this
 // reproduction (see DESIGN.md §1).
+//
+// Storage is a type-erased shared owner plus a raw float pointer, so a
+// tensor can alias memory it does not manage — e.g. a feature-store shard
+// mapped straight from disk (from_external) — with the owner keeping the
+// mapping alive for as long as any view of it exists.
 
 #include <cstdint>
 #include <initializer_list>
@@ -35,6 +40,10 @@ class Tensor {
 
   // -- Factories ------------------------------------------------------------
   static Tensor zeros(Shape shape);
+  /// Uninitialized storage — for outputs every element of which is about to
+  /// be written (kernel results, elementwise op outputs). Reading before
+  /// writing is undefined; never use for accumulation targets.
+  static Tensor empty(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float value);
   /// Elements drawn i.i.d. from N(0, 1).
@@ -45,23 +54,28 @@ class Tensor {
   static Tensor from_vector(Shape shape, const std::vector<float>& values);
   /// 1-D tensor [0, 1, ..., n-1].
   static Tensor arange(std::int64_t n);
+  /// Aliases external storage: `ptr` must point at shape_numel(shape) floats
+  /// kept alive by `owner` (e.g. an mmap'd file). No copy is made; writes
+  /// through the tensor write the external memory.
+  static Tensor from_external(Shape shape, float* ptr,
+                              std::shared_ptr<void> owner);
 
   // -- Introspection ---------------------------------------------------------
   const Shape& shape() const { return shape_; }
   std::int64_t dim() const { return static_cast<std::int64_t>(shape_.size()); }
   std::int64_t size(std::int64_t axis) const;
   std::int64_t numel() const { return numel_; }
-  bool defined() const { return static_cast<bool>(data_); }
+  bool defined() const { return static_cast<bool>(owner_); }
 
-  float* data() { return data_->data(); }
-  const float* data() const { return data_->data(); }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
 
   // -- Element access (bounds-checked) ---------------------------------------
   float& at(std::initializer_list<std::int64_t> idx);
   float at(std::initializer_list<std::int64_t> idx) const;
   /// Linear (flat) access.
-  float& operator[](std::int64_t i) { return (*data_)[check_flat(i)]; }
-  float operator[](std::int64_t i) const { return (*data_)[check_flat(i)]; }
+  float& operator[](std::int64_t i) { return ptr_[check_flat(i)]; }
+  float operator[](std::int64_t i) const { return ptr_[check_flat(i)]; }
 
   // -- Basic manipulation -----------------------------------------------------
   /// New tensor sharing storage with a different shape (numel must match).
@@ -90,7 +104,8 @@ class Tensor {
 
   Shape shape_;
   std::int64_t numel_ = 0;
-  std::shared_ptr<std::vector<float>> data_;
+  std::shared_ptr<void> owner_;  // keeps ptr_'s backing storage alive
+  float* ptr_ = nullptr;
 };
 
 }  // namespace hoga

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "fault/fault.hpp"
+#include "graph/transpose_cache.hpp"
 #include "store/feature_store.hpp"
 #include "tensor/ops.hpp"
 #include "util/timer.hpp"
@@ -149,7 +150,7 @@ TrainLog train_sage_node(models::GraphSage& model,
   Rng rng(cfg.seed);
   optim::Adam opt(model.parameters(), cfg.lr);
   model.set_training(true);
-  auto adj_row_t = std::make_shared<const graph::Csr>(adj_row->transposed());
+  auto adj_row_t = graph::TransposeCache::global().get(adj_row);
   TrainLog log;
   Timer timer;
   auto epoch_body = [&](bool* ok) -> double {

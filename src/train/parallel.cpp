@@ -4,6 +4,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "tensor/arena.hpp"
 #include "util/timer.hpp"
 
 namespace hoga::train {
@@ -39,6 +40,7 @@ std::vector<ScalingPoint> simulate_hoga_scaling(
       rng.shuffle(ids);
       // Runs one forward/backward/step over ids[lo, hi) as a single batch.
       auto run_batch = [&](std::int64_t lo, std::int64_t hi) {
+        ArenaScope arena;  // kernel scratch reused across a shard's batches
         std::vector<std::int64_t> batch(ids.begin() + lo, ids.begin() + hi);
         std::vector<int> batch_labels;
         batch_labels.reserve(batch.size());

@@ -8,6 +8,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "tensor/arena.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/io.hpp"
@@ -310,7 +311,9 @@ std::vector<float> run_fault_tolerant_epochs(
   while (state.epoch < epochs) {
     obs::Span epoch_span = obs::ambient_span("train.epoch");
     bool ok = true;
-    const double mean_loss = epoch_body(&ok);
+    // Arena-backed kernel scratch for the whole epoch body: after the first
+    // epoch reserves the peak, later epochs run allocation-free.
+    const double mean_loss = with_arena([&] { return epoch_body(&ok); });
     if (!ok) {
       HOGA_CHECK(ckpt.recover_nonfinite,
                  "trainer: non-finite loss/gradient at epoch "

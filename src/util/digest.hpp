@@ -1,0 +1,42 @@
+#pragma once
+// 64-bit content digest primitive shared by the feature store and the graph
+// transpose cache.
+//
+// The hash is FNV-1a folded over 8-byte words — four independent lanes on
+// large buffers, so the fold is not serialized on the multiply's latency —
+// with a splitmix64 finalizer. This keeps digesting far cheaper than the
+// SpMM/GEMM work it guards; the finalizer and the per-lane mixing break up
+// FNV's weak low-bit diffusion. It is an integrity-adjacent fingerprint,
+// not a cryptographic hash — on-disk shards additionally carry a CRC32 so
+// corruption is caught independently.
+//
+// Lives in util (below tensor/graph/store) so content-keyed caches at any
+// layer can use it without pulling in the store. The store's graph_digest /
+// aig_digest wrappers (store/digest.hpp) are thin layers over this class.
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace hoga::util {
+
+class Digest {
+ public:
+  /// Folds `bytes` raw bytes into the digest (word-at-a-time FNV-1a).
+  Digest& update(const void* data, std::size_t bytes);
+
+  /// Folds one trivially-copyable value (its object representation).
+  template <typename T>
+  Digest& update_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return update(&v, sizeof(T));
+  }
+
+  /// Finalized digest (mixing pass over the accumulated state).
+  std::uint64_t value() const;
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;  // FNV-1a 64 offset basis
+};
+
+}  // namespace hoga::util

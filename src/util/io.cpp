@@ -4,6 +4,13 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "util/check.hpp"
 
 namespace hoga::util {
@@ -41,6 +48,37 @@ void atomic_write_file(const std::string& path, const std::string& content) {
     HOGA_CHECK(false, "atomic_write_file: rename '" << tmp << "' -> '" << path
                                                     << "' failed");
   }
+}
+
+MappedFile::~MappedFile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (data_ != nullptr) munmap(data_, size_);
+#endif
+}
+
+std::shared_ptr<MappedFile> MappedFile::map(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st{};
+  if (fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  // MAP_PRIVATE + PROT_WRITE: copy-on-write, so in-memory mutation (fault
+  // injection corrupting shard bytes) never reaches the file.
+  void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (p == MAP_FAILED) return nullptr;
+  auto f = std::shared_ptr<MappedFile>(new MappedFile());
+  f->data_ = static_cast<char*>(p);
+  f->size_ = size;
+  return f;
+#else
+  (void)path;
+  return nullptr;
+#endif
 }
 
 }  // namespace hoga::util

@@ -6,6 +6,8 @@
 // stale ".tmp" file behind — the destination path either holds the previous
 // complete file or the new complete file, never a torn one.
 
+#include <cstddef>
+#include <memory>
 #include <string>
 
 namespace hoga::util {
@@ -19,5 +21,32 @@ std::string read_file(const std::string& path);
 /// and closes it, then renames it over the target. Cleans up the temporary
 /// on failure.
 void atomic_write_file(const std::string& path, const std::string& content);
+
+/// A file mapped into memory (copy-on-write private mapping, so callers may
+/// write the pages — e.g. fault injection flipping shard bytes — without
+/// touching the file). Lets the feature store alias tensor storage straight
+/// into the page cache instead of copying shard payloads through the heap.
+class MappedFile {
+ public:
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path`, or returns nullptr when mapping is unavailable (platform
+  /// without mmap, empty file, open/map failure) — callers fall back to
+  /// read_file(). Never throws.
+  static std::shared_ptr<MappedFile> map(const std::string& path);
+
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile() = default;
+
+  char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 }  // namespace hoga::util

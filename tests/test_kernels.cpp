@@ -1,0 +1,358 @@
+// Blocked-kernel tests (DESIGN.md §11): bit-exact parity between the
+// blocked and reference implementations across shapes and transpose modes
+// (the fp-order contract makes == the right comparison, not a tolerance),
+// the zero-skip gradient regression, gradchecks for the fused autograd ops,
+// arena reuse (no allocation growth across steps), kernel stats/obs
+// mirrors, and the transpose cache's exactly-once build guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/gradcheck.hpp"
+#include "autograd/ops.hpp"
+#include "graph/csr.hpp"
+#include "graph/transpose_cache.hpp"
+#include "obs/obs.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hoga {
+namespace {
+
+namespace to = tensor_ops;
+
+bool bit_exact(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+std::vector<float> random_floats(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// -- GEMM parity -------------------------------------------------------------
+
+struct GemmShape {
+  std::int64_t m, n, k;
+};
+
+// Covers: empty accumulation (k=0), single-row (m=1), single-col, tiny,
+// exact multiples of the register tile, ragged edges of every blocking
+// level, and above/below the blocked-dispatch threshold.
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},   {1, 17, 5},  {3, 3, 0},    {7, 1, 9},    {4, 16, 8},
+    {5, 19, 3},  {8, 32, 16}, {33, 47, 29}, {64, 64, 64}, {65, 129, 70},
+    {128, 48, 257},
+};
+
+TEST(Kernels, GemmBlockedMatchesReferenceBitForBitAllTransposeModes) {
+  for (const auto& s : kGemmShapes) {
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        // Operands stored in their op() layout: a is [m,k] or [k,m], b is
+        // [k,n] or [n,k]; leading dimension = stored row width.
+        const std::int64_t lda = ta ? s.m : s.k;
+        const std::int64_t ldb = tb ? s.k : s.n;
+        const auto a = random_floats(s.m * s.k, 7 + s.m);
+        const auto b = random_floats(s.k * s.n, 11 + s.n);
+        std::vector<float> ref(static_cast<std::size_t>(s.m * s.n), -1.f);
+        std::vector<float> blk(static_cast<std::size_t>(s.m * s.n), -2.f);
+        kernels::gemm_reference(a.data(), b.data(), ref.data(), s.m, s.n,
+                                s.k, lda, ldb, ta, tb);
+        kernels::gemm_blocked(a.data(), b.data(), blk.data(), s.m, s.n, s.k,
+                              lda, ldb, ta, tb);
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_EQ(ref[i], blk[i])
+              << "m=" << s.m << " n=" << s.n << " k=" << s.k << " ta=" << ta
+              << " tb=" << tb << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, GemmBatchedMatchesPerCallGemm) {
+  const std::int64_t B = 3, m = 9, n = 21, k = 13;
+  const auto a = random_floats(B * m * k, 31);
+  const auto b = random_floats(B * k * n, 37);
+  std::vector<float> per(static_cast<std::size_t>(B * m * n));
+  std::vector<float> bat(static_cast<std::size_t>(B * m * n));
+  for (std::int64_t i = 0; i < B; ++i) {
+    kernels::gemm(a.data() + i * m * k, b.data() + i * k * n,
+                  per.data() + i * m * n, m, n, k, k, n, false, false);
+  }
+  kernels::gemm_batched(a.data(), b.data(), bat.data(), B, m, n, k, k, n,
+                        m * k, k * n, m * n, false, false);
+  EXPECT_EQ(per, bat);
+}
+
+TEST(Kernels, MatmulDispatchesIdenticallyUnderReferenceMode) {
+  // End-to-end through tensor_ops: the dispatching entry point and the
+  // forced-reference path must agree bit-for-bit (the fp-order contract).
+  Rng rng(5);
+  const Tensor a = Tensor::randn({70, 90}, rng);
+  const Tensor b = Tensor::randn({90, 40}, rng);
+  const Tensor fast = to::matmul(a, b);
+  kernels::ScopedReferenceMode ref(true);
+  EXPECT_TRUE(bit_exact(fast, to::matmul(a, b)));
+}
+
+// -- SpMM parity -------------------------------------------------------------
+
+graph::Csr random_graph(int n, int extra_edges, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  for (int e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<int>(rng.uniform_int(n));
+    const auto v = static_cast<int>(rng.uniform_int(n));
+    edges.push_back({u, v});
+  }
+  return graph::Csr::from_edges(n, edges);
+}
+
+TEST(Kernels, SpmmBlockedMatchesReferenceBitForBit) {
+  // Feature widths straddle the column tile; node counts straddle the row
+  // block; isolated rows (from_edges keeps them empty) must zero their
+  // output.
+  for (const auto& [n, d] : std::vector<std::pair<int, std::int64_t>>{
+           {1, 1}, {9, 3}, {64, 7}, {130, 385}, {200, 64}}) {
+    const graph::Csr adj =
+        random_graph(n, 3 * n, 97 + n).normalized_symmetric();
+    const auto x = random_floats(n * d, 53 + d);
+    std::vector<float> ref(static_cast<std::size_t>(n) * d, -1.f);
+    std::vector<float> blk(static_cast<std::size_t>(n) * d, -2.f);
+    kernels::spmm_reference(adj.row_ptr().data(), adj.col_idx().data(),
+                            adj.values().data(), n, x.data(), d, ref.data());
+    kernels::spmm_blocked(adj.row_ptr().data(), adj.col_idx().data(),
+                          adj.values().data(), n, x.data(), d, blk.data());
+    ASSERT_EQ(ref, blk) << "n=" << n << " d=" << d;
+  }
+}
+
+// -- Fused row kernels -------------------------------------------------------
+
+TEST(Kernels, SoftmaxRowsMatchesReferenceAndWorksInPlace) {
+  const std::int64_t rows = 17, d = 33;
+  auto x = random_floats(rows * d, 71);
+  std::vector<float> ref(x.size()), out(x.size());
+  kernels::softmax_rows_reference(x.data(), ref.data(), rows, d);
+  kernels::softmax_rows(x.data(), out.data(), rows, d);
+  EXPECT_EQ(ref, out);
+  kernels::softmax_rows(x.data(), x.data(), rows, d);  // in place
+  EXPECT_EQ(ref, x);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float sum = 0.f;
+    for (std::int64_t j = 0; j < d; ++j) sum += out[r * d + j];
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+}
+
+TEST(Kernels, LayerNormRowsMatchesReference) {
+  const std::int64_t rows = 13, d = 21;
+  const auto x = random_floats(rows * d, 73);
+  const auto gamma = random_floats(d, 74);
+  const auto beta = random_floats(d, 75);
+  std::vector<float> y1(x.size()), y2(x.size()), xh1(x.size()),
+      xh2(x.size());
+  std::vector<float> m1(rows), m2(rows), r1(rows), r2(rows);
+  kernels::layer_norm_rows_reference(x.data(), rows, d, 1e-5f, gamma.data(),
+                                     beta.data(), y1.data(), m1.data(),
+                                     r1.data(), xh1.data());
+  kernels::layer_norm_rows(x.data(), rows, d, 1e-5f, gamma.data(),
+                           beta.data(), y2.data(), m2.data(), r2.data(),
+                           xh2.data());
+  EXPECT_EQ(y1, y2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(xh1, xh2);
+}
+
+// -- Zero-skip regression ----------------------------------------------------
+
+TEST(Kernels, GradientsThroughExactZeroActivationsMatchReferenceBitForBit) {
+  // The seed matmul skipped zero operands (`if (av == 0.f) continue;`),
+  // which made accumulation order — and hence fp results — depend on the
+  // data (e.g. a skipped +0.0 add leaves a -0.0 accumulator negative). The
+  // kernels must treat exact zeros like any other value: a ReLU-sparsified
+  // forward/backward pass agrees bit-for-bit with the reference kernels.
+  auto run = [](bool reference) {
+    kernels::ScopedReferenceMode mode(reference);
+    Rng rng(29);
+    ag::Variable x(Tensor::randn({12, 8}, rng), true);
+    ag::Variable w(Tensor::randn({8, 6}, rng), true);
+    // relu(x) produces exact 0.0f in roughly half the entries.
+    ag::Variable h = ag::matmul(ag::relu(x), w);
+    ag::Variable loss = ag::sum_all(ag::mul(h, h));
+    loss.backward();
+    return std::vector<Tensor>{loss.value().clone(), x.grad().clone(),
+                               w.grad().clone()};
+  };
+  const auto fast = run(false);
+  const auto ref = run(true);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_TRUE(bit_exact(fast[i], ref[i])) << "output " << i;
+  }
+}
+
+// -- Fused-op gradchecks -----------------------------------------------------
+
+TEST(Kernels, LayerNormAffineGradCheck) {
+  Rng rng(41);
+  std::vector<ag::Variable> inputs = {
+      ag::Variable(Tensor::randn({5, 7}, rng), true),
+      ag::Variable(Tensor::randn({7}, rng), true),
+      ag::Variable(Tensor::randn({7}, rng), true)};
+  const auto res = ag::grad_check(
+      [](const std::vector<ag::Variable>& v) {
+        return ag::layer_norm_affine(v[0], v[1], v[2]);
+      },
+      inputs);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(Kernels, AttentionScoresGradCheck) {
+  Rng rng(43);
+  std::vector<ag::Variable> inputs = {
+      ag::Variable(Tensor::randn({2, 4, 3}, rng), true),
+      ag::Variable(Tensor::randn({2, 4, 3}, rng), true)};
+  const auto res = ag::grad_check(
+      [](const std::vector<ag::Variable>& v) {
+        return ag::attention_scores(v[0], v[1]);
+      },
+      inputs);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(Kernels, AttentionScoresMatchesUnfusedComposition) {
+  Rng rng(47);
+  const ag::Variable q(Tensor::randn({3, 6, 5}, rng), false);
+  const ag::Variable k(Tensor::randn({3, 6, 5}, rng), false);
+  const Tensor fused = ag::attention_scores(q, k).value();
+  const Tensor composed =
+      ag::softmax_lastdim(ag::bmm(q, k, false, true)).value();
+  EXPECT_TRUE(bit_exact(fused, composed));
+}
+
+// -- Arena reuse -------------------------------------------------------------
+
+TEST(Kernels, ArenaStopsGrowingAfterTheFirstStep) {
+  Rng rng(59);
+  const Tensor a = Tensor::randn({64, 64}, rng);
+  const Tensor b = Tensor::randn({64, 64}, rng);
+  std::size_t blocks = 0, reserved = 0;
+  for (int step = 0; step < 100; ++step) {
+    with_arena([&] {
+      // Big enough for the blocked path, so GEMM pack panels come from the
+      // arena.
+      (void)to::matmul(a, b);
+      (void)to::matmul(a, b, true, false);
+      Arena* arena = Arena::current();
+      EXPECT_NE(arena, nullptr);
+      EXPECT_GT(arena->high_water_bytes(), 0u);
+      if (step == 0) {
+        blocks = arena->block_count();
+        reserved = arena->reserved_bytes();
+        EXPECT_GT(blocks, 0u);
+      } else {
+        // The allocation-free property: steps 2..N reuse step 1's blocks.
+        EXPECT_EQ(arena->block_count(), blocks) << "step " << step;
+        EXPECT_EQ(arena->reserved_bytes(), reserved) << "step " << step;
+      }
+      return 0;
+    });
+  }
+}
+
+TEST(Kernels, ScratchFallsBackToHeapOutsideArenaScope) {
+  ASSERT_EQ(Arena::current(), nullptr);
+  Scratch s(1024);
+  ASSERT_NE(s.data(), nullptr);
+  s.data()[0] = 1.f;
+  s.data()[1023] = 2.f;
+  EXPECT_EQ(s.data()[0], 1.f);
+}
+
+// -- Stats and obs mirrors ---------------------------------------------------
+
+TEST(Kernels, StatsCountFlopsAndObsMirrorsThem) {
+  obs::MetricsRegistry reg;
+  obs::ScopedObservability scoped({.metrics = &reg});
+  kernels::reset_stats();
+  Rng rng(61);
+  const Tensor a = Tensor::randn({40, 50}, rng);
+  const Tensor b = Tensor::randn({50, 30}, rng);
+  (void)to::matmul(a, b);
+  EXPECT_EQ(kernels::stats().gemm_calls.load(), 1);
+  EXPECT_EQ(kernels::stats().gemm_flops.load(), 2LL * 40 * 50 * 30);
+  EXPECT_GT(kernels::stats().pack_bytes.load(), 0);
+  EXPECT_EQ(reg.counter("kernel.gemm_flops").value(), 2LL * 40 * 50 * 30);
+  EXPECT_GT(reg.counter("kernel.pack_bytes").value(), 0);
+
+  // Arena high-water is published when the outermost scope exits.
+  with_arena([&] { return to::matmul(a, b); });
+  EXPECT_GT(reg.counter("arena.high_water").value(), 0);
+}
+
+// -- Transpose cache ---------------------------------------------------------
+
+TEST(Kernels, TransposeCacheBuildsEachGraphExactlyOnce) {
+  auto& cache = graph::TransposeCache::global();
+  cache.clear();
+  const auto a = std::make_shared<const graph::Csr>(
+      random_graph(30, 60, 67).normalized_row());
+  // Same content through a *different* Csr object must still hit.
+  const auto a_copy = std::make_shared<const graph::Csr>(*a);
+
+  const auto t1 = cache.get(a);
+  const auto t2 = cache.get(a);
+  const auto t3 = cache.get(a_copy);
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_EQ(t1.get(), t3.get());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 2);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  // The cached transpose is the actual transpose.
+  const graph::Csr direct = a->transposed();
+  EXPECT_EQ(t1->row_ptr(), direct.row_ptr());
+  EXPECT_EQ(t1->col_idx(), direct.col_idx());
+  EXPECT_EQ(t1->values(), direct.values());
+
+  // A different graph is its own entry (second miss).
+  const auto b = std::make_shared<const graph::Csr>(
+      random_graph(31, 60, 68).normalized_row());
+  (void)cache.get(b);
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.clear();
+}
+
+TEST(Kernels, TransposeCacheMirrorsObsCounters) {
+  auto& cache = graph::TransposeCache::global();
+  cache.clear();
+  obs::MetricsRegistry reg;
+  obs::ScopedObservability scoped({.metrics = &reg});
+  const auto a = std::make_shared<const graph::Csr>(
+      random_graph(12, 20, 71).normalized_row());
+  (void)cache.get(a);
+  (void)cache.get(a);
+  EXPECT_EQ(reg.counter("spmm.transpose_misses").value(), 1);
+  EXPECT_EQ(reg.counter("spmm.transpose_hits").value(), 1);
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace hoga

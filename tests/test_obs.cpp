@@ -70,16 +70,40 @@ TEST(ObsMetrics, HistogramBucketsAndExactSnapshots) {
 
   EXPECT_EQ(reg.text_snapshot(),
             "counter obs.test 2\n"
-            "histogram h count=5 sum=25.5 le1=2 le5=1 le10=1 inf=1\n");
+            "histogram h count=5 sum=25.5 p50=3 p95=10 p99=10 "
+            "le1=2 le5=1 le10=1 inf=1\n");
   EXPECT_EQ(reg.json_snapshot(),
             "{\"counters\":{\"obs.test\":2},\"histograms\":{\"h\":"
             "{\"bounds\":[1,5,10],\"bucket_counts\":[2,1,1,1],"
-            "\"count\":5,\"sum\":25.5}}}");
+            "\"count\":5,\"sum\":25.5,\"p50\":3,\"p95\":10,\"p99\":10}}}");
 
   reg.reset();
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(c.value(), 0);
   EXPECT_EQ(h.bucket_count(0), 0);
+}
+
+TEST(ObsMetrics, HistogramQuantileInterpolatesWithinBuckets) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.histogram("q", {10.0, 20.0, 40.0});
+  // Empty and null-handle histograms estimate 0.
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(obs::Histogram().quantile(0.5), 0.0);
+
+  for (int i = 0; i < 10; ++i) h.record(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.record(15.0);  // bucket (10, 20]
+  // Rank 10 of 20 lands exactly on the first bucket's upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 10.0);
+  // Rank 15 is halfway through the second bucket: midpoint of (10, 20].
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  // q is clamped to [0, 1].
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+
+  // Ranks in the overflow bucket clamp to the last finite bound.
+  for (int i = 0; i < 1000; ++i) h.record(1e6);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 40.0);
 }
 
 TEST(ObsMetrics, SnapshotIsSortedByName) {

@@ -226,6 +226,54 @@ TEST(FeatureStore, PersistsAcrossInstancesViaShards) {
   EXPECT_EQ(reader2.stats().computes, 0);
 }
 
+TEST(FeatureStore, DiskHitsAreServedByMmapAndAliasTheMapping) {
+  ShardDir dir("mmap");
+  Rng rng(11);
+  const graph::Csr adj = path_graph(10).normalized_symmetric();
+  const Tensor x = Tensor::randn({10, 4}, rng);
+  Tensor produced;
+  {
+    FeatureStore writer({.directory = dir.path});
+    produced = writer.get_or_compute(adj, x, 3).stacked();
+  }
+  FeatureStore reader({.directory = dir.path});
+  StoreOutcome from = StoreOutcome::kComputed;
+  const core::HopFeatures warm = reader.get_or_compute(adj, x, 3, &from);
+  EXPECT_EQ(from, StoreOutcome::kDiskHit);
+  EXPECT_TRUE(bit_exact(warm.stacked(), produced));
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_EQ(reader.stats().mmap_reads, 1);
+  // Freshly-written shards pad the header so the fp32 payload of a mapped
+  // (page-aligned) shard lands on a 64-byte boundary: the decoded tensor
+  // aliases the mapping instead of copying it.
+  EXPECT_EQ(
+      reinterpret_cast<std::uintptr_t>(warm.stacked().data()) % 64, 0u);
+#endif
+}
+
+TEST(FeatureStore, UnpaddedShardStillDecodesBitExact) {
+  // A shard whose header is NOT pad-aligned (e.g. written before alignment
+  // padding existed) must still decode bit-exact — via the copy fallback
+  // when the payload happens to be misaligned for aliasing.
+  const core::HopFeatures hops = random_hops(6, 2, 3, 21);
+  const FeatureKey key{1234, 2};
+  std::string bytes = encode_shard(key, hops);
+  // Strip the padding spaces before the newline to de-align the payload.
+  const std::size_t nl = bytes.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  std::size_t last = nl;
+  while (last > 0 && bytes[last - 1] == ' ') --last;
+  bytes.erase(last, nl - last);
+  std::string why;
+  // An aliasing owner is offered but the payload is now misaligned relative
+  // to the owner's base: decode must copy, not reject.
+  auto owner = std::make_shared<std::string>(bytes);
+  const auto decoded =
+      decode_shard(std::string_view(*owner), key, &why, owner);
+  ASSERT_TRUE(decoded.has_value()) << why;
+  EXPECT_TRUE(bit_exact(decoded->stacked(), hops.stacked()));
+}
+
 TEST(FeatureStore, CorruptShardFallsBackToRecomputeAndHeals) {
   ShardDir dir("corrupt");
   Rng rng(6);
@@ -376,7 +424,7 @@ TEST(FeatureStore, StatsSignatureIsDeterministic) {
             "lookups=3 memory_hits=1 disk_hits=0 misses=2 "
             "config_mismatches=1 computes=2 shard_writes=0 write_errors=0 "
             "corrupt_shards=0 evictions=0 negative_hits=0 "
-            "shard_evictions=0");
+            "shard_evictions=0 mmap_reads=0");
 }
 
 }  // namespace
