@@ -1,0 +1,688 @@
+// Storage-engine soak harness (DESIGN.md §12): seeded fault sweeps against
+// hoga::storage while concurrent readers hammer the same files. The smoke
+// run doubles as a tier-1 test — it fails loudly if any acceptance
+// invariant is violated:
+//
+//   - checkpoint sweep: a kill at EVERY fsync/rename boundary of
+//     atomic_write_durable, plus a torn write and an injected ENOSPC, each
+//     leave the destination holding a complete CRC-valid generation (the
+//     old one before the rename boundary, the new one after), and a plain
+//     rewrite heals the residue;
+//   - ledger sweep: a kill at every boundary a rolling/compacting
+//     SegmentedLedger workload crosses — and a torn write / ENOSPC at every
+//     payload write it performs — ends in recovery that conserves every
+//     appended event, repairs torn segments, and re-verifies the footer
+//     CRC chain end to end;
+//   - zero silent wrong reads: readers racing every sweep above never see a
+//     torn, stale-partial, or duplicated record — every observed state is a
+//     complete generation or a consistent ledger prefix;
+//   - week-long soak: with size+age rotation and compaction on, a simulated
+//     week of appends keeps the ledger's file count bounded while
+//     conserving the exact total event count;
+//   - store + scrubber: a kill mid-shard-write leaves only temp residue and
+//     the store heals by recompute (bit-exact); a bit-rotted shard is
+//     quarantined and counted by the scrubber, then healed by recompute;
+//   - determinism: the same seeded fault schedule reproduces the same
+//     sweep signature.
+//
+// Emits machine-readable sweep stats to BENCH_storage.json.
+//
+// Usage: bench_storage [--smoke] [--full] [--seed=N] [--out=path.json]
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/hop_features.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "fault/fault.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "storage/scrubber.hpp"
+#include "storage/segmented_ledger.hpp"
+#include "storage/storage.hpp"
+#include "store/digest.hpp"
+#include "store/feature_store.hpp"
+#include "util/timer.hpp"
+
+using namespace hoga;
+
+namespace {
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path("/tmp/hoga_bench_storage_" + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool bit_exact(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint-file sweep: one framed generation record, rewritten under
+// injected faults while readers poll. The destination must always decode to
+// a complete generation the writer actually produced.
+// ---------------------------------------------------------------------------
+
+std::string generation_payload(long long gen) {
+  std::ostringstream os;
+  os << "generation " << gen << '\n';
+  for (int i = 0; i < 32; ++i) os << gen * 1000 + i << '\n';
+  return os.str();
+}
+
+// Parses a complete framed generation; -1 when the bytes are not one.
+long long decode_generation(const std::string& bytes) {
+  const auto payload = storage::decode_framed(bytes);
+  if (!payload) return -1;
+  std::istringstream is(*payload);
+  std::string word;
+  long long gen = -1;
+  is >> word >> gen;
+  if (word != "generation" || is.fail()) return -1;
+  return gen;
+}
+
+struct CheckpointSweep {
+  int kill_runs = 0;
+  int torn_runs = 0;
+  int enospc_runs = 0;
+  int bad_outcomes = 0;  // on-disk state not the expected generation
+  long long reader_reads = 0;
+  long long wrong_reads = 0;
+};
+
+CheckpointSweep run_checkpoint_sweep(std::uint64_t seed) {
+  TempDir dir("ckpt");
+  const std::string path = dir.path + "/model.ckpt";
+  CheckpointSweep out;
+
+  std::atomic<bool> stop{false};
+  std::atomic<long long> reads{0}, wrong{0}, max_gen{0};
+  auto reader = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string bytes = slurp(path);
+      if (bytes.empty()) continue;  // not written yet
+      ++reads;
+      const long long gen = decode_generation(bytes);
+      // Readers race only rename-complete states: anything unparseable, or
+      // a generation the writer never produced, is a silent wrong read.
+      if (gen < 1 || gen > max_gen.load(std::memory_order_acquire)) ++wrong;
+    }
+  };
+
+  auto write_gen = [&](long long gen) {
+    max_gen.store(gen, std::memory_order_release);
+    storage::atomic_write_durable(path, storage::encode_framed(
+                                            generation_payload(gen)));
+  };
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) readers.emplace_back(reader);
+
+  long long gen = 0;
+  write_gen(++gen);
+
+  // Kill at each of the four boundaries one durable write crosses. Before
+  // the rename boundary the old generation must survive; at or after it the
+  // new one must be fully visible.
+  for (int nth = 0; nth < 4; ++nth) {
+    fault::Injector inj(seed);
+    inj.kill_at_storage_point(nth);
+    fault::ScopedInjector scope(inj);
+    const long long prev = gen;
+    bool crashed = false;
+    try {
+      write_gen(gen + 1);
+    } catch (const fault::SimulatedCrash&) {
+      crashed = true;
+    }
+    const long long on_disk = decode_generation(slurp(path));
+    const long long expect = nth < 2 ? prev : prev + 1;
+    if (!crashed || on_disk != expect ||
+        inj.counts().storage_kills != 1) {
+      ++out.bad_outcomes;
+    }
+    ++out.kill_runs;
+    gen = prev + 1;
+    write_gen(++gen);  // heal: the next full write always lands
+  }
+
+  // Torn write: a strict prefix reaches the temp file, then the process
+  // dies. The destination keeps the previous complete generation.
+  for (double fraction : {0.0, 0.4, 0.9}) {
+    fault::Injector inj(seed + 1);
+    inj.tear_storage_write(0, fraction);
+    fault::ScopedInjector scope(inj);
+    const long long prev = gen;
+    bool crashed = false;
+    try {
+      write_gen(gen + 1);
+    } catch (const fault::SimulatedCrash&) {
+      crashed = true;
+    }
+    if (!crashed || decode_generation(slurp(path)) != prev ||
+        inj.counts().storage_torn_writes != 1) {
+      ++out.bad_outcomes;
+    }
+    ++out.torn_runs;
+    gen = prev + 1;
+    write_gen(++gen);
+  }
+
+  // Injected ENOSPC: the write fails as an ordinary error, nothing lands,
+  // no temp residue survives, and a retry succeeds.
+  {
+    fault::Injector inj(seed + 2);
+    inj.fail_storage_write(0);
+    fault::ScopedInjector scope(inj);
+    const long long prev = gen;
+    bool failed = false;
+    try {
+      write_gen(gen + 1);
+    } catch (const std::exception&) {
+      failed = true;
+    }
+    if (!failed || decode_generation(slurp(path)) != prev ||
+        std::filesystem::exists(path + ".tmp") ||
+        inj.counts().storage_write_errors != 1) {
+      ++out.bad_outcomes;
+    }
+    ++out.enospc_runs;
+    gen = prev + 1;
+    write_gen(gen);  // the retry consumes no schedule slot and lands
+    if (decode_generation(slurp(path)) != gen) ++out.bad_outcomes;
+  }
+
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  out.reader_reads = reads.load();
+  out.wrong_reads = wrong.load();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Ledger sweep: a fixed rolling/compacting workload, re-run once per fault
+// slot. Every run must end in recovery that conserves the events the dying
+// writer actually appended.
+// ---------------------------------------------------------------------------
+
+constexpr int kLedgerEvents = 48;
+constexpr int kRecoveryEvents = 3;
+
+storage::SegmentedLedgerConfig ledger_config(const std::string& dir,
+                                             obs::Clock* clock) {
+  storage::SegmentedLedgerConfig cfg;
+  cfg.directory = dir;
+  cfg.max_segment_bytes = 512;  // rolls every handful of events
+  cfg.max_closed_segments = 2;  // compacts aggressively
+  cfg.clock = clock;
+  return cfg;
+}
+
+struct LedgerRun {
+  long long appended = 0;
+  bool crashed = false;
+  bool close_failed = false;
+  fault::Counts counts;
+  storage::SegmentedLedger::Stats stats;
+
+  std::string signature() const {
+    std::ostringstream os;
+    os << "appended=" << appended << " crashed=" << crashed
+       << " close_failed=" << close_failed << " events=" << stats.events
+       << " rolls=" << stats.rolls << " compactions=" << stats.compactions
+       << " append_errors=" << stats.append_errors
+       << " kills=" << counts.storage_kills
+       << " torn=" << counts.storage_torn_writes
+       << " enospc=" << counts.storage_write_errors;
+    return os.str();
+  }
+};
+
+// Runs the scripted workload under `inj`; a SimulatedCrash ends the run the
+// way a process death would (the ledger instance freezes itself).
+LedgerRun run_ledger_workload(const std::string& dir, fault::Injector& inj) {
+  fault::ScopedInjector scope(inj);
+  obs::FakeClock clk(0, 1000);
+  LedgerRun out;
+  storage::SegmentedLedger led(ledger_config(dir, &clk));
+  for (int i = 0; i < kLedgerEvents && !out.crashed; ++i) {
+    try {
+      led.event(i % 2 == 0 ? "tick" : "tock", {{"i", i}});
+    } catch (const fault::SimulatedCrash&) {
+      out.crashed = true;
+    }
+  }
+  if (!out.crashed) {
+    try {
+      led.close();
+    } catch (const fault::SimulatedCrash&) {
+      out.crashed = true;
+    } catch (const std::exception&) {
+      out.close_failed = true;  // e.g. ENOSPC on the final footer
+    }
+  }
+  out.stats = led.stats();
+  // Events the instance really appended: an injected ENOSPC is swallowed
+  // inside event() (dropped + counted), so the caller can't tell from the
+  // return path — the ledger's own counter is the ground truth.
+  out.appended = out.stats.events;
+  out.counts = inj.counts();
+  return out;
+}
+
+// Post-fault verification: the surviving directory must already account for
+// every appended event, and a fresh instance must repair it back to a fully
+// chained, torn-free state that keeps accepting events.
+bool verify_and_recover(const std::string& dir, const LedgerRun& run,
+                        std::string* why) {
+  auto fail = [&](const std::string& reason) {
+    if (why) *why = reason + " [" + run.signature() + "]";
+    return false;
+  };
+  const auto before = storage::SegmentedLedger::read_dir(dir);
+  if (before.total_events() != run.appended) {
+    return fail("pre-recovery event count mismatch: read " +
+                std::to_string(before.total_events()));
+  }
+  if (!before.chain_valid) return fail("pre-recovery chain invalid");
+  if (before.skipped_lines > 1) {
+    return fail("more than the one torn line survived");
+  }
+
+  {
+    obs::FakeClock clk(1'000'000, 1000);
+    storage::SegmentedLedger rec(ledger_config(dir, &clk));
+    if (rec.next_seq() != run.appended) {
+      return fail("recovered seq " + std::to_string(rec.next_seq()));
+    }
+    for (int i = 0; i < kRecoveryEvents; ++i) rec.event("recovered", {{"i", i}});
+    rec.close();
+  }
+
+  const auto after = storage::SegmentedLedger::read_dir(dir);
+  if (after.total_events() != run.appended + kRecoveryEvents) {
+    return fail("post-recovery event count mismatch: read " +
+                std::to_string(after.total_events()));
+  }
+  if (!after.chain_valid) return fail("post-recovery chain invalid");
+  if (after.torn_segments != 0) return fail("torn segment survived recovery");
+  if (after.skipped_lines != 0) return fail("torn line survived recovery");
+  long long prev_seq = -1;
+  for (const auto& e : after.events) {
+    if (e.seq <= prev_seq) return fail("duplicate/unsorted seq");
+    prev_seq = e.seq;
+  }
+  if (!after.events.empty() &&
+      after.events.back().seq != run.appended + kRecoveryEvents - 1) {
+    return fail("seq stream not contiguous");
+  }
+  return true;
+}
+
+struct LedgerSweep {
+  int kill_slots = 0;
+  int torn_slots = 0;
+  int enospc_slots = 0;
+  int failures = 0;
+  std::vector<std::string> failure_reasons;
+};
+
+LedgerSweep run_ledger_sweep(std::uint64_t seed, bool verbose) {
+  LedgerSweep sweep;
+
+  // Probe: one clean run tells us how many kill boundaries the workload
+  // crosses; the write-slot sweeps below self-terminate when a scheduled
+  // fault goes unconsumed.
+  int kill_points = 0;
+  {
+    TempDir dir("ledger_probe");
+    fault::Injector probe(seed);
+    run_ledger_workload(dir.path, probe);
+    kill_points = probe.storage_points_probed();
+  }
+  if (verbose) {
+    std::printf("ledger workload: %d events, %d kill boundaries\n",
+                kLedgerEvents, kill_points);
+  }
+
+  std::string why;
+  for (int nth = 0; nth < kill_points; ++nth) {
+    TempDir dir("ledger_kill");
+    fault::Injector inj(seed);
+    inj.kill_at_storage_point(nth);
+    const LedgerRun run = run_ledger_workload(dir.path, inj);
+    ++sweep.kill_slots;
+    if (!run.crashed || run.counts.storage_kills != 1 ||
+        !verify_and_recover(dir.path, run, &why)) {
+      ++sweep.failures;
+      sweep.failure_reasons.push_back("kill@" + std::to_string(nth) + ": " +
+                                      why);
+    }
+  }
+
+  // Torn write at every payload write the workload performs (appended event
+  // lines, roll footers, compaction snapshots — short writes included via
+  // the 0.3 fraction).
+  for (int nth = 0;; ++nth) {
+    TempDir dir("ledger_torn");
+    fault::Injector inj(seed + 1);
+    inj.tear_storage_write(nth, nth % 2 == 0 ? 0.3 : 0.8);
+    const LedgerRun run = run_ledger_workload(dir.path, inj);
+    if (run.counts.storage_torn_writes == 0) break;  // past the last write
+    ++sweep.torn_slots;
+    if (!run.crashed || !verify_and_recover(dir.path, run, &why)) {
+      ++sweep.failures;
+      sweep.failure_reasons.push_back("torn@" + std::to_string(nth) + ": " +
+                                      why);
+    }
+  }
+
+  // ENOSPC at every payload write: never a crash — the event (or the close
+  // footer) is dropped and counted, the stream stays contiguous, and
+  // recovery still verifies end to end.
+  for (int nth = 0;; ++nth) {
+    TempDir dir("ledger_enospc");
+    fault::Injector inj(seed + 2);
+    inj.fail_storage_write(nth);
+    const LedgerRun run = run_ledger_workload(dir.path, inj);
+    if (run.counts.storage_write_errors == 0) break;
+    ++sweep.enospc_slots;
+    const bool drop_counted =
+        run.stats.append_errors + (run.close_failed ? 1 : 0) >= 1;
+    if (run.crashed || !drop_counted ||
+        !verify_and_recover(dir.path, run, &why)) {
+      ++sweep.failures;
+      sweep.failure_reasons.push_back("enospc@" + std::to_string(nth) + ": " +
+                                      why);
+    }
+  }
+  return sweep;
+}
+
+// ---------------------------------------------------------------------------
+// Week-long soak: size+age rotation with compaction, readers recovering the
+// directory concurrently. File count stays bounded; events are conserved.
+// ---------------------------------------------------------------------------
+
+struct WeekSoak {
+  long long events = 0;
+  long long rolls = 0;
+  long long compactions = 0;
+  std::size_t max_files = 0;
+  std::size_t max_files_allowed = 0;
+  std::uint64_t simulated_ns = 0;
+  long long reader_reads = 0;
+  long long wrong_reads = 0;
+  bool conserved = false;
+  bool chain_valid = false;
+};
+
+WeekSoak run_week_soak(bool full) {
+  TempDir dir("week");
+  WeekSoak out;
+  const int events = full ? 20000 : 3000;
+  // ~2 clock readings per event; sized so the run spans > one simulated
+  // week of ledger time.
+  obs::FakeClock clk(0, full ? 20'000'000'000ull : 120'000'000'000ull);
+
+  storage::SegmentedLedgerConfig cfg;
+  cfg.directory = dir.path;
+  cfg.max_segment_bytes = 16 << 10;
+  cfg.max_segment_age_ns = 3'600'000'000'000ull;  // one simulated hour
+  cfg.max_closed_segments = 4;
+  cfg.clock = &clk;
+  // Peak between a roll and the compaction that follows it: the closed cap
+  // plus one just-closed segment, the active segment, and the snapshot.
+  out.max_files_allowed = cfg.max_closed_segments + 3;
+
+  std::atomic<bool> stop{false};
+  std::atomic<long long> reads{0}, wrong{0};
+  auto reader = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      try {
+        const auto r = storage::SegmentedLedger::read_dir(dir.path);
+        ++reads;
+        long long prev = -1;
+        for (const auto& e : r.events) {
+          if (e.seq <= prev) {  // duplicated or reordered records
+            ++wrong;
+            break;
+          }
+          prev = e.seq;
+        }
+      } catch (const std::exception&) {
+        // A segment deleted by compaction between listing and reading is a
+        // loud retryable race, not a wrong read.
+      }
+    }
+  };
+
+  {
+    storage::SegmentedLedger led(cfg);
+    std::vector<std::thread> readers;
+    for (int i = 0; i < 2; ++i) readers.emplace_back(reader);
+    for (int i = 0; i < events; ++i) {
+      led.event("serve.request", {{"i", i}});
+      if (i % 64 == 0) out.max_files = std::max(out.max_files,
+                                                led.file_count());
+    }
+    out.max_files = std::max(out.max_files, led.file_count());
+    stop.store(true);
+    for (auto& t : readers) t.join();
+    const auto stats = led.stats();
+    out.events = stats.events;
+    out.rolls = stats.rolls;
+    out.compactions = stats.compactions;
+    led.close();
+  }
+  out.simulated_ns = clk.now_ns();
+  out.reader_reads = reads.load();
+  out.wrong_reads = wrong.load();
+
+  const auto final_read = storage::SegmentedLedger::read_dir(dir.path);
+  out.conserved = final_read.total_events() == events;
+  out.chain_valid =
+      final_read.chain_valid && final_read.torn_segments == 0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const auto seed =
+      static_cast<std::uint64_t>(bench::int_option(argc, argv, "--seed", 7));
+  const std::string out_path =
+      bench::str_option(argc, argv, "--out", "BENCH_storage.json");
+
+  obs::MetricsRegistry registry;
+  obs::ScopedObservability obs_scope({.metrics = &registry});
+
+  int violations = 0;
+  const auto require = [&violations](bool ok, const char* what) {
+    std::printf("%-64s %s\n", what, ok ? "ok" : "VIOLATED");
+    if (!ok) ++violations;
+  };
+
+  std::puts("=== Storage soak: checkpoint kill/torn/ENOSPC sweep ===");
+  Timer ckpt_t;
+  const CheckpointSweep ckpt = run_checkpoint_sweep(seed);
+  std::printf("%d kill + %d torn + %d enospc runs, %lld concurrent reads "
+              "(%s)\n",
+              ckpt.kill_runs, ckpt.torn_runs, ckpt.enospc_runs,
+              ckpt.reader_reads, format_duration(ckpt_t.seconds()).c_str());
+
+  std::puts("\n=== Storage soak: ledger fault sweep ===");
+  Timer ledger_t;
+  const LedgerSweep ledger = run_ledger_sweep(seed, /*verbose=*/true);
+  std::printf("%d kill + %d torn + %d enospc slots swept, %d failures (%s)\n",
+              ledger.kill_slots, ledger.torn_slots, ledger.enospc_slots,
+              ledger.failures, format_duration(ledger_t.seconds()).c_str());
+  for (const auto& reason : ledger.failure_reasons) {
+    std::printf("  FAILED %s\n", reason.c_str());
+  }
+
+  // Determinism: the same seeded kill schedule reproduces the same run.
+  std::string sig_a, sig_b;
+  {
+    TempDir a("det_a"), b("det_b");
+    fault::Injector ia(seed + 3), ib(seed + 3);
+    ia.kill_at_storage_point(1);
+    ib.kill_at_storage_point(1);
+    sig_a = run_ledger_workload(a.path, ia).signature();
+    sig_b = run_ledger_workload(b.path, ib).signature();
+  }
+
+  std::puts("\n=== Storage soak: simulated week with rotation+compaction ===");
+  Timer week_t;
+  const WeekSoak week = run_week_soak(full);
+  std::printf("%lld events over %.1f simulated days: %lld rolls, %lld "
+              "compactions, max %zu files (cap %zu), %lld concurrent "
+              "recoveries (%s)\n",
+              week.events, static_cast<double>(week.simulated_ns) / 86.4e12,
+              week.rolls, week.compactions, week.max_files,
+              week.max_files_allowed, week.reader_reads,
+              format_duration(week_t.seconds()).c_str());
+
+  std::puts("\n=== Storage soak: store heal-by-recompute + scrubber ===");
+  TempDir store_dir("store");
+  const auto g = data::make_reasoning_graph("csa", 8, /*mapped=*/false);
+  const int num_hops = 3;
+  const core::HopFeatures reference =
+      core::HopFeatures::compute(*g.adj_hop, g.features, num_hops);
+  const store::FeatureKey key{store::graph_digest(*g.adj_hop, g.features),
+                              num_hops};
+
+  // A kill while the shard's temp file is being written: the crash
+  // propagates (the process "died"), the shard never becomes visible, and a
+  // fresh store heals by recompute.
+  bool put_crashed = false;
+  {
+    fault::Injector inj(seed + 4);
+    inj.kill_at_storage_point(0);
+    fault::ScopedInjector scope(inj);
+    store::FeatureStore victim({.directory = store_dir.path});
+    try {
+      victim.put(key, reference);
+    } catch (const fault::SimulatedCrash&) {
+      put_crashed = true;
+    }
+  }
+  store::FeatureStore healer({.directory = store_dir.path});
+  const std::string shard = healer.shard_path(key);
+  const bool shard_hidden = !std::filesystem::exists(shard);
+  store::StoreOutcome outcome = store::StoreOutcome::kMemoryHit;
+  const auto healed =
+      healer.get_or_compute(*g.adj_hop, g.features, num_hops, &outcome);
+  const bool heal_exact = outcome == store::StoreOutcome::kComputed &&
+                          bit_exact(healed.stacked(), reference.stacked());
+
+  // Bit-rot the (now rewritten) shard; the scrubber must quarantine it, and
+  // the store must recompute — bit-exactly — instead of serving rot.
+  {
+    std::string bytes = slurp(shard);
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream(shard, std::ios::binary | std::ios::trunc) << bytes;
+  }
+  storage::Scrubber scrubber({.directories = {store_dir.path}});
+  scrubber.scrub_pass();
+  const auto scrub = scrubber.stats();
+  store::FeatureStore reader_store(
+      {.directory = store_dir.path, .memory_budget_bytes = 0});
+  store::StoreOutcome rot_outcome = store::StoreOutcome::kMemoryHit;
+  const auto re_healed = reader_store.get_or_compute(*g.adj_hop, g.features,
+                                                     num_hops, &rot_outcome);
+  const bool rot_healed = rot_outcome == store::StoreOutcome::kComputed &&
+                          bit_exact(re_healed.stacked(), reference.stacked());
+  std::printf("scrub: %s\n", scrub.counts_signature().c_str());
+
+  // -- Acceptance checks -----------------------------------------------------
+  std::puts("\n-- acceptance checks --");
+  require(ckpt.bad_outcomes == 0,
+          "every checkpoint fault left a complete expected generation");
+  require(ckpt.wrong_reads == 0 && ckpt.reader_reads > 0,
+          "zero wrong reads while racing checkpoint rewrites");
+  require(ledger.kill_slots >= 8 && ledger.torn_slots >= kLedgerEvents &&
+              ledger.enospc_slots >= kLedgerEvents,
+          "sweep covered every ledger boundary and payload write");
+  require(ledger.failures == 0,
+          "every ledger fault healed: events conserved, chain re-verified");
+  require(sig_a == sig_b,
+          "same seeded fault schedule reproduces the same run");
+  require(week.simulated_ns >= 604'800'000'000'000ull,
+          "soak spans at least one simulated week");
+  require(week.max_files <= week.max_files_allowed && week.rolls > 50,
+          "rotation+compaction kept the ledger file count bounded");
+  require(week.conserved && week.chain_valid,
+          "week-long event stream conserved with a valid chain");
+  require(week.wrong_reads == 0 && week.reader_reads > 0,
+          "zero wrong reads while racing rotation and compaction");
+  require(put_crashed && shard_hidden && heal_exact,
+          "killed shard write stayed invisible; healed by recompute");
+  require(scrub.corrupt == 1 && scrub.quarantined == 1,
+          "scrubber quarantined and counted the bit-rotted shard");
+  require(rot_healed, "quarantined shard healed by bit-exact recompute");
+
+  // -- Machine-readable sweep stats ------------------------------------------
+  {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"storage\",\n"
+        << "  \"mode\": \"" << (full ? "full" : "smoke") << "\",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"checkpoint_kill_runs\": " << ckpt.kill_runs << ",\n"
+        << "  \"checkpoint_torn_runs\": " << ckpt.torn_runs << ",\n"
+        << "  \"checkpoint_enospc_runs\": " << ckpt.enospc_runs << ",\n"
+        << "  \"ledger_kill_slots\": " << ledger.kill_slots << ",\n"
+        << "  \"ledger_torn_slots\": " << ledger.torn_slots << ",\n"
+        << "  \"ledger_enospc_slots\": " << ledger.enospc_slots << ",\n"
+        << "  \"sweep_failures\": " << ledger.failures << ",\n"
+        << "  \"reader_reads\": "
+        << ckpt.reader_reads + week.reader_reads << ",\n"
+        << "  \"wrong_reads\": " << ckpt.wrong_reads + week.wrong_reads
+        << ",\n"
+        << "  \"week_events\": " << week.events << ",\n"
+        << "  \"week_rolls\": " << week.rolls << ",\n"
+        << "  \"week_compactions\": " << week.compactions << ",\n"
+        << "  \"week_max_files\": " << week.max_files << ",\n"
+        << "  \"week_simulated_days\": "
+        << static_cast<double>(week.simulated_ns) / 86.4e12 << ",\n"
+        << "  \"scrub_quarantined\": " << scrub.quarantined << ",\n"
+        << "  \"violations\": " << violations << "\n"
+        << "}\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  if (violations > 0) {
+    std::printf("\n%d acceptance check(s) VIOLATED\n", violations);
+    return 1;
+  }
+  std::puts("\nall acceptance checks passed");
+  return 0;
+}

@@ -51,6 +51,14 @@ void Injector::corrupt_store_read(int nth) {
 
 void Injector::fail_store_write(int nth) { store_write_fails_.insert(nth); }
 
+void Injector::fail_storage_write(int nth) { storage_write_fails_.insert(nth); }
+
+void Injector::tear_storage_write(int nth, double fraction) {
+  storage_tears_[nth] = fraction;
+}
+
+void Injector::kill_at_storage_point(int nth) { storage_kills_.insert(nth); }
+
 bool Injector::worker_should_fail(int epoch, int worker) {
   if (auto it = worker_kills_.find({epoch, worker});
       it != worker_kills_.end()) {
@@ -153,6 +161,46 @@ bool Injector::store_write_should_fail() {
   return false;
 }
 
+bool Injector::storage_write_should_fail() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = storage_writes_++;
+  if (auto it = storage_write_fails_.find(n);
+      it != storage_write_fails_.end()) {
+    storage_write_fails_.erase(it);
+    ++counts_.storage_write_errors;
+    return true;
+  }
+  return false;
+}
+
+double Injector::storage_write_tear_fraction() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = storage_tear_checks_++;
+  if (auto it = storage_tears_.find(n); it != storage_tears_.end()) {
+    const double fraction = it->second;
+    storage_tears_.erase(it);
+    ++counts_.storage_torn_writes;
+    return fraction;
+  }
+  return -1.0;
+}
+
+bool Injector::storage_should_kill() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = storage_kill_checks_++;
+  if (auto it = storage_kills_.find(n); it != storage_kills_.end()) {
+    storage_kills_.erase(it);
+    ++counts_.storage_kills;
+    return true;
+  }
+  return false;
+}
+
+int Injector::storage_points_probed() const {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  return storage_kill_checks_;
+}
+
 Injector* active() { return g_active; }
 
 ScopedInjector::ScopedInjector(Injector& injector) : previous_(g_active) {
@@ -224,6 +272,31 @@ void maybe_fail_store_write(const std::string& path) {
     observe_fault("store_write");
     throw std::runtime_error("fault-injected shard write I/O error: " + path);
   }
+}
+
+void storage_kill_point(const char* name) {
+  if (Injector* inj = active(); inj && inj->storage_should_kill()) {
+    observe_fault("storage_kill");
+    throw SimulatedCrash(name);
+  }
+}
+
+void maybe_fail_storage_write(const std::string& path) {
+  if (Injector* inj = active(); inj && inj->storage_write_should_fail()) {
+    observe_fault("storage_write");
+    throw std::runtime_error(
+        "fault-injected storage write error (ENOSPC): " + path);
+  }
+}
+
+double storage_tear_fraction() {
+  Injector* inj = active();
+  return inj ? inj->storage_write_tear_fraction() : -1.0;
+}
+
+void storage_torn_write_crash(const std::string& path) {
+  observe_fault("storage_torn_write");
+  throw SimulatedCrash("storage.torn_write:" + path);
 }
 
 }  // namespace hoga::fault

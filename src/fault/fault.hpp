@@ -26,6 +26,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,28 @@ struct Counts {
   // Feature-store faults (DESIGN.md §9).
   int store_shard_corruptions = 0;
   int store_write_errors = 0;
+  // Storage-engine faults (DESIGN.md §12).
+  int storage_write_errors = 0;  // ENOSPC-style write failures
+  int storage_torn_writes = 0;   // writes cut short mid-payload
+  int storage_kills = 0;         // simulated crashes at kill-point boundaries
+};
+
+/// A simulated mid-operation process death, thrown from a storage kill-point
+/// or a torn write. Distinct from std::runtime_error so the soak harness can
+/// tell "the process died here" (filesystem left exactly as a real crash
+/// would) from an ordinary I/O error (the operation failed but cleaned up).
+/// Deliberately NOT derived from std::runtime_error: retry loops and
+/// swallow-and-degrade paths catch std::exception subclasses that model
+/// recoverable errors, and a crash is not recoverable from inside the dying
+/// operation.
+class SimulatedCrash {
+ public:
+  explicit SimulatedCrash(std::string point) : point_(std::move(point)) {}
+  /// The kill-point name the crash fired at (e.g. "storage.renamed").
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
 };
 
 class Injector {
@@ -90,6 +113,23 @@ class Injector {
   /// must swallow it (degrading to memory-only) and count it.
   void fail_store_write(int nth);
 
+  // -- Storage-engine schedule (DESIGN.md §12) -------------------------------
+  /// The nth (0-based) storage payload write fails with an ENOSPC-style
+  /// error after writing nothing — the engine must clean up its temp file
+  /// and surface an ordinary (retryable/swallowable) I/O error.
+  void fail_storage_write(int nth);
+  /// The nth (0-based) storage payload write is torn: only the first
+  /// `fraction` of the bytes reach the file, then the process "dies"
+  /// (SimulatedCrash). The destination must still hold its previous
+  /// complete content on recovery.
+  void tear_storage_write(int nth, double fraction);
+  /// The nth (0-based) kill-point boundary the engine crosses (temp
+  /// written/synced, renamed, directory synced, segment rolled, footer
+  /// written, ...) dies with SimulatedCrash, leaving the filesystem exactly
+  /// as a real crash at that instant would. The soak harness sweeps nth over
+  /// every boundary a workload crosses.
+  void kill_at_storage_point(int nth);
+
   // -- Hot-path queries (count attempts internally) -------------------------
   bool worker_should_fail(int epoch, int worker);
   bool checkpoint_write_should_fail();
@@ -105,6 +145,17 @@ class Injector {
   bool store_read_should_corrupt();
   /// True when this shard write attempt should fail.
   bool store_write_should_fail();
+  /// True when this storage payload write should fail with ENOSPC.
+  bool storage_write_should_fail();
+  /// Tear fraction in [0, 1] for this storage payload write, or a negative
+  /// value when the write proceeds untorn; consumes one write slot.
+  double storage_write_tear_fraction();
+  /// True when the kill-point boundary being crossed should die; consumes
+  /// one boundary slot.
+  bool storage_should_kill();
+  /// Kill-point boundaries crossed so far — the probe a sweep uses to learn
+  /// how many kill slots a workload exposes before scheduling kills.
+  int storage_points_probed() const;
 
   const Counts& counts() const { return counts_; }
 
@@ -115,13 +166,17 @@ class Injector {
   std::set<int> write_fails_, read_fails_, grad_corruptions_;
   std::set<int> poisoned_requests_;
   std::set<int> store_read_corruptions_, store_write_fails_;
+  std::set<int> storage_write_fails_, storage_kills_;
+  std::map<int, double> storage_tears_;
   std::map<int, double> slow_requests_, queue_stalls_;
   int write_attempts_ = 0, read_attempts_ = 0, grad_steps_ = 0;
   int executed_requests_ = 0, submitted_requests_ = 0, stall_checks_ = 0;
   int store_reads_ = 0, store_writes_ = 0;
-  // Serve-side and store-side queries run on pool workers / client threads;
-  // training-side queries stay single-threaded and lock-free.
-  std::mutex serve_mu_;
+  int storage_writes_ = 0, storage_tear_checks_ = 0, storage_kill_checks_ = 0;
+  // Serve-side, store-side, and storage-side queries run on pool workers /
+  // client threads; training-side queries stay single-threaded and
+  // lock-free.
+  mutable std::mutex serve_mu_;
   Counts counts_;
 };
 
@@ -163,5 +218,23 @@ bool maybe_poison_request(Tensor& payload);
 bool maybe_corrupt_store_shard(char* bytes, std::size_t size);
 bool maybe_corrupt_store_shard(std::string& bytes);
 void maybe_fail_store_write(const std::string& path);
+
+/// Storage-engine hooks (DESIGN.md §12), called by hoga::storage at every
+/// fsync/rename boundary and payload write. All no-op without an injector.
+///
+/// storage_kill_point: dies (throws SimulatedCrash) when the injector
+/// scheduled a kill for this boundary; `name` labels the boundary in the
+/// crash and the trace.
+void storage_kill_point(const char* name);
+/// Throws a runtime_error modeling ENOSPC when this payload write is
+/// scheduled to fail; the caller must clean up and surface the error.
+void maybe_fail_storage_write(const std::string& path);
+/// Tear fraction in [0, 1] for this payload write, or a negative value when
+/// the write proceeds whole. A torn write writes the prefix then dies via
+/// SimulatedCrash — the caller performs the partial write and then calls
+/// storage_torn_write_crash().
+double storage_tear_fraction();
+/// The second half of a torn write: records the fault and dies.
+[[noreturn]] void storage_torn_write_crash(const std::string& path);
 
 }  // namespace hoga::fault

@@ -10,6 +10,12 @@ TransposeCache& TransposeCache::global() {
   return cache;
 }
 
+std::size_t TransposeCache::csr_bytes(const Csr& c) {
+  return c.row_ptr().size() * sizeof(std::int64_t) +
+         c.col_idx().size() * sizeof(std::int64_t) +
+         c.values().size() * sizeof(float);
+}
+
 std::shared_ptr<const Csr> TransposeCache::get(
     const std::shared_ptr<const Csr>& a) {
   HOGA_CHECK(a != nullptr, "TransposeCache::get: null matrix");
@@ -19,17 +25,56 @@ std::shared_ptr<const Csr> TransposeCache::get(
   if (it != entries_.end()) {
     ++stats_.hits;
     obs::count("spmm.transpose_hits");
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.csr;
   }
   // Build under the lock: a second thread asking for the same graph blocks
   // here instead of duplicating the O(nnz log nnz) rebuild — this is what
-  // makes "exactly one transpose build per graph per process" a guarantee
+  // makes "exactly one transpose build per resident graph" a guarantee
   // rather than a likelihood.
   auto t = std::make_shared<const Csr>(a->transposed());
-  entries_.emplace(key, t);
+  Entry entry;
+  entry.csr = t;
+  entry.bytes = csr_bytes(*t);
+  bytes_ += entry.bytes;
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  entries_.emplace(key, std::move(entry));
   ++stats_.misses;
   obs::count("spmm.transpose_misses");
+  evict_to_budget_locked();
   return t;
+}
+
+void TransposeCache::evict_to_budget_locked() {
+  if (budget_bytes_ == 0) return;
+  // Never evict the entry just inserted/touched (lru_.front()): a cache
+  // that cannot hold even one graph must still serve the current caller.
+  while (bytes_ > budget_bytes_ && lru_.size() > 1) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    bytes_ -= it->second.bytes;
+    entries_.erase(it);
+    ++stats_.evictions;
+    obs::count("spmm.transpose_evictions");
+  }
+}
+
+void TransposeCache::set_budget_bytes(std::size_t budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = budget;
+  evict_to_budget_locked();
+}
+
+std::size_t TransposeCache::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
+}
+
+std::size_t TransposeCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 TransposeCache::Stats TransposeCache::stats() const {
@@ -45,6 +90,9 @@ std::size_t TransposeCache::entries() const {
 void TransposeCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  budget_bytes_ = kDefaultBudgetBytes;
   stats_ = Stats{};
 }
 

@@ -7,15 +7,20 @@
 // over the same graph that rebuild dominated backward. The cache keys on
 // Csr::content_digest(), so every call site that sees the same graph —
 // across trainers, models, and serving — shares one transpose, built
-// exactly once per process (the build runs under the cache mutex, so
-// concurrent first requests for one graph cannot race to build twice).
+// exactly once per process while it stays resident (the build runs under
+// the cache mutex, so concurrent first requests for one graph cannot race
+// to build twice).
 //
-// Entries are shared_ptr<const Csr> and are never evicted: the working set
-// is a handful of adjacencies per run (see ROADMAP for eviction follow-up).
-// Hits/misses are tallied locally and mirrored to the ambient obs counters
-// "spmm.transpose_hits" / "spmm.transpose_misses".
+// Eviction is byte-budgeted LRU: entries() holds shared_ptr<const Csr>, so
+// a caller still using an evicted transpose keeps it alive — eviction only
+// drops the cache's reference. A re-request after eviction rebuilds the
+// transpose from the same content, so the result is bit-identical (the
+// rebuild is deterministic); the eviction test pins exactly that. Evictions
+// are tallied locally and mirrored to "spmm.transpose_evictions"; hits and
+// misses to "spmm.transpose_hits" / "spmm.transpose_misses".
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -29,22 +34,51 @@ class TransposeCache {
   struct Stats {
     long long hits = 0;
     long long misses = 0;
+    long long evictions = 0;
   };
+
+  /// Default byte budget: a handful of large adjacencies; far above any
+  /// test or bench working set, so eviction only engages when configured
+  /// down (or in a genuinely huge multi-graph run).
+  static constexpr std::size_t kDefaultBudgetBytes = std::size_t{256} << 20;
 
   /// The process-wide instance.
   static TransposeCache& global();
 
-  /// The transpose of `a`, built on first request for this graph content.
+  /// The transpose of `a`, built on first request for this graph content
+  /// (or rebuilt after eviction). May evict least-recently-used entries to
+  /// fit the new one under the byte budget.
   std::shared_ptr<const Csr> get(const std::shared_ptr<const Csr>& a);
+
+  /// Sets the byte budget and immediately evicts down to it. 0 disables
+  /// eviction entirely.
+  void set_budget_bytes(std::size_t budget);
+  std::size_t budget_bytes() const;
+
+  /// Bytes held by resident entries (heap payload of each cached Csr).
+  std::size_t bytes() const;
 
   Stats stats() const;
   std::size_t entries() const;
-  /// Drops all entries and zeroes the stats (tests only).
+  /// Drops all entries, zeroes the stats, restores the default budget
+  /// (tests only).
   void clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<const Csr> csr;
+    std::size_t bytes = 0;
+    std::list<std::uint64_t>::iterator lru_it;  // position in lru_
+  };
+
+  static std::size_t csr_bytes(const Csr& c);
+  void evict_to_budget_locked();
+
   mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const Csr>> entries_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recent, back = next victim
+  std::size_t bytes_ = 0;
+  std::size_t budget_bytes_ = kDefaultBudgetBytes;
   Stats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "fault/fault.hpp"
+#include "storage/storage.hpp"
 #include "util/check.hpp"
 #include "util/io.hpp"
 
@@ -32,9 +33,9 @@ std::string save_checkpoint(const Module& module) {
 
 void save_checkpoint_file(const Module& module, const std::string& path) {
   fault::maybe_fail_checkpoint_write(path);
-  // Write-tmp-then-rename: a crash mid-save can never leave a torn
-  // checkpoint at `path`.
-  util::atomic_write_file(path, save_checkpoint(module));
+  // Durable write-tmp-fsync-rename: a crash mid-save can never leave a torn
+  // checkpoint at `path`, and a completed save survives power loss.
+  storage::atomic_write_durable(path, save_checkpoint(module));
 }
 
 void load_checkpoint(Module& module, const std::string& text) {

@@ -77,19 +77,26 @@ RunLedger::RunLedger(const std::string& path, Clock* clock)
 
 RunLedger::~RunLedger() { close(); }
 
-void RunLedger::event(const std::string& type,
-                      std::vector<LedgerField> fields) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!file_) return;
+std::string format_ledger_line(long long seq, std::uint64_t ts_ns,
+                               const std::string& type,
+                               const std::vector<LedgerField>& fields) {
   std::ostringstream line;
-  line << "{\"seq\":" << seq_ << ",\"ts_ns\":" << clock_->now_ns()
-       << ",\"type\":\"" << detail::json_escape(type) << '"';
+  line << "{\"seq\":" << seq << ",\"ts_ns\":" << ts_ns << ",\"type\":\""
+       << detail::json_escape(type) << '"';
   for (const auto& f : fields) {
     line << ",\"" << detail::json_escape(f.key) << "\":";
     append_scalar(line, f.value);
   }
   line << "}\n";
-  const std::string bytes = line.str();
+  return line.str();
+}
+
+void RunLedger::event(const std::string& type,
+                      std::vector<LedgerField> fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_) return;
+  const std::string bytes =
+      format_ledger_line(seq_, clock_->now_ns(), type, fields);
   // One fwrite per line: a crash leaves at most one partial final line,
   // never an interleaved or half-updated earlier one.
   std::fwrite(bytes.data(), 1, bytes.size(), file_);
@@ -140,6 +147,15 @@ LedgerReadResult RunLedger::read(const std::string& path) {
       result.footer_present = true;
       const auto* events_m = parsed->find("events");
       const auto* crc_m = parsed->find("crc32");
+      if (crc_m && !crc_m->has_object &&
+          std::holds_alternative<std::string>(crc_m->scalar)) {
+        result.footer_crc32 = std::get<std::string>(crc_m->scalar);
+      }
+      if (const auto* chain_m = parsed->find("chain");
+          chain_m && !chain_m->has_object &&
+          std::holds_alternative<std::string>(chain_m->scalar)) {
+        result.footer_chain = std::get<std::string>(chain_m->scalar);
+      }
       result.footer_valid =
           events_m && !events_m->has_object &&
           std::holds_alternative<long long>(events_m->scalar) &&

@@ -76,9 +76,32 @@ struct LedgerReadResult {
   bool footer_present = false;
   bool footer_valid = false;   // count and CRC both match
   std::size_t skipped_lines = 0;  // unparseable lines (e.g. truncated tail)
+  // Raw footer fields, for segment readers that chain CRCs across files
+  // (storage::SegmentedLedger). Empty when absent from the footer.
+  std::string footer_crc32;
+  std::string footer_chain;
 };
 
-class RunLedger {
+/// Anything that accepts ledger events. RunLedger below is the single-file
+/// implementation; storage::SegmentedLedger (DESIGN.md §12) is the rotating,
+/// compacting one for long-lived services. Consumers (the ambient
+/// Observability context, ServeConfig) hold a LedgerSink* so either can be
+/// wired in.
+class LedgerSink {
+ public:
+  virtual ~LedgerSink() = default;
+  /// Appends one event; must be thread-safe.
+  virtual void event(const std::string& type,
+                     std::vector<LedgerField> fields) = 0;
+};
+
+/// Formats one event line exactly as RunLedger writes it. Shared with the
+/// segmented ledger so every segment file stays RunLedger::read-compatible.
+std::string format_ledger_line(long long seq, std::uint64_t ts_ns,
+                               const std::string& type,
+                               const std::vector<LedgerField>& fields);
+
+class RunLedger : public LedgerSink {
  public:
   /// Opens `path` for writing, truncating any previous content. `clock`
   /// must outlive the ledger; defaults to the shared SteadyClock.
@@ -91,7 +114,8 @@ class RunLedger {
   RunLedger& operator=(const RunLedger&) = delete;
 
   /// Appends one event line; thread-safe; no-op after close().
-  void event(const std::string& type, std::vector<LedgerField> fields);
+  void event(const std::string& type,
+             std::vector<LedgerField> fields) override;
 
   /// Events written so far (excluding the footer).
   long long events_written() const;

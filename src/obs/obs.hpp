@@ -21,11 +21,13 @@
 
 namespace hoga::obs {
 
-/// The ambient observability context: any member may be null.
+/// The ambient observability context: any member may be null. The ledger is
+/// any LedgerSink — the single-file RunLedger or the rotating
+/// storage::SegmentedLedger.
 struct Observability {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
-  RunLedger* ledger = nullptr;
+  LedgerSink* ledger = nullptr;
 };
 
 /// The currently installed ambient context. Never null; members may be.

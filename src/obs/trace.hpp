@@ -20,6 +20,15 @@
 // counted, never blocking the hot path. export_jsonl() serializes finished
 // spans sorted by (start_ns, span_id), which under a FakeClock is a total
 // order: byte-identical across identical scripted runs.
+//
+// Sampling: a tracer can keep only 1-in-N finished spans (TraceSampling),
+// for services where full tracing is too much retention. The decision is
+// deterministic — a seeded mix of the span id, not a global RNG — so a
+// scripted run keeps the identical subset every time, and spans marked
+// set_error() are ALWAYS kept: the traces worth debugging survive any
+// sampling rate. Kept/skipped tallies are mirrored to the ambient counters
+// "trace.sampled" / "trace.skipped" (only when sampling is active, so the
+// default configuration adds zero per-span overhead).
 
 #include <cstdint>
 #include <deque>
@@ -47,6 +56,13 @@ struct SpanRecord {
     std::uint64_t ts_ns = 0;
   };
   std::vector<Event> events;
+  bool error = false;  // set via Span::set_error; exempt from sampling
+};
+
+/// 1-in-N span sampling (see file comment). keep_one_in <= 1 keeps all.
+struct TraceSampling {
+  long long keep_one_in = 1;
+  std::uint64_t seed = 0;  // varies which subset survives, deterministically
 };
 
 /// RAII handle for an open span. Move-only; a moved-from or default span is
@@ -68,6 +84,10 @@ class Span {
 
   /// Records a named point event at the current clock reading.
   void add_event(const std::string& name);
+
+  /// Marks the span as an error (recording `message` as an "error" attr).
+  /// Error spans bypass sampling — they are always retained.
+  void set_error(const std::string& message);
 
   /// Finishes the span now; further calls are no-ops.
   void end();
@@ -108,6 +128,16 @@ class Tracer {
 
   Clock& clock() { return *clock_; }
 
+  /// Installs a sampling policy for spans finishing from now on. Open spans
+  /// are sampled at their end, under whatever policy is current then.
+  void set_sampling(TraceSampling sampling);
+  TraceSampling sampling() const;
+
+  /// Spans kept / skipped by an active sampling policy (both stay zero when
+  /// sampling is off).
+  long long sampled() const;
+  long long skipped() const;
+
   /// Finished spans dropped because the buffer was full.
   long long dropped() const;
 
@@ -136,6 +166,9 @@ class Tracer {
   std::uint64_t next_id_ = 1;
   std::deque<SpanRecord> finished_;
   long long dropped_ = 0;
+  TraceSampling sampling_;
+  long long sampled_ = 0;
+  long long skipped_ = 0;
 };
 
 }  // namespace hoga::obs

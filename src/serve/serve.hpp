@@ -77,7 +77,7 @@ struct ServeConfig {
   /// FakeClock. `ledger` receives one serve.request event per call.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
-  obs::RunLedger* ledger = nullptr;
+  obs::LedgerSink* ledger = nullptr;
 };
 
 /// One inference request: either a precomputed hop-feature batch

@@ -1,0 +1,151 @@
+#include "storage/scrubber.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#include "obs/obs.hpp"
+#include "storage/storage.hpp"
+
+namespace hoga::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Files the scrubber must leave alone: in-flight temps (atomic_write_durable
+// owns them) and files it already set aside.
+bool skip_file(const std::string& name) {
+  return ends_with(name, ".tmp") || ends_with(name, ".quarantine");
+}
+
+}  // namespace
+
+std::string ScrubStats::counts_signature() const {
+  std::ostringstream os;
+  os << "passes=" << passes << " files=" << files_scanned
+     << " clean=" << clean << " corrupt=" << corrupt
+     << " quarantined=" << quarantined << " unrecognized=" << unrecognized;
+  return os.str();
+}
+
+Scrubber::Scrubber(ScrubConfig config) : config_(std::move(config)) {}
+
+Scrubber::~Scrubber() { stop(); }
+
+void Scrubber::refill_queue_locked() {
+  std::vector<std::string> files;
+  for (const auto& dir : config_.directories) {
+    std::error_code ec;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         !ec && it != fs::recursive_directory_iterator();
+         it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string path = it->path().string();
+      if (skip_file(it->path().filename().string())) continue;
+      files.push_back(path);
+    }
+  }
+  // Deterministic scan order regardless of directory-entry order.
+  std::sort(files.begin(), files.end());
+  pending_.assign(files.begin(), files.end());
+}
+
+std::size_t Scrubber::verify_one_locked(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  const std::size_t bytes = ec ? 0 : static_cast<std::size_t>(size);
+  std::string why;
+  const FileIntegrity verdict = verify_file_integrity(path, &why);
+  ++stats_.files_scanned;
+  stats_.bytes_scanned += static_cast<long long>(bytes);
+  switch (verdict) {
+    case FileIntegrity::kOk:
+      ++stats_.clean;
+      break;
+    case FileIntegrity::kUnrecognized:
+      ++stats_.unrecognized;
+      break;
+    case FileIntegrity::kCorrupt: {
+      ++stats_.corrupt;
+      obs::count("storage.scrub_corrupt");
+      bool quarantined = false;
+      if (config_.quarantine) {
+        std::error_code rename_ec;
+        fs::rename(path, path + ".quarantine", rename_ec);
+        quarantined = !rename_ec;
+        if (quarantined) ++stats_.quarantined;
+      }
+      obs::ledger_event("storage.quarantine",
+                        {{"path", path},
+                         {"why", why},
+                         {"quarantined", quarantined}});
+      break;
+    }
+  }
+  return bytes;
+}
+
+void Scrubber::scrub_pass() {
+  std::lock_guard<std::mutex> lock(mu_);
+  refill_queue_locked();
+  while (!pending_.empty()) {
+    const std::string path = pending_.front();
+    pending_.pop_front();
+    verify_one_locked(path);
+  }
+  ++stats_.passes;
+}
+
+std::size_t Scrubber::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) refill_queue_locked();
+  std::size_t files = 0;
+  std::size_t budget_spent = 0;
+  while (!pending_.empty()) {
+    const std::string path = pending_.front();
+    pending_.pop_front();
+    budget_spent += verify_one_locked(path);
+    ++files;
+    if (config_.budget_bytes_per_tick > 0 &&
+        budget_spent >= config_.budget_bytes_per_tick) {
+      break;
+    }
+  }
+  if (pending_.empty()) ++stats_.passes;
+  return files;
+}
+
+void Scrubber::start(long long interval_ms) {
+  if (running_.exchange(true)) return;
+  worker_ = std::thread([this, interval_ms] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (running_.load()) {
+      lock.unlock();
+      tick();
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                   [this] { return !running_.load(); });
+    }
+  });
+}
+
+void Scrubber::stop() {
+  if (!running_.exchange(false)) return;
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+ScrubStats Scrubber::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace hoga::storage

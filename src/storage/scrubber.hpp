@@ -1,0 +1,99 @@
+#pragma once
+// Background CRC scrubber (DESIGN.md §12).
+//
+// Checkpoints, feature-store shards, and ledger segments are written once
+// and read much later — plenty of time for bit rot, truncation by a full
+// disk, or an operator's stray edit to corrupt them silently. The scrubber
+// walks the storage directories and runs verify_file_integrity on every
+// recognized artifact, at a configurable byte-rate budget so a week-long
+// training run is never starved of I/O by its own integrity checks.
+//
+// A corrupt file is counted, reported via the ambient observability
+// ("storage.scrub_corrupt" counter, "storage.quarantine" ledger event) and
+// — when quarantine is on — renamed to "<path>.quarantine" so consumers
+// stop reading it. For feature-store shards, quarantine *is* the heal: the
+// store treats a missing shard as a cache miss and recomputes the features
+// (heal-by-recompute). For checkpoints and ledger segments it converts a
+// silent wrong read into a loud, counted absence.
+//
+// Three driving modes, strictest to loosest coupling:
+//   scrub_pass()        — one full synchronous sweep (tests, shutdown);
+//   tick()              — verify files until the per-tick byte budget is
+//                         spent; repeated ticks resume where the last one
+//                         stopped and start a fresh pass when done;
+//   start()/stop()      — a background thread calling tick() on an
+//                         interval.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hoga::storage {
+
+struct ScrubConfig {
+  /// Directories to walk (recursively). Missing ones are skipped, not
+  /// errors — a run may not have created its checkpoint dir yet.
+  std::vector<std::string> directories;
+  /// Bytes verified per tick(); 0 means a full pass per tick.
+  std::size_t budget_bytes_per_tick = std::size_t{8} << 20;
+  /// Rename corrupt files to "<path>.quarantine" (else just count them).
+  bool quarantine = true;
+};
+
+struct ScrubStats {
+  long long passes = 0;         // completed full sweeps
+  long long files_scanned = 0;
+  long long bytes_scanned = 0;
+  long long clean = 0;
+  long long corrupt = 0;        // integrity violations found
+  long long quarantined = 0;    // corrupt files renamed aside
+  long long unrecognized = 0;   // files the engine has no verifier for
+
+  /// Stable "k=v k=v" rendering for tests and the soak report.
+  std::string counts_signature() const;
+};
+
+class Scrubber {
+ public:
+  explicit Scrubber(ScrubConfig config);
+  ~Scrubber();  // joins the background thread if running
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// One full synchronous sweep over every directory.
+  void scrub_pass();
+
+  /// Verifies queued files until the byte budget is spent; refills the
+  /// queue (and bumps `passes`) when it drains. Returns the number of
+  /// files verified this tick.
+  std::size_t tick();
+
+  /// Starts a background thread ticking every `interval_ms`. No-op when
+  /// already running.
+  void start(long long interval_ms);
+
+  /// Stops and joins the background thread. Idempotent.
+  void stop();
+
+  ScrubStats stats() const;
+
+ private:
+  void refill_queue_locked();
+  std::size_t verify_one_locked(const std::string& path);
+
+  ScrubConfig config_;
+  mutable std::mutex mu_;
+  std::deque<std::string> pending_;
+  ScrubStats stats_;
+  std::thread worker_;
+  std::condition_variable cv_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace hoga::storage

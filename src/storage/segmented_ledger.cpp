@@ -1,0 +1,478 @@
+#include "storage/segmented_ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace hoga::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+// chain_i = crc32(chain_{i-1} ":" crc_i); the seed chain is "00000000".
+std::string chain_next(const std::string& prev, const std::string& seg_crc) {
+  return crc_hex(util::crc32(prev + ":" + seg_crc));
+}
+
+std::string footer_line(long long events, const std::string& seg_crc,
+                        const std::string& chain) {
+  std::ostringstream os;
+  os << "{\"type\":\"ledger.footer\",\"events\":" << events
+     << ",\"crc32\":\"" << seg_crc << "\",\"chain\":\"" << chain << "\"}\n";
+  return os.str();
+}
+
+// Parses "<prefix>.<digits>.seg"; returns the index or nullopt.
+std::optional<std::uint64_t> parse_segment_index(const std::string& name,
+                                                 const std::string& prefix) {
+  const std::string head = prefix + ".";
+  const std::string tail = ".seg";
+  if (name.size() <= head.size() + tail.size()) return std::nullopt;
+  if (name.compare(0, head.size(), head) != 0) return std::nullopt;
+  if (name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(head.size(), name.size() - head.size() - tail.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t index = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    index = index * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return index;
+}
+
+std::vector<std::uint64_t> list_segment_indices(const std::string& dir,
+                                                const std::string& prefix) {
+  std::vector<std::uint64_t> indices;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (auto idx =
+            parse_segment_index(entry.path().filename().string(), prefix)) {
+      indices.push_back(*idx);
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+struct SnapshotState {
+  long long folded_events = 0;
+  long long last_seq = -1;
+  std::string chain = "00000000";
+  std::vector<std::pair<std::string, long long>> by_type;
+};
+
+// Renders the snapshot accumulator as one framed JSON line. by_type is
+// emitted sorted so snapshot bytes are deterministic.
+std::string encode_snapshot(const SnapshotState& s, long long folded_segments) {
+  std::ostringstream os;
+  os << "{\"type\":\"ledger.snapshot\",\"folded_events\":" << s.folded_events
+     << ",\"folded_segments\":" << folded_segments
+     << ",\"last_seq\":" << s.last_seq << ",\"chain\":\"" << s.chain
+     << "\",\"by_type\":{";
+  bool first = true;
+  for (const auto& [type, n] : s.by_type) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << obs::detail::json_escape(type) << "\":" << n;
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+std::optional<SnapshotState> decode_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  const auto payload = decode_framed(os.str());
+  if (!payload) return std::nullopt;
+  std::string line = *payload;
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  auto parsed = obs::detail::parse_json_line(line);
+  if (!parsed) return std::nullopt;
+  SnapshotState s;
+  const auto* folded = parsed->find("folded_events");
+  const auto* last_seq = parsed->find("last_seq");
+  const auto* chain = parsed->find("chain");
+  if (!folded || folded->has_object ||
+      !std::holds_alternative<long long>(folded->scalar) || !last_seq ||
+      last_seq->has_object ||
+      !std::holds_alternative<long long>(last_seq->scalar) || !chain ||
+      chain->has_object ||
+      !std::holds_alternative<std::string>(chain->scalar)) {
+    return std::nullopt;
+  }
+  s.folded_events = std::get<long long>(folded->scalar);
+  s.last_seq = std::get<long long>(last_seq->scalar);
+  s.chain = std::get<std::string>(chain->scalar);
+  if (const auto* by_type = parsed->find("by_type");
+      by_type && by_type->has_object) {
+    for (const auto& [key, value] : by_type->object) {
+      if (std::holds_alternative<long long>(value)) {
+        s.by_type.emplace_back(key, std::get<long long>(value));
+      }
+    }
+    std::sort(s.by_type.begin(), s.by_type.end());
+  }
+  return s;
+}
+
+// Re-wraps parsed event fields so format_ledger_line reproduces the
+// original line bytes (scalar values round-trip exactly).
+std::vector<obs::LedgerField> to_fields(
+    const std::vector<std::pair<std::string, obs::detail::JsonScalar>>& in) {
+  std::vector<obs::LedgerField> out;
+  out.reserve(in.size());
+  for (const auto& [k, v] : in) {
+    obs::LedgerField f(k, 0LL);
+    f.value = v;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+void merge_by_type(std::vector<std::pair<std::string, long long>>& into,
+                   const std::string& type, long long n) {
+  for (auto& [k, v] : into) {
+    if (k == type) {
+      v += n;
+      return;
+    }
+  }
+  into.emplace_back(type, n);
+}
+
+}  // namespace
+
+SegmentedLedger::SegmentedLedger(SegmentedLedgerConfig config)
+    : config_(std::move(config)),
+      clock_(config_.clock ? config_.clock : &obs::SteadyClock::instance()),
+      seg_crc_state_(util::crc32_init()),
+      chain_("00000000") {
+  HOGA_CHECK(!config_.directory.empty(),
+             "SegmentedLedger: directory must be set");
+  fs::create_directories(config_.directory);
+
+  // --- Recovery: adopt whatever a previous incarnation (possibly one that
+  // crashed mid-roll or mid-compaction) left behind.
+  if (auto snap = decode_snapshot(snapshot_path())) {
+    have_snapshot_ = true;
+    snap_events_ = snap->folded_events;
+    snap_last_seq_ = snap->last_seq;
+    snap_by_type_ = snap->by_type;
+    chain_ = snap->chain;
+    seq_ = snap->last_seq + 1;
+    stats_.folded_events = snap->folded_events;
+  }
+
+  std::uint64_t max_index = 0;
+  for (std::uint64_t idx : list_segment_indices(config_.directory,
+                                                config_.prefix)) {
+    max_index = std::max(max_index, idx);
+    const std::string path = segment_path(idx);
+    auto read = obs::RunLedger::read(path);
+    // A segment fully covered by the snapshot is residue of a crash between
+    // snapshot write and segment deletion — finish the deletion now.
+    if (have_snapshot_ && !read.events.empty() &&
+        read.events.back().seq <= snap_last_seq_) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      continue;
+    }
+    if (have_snapshot_ && read.events.empty() && read.footer_present) {
+      // Footered but empty: nothing to keep either way.
+      std::error_code ec;
+      fs::remove(path, ec);
+      continue;
+    }
+    for (const auto& e : read.events) seq_ = std::max(seq_, e.seq + 1);
+    // A footer also has to link correctly from the current chain tail: when
+    // an earlier segment was repaired (its chain link recomputed), every
+    // later stored footer still chains over the gap and must be re-chained
+    // too, or the closed set would never verify again.
+    const bool footer_ok =
+        read.footer_present && read.footer_valid &&
+        !read.footer_chain.empty() &&
+        (read.footer_crc32.empty() ||
+         read.footer_chain == chain_next(chain_, read.footer_crc32));
+    if (!footer_ok) {
+      // Torn (killed before the footer landed), legacy, or chain-stale
+      // segment: rewrite the complete lines with a freshly computed,
+      // chained footer so the closed set is uniformly verifiable again.
+      std::uint32_t crc = util::crc32_init();
+      std::string body;
+      for (const auto& e : read.events) {
+        const std::string line = obs::format_ledger_line(
+            e.seq, e.ts_ns, e.type, to_fields(e.fields));
+        crc = util::crc32_update(crc, line);
+        body += line;
+      }
+      const std::string seg_crc = crc_hex(util::crc32_final(crc));
+      chain_ = chain_next(chain_, seg_crc);
+      body += footer_line(static_cast<long long>(read.events.size()), seg_crc,
+                          chain_);
+      atomic_write_durable(path, body);
+      ++stats_.repaired_segments;
+    } else {
+      chain_ = read.footer_chain;
+    }
+    closed_.push_back(idx);
+  }
+  active_index_ = max_index + 1;
+  open_active_locked();
+  // Recovery may have left more closed segments than the cap allows (e.g.
+  // a crash right before compaction); fold now.
+  std::lock_guard<std::mutex> lock(mu_);
+  compact_locked();
+}
+
+SegmentedLedger::~SegmentedLedger() {
+  if (crashed_) return;  // a dead process closes nothing
+  try {
+    close();
+  } catch (const fault::SimulatedCrash&) {
+    crashed_ = true;
+  } catch (...) {
+  }
+}
+
+std::string SegmentedLedger::segment_path(std::uint64_t index) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06llu",
+                static_cast<unsigned long long>(index));
+  return config_.directory + "/" + config_.prefix + "." + buf + ".seg";
+}
+
+std::string SegmentedLedger::snapshot_path() const {
+  return config_.directory + "/" + config_.prefix + ".snap";
+}
+
+void SegmentedLedger::open_active_locked() {
+  active_ = std::make_unique<AppendFile>(segment_path(active_index_));
+  active_opened_ns_ = clock_->now_ns();
+  seg_events_ = 0;
+  seg_crc_state_ = util::crc32_init();
+}
+
+void SegmentedLedger::event(const std::string& type,
+                            std::vector<obs::LedgerField> fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_ || closed_ledger_) return;
+  try {
+    const bool over_size =
+        active_ && active_->bytes_written() >= config_.max_segment_bytes;
+    const bool over_age =
+        active_ && config_.max_segment_age_ns > 0 &&
+        clock_->now_ns() - active_opened_ns_ >= config_.max_segment_age_ns;
+    if ((over_size || over_age) && seg_events_ > 0) {
+      roll_locked();
+      compact_locked();
+    }
+    const std::string line =
+        obs::format_ledger_line(seq_, clock_->now_ns(), type, fields);
+    append_line_locked(line);
+    ++seq_;
+    ++stats_.events;
+  } catch (const fault::SimulatedCrash&) {
+    crashed_ = true;  // freeze: disk now looks like a dead process left it
+    throw;
+  } catch (const std::exception&) {
+    // Real or injected ENOSPC: drop the event, keep the service alive.
+    ++stats_.append_errors;
+    obs::count("storage.ledger_append_errors");
+  }
+}
+
+void SegmentedLedger::append_line_locked(const std::string& line) {
+  active_->append(line);
+  seg_crc_state_ = util::crc32_update(seg_crc_state_, line);
+  ++seg_events_;
+}
+
+void SegmentedLedger::write_footer_locked() {
+  const std::string seg_crc = crc_hex(util::crc32_final(seg_crc_state_));
+  chain_ = chain_next(chain_, seg_crc);
+  active_->append(footer_line(seg_events_, seg_crc, chain_));
+  active_->sync();
+}
+
+void SegmentedLedger::roll_locked() {
+  // Capture the predecessor's footer inputs before open_active_locked
+  // resets them for the successor. The successor opens FIRST, then the
+  // predecessor gets its footer: a crash between the two (kill-point
+  // "ledger.rolled") leaves a footer-less closed segment whose complete
+  // lines are recoverable and which the next open re-footers — never a
+  // footered segment with no successor to carry new events.
+  auto old = std::move(active_);
+  const std::uint64_t old_index = active_index_;
+  const long long old_events = seg_events_;
+  const std::uint32_t old_crc = seg_crc_state_;
+  ++active_index_;
+  open_active_locked();
+  fault::storage_kill_point("ledger.rolled");
+  const std::string seg_crc = crc_hex(util::crc32_final(old_crc));
+  const std::string next_chain = chain_next(chain_, seg_crc);
+  old->append(footer_line(old_events, seg_crc, next_chain));
+  old->sync();
+  old->close();
+  chain_ = next_chain;
+  closed_.push_back(old_index);
+  ++stats_.rolls;
+  obs::count("storage.ledger_rolls");
+  fault::storage_kill_point("ledger.footer_written");
+}
+
+void SegmentedLedger::compact_locked() {
+  if (config_.max_closed_segments == 0) return;
+  if (closed_.size() <= config_.max_closed_segments) return;
+  fault::storage_kill_point("ledger.compact_begin");
+  const std::size_t fold_n = closed_.size() - config_.max_closed_segments;
+
+  SnapshotState s;
+  s.folded_events = snap_events_;
+  s.last_seq = snap_last_seq_;
+  s.by_type = snap_by_type_;
+  long long folded_segments = 0;
+  for (std::size_t i = 0; i < fold_n; ++i) {
+    auto read = obs::RunLedger::read(segment_path(closed_[i]));
+    for (const auto& e : read.events) {
+      ++s.folded_events;
+      s.last_seq = std::max(s.last_seq, e.seq);
+      merge_by_type(s.by_type, e.type, 1);
+    }
+    // The snapshot chain tail is the chain of the LAST folded segment, so
+    // verification of the remaining closed segments picks up from there.
+    if (!read.footer_chain.empty()) s.chain = read.footer_chain;
+    ++folded_segments;
+  }
+  std::sort(s.by_type.begin(), s.by_type.end());
+
+  atomic_write_durable(snapshot_path(),
+                       encode_framed(encode_snapshot(s, folded_segments)));
+  fault::storage_kill_point("ledger.snapshot_written");
+
+  for (std::size_t i = 0; i < fold_n; ++i) {
+    std::error_code ec;
+    fs::remove(segment_path(closed_[i]), ec);
+  }
+  fault::storage_kill_point("ledger.segments_deleted");
+
+  closed_.erase(closed_.begin(),
+                closed_.begin() + static_cast<std::ptrdiff_t>(fold_n));
+  have_snapshot_ = true;
+  snap_events_ = s.folded_events;
+  snap_last_seq_ = s.last_seq;
+  snap_by_type_ = s.by_type;
+  stats_.folded_events = s.folded_events;
+  ++stats_.compactions;
+  obs::count("storage.ledger_compactions");
+}
+
+void SegmentedLedger::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_ || closed_ledger_) return;
+  closed_ledger_ = true;
+  if (!active_) return;
+  try {
+    write_footer_locked();
+    active_->close();
+  } catch (const fault::SimulatedCrash&) {
+    crashed_ = true;
+    throw;
+  }
+}
+
+SegmentedLedger::Stats SegmentedLedger::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SegmentedLedger::file_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = closed_.size();
+  if (active_) ++n;
+  if (have_snapshot_) ++n;
+  return n;
+}
+
+long long SegmentedLedger::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+SegmentedLedger::ReadResult SegmentedLedger::read_dir(
+    const std::string& directory, const std::string& prefix) {
+  ReadResult result;
+  long long cover_seq = -1;
+  std::string chain = "00000000";
+  if (auto snap =
+          decode_snapshot(directory + "/" + prefix + ".snap")) {
+    result.snapshot_present = true;
+    result.folded_events = snap->folded_events;
+    result.folded_by_type = snap->by_type;
+    cover_seq = snap->last_seq;
+    chain = snap->chain;
+  }
+  for (std::uint64_t idx : list_segment_indices(directory, prefix)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%06llu",
+                  static_cast<unsigned long long>(idx));
+    const std::string path =
+        directory + "/" + prefix + "." + std::string(buf) + ".seg";
+    auto read = obs::RunLedger::read(path);
+    result.skipped_lines += read.skipped_lines;
+    if (!read.events.empty() && read.events.back().seq <= cover_seq) {
+      // Fully folded into the snapshot: residue of a crash mid-compaction.
+      // Skip it — its chain link was superseded by the snapshot's tail.
+      continue;
+    }
+    ++result.segments;
+    if (read.footer_present && read.footer_valid &&
+        !read.footer_chain.empty()) {
+      if (!read.footer_crc32.empty() &&
+          read.footer_chain != chain_next(chain, read.footer_crc32)) {
+        result.chain_valid = false;
+      }
+      chain = read.footer_chain;
+    } else if (read.footer_present && !read.footer_valid) {
+      result.chain_valid = false;
+      ++result.torn_segments;
+    } else if (!read.footer_present) {
+      // Active segment, or a closed one killed before its footer. Its
+      // complete lines still count; the chain resumes from the next footer.
+      ++result.torn_segments;
+    }
+    for (auto& e : read.events) {
+      if (e.seq <= cover_seq) continue;  // partial overlap with the snapshot
+      result.events.push_back(std::move(e));
+    }
+  }
+  std::sort(result.events.begin(), result.events.end(),
+            [](const obs::LedgerEvent& a, const obs::LedgerEvent& b) {
+              return a.seq < b.seq;
+            });
+  return result;
+}
+
+}  // namespace hoga::storage

@@ -1,0 +1,174 @@
+#pragma once
+// Rotating, compacting run ledger for long-lived services (DESIGN.md §12).
+//
+// obs::RunLedger writes one append-only file per run — right for a bench or
+// a training job, wrong for a serving process that stays up for weeks: the
+// file grows without bound and a single torn tail is the only crash story.
+// SegmentedLedger keeps the same line format (every segment file is
+// RunLedger::read-compatible) but splits the stream into segments:
+//
+//   <prefix>.000001.seg   closed: events + a footer {events, crc32, chain}
+//   <prefix>.000002.seg   closed
+//   <prefix>.000003.seg   active: events only, footer written on roll/close
+//   <prefix>.snap         compaction snapshot (hoga-frame blob)
+//
+// Rotation: before an append, if the active segment exceeds the size or age
+// bound, a new segment is opened (kill-point "ledger.rolled") and then the
+// old one gets its footer (kill-point "ledger.footer_written") — in that
+// order, so a crash between the two leaves a footer-less segment whose
+// complete lines are still fully recoverable (and are re-footered on the
+// next open; see recovery below).
+//
+// Footers chain: each carries chain_i = crc32(chain_{i-1} ":" crc_i), so a
+// reader can prove no closed segment was deleted or reordered behind its
+// back. The compaction snapshot stores the chain tail of the last folded
+// segment, restarting verification there.
+//
+// Compaction: when closed segments exceed the configured count, the oldest
+// excess segments (plus the previous snapshot) are folded into a new
+// snapshot — total event count, per-type counts, last folded seq, chain
+// tail — written via atomic_write_durable and only then are the folded
+// segments deleted. A crash between snapshot write and deletion leaves
+// segments that are fully covered by the snapshot; readers skip events with
+// seq <= the snapshot's last_seq, and the next open deletes the residue. So
+// the file count stays bounded (snapshot + closed cap + active) over a
+// week-long run while total_events() is conserved exactly.
+//
+// Recovery: constructing over a directory with existing segments resumes —
+// seq continues, covered segments are deleted, torn closed segments are
+// repaired (complete lines + a freshly computed footer, atomically
+// rewritten), and appending continues in a new segment.
+//
+// Crash semantics: when a SimulatedCrash escapes any operation the ledger
+// poisons itself — every later call (including the destructor) is a no-op,
+// so the on-disk state stays exactly as the "dead process" left it. That is
+// what lets the soak harness sweep kills across every boundary and then
+// recover with a fresh instance.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/ledger.hpp"
+#include "storage/storage.hpp"
+
+namespace hoga::storage {
+
+struct SegmentedLedgerConfig {
+  /// Directory holding the segment files (created if missing).
+  std::string directory;
+  /// File-name prefix; one directory can host several ledgers.
+  std::string prefix = "ledger";
+  /// Roll the active segment once it holds at least this many bytes.
+  std::size_t max_segment_bytes = std::size_t{4} << 20;
+  /// Roll the active segment once it has been open this long (clock time);
+  /// 0 disables age-based rolling.
+  std::uint64_t max_segment_age_ns = 0;
+  /// Closed segments kept before the oldest are folded into the snapshot;
+  /// 0 disables compaction (file count then grows with the roll count).
+  std::size_t max_closed_segments = 8;
+  /// Timestamp source; defaults to the shared SteadyClock.
+  obs::Clock* clock = nullptr;
+};
+
+class SegmentedLedger final : public obs::LedgerSink {
+ public:
+  explicit SegmentedLedger(SegmentedLedgerConfig config);
+  ~SegmentedLedger() override;
+
+  SegmentedLedger(const SegmentedLedger&) = delete;
+  SegmentedLedger& operator=(const SegmentedLedger&) = delete;
+
+  /// Appends one event, rolling/compacting first when due. Thread-safe.
+  /// Real or injected append errors (ENOSPC) drop the event and count it —
+  /// a full disk degrades the ledger, it never takes down the service.
+  void event(const std::string& type,
+             std::vector<obs::LedgerField> fields) override;
+
+  /// Footers and fsyncs the active segment. Idempotent.
+  void close();
+
+  struct Stats {
+    long long events = 0;            // appended through this instance
+    long long rolls = 0;             // segment rotations
+    long long compactions = 0;       // snapshot folds
+    long long folded_events = 0;     // events absorbed by snapshots (total,
+                                     // including recovered prior state)
+    long long repaired_segments = 0; // torn segments re-footered on open
+    long long append_errors = 0;     // events dropped on append failure
+  };
+  Stats stats() const;
+
+  /// Ledger files currently on disk (active + closed + snapshot).
+  std::size_t file_count() const;
+
+  /// Seq the next event will carry (continues across recovery).
+  long long next_seq() const;
+
+  const SegmentedLedgerConfig& config() const { return config_; }
+
+  /// Everything read_dir recovered from a ledger directory.
+  struct ReadResult {
+    /// Live (not yet folded) events across all segments, in seq order.
+    std::vector<obs::LedgerEvent> events;
+    /// Events absorbed into the snapshot, with per-type counts (sorted).
+    long long folded_events = 0;
+    std::vector<std::pair<std::string, long long>> folded_by_type;
+    bool snapshot_present = false;
+    std::size_t segments = 0;        // segment files contributing events
+    std::size_t torn_segments = 0;   // segments recovered without a footer
+    std::size_t skipped_lines = 0;   // unparseable (torn/corrupt) lines
+    /// False when a closed segment's footer chain fails verification —
+    /// evidence of deletion/reordering/corruption among closed segments.
+    bool chain_valid = true;
+
+    /// Events ever appended: folded + live. Conserved across rotation and
+    /// compaction (the bounded-file-count soak asserts this).
+    long long total_events() const {
+      return folded_events + static_cast<long long>(events.size());
+    }
+  };
+
+  /// Recovers a ledger directory without mutating it: reads the snapshot,
+  /// every segment (torn tails tolerated and counted), skips folded
+  /// duplicates, and verifies the footer CRC chain.
+  static ReadResult read_dir(const std::string& directory,
+                             const std::string& prefix = "ledger");
+
+ private:
+  std::string segment_path(std::uint64_t index) const;
+  std::string snapshot_path() const;
+  void open_active_locked();
+  void roll_locked();
+  void compact_locked();
+  void append_line_locked(const std::string& line);
+  void write_footer_locked();
+
+  SegmentedLedgerConfig config_;
+  obs::Clock* clock_;
+  mutable std::mutex mu_;
+  std::unique_ptr<AppendFile> active_;
+  std::uint64_t active_index_ = 0;
+  std::uint64_t active_opened_ns_ = 0;
+  long long seq_ = 0;
+  // Per-active-segment footer state.
+  long long seg_events_ = 0;
+  std::uint32_t seg_crc_state_;
+  // Chain tail: the "chain" value of the last closed segment (or snapshot).
+  std::string chain_;
+  std::vector<std::uint64_t> closed_;  // closed segment indices, ascending
+  bool have_snapshot_ = false;
+  // Snapshot accumulator (carried across compactions).
+  long long snap_events_ = 0;
+  long long snap_last_seq_ = -1;
+  std::vector<std::pair<std::string, long long>> snap_by_type_;
+  bool crashed_ = false;  // a SimulatedCrash escaped; everything no-ops
+  bool closed_ledger_ = false;
+  Stats stats_;
+};
+
+}  // namespace hoga::storage

@@ -1,0 +1,306 @@
+#include "storage/storage.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/io.hpp"
+
+namespace hoga::storage {
+namespace {
+
+// Writes `content` (or an injected torn prefix of it) to `tmp`, flushing
+// before returning. Shared by atomic_write_durable; a torn write flushes the
+// prefix so the partial bytes are really on disk, then dies.
+void write_payload_or_die(const std::string& tmp, const std::string& target,
+                          std::string_view content) {
+  fault::maybe_fail_storage_write(target);  // injected ENOSPC: nothing lands
+  const double tear = fault::storage_tear_fraction();
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  HOGA_CHECK(out.good(), "atomic_write_durable: cannot open '" << tmp << "'");
+  const std::size_t n =
+      tear >= 0.0 ? static_cast<std::size_t>(
+                        static_cast<double>(content.size()) * tear)
+                  : content.size();
+  out.write(content.data(), static_cast<std::streamsize>(n));
+  out.flush();
+  if (!out.good()) {
+    out.close();
+    std::remove(tmp.c_str());
+    HOGA_CHECK(false,
+               "atomic_write_durable: write to '" << tmp << "' failed");
+  }
+  out.close();
+  if (tear >= 0.0) fault::storage_torn_write_crash(target);
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+FileIntegrity fail(std::string* why, std::string reason) {
+  if (why) *why = std::move(reason);
+  return FileIntegrity::kCorrupt;
+}
+
+// Verifies a "<magic> <version> <payload bytes> <crc32 hex>" header file by
+// streaming the payload through the incremental CRC. `expect_magic` empty
+// accepts any of the known magics.
+FileIntegrity verify_header_crc_file(const std::string& path,
+                                     const std::string& expect_magic,
+                                     std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return fail(why, "cannot open");
+  std::string header_line;
+  if (!std::getline(in, header_line)) return fail(why, "missing header line");
+  std::istringstream header(header_line);
+  std::string magic, version;
+  std::size_t payload_size = 0;
+  std::uint64_t expect_crc = 0;
+  header >> magic >> version >> payload_size >> std::hex >> expect_crc;
+  if (header.fail() || expect_crc > 0xFFFFFFFFull) {
+    return fail(why, "malformed header");
+  }
+  if (!expect_magic.empty() && magic != expect_magic) {
+    return fail(why, "magic is '" + magic + "', expected '" + expect_magic +
+                         "'");
+  }
+  std::uint32_t crc = util::crc32_init();
+  std::size_t seen = 0;
+  char buf[1 << 16];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    const auto got = static_cast<std::size_t>(in.gcount());
+    crc = util::crc32_update(crc, std::string_view(buf, got));
+    seen += got;
+    if (in.eof()) break;
+  }
+  if (seen != payload_size) {
+    std::ostringstream os;
+    os << "payload is " << seen << " bytes, header declares " << payload_size
+       << (seen < payload_size ? " (truncated write?)" : " (trailing junk)");
+    return fail(why, os.str());
+  }
+  if (util::crc32_final(crc) != static_cast<std::uint32_t>(expect_crc)) {
+    return fail(why, "CRC mismatch (corrupted payload)");
+  }
+  return FileIntegrity::kOk;
+}
+
+// Verifies a ledger segment: every complete line parses as a flat JSON
+// object; a footer, when present, must close the file with a matching event
+// count and CRC. A torn *final* line (no trailing newline) is crash
+// residue, not corruption.
+FileIntegrity verify_ledger_segment(const std::string& path,
+                                    std::string* why) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return fail(why, "cannot open");
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) return fail(why, "I/O error while reading");
+  const std::string text = os.str();
+  if (text.empty()) return FileIntegrity::kOk;  // just-rolled empty segment
+
+  const bool ends_newline = text.back() == '\n';
+  std::uint32_t crc = util::crc32_init();
+  long long events = 0;
+  bool saw_footer = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      // A torn final line — recoverable crash residue by construction
+      // (AppendFile writes one flushed record per line); anything after a
+      // footer is another story, caught below.
+      break;
+    }
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (saw_footer) {
+      return fail(why, "bytes after the footer");
+    }
+    auto parsed = obs::detail::parse_json_line(line);
+    if (!parsed) return fail(why, "unparseable event line");
+    const auto* type_m = parsed->find("type");
+    if (!type_m || type_m->has_object ||
+        !std::holds_alternative<std::string>(type_m->scalar)) {
+      return fail(why, "event line without a type");
+    }
+    if (std::get<std::string>(type_m->scalar) == "ledger.footer") {
+      saw_footer = true;
+      const auto* events_m = parsed->find("events");
+      const auto* crc_m = parsed->find("crc32");
+      char expect[9] = {0};
+      std::snprintf(expect, sizeof(expect), "%08x", util::crc32_final(crc));
+      const bool ok =
+          events_m && !events_m->has_object &&
+          std::holds_alternative<long long>(events_m->scalar) &&
+          std::get<long long>(events_m->scalar) == events && crc_m &&
+          !crc_m->has_object &&
+          std::holds_alternative<std::string>(crc_m->scalar) &&
+          std::get<std::string>(crc_m->scalar) == expect;
+      if (!ok) return fail(why, "footer count/CRC mismatch");
+      continue;
+    }
+    crc = util::crc32_update(crc, line + "\n");
+    ++events;
+  }
+  if (saw_footer && !ends_newline) {
+    return fail(why, "bytes after the footer");
+  }
+  if (!ends_newline && why) *why = "torn final line (recoverable)";
+  return FileIntegrity::kOk;
+}
+
+}  // namespace
+
+void atomic_write_durable(const std::string& path, std::string_view content) {
+  obs::count("storage.writes");
+  const std::string tmp = path + ".tmp";
+  try {
+    write_payload_or_die(tmp, path, content);
+    fault::storage_kill_point("storage.temp_written");
+    util::fsync_file(tmp);
+    fault::storage_kill_point("storage.temp_synced");
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      HOGA_CHECK(false, "atomic_write_durable: rename '" << tmp << "' -> '"
+                                                         << path
+                                                         << "' failed");
+    }
+    fault::storage_kill_point("storage.renamed");
+    util::fsync_parent_dir(path);
+    fault::storage_kill_point("storage.dir_synced");
+  } catch (const fault::SimulatedCrash&) {
+    throw;  // a crash leaves the filesystem as-is — that is the point
+  } catch (const std::exception&) {
+    obs::count("storage.write_errors");
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+AppendFile::AppendFile(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "ab");
+  HOGA_CHECK(file_ != nullptr, "AppendFile: cannot open '" << path << "'");
+}
+
+AppendFile::~AppendFile() {
+  if (file_) std::fclose(file_);
+}
+
+void AppendFile::append(std::string_view bytes) {
+  HOGA_CHECK(file_ != nullptr, "AppendFile: '" << path_ << "' is closed");
+  fault::maybe_fail_storage_write(path_);  // injected ENOSPC: nothing lands
+  const double tear = fault::storage_tear_fraction();
+  if (tear >= 0.0) {
+    const auto n = static_cast<std::size_t>(
+        static_cast<double>(bytes.size()) * tear);
+    std::fwrite(bytes.data(), 1, n, file_);
+    std::fflush(file_);
+    fault::storage_torn_write_crash(path_);
+  }
+  const std::size_t wrote = std::fwrite(bytes.data(), 1, bytes.size(), file_);
+  std::fflush(file_);
+  HOGA_CHECK(wrote == bytes.size(),
+             "AppendFile: short write to '" << path_ << "'");
+  bytes_written_ += wrote;
+}
+
+void AppendFile::sync() {
+  HOGA_CHECK(file_ != nullptr, "AppendFile: '" << path_ << "' is closed");
+  std::fflush(file_);
+  util::fsync_file(path_);
+}
+
+void AppendFile::close() {
+  if (!file_) return;
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+std::string encode_framed(std::string_view payload) {
+  std::ostringstream os;
+  os << "hoga-frame v1 " << payload.size() << ' ' << std::hex
+     << util::crc32(payload) << std::dec << '\n';
+  return os.str() + std::string(payload);
+}
+
+std::optional<std::string> decode_framed(std::string_view bytes,
+                                         std::string* why) {
+  auto reject = [&](std::string reason) -> std::optional<std::string> {
+    if (why) *why = std::move(reason);
+    return std::nullopt;
+  };
+  const std::size_t header_end = bytes.find('\n');
+  if (header_end == std::string_view::npos) {
+    return reject("missing header line");
+  }
+  std::istringstream header(std::string(bytes.substr(0, header_end)));
+  std::string magic, version;
+  std::size_t payload_size = 0;
+  std::uint64_t expect_crc = 0;
+  header >> magic >> version >> payload_size >> std::hex >> expect_crc;
+  if (header.fail() || magic != "hoga-frame") {
+    return reject("not a hoga-frame blob");
+  }
+  if (version != "v1") {
+    return reject("unsupported frame version '" + version + "'");
+  }
+  if (expect_crc > 0xFFFFFFFFull) return reject("bad crc in header");
+  const std::string_view payload = bytes.substr(header_end + 1);
+  if (payload.size() != payload_size) {
+    return reject("frame payload size mismatch (truncated write?)");
+  }
+  if (util::crc32(payload) != static_cast<std::uint32_t>(expect_crc)) {
+    return reject("frame CRC mismatch");
+  }
+  return std::string(payload);
+}
+
+const char* integrity_name(FileIntegrity v) {
+  switch (v) {
+    case FileIntegrity::kOk: return "ok";
+    case FileIntegrity::kCorrupt: return "corrupt";
+    case FileIntegrity::kUnrecognized: return "unrecognized";
+  }
+  return "unknown";
+}
+
+FileIntegrity verify_file_integrity(const std::string& path,
+                                    std::string* why) {
+  // Extension routes first (a corrupted header must not demote a shard to
+  // "unrecognized"), then magic sniffing for extension-less artifacts like
+  // checkpoints.
+  if (ends_with(path, ".seg")) return verify_ledger_segment(path, why);
+  if (ends_with(path, ".feat")) {
+    return verify_header_crc_file(path, "hoga-feat", why);
+  }
+  if (ends_with(path, ".snap")) {
+    return verify_header_crc_file(path, "hoga-frame", why);
+  }
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe.good()) return fail(why, "cannot open");
+  char head[11] = {0};
+  probe.read(head, sizeof(head) - 1);
+  const std::string_view sniff(head, static_cast<std::size_t>(probe.gcount()));
+  probe.close();
+  if (!sniff.empty() && sniff.front() == '{') {
+    return verify_ledger_segment(path, why);
+  }
+  for (const char* magic : {"hoga-feat ", "hoga-ckpt ", "hoga-frame"}) {
+    if (sniff.substr(0, std::string_view(magic).size()) == magic) {
+      return verify_header_crc_file(path, "", why);
+    }
+  }
+  if (why) *why = "unknown format";
+  return FileIntegrity::kUnrecognized;
+}
+
+}  // namespace hoga::storage

@@ -1,0 +1,128 @@
+#pragma once
+// hoga::storage — the unified crash-safe storage engine (DESIGN.md §12).
+//
+// Three persistence consumers grew their own atomic-write and CRC logic:
+// feature-store shards (§9), the run ledger (§10), and hoga-ckpt
+// checkpoints (§7). This subsystem puts one audited file primitive behind
+// all of them and makes its failure behaviour *testable*:
+//
+//   - atomic_write_durable: write temp → flush → fsync(temp) → rename →
+//     fsync(parent dir). Every boundary is a named fault kill-point
+//     (fault::storage_kill_point), so the soak harness (bench_storage) can
+//     sweep a simulated crash across every instant of the sequence and
+//     assert the destination always holds a complete old or complete new
+//     file — never a torn one. Payload writes additionally honour injected
+//     ENOSPC errors (clean rollback: temp removed, ordinary exception) and
+//     torn writes (prefix written, then SimulatedCrash).
+//
+//   - AppendFile: the durable append handle behind ledger segments — one
+//     write + flush per record, with the same ENOSPC/torn-write injection,
+//     so a crash leaves at most one torn final record (which readers
+//     already tolerate and count).
+//
+//   - CRC-framed records: "hoga-frame v1 <payload bytes> <crc32 hex>\n" +
+//     payload, the same header convention as hoga-feat and hoga-ckpt.
+//     encode_framed/decode_framed are used by ledger compaction snapshots
+//     and by anything that needs a small integrity-checked blob without
+//     inventing another format.
+//
+//   - verify_file_integrity: one check that understands all four on-disk
+//     artifact families (hoga-feat shards, hoga-ckpt checkpoints,
+//     hoga-frame blobs, ledger .seg segments). The scrubber
+//     (storage/scrubber.hpp) walks directories with it.
+//
+// Kill-point names, in the order atomic_write_durable crosses them:
+//   storage.temp_written  — temp file holds the full payload, not yet
+//                           synced; destination untouched
+//   storage.temp_synced   — temp durable; destination untouched
+//   storage.renamed       — destination points at the new content, but the
+//                           rename itself may not survive power loss
+//   storage.dir_synced    — everything durable; caller not yet notified
+// A crash at any of them must recover to "old complete file" or "new
+// complete file"; the sweep in bench_storage asserts exactly that.
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hoga::storage {
+
+/// Crash-safe, durable replacement of `path` (see file comment for the
+/// boundary sequence). Throws std::runtime_error on real or injected I/O
+/// errors after removing the temp file; throws fault::SimulatedCrash from
+/// kill-points and torn writes, leaving the filesystem exactly as a real
+/// crash would. Counts "storage.writes" / "storage.write_errors" on the
+/// ambient metrics.
+void atomic_write_durable(const std::string& path, std::string_view content);
+
+/// Durable append handle: open once, append records, close. Each append is
+/// one fwrite + fflush (a crash tears at most the final record). sync()
+/// additionally fsyncs — callers decide the durability/throughput tradeoff
+/// per record class (the segmented ledger syncs on segment close, not per
+/// event).
+class AppendFile {
+ public:
+  /// Opens `path` for appending, creating it if missing. Throws when the
+  /// file cannot be opened.
+  explicit AppendFile(const std::string& path);
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Appends `bytes` with ENOSPC/torn-write fault injection. A torn append
+  /// writes a prefix, flushes it, and dies via SimulatedCrash.
+  void append(std::string_view bytes);
+
+  /// fsyncs the file (no-op on platforms without fsync).
+  void sync();
+
+  /// Bytes appended through this handle (not the on-disk size — reopening
+  /// an existing file starts from the current size).
+  std::size_t bytes_written() const { return bytes_written_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Flushes and closes; idempotent. Further appends are errors.
+  void close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::size_t bytes_written_ = 0;
+};
+
+/// Wraps `payload` in a CRC frame:
+/// "hoga-frame v1 <payload bytes> <crc32 hex>\n" + payload.
+std::string encode_framed(std::string_view payload);
+
+/// Parses and verifies a frame; returns the payload, or nullopt (never
+/// throws) on a bad magic/version/size/CRC. `why` receives the reason.
+std::optional<std::string> decode_framed(std::string_view bytes,
+                                         std::string* why = nullptr);
+
+/// What verify_file_integrity concluded about one file.
+enum class FileIntegrity {
+  kOk,          // recognized format, all integrity checks pass
+  kCorrupt,     // recognized format, CRC/size/structure violated
+  kUnrecognized // not one of the storage engine's artifact families
+};
+const char* integrity_name(FileIntegrity v);
+
+/// Verifies one on-disk artifact:
+///   - "hoga-feat"/"hoga-ckpt"/"hoga-frame" header files: payload size and
+///     CRC32 against the header (streamed, so large checkpoints do not
+///     round-trip through a second copy);
+///   - ledger segments (first byte '{', or a ".seg" suffix): every line
+///     parses as a flat JSON object; a footer, when present, must carry the
+///     matching event count and CRC. A footer-less segment with parseable
+///     lines is OK (an in-flight or crash-torn active segment) unless its
+///     final line is garbage mid-file.
+/// Unreadable files are kCorrupt; unknown formats are kUnrecognized.
+/// `why` (optional) receives the failure reason.
+FileIntegrity verify_file_integrity(const std::string& path,
+                                    std::string* why = nullptr);
+
+}  // namespace hoga::storage

@@ -9,6 +9,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "storage/storage.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
 #include "util/io.hpp"
@@ -424,7 +425,7 @@ void FeatureStore::put(const FeatureKey& key, const core::HopFeatures& hops) {
   bool wrote = false;
   try {
     fault::maybe_fail_store_write(path);
-    util::atomic_write_file(path, encode_shard(key, hops));
+    storage::atomic_write_durable(path, encode_shard(key, hops));
     wrote = true;
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.shard_writes;

@@ -1,13 +1,16 @@
 #include "train/train_state.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
+#include "storage/storage.hpp"
 #include "tensor/arena.hpp"
 #include "util/check.hpp"
 #include "util/crc32.hpp"
@@ -251,7 +254,7 @@ void save_train_state_file(const nn::Module& model, const optim::Adam& opt,
                            const Rng& rng, const TrainState& state,
                            const std::string& path) {
   fault::maybe_fail_checkpoint_write(path);
-  util::atomic_write_file(path, save_train_state(model, opt, rng, state));
+  storage::atomic_write_durable(path, save_train_state(model, opt, rng, state));
 }
 
 TrainState load_train_state_file(nn::Module& model, optim::Adam& opt,
@@ -281,6 +284,49 @@ int save_train_state_file_with_retry(const nn::Module& model,
       backoff_ms = std::min(backoff_ms * 2.0, max_backoff_ms);
     }
   }
+}
+
+std::vector<std::pair<int, std::string>> list_checkpoints(
+    const std::string& base) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<int, std::string>> out;
+  const fs::path base_path(base);
+  const std::string stem = base_path.filename().string() + ".e";
+  fs::path dir = base_path.parent_path();
+  if (dir.empty()) dir = ".";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= stem.size() ||
+        name.compare(0, stem.size(), stem) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(stem.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    out.emplace_back(std::stoi(digits), entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::string> latest_checkpoint(const std::string& base) {
+  const auto found = list_checkpoints(base);
+  if (found.empty()) return std::nullopt;
+  return found.back().second;
+}
+
+int prune_checkpoints(const std::string& base, int keep_last) {
+  HOGA_CHECK(keep_last > 0, "prune_checkpoints: keep_last must be > 0");
+  const auto found = list_checkpoints(base);
+  int removed = 0;
+  if (found.size() <= static_cast<std::size_t>(keep_last)) return removed;
+  const std::size_t excess = found.size() - static_cast<std::size_t>(keep_last);
+  for (std::size_t i = 0; i < excess; ++i) {
+    std::error_code ec;
+    if (std::filesystem::remove(found[i].second, ec) && !ec) ++removed;
+  }
+  return removed;
 }
 
 std::vector<float> run_fault_tolerant_epochs(
@@ -344,13 +390,24 @@ std::vector<float> run_fault_tolerant_epochs(
     if (ckpt.every > 0 && !ckpt.path.empty() &&
         state.epoch % ckpt.every == 0) {
       obs::Span ckpt_span = obs::ambient_span("train.checkpoint");
+      const std::string target =
+          ckpt.keep_last > 0 ? ckpt.path + ".e" + std::to_string(state.epoch)
+                             : ckpt.path;
       const int retries = save_train_state_file_with_retry(
-          model, opt, rng, state, ckpt.path, ckpt.max_retries,
+          model, opt, rng, state, target, ckpt.max_retries,
           ckpt.backoff_initial_ms, ckpt.backoff_max_ms);
       local.checkpoint_retries += retries;
+      int pruned = 0;
+      if (ckpt.keep_last > 0) {
+        // Strictly after the newer checkpoint's durable write returned
+        // (atomic_write_durable fsyncs the file and its directory): a crash
+        // before this line leaves one extra checkpoint, never one fewer.
+        pruned = prune_checkpoints(ckpt.path, ckpt.keep_last);
+      }
       ckpt_span.end();
-      obs::ledger_event("train.checkpoint",
-                        {{"epoch", state.epoch}, {"retries", retries}});
+      obs::ledger_event("train.checkpoint", {{"epoch", state.epoch},
+                                             {"retries", retries},
+                                             {"pruned", pruned}});
     }
     epoch_span.end();
     obs::ledger_event("train.epoch",

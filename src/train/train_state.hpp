@@ -20,7 +20,9 @@
 // the learning rate, retry) — the trainers only supply the epoch body.
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -47,6 +49,12 @@ struct CheckpointConfig {
   bool recover_nonfinite = true;    // roll back + LR cut instead of diverging
   float rollback_lr_cut = 0.5f;     // LR multiplier applied per rollback
   int max_rollbacks = 8;            // divergence guard
+  /// 0 keeps the legacy behaviour: one file at `path`, overwritten each
+  /// checkpoint. N > 0 writes epoch-stamped files "<path>.e<epoch>" and
+  /// prunes to the newest N — and prunes only *after* the newer
+  /// checkpoint's durable write (fsync'd rename) returned, so a crash at
+  /// any instant leaves at least the previous N checkpoints intact.
+  int keep_last = 0;
 };
 
 /// Recovery/restart events observed by one run_fault_tolerant_epochs call.
@@ -81,6 +89,22 @@ int save_train_state_file_with_retry(const nn::Module& model,
                                      int max_attempts = 4,
                                      double initial_backoff_ms = 0.5,
                                      double max_backoff_ms = 50.0);
+
+// -- Checkpoint retention ---------------------------------------------------
+/// Epoch-stamped checkpoints "<base>.e<epoch>" next to `base`, sorted by
+/// epoch ascending. Files whose suffix is not a pure decimal epoch are
+/// ignored (quarantined or temp files never match).
+std::vector<std::pair<int, std::string>> list_checkpoints(
+    const std::string& base);
+
+/// Path of the newest epoch-stamped checkpoint, or nullopt when none exist.
+/// The resume entry point after a crash under keep_last retention.
+std::optional<std::string> latest_checkpoint(const std::string& base);
+
+/// Deletes all but the newest `keep_last` stamped checkpoints; returns how
+/// many files were removed. Callers must only invoke this after the
+/// checkpoint that justifies the pruning is durably on disk.
+int prune_checkpoints(const std::string& base, int keep_last);
 
 // -- Shared fault-tolerant epoch loop ---------------------------------------
 /// Runs `epoch_body` until `epochs` epochs have completed. The body runs one

@@ -50,6 +50,34 @@ void atomic_write_file(const std::string& path, const std::string& content) {
   }
 }
 
+void fsync_file(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  HOGA_CHECK(fd >= 0, "fsync_file: cannot open '" << path << "'");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  HOGA_CHECK(rc == 0, "fsync_file: fsync failed for '" << path << "'");
+#else
+  (void)path;
+#endif
+}
+
+void fsync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  HOGA_CHECK(fd >= 0, "fsync_parent_dir: cannot open '" << dir << "'");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  HOGA_CHECK(rc == 0, "fsync_parent_dir: fsync failed for '" << dir << "'");
+#else
+  (void)path;
+#endif
+}
+
 MappedFile::~MappedFile() {
 #if defined(__unix__) || defined(__APPLE__)
   if (data_ != nullptr) munmap(data_, size_);

@@ -20,7 +20,24 @@ std::string read_file(const std::string& path);
 /// Atomically replaces `path`: writes `content` to `path + ".tmp"`, flushes
 /// and closes it, then renames it over the target. Cleans up the temporary
 /// on failure.
+///
+/// NOTE: this is atomic with respect to crashes but not *durable* — nothing
+/// is fsynced, so a power loss shortly after can still lose the rename.
+/// Persistence consumers (shards, checkpoints, ledger snapshots) route
+/// through storage::atomic_write_durable instead, which adds the
+/// fsync-temp → rename → fsync-dir sequence plus fault-injection
+/// kill-points (DESIGN.md §12).
 void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Flushes a file's data and metadata to stable storage (POSIX fsync).
+/// Opens the path read-only to obtain a descriptor; throws when the file
+/// cannot be opened or synced. No-op on platforms without fsync.
+void fsync_file(const std::string& path);
+
+/// Flushes the directory entry *containing* `path`: after a rename, the new
+/// name itself is only durable once its parent directory is synced. Throws
+/// when the directory cannot be opened or synced; no-op without fsync.
+void fsync_parent_dir(const std::string& path);
 
 /// A file mapped into memory (copy-on-write private mapping, so callers may
 /// write the pages — e.g. fault injection flipping shard bytes — without

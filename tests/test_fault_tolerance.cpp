@@ -359,6 +359,157 @@ TEST_F(FaultToleranceFixture, InjectedReadErrorSurfaces) {
   EXPECT_EQ(inj.counts().checkpoint_read_errors, 1);
 }
 
+TEST_F(FaultToleranceFixture, RetentionKeepsLastNAndResumesFromLatest) {
+  const std::string base = "/tmp/hoga_test_retention.ckpt";
+  auto wipe = [&] {
+    for (const auto& [epoch, path] : list_checkpoints(base)) {
+      std::remove(path.c_str());
+    }
+  };
+  wipe();
+
+  Rng init(1);
+  core::Hoga model = make_hoga(init);
+  optim::Adam opt(model.parameters(), 1e-3f);
+  Rng rng(7);
+  CheckpointConfig ckpt;
+  ckpt.path = base;
+  ckpt.every = 1;
+  ckpt.keep_last = 2;
+  LoopStats stats;
+  const auto losses = run_fault_tolerant_epochs(
+      model, opt, rng, 5, ckpt,
+      [&](bool* ok) {
+        *ok = true;
+        return 0.5;
+      },
+      &stats);
+  EXPECT_EQ(losses.size(), 5u);
+
+  // Five checkpoints were written; only the newest two survive pruning, and
+  // the legacy single-file path was never touched.
+  const auto found = list_checkpoints(base);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].first, 4);
+  EXPECT_EQ(found[1].first, 5);
+  std::ifstream legacy(base);
+  EXPECT_FALSE(legacy.good());
+
+  const auto latest = latest_checkpoint(base);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, base + ".e5");
+
+  // The newest stamped checkpoint is a complete, loadable TrainState.
+  Rng init2(9);
+  core::Hoga probe = make_hoga(init2);
+  optim::Adam opt2(probe.parameters(), 1.f);
+  Rng rng2(0);
+  const TrainState st = load_train_state_file(probe, opt2, rng2, *latest);
+  EXPECT_EQ(st.epoch, 5);
+  EXPECT_EQ(st.epoch_losses.size(), 5u);
+  wipe();
+}
+
+// The crash-ordering guarantee: prune_checkpoints runs strictly *after* the
+// newer checkpoint's durable write returned. A crash at any kill-point of
+// the second checkpoint's write sequence must leave the previous survivor
+// on disk — before the rename lands we still have (only) the old file, after
+// it we briefly have both, never zero.
+TEST_F(FaultToleranceFixture, RetentionPrunesOnlyAfterDurableRename) {
+  const std::string base = "/tmp/hoga_test_retention_crash.ckpt";
+  auto wipe = [&] {
+    for (const auto& [epoch, path] : list_checkpoints(base)) {
+      std::remove(path.c_str());
+    }
+    std::remove((base + ".e2.tmp").c_str());
+  };
+  wipe();
+
+  CheckpointConfig ckpt;
+  ckpt.path = base;
+  ckpt.every = 1;
+  ckpt.keep_last = 1;
+
+  // Each checkpoint write crosses exactly four storage kill-points
+  // (temp_written, temp_synced, renamed, dir_synced), so slot 4 is the
+  // second checkpoint's temp_written and slot 6 its renamed boundary.
+  auto crash_at = [&](int kill_slot) {
+    fault::Injector inj;
+    inj.kill_at_storage_point(kill_slot);
+    fault::ScopedInjector scope(inj);
+    Rng init(1);
+    core::Hoga model = make_hoga(init);
+    optim::Adam opt(model.parameters(), 1e-3f);
+    Rng rng(7);
+    bool crashed = false;
+    try {
+      run_fault_tolerant_epochs(
+          model, opt, rng, 3, ckpt,
+          [&](bool* ok) {
+            *ok = true;
+            return 0.5;
+          },
+          nullptr);
+    } catch (const fault::SimulatedCrash&) {
+      crashed = true;
+    }
+    EXPECT_TRUE(crashed) << "kill slot " << kill_slot;
+    EXPECT_EQ(inj.counts().storage_kills, 1);
+  };
+
+  // Die while epoch 2's temp file is still unsynced: the epoch-1 survivor
+  // is intact and resumable; the half-written e2 never became visible.
+  crash_at(4);
+  {
+    const auto found = list_checkpoints(base);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].first, 1);
+    const auto latest = latest_checkpoint(base);
+    ASSERT_TRUE(latest.has_value());
+    EXPECT_EQ(*latest, base + ".e1");
+
+    // Recovery path: resume from the survivor and finish the run.
+    Rng init(1);
+    core::Hoga model = make_hoga(init);
+    optim::Adam opt(model.parameters(), 1e-3f);
+    Rng rng(7);
+    auto resume = ckpt;
+    resume.resume_from = *latest;
+    LoopStats stats;
+    const auto losses = run_fault_tolerant_epochs(
+        model, opt, rng, 3, resume,
+        [&](bool* ok) {
+          *ok = true;
+          return 0.5;
+        },
+        &stats);
+    EXPECT_EQ(stats.resumed_from_epoch, 1);
+    EXPECT_EQ(losses.size(), 3u);
+  }
+  wipe();
+
+  // Die right after epoch 2's rename but before the prune: BOTH stamped
+  // checkpoints are on disk — proof the old one is deleted only once the
+  // new one is durably in place.
+  crash_at(6);
+  {
+    const auto found = list_checkpoints(base);
+    ASSERT_EQ(found.size(), 2u);
+    EXPECT_EQ(found[0].first, 1);
+    EXPECT_EQ(found[1].first, 2);
+
+    // The just-renamed e2 is complete and loadable.
+    Rng init(3);
+    core::Hoga probe = make_hoga(init);
+    optim::Adam opt(probe.parameters(), 1.f);
+    Rng rng(0);
+    const TrainState st =
+        load_train_state_file(probe, opt, rng, base + ".e2");
+    EXPECT_EQ(st.epoch, 2);
+  }
+  wipe();
+}
+
 TEST_F(FaultToleranceFixture, NanGradientRollsBackWithLrCut) {
   Rng r1(1);
   core::Hoga a = make_hoga(r1);

@@ -354,5 +354,64 @@ TEST(Kernels, TransposeCacheMirrorsObsCounters) {
   cache.clear();
 }
 
+TEST(Kernels, TransposeCacheEvictsLruUnderByteBudget) {
+  auto& cache = graph::TransposeCache::global();
+  cache.clear();
+  obs::MetricsRegistry reg;
+  obs::ScopedObservability scoped({.metrics = &reg});
+
+  const auto a = std::make_shared<const graph::Csr>(
+      random_graph(30, 90, 77).normalized_row());
+  const auto b = std::make_shared<const graph::Csr>(
+      random_graph(31, 90, 78).normalized_row());
+  const auto c = std::make_shared<const graph::Csr>(
+      random_graph(32, 90, 79).normalized_row());
+
+  const auto ta1 = cache.get(a);
+  const std::size_t one_entry = cache.bytes();
+  ASSERT_GT(one_entry, 0u);
+  (void)cache.get(b);
+  // Pin the budget to the current two-entry residency (plus slack for C's
+  // slightly larger row_ptr), then touch A so B becomes the LRU victim.
+  cache.set_budget_bytes(cache.bytes() + 64);
+  (void)cache.get(a);
+  (void)cache.get(c);  // over budget: B (least recently used) is evicted
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(reg.counter("spmm.transpose_evictions").value(), 1);
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+
+  // A stayed resident (its re-request is a hit, not a rebuild)...
+  const long long misses_before = cache.stats().misses;
+  const auto ta2 = cache.get(a);
+  EXPECT_EQ(ta2.get(), ta1.get());
+  EXPECT_EQ(cache.stats().misses, misses_before);
+
+  // ...while B was truly dropped: re-requesting rebuilds it, and the
+  // rebuild is bit-identical to a direct transpose (eviction can never
+  // change numerics).
+  const auto tb = cache.get(b);
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+  const graph::Csr direct = b->transposed();
+  EXPECT_EQ(tb->row_ptr(), direct.row_ptr());
+  EXPECT_EQ(tb->col_idx(), direct.col_idx());
+  EXPECT_EQ(tb->values(), direct.values());
+
+  // A budget too small for even one graph still serves the caller: the
+  // entry just inserted is never its own victim.
+  cache.set_budget_bytes(1);
+  const auto ta3 = cache.get(a);
+  EXPECT_EQ(cache.entries(), 1u);
+  const graph::Csr direct_a = a->transposed();
+  EXPECT_EQ(ta3->row_ptr(), direct_a.row_ptr());
+  EXPECT_EQ(ta3->col_idx(), direct_a.col_idx());
+  EXPECT_EQ(ta3->values(), direct_a.values());
+  // Evicted-but-still-referenced transposes stay alive for their holders.
+  EXPECT_EQ(ta1->row_ptr(), direct_a.row_ptr());
+  cache.clear();
+  EXPECT_EQ(cache.budget_bytes(), graph::TransposeCache::kDefaultBudgetBytes);
+  (void)one_entry;
+}
+
 }  // namespace
 }  // namespace hoga

@@ -286,6 +286,76 @@ TEST(ObsTrace, BoundedBufferDropsOldest) {
   EXPECT_EQ(tr.dropped(), 0);
 }
 
+TEST(ObsTrace, SamplingKeepsDeterministicSubsetAndAllErrorSpans) {
+  const auto kept_names = [](std::uint64_t seed) {
+    obs::FakeClock clk;
+    obs::Tracer tr(&clk);
+    tr.set_sampling({.keep_one_in = 4, .seed = seed});
+    for (int i = 0; i < 40; ++i) {
+      obs::Span s = tr.span("s" + std::to_string(i));
+      if (i % 10 == 3) s.set_error("boom " + std::to_string(i));
+    }
+    std::vector<std::string> names;
+    for (const auto& rec : tr.finished()) names.push_back(rec.name);
+    return names;
+  };
+  const auto kept = kept_names(7);
+  // Deterministic: the identical scripted run keeps the identical subset.
+  EXPECT_EQ(kept, kept_names(7));
+  // 1-in-4 over 40 spans: a real subset survives, nowhere near all.
+  EXPECT_GT(kept.size(), 2u);
+  EXPECT_LT(kept.size(), 30u);
+  // Error spans are exempt from sampling — every one survived.
+  for (const char* err : {"s3", "s13", "s23", "s33"}) {
+    EXPECT_NE(std::find(kept.begin(), kept.end(), err), kept.end()) << err;
+  }
+  // A different seed keeps a different subset (of non-error spans).
+  EXPECT_NE(kept, kept_names(8));
+}
+
+TEST(ObsTrace, SamplingCountersTallyLocallyAndMirrorToAmbient) {
+  obs::MetricsRegistry reg;
+  obs::ScopedObservability scoped({.metrics = &reg});
+  obs::FakeClock clk;
+  obs::Tracer tr(&clk);
+  // Sampling off: no counters move, everything is kept.
+  {
+    obs::Span s = tr.span("unsampled");
+  }
+  EXPECT_EQ(tr.sampled(), 0);
+  EXPECT_EQ(tr.skipped(), 0);
+  EXPECT_EQ(reg.counter("trace.sampled").value(), 0);
+
+  tr.set_sampling({.keep_one_in = 3, .seed = 1});
+  for (int i = 0; i < 30; ++i) {
+    obs::Span s = tr.span("x");
+  }
+  EXPECT_EQ(tr.sampled() + tr.skipped(), 30);
+  EXPECT_GT(tr.sampled(), 0);
+  EXPECT_GT(tr.skipped(), 0);
+  EXPECT_EQ(reg.counter("trace.sampled").value(), tr.sampled());
+  EXPECT_EQ(reg.counter("trace.skipped").value(), tr.skipped());
+  // The buffer holds exactly the sampled spans (plus the pre-sampling one).
+  EXPECT_EQ(tr.size(), static_cast<std::size_t>(tr.sampled()) + 1u);
+  // An error span is always kept and counted as sampled.
+  const long long sampled_before = tr.sampled();
+  {
+    obs::Span s = tr.span("err");
+    s.set_error("exploded");
+  }
+  EXPECT_EQ(tr.sampled(), sampled_before + 1);
+  const auto spans = tr.finished();
+  EXPECT_EQ(spans.back().name, "err");
+  EXPECT_TRUE(spans.back().error);
+  ASSERT_FALSE(spans.back().attrs.empty());
+  EXPECT_EQ(spans.back().attrs[0].first, "error");
+  EXPECT_EQ(spans.back().attrs[0].second, "exploded");
+
+  tr.clear();
+  EXPECT_EQ(tr.sampled(), 0);
+  EXPECT_EQ(tr.skipped(), 0);
+}
+
 TEST(ObsTrace, ExportJsonlExactFormatAndDeterminism) {
   const auto run = [] {
     obs::FakeClock clk;

@@ -1,0 +1,461 @@
+// Storage-engine tests (DESIGN.md §12): the crash-safe durable write
+// primitive under a kill-point sweep, CRC-framed records, the segmented
+// ledger's rotation/compaction/recovery story (including the torn tail at a
+// rotation boundary), and the CRC scrubber's quarantine flow.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "fault/fault.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "storage/scrubber.hpp"
+#include "storage/segmented_ledger.hpp"
+#include "storage/storage.hpp"
+#include "util/io.hpp"
+
+namespace hoga::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name) : path("/tmp/hoga_test_" + name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string file(const std::string& name) const { return path + "/" + name; }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return "";
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// -- atomic_write_durable ----------------------------------------------------
+
+TEST(AtomicWriteDurable, ReplacesContentAndLeavesNoTemp) {
+  TempDir dir("awd_basic");
+  const std::string target = dir.file("blob");
+  atomic_write_durable(target, "first");
+  EXPECT_EQ(slurp(target), "first");
+  atomic_write_durable(target, "second");
+  EXPECT_EQ(slurp(target), "second");
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST(AtomicWriteDurable, KillSweepAlwaysLeavesACompleteFile) {
+  TempDir dir("awd_sweep");
+  const std::string target = dir.file("blob");
+  // The four boundaries of one durable write, in crossing order. A crash at
+  // or after the rename must expose the new content; before it, the old.
+  const char* points[] = {"storage.temp_written", "storage.temp_synced",
+                          "storage.renamed", "storage.dir_synced"};
+  for (int nth = 0; nth < 4; ++nth) {
+    atomic_write_durable(target, "old-complete");
+    fault::Injector inj(1);
+    inj.kill_at_storage_point(nth);
+    bool crashed = false;
+    {
+      fault::ScopedInjector scope(inj);
+      try {
+        atomic_write_durable(target, "new-complete");
+      } catch (const fault::SimulatedCrash& crash) {
+        crashed = true;
+        EXPECT_EQ(crash.point(), points[nth]) << "boundary " << nth;
+      }
+    }
+    ASSERT_TRUE(crashed) << "boundary " << nth;
+    EXPECT_EQ(inj.counts().storage_kills, 1);
+    const std::string after = slurp(target);
+    if (nth < 2) {
+      EXPECT_EQ(after, "old-complete") << "boundary " << nth;
+    } else {
+      EXPECT_EQ(after, "new-complete") << "boundary " << nth;
+    }
+    // Recovery is just the next write: it must land cleanly over whatever
+    // the crash left (including a stale .tmp).
+    atomic_write_durable(target, "recovered");
+    EXPECT_EQ(slurp(target), "recovered");
+    EXPECT_FALSE(fs::exists(target + ".tmp"));
+  }
+}
+
+TEST(AtomicWriteDurable, InjectedEnospcRollsBackCleanly) {
+  TempDir dir("awd_enospc");
+  const std::string target = dir.file("blob");
+  atomic_write_durable(target, "old-complete");
+  fault::Injector inj(1);
+  inj.fail_storage_write(0);
+  {
+    fault::ScopedInjector scope(inj);
+    EXPECT_THROW(atomic_write_durable(target, "new"), std::runtime_error);
+  }
+  EXPECT_EQ(inj.counts().storage_write_errors, 1);
+  EXPECT_EQ(slurp(target), "old-complete");
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST(AtomicWriteDurable, TornWriteDiesWithOldContentIntact) {
+  TempDir dir("awd_torn");
+  const std::string target = dir.file("blob");
+  atomic_write_durable(target, "old-complete");
+  fault::Injector inj(1);
+  inj.tear_storage_write(0, 0.5);
+  {
+    fault::ScopedInjector scope(inj);
+    EXPECT_THROW(atomic_write_durable(target, "new-complete-payload"),
+                 fault::SimulatedCrash);
+  }
+  EXPECT_EQ(inj.counts().storage_torn_writes, 1);
+  // The destination never saw the torn bytes — they stopped in the temp.
+  EXPECT_EQ(slurp(target), "old-complete");
+  const std::string torn = slurp(target + ".tmp");
+  EXPECT_EQ(torn, std::string("new-complete-payload").substr(0, torn.size()));
+  EXPECT_LT(torn.size(), std::string("new-complete-payload").size());
+  // Recovery overwrites the torn temp.
+  atomic_write_durable(target, "recovered");
+  EXPECT_EQ(slurp(target), "recovered");
+}
+
+// -- CRC frames --------------------------------------------------------------
+
+TEST(FramedRecords, RoundTripAndTamperRejection) {
+  const std::string payload = "snapshot body\nwith newlines\n";
+  std::string framed = encode_framed(payload);
+  std::string why;
+  auto decoded = decode_framed(framed, &why);
+  ASSERT_TRUE(decoded.has_value()) << why;
+  EXPECT_EQ(*decoded, payload);
+
+  // One flipped payload byte fails the CRC.
+  std::string tampered = framed;
+  tampered[framed.size() - 3] ^= 0x01;
+  EXPECT_FALSE(decode_framed(tampered, &why).has_value());
+  EXPECT_NE(why.find("CRC"), std::string::npos);
+
+  // Truncation fails the size check.
+  EXPECT_FALSE(
+      decode_framed(std::string_view(framed).substr(0, framed.size() - 1), &why)
+          .has_value());
+
+  // Wrong magic is recognized as "not a frame", not a crash.
+  EXPECT_FALSE(decode_framed("hoga-other v1 3 0\nabc", &why).has_value());
+}
+
+// -- verify_file_integrity ---------------------------------------------------
+
+TEST(VerifyFileIntegrity, ClassifiesAllArtifactFamilies) {
+  TempDir dir("verify");
+  std::string why;
+
+  // A framed snapshot round-trips as kOk and fails after a byte flip.
+  const std::string snap = dir.file("ledger.snap");
+  atomic_write_durable(snap, encode_framed("{\"type\":\"ledger.snapshot\"}\n"));
+  EXPECT_EQ(verify_file_integrity(snap, &why), FileIntegrity::kOk) << why;
+  {
+    std::string bytes = slurp(snap);
+    bytes[bytes.size() - 2] ^= 0x01;
+    atomic_write_durable(snap, bytes);
+  }
+  EXPECT_EQ(verify_file_integrity(snap, &why), FileIntegrity::kCorrupt);
+
+  // A header-CRC file (same convention as hoga-feat/hoga-ckpt) by magic
+  // sniff, without a routing extension.
+  const std::string ckpt = dir.file("model_ckpt");
+  atomic_write_durable(ckpt, encode_framed("payload"));
+  EXPECT_EQ(verify_file_integrity(ckpt, &why), FileIntegrity::kOk) << why;
+
+  // Ledger segments: complete lines are kOk; a torn final line is still kOk
+  // (recoverable crash residue); garbage mid-file is kCorrupt.
+  const std::string seg = dir.file("ledger.000001.seg");
+  atomic_write_durable(seg,
+                       "{\"seq\":0,\"ts_ns\":1,\"type\":\"a\"}\n"
+                       "{\"seq\":1,\"ts_ns\":2,\"type\":\"b\"}\n");
+  EXPECT_EQ(verify_file_integrity(seg, &why), FileIntegrity::kOk) << why;
+  atomic_write_durable(seg,
+                       "{\"seq\":0,\"ts_ns\":1,\"type\":\"a\"}\n"
+                       "{\"seq\":1,\"ts_n");  // torn tail, no newline
+  EXPECT_EQ(verify_file_integrity(seg, &why), FileIntegrity::kOk);
+  EXPECT_NE(why.find("torn"), std::string::npos);
+  atomic_write_durable(seg,
+                       "not json at all\n"
+                       "{\"seq\":1,\"ts_ns\":2,\"type\":\"b\"}\n");
+  EXPECT_EQ(verify_file_integrity(seg, &why), FileIntegrity::kCorrupt);
+
+  // Unknown formats are unrecognized, not corrupt.
+  const std::string other = dir.file("notes.txt");
+  atomic_write_durable(other, "plain text\n");
+  EXPECT_EQ(verify_file_integrity(other, &why), FileIntegrity::kUnrecognized);
+}
+
+// -- SegmentedLedger ---------------------------------------------------------
+
+SegmentedLedgerConfig small_ledger(const TempDir& dir, obs::Clock* clock,
+                                   std::size_t seg_bytes = 256,
+                                   std::size_t max_closed = 0) {
+  SegmentedLedgerConfig cfg;
+  cfg.directory = dir.path;
+  cfg.max_segment_bytes = seg_bytes;
+  cfg.max_closed_segments = max_closed;
+  cfg.clock = clock;
+  return cfg;
+}
+
+TEST(SegmentedLedger, RollsSegmentsAndChainsFooters) {
+  TempDir dir("segled_roll");
+  obs::FakeClock clk(1000, 10);
+  SegmentedLedger ledger(small_ledger(dir, &clk));
+  const int kEvents = 40;
+  for (int i = 0; i < kEvents; ++i) {
+    ledger.event("soak.tick", {{"i", i}});
+  }
+  ledger.close();
+  EXPECT_GT(ledger.stats().rolls, 1);
+  EXPECT_EQ(ledger.stats().events, kEvents);
+
+  const auto read = SegmentedLedger::read_dir(dir.path);
+  EXPECT_TRUE(read.chain_valid);
+  EXPECT_GT(read.segments, 1u);
+  EXPECT_EQ(read.torn_segments, 0u);
+  ASSERT_EQ(read.total_events(), kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(read.events[i].seq, i);
+    EXPECT_EQ(read.events[i].int_field("i"), i);
+  }
+
+  // Every segment file individually passes integrity verification.
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::string why;
+    EXPECT_EQ(verify_file_integrity(entry.path().string(), &why),
+              FileIntegrity::kOk)
+        << entry.path() << ": " << why;
+  }
+}
+
+TEST(SegmentedLedger, CompactionBoundsFileCountAndConservesEvents) {
+  TempDir dir("segled_compact");
+  obs::FakeClock clk(1000, 10);
+  SegmentedLedger ledger(small_ledger(dir, &clk, 256, /*max_closed=*/2));
+  const int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    ledger.event(i % 3 == 0 ? "soak.write" : "soak.tick", {{"i", i}});
+  }
+  EXPECT_GT(ledger.stats().compactions, 0);
+  EXPECT_GT(ledger.stats().folded_events, 0);
+  // Bounded residency: snapshot + closed cap + active.
+  EXPECT_LE(ledger.file_count(), 4u);
+  std::size_t on_disk = 0;
+  for (const auto& e : fs::directory_iterator(dir.path)) {
+    (void)e;
+    ++on_disk;
+  }
+  EXPECT_LE(on_disk, 4u);
+  ledger.close();
+
+  // Nothing was lost to rotation or compaction: folded + live == appended,
+  // and the per-type fold counts add up.
+  const auto read = SegmentedLedger::read_dir(dir.path);
+  EXPECT_TRUE(read.snapshot_present);
+  EXPECT_TRUE(read.chain_valid);
+  EXPECT_EQ(read.total_events(), kEvents);
+  long long folded_by_type = 0;
+  for (const auto& [type, n] : read.folded_by_type) {
+    EXPECT_TRUE(type == "soak.write" || type == "soak.tick");
+    folded_by_type += n;
+  }
+  EXPECT_EQ(folded_by_type, read.folded_events);
+  // Live events resume exactly after the folded prefix.
+  if (!read.events.empty()) {
+    EXPECT_EQ(read.events.front().seq, read.folded_events);
+    EXPECT_EQ(read.events.back().seq, kEvents - 1);
+  }
+}
+
+// The rotation-boundary satellite test: kill between segment roll and
+// footer write, then prove the prior segment's events survive recovery.
+TEST(SegmentedLedger, TornTailAcrossRotationBoundaryRecovers) {
+  TempDir dir("segled_torn_roll");
+  obs::FakeClock clk(1000, 10);
+  fault::Injector inj(1);
+  inj.kill_at_storage_point(0);  // first boundary crossed = first roll's
+                                 // "ledger.rolled" (no compaction configured)
+  int appended = 0;
+  bool crashed = false;
+  {
+    fault::ScopedInjector scope(inj);
+    SegmentedLedger ledger(small_ledger(dir, &clk));
+    try {
+      for (int i = 0; i < 40; ++i) {
+        ledger.event("soak.tick", {{"i", i}});
+        ++appended;
+      }
+    } catch (const fault::SimulatedCrash& crash) {
+      crashed = true;  // the event that triggered the roll died unappended
+      EXPECT_EQ(crash.point(), "ledger.rolled");
+    }
+    ASSERT_TRUE(crashed);
+    // The poisoned ledger is frozen: further events and even destruction
+    // must not touch the disk (the process is "dead").
+    ledger.event("soak.after_death", {});
+    EXPECT_EQ(ledger.stats().events, appended);
+  }
+
+  // The crash landed between opening segment 2 and footering segment 1:
+  // segment 1 holds every appended event but no footer.
+  auto read = SegmentedLedger::read_dir(dir.path);
+  EXPECT_EQ(read.total_events(), appended);
+  EXPECT_GE(read.torn_segments, 1u);
+  for (int i = 0; i < appended; ++i) EXPECT_EQ(read.events[i].seq, i);
+
+  // Recovery: a fresh instance re-footers the torn segment, resumes the
+  // seq, and the final directory reads back with a valid chain.
+  {
+    SegmentedLedger recovered(small_ledger(dir, &clk));
+    EXPECT_GE(recovered.stats().repaired_segments, 1);
+    EXPECT_EQ(recovered.next_seq(), appended);
+    for (int i = 0; i < 5; ++i) {
+      recovered.event("soak.recovered", {{"i", i}});
+    }
+    recovered.close();
+  }
+  read = SegmentedLedger::read_dir(dir.path);
+  EXPECT_TRUE(read.chain_valid);
+  EXPECT_EQ(read.torn_segments, 0u);
+  ASSERT_EQ(read.total_events(), appended + 5);
+  for (std::size_t i = 0; i < read.events.size(); ++i) {
+    EXPECT_EQ(read.events[i].seq, static_cast<long long>(i));
+  }
+  EXPECT_EQ(read.events.back().type, "soak.recovered");
+}
+
+TEST(SegmentedLedger, InjectedEnospcDropsEventAndKeepsGoing) {
+  TempDir dir("segled_enospc");
+  obs::FakeClock clk(1000, 10);
+  fault::Injector inj(1);
+  inj.fail_storage_write(2);  // third append dies
+  fault::ScopedInjector scope(inj);
+  SegmentedLedger ledger(small_ledger(dir, &clk, /*seg_bytes=*/1 << 20));
+  for (int i = 0; i < 10; ++i) {
+    ledger.event("soak.tick", {{"i", i}});
+  }
+  ledger.close();
+  EXPECT_EQ(ledger.stats().append_errors, 1);
+  EXPECT_EQ(inj.counts().storage_write_errors, 1);
+  const auto read = SegmentedLedger::read_dir(dir.path);
+  EXPECT_TRUE(read.chain_valid);
+  // Nine events landed. The dropped event's seq was reused by its successor
+  // (its line never reached the file), so the surviving stream is still
+  // contiguous and duplicate-free — never torn or reordered.
+  EXPECT_EQ(read.total_events(), 9);
+  std::set<long long> seqs;
+  for (const auto& e : read.events) seqs.insert(e.seq);
+  EXPECT_EQ(seqs.size(), read.events.size());
+  EXPECT_EQ(read.events.front().seq, 0);
+  EXPECT_EQ(read.events.back().seq, 8);
+}
+
+TEST(SegmentedLedger, ServesAsAmbientLedgerSink) {
+  TempDir dir("segled_ambient");
+  obs::FakeClock clk(1000, 10);
+  SegmentedLedger ledger(small_ledger(dir, &clk, /*seg_bytes=*/1 << 20));
+  {
+    obs::Observability ctx;
+    ctx.ledger = &ledger;
+    obs::ScopedObservability scope(ctx);
+    obs::ledger_event("ambient.test", {{"ok", true}});
+  }
+  ledger.close();
+  const auto read = SegmentedLedger::read_dir(dir.path);
+  ASSERT_EQ(read.total_events(), 1);
+  EXPECT_EQ(read.events[0].type, "ambient.test");
+}
+
+// -- Scrubber ----------------------------------------------------------------
+
+TEST(Scrubber, QuarantinesCorruptFilesAndCountsTheRest) {
+  TempDir dir("scrub");
+  // Clean framed blob, clean segment, corrupt shard-style file, unknown.
+  atomic_write_durable(dir.file("ok.snap"), encode_framed("payload"));
+  atomic_write_durable(dir.file("ledger.000001.seg"),
+                       "{\"seq\":0,\"ts_ns\":1,\"type\":\"a\"}\n");
+  atomic_write_durable(dir.file("rotted.feat"),
+                       "hoga-feat v1 5 deadbeef\nhello");
+  atomic_write_durable(dir.file("notes.txt"), "plain\n");
+
+  obs::MetricsRegistry reg;
+  TempDir ledger_dir("scrub_ledger");
+  obs::FakeClock clk(1000, 10);
+  SegmentedLedger audit(
+      {.directory = ledger_dir.path, .clock = &clk});
+  obs::Observability ctx;
+  ctx.metrics = &reg;
+  ctx.ledger = &audit;
+  obs::ScopedObservability scope(ctx);
+
+  ScrubConfig cfg;
+  cfg.directories = {dir.path, "/tmp/hoga_test_scrub_missing_dir"};
+  Scrubber scrubber(cfg);
+  scrubber.scrub_pass();
+
+  const ScrubStats stats = scrubber.stats();
+  EXPECT_EQ(stats.passes, 1);
+  EXPECT_EQ(stats.files_scanned, 4);
+  EXPECT_EQ(stats.clean, 2);
+  EXPECT_EQ(stats.corrupt, 1);
+  EXPECT_EQ(stats.quarantined, 1);
+  EXPECT_EQ(stats.unrecognized, 1);
+  EXPECT_EQ(reg.counter("storage.scrub_corrupt").value(), 1);
+
+  // The corrupt file moved aside — consumers now get a loud absence (and
+  // the feature store heals one by recomputing the shard).
+  EXPECT_FALSE(fs::exists(dir.file("rotted.feat")));
+  EXPECT_TRUE(fs::exists(dir.file("rotted.feat.quarantine")));
+
+  // The quarantine action is on the audit ledger.
+  audit.close();
+  const auto read = SegmentedLedger::read_dir(ledger_dir.path);
+  ASSERT_EQ(read.total_events(), 1);
+  EXPECT_EQ(read.events[0].type, "storage.quarantine");
+  EXPECT_NE(read.events[0].string_field("path").find("rotted.feat"),
+            std::string::npos);
+
+  // A second pass skips the quarantined file entirely.
+  scrubber.scrub_pass();
+  const ScrubStats again = scrubber.stats();
+  EXPECT_EQ(again.passes, 2);
+  EXPECT_EQ(again.files_scanned, 7);  // 3 remaining files re-scanned
+  EXPECT_EQ(again.corrupt, 1);        // unchanged
+}
+
+TEST(Scrubber, ByteBudgetSpreadsAPassAcrossTicks) {
+  TempDir dir("scrub_budget");
+  for (int i = 0; i < 4; ++i) {
+    atomic_write_durable(dir.file("blob" + std::to_string(i) + ".snap"),
+                         encode_framed("payload-" + std::to_string(i)));
+  }
+  ScrubConfig cfg;
+  cfg.directories = {dir.path};
+  cfg.budget_bytes_per_tick = 1;  // every file overshoots: one file per tick
+  Scrubber scrubber(cfg);
+  for (int tick = 0; tick < 4; ++tick) {
+    EXPECT_EQ(scrubber.tick(), 1u);
+  }
+  const ScrubStats stats = scrubber.stats();
+  EXPECT_EQ(stats.files_scanned, 4);
+  EXPECT_EQ(stats.clean, 4);
+  EXPECT_EQ(stats.passes, 1);  // the queue drained exactly at the 4th tick
+}
+
+}  // namespace
+}  // namespace hoga::storage
