@@ -1,0 +1,253 @@
+// Distributed-training soak harness (DESIGN.md §13): seeded kill / rejoin /
+// transport-fault sweeps against hoga::dist. The smoke run doubles as a
+// tier-1 test — it fails loudly if any acceptance invariant is violated:
+//
+//   - zero divergence: every configuration (any worker count, any healed
+//     fault schedule) ends with a final replica state that is BYTE-identical
+//     to the single-process reference's hoga-ckpt v2 string, with identical
+//     per-epoch losses;
+//   - kill/rejoin: a worker SIGKILLed mid-epoch is detected, its shards are
+//     re-assigned by rendezvous, every replica rolls back to the durable
+//     checkpoint, a replacement is re-forked and re-admitted, and the replay
+//     converges to the same bytes — with the recovery visible in the
+//     accounting (recoveries, respawns, worker_failures, recovery_seconds);
+//   - survivors-only: the same death with respawning disabled finishes on
+//     the remaining workers, still bit-exact;
+//   - transport faults: dropped frames, CRC-corrupted frames, and delayed
+//     frames are absorbed by the ack/NAK/retransmit layer without a single
+//     recovery event, still bit-exact.
+//
+// Emits BENCH_dist.json (scenario -> {throughput, ...}) for
+// scripts/perf_diff.py; "throughput" is trained rows per wall second,
+// including any rollback/replay cost the scenario's faults caused.
+//
+// Usage: bench_dist [--smoke] [--full] [--seed=N] [--out=path.json]
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/reasoning_dataset.hpp"
+#include "dist/dist.hpp"
+#include "dist/sharding.hpp"
+#include "fault/fault.hpp"
+#include "reasoning/features.hpp"
+#include "util/timer.hpp"
+
+using namespace hoga;
+
+namespace {
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path("/tmp/hoga_bench_dist_" + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+struct Scenario {
+  std::string name;
+  dist::DistResult result;
+  bool bit_exact = false;    // final_state == reference final_state
+  bool losses_exact = false; // per-epoch losses identical to reference
+  double throughput = 0;     // trained rows / wall second
+};
+
+std::int64_t steps_per_epoch(std::int64_t rows, const dist::DistConfig& cfg) {
+  const auto shards = dist::make_shards(rows, cfg.num_shards, /*digest=*/0);
+  std::int64_t max_rows = 0;
+  for (const auto& s : shards) max_rows = std::max(max_rows, s.rows());
+  return (max_rows + cfg.batch_size - 1) / cfg.batch_size;
+}
+
+Scenario run_scenario(const std::string& name,
+                      const core::HogaConfig& model_cfg,
+                      const data::ReasoningGraph& g,
+                      const dist::DistConfig& cfg,
+                      const dist::DistResult& reference) {
+  Scenario s;
+  s.name = name;
+  s.result = dist::run_distributed(model_cfg, *g.adj_hop, g.features,
+                                   g.labels, cfg);
+  s.bit_exact = s.result.final_state == reference.final_state;
+  s.losses_exact = s.result.epoch_losses == reference.epoch_losses;
+  const double rows_trained =
+      static_cast<double>(cfg.epochs) * static_cast<double>(g.features.size(0));
+  s.throughput = s.result.seconds > 0 ? rows_trained / s.result.seconds : 0;
+  std::printf("%-28s w=%d  %s  loss[0]=%.4f  recov=%d respawn=%d "
+              "retx=%lld nak=%lld  %.0f rows/s (%.2fs)\n",
+              name.c_str(), cfg.workers,
+              s.bit_exact ? "bit-exact" : "DIVERGED ",
+              s.result.epoch_losses.empty() ? 0.f : s.result.epoch_losses[0],
+              s.result.recoveries, s.result.respawns, s.result.retransmits,
+              s.result.naks, s.throughput, s.result.seconds);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const auto seed =
+      static_cast<std::uint64_t>(bench::int_option(argc, argv, "--seed", 11));
+  const std::string out_path =
+      bench::str_option(argc, argv, "--out", "BENCH_dist.json");
+
+  const auto g =
+      data::make_reasoning_graph("csa", full ? 6 : 4, /*mapped=*/false);
+  const core::HogaConfig model_cfg{.in_dim = reasoning::kNodeFeatureDim,
+                                   .hidden = 8,
+                                   .num_hops = 3,
+                                   .num_layers = 1,
+                                   .out_dim = 4};
+
+  TempDir dir("soak");
+  dist::DistConfig base;
+  base.workers = 2;
+  base.epochs = full ? 4 : 3;
+  base.num_shards = full ? 8 : 4;
+  base.batch_size = 16;
+  base.lr = 5e-3f;
+  base.seed = seed;
+  base.checkpoint_path = dir.path + "/ckpt.bin";
+  base.checkpoint_every = 1;
+  base.heartbeat_timeout_ms = 8000;
+
+  const std::int64_t steps = steps_per_epoch(g.features.size(0), base);
+  std::printf("dataset: %lld nodes, %d shards, %lld steps/epoch, %d epochs\n",
+              static_cast<long long>(g.features.size(0)), base.num_shards,
+              static_cast<long long>(steps), base.epochs);
+
+  std::puts("\n=== reference (single process, identical schedule) ===");
+  Timer ref_t;
+  const dist::DistResult reference =
+      dist::run_reference(model_cfg, *g.adj_hop, g.features, g.labels, base);
+  std::printf("reference: loss %.4f -> %.4f (%.2fs)\n",
+              reference.epoch_losses.front(), reference.epoch_losses.back(),
+              ref_t.seconds());
+
+  std::puts("\n=== scenarios ===");
+  std::vector<Scenario> scenarios;
+
+  // Clean runs: worker-count invariance of the final bytes.
+  for (int w : smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4}) {
+    dist::DistConfig cfg = base;
+    cfg.workers = w;
+    scenarios.push_back(run_scenario("clean_w" + std::to_string(w), model_cfg,
+                                     g, cfg, reference));
+  }
+
+  // Mid-epoch SIGKILL of one worker, replacement re-forked and re-admitted.
+  const Scenario* killed = nullptr;
+  {
+    dist::DistConfig cfg = base;
+    cfg.workers = smoke ? 2 : 4;
+    fault::Injector inj(seed);
+    inj.kill_worker_at_step(/*rank=*/1, /*global_step=*/1 * steps + 1);
+    fault::ScopedInjector scope(inj);
+    scenarios.push_back(run_scenario("kill_rejoin_w" +
+                                         std::to_string(cfg.workers),
+                                     model_cfg, g, cfg, reference));
+    killed = &scenarios.back();
+  }
+
+  // Same death, respawning disabled: the survivors finish the run.
+  const Scenario* survivors = nullptr;
+  if (!smoke) {
+    dist::DistConfig cfg = base;
+    cfg.workers = 3;
+    cfg.respawn_dead_workers = false;
+    fault::Injector inj(seed + 1);
+    inj.kill_worker_at_step(/*rank=*/2, /*global_step=*/1 * steps);
+    fault::ScopedInjector scope(inj);
+    scenarios.push_back(
+        run_scenario("kill_no_respawn_w3", model_cfg, g, cfg, reference));
+    survivors = &scenarios.back();
+  }
+
+  // Transport-fault sweep: drops, CRC corruption, delays — absorbed by the
+  // wire layer, never escalated to a recovery.
+  const Scenario* transport = nullptr;
+  {
+    dist::DistConfig cfg = base;
+    cfg.workers = 2;
+    fault::Injector inj(seed + 2);
+    inj.drop_message(2);
+    inj.corrupt_frame(5);
+    inj.delay_message(8, 30);
+    if (full) {
+      inj.drop_message(12);
+      inj.corrupt_frame(17);
+    }
+    fault::ScopedInjector scope(inj);
+    scenarios.push_back(
+        run_scenario("transport_faults_w2", model_cfg, g, cfg, reference));
+    transport = &scenarios.back();
+  }
+
+  // -- Acceptance checks -----------------------------------------------------
+  std::puts("\n-- acceptance checks --");
+  int violations = 0;
+  const auto require = [&violations](bool ok, const char* what) {
+    std::printf("%-64s %s\n", what, ok ? "ok" : "VIOLATED");
+    if (!ok) ++violations;
+  };
+
+  bool all_exact = true;
+  for (const auto& s : scenarios) {
+    all_exact = all_exact && s.bit_exact && s.losses_exact;
+  }
+  require(all_exact,
+          "every scenario matches the reference byte-for-byte");
+  require(killed->result.recoveries == 1 && killed->result.respawns == 1 &&
+              killed->result.scaling.worker_failures == 1 &&
+              killed->result.scaling.recovery_seconds > 0,
+          "mid-epoch kill healed by one rollback + one respawn");
+  if (survivors) {
+    require(survivors->result.recoveries == 1 &&
+                survivors->result.respawns == 0,
+            "respawn-disabled death finished on the survivors");
+  }
+  require(transport->result.recoveries == 0 &&
+              (transport->result.retransmits > 0 || transport->result.naks > 0),
+          "transport faults absorbed by retransmit, zero recoveries");
+
+  // -- Machine-readable results (scenario -> metrics, perf_diff format) ------
+  {
+    std::ofstream out(out_path, std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"dist\",\n"
+        << "  \"mode\": \"" << (full ? "full" : smoke ? "smoke" : "default")
+        << "\",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"violations\": " << violations;
+    for (const auto& s : scenarios) {
+      out << ",\n  \"" << s.name << "\": {"
+          << "\"throughput\": " << s.throughput
+          << ", \"seconds\": " << s.result.seconds
+          << ", \"recoveries\": " << s.result.recoveries
+          << ", \"respawns\": " << s.result.respawns
+          << ", \"retransmits\": " << s.result.retransmits
+          << ", \"naks\": " << s.result.naks
+          << ", \"bytes_sent\": " << s.result.bytes_sent
+          << ", \"divergence\": " << (s.bit_exact && s.losses_exact ? 0 : 1)
+          << "}";
+    }
+    out << "\n}\n";
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  if (violations > 0) {
+    std::printf("\n%d acceptance check(s) VIOLATED\n", violations);
+    return 1;
+  }
+  std::puts("\nall acceptance checks passed");
+  return 0;
+}

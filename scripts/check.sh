@@ -2,18 +2,23 @@
 # Full local gate: plain build + tests, then an address/UB-sanitizer build
 # + tests. Both passes run the whole ctest suite, which includes the
 # feature-store tests (test_store.cpp), the storage-engine tests
-# (test_storage.cpp), and the bench_store / bench_serving / bench_obs /
-# bench_storage smoke acceptance runs. The serving runtime, the feature
-# store, the storage engine (background scrubber thread, segmented-ledger
-# appends racing read_dir recovery in the soak), and the observability
-# layer (atomic metric cells, thread-local span stacks, cross-thread clock
+# (test_storage.cpp), the distributed-runtime tests (test_dist.cpp), and
+# the bench_store / bench_serving / bench_obs / bench_storage / bench_dist
+# smoke acceptance runs. The serving runtime, the feature store, the
+# storage engine (background scrubber thread, segmented-ledger appends
+# racing read_dir recovery in the soak), and the observability layer
+# (atomic metric cells, thread-local span stacks, cross-thread clock
 # handoff) are heavily multi-threaded, so the sanitizer pass is not
 # optional before merging changes to src/serve, src/store, src/storage,
 # src/obs, src/util, or src/fault — nor for src/tensor (the
 # blocked kernels and the bump arena: packing index math, Scratch LIFO
 # lifetimes, and uninitialized Tensor::empty storage are exactly what
 # asan/ubsan exist to catch; bench_kernels_smoke re-checks kernel parity
-# under both builds).
+# under both builds). src/dist is on the same must-sanitize list: the
+# coordinator multiplexes live worker channels while forked children share
+# the wire codec, and the kill/rejoin soak (bench_dist_smoke) exercises
+# fork/SIGKILL/flock paths where asan/ubsan catch use-after-close and
+# framing arithmetic bugs the happy path never hits.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 

@@ -1,27 +1,45 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_kernels.json runs and flag regressions.
+"""Compare two bench JSON runs and flag regressions.
 
 Usage: scripts/perf_diff.py BASELINE.json CURRENT.json [--threshold=0.10]
 
-Each file is the output of `bench_kernels --out=...`: a flat object mapping
-kernel names to {"gflops", "best_ms", "p50_ms", "p95_ms"}. A kernel has
-regressed when its current best-iteration GFLOP/s is more than `threshold`
-(default 10%) below the baseline's. Kernels present in only one file are
-reported but are not failures (benches gain cases over time). Exits 1 if
-any kernel regressed, 0 otherwise — wire it between two bench runs to gate
-a perf-sensitive change.
+Each file is the output of a bench binary's `--out=...`: an object mapping
+case names to metric objects. Two formats are understood:
+
+  BENCH_kernels.json  {"gemm": {"gflops": ..., "best_ms": ...}, ...}
+  BENCH_dist.json     {"clean_w4": {"throughput": ...}, ...}
+
+The compared metric is "gflops" when an entry has one, else "throughput"
+(rows/s); both are higher-is-better. Top-level metadata entries that are
+not objects with either key ("bench", "seed", ...) are skipped. A case has
+regressed when its current metric is more than `threshold` (default 10%)
+below the baseline's. Cases present in only one file are reported but are
+not failures (benches gain cases over time). Exits 1 if any case
+regressed, 0 otherwise — wire it between two bench runs to gate a
+perf-sensitive change.
 """
 
 import json
 import sys
+
+METRICS = ("gflops", "throughput")
+
+
+def metric_of(entry):
+    if isinstance(entry, dict):
+        for key in METRICS:
+            if key in entry:
+                return entry[key]
+    return None
 
 
 def load(path):
     with open(path) as f:
         data = json.load(f)
     if not isinstance(data, dict):
-        raise SystemExit(f"{path}: expected a JSON object of kernel results")
-    return data
+        raise SystemExit(f"{path}: expected a JSON object of bench results")
+    return {name: metric_of(entry) for name, entry in data.items()
+            if metric_of(entry) is not None}
 
 
 def main(argv):
@@ -38,27 +56,27 @@ def main(argv):
 
     base, cur = load(paths[0]), load(paths[1])
     regressions = []
-    print(f"{'kernel':<20} {'base GFLOP/s':>13} {'cur GFLOP/s':>13} {'delta':>8}")
+    print(f"{'case':<24} {'base':>13} {'current':>13} {'delta':>8}")
     for name in sorted(set(base) | set(cur)):
         if name not in base:
-            print(f"{name:<20} {'-':>13} {cur[name]['gflops']:>13.2f}   (new)")
+            print(f"{name:<24} {'-':>13} {cur[name]:>13.2f}   (new)")
             continue
         if name not in cur:
-            print(f"{name:<20} {base[name]['gflops']:>13.2f} {'-':>13}   (gone)")
+            print(f"{name:<24} {base[name]:>13.2f} {'-':>13}   (gone)")
             continue
-        b, c = base[name]["gflops"], cur[name]["gflops"]
+        b, c = base[name], cur[name]
         delta = (c - b) / b if b > 0 else 0.0
         flag = ""
         if delta < -threshold:
             regressions.append(name)
             flag = "  REGRESSED"
-        print(f"{name:<20} {b:>13.2f} {c:>13.2f} {delta:>+7.1%}{flag}")
+        print(f"{name:<24} {b:>13.2f} {c:>13.2f} {delta:>+7.1%}{flag}")
 
     if regressions:
-        print(f"\n{len(regressions)} kernel(s) regressed more than "
+        print(f"\n{len(regressions)} case(s) regressed more than "
               f"{threshold:.0%}: {', '.join(regressions)}")
         return 1
-    print(f"\nno kernel regressed more than {threshold:.0%}")
+    print(f"\nno case regressed more than {threshold:.0%}")
     return 0
 
 

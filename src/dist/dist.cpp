@@ -1,0 +1,658 @@
+#include "dist/dist.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <optional>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "autograd/ops.hpp"
+#include "core/hop_features.hpp"
+#include "dist/sharding.hpp"
+#include "fault/fault.hpp"
+#include "obs/obs.hpp"
+#include "optim/optim.hpp"
+#include "store/digest.hpp"
+#include "store/feature_store.hpp"
+#include "train/train_state.hpp"
+#include "util/check.hpp"
+#include "util/digest.hpp"
+#include "util/timer.hpp"
+
+namespace hoga::dist {
+
+namespace {
+
+// ---- payload (de)serialization -------------------------------------------
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get(const char*& p, const char* end) {
+  HOGA_CHECK(p + sizeof(T) <= end, "dist: truncated payload");
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+/// One shard's contribution to one step: RAW (unweighted) gradients in
+/// parameter order plus the shard batch's mean loss and row count.
+struct ShardStep {
+  int shard_id = 0;
+  std::int64_t rows = 0;
+  float loss = 0;
+  std::vector<float> grads;
+};
+
+std::string encode_shard_grads(const std::vector<ShardStep>& v) {
+  std::string out;
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(v.size()));
+  for (const auto& s : v) {
+    put<std::int32_t>(out, s.shard_id);
+    put<std::int64_t>(out, s.rows);
+    put<float>(out, s.loss);
+    put<std::uint64_t>(out, s.grads.size());
+    out.append(reinterpret_cast<const char*>(s.grads.data()),
+               s.grads.size() * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<ShardStep> decode_shard_grads(const std::string& p) {
+  const char* it = p.data();
+  const char* end = p.data() + p.size();
+  const auto n = get<std::uint32_t>(it, end);
+  std::vector<ShardStep> v(n);
+  for (auto& s : v) {
+    s.shard_id = get<std::int32_t>(it, end);
+    s.rows = get<std::int64_t>(it, end);
+    s.loss = get<float>(it, end);
+    const auto nf = get<std::uint64_t>(it, end);
+    HOGA_CHECK(it + nf * sizeof(float) <= end, "dist: truncated grads");
+    s.grads.resize(nf);
+    std::memcpy(s.grads.data(), it, nf * sizeof(float));
+    it += nf * sizeof(float);
+  }
+  return v;
+}
+
+std::string encode_apply(const std::vector<float>& flat) {
+  std::string out;
+  put<std::uint64_t>(out, flat.size());
+  out.append(reinterpret_cast<const char*>(flat.data()),
+             flat.size() * sizeof(float));
+  return out;
+}
+
+std::vector<float> decode_apply(const std::string& p) {
+  const char* it = p.data();
+  const char* end = p.data() + p.size();
+  const auto nf = get<std::uint64_t>(it, end);
+  HOGA_CHECK(it + nf * sizeof(float) <= end, "dist: truncated apply");
+  std::vector<float> flat(nf);
+  std::memcpy(flat.data(), it, nf * sizeof(float));
+  return flat;
+}
+
+std::string encode_restore(const std::vector<int>& owners,
+                           const std::string& state) {
+  std::string out;
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(owners.size()));
+  for (int o : owners) put<std::int32_t>(out, o);
+  put<std::uint64_t>(out, state.size());
+  out.append(state);
+  return out;
+}
+
+void decode_restore(const std::string& p, std::vector<int>* owners,
+                    std::string* state) {
+  const char* it = p.data();
+  const char* end = p.data() + p.size();
+  const auto n = get<std::uint32_t>(it, end);
+  owners->resize(n);
+  for (auto& o : *owners) o = get<std::int32_t>(it, end);
+  const auto len = get<std::uint64_t>(it, end);
+  HOGA_CHECK(it + len <= end, "dist: truncated restore state");
+  state->assign(it, len);
+}
+
+// ---- the deterministic logical schedule ----------------------------------
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t tag,
+                          std::int64_t a, std::int64_t b, std::int64_t c) {
+  util::Digest d;
+  d.update_value(seed);
+  d.update_value(tag);
+  d.update_value(a);
+  d.update_value(b);
+  d.update_value(c);
+  return d.value();
+}
+
+std::int64_t steps_per_epoch(const std::vector<Shard>& shards,
+                             std::int64_t batch_size) {
+  std::int64_t max_rows = 0;
+  for (const auto& s : shards) max_rows = std::max(max_rows, s.rows());
+  return (max_rows + batch_size - 1) / batch_size;
+}
+
+std::int64_t total_param_floats(const optim::Adam& opt) {
+  std::int64_t n = 0;
+  for (const auto& p : opt.params()) n += p.numel();
+  return n;
+}
+
+/// The per-shard batch order for one epoch: the shard's node ids shuffled
+/// by an Rng derived from (seed, epoch, shard) — never from the worker
+/// that happens to run it.
+std::vector<std::int64_t> shard_epoch_order(const Shard& shard,
+                                            std::uint64_t seed, int epoch) {
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(shard.rows()));
+  std::iota(ids.begin(), ids.end(), shard.begin);
+  Rng order_rng(derive_seed(seed, /*tag=*/1, epoch, shard.id, 0));
+  order_rng.shuffle(ids);
+  return ids;
+}
+
+/// Forward/backward for one (shard, epoch, step) batch. Reads the current
+/// replica parameters, never steps the optimizer; the dropout Rng is
+/// derived from the logical coordinates so any process computes identical
+/// bits.
+ShardStep compute_shard_step(core::Hoga& model, optim::Adam& opt,
+                             const core::HopFeatures& hops,
+                             const std::vector<int>& labels,
+                             const Shard& shard, const DistConfig& cfg,
+                             int epoch, std::int64_t step) {
+  ShardStep out;
+  out.shard_id = shard.id;
+  const auto ids = shard_epoch_order(shard, cfg.seed, epoch);
+  const std::int64_t lo = step * cfg.batch_size;
+  const std::int64_t hi =
+      std::min<std::int64_t>(static_cast<std::int64_t>(ids.size()),
+                             lo + cfg.batch_size);
+  if (lo >= hi) return out;  // shard exhausted this step: rows == 0
+  std::vector<std::int64_t> batch(ids.begin() + lo, ids.begin() + hi);
+  std::vector<int> batch_labels;
+  batch_labels.reserve(batch.size());
+  for (std::int64_t i : batch) {
+    batch_labels.push_back(labels[static_cast<std::size_t>(i)]);
+  }
+  opt.zero_grad();
+  Rng batch_rng(derive_seed(cfg.seed, /*tag=*/2, epoch, step, shard.id));
+  ag::Variable logits =
+      model.forward(ag::constant(hops.gather(batch)), batch_rng);
+  ag::Variable loss =
+      ag::softmax_cross_entropy(logits, batch_labels, cfg.class_weights);
+  loss.backward();
+  out.rows = hi - lo;
+  out.loss = loss.value().data()[0];
+  out.grads.reserve(static_cast<std::size_t>(total_param_floats(opt)));
+  for (const auto& p : opt.params()) {
+    const Tensor& g = p.grad();
+    out.grads.insert(out.grads.end(), g.data(), g.data() + g.numel());
+  }
+  return out;
+}
+
+/// One slot per shard id, carrying row-weighted grads. Weighting and the
+/// pairwise tree combine below are the single float-summation order shared
+/// by the distributed and reference paths.
+struct StepSlot {
+  std::vector<float> wgrad;
+  double wloss = 0;
+  std::int64_t rows = 0;
+};
+
+StepSlot make_slot(const ShardStep& s) {
+  StepSlot slot;
+  if (s.rows == 0) return slot;
+  slot.rows = s.rows;
+  slot.wloss = static_cast<double>(s.loss) * static_cast<double>(s.rows);
+  const float w = static_cast<float>(s.rows);
+  slot.wgrad.resize(s.grads.size());
+  for (std::size_t i = 0; i < s.grads.size(); ++i) {
+    slot.wgrad[i] = s.grads[i] * w;
+  }
+  return slot;
+}
+
+struct Reduced {
+  std::vector<float> flat;  // mean gradient over the step's union batch
+  double loss = 0;          // row-weighted mean loss
+  std::int64_t rows = 0;
+};
+
+Reduced reduce_step(std::vector<StepSlot> slots) {
+  StepSlot sum = tree_reduce(std::move(slots), [](StepSlot& a, StepSlot& b) {
+    if (b.rows == 0) return;
+    if (a.rows == 0) {
+      a = std::move(b);
+      return;
+    }
+    HOGA_CHECK(a.wgrad.size() == b.wgrad.size(),
+               "dist: shard gradient size mismatch");
+    for (std::size_t i = 0; i < a.wgrad.size(); ++i) a.wgrad[i] += b.wgrad[i];
+    a.wloss += b.wloss;
+    a.rows += b.rows;
+  });
+  Reduced r;
+  r.rows = sum.rows;
+  if (sum.rows > 0) {
+    const float inv = 1.f / static_cast<float>(sum.rows);
+    r.flat.resize(sum.wgrad.size());
+    for (std::size_t i = 0; i < sum.wgrad.size(); ++i) {
+      r.flat[i] = sum.wgrad[i] * inv;
+    }
+    r.loss = sum.wloss / static_cast<double>(sum.rows);
+  }
+  return r;
+}
+
+/// Installs the reduced gradient into the replica and steps Adam. Shared
+/// verbatim by coordinator, workers, and the reference — THE invariant
+/// that keeps replicas bit-identical.
+void apply_reduced(optim::Adam& opt, const std::vector<float>& flat,
+                   float grad_clip) {
+  std::size_t off = 0;
+  for (ag::Variable p : opt.params()) {  // cheap shared handles
+    p.zero_grad();
+    Tensor& g = p.mutable_grad();
+    const std::size_t n = static_cast<std::size_t>(g.numel());
+    HOGA_CHECK(off + n <= flat.size(), "dist: reduced gradient too short");
+    std::memcpy(g.data(), flat.data() + off, n * sizeof(float));
+    off += n;
+  }
+  HOGA_CHECK(off == flat.size(), "dist: reduced gradient size mismatch");
+  if (grad_clip > 0) optim::clip_grad_norm(opt.params(), grad_clip);
+  opt.step();
+}
+
+core::HopFeatures fetch_hops(const DistConfig& cfg, const graph::Csr& adj,
+                             const Tensor& x, int num_hops) {
+  if (cfg.store_directory.empty()) {
+    return core::HopFeatures::compute(adj, x, num_hops);
+  }
+  store::StoreConfig sc;
+  sc.directory = cfg.store_directory;
+  sc.cross_process_leases = true;
+  store::FeatureStore fs(sc);
+  return fs.get_or_compute(adj, x, num_hops);
+}
+
+// ---- worker process -------------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+[[noreturn]] void worker_main(int fd, int rank, core::Hoga& model,
+                              optim::Adam& opt, Rng& rng,
+                              const core::HopFeatures* inherited_hops,
+                              const graph::Csr& adj, const Tensor& x,
+                              const std::vector<int>& labels,
+                              const std::vector<Shard>& shards,
+                              const DistConfig& cfg) {
+  try {
+    const core::HopFeatures hops =
+        inherited_hops ? *inherited_hops
+                       : fetch_hops(cfg, adj, x, model.config().num_hops);
+    model.set_training(true);
+    Channel chan(fd, cfg.wire);
+    chan.send(Message{MsgType::kHello, rank, 0, 0, ""});
+    std::vector<int> owners;  // shard id -> owning rank
+    const std::int64_t steps = steps_per_epoch(shards, cfg.batch_size);
+    while (true) {
+      auto m = chan.recv(cfg.heartbeat_timeout_ms * 10,
+                         /*send_heartbeats=*/true);
+      if (!m) _exit(3);  // coordinator silent for far too long
+      switch (m->type) {
+        case MsgType::kRestore: {
+          std::string state;
+          decode_restore(m->payload, &owners, &state);
+          if (!state.empty()) train::load_train_state(model, opt, rng, state);
+          break;
+        }
+        case MsgType::kCompute: {
+          const int epoch = static_cast<int>(m->a);
+          const std::int64_t step = m->b;
+          if (auto* inj = fault::active()) {
+            if (inj->worker_should_die_at(rank, epoch * steps + step)) {
+              _exit(42);  // injected mid-epoch death
+            }
+          }
+          std::vector<ShardStep> mine;
+          for (const auto& shard : shards) {
+            if (static_cast<std::size_t>(shard.id) < owners.size() &&
+                owners[static_cast<std::size_t>(shard.id)] == rank) {
+              mine.push_back(compute_shard_step(model, opt, hops, labels,
+                                                shard, cfg, epoch, step));
+            }
+          }
+          chan.send(Message{MsgType::kShardGrad, rank, epoch, step,
+                            encode_shard_grads(mine)});
+          break;
+        }
+        case MsgType::kApply: {
+          apply_reduced(opt, decode_apply(m->payload), cfg.grad_clip);
+          break;
+        }
+        case MsgType::kShutdown:
+          _exit(0);
+        default:
+          break;  // stray control type: ignore
+      }
+    }
+  } catch (...) {
+    _exit(1);  // any error (PeerDead included): die; the coordinator heals
+  }
+}
+
+#endif  // unix
+
+}  // namespace
+
+// ---- coordinator ----------------------------------------------------------
+
+DistResult run_distributed(const core::HogaConfig& model_config,
+                           const graph::Csr& adj_norm, const Tensor& features,
+                           const std::vector<int>& labels,
+                           const DistConfig& config) {
+#if !defined(__unix__) && !defined(__APPLE__)
+  (void)model_config, (void)adj_norm, (void)features, (void)labels,
+      (void)config;
+  HOGA_CHECK(false, "dist: run_distributed needs fork/socketpair (POSIX)");
+#else
+  HOGA_CHECK(config.workers >= 1, "dist: need at least one worker");
+  HOGA_CHECK(config.epochs >= 1, "dist: need at least one epoch");
+  HOGA_CHECK(config.batch_size >= 1, "dist: batch_size must be >= 1");
+  Timer total;
+  DistResult result;
+  result.scaling.workers = config.workers;
+
+  Rng rng(config.seed);
+  core::Hoga model(model_config, rng);
+  optim::Adam opt(model.parameters(), config.lr);
+  const std::uint64_t content = store::graph_digest(adj_norm, features);
+  const auto shards =
+      make_shards(features.size(0), config.num_shards, content);
+  const std::int64_t steps = steps_per_epoch(shards, config.batch_size);
+
+  std::optional<core::HopFeatures> hops;  // pre-fork path only
+  if (config.store_directory.empty()) {
+    hops = core::HopFeatures::compute(adj_norm, features,
+                                      model_config.num_hops);
+  }
+
+  struct WorkerProc {
+    pid_t pid = -1;
+    std::unique_ptr<Channel> chan;
+    bool alive = false;
+  };
+  std::vector<WorkerProc> procs(static_cast<std::size_t>(config.workers));
+
+  auto harvest_stats = [&](const Channel& chan) {
+    result.bytes_sent += chan.stats().bytes_sent;
+    result.retransmits += chan.stats().retransmits;
+    result.naks += chan.stats().naks_sent + chan.stats().naks_received;
+  };
+
+  auto spawn = [&](int rank) {
+    ChannelPair pair = make_channel_pair();
+    const pid_t pid = ::fork();
+    HOGA_CHECK(pid >= 0, "dist: fork failed");
+    if (pid == 0) {
+      // Child: drop every coordinator-side descriptor it inherited, or a
+      // sibling's death would never read as EOF at the coordinator.
+      ::close(pair.coordinator_fd);
+      for (const auto& p : procs) {
+        if (p.chan) ::close(p.chan->fd());
+      }
+      worker_main(pair.worker_fd, rank, model, opt, rng,
+                  hops ? &*hops : nullptr, adj_norm, features, labels,
+                  shards, config);  // never returns
+    }
+    ::close(pair.worker_fd);
+    auto& proc = procs[static_cast<std::size_t>(rank)];
+    proc.pid = pid;
+    proc.chan = std::make_unique<Channel>(pair.coordinator_fd, config.wire);
+    proc.alive = true;
+    // Readiness: the worker says Hello once its hop features are in hand
+    // (which may involve a cross-process lease wait on the store).
+    auto hello = proc.chan->recv(config.heartbeat_timeout_ms * 10);
+    if (!hello || hello->type != MsgType::kHello) {
+      throw PeerDead("dist: worker " + std::to_string(rank) +
+                     " never said hello");
+    }
+  };
+
+  auto live_ranks = [&] {
+    std::vector<int> live;
+    for (int r = 0; r < config.workers; ++r) {
+      if (procs[static_cast<std::size_t>(r)].alive) live.push_back(r);
+    }
+    return live;
+  };
+
+  auto mark_dead = [&](int rank) {
+    auto& proc = procs[static_cast<std::size_t>(rank)];
+    if (!proc.alive) return;
+    proc.alive = false;
+    if (proc.pid > 0) {
+      ::kill(proc.pid, SIGKILL);  // decisive: hung counts the same as dead
+      ::waitpid(proc.pid, nullptr, 0);
+      proc.pid = -1;
+    }
+    if (proc.chan) {
+      harvest_stats(*proc.chan);
+      proc.chan.reset();
+    }
+    if (auto* inj = fault::active()) inj->acknowledge_worker_kill(rank);
+    ++result.scaling.worker_failures;
+  };
+
+  std::vector<int> owners;
+  auto broadcast_restore = [&](int resume_epoch, const std::string& state) {
+    const auto live = live_ranks();
+    HOGA_CHECK(!live.empty(), "dist: all workers dead");
+    owners = assign_shards(shards, live);
+    const std::string payload = encode_restore(owners, state);
+    for (int r : live) {
+      procs[static_cast<std::size_t>(r)].chan->send(
+          Message{MsgType::kRestore, -1, resume_epoch,
+                  static_cast<std::int64_t>(shards.size()), payload});
+    }
+  };
+
+  train::TrainState st;
+  auto write_checkpoint = [&] {
+    if (config.checkpoint_path.empty()) return;
+    train::save_train_state_file_with_retry(model, opt, rng, st,
+                                            config.checkpoint_path);
+  };
+  write_checkpoint();  // epoch-0 rollback target always exists
+
+  // Launch the fleet, then hand out the initial shard claims. No state
+  // bytes: every replica is the coordinator's fork image already.
+  int failed_rank = -1;  // rank being talked to when a PeerDead fires
+  for (int r = 0; r < config.workers; ++r) spawn(r);
+  broadcast_restore(0, "");
+
+  while (st.epoch < config.epochs) {
+    try {
+      const int epoch = st.epoch;
+      double loss_sum = 0;
+      std::int64_t counted = 0;
+      for (std::int64_t t = 0; t < steps; ++t) {
+        for (int r : live_ranks()) {
+          failed_rank = r;
+          procs[static_cast<std::size_t>(r)].chan->send(
+              Message{MsgType::kCompute, -1, epoch, t, ""});
+        }
+        std::vector<StepSlot> slots(shards.size());
+        for (int r : live_ranks()) {
+          failed_rank = r;
+          auto& chan = *procs[static_cast<std::size_t>(r)].chan;
+          while (true) {
+            auto m = chan.recv(config.heartbeat_timeout_ms);
+            if (!m) {
+              throw PeerDead("dist: worker " + std::to_string(r) +
+                             " heartbeat timeout");
+            }
+            if (m->type == MsgType::kShardGrad && m->a == epoch &&
+                m->b == t) {
+              for (auto& s : decode_shard_grads(m->payload)) {
+                slots[static_cast<std::size_t>(s.shard_id)] = make_slot(s);
+              }
+              break;
+            }
+            // Anything else is pre-recovery residue: drop it.
+          }
+        }
+        const Reduced red = reduce_step(std::move(slots));
+        if (red.rows > 0) {
+          apply_reduced(opt, red.flat, config.grad_clip);
+          loss_sum += red.loss;
+          ++counted;
+          const Message apply{MsgType::kApply, -1, epoch, t,
+                              encode_apply(red.flat)};
+          for (int r : live_ranks()) {
+            failed_rank = r;
+            procs[static_cast<std::size_t>(r)].chan->send(apply);
+          }
+        }
+      }
+      st.epoch_losses.push_back(
+          static_cast<float>(loss_sum / std::max<std::int64_t>(1, counted)));
+      st.epoch += 1;
+      if (config.checkpoint_every > 0 &&
+          st.epoch % config.checkpoint_every == 0) {
+        write_checkpoint();
+      }
+    } catch (const PeerDead&) {
+      ++result.recoveries;
+      obs::count("dist.recoveries");
+      if (result.recoveries > config.max_recoveries) throw;
+      if (config.checkpoint_path.empty()) throw;  // no rollback target
+      Timer recovery;
+      // Put the offender down, then sweep for other silent corpses.
+      if (failed_rank >= 0) mark_dead(failed_rank);
+      for (int r : live_ranks()) {
+        auto& proc = procs[static_cast<std::size_t>(r)];
+        if (proc.pid > 0 && ::waitpid(proc.pid, nullptr, WNOHANG) != 0) {
+          proc.pid = -1;  // already reaped by the probe
+          mark_dead(r);
+        }
+      }
+      if (config.respawn_dead_workers) {
+        for (int r = 0; r < config.workers; ++r) {
+          if (!procs[static_cast<std::size_t>(r)].alive) {
+            try {
+              spawn(r);
+              ++result.respawns;
+              obs::count("dist.respawns");
+            } catch (const PeerDead&) {
+              mark_dead(r);  // replacement stillborn: stay on survivors
+            }
+          }
+        }
+      }
+      // Roll every replica back to the durable checkpoint and re-shard:
+      // one Restore message carries the state and the fresh claims.
+      st = train::load_train_state_file(model, opt, rng,
+                                        config.checkpoint_path);
+      broadcast_restore(st.epoch, train::save_train_state(model, opt, rng, st));
+      result.scaling.recovery_seconds += recovery.seconds();
+      obs::ledger_event("dist.recovery",
+                        {{"epoch", static_cast<long long>(st.epoch)},
+                         {"live_workers",
+                          static_cast<long long>(live_ranks().size())}});
+    }
+  }
+
+  for (int r : live_ranks()) {
+    try {
+      procs[static_cast<std::size_t>(r)].chan->send(
+          Message{MsgType::kShutdown, -1, 0, 0, ""});
+    } catch (const PeerDead&) {
+      // Dying during shutdown is as good as shutting down.
+    }
+  }
+  for (auto& proc : procs) {
+    if (proc.pid > 0) ::waitpid(proc.pid, nullptr, 0);
+    if (proc.chan) {
+      harvest_stats(*proc.chan);
+      proc.chan.reset();
+    }
+  }
+
+  result.epoch_losses = st.epoch_losses;
+  result.final_state = train::save_train_state(model, opt, rng, st);
+  result.seconds = total.seconds();
+  result.scaling.epoch_seconds = result.seconds / config.epochs;
+  return result;
+#endif
+}
+
+DistResult run_reference(const core::HogaConfig& model_config,
+                         const graph::Csr& adj_norm, const Tensor& features,
+                         const std::vector<int>& labels,
+                         const DistConfig& config) {
+  HOGA_CHECK(config.epochs >= 1, "dist: need at least one epoch");
+  HOGA_CHECK(config.batch_size >= 1, "dist: batch_size must be >= 1");
+  Timer total;
+  DistResult result;
+  result.scaling.workers = 1;
+
+  Rng rng(config.seed);
+  core::Hoga model(model_config, rng);
+  optim::Adam opt(model.parameters(), config.lr);
+  const std::uint64_t content = store::graph_digest(adj_norm, features);
+  const auto shards =
+      make_shards(features.size(0), config.num_shards, content);
+  const std::int64_t steps = steps_per_epoch(shards, config.batch_size);
+  const core::HopFeatures hops =
+      core::HopFeatures::compute(adj_norm, features, model_config.num_hops);
+  model.set_training(true);
+
+  train::TrainState st;
+  while (st.epoch < config.epochs) {
+    const int epoch = st.epoch;
+    double loss_sum = 0;
+    std::int64_t counted = 0;
+    for (std::int64_t t = 0; t < steps; ++t) {
+      std::vector<StepSlot> slots(shards.size());
+      for (const auto& shard : shards) {
+        slots[static_cast<std::size_t>(shard.id)] = make_slot(
+            compute_shard_step(model, opt, hops, labels, shard, config,
+                               epoch, t));
+      }
+      const Reduced red = reduce_step(std::move(slots));
+      if (red.rows > 0) {
+        apply_reduced(opt, red.flat, config.grad_clip);
+        loss_sum += red.loss;
+        ++counted;
+      }
+    }
+    st.epoch_losses.push_back(
+        static_cast<float>(loss_sum / std::max<std::int64_t>(1, counted)));
+    st.epoch += 1;
+  }
+
+  result.epoch_losses = st.epoch_losses;
+  result.final_state = train::save_train_state(model, opt, rng, st);
+  result.seconds = total.seconds();
+  result.scaling.epoch_seconds = result.seconds / config.epochs;
+  return result;
+}
+
+}  // namespace hoga::dist

@@ -1,0 +1,116 @@
+#pragma once
+// hoga::dist — multi-process data-parallel HOGA training (DESIGN.md §13).
+//
+// A coordinator process forks W worker processes connected over Unix-domain
+// socketpairs (dist/wire.hpp). The training set is split into a fixed
+// number S of logical shards (dist/sharding.hpp); live workers own shards
+// by rendezvous hashing. Each step the coordinator drives a lockstep RPC
+// round: Compute -> per-shard gradients back -> fixed-order tree reduce
+// over shard index -> Apply broadcast. Every process holds a full
+// model+Adam replica and applies the identical reduced gradient, so all
+// replicas stay bit-identical — and because the reduction order is a
+// function of S alone, the final parameters are bit-identical for ANY
+// worker count and ANY fault schedule that the runtime heals.
+//
+// Fault tolerance:
+//   - liveness is heartbeat-based: a worker that produces no frame within
+//     heartbeat_timeout_ms (or whose socket EOFs) is declared dead, killed
+//     decisively, and reaped;
+//   - on a death the coordinator re-assigns the dead worker's shards to
+//     survivors (rendezvous: only those shards move), rolls every replica
+//     back to the last durable checkpoint (hoga-ckpt v2 via
+//     storage::atomic_write_durable), broadcasts the state + new
+//     assignment in one Restore message, and replays from the checkpoint
+//     epoch. Replay is bit-exact, so healed runs match fault-free runs;
+//   - dead workers are optionally respawned (re-forked) and re-admitted
+//     with fresh shard claims through the same Restore path;
+//   - transient transport faults (drops, CRC corruption, delays — all
+//     injectable via hoga::fault) are absorbed by the wire layer's
+//     ack/NAK/retransmit protocol and never surface here.
+//
+// Hop features: with `store_directory` set, every worker fetches the
+// phase-1 precompute through its own FeatureStore with cross-process
+// compute leases enabled — W workers missing the same key compute it once,
+// the rest block-then-read (feature_store.hpp). Without a store directory
+// the coordinator computes hop features before forking and children
+// inherit them copy-on-write.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hoga_model.hpp"
+#include "dist/wire.hpp"
+#include "graph/csr.hpp"
+#include "tensor/tensor.hpp"
+#include "train/parallel.hpp"
+
+namespace hoga::dist {
+
+struct DistConfig {
+  int workers = 2;          // worker processes (the coordinator is extra)
+  int epochs = 4;
+  int num_shards = 8;       // S: fixed logical shard count (determinism unit)
+  std::int64_t batch_size = 256;  // per-shard rows per step
+  float lr = 3e-3f;
+  std::uint64_t seed = 1;
+  std::vector<float> class_weights;  // empty = unweighted
+  float grad_clip = 0.f;    // global-norm clip on the reduced grad (0 = off)
+
+  /// Durable rollback target, written every `checkpoint_every` epochs (and
+  /// once at epoch 0 so a rollback target always exists). Empty disables
+  /// checkpointing — and with it death recovery: a worker death then
+  /// fails the run instead of healing.
+  std::string checkpoint_path;
+  int checkpoint_every = 1;
+
+  /// Liveness: max silence from a worker before it is declared dead.
+  double heartbeat_timeout_ms = 3000;
+  /// Reliability knobs of every channel (ack timeout, retries, backoff).
+  WireConfig wire;
+
+  /// Re-fork replacements for dead workers after recovery (rejoin). When
+  /// false the run continues on the survivors alone.
+  bool respawn_dead_workers = true;
+  /// Recovery budget: more deaths than this fail the run.
+  int max_recoveries = 4;
+
+  /// Non-empty: workers fetch hop features through a FeatureStore rooted
+  /// here with cross-process compute leases on. Empty: hop features are
+  /// computed once pre-fork and inherited.
+  std::string store_directory;
+};
+
+struct DistResult {
+  std::vector<float> epoch_losses;  // one per epoch, bit-exact vs reference
+  /// Final hoga-ckpt v2 state (model + Adam + RNG + loop progress): the
+  /// byte-identity witness. Equal strings == bit-identical replicas.
+  std::string final_state;
+  /// Cluster-level accounting (worker_failures, recovery_seconds, ...).
+  train::ScalingPoint scaling;
+  int recoveries = 0;   // rollback+replay events executed
+  int respawns = 0;     // replacement workers re-admitted
+  long long bytes_sent = 0;    // coordinator-side wire bytes
+  long long retransmits = 0;   // coordinator-side extra transmissions
+  long long naks = 0;          // CRC rejections observed (either side sent)
+  double seconds = 0;          // total wall time of the run
+};
+
+/// Trains `model_config` on (adj_norm, features, labels) with `workers`
+/// forked processes. Throws on unrecoverable failures (no checkpoint to
+/// roll back to, recovery budget exhausted, all workers dead).
+DistResult run_distributed(const core::HogaConfig& model_config,
+                           const graph::Csr& adj_norm, const Tensor& features,
+                           const std::vector<int>& labels,
+                           const DistConfig& config);
+
+/// Single-process reference: executes the identical logical schedule (same
+/// shards, same batches, same tree reduction) in one process. Its
+/// final_state is the byte-identity target for every run_distributed
+/// configuration with the same DistConfig data/seed fields.
+DistResult run_reference(const core::HogaConfig& model_config,
+                         const graph::Csr& adj_norm, const Tensor& features,
+                         const std::vector<int>& labels,
+                         const DistConfig& config);
+
+}  // namespace hoga::dist

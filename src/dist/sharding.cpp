@@ -1,0 +1,57 @@
+#include "dist/sharding.hpp"
+
+#include "util/check.hpp"
+#include "util/digest.hpp"
+
+namespace hoga::dist {
+
+std::vector<Shard> make_shards(std::int64_t num_rows, int num_shards,
+                               std::uint64_t content_digest) {
+  HOGA_CHECK(num_rows > 0, "make_shards: num_rows must be > 0");
+  HOGA_CHECK(num_shards > 0, "make_shards: num_shards must be > 0");
+  const std::int64_t s = std::min<std::int64_t>(num_shards, num_rows);
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>(s));
+  const std::int64_t base = num_rows / s;
+  const std::int64_t extra = num_rows % s;
+  std::int64_t begin = 0;
+  for (std::int64_t i = 0; i < s; ++i) {
+    Shard shard;
+    shard.id = static_cast<int>(i);
+    shard.begin = begin;
+    shard.end = begin + base + (i < extra ? 1 : 0);
+    util::Digest d;
+    d.update_value(content_digest);
+    d.update_value(shard.begin);
+    d.update_value(shard.end);
+    shard.digest = d.value();
+    begin = shard.end;
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+std::vector<int> assign_shards(const std::vector<Shard>& shards,
+                               const std::vector<int>& live) {
+  HOGA_CHECK(!live.empty(), "assign_shards: no live workers");
+  std::vector<int> owner(shards.size(), live.front());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    std::uint64_t best_score = 0;
+    int best_rank = live.front();
+    for (int rank : live) {
+      util::Digest d;
+      d.update_value(shards[i].digest);
+      d.update_value(static_cast<std::int64_t>(rank));
+      const std::uint64_t score = d.value();
+      if (score > best_score ||
+          (score == best_score && rank < best_rank)) {
+        best_score = score;
+        best_rank = rank;
+      }
+    }
+    owner[i] = best_rank;
+  }
+  return owner;
+}
+
+}  // namespace hoga::dist

@@ -1,0 +1,63 @@
+#pragma once
+// hoga::dist sharding (DESIGN.md §13).
+//
+// Bit-exact data parallelism rests on making the *logical* work layout
+// independent of the *physical* worker layout:
+//
+//   - the training set is split into a fixed number S of logical shards
+//     (near-equal contiguous node-id ranges). S never changes during a run;
+//   - each shard has a content digest (graph digest mixed with the shard's
+//     id range), which is the shard's stable identity across processes;
+//   - shards are mapped to live workers by rendezvous (highest-random-
+//     weight) hashing over (shard digest, worker rank): deterministic for
+//     any live set, minimal movement when a worker dies — only the dead
+//     worker's shards move, each to the survivor that scores next-highest;
+//   - gradients are reduced in a fixed pairwise tree over the *shard*
+//     index. Which worker computed a shard never affects the float
+//     summation order, so any worker count — and any fault schedule that
+//     re-homes shards mid-run — produces bit-identical parameters.
+
+#include <cstdint>
+#include <vector>
+
+namespace hoga::dist {
+
+struct Shard {
+  int id = 0;                 // logical index, 0..S-1 (the reduction order)
+  std::int64_t begin = 0;     // node-id range [begin, end)
+  std::int64_t end = 0;
+  std::uint64_t digest = 0;   // content identity (graph digest + range)
+  std::int64_t rows() const { return end - begin; }
+};
+
+/// Splits [0, num_rows) into `num_shards` near-equal contiguous shards
+/// (sizes differ by at most one) and stamps each with a digest derived from
+/// `content_digest` and its range.
+std::vector<Shard> make_shards(std::int64_t num_rows, int num_shards,
+                               std::uint64_t content_digest);
+
+/// shard id -> owning rank, by rendezvous hashing over the live ranks.
+/// `live` must be non-empty and sorted ascending (the coordinator's view).
+std::vector<int> assign_shards(const std::vector<Shard>& shards,
+                               const std::vector<int>& live);
+
+/// Fixed-order pairwise tree combine over shard slots: out[i] op out[i+1]
+/// at each level, left-to-right. `combine(a, b)` must fold slot b into
+/// slot a. Slots are indexed by shard id, so the float summation order is
+/// a pure function of S — never of the worker layout.
+template <typename T, typename Combine>
+T tree_reduce(std::vector<T> slots, Combine&& combine) {
+  while (slots.size() > 1) {
+    std::vector<T> next;
+    next.reserve((slots.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < slots.size(); i += 2) {
+      combine(slots[i], slots[i + 1]);
+      next.push_back(std::move(slots[i]));
+    }
+    if (slots.size() % 2 == 1) next.push_back(std::move(slots.back()));
+    slots = std::move(next);
+  }
+  return std::move(slots.front());
+}
+
+}  // namespace hoga::dist

@@ -1,0 +1,306 @@
+#include "dist/wire.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "fault/fault.hpp"
+#include "storage/storage.hpp"
+#include "util/check.hpp"
+
+namespace hoga::dist {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Header layout inside the hoga-frame payload:
+//   u8 type | u64 seq | i32 rank | i64 a | i64 b | payload bytes
+constexpr std::size_t kHeaderBytes = 1 + 8 + 4 + 8 + 8;
+
+template <typename T>
+void put(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T get(const char*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+std::string encode_message(const Message& msg, std::uint64_t seq) {
+  std::string body;
+  body.reserve(kHeaderBytes + msg.payload.size());
+  put<std::uint8_t>(body, static_cast<std::uint8_t>(msg.type));
+  put<std::uint64_t>(body, seq);
+  put<std::int32_t>(body, static_cast<std::int32_t>(msg.rank));
+  put<std::int64_t>(body, msg.a);
+  put<std::int64_t>(body, msg.b);
+  body.append(msg.payload);
+  return storage::encode_framed(body);
+}
+
+bool decode_message(const std::string& frame, Message* msg,
+                    std::uint64_t* seq) {
+  const std::optional<std::string> body = storage::decode_framed(frame);
+  if (!body || body->size() < kHeaderBytes) return false;
+  const char* p = body->data();
+  msg->type = static_cast<MsgType>(get<std::uint8_t>(p));
+  *seq = get<std::uint64_t>(p);
+  msg->rank = static_cast<int>(get<std::int32_t>(p));
+  msg->a = get<std::int64_t>(p);
+  msg->b = get<std::int64_t>(p);
+  msg->payload.assign(body->data() + kHeaderBytes,
+                      body->size() - kHeaderBytes);
+  return true;
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kCompute: return "compute";
+    case MsgType::kShardGrad: return "shard_grad";
+    case MsgType::kApply: return "apply";
+    case MsgType::kRestore: return "restore";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kAck: return "ack";
+    case MsgType::kNak: return "nak";
+    case MsgType::kHeartbeat: return "heartbeat";
+  }
+  return "unknown";
+}
+
+Channel::Channel(int fd, WireConfig config) : fd_(fd), config_(config) {}
+
+Channel::~Channel() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+double Channel::ms_since_heard() const {
+  if (last_heard_ms_ < 0) return 1e18;
+  return now_ms() - last_heard_ms_;
+}
+
+void Channel::transmit(const std::string& frame, bool is_payload) {
+#if defined(__unix__) || defined(__APPLE__)
+  std::string wire = frame;
+  if (is_payload) {
+    if (auto* inj = fault::active()) {
+      const auto f = inj->next_send_fault();
+      if (f.delay_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(f.delay_ms));
+      }
+      if (f.drop) return;  // never written; the ack timeout recovers it
+      if (f.corrupt && wire.size() > kHeaderBytes) {
+        wire[wire.size() / 2] ^= 0x40;  // CRC catches it at the receiver
+      }
+    }
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(wire.size());
+  char prefix[4];
+  std::memcpy(prefix, &len, 4);
+  std::string out;
+  out.reserve(4 + wire.size());
+  out.append(prefix, 4);
+  out.append(wire);
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) throw PeerDead("dist: send failed (peer gone)");
+    off += static_cast<std::size_t>(n);
+  }
+  stats_.bytes_sent += static_cast<long long>(out.size());
+#else
+  (void)frame;
+  (void)is_payload;
+  throw PeerDead("dist: no socket support on this platform");
+#endif
+}
+
+void Channel::send_control(MsgType type, std::uint64_t seq) {
+  Message msg;
+  msg.type = type;
+  transmit(encode_message(msg, seq), /*is_payload=*/false);
+}
+
+std::optional<Message> Channel::read_frame(double timeout_ms,
+                                           bool* crc_failed) {
+  *crc_failed = false;
+#if defined(__unix__) || defined(__APPLE__)
+  struct pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int timeout =
+      timeout_ms < 0 ? 0 : static_cast<int>(timeout_ms) + 1;
+  const int ready = ::poll(&pfd, 1, timeout);
+  if (ready == 0) return std::nullopt;
+  if (ready < 0) throw PeerDead("dist: poll failed");
+  // One length prefix + frame. The sender writes each unit with a single
+  // send() over a SOCK_STREAM socketpair, so after poll says readable we
+  // read the unit with short blocking reads (the remainder is already in
+  // flight; a peer that dies mid-unit yields EOF).
+  auto read_exact = [&](char* dst, std::size_t want) -> bool {
+    std::size_t off = 0;
+    while (off < want) {
+      const ssize_t n = ::read(fd_, dst + off, want - off);
+      if (n == 0) throw PeerDead("dist: peer closed the channel (EOF)");
+      if (n < 0) throw PeerDead("dist: read failed");
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  std::uint32_t len = 0;
+  read_exact(reinterpret_cast<char*>(&len), 4);
+  if (len == 0 || len > (64u << 20)) {
+    throw PeerDead("dist: insane frame length (protocol desync)");
+  }
+  std::string frame(len, '\0');
+  read_exact(frame.data(), len);
+  Message msg;
+  std::uint64_t seq = 0;
+  if (!decode_message(frame, &msg, &seq)) {
+    *crc_failed = true;
+    ++stats_.naks_sent;
+    send_control(MsgType::kNak, 0);
+    return std::nullopt;
+  }
+  last_heard_ms_ = now_ms();
+  queued_seq_ = seq;  // callers pair the returned message with this seq
+  return msg;
+#else
+  (void)timeout_ms;
+  return std::nullopt;
+#endif
+}
+
+std::optional<Message> Channel::accept(Message&& msg, std::uint64_t seq,
+                                       bool /*is_ack*/,
+                                       std::uint64_t* acked_seq) {
+  if (msg.type == MsgType::kAck) {
+    if (acked_seq) *acked_seq = seq;
+    return std::nullopt;
+  }
+  if (msg.type == MsgType::kNak) {
+    ++stats_.naks_received;
+    if (acked_seq) *acked_seq = 0;  // sentinel: caller retransmits
+    nak_pending_ = true;
+    return std::nullopt;
+  }
+  if (msg.type == MsgType::kHeartbeat) return std::nullopt;
+  // Payload frame: ack it unconditionally (even stale app-level messages
+  // must be acked or the peer wedges in its retransmit loop), dedup on seq.
+  send_control(MsgType::kAck, seq);
+  if (seq <= last_delivered_) {
+    ++stats_.duplicates;
+    return std::nullopt;
+  }
+  last_delivered_ = seq;
+  return std::optional<Message>(std::move(msg));
+}
+
+void Channel::send(const Message& msg) {
+  const std::uint64_t seq = next_seq_++;
+  last_frame_ = encode_message(msg, seq);
+  double backoff_ms = config_.backoff_initial_ms;
+  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retransmits;
+    transmit(last_frame_, /*is_payload=*/true);
+    // Wait for the ack, servicing whatever else arrives.
+    bool resend_now = false;
+    const double deadline = now_ms() + config_.ack_timeout_ms;
+    while (true) {
+      const double remaining = deadline - now_ms();
+      if (remaining <= 0) break;  // timeout: retransmit
+      bool crc_failed = false;
+      auto frame = read_frame(remaining, &crc_failed);
+      if (!frame) {
+        if (crc_failed) continue;  // inbound garbage; keep waiting for ack
+        break;                     // poll timeout
+      }
+      std::uint64_t acked = ~std::uint64_t{0};
+      nak_pending_ = false;
+      auto payload = accept(std::move(*frame), queued_seq_, false, &acked);
+      if (payload) queued_.push_back(std::move(*payload));
+      if (nak_pending_) {
+        resend_now = true;  // peer rejected our frame: resend immediately
+        break;
+      }
+      if (acked == seq) {
+        ++stats_.sends;
+        return;
+      }
+      // Stale ack (retransmit raced the original): keep waiting.
+    }
+    if (!resend_now) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, config_.backoff_max_ms);
+    }
+  }
+  throw PeerDead(std::string("dist: no ack for ") +
+                 msg_type_name(msg.type) + " after " +
+                 std::to_string(config_.max_retries) +
+                 " attempts (backoff exhausted)");
+}
+
+std::optional<Message> Channel::recv(double timeout_ms, bool send_heartbeats) {
+  if (!queued_.empty()) {
+    Message msg = std::move(queued_.front());
+    queued_.pop_front();
+    return msg;
+  }
+  const double deadline = now_ms() + timeout_ms;
+  double next_heartbeat = 0;  // immediately, then every interval
+  while (true) {
+    const double now = now_ms();
+    if (now >= deadline) return std::nullopt;
+    double wait = deadline - now;
+    if (send_heartbeats) {
+      if (now >= next_heartbeat) {
+        send_control(MsgType::kHeartbeat, 0);
+        next_heartbeat = now + config_.heartbeat_interval_ms;
+      }
+      wait = std::min(wait, next_heartbeat - now);
+    }
+    bool crc_failed = false;
+    auto frame = read_frame(wait, &crc_failed);
+    if (!frame) continue;
+    auto payload = accept(std::move(*frame), queued_seq_, false, nullptr);
+    if (payload) return payload;
+  }
+}
+
+ChannelPair make_channel_pair() {
+#if defined(__unix__) || defined(__APPLE__)
+  int fds[2] = {-1, -1};
+  HOGA_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+             "dist: socketpair failed");
+  return ChannelPair{fds[0], fds[1]};
+#else
+  HOGA_CHECK(false, "dist: no socketpair support on this platform");
+  return {};
+#endif
+}
+
+}  // namespace hoga::dist

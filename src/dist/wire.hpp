@@ -1,0 +1,157 @@
+#pragma once
+// hoga::dist wire protocol (DESIGN.md §13).
+//
+// One Channel is one end of a coordinator<->worker Unix-domain stream
+// socket. Messages go on the wire as
+//
+//   [u32 length][hoga-frame v1 bytes]
+//
+// where the hoga-frame (storage::encode_framed) wraps a fixed binary header
+// (type, sequence number, rank, two i64 arguments) plus an opaque payload,
+// so every message is CRC-guarded end to end with the same codec the
+// storage layer uses for snapshots and append-file records.
+//
+// Reliability is a stop-and-wait layer sized for the runtime's strictly
+// ping-pong RPC pattern (at most one in-flight payload per direction):
+//
+//   - every *payload* frame carries a per-link sequence number and is
+//     acknowledged by the receiver; the sender retransmits on ack timeout
+//     with capped exponential backoff and gives up (throws PeerDead) after
+//     `max_retries` attempts;
+//   - a CRC-rejected frame triggers a NAK, which forces an immediate
+//     retransmit — corruption costs one round trip, never a wrong message;
+//   - retransmits of an already-delivered sequence number are re-acked but
+//     not redelivered (duplicate suppression);
+//   - while waiting for its own ack a side keeps servicing incoming payload
+//     frames (acking and queueing them), so two peers sending to each other
+//     simultaneously cannot deadlock;
+//   - heartbeats and acks are fire-and-forget control frames: they carry no
+//     payload, are never retransmitted, and any received frame counts as
+//     liveness.
+//
+// Fault injection: every payload transmission consults
+// fault::Injector::next_send_fault() — drop (frame never written), corrupt
+// (one payload byte flipped after framing, so the receiver's CRC catches
+// it), delay (sleep before the write). Control frames are exempt, which
+// keeps injected schedules deterministic: the nth send is the nth payload
+// transmission, independent of ack timing.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace hoga::dist {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,      // worker -> coordinator: ready (after fork / respawn)
+  kCompute = 2,    // coordinator -> worker: run step (a=epoch, b=step)
+  kShardGrad = 3,  // worker -> coordinator: per-shard grads + losses
+  kApply = 4,      // coordinator -> worker: reduced gradient to apply
+  kRestore = 5,    // coordinator -> worker: state + shard assignment
+  kShutdown = 6,   // coordinator -> worker: clean exit
+  kAck = 7,        // control: payload frame received intact
+  kNak = 8,        // control: payload frame failed CRC, resend
+  kHeartbeat = 9,  // control: liveness while idle
+};
+const char* msg_type_name(MsgType t);
+
+struct Message {
+  MsgType type = MsgType::kHeartbeat;
+  int rank = -1;            // sender's rank (coordinator uses -1)
+  std::int64_t a = 0;       // type-specific (usually epoch)
+  std::int64_t b = 0;       // type-specific (usually step)
+  std::string payload;
+};
+
+/// Thrown when a peer is unreachable: EOF/EPIPE on the socket, or the
+/// retransmit budget is exhausted without an ack (backoff exhaustion). The
+/// coordinator treats it as a worker death and runs recovery.
+struct PeerDead : std::runtime_error {
+  explicit PeerDead(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct WireConfig {
+  double ack_timeout_ms = 2000;   // per-attempt wait for an ack
+  int max_retries = 5;            // transmissions before PeerDead
+  double backoff_initial_ms = 1;  // doubles per retry
+  double backoff_max_ms = 200;
+  double heartbeat_interval_ms = 20;  // idle-wait heartbeat cadence
+};
+
+/// Transfer counters (per channel, monotonic).
+struct WireStats {
+  long long sends = 0;          // payload messages successfully delivered
+  long long retransmits = 0;    // extra transmissions (timeout or NAK)
+  long long naks_received = 0;  // CRC rejections reported by the peer
+  long long naks_sent = 0;      // CRC rejections we detected
+  long long duplicates = 0;     // already-delivered frames re-acked
+  long long bytes_sent = 0;     // wire bytes written (frames + prefixes)
+};
+
+class Channel {
+ public:
+  /// Takes ownership of `fd` (one end of a socketpair).
+  Channel(int fd, WireConfig config);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Sends one message reliably (ack/NAK/retransmit per WireConfig).
+  /// Payload frames received while waiting are acked and queued for the
+  /// next recv(). Throws PeerDead when the peer is gone or the retry
+  /// budget is exhausted.
+  void send(const Message& msg);
+
+  /// Receives the next payload message, servicing control frames along the
+  /// way. Returns nullopt after `timeout_ms` without a deliverable payload
+  /// (control traffic resets nothing: the timeout bounds *payload* wait).
+  /// Throws PeerDead on EOF. `send_heartbeats` emits a heartbeat every
+  /// heartbeat_interval_ms while waiting — workers use it so an idle wait
+  /// still proves liveness to the coordinator.
+  std::optional<Message> recv(double timeout_ms, bool send_heartbeats = false);
+
+  /// Milliseconds since any frame (control included) arrived on this
+  /// channel; infinity before the first frame. The coordinator's liveness
+  /// check compares this against DistConfig::heartbeat_timeout_ms.
+  double ms_since_heard() const;
+
+  const WireStats& stats() const { return stats_; }
+  int fd() const { return fd_; }
+
+ private:
+  /// One physical transmission: fault hooks, length prefix, full write.
+  void transmit(const std::string& frame, bool is_payload);
+  /// Reads one [len][frame] unit; nullopt on timeout. Throws PeerDead on
+  /// EOF/error. Decodes + CRC-checks; a bad frame sends a NAK and is
+  /// reported as nullopt-with-nak (caller keeps waiting).
+  std::optional<Message> read_frame(double timeout_ms, bool* crc_failed);
+  void send_control(MsgType type, std::uint64_t seq);
+  /// Handles one inbound frame: acks/dedups payloads, tracks liveness.
+  /// Returns a deliverable payload message, if any.
+  std::optional<Message> accept(Message&& msg, std::uint64_t seq, bool is_ack,
+                                std::uint64_t* acked_seq);
+
+  int fd_ = -1;
+  WireConfig config_;
+  WireStats stats_;
+  std::uint64_t next_seq_ = 1;       // our next outbound payload seq
+  std::uint64_t last_delivered_ = 0; // highest inbound payload seq delivered
+  std::string last_frame_;           // last outbound payload frame (for NAK)
+  std::deque<Message> queued_;       // payloads accepted while awaiting ack
+  std::uint64_t queued_seq_ = 0;     // seq of the frame read_frame returned
+  bool nak_pending_ = false;         // peer NAK'd our in-flight frame
+  double last_heard_ms_ = -1;        // monotonic stamp of last inbound frame
+};
+
+/// A connected coordinator/worker channel pair over socketpair(AF_UNIX).
+/// Created before fork; each process closes the end it does not use.
+struct ChannelPair {
+  int coordinator_fd = -1;
+  int worker_fd = -1;
+};
+ChannelPair make_channel_pair();
+
+}  // namespace hoga::dist

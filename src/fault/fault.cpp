@@ -201,6 +201,66 @@ int Injector::storage_points_probed() const {
   return storage_kill_checks_;
 }
 
+void Injector::drop_message(int nth) { message_drops_.insert(nth); }
+
+void Injector::delay_message(int nth, double ms) {
+  message_delays_[nth] = ms;
+}
+
+void Injector::corrupt_frame(int nth) { frame_corruptions_.insert(nth); }
+
+void Injector::kill_worker_at_step(int rank, long long step) {
+  worker_step_kills_.emplace(rank, step);
+}
+
+Injector::SendFault Injector::next_send_fault() {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  const int n = message_sends_++;
+  SendFault f;
+  if (auto it = message_drops_.find(n); it != message_drops_.end()) {
+    message_drops_.erase(it);
+    ++counts_.dropped_messages;
+    f.drop = true;
+  } else if (auto it2 = frame_corruptions_.find(n);
+             it2 != frame_corruptions_.end()) {
+    frame_corruptions_.erase(it2);
+    ++counts_.corrupted_frames;
+    f.corrupt = true;
+  }
+  if (auto it = message_delays_.find(n); it != message_delays_.end()) {
+    f.delay_ms = it->second;
+    message_delays_.erase(it);
+    ++counts_.delayed_messages;
+  }
+  return f;
+}
+
+bool Injector::worker_should_die_at(int rank, long long step) {
+  if (auto it = worker_step_kills_.find({rank, step});
+      it != worker_step_kills_.end()) {
+    worker_step_kills_.erase(it);
+    ++counts_.worker_kills;
+    return true;
+  }
+  return false;
+}
+
+void Injector::acknowledge_worker_kill(int rank) {
+  for (auto it = worker_step_kills_.begin(); it != worker_step_kills_.end();
+       ++it) {
+    if (it->first == rank) {
+      worker_step_kills_.erase(it);
+      ++counts_.worker_kills;
+      return;
+    }
+  }
+}
+
+int Injector::messages_probed() const {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  return message_sends_;
+}
+
 Injector* active() { return g_active; }
 
 ScopedInjector::ScopedInjector(Injector& injector) : previous_(g_active) {

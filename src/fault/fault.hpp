@@ -52,6 +52,11 @@ struct Counts {
   int storage_write_errors = 0;  // ENOSPC-style write failures
   int storage_torn_writes = 0;   // writes cut short mid-payload
   int storage_kills = 0;         // simulated crashes at kill-point boundaries
+  // Distributed-transport faults (DESIGN.md §13).
+  int dropped_messages = 0;    // sends suppressed (peer must retry)
+  int delayed_messages = 0;    // sends delayed past their schedule
+  int corrupted_frames = 0;    // frames bit-flipped in flight (CRC rejects)
+  int worker_kills = 0;        // worker processes hard-killed at a step
 };
 
 /// A simulated mid-operation process death, thrown from a storage kill-point
@@ -130,6 +135,25 @@ class Injector {
   /// every boundary a workload crosses.
   void kill_at_storage_point(int nth);
 
+  // -- Distributed-transport schedule (DESIGN.md §13) ------------------------
+  // All nth counts are per-process: the coordinator and each forked worker
+  // inherit the injector at fork time and consume their own copies, so a
+  // schedule is deterministic per process for a deterministic send sequence.
+  /// The nth (0-based) transport payload send in this process is silently
+  /// suppressed — the peer sees nothing and the sender's ack wait times out,
+  /// exercising the bounded-retry path (the retransmit is a fresh send slot).
+  void drop_message(int nth);
+  /// The nth (0-based) transport payload send is delayed by `ms` before the
+  /// bytes reach the socket (models a congested or half-partitioned link).
+  void delay_message(int nth, double ms);
+  /// The nth (0-based) transport payload send has one byte flipped mid-frame
+  /// — the receiver's CRC must reject it and NAK for a retransmit.
+  void corrupt_frame(int nth);
+  /// Worker process `rank` dies hard (_exit, no cleanup) when it reaches
+  /// global optimizer step `step` — the real-process analogue of
+  /// kill_worker(epoch, worker).
+  void kill_worker_at_step(int rank, long long step);
+
   // -- Hot-path queries (count attempts internally) -------------------------
   bool worker_should_fail(int epoch, int worker);
   bool checkpoint_write_should_fail();
@@ -157,6 +181,29 @@ class Injector {
   /// how many kill slots a workload exposes before scheduling kills.
   int storage_points_probed() const;
 
+  /// What the injector wants done to one transport payload send. At most
+  /// one of drop/corrupt fires per slot (drop wins); delay composes with
+  /// either.
+  struct SendFault {
+    bool drop = false;
+    bool corrupt = false;
+    double delay_ms = 0;
+  };
+  /// Consumes one transport send slot and returns the faults scheduled for
+  /// it. A retransmit of a dropped/corrupted frame is a fresh slot.
+  SendFault next_send_fault();
+  /// True when worker `rank` should die at global step `step`; fires once.
+  bool worker_should_die_at(int rank, long long step);
+  /// Coordinator-side consumption of a fired kill: a worker's erase-on-fire
+  /// happens in the *worker's* fork copy of the injector, so the
+  /// coordinator must remove the earliest pending kill for `rank` itself
+  /// when it observes the death — otherwise a respawned replacement
+  /// inherits the entry and dies again on replay, forever.
+  void acknowledge_worker_kill(int rank);
+  /// Transport payload sends attempted so far in this process — the probe a
+  /// fault sweep uses to size its nth schedules.
+  int messages_probed() const;
+
   const Counts& counts() const { return counts_; }
 
  private:
@@ -169,10 +216,14 @@ class Injector {
   std::set<int> storage_write_fails_, storage_kills_;
   std::map<int, double> storage_tears_;
   std::map<int, double> slow_requests_, queue_stalls_;
+  std::set<int> message_drops_, frame_corruptions_;
+  std::map<int, double> message_delays_;
+  std::set<std::pair<int, long long>> worker_step_kills_;
   int write_attempts_ = 0, read_attempts_ = 0, grad_steps_ = 0;
   int executed_requests_ = 0, submitted_requests_ = 0, stall_checks_ = 0;
   int store_reads_ = 0, store_writes_ = 0;
   int storage_writes_ = 0, storage_tear_checks_ = 0, storage_kill_checks_ = 0;
+  int message_sends_ = 0;
   // Serve-side, store-side, and storage-side queries run on pool workers /
   // client threads; training-side queries stay single-threaded and
   // lock-free.

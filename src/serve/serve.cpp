@@ -152,9 +152,20 @@ InferenceService::InferenceService(const core::Hoga& model, ServeConfig config)
       metrics_->histogram("serve.queue_wait_ms", obs::latency_ms_bounds());
   c_.queue_depth = metrics_->histogram(
       "serve.queue_depth", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+
+  if (!config_.scrub_directories.empty()) {
+    storage::ScrubConfig sc;
+    sc.directories = config_.scrub_directories;
+    sc.quarantine = config_.scrub_quarantine;
+    scrubber_ = std::make_unique<storage::Scrubber>(sc);
+    scrubber_->start(config_.scrub_interval_ms);
+  }
 }
 
-InferenceService::~InferenceService() = default;
+InferenceService::~InferenceService() {
+  // Stop the scrubber before the pool so no sweep races service teardown.
+  if (scrubber_) scrubber_->stop();
+}
 
 ServeStats InferenceService::stats() const {
   ServeStats s;
@@ -210,6 +221,23 @@ std::string InferenceService::latency_report() const {
 bool InferenceService::breaker_open() const {
   std::lock_guard<std::mutex> lock(mu_);
   return breaker_ != BreakerState::kClosed;
+}
+
+ServeHealth InferenceService::health() const {
+  ServeHealth h;
+  h.breaker_open = breaker_open();
+  if (scrubber_) {
+    const storage::ScrubStats s = scrubber_->stats();
+    h.scrub_passes = s.passes;
+    h.scrub_corrupt = s.corrupt;
+    h.scrub_quarantined = s.quarantined;
+  }
+  return h;
+}
+
+ServeHealth InferenceService::scrub_now() {
+  if (scrubber_) scrubber_->scrub_pass();
+  return health();
 }
 
 std::size_t InferenceService::queue_depth() const { return pool_->pending(); }

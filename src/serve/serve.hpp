@@ -42,6 +42,7 @@
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "storage/scrubber.hpp"
 #include "util/threadpool.hpp"
 
 namespace hoga::store {
@@ -78,6 +79,16 @@ struct ServeConfig {
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
   obs::LedgerSink* ledger = nullptr;
+  /// Background integrity scrubbing (DESIGN.md §12): when non-empty, the
+  /// service owns a storage::Scrubber over these directories — typically
+  /// the feature store's shard directory and the run ledger's segment
+  /// directory — started in the constructor and stopped in the destructor.
+  /// Corrupt files it finds are quarantined (renamed aside) when
+  /// `scrub_quarantine` is set, and the verdicts are surfaced through
+  /// health() alongside the circuit breaker.
+  std::vector<std::string> scrub_directories;
+  long long scrub_interval_ms = 200;
+  bool scrub_quarantine = true;
 };
 
 /// One inference request: either a precomputed hop-feature batch
@@ -141,6 +152,20 @@ struct ServeStats {
   std::string to_string() const;
 };
 
+/// The service's health signal: the circuit breaker's serving-side view
+/// combined with the storage scrubber's data-integrity view, so operators
+/// read both pressures from one place. Counters are zero when no scrub
+/// directories are configured.
+struct ServeHealth {
+  bool breaker_open = false;      // requests are taking the degraded ladder
+  long long scrub_passes = 0;     // completed background sweeps
+  long long scrub_corrupt = 0;    // CRC-failed files found so far
+  long long scrub_quarantined = 0;  // corrupt files renamed aside
+  /// Degraded when either side is unhealthy: the breaker is open, or the
+  /// scrubber has found (and possibly quarantined) corrupt state on disk.
+  bool degraded() const { return breaker_open || scrub_corrupt > 0; }
+};
+
 class InferenceService {
  public:
   /// The service borrows `model`; it must outlive the service and must not
@@ -170,6 +195,15 @@ class InferenceService {
   /// ladder). Exposed for tests and the bench.
   bool breaker_open() const;
 
+  /// Combined breaker + scrubber health snapshot (see ServeHealth).
+  ServeHealth health() const;
+
+  /// Runs one synchronous scrub sweep over the configured directories and
+  /// returns the updated health. No-op (plain health()) when no scrub
+  /// directories are configured. Exposed for tests and ops tooling that
+  /// want a verdict now rather than at the next background tick.
+  ServeHealth scrub_now();
+
   /// Requests admitted but not yet picked up by a worker (the admission
   /// queue depth that backpressure compares against queue_capacity).
   std::size_t queue_depth() const;
@@ -194,6 +228,7 @@ class InferenceService {
   const core::Hoga& model_;
   ServeConfig config_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<storage::Scrubber> scrubber_;  // set iff scrub dirs given
 
   // ServeStats is re-based onto a metrics registry: the counters live in
   // config_.metrics (or this private registry when none is given) under

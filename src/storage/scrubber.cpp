@@ -21,9 +21,11 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 }
 
 // Files the scrubber must leave alone: in-flight temps (atomic_write_durable
-// owns them) and files it already set aside.
+// owns them — plain ".tmp" or the pid-suffixed ".tmp.<pid>" form), lease
+// lock files, and files it already set aside.
 bool skip_file(const std::string& name) {
-  return ends_with(name, ".tmp") || ends_with(name, ".quarantine");
+  return ends_with(name, ".tmp") || name.find(".tmp.") != std::string::npos ||
+         ends_with(name, ".lock") || ends_with(name, ".quarantine");
 }
 
 }  // namespace

@@ -206,7 +206,12 @@ SegmentedLedger::SegmentedLedger(SegmentedLedgerConfig config)
       fs::remove(path, ec);
       continue;
     }
-    for (const auto& e : read.events) seq_ = std::max(seq_, e.seq + 1);
+    for (const auto& e : read.events) {
+      seq_ = std::max(seq_, e.seq + 1);
+      // Seed the live per-type counts with the events this segment keeps
+      // (a partial snapshot overlap contributes only the uncovered tail).
+      if (e.seq > snap_last_seq_) merge_by_type(live_by_type_, e.type, 1);
+    }
     // A footer also has to link correctly from the current chain tail: when
     // an earlier segment was repaired (its chain link recomputed), every
     // later stored footer still chains over the gap and must be re-chained
@@ -292,6 +297,7 @@ void SegmentedLedger::event(const std::string& type,
     const std::string line =
         obs::format_ledger_line(seq_, clock_->now_ns(), type, fields);
     append_line_locked(line);
+    merge_by_type(live_by_type_, type, 1);
     ++seq_;
     ++stats_.events;
   } catch (const fault::SimulatedCrash&) {
@@ -360,6 +366,9 @@ void SegmentedLedger::compact_locked() {
       ++s.folded_events;
       s.last_seq = std::max(s.last_seq, e.seq);
       merge_by_type(s.by_type, e.type, 1);
+      // The event moves from the live tally to the snapshot accumulator;
+      // counts_by_type() (= snap + live) must be conserved by compaction.
+      merge_by_type(live_by_type_, e.type, -1);
     }
     // The snapshot chain tail is the chain of the LAST folded segment, so
     // verification of the remaining closed segments picks up from there.
@@ -419,6 +428,29 @@ std::size_t SegmentedLedger::file_count() const {
 long long SegmentedLedger::next_seq() const {
   std::lock_guard<std::mutex> lock(mu_);
   return seq_;
+}
+
+std::vector<std::pair<std::string, long long>>
+SegmentedLedger::counts_by_type() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto out = snap_by_type_;
+  for (const auto& [type, n] : live_by_type_) merge_by_type(out, type, n);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const auto& kv) { return kv.second == 0; }),
+            out.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, long long>>
+SegmentedLedger::ReadResult::counts_by_type() const {
+  auto out = folded_by_type;
+  for (const auto& e : events) merge_by_type(out, e.type, 1);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const auto& kv) { return kv.second == 0; }),
+            out.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 SegmentedLedger::ReadResult SegmentedLedger::read_dir(

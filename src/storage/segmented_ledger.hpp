@@ -109,6 +109,13 @@ class SegmentedLedger final : public obs::LedgerSink {
   /// Seq the next event will carry (continues across recovery).
   long long next_seq() const;
 
+  /// Per-type event counts over the whole history as this live instance
+  /// knows it: the snapshot accumulator plus every live (not yet folded)
+  /// event, including events recovered from pre-existing segments at open.
+  /// Answered from memory — no segment is re-read. Matches what read_dir
+  /// on this directory would report via ReadResult::counts_by_type().
+  std::vector<std::pair<std::string, long long>> counts_by_type() const;
+
   const SegmentedLedgerConfig& config() const { return config_; }
 
   /// Everything read_dir recovered from a ledger directory.
@@ -131,6 +138,13 @@ class SegmentedLedger final : public obs::LedgerSink {
     long long total_events() const {
       return folded_events + static_cast<long long>(events.size());
     }
+
+    /// Per-type event counts over the whole history: the snapshot's folded
+    /// counts merged with the live events, sorted by type. Conserved across
+    /// rotation and compaction — folding segments into the snapshot must
+    /// never change what this returns (test_storage proves it against a
+    /// never-compacted ledger).
+    std::vector<std::pair<std::string, long long>> counts_by_type() const;
   };
 
   /// Recovers a ledger directory without mutating it: reads the snapshot,
@@ -166,6 +180,10 @@ class SegmentedLedger final : public obs::LedgerSink {
   long long snap_events_ = 0;
   long long snap_last_seq_ = -1;
   std::vector<std::pair<std::string, long long>> snap_by_type_;
+  // Per-type counts of live (not yet folded) events: incremented on append,
+  // seeded from surviving segments at open, drained into snap_by_type_ by
+  // compaction. snap + live together answer counts_by_type() from memory.
+  std::vector<std::pair<std::string, long long>> live_by_type_;
   bool crashed_ = false;  // a SimulatedCrash escaped; everything no-ops
   bool closed_ledger_ = false;
   Stats stats_;

@@ -161,7 +161,14 @@ FileIntegrity verify_ledger_segment(const std::string& path,
 
 void atomic_write_durable(const std::string& path, std::string_view content) {
   obs::count("storage.writes");
-  const std::string tmp = path + ".tmp";
+  // The temp name carries the pid so two processes replacing the same
+  // destination (e.g. both recomputing one feature-store shard) never
+  // interleave writes into one temp file — each publishes its own complete
+  // payload and the later rename wins whole (last-writer-wins, no torn
+  // reads). Within a process the name is stable, so a retry after a crash
+  // overwrites its own residue instead of accumulating files.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(util::process_id());
   try {
     write_payload_or_die(tmp, path, content);
     fault::storage_kill_point("storage.temp_written");

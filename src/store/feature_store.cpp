@@ -1,10 +1,12 @@
 #include "store/feature_store.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -76,7 +78,9 @@ std::string StoreStats::counts_signature() const {
      << " corrupt_shards=" << corrupt_shards << " evictions=" << evictions
      << " negative_hits=" << negative_hits
      << " shard_evictions=" << shard_evictions
-     << " mmap_reads=" << mmap_reads;
+     << " mmap_reads=" << mmap_reads << " lease_holds=" << lease_holds
+     << " lease_waits=" << lease_waits
+     << " lease_takeovers=" << lease_takeovers;
   return os.str();
 }
 
@@ -232,6 +236,9 @@ FeatureStore::FeatureStore(StoreConfig config) : config_(std::move(config)) {
     c_.negative_hits = m.counter("store.negative_hits");
     c_.shard_evictions = m.counter("store.shard_evictions");
     c_.mmap_reads = m.counter("store.mmap_reads");
+    c_.lease_holds = m.counter("store.lease_holds");
+    c_.lease_waits = m.counter("store.lease_waits");
+    c_.lease_takeovers = m.counter("store.lease_takeovers");
   }
 }
 
@@ -239,6 +246,11 @@ std::string FeatureStore::shard_path(const FeatureKey& key) const {
   if (config_.directory.empty()) return {};
   return (std::filesystem::path(config_.directory) / key.shard_name())
       .string();
+}
+
+std::string FeatureStore::lease_path(const FeatureKey& key) const {
+  const std::string shard = shard_path(key);
+  return shard.empty() ? shard : shard + ".lock";
 }
 
 void FeatureStore::insert_memory_locked(std::uint64_t content,
@@ -384,6 +396,68 @@ core::HopFeatures FeatureStore::get_or_compute(
     const std::function<core::HopFeatures()>& compute,
     StoreOutcome* outcome) {
   if (auto hit = lookup(key, expected_dim, outcome)) return *std::move(hit);
+
+  // Cross-process compute lease: one process computes under an exclusive
+  // flock on "<shard>.lock"; the others block-then-read. Crash of the
+  // holder releases the flock (kernel-side), so a waiter takes the lease
+  // over and recomputes — N processes missing the same key run the K SpMM
+  // passes once in the common case and never hang in any case.
+  std::unique_ptr<util::FileLock> lease;
+  if (config_.cross_process_leases && !config_.directory.empty()) {
+    const std::string lock_path = lease_path(key);
+    lease = util::FileLock::try_acquire(lock_path);
+    if (lease) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.lease_holds;
+      c_.lease_holds.inc();
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.lease_waits;
+        c_.lease_waits.inc();
+      }
+      double waited_ms = 0, delay_ms = config_.lease_poll_initial_ms;
+      while (waited_ms < config_.lease_wait_timeout_ms) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            delay_ms));
+        waited_ms += delay_ms;
+        delay_ms = std::min(delay_ms * 2, config_.lease_poll_max_ms);
+        // The holder publishes the shard before releasing the lease, so
+        // probe the shard first: the common exit is a disk hit. The first
+        // missed probe memoized this key as shard-less — drop that memo or
+        // every later probe would skip the filesystem and never see the
+        // holder's publish.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          forget_negative_locked(key);
+        }
+        if (auto hit = lookup(key, expected_dim, outcome)) {
+          return *std::move(hit);
+        }
+        lease = util::FileLock::try_acquire(lock_path);
+        if (lease) break;
+      }
+      if (lease) {
+        // The holder is gone but no shard appeared: it crashed (or failed
+        // its write). One more probe closes the publish-then-release race,
+        // then this process recomputes as the new leaseholder.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          forget_negative_locked(key);
+        }
+        if (auto hit = lookup(key, expected_dim, outcome)) {
+          return *std::move(hit);
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.lease_takeovers;
+        c_.lease_takeovers.inc();
+      }
+      // Timed out with a live holder still computing: fall through and
+      // compute without the lease — duplicated work beats an unbounded
+      // block (results are bit-identical either way).
+    }
+  }
+
   if (outcome) *outcome = StoreOutcome::kComputed;
   {
     std::lock_guard<std::mutex> lock(mu_);

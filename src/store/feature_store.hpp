@@ -73,6 +73,23 @@ struct StoreConfig {
   /// Optional registry that mirrors every StoreStats counter under
   /// "store.*" names; null skips the mirroring (stats() works regardless).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Cross-process compute leases (DESIGN.md §13): when several processes
+  /// miss the same key, exactly one computes — it holds an exclusive flock
+  /// on "<shard>.lock" while the others poll block-then-read with capped
+  /// exponential backoff and pick up the published shard. A leaseholder
+  /// that crashes releases the flock automatically (the kernel drops it at
+  /// process exit), so a survivor acquires the lease and recomputes — no
+  /// fault can wedge a waiter. Requires a persistent directory; ignored
+  /// without one. Off by default: single-process users keep the old
+  /// compute-twice-insert-once race, which is benign (results are
+  /// bit-identical) and lock-free.
+  bool cross_process_leases = false;
+  /// Backoff for lease waiters polling the shard / the lock.
+  double lease_poll_initial_ms = 0.5;
+  double lease_poll_max_ms = 50.0;
+  /// Give-up bound for a waiter: past this it computes anyway (never hangs
+  /// on a wedged-but-alive leaseholder).
+  double lease_wait_timeout_ms = 30000.0;
 };
 
 /// Where a get_or_compute was satisfied.
@@ -95,6 +112,10 @@ struct StoreStats {
   long long negative_hits = 0;      // disk probes skipped via negative cache
   long long shard_evictions = 0;    // persistent shards deleted by the cap
   long long mmap_reads = 0;         // disk probes served by a file mapping
+  long long lease_holds = 0;        // leases acquired first try (we compute)
+  long long lease_waits = 0;        // misses that waited on another holder
+  long long lease_takeovers = 0;    // lease acquired after a holder vanished
+                                    // without publishing (crash recompute)
 
   long long hits() const { return memory_hits + disk_hits; }
   /// Deterministic counter line, e.g. "lookups=4 memory_hits=2 ...".
@@ -173,6 +194,11 @@ class FeatureStore {
   /// Shard path for a key (empty when the persistent tier is disabled).
   std::string shard_path(const FeatureKey& key) const;
 
+  /// Lease lock-file path for a key (empty when the persistent tier is
+  /// disabled). Lock files are tiny and persist after release — unlinking a
+  /// flock'd file races against a concurrent opener, so they stay.
+  std::string lease_path(const FeatureKey& key) const;
+
   const StoreConfig& config() const { return config_; }
 
  private:
@@ -199,7 +225,8 @@ class FeatureStore {
   struct StoreCounters {
     obs::Counter lookups, memory_hits, disk_hits, misses, config_mismatches,
         computes, shard_writes, write_errors, corrupt_shards, evictions,
-        negative_hits, shard_evictions, mmap_reads;
+        negative_hits, shard_evictions, mmap_reads, lease_holds, lease_waits,
+        lease_takeovers;
   } c_;
   mutable std::mutex mu_;
   // Memory tier keyed by content digest alone (one entry per graph): this

@@ -6,6 +6,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -75,6 +76,40 @@ void fsync_parent_dir(const std::string& path) {
   HOGA_CHECK(rc == 0, "fsync_parent_dir: fsync failed for '" << dir << "'");
 #else
   (void)path;
+#endif
+}
+
+long long process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<long long>(::getpid());
+#else
+  return 1;
+#endif
+}
+
+FileLock::~FileLock() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) {
+    ::flock(fd_, LOCK_UN);
+    ::close(fd_);
+  }
+#endif
+}
+
+std::unique_ptr<FileLock> FileLock::try_acquire(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return nullptr;
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto lock = std::unique_ptr<FileLock>(new FileLock());
+  lock->fd_ = fd;
+  return lock;
+#else
+  (void)path;
+  return std::unique_ptr<FileLock>(new FileLock());
 #endif
 }
 

@@ -39,6 +39,34 @@ void fsync_file(const std::string& path);
 /// when the directory cannot be opened or synced; no-op without fsync.
 void fsync_parent_dir(const std::string& path);
 
+/// This process's OS pid (1 on platforms without one). Used to make temp
+/// names process-unique so concurrent writers of the same destination never
+/// share a temp file.
+long long process_id();
+
+/// An advisory exclusive file lock (POSIX flock) held for the object's
+/// lifetime. The kernel releases the lock when the holding process exits —
+/// including a crash — which is what makes it usable as a cross-process
+/// compute lease: a dead leaseholder never wedges the survivors.
+class FileLock {
+ public:
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  /// Creates `path` if missing and takes the exclusive lock without
+  /// blocking. Returns nullptr when another process holds it. On platforms
+  /// without flock, always "succeeds" with an inert lock (callers degrade
+  /// to single-process semantics). Never throws.
+  static std::unique_ptr<FileLock> try_acquire(const std::string& path);
+
+ private:
+  FileLock() = default;
+
+  int fd_ = -1;
+};
+
 /// A file mapped into memory (copy-on-write private mapping, so callers may
 /// write the pages — e.g. fault injection flipping shard bytes — without
 /// touching the file). Lets the feature store alias tensor storage straight

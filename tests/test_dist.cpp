@@ -1,0 +1,357 @@
+// hoga::dist tests: wire reliability (ack/NAK/retransmit, duplicate
+// suppression, backoff exhaustion), elastic sharding (rendezvous stability),
+// and the multi-process runtime's bit-exactness contract — any worker
+// count, and any healed fault schedule (mid-epoch kills, heartbeat-timeout
+// deaths, transport drops/corruption), must reproduce the single-process
+// reference checkpoint byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "data/reasoning_dataset.hpp"
+#include "dist/dist.hpp"
+#include "dist/sharding.hpp"
+#include "dist/wire.hpp"
+#include "fault/fault.hpp"
+#include "reasoning/features.hpp"
+#include "store/feature_store.hpp"
+
+namespace hoga::dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path("/tmp/hoga_test_dist_" + name) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+// ---- sharding -------------------------------------------------------------
+
+TEST(DistSharding, ShardsAreContiguousAndNearEqual) {
+  const auto shards = make_shards(103, 4, /*content_digest=*/7);
+  ASSERT_EQ(shards.size(), 4u);
+  std::int64_t expect_begin = 0;
+  std::int64_t min_rows = 103, max_rows = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.begin, expect_begin);
+    expect_begin = s.end;
+    min_rows = std::min(min_rows, s.rows());
+    max_rows = std::max(max_rows, s.rows());
+  }
+  EXPECT_EQ(expect_begin, 103);
+  EXPECT_LE(max_rows - min_rows, 1);
+  // More shards than rows clamps to one row per shard.
+  EXPECT_EQ(make_shards(3, 8, 7).size(), 3u);
+}
+
+TEST(DistSharding, RendezvousMovesOnlyTheDeadWorkersShards) {
+  const auto shards = make_shards(1000, 16, /*content_digest=*/42);
+  const std::vector<int> all{0, 1, 2, 3};
+  const auto before = assign_shards(shards, all);
+  // Deterministic, and every rank with enough shards gets some.
+  EXPECT_EQ(before, assign_shards(shards, all));
+  // Kill rank 2: its shards move, everyone else's stay.
+  const auto after = assign_shards(shards, {0, 1, 3});
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (before[i] != 2) {
+      EXPECT_EQ(after[i], before[i]) << "shard " << i << " moved needlessly";
+    } else {
+      EXPECT_NE(after[i], 2);
+    }
+  }
+}
+
+TEST(DistSharding, TreeReduceOrderIsFixed) {
+  // Slots reduce pairwise left-to-right regardless of how values are
+  // distributed; the combine trace is the contract.
+  std::vector<std::string> slots{"a", "b", "c", "d", "e"};
+  const std::string out = tree_reduce(
+      std::move(slots),
+      [](std::string& x, std::string& y) { x = "(" + x + "+" + y + ")"; });
+  EXPECT_EQ(out, "(((a+b)+(c+d))+e)");
+}
+
+// ---- wire -----------------------------------------------------------------
+
+WireConfig fast_wire() {
+  WireConfig w;
+  w.ack_timeout_ms = 100;
+  w.max_retries = 4;
+  w.backoff_initial_ms = 1;
+  w.backoff_max_ms = 10;
+  return w;
+}
+
+TEST(DistWire, RoundTripWithEcho) {
+  ChannelPair pair = make_channel_pair();
+  std::thread peer([fd = pair.worker_fd] {
+    Channel chan(fd, fast_wire());
+    auto m = chan.recv(5000);
+    ASSERT_TRUE(m.has_value());
+    chan.send(Message{MsgType::kShardGrad, 1, m->a + 1, m->b, m->payload});
+  });
+  Channel chan(pair.coordinator_fd, fast_wire());
+  chan.send(Message{MsgType::kCompute, -1, 7, 9, "payload-bytes"});
+  auto reply = chan.recv(5000);
+  peer.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kShardGrad);
+  EXPECT_EQ(reply->a, 8);
+  EXPECT_EQ(reply->b, 9);
+  EXPECT_EQ(reply->payload, "payload-bytes");
+  EXPECT_EQ(chan.stats().sends, 1);
+  EXPECT_EQ(chan.stats().retransmits, 0);
+}
+
+TEST(DistWire, CorruptedFrameIsNakdAndRetransmitted) {
+  fault::Injector inj(1);
+  inj.corrupt_frame(0);  // first payload transmission arrives damaged
+  fault::ScopedInjector scope(inj);
+  ChannelPair pair = make_channel_pair();
+  std::thread peer([fd = pair.worker_fd] {
+    Channel chan(fd, fast_wire());
+    auto m = chan.recv(5000);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->payload, "precious");
+    EXPECT_EQ(chan.stats().naks_sent, 1);
+  });
+  Channel chan(pair.coordinator_fd, fast_wire());
+  chan.send(Message{MsgType::kApply, -1, 0, 0, "precious"});
+  peer.join();
+  EXPECT_EQ(chan.stats().naks_received, 1);
+  EXPECT_GE(chan.stats().retransmits, 1);
+  EXPECT_EQ(inj.counts().corrupted_frames, 1);
+}
+
+TEST(DistWire, DroppedFrameIsRetransmitted) {
+  fault::Injector inj(1);
+  inj.drop_message(0);
+  fault::ScopedInjector scope(inj);
+  ChannelPair pair = make_channel_pair();
+  std::thread peer([fd = pair.worker_fd] {
+    Channel chan(fd, fast_wire());
+    auto m = chan.recv(5000);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->payload, "again");
+  });
+  Channel chan(pair.coordinator_fd, fast_wire());
+  chan.send(Message{MsgType::kApply, -1, 0, 0, "again"});
+  peer.join();
+  EXPECT_GE(chan.stats().retransmits, 1);
+  EXPECT_EQ(inj.counts().dropped_messages, 1);
+}
+
+TEST(DistWire, BackoffExhaustionThrowsPeerDead) {
+  // The peer end exists but never reads, so no ack ever comes back.
+  ChannelPair pair = make_channel_pair();
+  Channel chan(pair.coordinator_fd, fast_wire());
+  EXPECT_THROW(chan.send(Message{MsgType::kCompute, -1, 0, 0, "void"}),
+               PeerDead);
+  EXPECT_EQ(chan.stats().retransmits, 3);  // max_retries - 1 extras
+  ::close(pair.worker_fd);
+}
+
+// ---- runtime --------------------------------------------------------------
+
+core::HogaConfig tiny_model() {
+  core::HogaConfig mc;
+  mc.in_dim = reasoning::kNodeFeatureDim;
+  mc.hidden = 8;
+  mc.num_hops = 3;
+  mc.num_layers = 1;
+  mc.out_dim = 4;
+  return mc;
+}
+
+class DistRuntime : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = data::make_reasoning_graph("csa", 4, /*mapped=*/false);
+  }
+  DistConfig config(const std::string& ckpt_dir) const {
+    DistConfig cfg;
+    cfg.workers = 2;
+    cfg.epochs = 3;
+    cfg.num_shards = 4;
+    cfg.batch_size = 16;
+    cfg.lr = 5e-3f;
+    cfg.seed = 11;
+    cfg.checkpoint_path = ckpt_dir + "/dist_ckpt.v2";
+    cfg.heartbeat_timeout_ms = 8000;  // generous: sanitizer builds are slow
+    return cfg;
+  }
+  std::int64_t steps_per_epoch(const DistConfig& cfg) const {
+    const auto shards =
+        make_shards(g_.features.size(0), cfg.num_shards, /*digest=*/0);
+    std::int64_t max_rows = 0;
+    for (const auto& s : shards) max_rows = std::max(max_rows, s.rows());
+    return (max_rows + cfg.batch_size - 1) / cfg.batch_size;
+  }
+  data::ReasoningGraph g_;
+};
+
+TEST_F(DistRuntime, OneWorkerMatchesReferenceBitExactly) {
+  TempDir dir("one_worker");
+  DistConfig cfg = config(dir.path);
+  cfg.workers = 1;
+  const DistResult ref =
+      run_reference(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+  const DistResult got =
+      run_distributed(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+  EXPECT_EQ(got.final_state, ref.final_state);
+  EXPECT_EQ(got.epoch_losses, ref.epoch_losses);
+  EXPECT_EQ(got.recoveries, 0);
+}
+
+TEST_F(DistRuntime, ThreeWorkersMatchReferenceBitExactly) {
+  TempDir dir("three_workers");
+  DistConfig cfg = config(dir.path);
+  cfg.workers = 3;
+  const DistResult ref =
+      run_reference(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+  const DistResult got =
+      run_distributed(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+  EXPECT_EQ(got.final_state, ref.final_state);
+  EXPECT_EQ(got.epoch_losses, ref.epoch_losses);
+  ASSERT_GE(ref.epoch_losses.size(), 2u);
+  EXPECT_LT(ref.epoch_losses.back(), ref.epoch_losses.front());
+}
+
+TEST_F(DistRuntime, MidEpochKillRecoversToBitExactCheckpoint) {
+  TempDir dir("kill");
+  DistConfig cfg = config(dir.path);
+  cfg.workers = 4;
+  const std::int64_t steps = steps_per_epoch(cfg);
+  ASSERT_GE(steps, 2) << "fixture too small to kill mid-epoch";
+
+  const DistResult ref =
+      run_reference(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  fault::Injector inj(1);
+  // Rank 1 dies mid-epoch 1 (step 1 of that epoch, after the epoch-1
+  // checkpoint exists): the coordinator must re-shard onto the survivors,
+  // roll back, respawn the worker, and replay to the identical bits.
+  inj.kill_worker_at_step(1, 1 * steps + 1);
+  fault::ScopedInjector scope(inj);
+  const DistResult got =
+      run_distributed(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  EXPECT_EQ(got.final_state, ref.final_state);
+  EXPECT_EQ(got.epoch_losses, ref.epoch_losses);
+  EXPECT_EQ(got.recoveries, 1);
+  EXPECT_EQ(got.respawns, 1);
+  EXPECT_EQ(got.scaling.worker_failures, 1);
+  EXPECT_GT(got.scaling.recovery_seconds, 0.0);
+  EXPECT_EQ(inj.counts().worker_kills, 1);  // coordinator acknowledged it
+}
+
+TEST_F(DistRuntime, KillWithoutRespawnContinuesOnSurvivors) {
+  TempDir dir("no_respawn");
+  DistConfig cfg = config(dir.path);
+  cfg.workers = 3;
+  cfg.respawn_dead_workers = false;
+  const std::int64_t steps = steps_per_epoch(cfg);
+
+  const DistResult ref =
+      run_reference(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  fault::Injector inj(1);
+  inj.kill_worker_at_step(2, 1 * steps);
+  fault::ScopedInjector scope(inj);
+  const DistResult got =
+      run_distributed(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  EXPECT_EQ(got.final_state, ref.final_state);
+  EXPECT_EQ(got.recoveries, 1);
+  EXPECT_EQ(got.respawns, 0);
+}
+
+TEST_F(DistRuntime, TransportFaultsAreAbsorbedWithoutDivergence) {
+  TempDir dir("transport");
+  DistConfig cfg = config(dir.path);
+  cfg.workers = 2;
+  const DistResult ref =
+      run_reference(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  fault::Injector inj(1);
+  // Each process consumes its own copy of this schedule against its own
+  // payload-send counter, so drops/corruptions land in coordinator and
+  // worker streams alike — all must be healed by ack/NAK/retransmit.
+  inj.drop_message(2);
+  inj.corrupt_frame(5);
+  inj.delay_message(8, 30);
+  fault::ScopedInjector scope(inj);
+  const DistResult got =
+      run_distributed(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  EXPECT_EQ(got.final_state, ref.final_state);
+  EXPECT_EQ(got.recoveries, 0);  // transient faults never reach recovery
+  EXPECT_GE(got.retransmits, 1);
+}
+
+TEST_F(DistRuntime, HeartbeatTimeoutDeclaresSlowWorkerDead) {
+  TempDir dir("heartbeat");
+  DistConfig cfg = config(dir.path);
+  cfg.workers = 2;
+  cfg.heartbeat_timeout_ms = 250;
+  cfg.wire.ack_timeout_ms = 3000;  // the wire outlasts the liveness bound
+  const DistResult ref =
+      run_reference(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  fault::Injector inj(1);
+  // A delay far beyond the liveness bound on an early worker send: the
+  // coordinator declares the worker dead (no kill was scheduled — this is
+  // the pure heartbeat-loss path), SIGKILLs it, and heals by replay.
+  inj.delay_message(3, 1500);
+  fault::ScopedInjector scope(inj);
+  const DistResult got =
+      run_distributed(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+
+  EXPECT_EQ(got.final_state, ref.final_state);
+  EXPECT_GE(got.recoveries, 1);
+  EXPECT_GE(got.scaling.worker_failures, 1);
+}
+
+TEST_F(DistRuntime, DeathWithoutCheckpointIsUnrecoverable) {
+  DistConfig cfg = config("/tmp");
+  cfg.workers = 2;
+  cfg.checkpoint_path.clear();  // no rollback target
+  fault::Injector inj(1);
+  inj.kill_worker_at_step(0, 0);
+  fault::ScopedInjector scope(inj);
+  EXPECT_THROW(run_distributed(tiny_model(), *g_.adj_hop, g_.features,
+                               g_.labels, cfg),
+               std::exception);
+}
+
+TEST_F(DistRuntime, StoreBackedWorkersShareOneLeasedCompute) {
+  TempDir dir("store");
+  DistConfig cfg = config(dir.path);
+  cfg.workers = 2;
+  cfg.store_directory = dir.path + "/feat";
+  const DistResult ref =
+      run_reference(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+  const DistResult got =
+      run_distributed(tiny_model(), *g_.adj_hop, g_.features, g_.labels, cfg);
+  EXPECT_EQ(got.final_state, ref.final_state);
+  // Exactly one shard was published (both workers wanted the same key; the
+  // flock lease made one compute and the other block-then-read).
+  int shard_files = 0;
+  for (const auto& e : fs::directory_iterator(cfg.store_directory)) {
+    if (e.path().extension() == ".feat") ++shard_files;
+  }
+  EXPECT_EQ(shard_files, 1);
+}
+
+}  // namespace
+}  // namespace hoga::dist

@@ -12,12 +12,16 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "autograd/ops.hpp"
 #include "fault/fault.hpp"
 #include "reasoning/features.hpp"
 #include "serve/serve.hpp"
+#include "storage/storage.hpp"
 #include "store/feature_store.hpp"
 #include "tensor/ops.hpp"
+#include "util/io.hpp"
 
 namespace hoga::serve {
 namespace {
@@ -417,6 +421,53 @@ TEST(Serve, ScriptedFaultScheduleGivesDeterministicCounts) {
   EXPECT_NE(first.find("timed_out=2"), std::string::npos) << first;
   EXPECT_NE(first.find("degraded_truncated=4"), std::string::npos) << first;
   EXPECT_NE(first.find("breaker_trips=1"), std::string::npos) << first;
+}
+
+TEST(Serve, HealthCombinesBreakerAndScrubberVerdicts) {
+  namespace fs = std::filesystem;
+  Rng rng(31);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+
+  // Without scrub directories the health signal is just the breaker.
+  {
+    InferenceService svc(model, {.workers = 1});
+    const ServeHealth h = svc.health();
+    EXPECT_FALSE(h.breaker_open);
+    EXPECT_EQ(h.scrub_passes, 0);
+    EXPECT_FALSE(h.degraded());
+    EXPECT_EQ(svc.scrub_now().scrub_passes, 0);  // no-op without dirs
+  }
+
+  // A store directory with one clean blob and one bit-rotted shard: the
+  // service-owned scrubber quarantines the rot and health() reports it.
+  const std::string dir =
+      "/tmp/hoga_test_serve_scrub_" + std::to_string(util::process_id());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  storage::atomic_write_durable(dir + "/ok.snap",
+                                storage::encode_framed("payload"));
+  storage::atomic_write_durable(dir + "/rotted.feat",
+                                "hoga-feat v1 5 deadbeef\nhello");
+  {
+    InferenceService svc(model, {.workers = 1,
+                                 .scrub_directories = {dir},
+                                 .scrub_interval_ms = 60000});
+    const ServeHealth h = svc.scrub_now();
+    EXPECT_GE(h.scrub_passes, 1);
+    EXPECT_EQ(h.scrub_corrupt, 1);
+    EXPECT_EQ(h.scrub_quarantined, 1);
+    EXPECT_FALSE(h.breaker_open);
+    EXPECT_TRUE(h.degraded());  // storage rot degrades health, not serving
+    EXPECT_FALSE(fs::exists(dir + "/rotted.feat"));
+    EXPECT_TRUE(fs::exists(dir + "/rotted.feat.quarantine"));
+    // Scrubbing leaves the request-outcome signature untouched.
+    EXPECT_EQ(svc.stats().counts_signature(),
+              "submitted=0 served=0 degraded_truncated=0 degraded_cached=0 "
+              "rejected_invalid=0 rejected_overload=0 timed_out=0 failed=0 "
+              "breaker_trips=0 feature_cache_hits=0 feature_cache_misses=0");
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -10,6 +10,11 @@
 #include <set>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "fault/fault.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
@@ -199,6 +204,62 @@ TEST(VerifyFileIntegrity, ClassifiesAllArtifactFamilies) {
   EXPECT_EQ(verify_file_integrity(other, &why), FileIntegrity::kUnrecognized);
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+TEST(AtomicWrite, TwoProcessRaceIsLastWriterWinsNeverTorn) {
+  // Two real processes hammer the SAME destination path with different
+  // recognizable payloads. The pid-suffixed temp files keep the racers off
+  // each other's staging files, and the atomic rename keeps every observable
+  // state a complete CRC-valid generation: a reader may see either writer's
+  // payload at any moment, but never a mix, never a torn tail.
+  TempDir dir("atomic_race");
+  const std::string target = dir.file("contended.bin");
+  const int kRounds = 40;
+  const std::string parent_payload(4096, 'P');
+  const std::string child_payload(4096, 'C');
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: write its generation repeatedly, then exit 0.
+    for (int i = 0; i < kRounds; ++i) {
+      atomic_write_durable(target, encode_framed(child_payload));
+    }
+    _exit(0);
+  }
+  int torn_reads = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    atomic_write_durable(target, encode_framed(parent_payload));
+    // Race a read against the child's writes: whole generations only.
+    const std::string seen = slurp(target);
+    if (!seen.empty()) {
+      const auto decoded = decode_framed(seen);
+      if (!decoded || (*decoded != parent_payload &&
+                       *decoded != child_payload)) {
+        ++torn_reads;
+      }
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_EQ(torn_reads, 0);
+
+  // Last writer wins with the file whole: the final bytes are exactly one
+  // racer's complete framed payload, and no staging residue survives.
+  const auto last = decode_framed(slurp(target));
+  ASSERT_TRUE(last.has_value());
+  EXPECT_TRUE(*last == parent_payload || *last == child_payload);
+  std::size_t residue = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    if (entry.path().filename().string().find(".tmp") != std::string::npos) {
+      ++residue;
+    }
+  }
+  EXPECT_EQ(residue, 0u);
+}
+#endif
+
 // -- SegmentedLedger ---------------------------------------------------------
 
 SegmentedLedgerConfig small_ledger(const TempDir& dir, obs::Clock* clock,
@@ -379,6 +440,64 @@ TEST(SegmentedLedger, ServesAsAmbientLedgerSink) {
   const auto read = SegmentedLedger::read_dir(dir.path);
   ASSERT_EQ(read.total_events(), 1);
   EXPECT_EQ(read.events[0].type, "ambient.test");
+}
+
+TEST(SegmentedLedger, CountsByTypeMatchNeverCompactedLedger) {
+  // Same scripted event stream into two ledgers: one rolling and compacting
+  // aggressively, one never compacting. The snapshot-aware analytics must
+  // report identical per-type counts for both — folding segments into the
+  // snapshot conserves the answer exactly.
+  TempDir tight_dir("segled_counts_tight");
+  TempDir plain_dir("segled_counts_plain");
+  obs::FakeClock clk(1000, 10);
+  const char* kTypes[] = {"serve.request", "train.step", "storage.scrub"};
+  const int kEvents = 120;
+  auto feed = [&](SegmentedLedger& ledger, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      ledger.event(kTypes[i % 3], {{"i", i}});
+    }
+  };
+  {
+    SegmentedLedger tight(
+        small_ledger(tight_dir, &clk, /*seg_bytes=*/256, /*max_closed=*/1));
+    SegmentedLedger plain(
+        small_ledger(plain_dir, &clk, /*seg_bytes=*/1 << 20));
+    feed(tight, 0, kEvents);
+    feed(plain, 0, kEvents);
+    ASSERT_GT(tight.stats().compactions, 0);
+    // The live-instance query answers from memory and already agrees.
+    EXPECT_EQ(tight.counts_by_type(), plain.counts_by_type());
+    tight.close();
+    plain.close();
+  }
+  const auto compacted = SegmentedLedger::read_dir(tight_dir.path);
+  const auto flat = SegmentedLedger::read_dir(plain_dir.path);
+  ASSERT_TRUE(compacted.snapshot_present);
+  ASSERT_GT(compacted.folded_events, 0);
+  ASSERT_FALSE(flat.snapshot_present);
+  EXPECT_TRUE(compacted.chain_valid);
+  using Counts = std::vector<std::pair<std::string, long long>>;
+  const Counts expect = {{"serve.request", 40},
+                         {"storage.scrub", 40},
+                         {"train.step", 40}};
+  EXPECT_EQ(compacted.counts_by_type(), expect);
+  EXPECT_EQ(flat.counts_by_type(), expect);
+  EXPECT_EQ(compacted.total_events(), kEvents);
+
+  // Reopen the compacted directory: recovery seeds the in-memory tally
+  // from the snapshot plus surviving segments, and appending extends it.
+  {
+    SegmentedLedger again(
+        small_ledger(tight_dir, &clk, /*seg_bytes=*/256, /*max_closed=*/1));
+    EXPECT_EQ(again.counts_by_type(), expect);
+    feed(again, kEvents, kEvents + 3);  // one more of each type
+    Counts grown = expect;
+    for (auto& [type, n] : grown) ++n;
+    EXPECT_EQ(again.counts_by_type(), grown);
+    again.close();
+    EXPECT_EQ(SegmentedLedger::read_dir(tight_dir.path).counts_by_type(),
+              grown);
+  }
 }
 
 // -- Scrubber ----------------------------------------------------------------

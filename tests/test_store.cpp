@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "core/hop_features.hpp"
 #include "fault/fault.hpp"
 #include "graph/csr.hpp"
@@ -424,8 +429,63 @@ TEST(FeatureStore, StatsSignatureIsDeterministic) {
             "lookups=3 memory_hits=1 disk_hits=0 misses=2 "
             "config_mismatches=1 computes=2 shard_writes=0 write_errors=0 "
             "corrupt_shards=0 evictions=0 negative_hits=0 "
-            "shard_evictions=0 mmap_reads=0");
+            "shard_evictions=0 mmap_reads=0 lease_holds=0 lease_waits=0 "
+            "lease_takeovers=0");
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(FeatureStore, ForkedProcessesShareOneLeasedCompute) {
+  // Two real processes race get_or_compute on the same key over the same
+  // shard directory with cross-process compute leases on. The flock lease
+  // serializes the compute: exactly ONE process runs phase-1, the other
+  // either waits on the lease and reads the shard or arrives late to a
+  // plain disk hit — and both end up with bit-exact features.
+  ShardDir dir("forked_lease");
+  Rng rng(17);
+  const graph::Csr adj = path_graph(24).normalized_symmetric();
+  const Tensor x = Tensor::randn({24, 4}, rng);
+  const int k = 3;
+  const Tensor reference = core::HopFeatures::compute(adj, x, k).stacked();
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: exit code encodes its outcome (compute vs read), or 1 on a
+    // wrong answer — the parent folds it into the one-compute assertion.
+    FeatureStore child({.directory = dir.path, .cross_process_leases = true});
+    StoreOutcome from = StoreOutcome::kMemoryHit;
+    const core::HopFeatures got = child.get_or_compute(adj, x, k, &from);
+    if (!bit_exact(got.stacked(), reference)) _exit(1);
+    _exit(from == StoreOutcome::kComputed ? 10 : 11);
+  }
+  FeatureStore parent({.directory = dir.path, .cross_process_leases = true});
+  StoreOutcome from = StoreOutcome::kMemoryHit;
+  const core::HopFeatures got = parent.get_or_compute(adj, x, k, &from);
+  EXPECT_TRUE(bit_exact(got.stacked(), reference));
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  const int child_code = WEXITSTATUS(status);
+  ASSERT_NE(child_code, 1) << "child read wrong feature bytes";
+  const int computes = (from == StoreOutcome::kComputed ? 1 : 0) +
+                       (child_code == 10 ? 1 : 0);
+  EXPECT_EQ(computes, 1) << "the lease must serialize phase-1 to one runner";
+
+  // One shard on disk, no lease or staging residue.
+  std::size_t shards = 0, residue = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".feat") {
+      ++shards;
+    } else if (name.find(".tmp") != std::string::npos) {
+      ++residue;
+    }
+  }
+  EXPECT_EQ(shards, 1u);
+  EXPECT_EQ(residue, 0u);
+}
+#endif
 
 }  // namespace
 }  // namespace hoga::store
