@@ -9,7 +9,10 @@
 # racing read_dir recovery in the soak), and the observability layer
 # (atomic metric cells, thread-local span stacks, cross-thread clock
 # handoff) are heavily multi-threaded, so the sanitizer pass is not
-# optional before merging changes to src/serve, src/store, src/storage,
+# optional before merging changes to src/serve, src/batch (the coalescing
+# scheduler's executor thread races submit/flush/shutdown against promise
+# delivery and token-bucket state; test_batch.cpp plus the bench_serving
+# sweep drive those paths under both builds), src/store, src/storage,
 # src/obs, src/util, or src/fault — nor for src/tensor (the
 # blocked kernels and the bump arena: packing index math, Scratch LIFO
 # lifetimes, and uninitialized Tensor::empty storage are exactly what

@@ -4,33 +4,37 @@
 Usage: scripts/perf_diff.py BASELINE.json CURRENT.json [--threshold=0.10]
 
 Each file is the output of a bench binary's `--out=...`: an object mapping
-case names to metric objects. Two formats are understood:
+case names to metric objects. Three formats are understood:
 
   BENCH_kernels.json  {"gemm": {"gflops": ..., "best_ms": ...}, ...}
   BENCH_dist.json     {"clean_w4": {"throughput": ...}, ...}
+  BENCH_serving.json  {"batch_cap_8": {"throughput": ..., "p99_ms": ...}, ...}
 
-The compared metric is "gflops" when an entry has one, else "throughput"
-(rows/s); both are higher-is-better. Top-level metadata entries that are
-not objects with either key ("bench", "seed", ...) are skipped. A case has
-regressed when its current metric is more than `threshold` (default 10%)
-below the baseline's. Cases present in only one file are reported but are
-not failures (benches gain cases over time). Exits 1 if any case
-regressed, 0 otherwise — wire it between two bench runs to gate a
-perf-sensitive change.
+Every known metric present in an entry is compared: "gflops" and
+"throughput" (rows or requests per second) are higher-is-better; "p99_ms"
+(tail latency) is lower-is-better. Top-level metadata entries that are not
+objects with any known key ("bench", "seed", ...) are skipped. A case has
+regressed when any of its metrics moves more than `threshold` (default
+10%) in the bad direction — so a serving change that holds throughput but
+blows up tail latency still fails the gate. Cases present in only one file
+are reported but are not failures (benches gain cases over time). Exits 1
+if any case regressed, 0 otherwise — wire it between two bench runs to
+gate a perf-sensitive change.
 """
 
 import json
 import sys
 
-METRICS = ("gflops", "throughput")
+HIGHER_IS_BETTER = ("gflops", "throughput")
+LOWER_IS_BETTER = ("p99_ms",)
 
 
-def metric_of(entry):
-    if isinstance(entry, dict):
-        for key in METRICS:
-            if key in entry:
-                return entry[key]
-    return None
+def metrics_of(entry):
+    if not isinstance(entry, dict):
+        return {}
+    return {key: entry[key]
+            for key in HIGHER_IS_BETTER + LOWER_IS_BETTER
+            if key in entry}
 
 
 def load(path):
@@ -38,8 +42,8 @@ def load(path):
         data = json.load(f)
     if not isinstance(data, dict):
         raise SystemExit(f"{path}: expected a JSON object of bench results")
-    return {name: metric_of(entry) for name, entry in data.items()
-            if metric_of(entry) is not None}
+    return {name: m for name, entry in data.items()
+            if (m := metrics_of(entry))}
 
 
 def main(argv):
@@ -56,27 +60,36 @@ def main(argv):
 
     base, cur = load(paths[0]), load(paths[1])
     regressions = []
-    print(f"{'case':<24} {'base':>13} {'current':>13} {'delta':>8}")
+    print(f"{'case':<32} {'base':>13} {'current':>13} {'delta':>8}")
     for name in sorted(set(base) | set(cur)):
         if name not in base:
-            print(f"{name:<24} {'-':>13} {cur[name]:>13.2f}   (new)")
+            for metric, value in cur[name].items():
+                print(f"{name + '.' + metric:<32} {'-':>13} {value:>13.2f}"
+                      f"   (new)")
             continue
         if name not in cur:
-            print(f"{name:<24} {base[name]:>13.2f} {'-':>13}   (gone)")
+            for metric, value in base[name].items():
+                print(f"{name + '.' + metric:<32} {value:>13.2f} {'-':>13}"
+                      f"   (gone)")
             continue
-        b, c = base[name], cur[name]
-        delta = (c - b) / b if b > 0 else 0.0
-        flag = ""
-        if delta < -threshold:
-            regressions.append(name)
-            flag = "  REGRESSED"
-        print(f"{name:<24} {b:>13.2f} {c:>13.2f} {delta:>+7.1%}{flag}")
+        for metric in sorted(set(base[name]) & set(cur[name])):
+            b, c = base[name][metric], cur[name][metric]
+            delta = (c - b) / b if b > 0 else 0.0
+            # Regression = the metric moved past the threshold in its bad
+            # direction: down for throughput-likes, up for latency-likes.
+            worse = -delta if metric in LOWER_IS_BETTER else delta
+            flag = ""
+            if worse < -threshold:
+                regressions.append(f"{name}.{metric}")
+                flag = "  REGRESSED"
+            print(f"{name + '.' + metric:<32} {b:>13.2f} {c:>13.2f} "
+                  f"{delta:>+7.1%}{flag}")
 
     if regressions:
-        print(f"\n{len(regressions)} case(s) regressed more than "
+        print(f"\n{len(regressions)} metric(s) regressed more than "
               f"{threshold:.0%}: {', '.join(regressions)}")
         return 1
-    print(f"\nno case regressed more than {threshold:.0%}")
+    print(f"\nno metric regressed more than {threshold:.0%}")
     return 0
 
 

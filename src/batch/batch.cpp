@@ -1,0 +1,447 @@
+#include "batch/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "validate/validate.hpp"
+
+namespace hoga::batch {
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t ms_to_ns(double ms) {
+  if (ms <= 0) return 0;
+  return static_cast<std::uint64_t>(ms * 1e6);
+}
+
+}  // namespace
+
+const char* lane_name(Lane lane) {
+  switch (lane) {
+    case Lane::kInteractive: return "interactive";
+    case Lane::kBulk: return "bulk";
+  }
+  return "unknown";
+}
+
+const char* close_reason_name(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kRowCap: return "row_cap";
+    case CloseReason::kDeadline: return "deadline";
+    case CloseReason::kLinger: return "linger";
+    case CloseReason::kShape: return "shape";
+    case CloseReason::kFlush: return "flush";
+    case CloseReason::kEager: return "eager";
+  }
+  return "unknown";
+}
+
+std::string BatchStats::counts_signature() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " rejected_quota=" << rejected_quota
+     << " rejected_depth=" << rejected_depth << " batches=" << batches
+     << " rows=" << rows << " failed_batches=" << failed_batches
+     << " closed_row_cap=" << closed_row_cap
+     << " closed_deadline=" << closed_deadline
+     << " closed_linger=" << closed_linger << " closed_shape=" << closed_shape
+     << " closed_flush=" << closed_flush << " closed_eager=" << closed_eager;
+  return os.str();
+}
+
+BatchScheduler::BatchScheduler(BatchConfig config, Forward forward)
+    : config_(config), forward_(std::move(forward)) {
+  HOGA_CHECK(config_.max_batch_rows > 0,
+             "BatchScheduler: max_batch_rows must be > 0");
+  HOGA_CHECK(config_.ewma_alpha > 0 && config_.ewma_alpha <= 1,
+             "BatchScheduler: ewma_alpha must be in (0, 1]");
+  HOGA_CHECK(forward_ != nullptr, "BatchScheduler: forward must be set");
+  clock_ = config_.clock ? config_.clock : &obs::SteadyClock::instance();
+  ewma_forward_ms_ = config_.initial_forward_ms;
+
+  if (config_.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(true);
+  }
+  metrics_ = config_.metrics ? config_.metrics : owned_metrics_.get();
+  c_.submitted = metrics_->counter("batch.submitted");
+  c_.rejected_quota = metrics_->counter("batch.rejected_quota");
+  c_.rejected_depth = metrics_->counter("batch.rejected_depth");
+  c_.batches = metrics_->counter("batch.batches");
+  c_.rows = metrics_->counter("batch.rows");
+  c_.failed_batches = metrics_->counter("batch.failed_batches");
+  for (int r = 0; r < kNumCloseReasons; ++r) {
+    c_.closed[r] = metrics_->counter(
+        std::string("batch.closed.") +
+        close_reason_name(static_cast<CloseReason>(r)));
+  }
+  c_.occupancy_rows =
+      metrics_->histogram("batch.occupancy_rows", obs::row_count_bounds());
+  c_.requests_per_batch =
+      metrics_->histogram("batch.requests_per_batch", obs::row_count_bounds());
+  for (int l = 0; l < kNumLanes; ++l) {
+    c_.lane_rows[l] = metrics_->histogram(
+        std::string("batch.lane_rows.") + lane_name(static_cast<Lane>(l)),
+        obs::row_count_bounds());
+  }
+
+  if (config_.background) {
+    executor_ = std::thread([this] { executor_loop(); });
+  }
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+  // Anything still pending (manual mode, or admitted after the executor's
+  // final drain began) runs now so no admitted future is abandoned.
+  flush();
+}
+
+SubmitResult BatchScheduler::submit(const Tensor& input, Lane lane,
+                                    std::uint64_t tenant_id,
+                                    double deadline_ms) {
+  HOGA_CHECK(input.defined() && input.dim() == 3,
+             "BatchScheduler::submit: input must be a [B, k+1, d0] batch");
+  const std::int64_t rows = input.size(0);
+  SubmitResult result;
+  Closed due;
+  bool run_due = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::uint64_t now = clock_->now_ns();
+    LaneState& state = lanes_[static_cast<int>(lane)];
+
+    // Tenant token bucket (rows/sec). Tenant 0 and rate 0 bypass quotas.
+    if (config_.tenant_rows_per_sec > 0 && tenant_id != 0) {
+      const double burst = config_.tenant_burst_rows > 0
+                               ? config_.tenant_burst_rows
+                               : config_.tenant_rows_per_sec;
+      TokenBucket& bucket = buckets_[tenant_id];
+      if (!bucket.initialized) {
+        bucket.initialized = true;
+        bucket.tokens = burst;
+      } else {
+        const double elapsed_s =
+            static_cast<double>(now - bucket.last_refill_ns) / 1e9;
+        bucket.tokens = std::min(
+            burst, bucket.tokens + elapsed_s * config_.tenant_rows_per_sec);
+      }
+      bucket.last_refill_ns = now;
+      if (bucket.tokens < static_cast<double>(rows)) {
+        c_.rejected_quota.inc();
+        result.reject_reason = "tenant quota exceeded";
+        result.retry_after_ms = (static_cast<double>(rows) - bucket.tokens) /
+                                config_.tenant_rows_per_sec * 1000.0;
+        return result;
+      }
+      bucket.tokens -= static_cast<double>(rows);
+    }
+
+    // Lane-depth backpressure: retry hint = the lane's estimated drain
+    // time, so clients back off for as long as the backlog really needs.
+    if (static_cast<std::size_t>(state.pending_rows) >= config_.max_lane_rows) {
+      c_.rejected_depth.inc();
+      result.reject_reason = "lane full";
+      result.retry_after_ms = drain_estimate_ms(state);
+      return result;
+    }
+
+    Pending pending;
+    pending.input = input;
+    pending.rows = rows;
+    pending.enqueue_ns = now;
+    pending.deadline_ns = now + ms_to_ns(deadline_ms);
+    result.output = pending.promise.get_future();
+    state.fifo.push_back(std::move(pending));
+    state.pending_rows += rows;
+    c_.submitted.inc();
+    c_.lane_rows[static_cast<int>(lane)].record(
+        static_cast<double>(state.pending_rows));
+    result.admitted = true;
+
+    if (config_.background) {
+      cv_.notify_one();
+    } else if (static_cast<std::size_t>(state.pending_rows) >=
+               config_.max_batch_rows) {
+      // Manual mode still honors close (a) inline: a cap-full batch must
+      // not wait for the next pump() — that is what bounds batch size.
+      run_due = pop_due(clock_->now_ns(), &due);
+    }
+  }
+  if (run_due) execute(std::move(due));
+  return result;
+}
+
+bool BatchScheduler::lane_due(const LaneState& lane, std::uint64_t now_ns,
+                              CloseReason* reason) const {
+  if (lane.fifo.empty()) return false;
+  if (static_cast<std::size_t>(lane.pending_rows) >= config_.max_batch_rows) {
+    *reason = CloseReason::kRowCap;
+    return true;
+  }
+  const Pending& oldest = lane.fifo.front();
+  const std::int64_t slack_ns =
+      static_cast<std::int64_t>(oldest.deadline_ns) -
+      static_cast<std::int64_t>(now_ns);
+  if (slack_ns <= static_cast<std::int64_t>(ms_to_ns(ewma_forward_ms_))) {
+    *reason = CloseReason::kDeadline;
+    return true;
+  }
+  if (now_ns - oldest.enqueue_ns >= ms_to_ns(config_.max_linger_ms)) {
+    *reason = CloseReason::kLinger;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t BatchScheduler::earliest_due_ns() const {
+  std::uint64_t due = kNever;
+  for (const LaneState& lane : lanes_) {
+    if (lane.fifo.empty()) continue;
+    const Pending& oldest = lane.fifo.front();
+    const std::uint64_t linger_at =
+        oldest.enqueue_ns + ms_to_ns(config_.max_linger_ms);
+    const std::uint64_t ewma_ns = ms_to_ns(ewma_forward_ms_);
+    const std::uint64_t deadline_at =
+        oldest.deadline_ns > ewma_ns ? oldest.deadline_ns - ewma_ns : 0;
+    due = std::min({due, linger_at, deadline_at});
+  }
+  return due;
+}
+
+bool BatchScheduler::pop_due(std::uint64_t now_ns, Closed* out) {
+  for (int l = 0; l < kNumLanes; ++l) {
+    CloseReason reason;
+    if (lane_due(lanes_[l], now_ns, &reason)) {
+      *out = pop_batch(static_cast<Lane>(l), reason);
+      return true;
+    }
+  }
+  return false;
+}
+
+BatchScheduler::Closed BatchScheduler::pop_batch(Lane which,
+                                                 CloseReason reason) {
+  LaneState& lane = lanes_[static_cast<int>(which)];
+  Closed closed;
+  closed.lane = which;
+  closed.reason = reason;
+  while (!lane.fifo.empty()) {
+    Pending& next = lane.fifo.front();
+    if (!closed.requests.empty()) {
+      if (static_cast<std::size_t>(closed.rows + next.rows) >
+          config_.max_batch_rows) {
+        break;
+      }
+      if (validate::check_concat_compatible(closed.requests.front().input,
+                                            next.input)) {
+        // Shape fault line: the open batch closes here; the incompatible
+        // request leads the next one.
+        if (closed.reason != CloseReason::kRowCap) {
+          closed.reason = CloseReason::kShape;
+        }
+        break;
+      }
+    }
+    closed.rows += next.rows;
+    closed.requests.push_back(std::move(next));
+    lane.fifo.pop_front();
+  }
+  lane.pending_rows -= closed.rows;
+  return closed;
+}
+
+void BatchScheduler::execute(Closed closed) {
+  if (closed.requests.empty()) return;
+  const Tensor& head = closed.requests.front().input;
+  const std::int64_t hops = head.size(1);
+  const std::int64_t dim = head.size(2);
+
+  obs::Span span;
+  if (config_.tracer) span = config_.tracer->span("batch.execute");
+  if (span.active()) {
+    span.set_attr("lane", lane_name(closed.lane));
+    span.set_attr("reason", close_reason_name(closed.reason));
+    span.set_attr("rows", std::to_string(closed.rows));
+    span.set_attr("requests", std::to_string(closed.requests.size()));
+  }
+
+  // Concatenate rows — requests in one batch are concat-compatible by
+  // construction (pop_batch cuts at the first shape fault line).
+  Tensor input({closed.rows, hops, dim});
+  std::int64_t row = 0;
+  for (const Pending& p : closed.requests) {
+    std::memcpy(input.data() + row * hops * dim, p.input.data(),
+                static_cast<std::size_t>(p.rows * hops * dim) * sizeof(float));
+    row += p.rows;
+  }
+
+  const std::uint64_t t0 = clock_->now_ns();
+  Tensor output;
+  bool ok = true;
+  std::exception_ptr error;
+  try {
+    output = forward_(input);
+  } catch (...) {
+    ok = false;
+    error = std::current_exception();
+  }
+  const double forward_ms =
+      static_cast<double>(clock_->now_ns() - t0) / 1e6;
+
+  c_.batches.inc();
+  c_.rows.inc(closed.rows);
+  c_.closed[static_cast<int>(closed.reason)].inc();
+  c_.occupancy_rows.record(static_cast<double>(closed.rows));
+  c_.requests_per_batch.record(static_cast<double>(closed.requests.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ewma_forward_ms_ = config_.ewma_alpha * forward_ms +
+                       (1 - config_.ewma_alpha) * ewma_forward_ms_;
+  }
+
+  if (!ok) {
+    c_.failed_batches.inc();
+    if (span.active()) span.set_error("batched forward failed");
+    for (Pending& p : closed.requests) p.promise.set_exception(error);
+    return;
+  }
+  // Scatter: request i owns rows [offset, offset + rows) of the output.
+  const std::int64_t out_dim = output.size(1);
+  std::int64_t offset = 0;
+  for (Pending& p : closed.requests) {
+    Tensor slice({p.rows, out_dim});
+    std::memcpy(slice.data(), output.data() + offset * out_dim,
+                static_cast<std::size_t>(p.rows * out_dim) * sizeof(float));
+    offset += p.rows;
+    p.promise.set_value(std::move(slice));
+  }
+}
+
+int BatchScheduler::pump() {
+  int executed = 0;
+  for (;;) {
+    Closed due;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!pop_due(clock_->now_ns(), &due)) break;
+    }
+    execute(std::move(due));
+    ++executed;
+  }
+  return executed;
+}
+
+int BatchScheduler::flush() {
+  int executed = 0;
+  for (;;) {
+    Closed closed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      int which = -1;
+      for (int l = 0; l < kNumLanes; ++l) {
+        if (!lanes_[l].fifo.empty()) {
+          which = l;
+          break;
+        }
+      }
+      if (which < 0) break;
+      closed = pop_batch(static_cast<Lane>(which), CloseReason::kFlush);
+    }
+    execute(std::move(closed));
+    ++executed;
+  }
+  return executed;
+}
+
+void BatchScheduler::executor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    Closed due;
+    if (pop_due(clock_->now_ns(), &due)) {
+      lock.unlock();
+      execute(std::move(due));
+      lock.lock();
+      continue;
+    }
+    // Work-conserving close: nothing is due and the executor is about to
+    // sleep, yet a lane already holds a substantial batch. Waiting for the
+    // linger timer here would idle the executor while work sits queued —
+    // the dead time cap-1 scheduling never pays — so run it now. Below the
+    // threshold the linger/deadline heuristics still gather more rows.
+    if (config_.eager_close_fraction > 0) {
+      const auto eager_rows = static_cast<std::int64_t>(std::max(
+          1.0, config_.eager_close_fraction *
+                   static_cast<double>(config_.max_batch_rows)));
+      int which = -1;
+      for (int l = 0; l < kNumLanes; ++l) {
+        if (lanes_[l].pending_rows >= eager_rows) {
+          which = l;
+          break;
+        }
+      }
+      if (which >= 0) {
+        Closed eager = pop_batch(static_cast<Lane>(which), CloseReason::kEager);
+        lock.unlock();
+        execute(std::move(eager));
+        lock.lock();
+        continue;
+      }
+    }
+    const std::uint64_t due_at = earliest_due_ns();
+    if (due_at == kNever) {
+      cv_.wait(lock);
+      continue;
+    }
+    const std::uint64_t now = clock_->now_ns();
+    if (due_at <= now) continue;
+    cv_.wait_for(lock, std::chrono::nanoseconds(due_at - now));
+  }
+}
+
+BatchStats BatchScheduler::stats() const {
+  BatchStats s;
+  s.submitted = c_.submitted.value();
+  s.rejected_quota = c_.rejected_quota.value();
+  s.rejected_depth = c_.rejected_depth.value();
+  s.batches = c_.batches.value();
+  s.rows = c_.rows.value();
+  s.failed_batches = c_.failed_batches.value();
+  s.closed_row_cap = c_.closed[static_cast<int>(CloseReason::kRowCap)].value();
+  s.closed_deadline =
+      c_.closed[static_cast<int>(CloseReason::kDeadline)].value();
+  s.closed_linger = c_.closed[static_cast<int>(CloseReason::kLinger)].value();
+  s.closed_shape = c_.closed[static_cast<int>(CloseReason::kShape)].value();
+  s.closed_flush = c_.closed[static_cast<int>(CloseReason::kFlush)].value();
+  s.closed_eager = c_.closed[static_cast<int>(CloseReason::kEager)].value();
+  return s;
+}
+
+double BatchScheduler::ewma_forward_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_forward_ms_;
+}
+
+std::size_t BatchScheduler::lane_rows(Lane lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      lanes_[static_cast<int>(lane)].pending_rows);
+}
+
+double BatchScheduler::drain_estimate_ms(const LaneState& lane) const {
+  const double queued_batches = std::max(
+      1.0, std::ceil(static_cast<double>(lane.pending_rows) /
+                     static_cast<double>(config_.max_batch_rows)));
+  return queued_batches * std::max(ewma_forward_ms_, 0.01);
+}
+
+}  // namespace hoga::batch

@@ -1,0 +1,254 @@
+#pragma once
+// hoga::batch — coalescing batch scheduler for the serving runtime
+// (DESIGN.md §14).
+//
+// HOGA's hop-wise decoupling (Eq. 3) makes every node's forward pass
+// independent of every other node's, so concurrent inference requests can
+// be merged into ONE batched forward by concatenating their hop-feature
+// rows and scattering the head outputs back — the same property the paper
+// exploits for scalable training transfers directly to serving. This
+// module is the piece that decides *when* to merge and *what* to merge:
+//
+//   - requests are accumulated into a pending FIFO per priority lane
+//     (kInteractive drains before kBulk whenever both are runnable, so an
+//     interactive request is never stuck behind a full bulk batch);
+//   - a batch closes when (a) it reaches the row cap, (b) the oldest
+//     request's deadline slack drops below the EWMA-estimated forward
+//     time, or (c) a max-linger timer fires — and early when the next
+//     request's hop shape is not concat-compatible with the open batch
+//     (validate::check_concat_compatible);
+//   - per-tenant admission quotas are token buckets in rows/sec: no one
+//     tenant can monopolize batch capacity, and a rejected tenant gets a
+//     retry hint equal to its bucket's actual refill time;
+//   - lane-depth backpressure: when a lane's pending rows exceed the cap,
+//     the reject's retry_after is the lane's estimated drain time
+//     (queued batches × EWMA forward time), not a flat constant.
+//
+// Bit-exactness: the scheduler never changes arithmetic — it only chooses
+// row order within one forward. Every kernel the serving forward touches
+// (GEMM, layer norm, softmax, the attention ops) processes rows
+// independently with a per-element accumulation order that does not depend
+// on which other rows share the call (DESIGN.md §11), so the scattered
+// slice of a coalesced forward is byte-identical to the request's own
+// sequential forward. tests/test_batch.cpp asserts this for arbitrary
+// arrival interleavings.
+//
+// Determinism: every timing decision (deadline slack, linger, token-bucket
+// refill, the EWMA samples) reads the configured obs::Clock. With
+// `background = false` the scheduler has no thread of its own — tests
+// drive it with pump() under an obs::FakeClock and get byte-identical
+// stats snapshots, spans, and signatures for a scripted schedule. The
+// serving runtime uses `background = true`, where a single closer/executor
+// thread applies the same close logic on real time.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::batch {
+
+/// Priority lanes, highest priority first. Whenever both lanes have a
+/// runnable batch, kInteractive executes before kBulk.
+enum class Lane : int { kInteractive = 0, kBulk = 1 };
+inline constexpr int kNumLanes = 2;
+const char* lane_name(Lane lane);
+
+/// Why a batch was closed (the close-reason counters/histogram key).
+enum class CloseReason : int {
+  kRowCap = 0,   // pending rows reached max_batch_rows
+  kDeadline,     // oldest request's slack fell below the EWMA forward time
+  kLinger,       // oldest request waited max_linger_ms
+  kShape,        // next request not concat-compatible with the open batch
+  kFlush,        // explicit flush() / shutdown drain
+  kEager,        // executor idle + lane past the work-conserving threshold
+};
+inline constexpr int kNumCloseReasons = 6;
+const char* close_reason_name(CloseReason reason);
+
+struct BatchConfig {
+  std::size_t max_batch_rows = 64;  // close (a): rows per coalesced forward
+  double max_linger_ms = 2.0;       // close (c): oldest-request wait bound
+  /// EWMA smoothing for the forward-time estimate that drives close (b)
+  /// and the drain-time retry hints.
+  double ewma_alpha = 0.25;
+  double initial_forward_ms = 1.0;  // EWMA prior before the first sample
+  /// Work-conserving close: when the background executor is otherwise idle
+  /// and a lane holds at least this fraction of max_batch_rows, close it
+  /// immediately instead of waiting for linger/deadline — batching exists
+  /// to fill the executor's time, not to delay work when capacity is free.
+  /// A half-full batch already amortizes most per-forward overhead; below
+  /// the threshold the linger/deadline heuristics still gather more rows.
+  /// 0 disables (strict-trigger mode). Background mode only.
+  double eager_close_fraction = 0.5;
+  /// Admission bound per lane, in pending rows; at or past it submits are
+  /// rejected with a drain-time retry hint.
+  std::size_t max_lane_rows = 4096;
+  /// Token-bucket tenant quotas in rows/sec; 0 disables quotas entirely
+  /// (every tenant_id admitted). Requests with tenant_id 0 are exempt.
+  double tenant_rows_per_sec = 0;
+  double tenant_burst_rows = 0;  // bucket capacity; 0 = tenant_rows_per_sec
+  /// true: the scheduler owns a closer/executor thread (serving mode).
+  /// false: no thread; the owner calls pump()/flush() — the deterministic
+  /// mode the FakeClock tests script.
+  bool background = true;
+  /// Timing source for every scheduling decision; null = SteadyClock.
+  /// Background mode requires a clock whose readings track real time.
+  obs::Clock* clock = nullptr;
+  /// Optional sinks: "batch.*" counters/histograms and one "batch.execute"
+  /// span per coalesced forward. A private registry backs stats() when
+  /// `metrics` is null, so counts work either way.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
+/// Admission verdict for one submit. When admitted, `output` resolves to
+/// this request's rows of the coalesced forward ([b, out_dim]); it carries
+/// the forward's exception if the batch failed. When rejected, `output` is
+/// invalid and retry_after_ms holds the backpressure hint.
+struct SubmitResult {
+  bool admitted = false;
+  std::string reject_reason;  // "tenant quota exceeded" / "lane full"
+  double retry_after_ms = 0;
+  std::future<Tensor> output;
+};
+
+/// Deterministic outcome counters (mirrored in the obs registry under
+/// "batch.*" names; stats() reconstructs the struct from the handles).
+struct BatchStats {
+  long long submitted = 0;       // requests admitted into a lane
+  long long rejected_quota = 0;  // token-bucket rejections
+  long long rejected_depth = 0;  // lane-full rejections
+  long long batches = 0;         // coalesced forwards executed
+  long long rows = 0;            // total rows across executed batches
+  long long failed_batches = 0;  // forwards that threw
+  long long closed_row_cap = 0;
+  long long closed_deadline = 0;
+  long long closed_linger = 0;
+  long long closed_shape = 0;
+  long long closed_flush = 0;
+  long long closed_eager = 0;
+  /// The deterministic part, e.g. "submitted=12 ... closed_flush=1".
+  std::string counts_signature() const;
+};
+
+class BatchScheduler {
+ public:
+  /// `forward` maps a concatenated hop batch [ΣB, k+1, d0] to head outputs
+  /// [ΣB, out_dim]. It runs on the executor thread (background mode) or
+  /// inside pump()/flush(); one call at a time, never concurrently.
+  using Forward = std::function<Tensor(const Tensor&)>;
+
+  BatchScheduler(BatchConfig config, Forward forward);
+  /// Drains: every pending request is executed (close reason kFlush) before
+  /// the executor joins — no admitted future is ever abandoned.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Admits `input` ([b, k+1, d0]) into `lane`. `deadline_ms` is this
+  /// request's slack from now; it drives close (b). Thread-safe.
+  SubmitResult submit(const Tensor& input, Lane lane, std::uint64_t tenant_id,
+                      double deadline_ms);
+
+  /// Closes and executes every batch that is due at the current clock
+  /// reading, highest-priority lane first; returns how many ran. The
+  /// manual-mode pacing hook (background mode pumps itself).
+  int pump();
+
+  /// Closes and executes everything pending regardless of due times
+  /// (close reason kFlush); returns how many batches ran.
+  int flush();
+
+  BatchStats stats() const;
+
+  /// Current EWMA estimate of one coalesced forward, in ms. Seeds at
+  /// config.initial_forward_ms; the serving runtime scales its overload
+  /// retry hints by it.
+  double ewma_forward_ms() const;
+
+  /// Pending rows in `lane` (admission depth the backpressure compares
+  /// against max_lane_rows).
+  std::size_t lane_rows(Lane lane) const;
+
+  const BatchConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    Tensor input;
+    std::int64_t rows = 0;
+    std::uint64_t enqueue_ns = 0;
+    std::uint64_t deadline_ns = 0;  // absolute, scheduler-clock
+    std::promise<Tensor> promise;
+  };
+  struct LaneState {
+    std::deque<Pending> fifo;
+    std::int64_t pending_rows = 0;
+  };
+  struct Closed {
+    Lane lane = Lane::kInteractive;
+    CloseReason reason = CloseReason::kFlush;
+    std::vector<Pending> requests;
+    std::int64_t rows = 0;
+  };
+  struct TokenBucket {
+    bool initialized = false;  // first sight starts the bucket full
+    double tokens = 0;
+    std::uint64_t last_refill_ns = 0;
+  };
+
+  /// Close trigger for `lane` at time `now`; false when nothing is due.
+  bool lane_due(const LaneState& lane, std::uint64_t now_ns,
+                CloseReason* reason) const;
+  /// Earliest future instant at which some lane becomes due (UINT64_MAX
+  /// when all lanes are empty).
+  std::uint64_t earliest_due_ns() const;
+  /// Pops the next runnable batch (priority order) if one is due; empty
+  /// optional otherwise. Caller holds mu_.
+  bool pop_due(std::uint64_t now_ns, Closed* out);
+  /// Pops the longest concat-compatible prefix of `lane` within the row
+  /// cap. Caller holds mu_.
+  Closed pop_batch(Lane which, CloseReason reason);
+  /// Runs one closed batch: concat → forward → scatter. No lock held.
+  void execute(Closed closed);
+  double drain_estimate_ms(const LaneState& lane) const;
+  void executor_loop();
+
+  BatchConfig config_;
+  Forward forward_;
+  obs::Clock* clock_;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  struct Counters {
+    obs::Counter submitted, rejected_quota, rejected_depth, batches, rows,
+        failed_batches;
+    obs::Counter closed[kNumCloseReasons];  // indexed by CloseReason
+    obs::Histogram occupancy_rows;     // rows per executed batch
+    obs::Histogram requests_per_batch; // coalesced requests per batch
+    obs::Histogram lane_rows[kNumLanes];  // lane depth sampled per admit
+  } c_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  LaneState lanes_[kNumLanes];
+  std::unordered_map<std::uint64_t, TokenBucket> buckets_;
+  double ewma_forward_ms_ = 0;
+  bool stopping_ = false;
+  std::thread executor_;  // background mode only
+};
+
+}  // namespace hoga::batch

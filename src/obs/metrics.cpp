@@ -191,6 +191,13 @@ const std::vector<double>& latency_ms_bounds() {
   return bounds;
 }
 
+const std::vector<double>& row_count_bounds() {
+  static const std::vector<double> bounds = {
+      1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+      512.0, 1024.0, 2048.0, 4096.0};
+  return bounds;
+}
+
 void attach_queue_latency(ThreadPool& pool, MetricsRegistry& registry,
                           const std::string& name) {
   Histogram hist = registry.histogram(name, latency_ms_bounds());

@@ -162,6 +162,10 @@ class MetricsRegistry {
 /// Standard latency bucket bounds in milliseconds (sub-ms to 10 s).
 const std::vector<double>& latency_ms_bounds();
 
+/// Power-of-two row/occupancy bucket bounds (1 to 4096) for batch-size,
+/// batch-occupancy, and queue-depth-in-rows histograms (DESIGN.md §14).
+const std::vector<double>& row_count_bounds();
+
 /// Wires `pool`'s queue-latency sink into `registry[name]` (latency-ms
 /// buckets): every executed task records the time it spent queued. Replaces
 /// any previously-installed sink; call before tasks are submitted.

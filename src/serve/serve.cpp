@@ -98,7 +98,9 @@ std::string ServeStats::counts_signature() const {
      << " timed_out=" << timed_out << " failed=" << failed
      << " breaker_trips=" << breaker_trips
      << " feature_cache_hits=" << feature_cache_hits
-     << " feature_cache_misses=" << feature_cache_misses;
+     << " feature_cache_misses=" << feature_cache_misses
+     << " batched=" << batched << " batches=" << batches
+     << " batch_quota_rejected=" << batch_quota_rejected;
   return os.str();
 }
 
@@ -160,11 +162,27 @@ InferenceService::InferenceService(const core::Hoga& model, ServeConfig config)
     scrubber_ = std::make_unique<storage::Scrubber>(sc);
     scrubber_->start(config_.scrub_interval_ms);
   }
+
+  ewma_forward_ms_ = std::make_shared<std::atomic<double>>(0.0);
+  if (config_.batching) {
+    batch::BatchConfig bc = config_.batch;
+    // The scheduler shares the service's observability wiring so its
+    // close decisions, spans, and counters land in the same registry and
+    // stay deterministic under the same FakeClock.
+    bc.clock = obs_clock_;
+    bc.metrics = metrics_;
+    bc.tracer = config_.tracer;
+    scheduler_ = std::make_unique<batch::BatchScheduler>(
+        bc, [this](const Tensor& input) { return batched_forward(input); });
+  }
 }
 
 InferenceService::~InferenceService() {
   // Stop the scrubber before the pool so no sweep races service teardown.
   if (scrubber_) scrubber_->stop();
+  // The scheduler drains (every admitted future resolves) before the model
+  // reference can go away.
+  scheduler_.reset();
 }
 
 ServeStats InferenceService::stats() const {
@@ -180,9 +198,19 @@ ServeStats InferenceService::stats() const {
   s.breaker_trips = c_.breaker_trips.value();
   s.feature_cache_hits = c_.feature_cache_hits.value();
   s.feature_cache_misses = c_.feature_cache_misses.value();
+  if (scheduler_) {
+    const batch::BatchStats b = scheduler_->stats();
+    s.batched = b.submitted;
+    s.batches = b.batches;
+    s.batch_quota_rejected = b.rejected_quota;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   s.latencies_ms = latencies_ms_;
   return s;
+}
+
+batch::BatchStats InferenceService::batch_stats() const {
+  return scheduler_ ? scheduler_->stats() : batch::BatchStats{};
 }
 
 void InferenceService::reset_stats() {
@@ -389,11 +417,61 @@ Response InferenceService::infer(const Request& request) {
     return finalize(std::move(r), ms_since(start), false);
   }
 
-  Response r = execute_full(input, deadline, req_span.id());
+  Response r = scheduler_
+                   ? execute_batched(input, request, deadline, deadline_ms)
+                   : execute_full(input, deadline, req_span.id());
   if (r.outcome == Outcome::kServed && request.cache_key != 0) {
     update_cache(request.cache_key, r.output);
   }
   return finalize(std::move(r), ms_since(start), is_probe);
+}
+
+Response InferenceService::execute_batched(const Tensor& input,
+                                           const Request& request,
+                                           Clock::time_point deadline,
+                                           double deadline_ms) {
+  batch::SubmitResult sub = scheduler_->submit(input, request.lane,
+                                               request.tenant_id, deadline_ms);
+  if (!sub.admitted) {
+    Response r = reject(Outcome::kRejectedOverload, sub.reject_reason);
+    r.retry_after_ms = sub.retry_after_ms;
+    return r;
+  }
+  // The caller's deadline stays on the real clock even when the
+  // scheduler's close heuristics run on a fake one: a coalesced request
+  // times out exactly like a per-request one. The scheduler still owns the
+  // batch (deadline-aware close bounds how much of it computes after we
+  // leave), so an abandoned future is just a discarded slot.
+  if (sub.output.wait_until(deadline) != std::future_status::ready) {
+    return reject(Outcome::kTimedOut, "deadline expired (batched)");
+  }
+  Response r;
+  try {
+    r.output = sub.output.get();
+    r.outcome = Outcome::kServed;
+  } catch (const std::exception& e) {
+    return reject(Outcome::kFailed, e.what());
+  }
+  return r;
+}
+
+Tensor InferenceService::batched_forward(const Tensor& input) const {
+  // Same chunking as execute_full (deadline granularity is the scheduler's
+  // job here, but the node_batch chunks keep arena footprints bounded and
+  // the fp path identical to the per-request route — chunk boundaries are
+  // bit-transparent by per-node independence, DESIGN.md §11).
+  ArenaScope arena;
+  const std::int64_t n = input.size(0);
+  const std::int64_t c = model_.config().out_dim;
+  Tensor out({n, c});
+  for (std::int64_t lo = 0; lo < n; lo += config_.node_batch) {
+    const std::int64_t hi = std::min(n, lo + config_.node_batch);
+    Tensor part =
+        model_.forward_eval(ag::constant(tensor_ops::slice_rows(input, lo, hi)))
+            .value();
+    std::copy(part.data(), part.data() + part.numel(), out.data() + lo * c);
+  }
+  return out;
 }
 
 Response InferenceService::execute_full(const Tensor& input,
@@ -412,8 +490,12 @@ Response InferenceService::execute_full(const Tensor& input,
     if (depth >= config_.queue_capacity) {
       adm_span.add_event("rejected_overload");
       Response r = reject(Outcome::kRejectedOverload, "admission queue full");
-      r.retry_after_ms =
-          config_.retry_after_ms * static_cast<double>(depth + 1);
+      // Backoff hint proportional to the work actually ahead of the
+      // client: queue depth × the EWMA forward time once measurements
+      // exist, the flat configured floor before then.
+      const double ewma = ewma_forward_ms_->load(std::memory_order_relaxed);
+      r.retry_after_ms = static_cast<double>(depth + 1) *
+                         (ewma > 0 ? ewma : config_.retry_after_ms);
       return r;
     }
     const std::int64_t n = input.size(0);
@@ -425,6 +507,7 @@ Response InferenceService::execute_full(const Tensor& input,
     obs::Tracer* tracer = config_.tracer;
     obs::Histogram queue_wait = c_.queue_wait_ms;
     obs::Clock* obs_clock = obs_clock_;
+    std::shared_ptr<std::atomic<double>> ewma = ewma_forward_ms_;
     // The admission span must close before the task can reach a worker:
     // from the enqueue read until the future resolves, the worker owns the
     // obs clock, which is what keeps scripted FakeClock runs totally
@@ -433,7 +516,7 @@ Response InferenceService::execute_full(const Tensor& input,
     const std::uint64_t enqueued_ns = obs_clock_->now_ns();
     handle = pool_->submit_cancellable([job, input, n, node_batch, model,
                                         tracer, queue_wait, obs_clock,
-                                        enqueued_ns,
+                                        enqueued_ns, ewma,
                                         request_span_id]() mutable {
       queue_wait.record(
           static_cast<double>(obs_clock->now_ns() - enqueued_ns) / 1e6);
@@ -459,6 +542,7 @@ Response InferenceService::execute_full(const Tensor& input,
       // into node chunks with a cancellation/deadline check between chunks.
       ArenaScope arena;  // kernel scratch reused across the chunk loop
       const std::int64_t c = model->config().out_dim;
+      const auto fwd_start = std::chrono::steady_clock::now();
       Tensor out({n, c});
       for (std::int64_t lo = 0; lo < n; lo += node_batch) {
         if (job->cancel.load(std::memory_order_relaxed)) return;
@@ -469,6 +553,15 @@ Response InferenceService::execute_full(const Tensor& input,
         std::copy(part.data(), part.data() + part.numel(),
                   out.data() + lo * c);
       }
+      // Feed the overload-reject backoff hint: blend this forward's wall
+      // time into the EWMA (same alpha as the batch scheduler's default).
+      const double fwd_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - fwd_start)
+              .count();
+      const double prev = ewma->load(std::memory_order_relaxed);
+      ewma->store(prev <= 0.0 ? fwd_ms : 0.25 * fwd_ms + 0.75 * prev,
+                  std::memory_order_relaxed);
       job->output = out;
     });
   }

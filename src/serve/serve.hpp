@@ -29,6 +29,7 @@
 // any number of client threads. The model must not be trained concurrently
 // (forward_eval shares the parameter tensors read-only).
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "batch/batch.hpp"
 #include "core/hoga_model.hpp"
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
@@ -89,6 +91,16 @@ struct ServeConfig {
   std::vector<std::string> scrub_directories;
   long long scrub_interval_ms = 200;
   bool scrub_quarantine = true;
+  /// Coalescing batch scheduler (DESIGN.md §14). When set, validated
+  /// requests are accumulated per priority lane and merged into one
+  /// concatenated [ΣB, k+1, d0] forward — legal and bit-exact by HOGA's
+  /// per-node independence (Eq. 3) — with deadline-aware batch close,
+  /// per-tenant row quotas, and depth-proportional backpressure. The
+  /// scheduler inherits the service's metrics/tracer/clock wiring; its
+  /// `clock`/`metrics`/`tracer` fields here are ignored. Off by default:
+  /// the per-request execution path is unchanged.
+  bool batching = false;
+  batch::BatchConfig batch;
 };
 
 /// One inference request: either a precomputed hop-feature batch
@@ -102,6 +114,13 @@ struct Request {
   /// Non-zero enables the cached-last-good degraded rung for this request
   /// (the key identifies the logical query across retries).
   std::uint64_t cache_key = 0;
+  /// Priority lane for the batching path (ignored when batching is off):
+  /// interactive batches always drain before bulk ones.
+  batch::Lane lane = batch::Lane::kInteractive;
+  /// Tenant for admission quotas (0 = untenanted, quota-exempt). A tenant
+  /// over its row budget gets kRejectedOverload with a refill-time
+  /// retry_after_ms.
+  std::uint64_t tenant_id = 0;
 };
 
 enum class Outcome {
@@ -141,6 +160,14 @@ struct ServeStats {
   /// (both zero when no store is configured or no AIG requests arrived).
   long long feature_cache_hits = 0;
   long long feature_cache_misses = 0;
+  /// Batching-path outcomes (all zero when ServeConfig::batching is off):
+  /// requests that went through the coalescing scheduler, coalesced
+  /// forwards executed, and tenant-quota rejections (also counted in
+  /// rejected_overload — this separates quota pressure from queue
+  /// pressure).
+  long long batched = 0;
+  long long batches = 0;
+  long long batch_quota_rejected = 0;
   std::vector<double> latencies_ms;  // kServed/kDegraded*/kTimedOut/kFailed
 
   long long degraded() const { return degraded_truncated + degraded_cached; }
@@ -211,6 +238,10 @@ class InferenceService {
   /// Requests currently executing on a worker thread.
   std::size_t active_requests() const;
 
+  /// The batch scheduler's own counters (close reasons, quota/depth
+  /// rejections, occupancy); all-zero when batching is off.
+  batch::BatchStats batch_stats() const;
+
   const ServeConfig& config() const { return config_; }
 
  private:
@@ -220,8 +251,14 @@ class InferenceService {
   Response execute_full(const Tensor& input,
                         std::chrono::steady_clock::time_point deadline,
                         std::uint64_t request_span_id);
+  Response execute_batched(const Tensor& input, const Request& request,
+                           std::chrono::steady_clock::time_point deadline,
+                           double deadline_ms);
   Response execute_degraded(const Tensor& input, std::uint64_t cache_key,
                             std::chrono::steady_clock::time_point deadline);
+  /// The scheduler's Forward: one coalesced [ΣB, k+1, d0] forward in
+  /// node_batch chunks on the scheduler's executor thread.
+  Tensor batched_forward(const Tensor& input) const;
   void record_result(Outcome outcome, double latency_ms, bool was_probe);
   void update_cache(std::uint64_t cache_key, const Tensor& output);
 
@@ -229,6 +266,11 @@ class InferenceService {
   ServeConfig config_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<storage::Scrubber> scrubber_;  // set iff scrub dirs given
+  std::unique_ptr<batch::BatchScheduler> scheduler_;  // set iff batching on
+  /// EWMA of full-path forward execution time (worker-measured, ms); scales
+  /// the kRejectedOverload retry hints so backoff tracks real service rate.
+  /// shared_ptr: the pool workers outlive individual requests.
+  std::shared_ptr<std::atomic<double>> ewma_forward_ms_;
 
   // ServeStats is re-based onto a metrics registry: the counters live in
   // config_.metrics (or this private registry when none is given) under

@@ -153,6 +153,31 @@ std::optional<std::string> check_aig(const aig::Aig& g,
   return std::nullopt;
 }
 
+std::optional<std::string> check_concat_compatible(const Tensor& open,
+                                                   const Tensor& next) {
+  if (open.dim() != 3 || next.dim() != 3) {
+    std::ostringstream os;
+    os << "concat: expected rank-3 hop batches, got "
+       << shape_to_string(open.shape()) << " and "
+       << shape_to_string(next.shape());
+    return fail(os);
+  }
+  if (open.size(1) != next.size(1)) {
+    std::ostringstream os;
+    os << "concat: hop count mismatch (k+1 = " << open.size(1) << " vs "
+       << next.size(1) << "); truncated requests cannot share a batch "
+       << "with full-K requests";
+    return fail(os);
+  }
+  if (open.size(2) != next.size(2)) {
+    std::ostringstream os;
+    os << "concat: feature dim mismatch (" << open.size(2) << " vs "
+       << next.size(2) << ")";
+    return fail(os);
+  }
+  return std::nullopt;
+}
+
 void require(std::optional<std::string> failure, const char* context) {
   HOGA_CHECK(!failure.has_value(), context << ": " << *failure);
 }

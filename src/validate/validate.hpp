@@ -71,6 +71,14 @@ std::optional<std::string> check_labels(std::int64_t num_nodes,
 std::optional<std::string> check_aig(const aig::Aig& g,
                                      std::int64_t max_nodes = 0);
 
+/// Cross-request shape compatibility for the coalescing batch scheduler
+/// (DESIGN.md §14): two validated hop batches may share one concatenated
+/// forward iff they agree on [*, k+1, d0] — same hop count (truncation
+/// below K is legal per request, but mixed-k rows cannot concat) and same
+/// feature dim. Row counts are free. nullopt = compatible.
+std::optional<std::string> check_concat_compatible(const Tensor& open,
+                                                   const Tensor& next);
+
 /// Throwing wrappers for trainer preconditions: `context` prefixes the
 /// message (e.g. "train_hoga_node").
 void require(std::optional<std::string> failure, const char* context);

@@ -1,0 +1,552 @@
+// hoga::batch tests: bit-exact coalescing vs sequential forwards, close
+// triggers (row cap / deadline slack / linger / shape fault line), priority
+// lane ordering, tenant token-bucket quotas, lane-depth backpressure, and
+// byte-identical stats under a scripted obs::FakeClock (DESIGN.md §14).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.hpp"
+#include "batch/batch.hpp"
+#include "core/hoga_model.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "serve/serve.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hoga::batch {
+namespace {
+
+core::HogaConfig small_config(std::int64_t in_dim = 4) {
+  return {.in_dim = in_dim,
+          .hidden = 8,
+          .num_hops = 3,
+          .num_layers = 1,
+          .out_dim = 3,
+          .dropout = 0.25f};  // non-zero on purpose: eval must ignore it
+}
+
+Tensor random_rows(std::int64_t rows, std::int64_t hops, std::int64_t dim,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({rows, hops, dim}, rng);
+}
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Records every coalesced forward (rows, hops) and returns a shape-correct
+/// output so tests can assert batch composition and execution order without
+/// a real model.
+struct RecordingForward {
+  std::vector<std::pair<std::int64_t, std::int64_t>> calls;
+  Tensor operator()(const Tensor& input) {
+    calls.emplace_back(input.size(0), input.size(1));
+    return Tensor::zeros({input.size(0), 1});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bit-exactness: the tentpole contract. A request's slice of a coalesced
+// forward must be byte-identical to its own solo forward for ANY
+// interleaving of co-batched requests.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, CoalescedForwardIsBitExactVsSequential) {
+  Rng rng(7);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  const auto forward = [&](const Tensor& input) {
+    return model.forward_eval(ag::constant(input)).value();
+  };
+
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, forward);
+
+  // Mixed sizes, mixed lanes, arbitrary interleaving — all coalesce.
+  const std::vector<std::int64_t> sizes = {5, 1, 9, 3, 7, 2, 11, 4};
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    inputs.push_back(
+        random_rows(sizes[i], cfg.num_hops + 1, cfg.in_dim, 100 + i));
+    const Lane lane = (i % 3 == 0) ? Lane::kBulk : Lane::kInteractive;
+    SubmitResult r = sched.submit(inputs.back(), lane, 0, 1000.0);
+    ASSERT_TRUE(r.admitted);
+    futures.push_back(std::move(r.output));
+  }
+  EXPECT_GT(sched.flush(), 0);
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Tensor got = futures[i].get();
+    const Tensor expect = model.forward_eval(ag::constant(inputs[i])).value();
+    ASSERT_EQ(got.numel(), expect.numel());
+    // memcmp, not allclose: the scatter of a coalesced forward must be
+    // byte-identical to the solo forward (kernel row independence,
+    // DESIGN.md §11).
+    EXPECT_TRUE(bit_equal(got, expect)) << "request " << i;
+  }
+
+  const BatchStats s = sched.stats();
+  EXPECT_EQ(s.submitted, static_cast<long long>(sizes.size()));
+  EXPECT_EQ(s.rows, 5 + 1 + 9 + 3 + 7 + 2 + 11 + 4);
+  EXPECT_EQ(s.failed_batches, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Close triggers.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, RowCapClosesBatchInline) {
+  RecordingForward fwd;
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 8;
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+
+  auto r1 = sched.submit(random_rows(4, 4, 4, 1), Lane::kInteractive, 0, 1e6);
+  ASSERT_TRUE(r1.admitted);
+  EXPECT_EQ(sched.stats().batches, 0);  // below cap: still lingering
+  auto r2 = sched.submit(random_rows(4, 4, 4, 2), Lane::kInteractive, 0, 1e6);
+  ASSERT_TRUE(r2.admitted);
+
+  // Cap reached: manual mode executes inline, without waiting for pump().
+  const BatchStats s = sched.stats();
+  EXPECT_EQ(s.batches, 1);
+  EXPECT_EQ(s.rows, 8);
+  EXPECT_EQ(s.closed_row_cap, 1);
+  ASSERT_EQ(fwd.calls.size(), 1u);
+  EXPECT_EQ(fwd.calls[0].first, 8);  // one coalesced [8, k+1, d0] forward
+  r1.output.get();
+  r2.output.get();
+}
+
+TEST(Batch, DeadlineSlackBelowEwmaForwardTimeClosesEarly) {
+  RecordingForward fwd;
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;
+  bc.max_linger_ms = 50.0;        // linger far away: deadline must fire first
+  bc.initial_forward_ms = 2.0;    // EWMA prior
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+
+  // Slack 20 ms >> EWMA 2 ms: not due yet.
+  auto r = sched.submit(random_rows(3, 4, 4, 1), Lane::kInteractive, 0, 20.0);
+  ASSERT_TRUE(r.admitted);
+  EXPECT_EQ(sched.pump(), 0);
+
+  // Advance until slack (20 ms from enqueue) dips below the 2 ms estimate:
+  // the batch must close NOW or the request would miss its deadline.
+  clock.advance(19 * 1000 * 1000);
+  EXPECT_EQ(sched.pump(), 1);
+  const BatchStats s = sched.stats();
+  EXPECT_EQ(s.closed_deadline, 1);
+  EXPECT_EQ(s.closed_linger, 0);
+  r.output.get();
+}
+
+TEST(Batch, MaxLingerBoundsOldestRequestWait) {
+  RecordingForward fwd;
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;
+  bc.max_linger_ms = 2.0;
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+
+  auto r = sched.submit(random_rows(2, 4, 4, 1), Lane::kBulk, 0, 1e6);
+  ASSERT_TRUE(r.admitted);
+  EXPECT_EQ(sched.pump(), 0);  // deadline is far; linger not yet elapsed
+
+  clock.advance(3 * 1000 * 1000);  // 3 ms > max_linger_ms
+  EXPECT_EQ(sched.pump(), 1);
+  EXPECT_EQ(sched.stats().closed_linger, 1);
+  r.output.get();
+}
+
+TEST(Batch, ShapeFaultLineSplitsIncompatibleRequests) {
+  RecordingForward fwd;
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+
+  // Hop-count 4 then hop-count 3 (legal per-request truncation, DESIGN.md
+  // §8) cannot share a concatenated forward.
+  auto r1 = sched.submit(random_rows(2, 4, 4, 1), Lane::kInteractive, 0, 1e6);
+  auto r2 = sched.submit(random_rows(2, 3, 4, 2), Lane::kInteractive, 0, 1e6);
+  ASSERT_TRUE(r1.admitted && r2.admitted);
+  EXPECT_EQ(sched.flush(), 2);
+
+  ASSERT_EQ(fwd.calls.size(), 2u);
+  EXPECT_EQ(fwd.calls[0].second, 4);  // first batch: the 4-hop request alone
+  EXPECT_EQ(fwd.calls[1].second, 3);
+  const BatchStats s = sched.stats();
+  EXPECT_EQ(s.batches, 2);
+  EXPECT_EQ(s.closed_shape, 1);
+  EXPECT_EQ(s.closed_flush, 1);
+  r1.output.get();
+  r2.output.get();
+}
+
+// ---------------------------------------------------------------------------
+// Priority lanes: an interactive request is never stuck behind a full bulk
+// batch — whenever both lanes are runnable, interactive executes first.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, InteractiveLaneDrainsBeforeFullBulkLane) {
+  std::vector<std::string> order;
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;
+  bc.max_linger_ms = 1.0;
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, [&order](const Tensor& t) {
+    order.push_back(t.size(0) == 32 ? "bulk" : "interactive");
+    return Tensor::zeros({t.size(0), 1});
+  });
+
+  // Bulk arrives first and is older; interactive arrives later. Both become
+  // due (linger) — interactive must still run first.
+  auto rb = sched.submit(random_rows(32, 4, 4, 1), Lane::kBulk, 0, 1e6);
+  auto ri = sched.submit(random_rows(2, 4, 4, 2), Lane::kInteractive, 0, 1e6);
+  ASSERT_TRUE(rb.admitted && ri.admitted);
+  clock.advance(2 * 1000 * 1000);
+  EXPECT_EQ(sched.pump(), 2);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "interactive");
+  EXPECT_EQ(order[1], "bulk");
+  rb.output.get();
+  ri.output.get();
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: tenant token buckets and lane-depth backpressure.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, TenantTokenBucketRejectsWithRefillTimeHint) {
+  RecordingForward fwd;
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;
+  bc.background = false;
+  bc.clock = &clock;
+  bc.tenant_rows_per_sec = 10.0;
+  bc.tenant_burst_rows = 10.0;
+  BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+
+  // Tenant 1 spends 8 of its 10 burst rows, then asks for 8 more.
+  auto ok = sched.submit(random_rows(8, 4, 4, 1), Lane::kBulk, 1, 1e6);
+  ASSERT_TRUE(ok.admitted);
+  auto rej = sched.submit(random_rows(8, 4, 4, 2), Lane::kBulk, 1, 1e6);
+  EXPECT_FALSE(rej.admitted);
+  EXPECT_EQ(rej.reject_reason, "tenant quota exceeded");
+  // Needs ~6 more rows at 10 rows/s: the hint is the actual refill time
+  // (~600 ms), not a flat constant.
+  EXPECT_GT(rej.retry_after_ms, 400.0);
+  EXPECT_LT(rej.retry_after_ms, 800.0);
+
+  // Independent buckets: tenant 2 is untouched; tenant 0 is exempt.
+  EXPECT_TRUE(sched.submit(random_rows(8, 4, 4, 3), Lane::kBulk, 2, 1e6)
+                  .admitted);
+  EXPECT_TRUE(sched.submit(random_rows(8, 4, 4, 4), Lane::kBulk, 0, 1e6)
+                  .admitted);
+
+  // Refill: after 1 simulated second the rejected tenant fits again.
+  clock.advance(1000ull * 1000 * 1000);
+  EXPECT_TRUE(sched.submit(random_rows(8, 4, 4, 5), Lane::kBulk, 1, 1e6)
+                  .admitted);
+  EXPECT_EQ(sched.stats().rejected_quota, 1);
+  sched.flush();
+}
+
+TEST(Batch, FullLaneRejectsWithDrainEstimateHint) {
+  RecordingForward fwd;
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;   // above max_lane_rows: no inline cap close
+  bc.max_lane_rows = 8;
+  bc.max_linger_ms = 1e6;   // nothing closes on its own in this test
+  bc.initial_forward_ms = 5.0;
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+
+  auto a = sched.submit(random_rows(3, 4, 4, 1), Lane::kBulk, 0, 1e6);
+  auto b = sched.submit(random_rows(3, 4, 4, 2), Lane::kBulk, 0, 1e6);
+  // Third submit still sees 6 pending rows < 8: admitted, lane now past
+  // its bound at 9.
+  auto c = sched.submit(random_rows(3, 4, 4, 3), Lane::kBulk, 0, 1e6);
+  ASSERT_TRUE(a.admitted);
+  ASSERT_TRUE(b.admitted);
+  ASSERT_TRUE(c.admitted);
+
+  auto rej = sched.submit(random_rows(1, 4, 4, 4), Lane::kBulk, 0, 1e6);
+  EXPECT_FALSE(rej.admitted);
+  EXPECT_EQ(rej.reject_reason, "lane full");
+  // 9 pending rows fit one 64-row batch: 1 batch × the 5 ms EWMA estimate.
+  EXPECT_NEAR(rej.retry_after_ms, 5.0, 0.5);
+  EXPECT_EQ(sched.stats().rejected_depth, 1);
+
+  // The interactive lane is NOT full — depth bounds are per lane.
+  EXPECT_TRUE(sched.submit(random_rows(1, 4, 4, 5), Lane::kInteractive, 0, 1e6)
+                  .admitted);
+  sched.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Failure and shutdown paths.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, FailedForwardPropagatesToEveryCoalescedFuture) {
+  obs::FakeClock clock(0, 1000);
+  BatchConfig bc;
+  bc.background = false;
+  bc.clock = &clock;
+  BatchScheduler sched(bc, [](const Tensor&) -> Tensor {
+    throw std::runtime_error("model exploded");
+  });
+
+  auto r1 = sched.submit(random_rows(2, 4, 4, 1), Lane::kInteractive, 0, 1e6);
+  auto r2 = sched.submit(random_rows(3, 4, 4, 2), Lane::kInteractive, 0, 1e6);
+  ASSERT_TRUE(r1.admitted && r2.admitted);
+  EXPECT_EQ(sched.flush(), 1);
+  EXPECT_THROW(r1.output.get(), std::runtime_error);
+  EXPECT_THROW(r2.output.get(), std::runtime_error);
+  const BatchStats s = sched.stats();
+  EXPECT_EQ(s.failed_batches, 1);
+  EXPECT_EQ(s.batches, 1);
+}
+
+TEST(Batch, DestructorDrainsPendingRequests) {
+  RecordingForward fwd;
+  obs::FakeClock clock(0, 1000);
+  std::future<Tensor> pending;
+  {
+    BatchConfig bc;
+    bc.background = false;
+    bc.clock = &clock;
+    BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+    auto r = sched.submit(random_rows(2, 4, 4, 1), Lane::kBulk, 0, 1e6);
+    ASSERT_TRUE(r.admitted);
+    pending = std::move(r.output);
+    // No pump, no flush: the destructor must drain (reason kFlush).
+  }
+  EXPECT_EQ(pending.get().size(0), 2);
+  ASSERT_EQ(fwd.calls.size(), 1u);
+}
+
+TEST(Batch, BackgroundExecutorCoalescesAndResolvesFutures) {
+  Rng rng(11);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  BatchConfig bc;
+  bc.max_batch_rows = 32;
+  bc.max_linger_ms = 1.0;
+  bc.background = true;  // real executor thread on the steady clock
+  BatchScheduler sched(bc, [&](const Tensor& input) {
+    return model.forward_eval(ag::constant(input)).value();
+  });
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(random_rows(3, cfg.num_hops + 1, cfg.in_dim, 20 + i));
+    auto r = sched.submit(inputs.back(), Lane::kInteractive, 0, 500.0);
+    ASSERT_TRUE(r.admitted);
+    futures.push_back(std::move(r.output));
+  }
+  for (int i = 0; i < 6; ++i) {
+    const Tensor got = futures[i].get();
+    const Tensor expect = model.forward_eval(ag::constant(inputs[i])).value();
+    EXPECT_TRUE(bit_equal(got, expect)) << "request " << i;
+  }
+  EXPECT_EQ(sched.stats().submitted, 6);
+  EXPECT_GE(sched.stats().batches, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Work-conserving close: with linger/deadline far in the future, an idle
+// executor still runs a lane once it passes eager_close_fraction of the
+// row cap instead of sleeping on queued work. Without the eager close this
+// test would block on the 10s linger timer.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, IdleExecutorClosesEagerlyPastFractionOfRowCap) {
+  Rng rng(12);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  BatchConfig bc;
+  bc.max_batch_rows = 64;
+  bc.max_linger_ms = 10000.0;          // never fires within the test
+  bc.eager_close_fraction = 0.5;       // idle executor closes at >= 32 rows
+  bc.background = true;
+  BatchScheduler sched(bc, [&](const Tensor& input) {
+    return model.forward_eval(ag::constant(input)).value();
+  });
+
+  std::vector<Tensor> inputs;
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 5; ++i) {  // 40 rows: past the threshold, under the cap
+    inputs.push_back(random_rows(8, cfg.num_hops + 1, cfg.in_dim, 40 + i));
+    auto r = sched.submit(inputs.back(), Lane::kBulk, 0, 60000.0);
+    ASSERT_TRUE(r.admitted);
+    futures.push_back(std::move(r.output));
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "eager close never fired; request " << i << " stuck on linger";
+    const Tensor got = futures[i].get();
+    const Tensor expect = model.forward_eval(ag::constant(inputs[i])).value();
+    EXPECT_TRUE(bit_equal(got, expect)) << "request " << i;
+  }
+  EXPECT_GE(sched.stats().closed_eager, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: a scripted schedule under obs::FakeClock produces
+// byte-identical stats signatures and metric snapshots across runs.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, ScriptedScheduleIsByteIdenticalAcrossRuns) {
+  const auto run = [] {
+    obs::FakeClock clock(0, 1000);
+    obs::MetricsRegistry metrics(true);
+    RecordingForward fwd;
+    BatchConfig bc;
+    bc.max_batch_rows = 8;
+    bc.max_linger_ms = 2.0;
+    bc.initial_forward_ms = 1.0;
+    bc.tenant_rows_per_sec = 16.0;
+    bc.background = false;
+    bc.clock = &clock;
+    bc.metrics = &metrics;
+    BatchScheduler sched(bc, [&fwd](const Tensor& t) { return fwd(t); });
+
+    sched.submit(random_rows(4, 4, 4, 1), Lane::kInteractive, 1, 100.0);
+    sched.submit(random_rows(4, 4, 4, 2), Lane::kInteractive, 1, 100.0);
+    sched.submit(random_rows(16, 4, 4, 3), Lane::kBulk, 1, 100.0);  // quota
+    sched.submit(random_rows(2, 4, 4, 4), Lane::kBulk, 2, 100.0);
+    clock.advance(3 * 1000 * 1000);
+    sched.pump();
+    sched.submit(random_rows(3, 4, 4, 5), Lane::kInteractive, 0, 0.5);
+    sched.pump();  // deadline close: slack already below the EWMA estimate
+    sched.flush();
+    return std::make_pair(sched.stats().counts_signature(),
+                          metrics.text_snapshot());
+  };
+
+  const auto [sig_a, snap_a] = run();
+  const auto [sig_b, snap_b] = run();
+  EXPECT_EQ(sig_a, sig_b);
+  EXPECT_EQ(snap_a, snap_b);  // byte-identical, quantiles included
+  // The signature is exact, so pin it: any counting change must be a
+  // deliberate contract change.
+  EXPECT_EQ(sig_a,
+            "submitted=4 rejected_quota=1 rejected_depth=0 batches=3 "
+            "rows=13 failed_batches=0 closed_row_cap=1 closed_deadline=1 "
+            "closed_linger=1 closed_shape=0 closed_flush=0 closed_eager=0");
+}
+
+// ---------------------------------------------------------------------------
+// Serve integration: InferenceService with batching on serves bit-exact
+// outputs and folds scheduler counters into ServeStats.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, ServeBatchingIsBitExactAndCountsBatches) {
+  Rng rng(3);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  serve::ServeConfig scfg{.workers = 2};
+  scfg.batching = true;
+  scfg.batch.max_batch_rows = 64;
+  scfg.batch.max_linger_ms = 5.0;
+  serve::InferenceService svc(model, scfg);
+
+  constexpr int kClients = 8;
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kClients; ++i) {
+    inputs.push_back(
+        random_rows(3 + i, cfg.num_hops + 1, cfg.in_dim, 40 + i));
+  }
+  std::vector<serve::Response> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      serve::Request req;
+      req.hop_batch = inputs[i];
+      req.deadline_ms = 30000;
+      req.lane = (i % 2 == 0) ? Lane::kInteractive : Lane::kBulk;
+      responses[i] = svc.infer(req);
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_EQ(responses[i].outcome, serve::Outcome::kServed)
+        << responses[i].error;
+    const Tensor expect = model.forward_eval(ag::constant(inputs[i])).value();
+    EXPECT_TRUE(bit_equal(responses[i].output, expect)) << "client " << i;
+  }
+  const serve::ServeStats s = svc.stats();
+  EXPECT_EQ(s.served, kClients);
+  EXPECT_EQ(s.batched, kClients);
+  EXPECT_GE(s.batches, 1);
+  EXPECT_LE(s.batches, kClients);
+  // The extended signature carries the batch counters.
+  EXPECT_NE(s.counts_signature().find("batched=8"), std::string::npos);
+}
+
+TEST(Batch, ServeTenantQuotaSurfacesAsOverloadWithRetryHint) {
+  Rng rng(5);
+  const auto cfg = small_config();
+  core::Hoga model(cfg, rng);
+  serve::ServeConfig scfg{.workers = 1};
+  scfg.batching = true;
+  scfg.batch.max_linger_ms = 0.5;
+  scfg.batch.tenant_rows_per_sec = 4.0;
+  scfg.batch.tenant_burst_rows = 4.0;
+  serve::InferenceService svc(model, scfg);
+
+  serve::Request req;
+  req.hop_batch = random_rows(4, cfg.num_hops + 1, cfg.in_dim, 9);
+  req.tenant_id = 7;
+  req.deadline_ms = 30000;
+  ASSERT_EQ(svc.infer(req).outcome, serve::Outcome::kServed);
+
+  // Burst spent: the next 4-row request from tenant 7 is over quota.
+  serve::Response r = svc.infer(req);
+  EXPECT_EQ(r.outcome, serve::Outcome::kRejectedOverload);
+  EXPECT_GT(r.retry_after_ms, 0.0);
+  EXPECT_EQ(svc.stats().batch_quota_rejected, 1);
+  // Other tenants are unaffected.
+  req.tenant_id = 8;
+  EXPECT_EQ(svc.infer(req).outcome, serve::Outcome::kServed);
+}
+
+}  // namespace
+}  // namespace hoga::batch

@@ -74,7 +74,8 @@ TEST(Serve, ServesValidBatchWithExactModelOutput) {
   EXPECT_EQ(svc.stats().counts_signature(),
             "submitted=1 served=1 degraded_truncated=0 degraded_cached=0 "
             "rejected_invalid=0 rejected_overload=0 timed_out=0 failed=0 "
-            "breaker_trips=0 feature_cache_hits=0 feature_cache_misses=0");
+            "breaker_trips=0 feature_cache_hits=0 feature_cache_misses=0 "
+            "batched=0 batches=0 batch_quota_rejected=0");
 }
 
 TEST(Serve, ConcurrentClientsAllGetCorrectAnswers) {
@@ -465,7 +466,8 @@ TEST(Serve, HealthCombinesBreakerAndScrubberVerdicts) {
     EXPECT_EQ(svc.stats().counts_signature(),
               "submitted=0 served=0 degraded_truncated=0 degraded_cached=0 "
               "rejected_invalid=0 rejected_overload=0 timed_out=0 failed=0 "
-              "breaker_trips=0 feature_cache_hits=0 feature_cache_misses=0");
+              "breaker_trips=0 feature_cache_hits=0 feature_cache_misses=0 "
+              "batched=0 batches=0 batch_quota_rejected=0");
   }
   fs::remove_all(dir);
 }
